@@ -1,0 +1,80 @@
+// Ablation — cost-directed mechanism selection (the paper's §6 direction).
+//
+// The CostOracle predicts each mechanism's cost from the machine's cost
+// model; AdaptiveOps picks per call. This bench sweeps block sizes through
+// the shm/msg crossover and shows the adaptive copy tracking the minimum of
+// the two fixed-mechanism curves.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/adaptive.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kBlocks[] = {16, 32, 64, 128, 256, 1024, 4096};
+std::map<int, Cycles> g_adaptive;
+
+Cycles measure_adaptive_copy(std::uint32_t block) {
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(bench_cfg(64), o);
+  AdaptiveOps adaptive(m);
+  auto total = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr src = ctx.shmalloc(0, block);
+    for (std::uint32_t i = 0; i < block; i += 8) ctx.store(src + i, i);
+    constexpr int kReps = 3;
+    for (int r = 0; r < kReps; ++r) {
+      const GAddr dst = ctx.shmalloc(1, block);
+      const Cycles t0 = ctx.now();
+      adaptive.copy(ctx, dst, src, block);
+      *total += ctx.now() - t0;
+    }
+    *total /= kReps;
+    return 0;
+  });
+  return *total;
+}
+
+void BM_AdaptiveCopy(benchmark::State& state) {
+  const auto block = static_cast<std::uint32_t>(state.range(0));
+  Cycles c = 0;
+  for (auto _ : state) {
+    c = measure_adaptive_copy(block);
+  }
+  g_adaptive[state.range(0)] = c;
+  state.counters["sim_cycles"] = double(c);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AdaptiveCopy)
+    ->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  CostOracle oracle(bench_cfg(64));
+  print_header(
+      "Ablation: cost-directed copy (adaptive should track min(shm, msg))",
+      {"bytes", "shm", "msg", "adaptive", "oracle picks"});
+  for (int b : kBlocks) {
+    const Cycles shm = measure_copy(CopyImpl::kShmLoop, b, 64);
+    const Cycles msg = measure_copy(CopyImpl::kMsgDma, b, 64);
+    const bool msg_predicted =
+        oracle.predict_copy_msg(b, 1) < oracle.predict_copy_shm(b, 1);
+    print_row({std::to_string(b), std::to_string(shm), std::to_string(msg),
+               std::to_string(g_adaptive[b]),
+               msg_predicted ? "msg" : "shm"});
+  }
+  std::printf("predicted crossover at 1 hop: %llu bytes\n",
+              (unsigned long long)oracle.copy_crossover_bytes(1));
+  return 0;
+}

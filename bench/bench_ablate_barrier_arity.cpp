@@ -1,0 +1,51 @@
+// Ablation — combining-tree arity for both barrier mechanisms.
+//
+// The paper picked a binary tree for the shared-memory barrier ("carefully
+// crafted to minimize the total number of message exchanges") and a flat
+// two-level 8-ary tree for the message barrier. This sweep shows why: shm
+// arrival counters serialize per node (low arity wins), while message
+// handlers are cheap enough that fewer tree levels win.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kArities[] = {2, 4, 8, 16, 63};
+std::map<std::pair<int, int>, Cycles> g_results;  // (mech, arity)
+
+void BM_BarrierArity(benchmark::State& state) {
+  const auto mech = static_cast<CombiningBarrier::Mech>(state.range(0));
+  const auto arity = static_cast<std::uint32_t>(state.range(1));
+  Cycles cycles = 0;
+  for (auto _ : state) {
+    cycles = measure_barrier(64, mech, arity);
+  }
+  g_results[{state.range(0), state.range(1)}] = cycles;
+  state.counters["sim_cycles"] = double(cycles);
+}
+
+}  // namespace
+
+BENCHMARK(BM_BarrierArity)
+    ->ArgsProduct({{0, 1}, {2, 4, 8, 16, 63}})
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header("Ablation: barrier combining-tree arity (64 procs, cycles)",
+               {"arity", "shm", "msg"});
+  for (int a : kArities) {
+    print_row({std::to_string(a), std::to_string(g_results[{0, a}]),
+               std::to_string(g_results[{1, a}])});
+  }
+  std::printf("(paper's choices: shm arity 2, msg arity 8)\n");
+  return 0;
+}

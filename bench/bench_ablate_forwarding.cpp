@@ -1,0 +1,115 @@
+// Ablation — dirty-data forwarding policy.
+//
+// §2.2 lists "data must be communicated through a home or intermediate node
+// instead of being passed directly to the requester" among shared-memory's
+// defects, citing Dash's direct deposit as the contrast. This sweep measures
+// how much of the messaging advantage that one protocol choice recovers:
+// dirty-read latency, lock ping-pong, and the shm-scheduler's grain run,
+// with Alewife-style through-home vs DASH-style direct forwarding.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+std::map<int, Cycles> g_dirty_read, g_lock_bounce, g_grain;
+
+MachineConfig fwd_cfg(bool fwd) {
+  MachineConfig c = bench_cfg(64);
+  c.forward_dirty_direct = fwd;
+  return c;
+}
+
+Cycles measure_dirty_read(bool fwd) {
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(fwd_cfg(fwd), o);
+  const GAddr a = m.shmalloc(63, 64);
+  auto latency = std::make_shared<Cycles>(0);
+  HostBarrier sync(m, 2);
+  m.start_thread(1, [&, a](Context& ctx) {
+    ctx.store(a, 5);
+    sync.wait(ctx);
+  });
+  m.start_thread(0, [&, a](Context& ctx) {
+    sync.wait(ctx);
+    const Cycles t0 = ctx.now();
+    ctx.load(a);
+    *latency = ctx.now() - t0;
+  });
+  m.run_started();
+  return *latency;
+}
+
+Cycles measure_lock_bounce(bool fwd) {
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(fwd_cfg(fwd), o);
+  const GAddr lock = m.shmalloc(63, 64);
+  auto total = std::make_shared<Cycles>(0);
+  for (NodeId n = 0; n < 2; ++n) {
+    m.start_thread(n, [=](Context& ctx) {
+      const Cycles t0 = ctx.now();
+      for (int i = 0; i < 50; ++i) {
+        ctx.test_and_set(lock);
+        ctx.compute(5);
+      }
+      if (n == 0) *total = ctx.now() - t0;
+    });
+  }
+  m.run_started();
+  return *total / 50;
+}
+
+Cycles measure_grain_shm(bool fwd) {
+  RuntimeOptions o;
+  o.mode = SchedMode::kShm;
+  o.stealing = true;
+  Machine m(fwd_cfg(fwd), o);
+  auto dur = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const Cycles t0 = ctx.now();
+    apps::grain_parallel(ctx, 12, 0);
+    *dur = ctx.now() - t0;
+    return 0;
+  });
+  return *dur;
+}
+
+void BM_Forwarding(benchmark::State& state) {
+  const bool fwd = state.range(0) != 0;
+  for (auto _ : state) {
+    g_dirty_read[fwd] = measure_dirty_read(fwd);
+    g_lock_bounce[fwd] = measure_lock_bounce(fwd);
+    g_grain[fwd] = measure_grain_shm(fwd);
+  }
+  state.counters["dirty_read"] = double(g_dirty_read[fwd]);
+  state.counters["lock_bounce"] = double(g_lock_bounce[fwd]);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Forwarding)->Arg(0)->Arg(1)->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Ablation: dirty-data forwarding (through-home = Alewife, direct = "
+      "DASH-style)",
+      {"metric", "through-home", "direct", "direct/home"});
+  const auto row = [](const char* name, Cycles home, Cycles direct) {
+    print_row({name, std::to_string(home), std::to_string(direct),
+               fmt(double(direct) / double(home), 2)});
+  };
+  row("dirty read (far home)", g_dirty_read[0], g_dirty_read[1]);
+  row("lock bounce / acquire", g_lock_bounce[0], g_lock_bounce[1]);
+  row("grain shm l=0 (cycles)", g_grain[0], g_grain[1]);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation — message-interrupt handler-entry cost.
+//
+// Alewife gets into a message handler in 5 cycles (paper §3). The related
+// work (§5) contrasts this with machines that lack fast message handling
+// (e.g. the BBN Butterfly) or avoid the interrupt entirely (Dash's
+// cache-to-cache deposit). This sweep shows how the message mechanisms decay
+// as handler entry grows toward software-trap territory.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kEntryCosts[] = {5, 15, 30, 60, 120, 240};
+std::map<int, Cycles> g_barrier;
+std::map<int, InvokeResult> g_invoke;
+
+MachineConfig cfg_with_entry(int cycles) {
+  MachineConfig c = bench_cfg(64);
+  c.cost.interrupt_entry = cycles;
+  return c;
+}
+
+void BM_BarrierVsEntry(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  Cycles c = 0;
+  for (auto _ : state) {
+    c = measure_barrier_cfg(cfg_with_entry(e), CombiningBarrier::Mech::kMsg,
+                            8);
+  }
+  g_barrier[e] = c;
+  state.counters["sim_cycles"] = double(c);
+}
+
+void BM_InvokeVsEntry(benchmark::State& state) {
+  const int e = static_cast<int>(state.range(0));
+  InvokeResult r{};
+  for (auto _ : state) {
+    r = measure_invoke_cfg(cfg_with_entry(e), /*use_msg=*/true);
+  }
+  g_invoke[e] = r;
+  state.counters["t_invokee"] = double(r.t_invokee);
+}
+
+}  // namespace
+
+BENCHMARK(BM_BarrierVsEntry)->Arg(5)->Arg(15)->Arg(30)->Arg(60)->Arg(120)->Arg(240)->Iterations(1);
+BENCHMARK(BM_InvokeVsEntry)->Arg(5)->Arg(15)->Arg(30)->Arg(60)->Arg(120)->Arg(240)->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Ablation: handler-entry cost (64 procs; shm references: barrier ~1658, "
+      "T_invokee ~682)",
+      {"entry cycles", "msg barrier", "msg T_invokee"});
+  for (int e : kEntryCosts) {
+    print_row({std::to_string(e), std::to_string(g_barrier[e]),
+               std::to_string(g_invoke[e].t_invokee)});
+  }
+  return 0;
+}

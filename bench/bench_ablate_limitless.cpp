@@ -1,0 +1,103 @@
+// Ablation — LimitLESS directory hardware pointer count.
+//
+// Alewife's directories keep a handful of hardware sharer pointers and trap
+// to software beyond them (§3). The stress case is a line cached by many
+// nodes that then gets written: here, a *centralized* (flat) barrier where
+// all 64 processors spin on one release flag. The releasing store must
+// invalidate every cached copy; beyond the hardware pointers, the home
+// processor's software handler builds the invalidation list. The paper's
+// combining-tree barrier exists precisely to avoid this pattern — the
+// combining-tree number is shown for reference.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kPointers[] = {1, 2, 5, 16, 64};
+std::map<int, Cycles> g_flat;
+std::map<int, std::uint64_t> g_traps;
+
+/// One episode of a flat barrier: everyone bumps a central counter and spins
+/// on a central release flag; the last arriver writes the flag.
+Cycles measure_flat_barrier(int ptrs) {
+  MachineConfig c = bench_cfg(64);
+  c.cost.dir_hw_pointers = ptrs;
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(c, o);
+  const std::uint32_t nodes = 64;
+
+  const GAddr counter = m.shmalloc(0, c.cache_line_bytes);
+  const GAddr flag = m.shmalloc(0, c.cache_line_bytes);
+  HostBarrier align(m, nodes);
+  auto enter = std::make_shared<std::vector<Cycles>>(nodes, 0);
+  auto exit = std::make_shared<std::vector<Cycles>>(nodes, 0);
+
+  constexpr int kEpisodes = 4;  // generation-counted flag
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [=, &align](Context& ctx) {
+      for (int e = 1; e <= kEpisodes; ++e) {
+        align.wait(ctx);
+        (*enter)[n] = ctx.now();
+        const std::uint64_t arrived = ctx.fetch_add(counter, 1);
+        if (arrived == nodes - 1) {
+          ctx.store(counter, 0);
+          ctx.store(flag, e);  // release: invalidates every spinner
+        } else {
+          while (ctx.load(flag) < std::uint64_t(e)) ctx.compute(4);
+        }
+        (*exit)[n] = ctx.now();
+      }
+    });
+  }
+  m.run_started();
+  g_traps[ptrs] = m.stats().get("mem.limitless_traps");
+
+  Cycles first = ~Cycles{0}, last = 0;
+  for (NodeId n = 0; n < nodes; ++n) {
+    first = std::min(first, (*enter)[n]);
+    last = std::max(last, (*exit)[n]);
+  }
+  // Rough per-episode cost: total span over episodes (alignment points make
+  // this an upper bound dominated by the last episode's width).
+  return (last - first) / kEpisodes;
+}
+
+void BM_FlatBarrierVsPointers(benchmark::State& state) {
+  const int ptrs = static_cast<int>(state.range(0));
+  Cycles cycles = 0;
+  for (auto _ : state) {
+    cycles = measure_flat_barrier(ptrs);
+  }
+  g_flat[ptrs] = cycles;
+  state.counters["sim_cycles"] = double(cycles);
+  state.counters["traps"] = double(g_traps[ptrs]);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FlatBarrierVsPointers)->Arg(1)->Arg(2)->Arg(5)->Arg(16)->Arg(64)->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const Cycles tree = measure_barrier(64, CombiningBarrier::Mech::kShm, 2);
+  print_header(
+      "Ablation: LimitLESS hardware pointers (flat 64-proc barrier; "
+      "widely-shared release flag)",
+      {"hw pointers", "flat barrier", "sw traps"});
+  for (int p : kPointers) {
+    print_row({std::to_string(p), std::to_string(g_flat[p]),
+               std::to_string(g_traps[p])});
+  }
+  std::printf("combining-tree shm barrier reference (5 ptrs): %llu cycles\n",
+              (unsigned long long)tree);
+  return 0;
+}

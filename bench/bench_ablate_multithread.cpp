@@ -1,0 +1,83 @@
+// Ablation — Sparcle-style block multithreading (switch on remote miss).
+//
+// The Alewife processor's signature latency-tolerance mechanism, described in
+// the machine paper [1] though not evaluated in this one: on a remote cache
+// miss the processor switches to another loaded context in ~14 cycles. This
+// sweep runs T miss-heavy threads per node and reports the node's completion
+// time with and without switching — memory-level parallelism across contexts
+// recovers a growing share of the stall time until scheduling overheads bite.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kThreads[] = {1, 2, 3, 4, 6};
+std::map<std::pair<int, int>, Cycles> g_results;  // (mt, threads)
+
+Cycles measure_mt(bool mt, int threads_per_node) {
+  MachineConfig c = bench_cfg(16);
+  c.multithread_on_miss = mt;
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(c, o);
+
+  // Each thread of node 0 chases its own cold remote lines with a bit of
+  // compute per element (a pointer-ish access pattern prefetching can't fix).
+  constexpr int kLines = 40;
+  auto done_at = std::make_shared<Cycles>(0);
+  for (int t = 0; t < threads_per_node; ++t) {
+    std::vector<GAddr> lines;
+    for (int i = 0; i < kLines; ++i) {
+      lines.push_back(m.shmalloc(static_cast<NodeId>(1 + (t + i) % 15), 16));
+    }
+    m.start_thread(0, [lines, done_at](Context& ctx) {
+      for (GAddr a : lines) {
+        ctx.load(a);
+        ctx.compute(8);
+      }
+      *done_at = std::max(*done_at, ctx.now());
+    });
+  }
+  m.run_started();
+  return *done_at;
+}
+
+void BM_Multithread(benchmark::State& state) {
+  const bool mt = state.range(0) != 0;
+  const int threads = static_cast<int>(state.range(1));
+  Cycles c = 0;
+  for (auto _ : state) {
+    c = measure_mt(mt, threads);
+  }
+  g_results[{state.range(0), threads}] = c;
+  state.counters["sim_cycles"] = double(c);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Multithread)
+    ->ArgsProduct({{0, 1}, {1, 2, 3, 4, 6}})
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Ablation: block multithreading (40 cold remote misses per thread, one "
+      "node)",
+      {"threads", "single-ctx", "multi-ctx", "speedup"});
+  for (int t : kThreads) {
+    const Cycles off = g_results[{0, t}];
+    const Cycles on = g_results[{1, t}];
+    print_row({std::to_string(t), std::to_string(off), std::to_string(on),
+               fmt(double(off) / double(on), 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Ablation — combining synchronization with data transfer (§2.2, third
+// defect).
+//
+// A producer on one node hands words to a consumer on another. Three
+// mechanisms:
+//   flag-poll — shared-memory data store + flag store; the consumer polls
+//               the flag, then reads the data (the "purely shared-memory"
+//               pattern §2.2 critiques: separate messages for sync and data,
+//               and the consumer cannot predict when to fetch),
+//   j-struct  — full/empty-bit words: the synchronization rides with the
+//               data inside the coherence protocol,
+//   message   — one explicit message delivers data + wakeup (the paper's
+//               recommended mechanism; cf. remote thread invocation §4.3).
+//
+// Reported: per-item handoff latency (produce -> consumed) and pipeline
+// throughput over a stream of items.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "runtime/msg_types.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+enum Mech { kFlag = 0, kJStruct = 1, kMessage = 2 };
+const char* kMechName[] = {"flag-poll", "j-structure", "message"};
+
+std::map<int, Cycles> g_latency, g_throughput;
+
+/// One-shot handoff latency: produce at t, consumer has the value at ...?
+Cycles measure_latency(Mech mech) {
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(bench_cfg(64), o);
+  const GAddr data = m.shmalloc(32, 16);
+  const GAddr flag = m.shmalloc(32, 16);
+  auto produced_at = std::make_shared<Cycles>(0);
+  auto consumed_at = std::make_shared<Cycles>(0);
+  auto got = std::make_shared<std::uint64_t>(0);
+
+  if (mech == kMessage) {
+    m.node(1).cmmu().set_handler(kMsgUserBase,
+                                 [=](HandlerCtx& hc, MsgView& v) {
+                                   *got = v.operand(hc, 0);
+                                   *consumed_at = hc.now();
+                                 });
+  }
+  m.start_thread(0, [=](Context& ctx) {
+    ctx.compute(500);
+    *produced_at = ctx.now();
+    switch (mech) {
+      case kFlag:
+        ctx.store(data, 42);
+        ctx.store(flag, 1);
+        break;
+      case kJStruct:
+        ctx.store_fe(data, 42);
+        break;
+      case kMessage: {
+        MsgDescriptor d;
+        d.dst = 1;
+        d.type = kMsgUserBase;
+        d.operands = {42};
+        ctx.send(d);
+        break;
+      }
+    }
+  });
+  if (mech != kMessage) {
+    m.start_thread(1, [=](Context& ctx) {
+      if (mech == kFlag) {
+        while (ctx.load(flag) == 0) ctx.compute(8);
+        *got = ctx.load(data);
+      } else {
+        *got = ctx.load_fe(data);
+      }
+      *consumed_at = ctx.now();
+    });
+  }
+  m.run_started();
+  return *consumed_at - *produced_at;
+}
+
+/// Streaming: producer pushes kItems words; throughput = cycles per item.
+Cycles measure_throughput(Mech mech) {
+  constexpr int kItems = 64;
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(bench_cfg(64), o);
+  const GAddr ring = m.shmalloc(32, kItems * 16);  // one line per item
+  auto done_at = std::make_shared<Cycles>(0);
+  auto count = std::make_shared<int>(0);
+
+  if (mech == kMessage) {
+    m.node(1).cmmu().set_handler(kMsgUserBase,
+                                 [=](HandlerCtx& hc, MsgView& v) {
+                                   v.operand(hc, 0);
+                                   hc.charge(10);  // consume
+                                   if (++*count == kItems) {
+                                     *done_at = hc.now();
+                                   }
+                                 });
+  }
+  m.start_thread(0, [=](Context& ctx) {
+    for (int i = 0; i < kItems; ++i) {
+      ctx.compute(20);  // produce
+      switch (mech) {
+        case kFlag:
+          ctx.store(ring + i * 16, i + 1);
+          ctx.store(ring + i * 16 + 8, 1);  // per-item flag, same line
+          break;
+        case kJStruct:
+          ctx.store_fe(ring + i * 16, i + 1);
+          break;
+        case kMessage: {
+          MsgDescriptor d;
+          d.dst = 1;
+          d.type = kMsgUserBase;
+          d.operands = {std::uint64_t(i + 1)};
+          ctx.send(d);
+          break;
+        }
+      }
+    }
+  });
+  if (mech != kMessage) {
+    m.start_thread(1, [=](Context& ctx) {
+      for (int i = 0; i < kItems; ++i) {
+        if (mech == kFlag) {
+          while (ctx.load(ring + i * 16 + 8) == 0) ctx.compute(8);
+          ctx.load(ring + i * 16);
+        } else {
+          ctx.load_fe(ring + i * 16);
+        }
+        ctx.compute(10);  // consume
+      }
+      *done_at = ctx.now();
+    });
+  }
+  m.run_started();
+  return *done_at / kItems;
+}
+
+void BM_ProdCons(benchmark::State& state) {
+  const Mech mech = static_cast<Mech>(state.range(0));
+  for (auto _ : state) {
+    g_latency[mech] = measure_latency(mech);
+    g_throughput[mech] = measure_throughput(mech);
+  }
+  state.counters["latency"] = double(g_latency[mech]);
+  state.counters["cyc_per_item"] = double(g_throughput[mech]);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ProdCons)->Arg(0)->Arg(1)->Arg(2)->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Ablation: producer-consumer handoff (S2.2: bundle sync with data)",
+      {"mechanism", "handoff cycles", "cycles/item"});
+  for (int mech : {0, 1, 2}) {
+    print_row({kMechName[mech], std::to_string(g_latency[mech]),
+               std::to_string(g_throughput[mech])});
+  }
+  return 0;
+}

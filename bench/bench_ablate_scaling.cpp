@@ -1,0 +1,69 @@
+// Ablation — mechanism gap vs. machine size.
+//
+// The paper evaluates everything on 64 processors. This sweep asks how the
+// shared-memory vs. hybrid scheduler gap, and the two barrier mechanisms,
+// scale from 8 to 128 processors: the hybrid advantage grows with machine
+// size (deeper trees, longer shm round trips, more steal traffic), which is
+// the paper's implicit argument for why messages matter more "at large
+// scale".
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kSizes[] = {8, 16, 32, 64, 128};
+std::map<int, double> g_shm_speedup, g_hyb_speedup;
+std::map<int, Cycles> g_bar_shm, g_bar_msg;
+
+void BM_GrainScaling(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  AppRun shm{}, hyb{};
+  for (auto _ : state) {
+    shm = measure_grain(SchedMode::kShm, nodes, 12, 100);
+    hyb = measure_grain(SchedMode::kHybrid, nodes, 12, 100);
+  }
+  g_shm_speedup[state.range(0)] = shm.speedup();
+  g_hyb_speedup[state.range(0)] = hyb.speedup();
+  state.counters["shm"] = shm.speedup();
+  state.counters["hybrid"] = hyb.speedup();
+}
+
+void BM_BarrierScaling(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    g_bar_shm[state.range(0)] =
+        measure_barrier(nodes, CombiningBarrier::Mech::kShm, 2);
+    g_bar_msg[state.range(0)] =
+        measure_barrier(nodes, CombiningBarrier::Mech::kMsg, 8);
+  }
+  state.counters["shm"] = double(g_bar_shm[state.range(0)]);
+  state.counters["msg"] = double(g_bar_msg[state.range(0)]);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GrainScaling)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(1);
+BENCHMARK(BM_BarrierScaling)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Ablation: machine-size scaling (grain l=100 speedups; barrier cycles)",
+      {"procs", "grain shm", "grain hybrid", "hyb/shm", "barrier shm",
+       "barrier msg"});
+  for (int p : kSizes) {
+    print_row({std::to_string(p), fmt(g_shm_speedup[p]),
+               fmt(g_hyb_speedup[p]),
+               fmt(g_hyb_speedup[p] / g_shm_speedup[p], 2),
+               std::to_string(g_bar_shm[p]), std::to_string(g_bar_msg[p])});
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 10 — aq: adaptive quadrature speedup on 64 processors vs. problem
+// size (sequential running time).
+//
+// aq integrates a fixed bivariate function over a fixed rectangular domain
+// with recursive divide-and-conquer, recursing deeper where the integrand is
+// not smooth at the current scale; the call tree is irregular. Problem size
+// is scaled by tightening the smoothness threshold.
+//
+// Paper: the hybrid scheduler is ~2x faster for small problems; at the
+// largest problem (~800 ms sequential) it still wins by >20%.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::apps;
+using namespace alewife::bench;
+
+namespace {
+
+// Choose thresholds whose sequential running times roughly span the paper's
+// x-axis (25 ms .. 800 ms at 33 MHz). Picked by host-side region counting so
+// the selection itself costs no simulation.
+std::vector<double> pick_tolerances() {
+  const double targets_ms[] = {25, 50, 100, 200, 400, 800};
+  std::vector<double> tols;
+  for (double target : targets_ms) {
+    const double target_cycles = target * kClockMhz * 1000.0;
+    // Each region costs ~ (node work + 5 evals); evals/5 = regions.
+    double lo = 1e-9, hi = 10.0;
+    for (int it = 0; it < 48; ++it) {
+      const double mid = std::sqrt(lo * hi);
+      const double regions = double(aq_eval_count(aq_domain(), mid)) / 5.0;
+      const double cycles = regions * (28.0 + 5.0 * kAqEvalWork);
+      if (cycles > target_cycles) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    tols.push_back(std::sqrt(lo * hi));
+  }
+  return tols;
+}
+
+std::map<std::pair<int, int>, AppRun> g_results;  // (mode, tol idx)
+std::vector<double> g_tols;
+
+void BM_Aq(benchmark::State& state) {
+  const auto mode = static_cast<SchedMode>(state.range(0));
+  const double tol = g_tols.at(state.range(1));
+  AppRun r{};
+  for (auto _ : state) {
+    r = measure_aq(mode, 64, tol);
+  }
+  g_results[{state.range(0), state.range(1)}] = r;
+  state.counters["speedup"] = r.speedup();
+  state.counters["seq_ms"] =
+      double(r.sequential_cycles) / (kClockMhz * 1000.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_tols = pick_tolerances();
+  for (int mode = 0; mode < 2; ++mode) {
+    for (int t = 0; t < int(g_tols.size()); ++t) {
+      benchmark::RegisterBenchmark("BM_Aq", &BM_Aq)
+          ->Args({mode, t})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Figure 10: aq speedup on 64 procs (paper: hybrid ~2x at small sizes, "
+      ">20% at ~800ms)",
+      {"seq ms", "shm-only", "hybrid", "hybrid/shm"});
+  for (int t = 0; t < int(g_tols.size()); ++t) {
+    const AppRun shm = g_results[{0, t}];
+    const AppRun hyb = g_results[{1, t}];
+    print_row({fmt(double(shm.sequential_cycles) / (kClockMhz * 1000.0)),
+               fmt(shm.speedup()), fmt(hyb.speedup()),
+               fmt(hyb.speedup() / shm.speedup(), 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// §4.2 — combining-tree barrier synchronization.
+//
+// Paper (64 processors): best shared-memory barrier (six-level binary
+// combining tree) ≈ 1650 cycles (50 µs); message-based barrier (two-level
+// 8-ary tree) ≈ 660 cycles (20 µs). Software-only machines of the era took
+// well over 400 µs.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+std::map<std::pair<int, int>, Cycles> g_results;  // (mech, nodes) -> cycles
+
+void BM_Barrier(benchmark::State& state) {
+  const auto mech = static_cast<CombiningBarrier::Mech>(state.range(0));
+  const auto nodes = static_cast<std::uint32_t>(state.range(1));
+  const std::uint32_t arity =
+      mech == CombiningBarrier::Mech::kShm ? 2u : 8u;
+  Cycles cycles = 0;
+  for (auto _ : state) {
+    cycles = measure_barrier(nodes, mech, arity);
+  }
+  g_results[{state.range(0), state.range(1)}] = cycles;
+  state.counters["sim_cycles"] = double(cycles);
+  state.counters["usec"] = usec(cycles);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Barrier)
+    ->ArgsProduct({{0, 1}, {16, 64, 256}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header("S4.2 Combining-tree barrier (cycles; paper @64: shm 1650, "
+               "msg 660)",
+               {"procs", "shm (2-ary)", "msg (8-ary)", "shm us", "msg us"});
+  for (int nodes : {16, 64, 256}) {
+    const Cycles shm = g_results[{0, nodes}];
+    const Cycles msg = g_results[{1, nodes}];
+    print_row({std::to_string(nodes), std::to_string(shm),
+               std::to_string(msg), fmt(usec(shm)), fmt(usec(msg))});
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Calibration probe: prints the primitive costs and headline quantities next
+// to the paper's reported numbers (DESIGN.md §7). Not a paper figure itself,
+// but the first thing to run when touching the cost model.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+Cycles measure_remote_read(std::uint32_t nodes, NodeId from, NodeId to) {
+  auto cycles = std::make_shared<Cycles>(0);
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m2(bench_cfg(nodes), o);
+  m2.run(
+      [&](Context& ctx) -> std::uint64_t {
+        const GAddr a = ctx.shmalloc(to, 64);
+        const Cycles t0 = ctx.now();
+        ctx.load(a);
+        *cycles = ctx.now() - t0;
+        return 0;
+      },
+      from);
+  return *cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Calibration vs. paper targets (64-node machine)\n");
+
+  const Cycles rr_near = measure_remote_read(64, 0, 1);
+  const Cycles rr_far = measure_remote_read(64, 0, 63);
+  const Cycles rr_local = measure_remote_read(64, 0, 0);
+  std::printf("local read miss:        %llu cycles\n",
+              (unsigned long long)rr_local);
+  std::printf("remote read (1 hop):    %llu cycles   (target ~38-45)\n",
+              (unsigned long long)rr_near);
+  std::printf("remote read (14 hops):  %llu cycles\n",
+              (unsigned long long)rr_far);
+
+  const Cycles bar_shm = measure_barrier(64, CombiningBarrier::Mech::kShm, 2);
+  const Cycles bar_msg = measure_barrier(64, CombiningBarrier::Mech::kMsg, 8);
+  std::printf("barrier shm (2-ary):    %llu cycles   (paper 1650)\n",
+              (unsigned long long)bar_shm);
+  std::printf("barrier msg (8-ary):    %llu cycles   (paper 660)\n",
+              (unsigned long long)bar_msg);
+
+  const InvokeResult inv_shm = measure_invoke(false, 64);
+  const InvokeResult inv_msg = measure_invoke(true, 64);
+  std::printf("invoke shm:  Tinvoker %llu / Tinvokee %llu  (paper 353/805)\n",
+              (unsigned long long)inv_shm.t_invoker,
+              (unsigned long long)inv_shm.t_invokee);
+  std::printf("invoke msg:  Tinvoker %llu / Tinvokee %llu  (paper 17/244)\n",
+              (unsigned long long)inv_msg.t_invoker,
+              (unsigned long long)inv_msg.t_invokee);
+
+  for (std::uint32_t block : {256u, 4096u}) {
+    const Cycles c_np = measure_copy(CopyImpl::kShmLoop, block, 64);
+    const Cycles c_pf = measure_copy(CopyImpl::kShmPrefetch, block, 64);
+    const Cycles c_msg = measure_copy(CopyImpl::kMsgDma, block, 64);
+    std::printf(
+        "copy %5u B: noprefetch %6llu (%5.1f MB/s) prefetch %6llu (%5.1f) "
+        "msg %6llu (%5.1f)\n",
+        block, (unsigned long long)c_np, mbytes_per_sec(block, c_np),
+        (unsigned long long)c_pf, mbytes_per_sec(block, c_pf),
+        (unsigned long long)c_msg, mbytes_per_sec(block, c_msg));
+  }
+  std::printf("  paper @256B: msg 17.3 vs np 11.7 vs pf 7.3 MB/s\n");
+  std::printf("  paper @4KB : msg 55.4 vs np 16.4 vs pf 8.6 MB/s\n");
+
+  for (std::uint32_t block : {256u, 4096u}) {
+    const Cycles a_shm = measure_accum(false, block, 64);
+    const Cycles a_msg = measure_accum(true, block, 64);
+    std::printf("accum %5u B: shm %6llu cycles, msg %6llu cycles (paper: msg "
+                "~2x slower small, ~1.3x large)\n",
+                block, (unsigned long long)a_shm, (unsigned long long)a_msg);
+  }
+
+  for (Cycles l : {Cycles{0}, Cycles{1000}}) {
+    const AppRun shm = measure_grain(SchedMode::kShm, 64, 12, l);
+    const AppRun hyb = measure_grain(SchedMode::kHybrid, 64, 12, l);
+    std::printf("grain l=%4llu: speedup shm %5.1f hybrid %5.1f  (paper l=0: "
+                "6.3/12.0, l=1000: 36.4/48.6)\n",
+                (unsigned long long)l, shm.speedup(), hyb.speedup());
+  }
+
+  return 0;
+}

@@ -1,0 +1,288 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace alewife::bench {
+
+MachineConfig bench_cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 0;  // benches guard themselves
+  return c;
+}
+
+namespace {
+RuntimeOptions quiet_opts() {
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = false;  // no scheduler noise in microbenchmarks
+  return o;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+Cycles measure_barrier(std::uint32_t nodes, CombiningBarrier::Mech mech,
+                       std::uint32_t arity, int episodes) {
+  return measure_barrier_cfg(bench_cfg(nodes), mech, arity, episodes);
+}
+
+Cycles measure_barrier_cfg(const MachineConfig& cfg,
+                           CombiningBarrier::Mech mech, std::uint32_t arity,
+                           int episodes) {
+  const std::uint32_t nodes = cfg.nodes;
+  Machine m(cfg, quiet_opts());
+  CombiningBarrier bar(m.runtime(), mech, arity);
+  HostBarrier align(m, nodes);
+
+  struct Episode {
+    Cycles enter = 0;
+    Cycles exit = 0;
+  };
+  auto marks =
+      std::make_shared<std::vector<std::vector<Episode>>>(nodes);
+  for (auto& v : *marks) v.resize(episodes + 1);
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [&bar, &align, marks, n, episodes](Context& ctx) {
+      for (int e = 0; e <= episodes; ++e) {
+        align.wait(ctx);
+        (*marks)[n][e].enter = ctx.now();
+        bar.wait(ctx);
+        (*marks)[n][e].exit = ctx.now();
+      }
+    });
+  }
+  m.run_started();
+
+  // Episode 0 warms caches/handlers; average the rest. Whole-barrier latency:
+  // last exit minus first entry.
+  Cycles total = 0;
+  for (int e = 1; e <= episodes; ++e) {
+    Cycles first_enter = ~Cycles{0}, last_exit = 0;
+    for (NodeId n = 0; n < nodes; ++n) {
+      first_enter = std::min(first_enter, (*marks)[n][e].enter);
+      last_exit = std::max(last_exit, (*marks)[n][e].exit);
+    }
+    total += last_exit - first_enter;
+  }
+  return total / episodes;
+}
+
+// ---------------------------------------------------------------------------
+// Remote thread invocation
+// ---------------------------------------------------------------------------
+
+InvokeResult measure_invoke(bool use_msg, std::uint32_t nodes, int reps) {
+  return measure_invoke_cfg(bench_cfg(nodes), use_msg, reps);
+}
+
+InvokeResult measure_invoke_cfg(const MachineConfig& cfg, bool use_msg,
+                                int reps) {
+  const std::uint32_t nodes = cfg.nodes;
+  Machine m(cfg, quiet_opts());
+  auto invoker_sum = std::make_shared<Cycles>(0);
+  auto invokee_sum = std::make_shared<Cycles>(0);
+
+  m.run([&](Context& ctx) -> std::uint64_t {
+    for (int r = 0; r < reps; ++r) {
+      // Distinct destinations keep each invocation cold-ish.
+      const NodeId dst = static_cast<NodeId>(1 + (r * 7) % (nodes - 1));
+      auto started_at = std::make_shared<Cycles>(0);
+      const Cycles t0 = ctx.now();
+      FutureId f;
+      auto body = [started_at](Context& c) -> std::uint64_t {
+        *started_at = c.now();
+        return 1;
+      };
+      if (use_msg) {
+        f = ctx.invoke_msg(dst, body);
+      } else {
+        f = ctx.invoke_shm(dst, body);
+      }
+      const Cycles t_invoker = ctx.now() - t0;
+      ctx.touch(f);  // wait for completion before the next rep
+      *invoker_sum += t_invoker;
+      *invokee_sum += *started_at - t0;
+    }
+    return 0;
+  });
+  return InvokeResult{*invoker_sum / reps, *invokee_sum / reps};
+}
+
+// ---------------------------------------------------------------------------
+// Bulk copy
+// ---------------------------------------------------------------------------
+
+Cycles measure_copy(CopyImpl impl, std::uint32_t block, std::uint32_t nodes,
+                    int reps) {
+  Machine m(bench_cfg(nodes), quiet_opts());
+  auto total = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr src = ctx.shmalloc(0, block);
+    for (std::uint32_t i = 0; i < block; i += 8) ctx.store(src + i, i);
+    for (int r = 0; r < reps; ++r) {
+      const GAddr dst = ctx.shmalloc(1, block);  // fresh (cold) destination
+      const Cycles t0 = ctx.now();
+      m.bulk().copy(ctx, dst, src, block, impl);
+      *total += ctx.now() - t0;
+    }
+    return 0;
+  });
+  return *total / reps;
+}
+
+// ---------------------------------------------------------------------------
+// accum
+// ---------------------------------------------------------------------------
+
+Cycles measure_accum(bool msg, std::uint32_t block, std::uint32_t nodes,
+                     std::uint32_t prefetch_lines) {
+  Machine m(bench_cfg(nodes), quiet_opts());
+  auto cycles = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr arr = ctx.shmalloc(1, block);
+    // Initialize through node 1's memory (host write keeps node 0 cold).
+    for (std::uint32_t i = 0; i < block; i += 8) {
+      m.memory().store().write_uint(arr + i, 8, i / 8);
+    }
+    const Cycles t0 = ctx.now();
+    if (msg) {
+      const GAddr buf = ctx.shmalloc(0, block);
+      apps::accum_msg(ctx, m.bulk(), arr, buf, block);
+    } else if (prefetch_lines == ~0u) {
+      apps::accum_shm(ctx, arr, block);
+    } else {
+      apps::accum_shm(ctx, arr, block, prefetch_lines);
+    }
+    *cycles = ctx.now() - t0;
+    return 0;
+  });
+  return *cycles;
+}
+
+// ---------------------------------------------------------------------------
+// grain / aq
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kAppSeeds = 3;  ///< schedulers are seed-sensitive; average
+}
+
+AppRun measure_grain(SchedMode mode, std::uint32_t nodes, std::uint32_t depth,
+                     Cycles delay) {
+  Cycles total = 0;
+  for (int s = 0; s < kAppSeeds; ++s) {
+    RuntimeOptions o;
+    o.mode = mode;
+    o.stealing = true;
+    MachineConfig c = bench_cfg(nodes);
+    c.rng_seed ^= 0x1111ull * s;
+    Machine m(c, o);
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      const std::uint64_t leaves = apps::grain_parallel(ctx, depth, delay);
+      *dur = ctx.now() - t0;
+      return leaves;
+    });
+    total += *dur;
+  }
+  return AppRun{total / kAppSeeds,
+                apps::grain_sequential_cycles(depth, delay)};
+}
+
+AppRun measure_aq(SchedMode mode, std::uint32_t nodes, double tol) {
+  Cycles seq;
+  {
+    RuntimeOptions o;
+    o.stealing = false;
+    Machine m(bench_cfg(1), o);
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      apps::aq_sequential(ctx, apps::aq_domain(), tol);
+      *dur = ctx.now() - t0;
+      return 0;
+    });
+    seq = *dur;
+  }
+  Cycles total = 0;
+  for (int s = 0; s < kAppSeeds; ++s) {
+    RuntimeOptions o;
+    o.mode = mode;
+    o.stealing = true;
+    MachineConfig c = bench_cfg(nodes);
+    c.rng_seed ^= 0x2222ull * s;
+    Machine m(c, o);
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      apps::aq_parallel(ctx, apps::aq_domain(), tol);
+      *dur = ctx.now() - t0;
+      return 0;
+    });
+    total += *dur;
+  }
+  return AppRun{total / kAppSeeds, seq};
+}
+
+// ---------------------------------------------------------------------------
+// jacobi
+// ---------------------------------------------------------------------------
+
+Cycles measure_jacobi(bool msg_variant, std::uint32_t grid,
+                      std::uint32_t nodes, std::uint32_t warmup,
+                      std::uint32_t iters) {
+  Machine m(bench_cfg(nodes), quiet_opts());
+  auto setup = std::make_shared<apps::JacobiSetup>(apps::jacobi_setup(m, grid));
+  apps::jacobi_init(m, *setup, [](std::uint32_t r, std::uint32_t c) {
+    return 0.001 * r + 0.002 * c;
+  });
+  // Both variants use the same (shared-memory) barrier: the comparison in
+  // Figure 11 is about the border exchange, not the synchronization.
+  auto bar = std::make_shared<CombiningBarrier>(
+      m.runtime(), CombiningBarrier::Mech::kShm, 2u);
+  auto per_node = std::make_shared<std::vector<Cycles>>(nodes, 0);
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [=, &m](Context& ctx) {
+      apps::jacobi_node(ctx, *setup, msg_variant, warmup, *bar, m.bulk());
+      (*per_node)[n] =
+          apps::jacobi_node(ctx, *setup, msg_variant, iters, *bar, m.bulk());
+    });
+  }
+  m.run_started();
+  const Cycles worst = *std::max_element(per_node->begin(), per_node->end());
+  return worst / iters;
+}
+
+// ---------------------------------------------------------------------------
+// Output helpers
+// ---------------------------------------------------------------------------
+
+void print_header(const std::string& title,
+                  const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%16s", c.c_str());
+  std::printf("\n");
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace alewife::bench

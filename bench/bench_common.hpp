@@ -1,0 +1,95 @@
+// Shared measurement harness for the paper-reproduction benchmarks.
+//
+// Each function builds a fresh Machine, runs one experiment, and returns
+// simulated-cycle results. All benches report cycles (and MB/s at the
+// paper's 33 MHz clock) — host wall time is irrelevant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/accum.hpp"
+#include "apps/aq.hpp"
+#include "apps/grain.hpp"
+#include "apps/jacobi.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+
+namespace alewife::bench {
+
+constexpr double kClockMhz = 33.0;
+
+inline double mbytes_per_sec(std::uint64_t bytes, Cycles cycles) {
+  if (cycles == 0) return 0.0;
+  return double(bytes) / double(cycles) * kClockMhz;  // B/cyc * MHz == MB/s
+}
+
+inline double usec(Cycles cycles) { return double(cycles) / kClockMhz; }
+
+MachineConfig bench_cfg(std::uint32_t nodes);
+
+// ---- §4.2: combining-tree barrier ------------------------------------------
+/// Average whole-barrier latency (all-entered to all-released) over
+/// `episodes` aligned episodes.
+Cycles measure_barrier(std::uint32_t nodes, CombiningBarrier::Mech mech,
+                       std::uint32_t arity, int episodes = 8);
+
+/// Same, with an explicit machine configuration (ablation sweeps).
+Cycles measure_barrier_cfg(const MachineConfig& cfg,
+                           CombiningBarrier::Mech mech, std::uint32_t arity,
+                           int episodes = 8);
+
+// ---- §4.3: remote thread invocation ----------------------------------------
+struct InvokeResult {
+  Cycles t_invoker;  ///< invoke start until invoker proceeds
+  Cycles t_invokee;  ///< invoke start until invoked thread runs
+};
+/// Average over `reps` invocations to distinct destination nodes.
+InvokeResult measure_invoke(bool use_msg, std::uint32_t nodes, int reps = 6);
+
+/// Same, with an explicit machine configuration (ablation sweeps).
+InvokeResult measure_invoke_cfg(const MachineConfig& cfg, bool use_msg,
+                                int reps = 6);
+
+// ---- Figure 7: memory-to-memory copy ---------------------------------------
+/// Cycles to copy `block` bytes from node 0's memory to node 1's memory
+/// (cold destination), averaged over `reps` fresh destinations.
+Cycles measure_copy(CopyImpl impl, std::uint32_t block, std::uint32_t nodes,
+                    int reps = 3);
+
+// ---- Figure 8: accum --------------------------------------------------------
+/// Cycles for node 0 to sum a `block`-byte remote array (cold cache).
+/// `prefetch_lines` applies to the shm variant (~0u = app default).
+Cycles measure_accum(bool msg, std::uint32_t block, std::uint32_t nodes,
+                     std::uint32_t prefetch_lines = ~0u);
+
+// ---- Figures 9/10: scheduler applications ----------------------------------
+struct AppRun {
+  Cycles parallel_cycles;
+  Cycles sequential_cycles;
+  double speedup() const {
+    return parallel_cycles
+               ? double(sequential_cycles) / double(parallel_cycles)
+               : 0.0;
+  }
+};
+
+AppRun measure_grain(SchedMode mode, std::uint32_t nodes, std::uint32_t depth,
+                     Cycles delay);
+
+AppRun measure_aq(SchedMode mode, std::uint32_t nodes, double tol);
+
+// ---- Figure 11: jacobi ------------------------------------------------------
+/// Cycles per iteration (max over nodes, steady state after warmup).
+Cycles measure_jacobi(bool msg_variant, std::uint32_t grid,
+                      std::uint32_t nodes, std::uint32_t warmup = 2,
+                      std::uint32_t iters = 8);
+
+// ---- table output -----------------------------------------------------------
+void print_header(const std::string& title,
+                  const std::vector<std::string>& cols);
+void print_row(const std::vector<std::string>& cells);
+std::string fmt(double v, int prec = 1);
+
+}  // namespace alewife::bench

@@ -1,0 +1,61 @@
+// Figure 9 — grain: speedup on 64 processors vs. leaf delay-loop duration.
+//
+// grain enumerates a complete binary tree of depth 12 (4096 leaf tasks) and
+// sums leaf values; each leaf burns l cycles first. The hybrid scheduler
+// (message-based work search + thread migration) is compared against the
+// shared-memory-only scheduler; speedups are relative to the sequential
+// running time (single node, no runtime overhead).
+//
+// Paper: l=0 -> 12.0 (hybrid) vs 6.3 (shm), almost 2x; l=1000 -> 48.6 vs
+// 36.4, ~33% — the hybrid advantage shrinks as grain grows.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kDelays[] = {0, 100, 250, 500, 750, 1000};
+std::map<std::pair<int, int>, AppRun> g_results;  // (mode, delay)
+
+void BM_Grain(benchmark::State& state) {
+  const auto mode = static_cast<SchedMode>(state.range(0));
+  const auto delay = static_cast<Cycles>(state.range(1));
+  AppRun r{};
+  for (auto _ : state) {
+    r = measure_grain(mode, 64, 12, delay);
+  }
+  g_results[{state.range(0), state.range(1)}] = r;
+  state.counters["speedup"] = r.speedup();
+  state.counters["par_cycles"] = double(r.parallel_cycles);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Grain)
+    ->ArgsProduct({{0, 1}, {0, 100, 250, 500, 750, 1000}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Figure 9: grain speedup on 64 procs (n=12; paper l=0: 6.3/12.0, "
+      "l=1000: 36.4/48.6)",
+      {"delay l", "seq ms", "shm-only", "hybrid", "hybrid/shm"});
+  for (int l : kDelays) {
+    const AppRun shm = g_results[{0, l}];
+    const AppRun hyb = g_results[{1, l}];
+    print_row({std::to_string(l),
+               fmt(double(shm.sequential_cycles) / (kClockMhz * 1000.0)),
+               fmt(shm.speedup()), fmt(hyb.speedup()),
+               fmt(hyb.speedup() / shm.speedup(), 2)});
+  }
+  return 0;
+}

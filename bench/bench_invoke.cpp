@@ -1,0 +1,46 @@
+// §4.3 — remote thread invocation.
+//
+// Paper (64 processors, measured inside the complete scheduling system):
+//   shared-memory: T_invoker = 353 cycles, T_invokee = 805 cycles
+//   message-based: T_invoker =  17 cycles, T_invokee = 244 cycles
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+std::map<int, InvokeResult> g_results;  // use_msg -> result
+
+void BM_Invoke(benchmark::State& state) {
+  const bool use_msg = state.range(0) != 0;
+  InvokeResult r{};
+  for (auto _ : state) {
+    r = measure_invoke(use_msg, 64);
+  }
+  g_results[state.range(0)] = r;
+  state.counters["t_invoker"] = double(r.t_invoker);
+  state.counters["t_invokee"] = double(r.t_invokee);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Invoke)->Arg(0)->Arg(1)->Iterations(1);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "S4.3 Remote thread invocation on 64 procs (cycles)",
+      {"mechanism", "T_invoker", "T_invokee", "paper_invoker", "paper_invokee"});
+  print_row({"shared-memory", std::to_string(g_results[0].t_invoker),
+             std::to_string(g_results[0].t_invokee), "353", "805"});
+  print_row({"message-based", std::to_string(g_results[1].t_invoker),
+             std::to_string(g_results[1].t_invokee), "17", "244"});
+  return 0;
+}

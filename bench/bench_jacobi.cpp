@@ -1,0 +1,59 @@
+// Figure 11 — jacobi: block-partitioned relaxation on 64 processors.
+//
+// Processors exchange border elements each iteration — through conventional
+// shared-memory loads (no prefetching) or through the message-based
+// memory-to-memory copy mechanism of §4.4.
+//
+// Paper: with small grids the shared-memory version is slightly faster
+// (little data moves, message overheads don't amortize); with large grids
+// the message version wins by a small amount (bulk copies beat per-line
+// misses, but rising computation-to-communication ratio masks the benefit).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+constexpr int kGrids[] = {32, 64, 128, 256};
+std::map<std::pair<int, int>, Cycles> g_results;  // (msg, grid)
+
+void BM_Jacobi(benchmark::State& state) {
+  const bool msg = state.range(0) != 0;
+  const auto grid = static_cast<std::uint32_t>(state.range(1));
+  Cycles cycles = 0;
+  for (auto _ : state) {
+    cycles = measure_jacobi(msg, grid, 64);
+  }
+  g_results[{state.range(0), state.range(1)}] = cycles;
+  state.counters["cycles_per_iter"] = double(cycles);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Jacobi)
+    ->ArgsProduct({{0, 1}, {32, 64, 128, 256}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  print_header(
+      "Figure 11: jacobi cycles/iteration on 64 procs (paper: shm slightly "
+      "wins small grids, msg slightly wins large)",
+      {"grid", "shared-memory", "message", "msg/shm"});
+  for (int g : kGrids) {
+    const Cycles shm = g_results[{0, g}];
+    const Cycles msg = g_results[{1, g}];
+    print_row({std::to_string(g) + "x" + std::to_string(g),
+               std::to_string(shm), std::to_string(msg),
+               fmt(double(msg) / double(shm), 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "apps/accum.hpp"
+
+#include <cassert>
+
+namespace alewife::apps {
+
+std::uint64_t accum_shm(Context& ctx, GAddr src, std::uint64_t n_bytes,
+                        std::uint32_t prefetch_lines) {
+  assert(n_bytes % 8 == 0);
+  const std::uint32_t line = ctx.runtime().shared().cfg.cache_line_bytes;
+  std::uint64_t sum = 0;
+  for (std::uint64_t off = 0; off < n_bytes; off += 8) {
+    if (prefetch_lines > 0 && off % line == 0) {
+      const std::uint64_t ahead = off + std::uint64_t{prefetch_lines} * line;
+      if (ahead < n_bytes) ctx.prefetch(src + ahead);
+    }
+    sum += ctx.load(src + off, 8);
+    ctx.charge(kAccumWorkPerElem);
+  }
+  return sum;
+}
+
+std::uint64_t accum_msg(Context& ctx, BulkCopyEngine& bulk, GAddr src,
+                        GAddr local_buf, std::uint64_t n_bytes) {
+  assert(n_bytes % 8 == 0);
+  assert(gaddr_node(local_buf) == ctx.node());
+
+  // Phase 1: pull the whole array into local memory — one small request
+  // message to the producer, one bulk DMA message back.
+  bulk.copy_pull(ctx, local_buf, src, n_bytes);
+
+  // Phase 2: consume entirely out of local memory. Identical inner loop to
+  // the shared-memory version except for the missing prefetch instruction.
+  std::uint64_t sum = 0;
+  for (std::uint64_t off = 0; off < n_bytes; off += 8) {
+    sum += ctx.load(local_buf + off, 8);
+    ctx.charge(kAccumWorkPerElem);
+  }
+  return sum;
+}
+
+}  // namespace alewife::apps

@@ -1,0 +1,34 @@
+// accum (paper §4.4, Figure 8): sum a linear array of integers that resides
+// on a remote node.
+//
+//   shm variant — straightforward inner loop reading the remote array through
+//                 shared memory, prefetching one cache block ahead.
+//   msg variant — first transfer the whole array into local memory with the
+//                 message/DMA bulk-copy mechanism, then sum out of local
+//                 memory (same inner loop, minus the prefetch).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/bulk.hpp"
+#include "runtime/context.hpp"
+
+namespace alewife::apps {
+
+/// Cycles of ALU work charged per 8-byte element (add + loop control).
+constexpr Cycles kAccumWorkPerElem = 2;
+
+/// Sum `n_bytes/8` doublewords starting at `src` via prefetched shared-memory
+/// loads. `prefetch_lines` is the prefetch distance (the paper prefetched
+/// one block ahead; with low-priority prefetch fills a slightly deeper
+/// distance is the "judicious use of prefetching" §6 describes —
+/// bench_ablate_prefetch sweeps it).
+std::uint64_t accum_shm(Context& ctx, GAddr src, std::uint64_t n_bytes,
+                        std::uint32_t prefetch_lines = 2);
+
+/// Message-passing version: copy [src, src+n_bytes) into `local_buf` (local
+/// memory on the calling node) with one DMA message, then sum locally.
+std::uint64_t accum_msg(Context& ctx, BulkCopyEngine& bulk, GAddr src,
+                        GAddr local_buf, std::uint64_t n_bytes);
+
+}  // namespace alewife::apps

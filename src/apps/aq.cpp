@@ -1,0 +1,122 @@
+#include "apps/aq.hpp"
+
+#include <cmath>
+
+namespace alewife::apps {
+
+namespace {
+
+constexpr std::uint32_t kMaxDepth = 30;
+constexpr Cycles kAqNodeWork = 28;  // call overhead per region, as in grain
+
+/// Midpoint estimate over the whole region (1 eval) vs. the four quadrant
+/// midpoints (4 evals). The difference drives the smoothness test.
+struct Estimates {
+  double coarse;
+  double fine;
+};
+
+Estimates estimate(const AqRegion& r) {
+  const double w = r.x1 - r.x0;
+  const double h = r.y1 - r.y0;
+  const double area = w * h;
+  const double cx = r.x0 + 0.5 * w;
+  const double cy = r.y0 + 0.5 * h;
+  const double coarse = aq_integrand(cx, cy) * area;
+  double fine = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const double qx = r.x0 + (0.25 + 0.5 * i) * w;
+      const double qy = r.y0 + (0.25 + 0.5 * j) * h;
+      fine += aq_integrand(qx, qy) * (0.25 * area);
+    }
+  }
+  return {coarse, fine};
+}
+
+AqRegion quadrant(const AqRegion& r, int i, int j) {
+  const double mx = 0.5 * (r.x0 + r.x1);
+  const double my = 0.5 * (r.y0 + r.y1);
+  return {i == 0 ? r.x0 : mx, j == 0 ? r.y0 : my, i == 0 ? mx : r.x1,
+          j == 0 ? my : r.y1};
+}
+
+double aq_par_rec(Context& ctx, AqRegion r, double tol, std::uint32_t depth) {
+  ctx.compute(kAqNodeWork + 5 * kAqEvalWork);
+  const Estimates e = estimate(r);
+  if (depth >= kMaxDepth || std::fabs(e.fine - e.coarse) <= tol) {
+    return e.fine;
+  }
+  // Spawn three quadrants, recurse into the fourth, then touch.
+  const double t4 = tol * 0.25;
+  FutureId futs[3];
+  int k = 0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (i == 1 && j == 1) continue;
+      const AqRegion q = quadrant(r, i, j);
+      futs[k++] = ctx.spawn([q, t4, depth](Context& c) {
+        return Context::pack_double(aq_par_rec(c, q, t4, depth + 1));
+      });
+    }
+  }
+  double sum = aq_par_rec(ctx, quadrant(r, 1, 1), t4, depth + 1);
+  for (int m = 2; m >= 0; --m) {
+    sum += Context::unpack_double(ctx.touch(futs[m]));
+  }
+  return sum;
+}
+
+double aq_seq_rec(Context& ctx, AqRegion r, double tol, std::uint32_t depth) {
+  ctx.compute(kAqNodeWork + 5 * kAqEvalWork);
+  const Estimates e = estimate(r);
+  if (depth >= kMaxDepth || std::fabs(e.fine - e.coarse) <= tol) {
+    return e.fine;
+  }
+  const double t4 = tol * 0.25;
+  double sum = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      sum += aq_seq_rec(ctx, quadrant(r, i, j), t4, depth + 1);
+    }
+  }
+  return sum;
+}
+
+std::uint64_t aq_count_rec(AqRegion r, double tol, std::uint32_t depth) {
+  const Estimates e = estimate(r);
+  std::uint64_t evals = 5;
+  if (depth >= kMaxDepth || std::fabs(e.fine - e.coarse) <= tol) return evals;
+  const double t4 = tol * 0.25;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      evals += aq_count_rec(quadrant(r, i, j), t4, depth + 1);
+    }
+  }
+  return evals;
+}
+
+}  // namespace
+
+double aq_integrand(double x, double y) {
+  // A sharp off-center peak over an oscillating background: smooth in most
+  // of the domain, violently curved near (0.3, 0.7).
+  const double dx = x - 0.30122;
+  const double dy = y - 0.70233;
+  return 1.0 / (0.002 + dx * dx + dy * dy) + 2.0 * std::sin(7.0 * x) *
+                                                 std::cos(4.0 * y);
+}
+
+double aq_parallel(Context& ctx, AqRegion r, double tol) {
+  return aq_par_rec(ctx, r, tol, 0);
+}
+
+double aq_sequential(Context& ctx, AqRegion r, double tol) {
+  return aq_seq_rec(ctx, r, tol, 0);
+}
+
+std::uint64_t aq_eval_count(AqRegion r, double tol) {
+  return aq_count_rec(r, tol, 0);
+}
+
+}  // namespace alewife::apps

@@ -1,0 +1,43 @@
+// aq (paper §4.5, Figure 10): adaptive quadrature of a bivariate function
+// over a rectangular domain, recursive divide-and-conquer. Space is divided
+// into quadrants; regions that are not sufficiently smooth at the current
+// scale recurse more deeply, so the call tree is irregular. Problem size is
+// scaled by tightening the smoothness threshold, with the integrand and
+// domain held fixed — exactly the paper's methodology.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/context.hpp"
+#include "sim/types.hpp"
+
+namespace alewife::apps {
+
+/// Cycles charged per integrand evaluation (transcendental-heavy function on
+/// a 33 MHz Sparcle).
+constexpr Cycles kAqEvalWork = 60;
+
+struct AqRegion {
+  double x0, y0, x1, y1;
+};
+
+/// The fixed integrand: a sharp off-center peak over an oscillating field,
+/// so smoothness varies strongly across the domain (irregular call tree).
+double aq_integrand(double x, double y);
+
+/// The fixed domain of integration.
+constexpr AqRegion aq_domain() { return {0.0, 0.0, 1.0, 1.0}; }
+
+/// Parallel adaptive quadrature. `tol` is the smoothness threshold: smaller
+/// is a larger problem. Returns the integral (bit-packed via Context
+/// conventions in the parallel tasks).
+double aq_parallel(Context& ctx, AqRegion r, double tol);
+
+/// Sequential baseline: identical numerics and work charges, no parallelism.
+double aq_sequential(Context& ctx, AqRegion r, double tol);
+
+/// Host-side count of integrand evaluations the adaptive recursion performs
+/// (to size benchmarks without simulating).
+std::uint64_t aq_eval_count(AqRegion r, double tol);
+
+}  // namespace alewife::apps

@@ -1,0 +1,30 @@
+#include "apps/grain.hpp"
+
+namespace alewife::apps {
+
+std::uint64_t grain_parallel(Context& ctx, std::uint32_t depth, Cycles delay) {
+  if (depth == 0) {
+    ctx.compute(kGrainNodeWork + delay);
+    return 1;
+  }
+  ctx.compute(kGrainNodeWork);
+  const FutureId right = ctx.spawn([depth, delay](Context& c) {
+    return grain_parallel(c, depth - 1, delay);
+  });
+  const std::uint64_t left = grain_parallel(ctx, depth - 1, delay);
+  return left + ctx.touch(right);
+}
+
+std::uint64_t grain_sequential(Context& ctx, std::uint32_t depth,
+                               Cycles delay) {
+  if (depth == 0) {
+    ctx.compute(kGrainNodeWork + delay);
+    return 1;
+  }
+  ctx.compute(kGrainNodeWork);
+  const std::uint64_t left = grain_sequential(ctx, depth - 1, delay);
+  const std::uint64_t right = grain_sequential(ctx, depth - 1, delay);
+  return left + right;
+}
+
+}  // namespace alewife::apps

@@ -1,0 +1,34 @@
+// grain (paper §4.5, Figure 9): the synthetic grain-size benchmark. It
+// enumerates a complete binary tree of depth n, summing the values at the
+// leaves with recursive divide-and-conquer; each leaf executes a delay loop
+// of l cycles first. n=12 gives 4096 leaf tasks; varying l varies the grain.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/context.hpp"
+#include "sim/types.hpp"
+
+namespace alewife::apps {
+
+/// Per-tree-node bookkeeping work (call/return, operand setup). With 28
+/// cycles, the sequential running times match the paper's quoted 7.1 ms
+/// (l=0) and 131.2 ms (l=1000) at 33 MHz for n=12.
+constexpr Cycles kGrainNodeWork = 28;
+
+/// Parallel divide-and-conquer version (spawn one subtree, recurse on the
+/// other, touch). Returns the leaf count.
+std::uint64_t grain_parallel(Context& ctx, std::uint32_t depth, Cycles delay);
+
+/// Sequential version: same work, no spawns/touches (the paper's footnote-1
+/// baseline "compiled for and run on a single node").
+std::uint64_t grain_sequential(Context& ctx, std::uint32_t depth, Cycles delay);
+
+/// Closed-form sequential running time in cycles.
+constexpr Cycles grain_sequential_cycles(std::uint32_t depth, Cycles delay) {
+  const std::uint64_t leaves = 1ull << depth;
+  const std::uint64_t internal = leaves - 1;
+  return leaves * (kGrainNodeWork + delay) + internal * kGrainNodeWork;
+}
+
+}  // namespace alewife::apps

@@ -1,0 +1,220 @@
+#include "apps/jacobi.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace alewife::apps {
+
+namespace {
+
+constexpr int kN = 0, kS = 1, kW = 2, kE = 3;
+
+std::uint32_t isqrt(std::uint32_t v) {
+  std::uint32_t r = static_cast<std::uint32_t>(std::sqrt(double(v)));
+  while (r * r > v) --r;
+  while ((r + 1) * (r + 1) <= v) ++r;
+  return r;
+}
+
+/// Address of element (r, c) inside `node`'s block starting at `base`.
+GAddr cell_addr(GAddr base, std::uint32_t bw, std::uint32_t r,
+                std::uint32_t c) {
+  return base + (std::uint64_t{r} * bw + c) * 8;
+}
+
+}  // namespace
+
+JacobiSetup jacobi_setup(Machine& m, std::uint32_t grid) {
+  JacobiSetup s;
+  s.grid = grid;
+  s.q = isqrt(m.nodes());
+  if (s.q * s.q != m.nodes()) {
+    throw std::invalid_argument("jacobi needs a square processor count");
+  }
+  if (grid % s.q != 0) {
+    throw std::invalid_argument("grid must be divisible by sqrt(P)");
+  }
+  s.bw = grid / s.q;
+
+  const std::uint64_t block_bytes = std::uint64_t{s.bw} * s.bw * 8;
+  const std::uint64_t edge_bytes = std::uint64_t{s.bw} * 8;
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    s.block_a.push_back(m.shmalloc(n, block_bytes));
+    s.block_b.push_back(m.shmalloc(n, block_bytes));
+    for (int p = 0; p < 2; ++p) {
+      for (int d = 0; d < 4; ++d) {
+        s.ghost[p][d].push_back(m.shmalloc(n, edge_bytes));
+      }
+    }
+    s.sendbuf.push_back(m.shmalloc(n, edge_bytes));
+  }
+  return s;
+}
+
+void jacobi_init(
+    Machine& m, JacobiSetup& s,
+    const std::function<double(std::uint32_t, std::uint32_t)>& f) {
+  BackingStore& store = m.memory().store();
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    const std::uint32_t bx = n % s.q, by = n / s.q;
+    for (std::uint32_t r = 0; r < s.bw; ++r) {
+      for (std::uint32_t c = 0; c < s.bw; ++c) {
+        const double v = f(by * s.bw + r, bx * s.bw + c);
+        store.write_uint(cell_addr(s.block_a[n], s.bw, r, c), 8,
+                         Context::pack_double(v));
+      }
+    }
+  }
+}
+
+Cycles jacobi_node(Context& ctx, JacobiSetup& s, bool msg_variant,
+                   std::uint32_t iters, CombiningBarrier& barrier,
+                   BulkCopyEngine& bulk) {
+  const NodeId me = ctx.node();
+  const std::uint32_t q = s.q, bw = s.bw;
+  const std::uint32_t bx = me % q, by = me / q;
+  const NodeId north = by > 0 ? me - q : kInvalidNode;
+  const NodeId south = by + 1 < q ? me + q : kInvalidNode;
+  const NodeId west = bx > 0 ? me - 1 : kInvalidNode;
+  const NodeId east = bx + 1 < q ? me + 1 : kInvalidNode;
+
+  GAddr cur = s.block_a[me];
+  GAddr nxt = s.block_b[me];
+  // Neighbours' current blocks for the shm variant (tracked by parity).
+  const auto peer_block = [&s](NodeId n, std::uint32_t iter) {
+    return (iter % 2 == 0) ? s.block_a[n] : s.block_b[n];
+  };
+
+  const Cycles t0 = ctx.now();
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    const int p = static_cast<int>(it % 2);
+
+    if (msg_variant) {
+      // Exchange borders via memory-to-memory message copies.
+      if (north != kInvalidNode) {
+        bulk.copy(ctx, s.ghost[p][kS][north], cur, bw * 8, CopyImpl::kMsgDma);
+      }
+      if (south != kInvalidNode) {
+        bulk.copy(ctx, s.ghost[p][kN][south],
+                  cell_addr(cur, bw, bw - 1, 0), bw * 8, CopyImpl::kMsgDma);
+      }
+      if (west != kInvalidNode) {
+        // Pack my west column (strided) into the staging buffer first.
+        for (std::uint32_t r = 0; r < bw; ++r) {
+          const std::uint64_t v = ctx.load(cell_addr(cur, bw, r, 0), 8);
+          ctx.store(s.sendbuf[me] + r * 8, v, 8);
+          ctx.charge(2);
+        }
+        bulk.copy(ctx, s.ghost[p][kE][west], s.sendbuf[me], bw * 8,
+                  CopyImpl::kMsgDma);
+      }
+      if (east != kInvalidNode) {
+        for (std::uint32_t r = 0; r < bw; ++r) {
+          const std::uint64_t v = ctx.load(cell_addr(cur, bw, r, bw - 1), 8);
+          ctx.store(s.sendbuf[me] + r * 8, v, 8);
+          ctx.charge(2);
+        }
+        bulk.copy(ctx, s.ghost[p][kW][east], s.sendbuf[me], bw * 8,
+                  CopyImpl::kMsgDma);
+      }
+      barrier.wait(ctx);
+    }
+
+    // Compute cur -> nxt.
+    for (std::uint32_t r = 0; r < bw; ++r) {
+      for (std::uint32_t c = 0; c < bw; ++c) {
+        const std::uint32_t gr = by * bw + r, gc = bx * bw + c;
+        if (gr == 0 || gr == s.grid - 1 || gc == 0 || gc == s.grid - 1) {
+          // Fixed global boundary.
+          const std::uint64_t v = ctx.load(cell_addr(cur, bw, r, c), 8);
+          ctx.store(cell_addr(nxt, bw, r, c), v, 8);
+          ctx.charge(1);
+          continue;
+        }
+        const auto fetch = [&](int dr, int dc) -> double {
+          const std::int64_t rr = std::int64_t{r} + dr;
+          const std::int64_t cc = std::int64_t{c} + dc;
+          if (rr >= 0 && rr < bw && cc >= 0 && cc < bw) {
+            return Context::unpack_double(ctx.load(
+                cell_addr(cur, bw, std::uint32_t(rr), std::uint32_t(cc)), 8));
+          }
+          if (msg_variant) {
+            // Off-block: read the parity ghost filled this iteration.
+            if (rr < 0) return Context::unpack_double(
+                ctx.load(s.ghost[p][kN][me] + c * 8, 8));
+            if (rr >= bw) return Context::unpack_double(
+                ctx.load(s.ghost[p][kS][me] + c * 8, 8));
+            if (cc < 0) return Context::unpack_double(
+                ctx.load(s.ghost[p][kW][me] + r * 8, 8));
+            return Context::unpack_double(
+                ctx.load(s.ghost[p][kE][me] + r * 8, 8));
+          }
+          // Shared-memory variant: read the neighbour's block directly.
+          if (rr < 0) return Context::unpack_double(ctx.load(
+              cell_addr(peer_block(north, it), bw, bw - 1, c), 8));
+          if (rr >= bw) return Context::unpack_double(ctx.load(
+              cell_addr(peer_block(south, it), bw, 0, c), 8));
+          if (cc < 0) return Context::unpack_double(ctx.load(
+              cell_addr(peer_block(west, it), bw, r, bw - 1), 8));
+          return Context::unpack_double(ctx.load(
+              cell_addr(peer_block(east, it), bw, r, 0), 8));
+        };
+        const double v = 0.25 * (fetch(-1, 0) + fetch(1, 0) + fetch(0, -1) +
+                                 fetch(0, 1));
+        ctx.store(cell_addr(nxt, bw, r, c), Context::pack_double(v), 8);
+        ctx.charge(5);  // adds, multiply, loop control
+      }
+    }
+
+    if (!msg_variant) barrier.wait(ctx);
+    std::swap(cur, nxt);
+  }
+  return ctx.now() - t0;
+}
+
+std::vector<double> jacobi_extract(Machine& m, const JacobiSetup& s,
+                                   std::uint32_t iters) {
+  const BackingStore& store = m.memory().store();
+  std::vector<double> out(std::size_t{s.grid} * s.grid);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    const std::uint32_t bx = n % s.q, by = n / s.q;
+    const GAddr base = (iters % 2 == 0) ? s.block_a[n] : s.block_b[n];
+    for (std::uint32_t r = 0; r < s.bw; ++r) {
+      for (std::uint32_t c = 0; c < s.bw; ++c) {
+        out[std::size_t{by * s.bw + r} * s.grid + (bx * s.bw + c)] =
+            Context::unpack_double(
+                store.read_uint(cell_addr(base, s.bw, r, c), 8));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> jacobi_reference(
+    std::uint32_t grid,
+    const std::function<double(std::uint32_t, std::uint32_t)>& f,
+    std::uint32_t iters) {
+  std::vector<double> a(std::size_t{grid} * grid), b(a.size());
+  for (std::uint32_t r = 0; r < grid; ++r) {
+    for (std::uint32_t c = 0; c < grid; ++c) {
+      a[std::size_t{r} * grid + c] = f(r, c);
+    }
+  }
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    for (std::uint32_t r = 0; r < grid; ++r) {
+      for (std::uint32_t c = 0; c < grid; ++c) {
+        const std::size_t i = std::size_t{r} * grid + c;
+        if (r == 0 || r == grid - 1 || c == 0 || c == grid - 1) {
+          b[i] = a[i];
+        } else {
+          b[i] = 0.25 * (a[i - grid] + a[i + grid] + a[i - 1] + a[i + 1]);
+        }
+      }
+    }
+    std::swap(a, b);
+  }
+  return a;
+}
+
+}  // namespace alewife::apps

@@ -1,0 +1,65 @@
+// jacobi (paper §4.6, Figure 11): block-partitioned Jacobi relaxation.
+// Processors communicate only to exchange border elements each iteration.
+//
+//   shm variant — border elements are read directly from the neighbours'
+//                 blocks through conventional shared-memory loads (no
+//                 prefetching), paying one remote miss per touched line
+//                 (a full miss per element along the strided columns).
+//   msg variant — borders travel via the message-based memory-to-memory copy
+//                 mechanism of §4.4 into parity-double-buffered ghost
+//                 arrays; the compute phase is then entirely local.
+//
+// One barrier (caller-supplied mechanism) separates iterations in both
+// variants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/bulk.hpp"
+#include "runtime/context.hpp"
+
+namespace alewife::apps {
+
+struct JacobiSetup {
+  std::uint32_t grid = 0;  ///< global grid side length
+  std::uint32_t q = 0;     ///< processor mesh side (sqrt(P))
+  std::uint32_t bw = 0;    ///< block width per node (grid / q)
+
+  // Per-node shared-memory addresses (indexed by node id).
+  std::vector<GAddr> block_a;  ///< bw*bw doubles, row-major
+  std::vector<GAddr> block_b;
+  // ghost[parity][dir][node]; dir: 0=N,1=S,2=W,3=E. Each bw doubles.
+  std::vector<GAddr> ghost[2][4];
+  std::vector<GAddr> sendbuf;  ///< bw doubles, column packing staging
+};
+
+/// Allocate all blocks/ghosts. grid must be divisible by sqrt(P) and P a
+/// perfect square (8x8 = 64 in the paper's runs).
+JacobiSetup jacobi_setup(Machine& m, std::uint32_t grid);
+
+/// Write the initial condition f(row, col) into every node's A block
+/// (host-side setup, no cycles).
+void jacobi_init(Machine& m, JacobiSetup& s,
+                 const std::function<double(std::uint32_t, std::uint32_t)>& f);
+
+/// Per-node thread body: run `iters` iterations; returns total cycles spent
+/// in the iteration loop on this node.
+Cycles jacobi_node(Context& ctx, JacobiSetup& s, bool msg_variant,
+                   std::uint32_t iters, CombiningBarrier& barrier,
+                   BulkCopyEngine& bulk);
+
+/// Read back the grid after `iters` iterations (host-side).
+std::vector<double> jacobi_extract(Machine& m, const JacobiSetup& s,
+                                   std::uint32_t iters);
+
+/// Host reference implementation for verification.
+std::vector<double> jacobi_reference(
+    std::uint32_t grid,
+    const std::function<double(std::uint32_t, std::uint32_t)>& f,
+    std::uint32_t iters);
+
+}  // namespace alewife::apps

@@ -1,0 +1,155 @@
+#include "cmmu/cmmu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace alewife {
+
+std::uint64_t MsgView::operand(HandlerCtx& ctx, std::size_t i) const {
+  assert(i < p_.words.size());
+  ctx.charge(cmmu_.cost().window_read);
+  return p_.words[i];
+}
+
+Cycles MsgView::storeback(HandlerCtx& ctx, GAddr dst,
+                          std::uint32_t skip_bytes,
+                          std::uint32_t store_bytes) const {
+  const CostModel& cost = cmmu_.cost();
+  ctx.charge(cost.storeback);
+
+  // Discard, then take the requested span ("infinity" = rest of packet).
+  cursor_ = std::min<std::uint32_t>(
+      cursor_ + skip_bytes, static_cast<std::uint32_t>(p_.payload.size()));
+  const std::uint32_t avail =
+      static_cast<std::uint32_t>(p_.payload.size()) - cursor_;
+  const std::uint32_t n =
+      store_bytes == IncomingMsg::kAll ? avail : std::min(store_bytes, avail);
+  if (n == 0) return ctx.now();
+
+  MemorySystem& ms = cmmu_.memory();
+  // Functional effect: the bytes land in local memory now; the completion
+  // time below is when a local reader could see them through the cache.
+  ms.store().write_bytes(dst, p_.payload.data() + cursor_, n);
+  cursor_ += n;
+  const Cycles inval = ms.dma_dest_invalidate(cmmu_.node(), dst, n);
+  const std::uint32_t line = ms.line_bytes();
+  const std::uint64_t lines = (std::uint64_t{n} + line - 1) / line;
+  const Cycles done =
+      ctx.now() + cost.dma_setup + lines * cost.dma_per_line + inval;
+  cmmu_.stats().add("cmmu.storeback_bytes", n);
+  return done;
+}
+
+Cmmu::Cmmu(Simulator& sim, Network& net, MemorySystem& ms, Processor& proc,
+           const CostModel& cost, Stats& stats, NodeId node)
+    : sim_(sim),
+      net_(net),
+      ms_(ms),
+      proc_(proc),
+      cost_(cost),
+      stats_(stats),
+      node_(node) {}
+
+void Cmmu::set_handler(MsgType t, Handler h) {
+  handlers_[t] = std::move(h);
+}
+
+Cycles Cmmu::send(const MsgDescriptor& d) {
+  validate(d);
+  // Describe: one cached-speed register write per descriptor word, then the
+  // single-cycle atomic launch.
+  proc_.charge(d.words() * cost_.msg_describe_per_word + cost_.msg_launch);
+  const Cycles launch_time = proc_.free_at();
+  launch(d, launch_time);
+  return launch_time;
+}
+
+void Cmmu::send_from_handler(HandlerCtx& ctx, const MsgDescriptor& d) {
+  validate(d);
+  ctx.charge(d.words() * cost_.msg_describe_per_word + cost_.msg_launch);
+  launch(d, ctx.now());
+}
+
+void Cmmu::send_raw(const MsgDescriptor& d, Cycles when) {
+  validate(d);
+  launch(d, when);
+}
+
+void Cmmu::validate(const MsgDescriptor& d) const {
+  if (d.dst == kInvalidNode) {
+    throw std::invalid_argument("message has no destination");
+  }
+  if (d.words() > MsgDescriptor::kMaxWords) {
+    throw std::invalid_argument(
+        "descriptor exceeds the CMMU's 16-word limit (" +
+        std::to_string(d.words()) + " words)");
+  }
+  for (const MsgDescriptor::Region& r : d.regions) {
+    if (gaddr_node(r.addr) != node_) {
+      throw std::invalid_argument(
+          "DMA gather region is not in local memory");
+    }
+  }
+}
+
+void Cmmu::launch(const MsgDescriptor& d, Cycles launch_time) {
+  Packet p;
+  p.src = node_;
+  p.dst = d.dst;
+  p.klass = PacketClass::kUserMessage;
+  p.type = d.type;
+  p.words = d.operands;
+
+  Cycles depart = launch_time;
+  if (!d.regions.empty()) {
+    // The DMA engine gathers the named local-memory regions behind the
+    // operands. Dirty local-cache copies of the source are flushed first so
+    // the packet carries memory-consistent data (source-coherent transfer).
+    Cycles dma = cost_.dma_setup;
+    const std::uint32_t line = ms_.line_bytes();
+    for (const MsgDescriptor::Region& r : d.regions) {
+      assert(gaddr_node(r.addr) == node_ && "DMA gathers local memory only");
+      dma += ms_.dma_source_flush(node_, r.addr, r.len);
+      dma += ((r.len + line - 1) / line) * cost_.dma_per_line;
+      const std::size_t old = p.payload.size();
+      p.payload.resize(old + r.len);
+      ms_.store().read_bytes(r.addr, p.payload.data() + old, r.len);
+    }
+    depart += dma;
+  }
+  p.payload_bytes = static_cast<std::uint32_t>(p.payload.size());
+
+  if (trace_ != nullptr && trace_->enabled(TraceCat::kMsg)) {
+    trace_->emit(TraceCat::kMsg, launch_time, node_,
+                 "launch type=" + std::to_string(d.type) + " -> n" +
+                     std::to_string(d.dst) + " payload=" +
+                     std::to_string(p.payload_bytes));
+  }
+  stats_.add("cmmu.messages_sent");
+  stats_.add("cmmu.message_payload_bytes", p.payload_bytes);
+  net_.send(std::move(p), depart);
+}
+
+void Cmmu::on_packet(Packet p) {
+  auto it = handlers_.find(p.type);
+  if (it == handlers_.end()) {
+    throw std::logic_error("unhandled message type " + std::to_string(p.type) +
+                           " on node " + std::to_string(node_));
+  }
+  // The arrival interrupts the processor; the handler runs on its timeline.
+  Handler& h = it->second;
+  proc_.raise_interrupt(
+      [this, &h, pkt = std::move(p)](HandlerCtx& ctx) mutable {
+        MsgView view(*this, pkt);
+        h(ctx, view);
+      });
+  if (trace_ != nullptr && trace_->enabled(TraceCat::kMsg)) {
+    trace_->emit(TraceCat::kMsg, sim_.now(), node_,
+                 "recv type=" + std::to_string(p.type) + " from n" +
+                     std::to_string(p.src));
+  }
+  stats_.add("cmmu.messages_received");
+}
+
+}  // namespace alewife

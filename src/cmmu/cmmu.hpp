@@ -1,0 +1,128 @@
+// The CMMU: Alewife's Communications and Memory-Management Unit, i.e. the
+// integrated processor-network interface of the paper's Figure 4.
+//
+// Send side ("describe then launch", paper §3): the sender writes descriptor
+// words at cached-write speed and issues a single-cycle launch; explicit
+// operands travel at the head of the packet, and (address, length) pairs are
+// gathered from local memory by DMA and concatenated behind them. DMA is
+// coherent with the *local* cache (dirty source lines are flushed); copies in
+// other nodes' caches are untouched, exactly as §3 item 3 specifies.
+//
+// Receive side: message arrival interrupts the destination processor (5
+// cycles to handler entry). The handler examines words through a 16-word
+// window at register speed, then disposes of the packet with a storeback
+// instruction that can discard words and DMA the rest to memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "cmmu/message.hpp"
+#include "memory/mem_system.hpp"
+#include "network/network.hpp"
+#include "proc/processor.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace alewife {
+
+class Cmmu;
+
+/// Handler-side view of an arrived message (the receive window).
+class MsgView {
+ public:
+  MsgView(Cmmu& cmmu, const Packet& p) : cmmu_(cmmu), p_(p) {}
+
+  NodeId src() const { return p_.src; }
+  MsgType type() const { return p_.type; }
+  std::size_t operand_count() const { return p_.words.size(); }
+  std::uint32_t payload_bytes() const {
+    return static_cast<std::uint32_t>(p_.payload.size());
+  }
+
+  /// Read operand `i` from the receive window (charges one window read).
+  std::uint64_t operand(HandlerCtx& ctx, std::size_t i) const;
+
+  /// Storeback: dispose of the next chunk of the packet. Discards
+  /// `skip_bytes` from the current position, then DMAs `store_bytes`
+  /// (IncomingMsg::kAll = "until the end of the packet", the paper's
+  /// "infinity" encoding) into local memory at `dst`. May be issued several
+  /// times per packet to scatter it. Charges the storeback instruction on
+  /// `ctx` and returns the time at which the DMA transfer (and local-cache
+  /// invalidation) completes.
+  Cycles storeback(HandlerCtx& ctx, GAddr dst, std::uint32_t skip_bytes = 0,
+                   std::uint32_t store_bytes = IncomingMsg::kAll) const;
+
+  /// Bytes of payload not yet consumed by storeback.
+  std::uint32_t remaining_payload() const {
+    return static_cast<std::uint32_t>(p_.payload.size()) - cursor_;
+  }
+
+  /// Host-side access for tests.
+  const std::vector<std::uint8_t>& raw_payload() const { return p_.payload; }
+
+ private:
+  Cmmu& cmmu_;
+  const Packet& p_;
+  mutable std::uint32_t cursor_ = 0;  ///< storeback consumption position
+};
+
+class Cmmu {
+ public:
+  /// A user-level message handler. Must not block; runs with further message
+  /// interrupts implicitly deferred (handlers are serialized per node).
+  using Handler = std::function<void(HandlerCtx&, MsgView&)>;
+
+  Cmmu(Simulator& sim, Network& net, MemorySystem& ms, Processor& proc,
+       const CostModel& cost, Stats& stats, NodeId node);
+
+  NodeId node() const { return node_; }
+
+  /// Register the handler for message type `t` on this node.
+  void set_handler(MsgType t, Handler h);
+
+  /// Fiber-side send: charges describe+launch on the calling thread and
+  /// returns as soon as the launch instruction retires; DMA gather and the
+  /// network transfer proceed asynchronously. Returns the launch-retire time.
+  Cycles send(const MsgDescriptor& d);
+
+  /// Send from inside a message handler, charging the handler's context.
+  void send_from_handler(HandlerCtx& ctx, const MsgDescriptor& d);
+
+  /// Host-side send at an explicit time with no processor charge (bootstrap
+  /// and tests).
+  void send_raw(const MsgDescriptor& d, Cycles when);
+
+  /// Wired to the Network by the Machine: a user packet arrived.
+  void on_packet(Packet p);
+
+  /// Attach a trace sink (optional; kMsg category).
+  void set_trace(Trace* t) { trace_ = t; }
+
+  // Internal (MsgView).
+  const CostModel& cost() const { return cost_; }
+  MemorySystem& memory() { return ms_; }
+  Stats& stats() { return stats_; }
+  Simulator& sim() { return sim_; }
+
+ private:
+  void launch(const MsgDescriptor& d, Cycles launch_time);
+  /// Throws std::invalid_argument on malformed descriptors.
+  void validate(const MsgDescriptor& d) const;
+
+  Simulator& sim_;
+  Network& net_;
+  MemorySystem& ms_;
+  Processor& proc_;
+  const CostModel& cost_;
+  Stats& stats_;
+  NodeId node_;
+  std::unordered_map<MsgType, Handler> handlers_;
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace alewife

@@ -1,0 +1,60 @@
+// Message descriptor and incoming-message view for the CMMU interface.
+//
+// The descriptor mirrors the paper's Figure 5: up to 16 words total — a
+// header word (destination + type), explicit operand words, and
+// (address, length) pairs naming local-memory regions the DMA engine gathers
+// onto the end of the packet.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// User-level message type ids (runtime/application defined). The coherence
+/// protocol uses its own packet class and does not consume these.
+using MsgType = std::uint32_t;
+
+struct MsgDescriptor {
+  NodeId dst = kInvalidNode;
+  MsgType type = 0;
+  std::vector<std::uint64_t> operands;  ///< explicit operand words
+
+  struct Region {
+    GAddr addr;          ///< local (source-node-homed) memory
+    std::uint32_t len;   ///< bytes
+  };
+  std::vector<Region> regions;  ///< gathered by DMA after the operands
+
+  /// Descriptor length in CMMU registers: header + operands + 2 per region.
+  std::size_t words() const {
+    return 1 + operands.size() + 2 * regions.size();
+  }
+
+  std::uint32_t payload_bytes() const {
+    std::uint32_t n = 0;
+    for (const Region& r : regions) n += r.len;
+    return n;
+  }
+
+  static constexpr std::size_t kMaxWords = 16;
+};
+
+/// Receiver-side view of an arrived message: the sliding window onto the
+/// network input queue plus the storeback/DMA disposal interface.
+/// Obtained only inside a message handler; reads charge window-access cycles
+/// on the handling processor via the HandlerCtx.
+struct IncomingMsg {
+  NodeId src = kInvalidNode;
+  MsgType type = 0;
+  std::vector<std::uint64_t> operands;
+  std::vector<std::uint8_t> payload;  ///< DMA-gathered data bytes
+
+  /// Storeback "until end of packet" sentinel (the paper's "infinity").
+  static constexpr std::uint32_t kAll = ~std::uint32_t{0};
+};
+
+}  // namespace alewife

@@ -1,0 +1,153 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "core/machine.hpp"
+#include "network/topology.hpp"
+#include "runtime/context.hpp"
+
+namespace alewife {
+
+namespace {
+/// Mean Manhattan distance between two uniformly random nodes of a w x h
+/// mesh: (w^2-1)/(3w) + (h^2-1)/(3h) — the standard closed form.
+double mesh_mean_hops(std::uint32_t w, std::uint32_t h) {
+  return (double(w) * w - 1) / (3.0 * w) + (double(h) * h - 1) / (3.0 * h);
+}
+}  // namespace
+
+CostOracle::CostOracle(const MachineConfig& cfg) : cfg_(cfg) {
+  MeshTopology topo(cfg.nodes, cfg.mesh_width);
+  mean_hops_ = mesh_mean_hops(topo.width(), topo.height());
+}
+
+Cycles CostOracle::serialization(std::uint32_t wire_bytes) const {
+  const auto bw = cfg_.cost.link_bytes_per_cycle;
+  return (wire_bytes + bw - 1) / bw;
+}
+
+Cycles CostOracle::local_miss() const {
+  const CostModel& c = cfg_.cost;
+  // tag check + controller bypass + directory + memory + bypass + fill
+  return c.cache_hit + 1 + c.dir_access + c.local_mem_latency + 1 +
+         c.cache_hit;
+}
+
+Cycles CostOracle::remote_rtt(std::uint32_t hops,
+                              std::uint32_t reply_payload) const {
+  const CostModel& c = cfg_.cost;
+  const Cycles req = c.net_inject + Cycles{hops} * c.net_hop +
+                     serialization(c.packet_header_bytes + 8);
+  const Cycles reply = c.net_inject + Cycles{hops} * c.net_hop +
+                       serialization(c.packet_header_bytes + 8 +
+                                     reply_payload);
+  return c.cache_hit + req + c.dir_access + c.local_mem_latency + reply +
+         c.cache_hit + 1;
+}
+
+Cycles CostOracle::predict_copy_shm(std::uint64_t bytes,
+                                    std::uint32_t hops) const {
+  const CostModel& c = cfg_.cost;
+  const std::uint32_t line = cfg_.cache_line_bytes;
+  const std::uint64_t lines = (bytes + line - 1) / line;
+  const std::uint64_t dwords_per_line = line / 8;
+  // Per destination line: one remote write miss, streamed through the
+  // (depth-limited) write buffer; the source loads and loop control overlap
+  // with the store in flight, so the larger of the two paces the loop.
+  const Cycles loop_per_line =
+      local_miss() + (dwords_per_line - 1) * c.cache_hit +  // src accesses
+      dwords_per_line * (c.cache_hit + 2);                  // store issue+ctl
+  const std::uint32_t overlap =
+      cfg_.store_buffer_depth == 0 ? 1 : cfg_.store_buffer_depth;
+  const Cycles miss_per_line = remote_rtt(hops, line) / overlap;
+  return lines * std::max(loop_per_line, miss_per_line) +
+         remote_rtt(hops, line);  // drain the final store (fence)
+}
+
+Cycles CostOracle::predict_copy_msg(std::uint64_t bytes,
+                                    std::uint32_t hops) const {
+  const CostModel& c = cfg_.cost;
+  const std::uint32_t line = cfg_.cache_line_bytes;
+  const std::uint64_t lines = (bytes + line - 1) / line;
+  Cycles t = c.bulk_setup;
+  // Describe (header + 3 operands + 1 region) and launch.
+  t += 6 * c.msg_describe_per_word + c.msg_launch;
+  // Sender-side DMA gather.
+  t += c.dma_setup + lines * c.dma_per_line;
+  // Wire: one big packet.
+  t += c.net_inject + Cycles{hops} * c.net_hop +
+       serialization(c.packet_header_bytes + 3 * 8 +
+                     static_cast<std::uint32_t>(bytes));
+  // Receiver: interrupt, 3 operand reads, bookkeeping, storeback + DMA.
+  t += c.interrupt_entry + 3 * c.window_read + 8 + c.storeback +
+       c.dma_setup + lines * c.dma_per_line + c.interrupt_return;
+  // Ack back to the sender plus the wake of the blocked thread.
+  t += c.net_inject + Cycles{hops} * c.net_hop +
+       serialization(c.packet_header_bytes + 8);
+  t += c.interrupt_entry + c.window_read + 2 + c.interrupt_return;
+  t += c.thread_start;
+  return t;
+}
+
+std::uint64_t CostOracle::copy_crossover_bytes(std::uint32_t hops) const {
+  const std::uint32_t line = cfg_.cache_line_bytes;
+  for (std::uint64_t n = line; n <= (1u << 22); n += line) {
+    if (predict_copy_msg(n, hops) < predict_copy_shm(n, hops)) return n;
+  }
+  return 0;
+}
+
+Cycles CostOracle::predict_barrier_shm(std::uint32_t nodes,
+                                       std::uint32_t arity) const {
+  // Depth of the combining tree.
+  std::uint32_t depth = 0;
+  for (std::uint64_t reach = 1; reach < nodes; reach = reach * arity + 1) {
+    ++depth;
+  }
+  const std::uint32_t hops = static_cast<std::uint32_t>(mean_hops_);
+  const Cycles amo = remote_rtt(hops, cfg_.cache_line_bytes) +
+                     cfg_.cost.amo_extra;
+  const Cycles wake = remote_rtt(hops, cfg_.cache_line_bytes) + local_miss() +
+                      8;  // store + spinner's refetch + poll slack
+  // Up phase: one remote decrement per level; down phase: per level, `arity`
+  // sequential release stores plus the child's wake-up.
+  return depth * amo + depth * (arity * wake) / 2 + depth * wake / 2;
+}
+
+Cycles CostOracle::predict_barrier_msg(std::uint32_t nodes,
+                                       std::uint32_t arity) const {
+  const CostModel& c = cfg_.cost;
+  std::uint32_t depth = 0;
+  for (std::uint64_t reach = 1; reach < nodes; reach = reach * arity + 1) {
+    ++depth;
+  }
+  const std::uint32_t hops = static_cast<std::uint32_t>(mean_hops_);
+  const Cycles msg = 2 * c.msg_describe_per_word + c.msg_launch +
+                     c.net_inject + Cycles{hops} * c.net_hop +
+                     serialization(c.packet_header_bytes);
+  const Cycles handler = c.interrupt_entry + 12 + c.interrupt_return;
+  // Each tree level serializes `arity` arrivals at the parent's handler;
+  // wake-ups fan out with per-child describes.
+  return depth * (msg + arity * handler) +
+         depth * (msg + handler + arity * (2 + c.msg_launch));
+}
+
+AdaptiveOps::AdaptiveOps(Machine& m) : machine_(m), oracle_(m.config()) {}
+
+CopyImpl AdaptiveOps::choose_copy(NodeId src_node, NodeId dst_node,
+                                  std::uint64_t n) const {
+  const std::uint32_t hops = machine_.net().hops(src_node, dst_node);
+  return oracle_.predict_copy_msg(n, hops) < oracle_.predict_copy_shm(n, hops)
+             ? CopyImpl::kMsgDma
+             : CopyImpl::kShmLoop;
+}
+
+void AdaptiveOps::copy(Context& ctx, GAddr dst, GAddr src, std::uint64_t n) {
+  const CopyImpl impl = choose_copy(gaddr_node(src), gaddr_node(dst), n);
+  ctx.charge(4);  // the selection test itself
+  machine_.bulk().copy(ctx, dst, src, n, impl);
+  ctx.stats().add(impl == CopyImpl::kMsgDma ? "adaptive.copy_msg"
+                                            : "adaptive.copy_shm");
+}
+
+}  // namespace alewife

@@ -1,0 +1,74 @@
+// Cost-directed mechanism selection — the paper's §6 direction: "the
+// software system and/or programmer can then choose the appropriate
+// mechanism based on cost".
+//
+// CostOracle predicts, from the machine's cost model alone (no simulation),
+// what each mechanism will cost for a given operation; AdaptiveOps consults
+// it per call and dispatches to the cheaper implementation. The predictions
+// mirror the implemented datapaths, so the oracle stays honest as the cost
+// model is swept (tests cross-check predictions against measurements).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/bulk.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class Context;
+class Machine;
+
+class CostOracle {
+ public:
+  explicit CostOracle(const MachineConfig& cfg);
+
+  /// Latency of one remote round trip carrying `reply_payload` bytes back
+  /// over `hops` mesh hops (clean-line case).
+  Cycles remote_rtt(std::uint32_t hops, std::uint32_t reply_payload) const;
+
+  /// Predicted cycles to copy `bytes` to a node `hops` away, per mechanism.
+  Cycles predict_copy_shm(std::uint64_t bytes, std::uint32_t hops) const;
+  Cycles predict_copy_msg(std::uint64_t bytes, std::uint32_t hops) const;
+
+  /// Smallest block size at which the message mechanism is predicted to win
+  /// (may be 0: message wins everywhere).
+  std::uint64_t copy_crossover_bytes(std::uint32_t hops) const;
+
+  /// Predicted whole-barrier latency per mechanism (combining tree of the
+  /// given arity over `nodes` processors).
+  Cycles predict_barrier_shm(std::uint32_t nodes, std::uint32_t arity) const;
+  Cycles predict_barrier_msg(std::uint32_t nodes, std::uint32_t arity) const;
+
+  /// Average hop distance on this machine's mesh (uniform traffic).
+  double mean_hops() const { return mean_hops_; }
+
+ private:
+  Cycles serialization(std::uint32_t wire_bytes) const;
+  Cycles local_miss() const;
+
+  const MachineConfig cfg_;
+  double mean_hops_;
+};
+
+/// Mechanism-picking wrappers over the dual-mechanism libraries.
+class AdaptiveOps {
+ public:
+  AdaptiveOps(Machine& m);
+
+  /// Pick the predicted-cheaper copy mechanism and run it.
+  void copy(Context& ctx, GAddr dst, GAddr src, std::uint64_t n);
+
+  /// What copy() would pick, without running it.
+  CopyImpl choose_copy(NodeId src_node, NodeId dst_node,
+                       std::uint64_t n) const;
+
+  const CostOracle& oracle() const { return oracle_; }
+
+ private:
+  Machine& machine_;
+  CostOracle oracle_;
+};
+
+}  // namespace alewife

@@ -1,0 +1,138 @@
+#include "core/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace alewife {
+
+Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
+  cfg_.validate();
+  sim_ = std::make_unique<Simulator>();
+  store_ = std::make_unique<BackingStore>(cfg_.nodes, cfg_.mem_bytes_per_node,
+                                          cfg_.cache_line_bytes);
+  net_ = std::make_unique<Network>(*sim_, cfg_, stats_);
+  ms_ = std::make_unique<MemorySystem>(*sim_, *net_, *store_, cfg_, stats_);
+  pool_ = std::make_unique<FiberPool>();
+
+  procs_.reserve(cfg_.nodes);
+  cmmus_.reserve(cfg_.nodes);
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    procs_.push_back(std::make_unique<Processor>(*sim_, *ms_, n, cfg_.cost,
+                                                 stats_,
+                                                 cfg_.store_buffer_depth));
+    cmmus_.push_back(std::make_unique<Cmmu>(*sim_, *net_, *ms_, *procs_[n],
+                                            cfg_.cost, stats_, n));
+  }
+
+  net_->set_trace(&trace_);
+  for (auto& c : cmmus_) c->set_trace(&trace_);
+
+  // LimitLESS software handlers execute on the home processor.
+  ms_->set_trap_hook([this](NodeId n, Cycles when, Cycles cost) {
+    procs_[n]->steal_cycles(when, cost);
+  });
+
+  // Route arriving packets: coherence traffic to the memory system, user
+  // messages through the CMMU (which interrupts the processor).
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    net_->set_receiver(n, [this, n](Packet p) {
+      if (p.klass == PacketClass::kCoherence) {
+        ms_->on_packet(n, p);
+      } else {
+        cmmus_[n]->on_packet(std::move(p));
+      }
+    });
+  }
+
+  shared_ = std::make_unique<RuntimeShared>(*sim_, *ms_, stats_, cfg_, opt);
+  shared_->trace = &trace_;
+  nodes_.reserve(cfg_.nodes);
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    nodes_.push_back(std::make_unique<NodeRuntime>(*shared_, *procs_[n],
+                                                   *cmmus_[n], *pool_, n));
+    shared_->nodes.push_back(nodes_.back().get());
+  }
+  bulk_ = std::make_unique<BulkCopyEngine>(*shared_);
+}
+
+Machine::~Machine() = default;
+
+void Machine::boot_once() {
+  if (booted_) return;
+  booted_ = true;
+  for (auto& n : nodes_) n->boot();
+}
+
+void Machine::kick_all() {
+  for (auto& n : nodes_) {
+    NodeRuntime* nrt = n.get();
+    // Restart each node's idle loop (it exits whenever `stopping` is set
+    // between phases).
+    sim_->schedule_at(sim_->now(), [nrt, this] { nrt->kick(sim_->now()); });
+  }
+}
+
+std::uint64_t Machine::run(std::function<std::uint64_t(Context&)> main_fn,
+                           NodeId start_node) {
+  boot_once();
+  shared_->stopping = false;
+  std::uint64_t result = 0;
+  bool done = false;
+  nodes_.at(start_node)
+      ->start_thread(
+          [this, &result, &done, fn = std::move(main_fn)](Context& c) {
+            result = fn(c);
+            done = true;
+            shared_->stopping = true;
+          },
+          sim_->now());
+  kick_all();
+  sim_->run(cfg_.max_cycles);
+  if (!done) {
+    throw std::logic_error(
+        "simulation quiesced before the entry thread finished (deadlock in "
+        "the simulated program?)");
+  }
+  return result;
+}
+
+void Machine::start_thread(NodeId n, std::function<void(Context&)> body) {
+  boot_once();
+  ++live_injected_;
+  nodes_.at(n)->start_thread(
+      [this, body = std::move(body)](Context& c) {
+        body(c);
+        if (--live_injected_ == 0) shared_->stopping = true;
+      },
+      sim_->now());
+}
+
+void Machine::run_started() {
+  if (live_injected_ == 0) return;
+  shared_->stopping = false;
+  kick_all();
+  sim_->run(cfg_.max_cycles);
+  if (live_injected_ != 0) {
+    throw std::logic_error(
+        "simulation quiesced with started threads still live (deadlock in "
+        "the simulated program?)");
+  }
+}
+
+void HostBarrier::wait(Context& ctx) {
+  arrived_.push_back(Arrived{ctx.node(), ctx.thread_id()});
+  if (arrived_.size() < expected_) {
+    ctx.suspend();
+    return;
+  }
+  // Last arriver: release everyone else, then continue.
+  std::vector<Arrived> all = std::move(arrived_);
+  arrived_.clear();
+  const Cycles t = ctx.now();
+  for (const Arrived& a : all) {
+    if (a.thread == ctx.thread_id() && a.node == ctx.node()) continue;
+    machine_.node(a.node).enqueue_ready(a.thread, t);
+  }
+}
+
+}  // namespace alewife

@@ -1,0 +1,121 @@
+// Machine: the whole simulated Alewife-like multiprocessor, assembled.
+//
+// Owns the event kernel, interconnect, coherent memory system, per-node
+// processors and CMMUs, and the runtime system, and wires them together:
+// coherence packets route to the memory system, user messages interrupt the
+// destination processor through its CMMU, LimitLESS traps steal home-node
+// processor cycles.
+//
+// This is the top of the public API: construct a Machine, then either
+//   run(fn)            — run fn as the program's entry thread on node 0
+// or
+//   start_thread(...); run_started();   — place one thread per node (bench
+//                                         harness style) and run them all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cmmu/cmmu.hpp"
+#include "memory/mem_system.hpp"
+#include "network/network.hpp"
+#include "proc/processor.hpp"
+#include "runtime/bulk.hpp"
+#include "runtime/context.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace alewife {
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = {}, RuntimeOptions opt = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ---- Component access -----------------------------------------------------
+  Simulator& sim() { return *sim_; }
+  Stats& stats() { return stats_; }
+  /// Event trace (categories start disabled; trace().enable(...) to use).
+  Trace& trace() { return trace_; }
+  MemorySystem& memory() { return *ms_; }
+  Network& net() { return *net_; }
+  RuntimeShared& runtime() { return *shared_; }
+  NodeRuntime& node(NodeId n) { return *nodes_.at(n); }
+  Processor& proc(NodeId n) { return *procs_.at(n); }
+  Cmmu& cmmu(NodeId n) { return *cmmus_.at(n); }
+  BulkCopyEngine& bulk() { return *bulk_; }
+  const MachineConfig& config() const { return cfg_; }
+  std::uint32_t nodes() const { return cfg_.nodes; }
+
+  /// Allocate shared memory homed on `home` (host-side setup; no cycles).
+  GAddr shmalloc(NodeId home, std::uint64_t bytes) {
+    return ms_->store().alloc(home, bytes);
+  }
+
+  // ---- Execution -------------------------------------------------------------
+  /// Run `main_fn` as the entry thread on `start_node`; simulate until it
+  /// returns (the runtime then quiesces). Returns its value.
+  std::uint64_t run(std::function<std::uint64_t(Context&)> main_fn,
+                    NodeId start_node = 0);
+
+  /// Queue a thread on node `n` (no cycles charged for creation). The
+  /// machine stops once every thread started this way has finished.
+  void start_thread(NodeId n, std::function<void(Context&)> body);
+
+  /// Simulate until all start_thread() threads complete.
+  void run_started();
+
+  /// Simulated time.
+  Cycles now() const { return sim_->now(); }
+
+ private:
+  void boot_once();
+  void kick_all();
+
+  MachineConfig cfg_;
+  Stats stats_;
+  Trace trace_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<BackingStore> store_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<MemorySystem> ms_;
+  std::unique_ptr<FiberPool> pool_;
+  std::vector<std::unique_ptr<Processor>> procs_;
+  std::vector<std::unique_ptr<Cmmu>> cmmus_;
+  std::unique_ptr<RuntimeShared> shared_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::unique_ptr<BulkCopyEngine> bulk_;
+  bool booted_ = false;
+  std::uint64_t live_injected_ = 0;
+};
+
+/// Zero-cost host-side rendezvous for benchmark phase alignment: all N
+/// participating threads block; once the last arrives, all resume. No
+/// simulated communication is charged — use it only to line up measurement
+/// phases, never inside a measured region.
+class HostBarrier {
+ public:
+  HostBarrier(Machine& m, std::uint32_t participants)
+      : machine_(m), expected_(participants) {}
+
+  void wait(Context& ctx);
+
+ private:
+  struct Arrived {
+    NodeId node;
+    std::uint64_t thread;
+  };
+  Machine& machine_;
+  std::uint32_t expected_;
+  std::vector<Arrived> arrived_;
+};
+
+}  // namespace alewife

@@ -1,0 +1,74 @@
+#include "memory/backing_store.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace alewife {
+
+BackingStore::BackingStore(std::uint32_t nodes, std::uint64_t bytes_per_node,
+                           std::uint32_t line_bytes)
+    : bytes_per_node_(bytes_per_node),
+      line_bytes_(line_bytes),
+      mem_(nodes),
+      brk_(nodes, 0) {
+  // Node arrays materialize lazily on first touch: a 64-node machine would
+  // otherwise zero hundreds of megabytes per construction.
+}
+
+GAddr BackingStore::alloc(NodeId node, std::uint64_t bytes) {
+  assert(node < mem_.size());
+  // Keep allocations line-aligned so no object straddles a line it doesn't
+  // own — matters for false-sharing-free microbenchmarks.
+  std::uint64_t off = brk_[node];
+  off = (off + line_bytes_ - 1) & ~std::uint64_t{line_bytes_ - 1};
+  if (off + bytes > bytes_per_node_) throw std::bad_alloc{};
+  brk_[node] = off + bytes;
+  return make_gaddr(node, off);
+}
+
+void BackingStore::reset_allocators() {
+  for (auto& b : brk_) b = 0;
+}
+
+const std::uint8_t* BackingStore::ptr(GAddr addr, std::uint64_t n) const {
+  const NodeId node = gaddr_node(addr);
+  const std::uint64_t off = gaddr_offset(addr);
+  assert(node < mem_.size());
+  assert(off + n <= bytes_per_node_);
+  (void)n;
+  auto& m = const_cast<std::vector<std::uint8_t>&>(mem_[node]);
+  if (m.empty()) m.resize(bytes_per_node_, 0);
+  return m.data() + off;
+}
+
+std::uint8_t* BackingStore::ptr(GAddr addr, std::uint64_t n) {
+  return const_cast<std::uint8_t*>(
+      static_cast<const BackingStore*>(this)->ptr(addr, n));
+}
+
+std::uint64_t BackingStore::read_uint(GAddr addr, std::uint32_t size) const {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  std::uint64_t v = 0;
+  std::memcpy(&v, ptr(addr, size), size);
+  return v;
+}
+
+void BackingStore::write_uint(GAddr addr, std::uint32_t size,
+                              std::uint64_t value) {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  std::memcpy(ptr(addr, size), &value, size);
+}
+
+void BackingStore::read_bytes(GAddr addr, std::uint8_t* out,
+                              std::uint64_t n) const {
+  std::memcpy(out, ptr(addr, n), n);
+}
+
+void BackingStore::write_bytes(GAddr addr, const std::uint8_t* in,
+                               std::uint64_t n) {
+  std::memcpy(ptr(addr, n), in, n);
+}
+
+}  // namespace alewife

@@ -1,0 +1,47 @@
+// Functional storage for the distributed shared address space.
+//
+// Every node owns a byte array; GAddr encodes (home node, offset). Values are
+// applied here at transaction commit time, which — together with blocking
+// processor-side operations — yields sequential consistency (Alewife's memory
+// model). Caches and the directory determine *timing* only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class BackingStore {
+ public:
+  BackingStore(std::uint32_t nodes, std::uint64_t bytes_per_node,
+               std::uint32_t line_bytes);
+
+  /// Allocate `bytes` on `node`'s memory, aligned to a cache line.
+  /// Throws std::bad_alloc if the node's memory is exhausted.
+  GAddr alloc(NodeId node, std::uint64_t bytes);
+
+  /// Reset all allocation pointers (memory contents are kept).
+  void reset_allocators();
+
+  std::uint64_t read_uint(GAddr addr, std::uint32_t size) const;
+  void write_uint(GAddr addr, std::uint32_t size, std::uint64_t value);
+
+  void read_bytes(GAddr addr, std::uint8_t* out, std::uint64_t n) const;
+  void write_bytes(GAddr addr, const std::uint8_t* in, std::uint64_t n);
+
+  std::uint64_t bytes_per_node() const { return bytes_per_node_; }
+  std::uint64_t allocated(NodeId node) const { return brk_[node]; }
+
+ private:
+  const std::uint8_t* ptr(GAddr addr, std::uint64_t n) const;
+  std::uint8_t* ptr(GAddr addr, std::uint64_t n);
+
+  std::uint64_t bytes_per_node_;
+  std::uint32_t line_bytes_;
+  std::vector<std::vector<std::uint8_t>> mem_;
+  std::vector<std::uint64_t> brk_;
+};
+
+}  // namespace alewife

@@ -1,0 +1,120 @@
+#include "memory/cache.hpp"
+
+#include <cassert>
+
+namespace alewife {
+
+namespace {
+constexpr bool is_pow2(std::uint32_t v) { return v && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
+             std::uint32_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  assert(is_pow2(line_bytes_));
+  assert(ways_ > 0);
+  assert(size_bytes >= line_bytes_ * ways_);
+  sets_ = size_bytes / (line_bytes_ * ways_);
+  assert(is_pow2(sets_));
+  lines_.resize(std::size_t{sets_} * ways_);
+}
+
+std::uint32_t Cache::set_index(GAddr line_addr) const {
+  // GAddr carries the home node in high bits; fold them in so different
+  // nodes' address spaces spread across sets.
+  std::uint64_t ln = line_addr / line_bytes_;
+  ln ^= ln >> 18;
+  ln ^= ln >> 33;
+  return static_cast<std::uint32_t>(ln & (sets_ - 1));
+}
+
+Cache::Line* Cache::find(GAddr addr) {
+  const GAddr la = line_of(addr);
+  Line* set = &lines_[std::size_t{set_index(la)} * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].state != LineState::kInvalid && set[w].tag == la) {
+      return &set[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(GAddr addr) const {
+  return const_cast<Cache*>(this)->find(addr);
+}
+
+LineState Cache::lookup(GAddr addr) {
+  Line* l = find(addr);
+  if (l == nullptr) {
+    ++misses_;
+    return LineState::kInvalid;
+  }
+  ++hits_;
+  l->lru = ++tick_;
+  return l->state;
+}
+
+LineState Cache::peek(GAddr addr) const {
+  const Line* l = find(addr);
+  return l == nullptr ? LineState::kInvalid : l->state;
+}
+
+Cache::Victim Cache::install(GAddr addr, LineState st) {
+  assert(st != LineState::kInvalid);
+  const GAddr la = line_of(addr);
+  Line* set = &lines_[std::size_t{set_index(la)} * ways_];
+
+  // Already present (e.g. upgrade fill): just overwrite state.
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].state != LineState::kInvalid && set[w].tag == la) {
+      set[w].state = st;
+      set[w].lru = ++tick_;
+      return {};
+    }
+  }
+
+  // Free way?
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].state == LineState::kInvalid) {
+      set[w] = Line{la, st, ++tick_};
+      return {};
+    }
+  }
+
+  // Evict LRU.
+  Line* victim = &set[0];
+  for (std::uint32_t w = 1; w < ways_; ++w) {
+    if (set[w].lru < victim->lru) victim = &set[w];
+  }
+  Victim out{true, victim->tag, victim->state};
+  *victim = Line{la, st, ++tick_};
+  return out;
+}
+
+void Cache::set_state(GAddr addr, LineState st) {
+  Line* l = find(addr);
+  assert(l != nullptr && "set_state on absent line");
+  if (st == LineState::kInvalid) {
+    l->state = LineState::kInvalid;
+  } else {
+    l->state = st;
+  }
+}
+
+std::vector<std::pair<GAddr, LineState>> Cache::snapshot() const {
+  std::vector<std::pair<GAddr, LineState>> out;
+  for (const Line& l : lines_) {
+    if (l.state != LineState::kInvalid) out.emplace_back(l.tag, l.state);
+  }
+  return out;
+}
+
+LineState Cache::invalidate(GAddr addr) {
+  Line* l = find(addr);
+  if (l == nullptr) return LineState::kInvalid;
+  LineState prev = l->state;
+  l->state = LineState::kInvalid;
+  return prev;
+}
+
+}  // namespace alewife

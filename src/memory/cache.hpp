@@ -1,0 +1,76 @@
+// Per-node cache model: set-associative tags with MSI line states and LRU
+// replacement. Timing-only — data values live in the BackingStore.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,     ///< clean, possibly one of many copies
+  kModified,   ///< exclusive + dirty (single writer)
+};
+
+class Cache {
+ public:
+  Cache(std::uint32_t size_bytes, std::uint32_t line_bytes,
+        std::uint32_t ways);
+
+  GAddr line_of(GAddr addr) const { return addr & ~GAddr{line_bytes_ - 1}; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint32_t sets() const { return sets_; }
+  std::uint32_t ways() const { return ways_; }
+
+  /// State of `addr`'s line (kInvalid if absent). Bumps LRU on presence.
+  LineState lookup(GAddr addr);
+
+  /// State without LRU side effects (for assertions/tests).
+  LineState peek(GAddr addr) const;
+
+  /// Result of installing a line: the victim that had to leave, if any.
+  struct Victim {
+    bool valid = false;
+    GAddr line = 0;
+    LineState state = LineState::kInvalid;
+  };
+
+  /// Install `addr`'s line with `st`, evicting LRU if the set is full.
+  Victim install(GAddr addr, LineState st);
+
+  /// Change the state of a present line (upgrade S->M, downgrade M->S).
+  void set_state(GAddr addr, LineState st);
+
+  /// Drop the line. Returns its previous state (kInvalid if absent).
+  LineState invalidate(GAddr addr);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// All resident lines (for invariant checks in tests).
+  std::vector<std::pair<GAddr, LineState>> snapshot() const;
+
+ private:
+  struct Line {
+    GAddr tag = 0;
+    LineState state = LineState::kInvalid;
+    std::uint64_t lru = 0;
+  };
+
+  std::uint32_t set_index(GAddr line_addr) const;
+  Line* find(GAddr addr);
+  const Line* find(GAddr addr) const;
+
+  std::uint32_t line_bytes_;
+  std::uint32_t ways_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  // sets_ * ways_, set-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace alewife

@@ -1,0 +1,82 @@
+// Per-line directory state with LimitLESS semantics.
+//
+// Each memory line's home node keeps a directory entry. Hardware holds
+// `dir_hw_pointers` sharer pointers; overflowing them traps to software on
+// the home processor (charged by the protocol engine), after which the entry
+// is "software extended" and the full sharer set lives in the (simulated)
+// software handler's table — here, simply the same vector, with trap costs
+// accounted on every overflowed event.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+enum class DirState : std::uint8_t {
+  kUncached,   ///< memory is the only copy
+  kShared,     ///< one or more clean cached copies
+  kExclusive,  ///< exactly one dirty copy at `owner`
+};
+
+struct DirEntry {
+  DirState state = DirState::kUncached;
+  NodeId owner = kInvalidNode;
+  std::vector<NodeId> sharers;
+  bool sw_extended = false;  ///< LimitLESS overflow happened
+
+  /// True while the home is mid-transaction on this line; newly arriving
+  /// requests queue in `pending` until `unbusy`.
+  bool busy = false;
+
+  /// Requests serialized behind the in-flight transaction.
+  struct Queued {
+    std::uint32_t type;  // CohMsg
+    NodeId requester;
+  };
+  std::deque<Queued> pending;
+
+  bool has_sharer(NodeId n) const {
+    return std::find(sharers.begin(), sharers.end(), n) != sharers.end();
+  }
+
+  /// Adds n; returns true if this addition overflowed the hardware pointers
+  /// (i.e. requires a LimitLESS software trap).
+  bool add_sharer(NodeId n, std::uint32_t hw_pointers) {
+    if (has_sharer(n)) return false;
+    sharers.push_back(n);
+    if (sharers.size() > hw_pointers) {
+      sw_extended = true;
+      return true;
+    }
+    return false;
+  }
+
+  void remove_sharer(NodeId n) {
+    sharers.erase(std::remove(sharers.begin(), sharers.end(), n),
+                  sharers.end());
+  }
+};
+
+/// All directory entries homed on one machine (lazily materialized).
+class Directory {
+ public:
+  DirEntry& entry(GAddr line) { return entries_[line]; }
+
+  const DirEntry* find(GAddr line) const {
+    auto it = entries_.find(line);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<GAddr, DirEntry> entries_;
+};
+
+}  // namespace alewife

@@ -1,0 +1,799 @@
+#include "memory/mem_system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace alewife {
+
+MemorySystem::MemorySystem(Simulator& sim, Network& net, BackingStore& store,
+                           const MachineConfig& cfg, Stats& stats)
+    : sim_(sim),
+      net_(net),
+      store_(store),
+      stats_(stats),
+      cfg_(cfg),
+      cost_(cfg.cost),
+      line_bytes_(cfg.cache_line_bytes),
+      outstanding_prefetches_(cfg.nodes, 0) {
+  caches_.reserve(cfg.nodes);
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    caches_.push_back(std::make_unique<Cache>(
+        cfg.cache_size_bytes, cfg.cache_line_bytes, cfg.cache_ways));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Processor side
+// ---------------------------------------------------------------------------
+
+void MemorySystem::access(NodeId node, MemOp op, GAddr addr,
+                          std::uint32_t size, std::uint64_t value,
+                          Cycles start, DoneFn done) {
+  if (memop_is_fe(op)) {
+    fe_access(node, op, addr, size, value, start, std::move(done));
+    return;
+  }
+  Cache& c = *caches_[node];
+  const GAddr line = c.line_of(addr);
+  assert(c.line_of(addr + size - 1) == line && "access crosses a cache line");
+
+  // Merge with an in-flight fill for the same line, if any.
+  auto it = mshrs_.find(mshr_key(node, line));
+  if (it != mshrs_.end()) {
+    if (memop_is_prefetch(op)) {
+      // Prefetch to a line already being fetched: free.
+      sim_.schedule_at(start + cost_.prefetch_issue,
+                       [done = std::move(done)] { done(0); });
+      return;
+    }
+    it->second.prefetch_only = false;
+    it->second.waiters.push_back(
+        Waiter{op, addr, size, value, std::move(done)});
+    return;
+  }
+
+  const LineState st = c.lookup(addr);
+  switch (op) {
+    case MemOp::kLoad:
+      if (st != LineState::kInvalid) {
+        sim_.schedule_at(start + cost_.cache_hit,
+                         [this, node, addr, size, done = std::move(done)] {
+                           commit(node, MemOp::kLoad, addr, size, 0,
+                                  sim_.now(), done);
+                         });
+      } else {
+        start_fill(node, line, /*excl=*/false, /*upgrade=*/false,
+                   /*prefetch_only=*/false,
+                   Waiter{op, addr, size, value, std::move(done)},
+                   start + cost_.cache_hit);
+      }
+      return;
+
+    case MemOp::kStore:
+    case MemOp::kTestAndSet:
+    case MemOp::kFetchAdd:
+    case MemOp::kSwap: {
+      const Cycles extra = (op == MemOp::kStore) ? 0 : cost_.amo_extra;
+      if (st == LineState::kModified) {
+        sim_.schedule_at(
+            start + cost_.cache_hit + extra,
+            [this, node, op, addr, size, value, done = std::move(done)] {
+              commit(node, op, addr, size, value, sim_.now(), done);
+            });
+      } else if (st == LineState::kShared) {
+        start_fill(node, line, /*excl=*/true, /*upgrade=*/true,
+                   /*prefetch_only=*/false,
+                   Waiter{op, addr, size, value, std::move(done)},
+                   start + cost_.cache_hit);
+      } else {
+        start_fill(node, line, /*excl=*/true, /*upgrade=*/false,
+                   /*prefetch_only=*/false,
+                   Waiter{op, addr, size, value, std::move(done)},
+                   start + cost_.cache_hit);
+      }
+      return;
+    }
+
+    case MemOp::kLoadFE:
+    case MemOp::kTakeFE:
+    case MemOp::kStoreFE:
+    case MemOp::kResetFE:
+      assert(false && "FE ops are routed to fe_access above");
+      return;
+
+    case MemOp::kPrefetch:
+    case MemOp::kPrefetchExcl: {
+      const bool want_excl = (op == MemOp::kPrefetchExcl);
+      const bool satisfied =
+          (st == LineState::kModified) ||
+          (st == LineState::kShared && !want_excl);
+      if (!satisfied &&
+          outstanding_prefetches_[node] < cfg_.max_outstanding_prefetches) {
+        ++outstanding_prefetches_[node];
+        const bool upgrade = want_excl && st == LineState::kShared;
+        start_fill(node, line, want_excl, upgrade, /*prefetch_only=*/true,
+                   Waiter{}, start + cost_.prefetch_issue);
+        stats_.add("mem.prefetch_issued");
+      } else if (!satisfied) {
+        stats_.add("mem.prefetch_dropped");
+      }
+      sim_.schedule_at(start + cost_.prefetch_issue,
+                       [done = std::move(done)] { done(0); });
+      return;
+    }
+  }
+}
+
+void MemorySystem::start_fill(NodeId node, GAddr line, bool excl, bool upgrade,
+                              bool prefetch_only, Waiter waiter, Cycles t) {
+  Mshr& m = mshrs_[mshr_key(node, line)];
+  m.excl = excl;
+  m.prefetch_only = prefetch_only;
+  m.took_slot = prefetch_only;
+  if (waiter.done) m.waiters.push_back(std::move(waiter));
+
+  stats_.add(excl ? "mem.write_misses" : "mem.read_misses");
+  // Prefetch requests queue behind demand traffic in the transaction buffer.
+  if (prefetch_only) t += cost_.prefetch_fill_delay;
+  const CohMsg req = upgrade ? kUpgrade : (excl ? kWReq : kRReq);
+  send_coh(node, gaddr_node(line), req, line, /*payload_bytes=*/0, t);
+}
+
+void MemorySystem::commit(NodeId node, MemOp op, GAddr addr,
+                          std::uint32_t size, std::uint64_t value, Cycles,
+                          const DoneFn& done) {
+  (void)node;
+  switch (op) {
+    case MemOp::kLoad:
+      done(store_.read_uint(addr, size));
+      return;
+    case MemOp::kStore:
+      store_.write_uint(addr, size, value);
+      done(0);
+      return;
+    case MemOp::kTestAndSet: {
+      const std::uint64_t old = store_.read_uint(addr, size);
+      store_.write_uint(addr, size, value);
+      done(old);
+      return;
+    }
+    case MemOp::kFetchAdd: {
+      const std::uint64_t old = store_.read_uint(addr, size);
+      store_.write_uint(addr, size, old + value);
+      done(old);
+      return;
+    }
+    case MemOp::kSwap: {
+      const std::uint64_t old = store_.read_uint(addr, size);
+      store_.write_uint(addr, size, value);
+      done(old);
+      return;
+    }
+    case MemOp::kPrefetch:
+    case MemOp::kPrefetchExcl:
+      done(0);
+      return;
+    case MemOp::kLoadFE:
+    case MemOp::kTakeFE:
+    case MemOp::kStoreFE:
+    case MemOp::kResetFE:
+      assert(false && "FE ops decompose into plain ops before commit");
+      done(0);
+      return;
+  }
+}
+
+void MemorySystem::fill_complete(NodeId node, GAddr line, LineState st,
+                                 Cycles t) {
+  auto it = mshrs_.find(mshr_key(node, line));
+  assert(it != mshrs_.end() && "fill for line with no MSHR");
+  Mshr m = std::move(it->second);
+  mshrs_.erase(it);
+
+  if (m.took_slot) {
+    assert(outstanding_prefetches_[node] > 0);
+    --outstanding_prefetches_[node];
+  }
+
+  Cache& c = *caches_[node];
+  if (m.poisoned && st == LineState::kShared) {
+    // An invalidation overtook this read fill: deliver the data (linearized
+    // after the writer) but do not cache the now-stale line.
+    stats_.add("mem.poisoned_fills");
+  } else {
+    Cache::Victim v = c.install(line, st);
+    if (v.valid) evict(node, v.line, v.state, t);
+  }
+
+  for (Waiter& w : m.waiters) complete_waiter(node, w, st, t);
+}
+
+void MemorySystem::complete_waiter(NodeId node, Waiter& w, LineState st,
+                                   Cycles t) {
+  if (w.op == MemOp::kLoad) {
+    sim_.schedule_at(t + cost_.cache_hit,
+                     [this, node, w = std::move(w)]() mutable {
+                       commit(node, w.op, w.addr, w.size, w.value, sim_.now(),
+                              w.done);
+                     });
+    return;
+  }
+  // A write/atomic waiter: satisfied only by an exclusive fill; otherwise
+  // re-issue (the shared fill it merged with wasn't enough — upgrade next).
+  if (st == LineState::kModified) {
+    const Cycles extra = (w.op == MemOp::kStore) ? 0 : cost_.amo_extra;
+    sim_.schedule_at(t + cost_.cache_hit + extra,
+                     [this, node, w = std::move(w)]() mutable {
+                       commit(node, w.op, w.addr, w.size, w.value, sim_.now(),
+                              w.done);
+                     });
+  } else {
+    access(node, w.op, w.addr, w.size, w.value, t, std::move(w.done));
+  }
+}
+
+void MemorySystem::evict(NodeId node, GAddr line, LineState st, Cycles t) {
+  if (st != LineState::kModified) {
+    // Clean evictions are silent; the directory keeps a stale sharer pointer
+    // (it will send a harmless INV later), exactly like real protocols.
+    stats_.add("mem.clean_evictions");
+    return;
+  }
+  stats_.add("mem.dirty_evictions");
+  // Functional memory is already current (values commit to the backing store
+  // at store time); update the directory immediately and model the writeback
+  // packet for network timing/occupancy only.
+  DirEntry& e = dir_.entry(line);
+  if (!e.busy && e.state == DirState::kExclusive && e.owner == node) {
+    e.state = DirState::kUncached;
+    e.owner = kInvalidNode;
+  }
+  send_coh(node, gaddr_node(line), kWriteback, line, line_bytes_, t);
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+void MemorySystem::send_coh(NodeId src, NodeId dst, CohMsg type, GAddr line,
+                            std::uint32_t payload_bytes, Cycles when,
+                            std::uint64_t aux) {
+  // The aux word (forwarding target / serialization time) is only carried
+  // when present, so the common protocol messages keep their wire size.
+  if (src == dst) {
+    // Local bypass: requests to the local memory controller skip the network.
+    sim_.schedule_at(when + 1, [this, dst, type, src, line, aux] {
+      Packet p;
+      p.src = src;
+      p.dst = dst;
+      p.klass = PacketClass::kCoherence;
+      p.type = type;
+      p.words = {line};
+      if (aux != 0) p.words.push_back(aux);
+      on_packet(dst, p);
+    });
+    return;
+  }
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.klass = PacketClass::kCoherence;
+  p.type = type;
+  p.words = {line};
+  if (aux != 0) p.words.push_back(aux);
+  p.payload_bytes = payload_bytes;
+  net_.send(std::move(p), when);
+}
+
+void MemorySystem::on_packet(NodeId node, const Packet& p) {
+  const Cycles t = sim_.now();
+  const GAddr line = p.words.at(0);
+  switch (static_cast<CohMsg>(p.type)) {
+    case kRReq:
+    case kWReq:
+    case kUpgrade:
+      home_request(node, static_cast<CohMsg>(p.type), p.src, line, t);
+      return;
+
+    case kInvAck: {
+      auto it = txns_.find(line);
+      assert(it != txns_.end() && "INV_ACK with no transaction");
+      assert(it->second.acks_left > 0);
+      if (--it->second.acks_left == 0) finish_write_txn(node, line, t);
+      return;
+    }
+
+    case kFetchReply: {
+      auto it = txns_.find(line);
+      assert(it != txns_.end() && "FETCH_REPLY with no transaction");
+      HomeTxn txn = it->second;
+      DirEntry& e = dir_.entry(line);
+      const Cycles t2 = t + cost_.local_mem_latency;  // memory update
+      if (txn.kind == HomeTxn::Kind::kRead) {
+        const NodeId old_owner = e.owner;
+        e.state = DirState::kShared;
+        e.owner = kInvalidNode;
+        e.sharers.clear();
+        e.sharers.push_back(old_owner);
+        e.add_sharer(txn.requester, cost_.dir_hw_pointers);
+        txns_.erase(it);
+        reply_data(node, txn.requester, kDataS, line, t2,
+                   /*hold_busy=*/false);
+      } else {
+        e.state = DirState::kExclusive;
+        e.owner = txn.requester;
+        e.sharers.clear();
+        e.sw_extended = false;
+        txns_.erase(it);
+        reply_data(node, txn.requester, kDataE, line, t2, /*hold_busy=*/true);
+      }
+      return;
+    }
+
+    case kWriteback:
+      stats_.add("mem.writebacks_received");
+      return;
+
+    case kDataS:
+      fill_complete(node, line, LineState::kShared, t);
+      return;
+    case kDataE:
+    case kGrant:
+      fill_complete(node, line, LineState::kModified, t);
+      return;
+
+    case kFetch:
+    case kFetchInv: {
+      Cache& c = *caches_[node];
+      const LineState st = c.peek(line);
+      if (st != LineState::kInvalid) {
+        if (p.type == kFetch) {
+          c.set_state(line, LineState::kShared);
+        } else {
+          c.invalidate(line);
+        }
+      }
+      // Even if the line was already evicted (writeback in flight), reply:
+      // the home merges with memory, which our functional model keeps fresh.
+      send_coh(node, p.src, kFetchReply, line, line_bytes_,
+               t + cost_.cache_hit);
+      return;
+    }
+
+    case kInv: {
+      auto it = mshrs_.find(mshr_key(node, line));
+      if (it != mshrs_.end()) it->second.poisoned = true;
+      caches_[node]->invalidate(line);
+      stats_.add("mem.invalidations");
+      send_coh(node, p.src, kInvAck, line, 0, t + 1);
+      return;
+    }
+
+    case kFetchFwd:
+    case kFetchInvFwd: {
+      // Direct forwarding: send the dirty line straight to the requester and
+      // tell the home when the requester's fill will be installed.
+      const NodeId requester = static_cast<NodeId>(p.words.at(1) - 1);
+      Cache& c = *caches_[node];
+      const LineState st = c.peek(line);
+      if (st != LineState::kInvalid) {
+        if (p.type == kFetchFwd) {
+          c.set_state(line, LineState::kShared);
+        } else {
+          c.invalidate(line);
+        }
+      }
+      stats_.add("mem.direct_forwards");
+      const CohMsg data_kind = (p.type == kFetchFwd) ? kDataS : kDataE;
+      Cycles delivery;
+      if (node == requester) {
+        // Degenerate (stale-owner) case; treat as instant local data.
+        delivery = t + cost_.cache_hit;
+        send_coh(node, requester, data_kind, line, line_bytes_,
+                 t + cost_.cache_hit);
+      } else {
+        Packet data;
+        data.src = node;
+        data.dst = requester;
+        data.klass = PacketClass::kCoherence;
+        data.type = data_kind;
+        data.words = {line};
+        data.payload_bytes = line_bytes_;
+        delivery = net_.send(std::move(data), t + cost_.cache_hit);
+      }
+      // The home may safely start the next transaction on this line once the
+      // requester's fill is installed.
+      send_coh(node, p.src, kFetchDone, line, line_bytes_,
+               t + cost_.cache_hit,
+               delivery + cost_.cache_hit + 1);
+      return;
+    }
+
+    case kFetchDone: {
+      const Cycles safe_at = p.words.at(1);
+      auto it = txns_.find(line);
+      assert(it != txns_.end() && "FETCH_DONE with no transaction");
+      HomeTxn txn = it->second;
+      txns_.erase(it);
+      DirEntry& e = dir_.entry(line);
+      if (txn.kind == HomeTxn::Kind::kRead) {
+        const NodeId old_owner = e.owner;
+        e.state = DirState::kShared;
+        e.owner = kInvalidNode;
+        e.sharers.clear();
+        if (old_owner != kInvalidNode) e.sharers.push_back(old_owner);
+        e.add_sharer(txn.requester, cost_.dir_hw_pointers);
+      } else {
+        e.state = DirState::kExclusive;
+        e.owner = txn.requester;
+        e.sharers.clear();
+        e.sw_extended = false;
+      }
+      // Memory is refreshed in parallel with the direct transfer.
+      unbusy(node, line,
+             std::max(t + cost_.local_mem_latency, safe_at));
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Home side
+// ---------------------------------------------------------------------------
+
+void MemorySystem::home_request(NodeId home, CohMsg type, NodeId requester,
+                                GAddr line, Cycles t) {
+  DirEntry& e = dir_.entry(line);
+  if (e.busy) {
+    e.pending.push_back(DirEntry::Queued{type, requester});
+    stats_.add("mem.home_queued");
+    return;
+  }
+  start_txn(home, type, requester, line, t);
+}
+
+Cycles MemorySystem::charge_trap(NodeId home, Cycles t) {
+  stats_.add("mem.limitless_traps");
+  if (trap_hook_) trap_hook_(home, t, cost_.limitless_trap);
+  return t + cost_.limitless_trap;
+}
+
+void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
+                             GAddr line, Cycles t) {
+  DirEntry& e = dir_.entry(line);
+  assert(!e.busy);
+  e.busy = true;
+  t += cost_.dir_access;
+
+  if (type == kRReq) {
+    if (e.state == DirState::kExclusive && e.owner != requester) {
+      txns_[line] = HomeTxn{HomeTxn::Kind::kRead, requester, 0};
+      send_coh(home, e.owner,
+               cfg_.forward_dirty_direct ? kFetchFwd : kFetch, line, 0, t,
+               std::uint64_t{requester} + 1);
+      return;
+    }
+    // Uncached / Shared (or stale-owner self request after eviction).
+    if (e.state == DirState::kExclusive) {
+      // Requester was recorded as owner but evicted: memory is current.
+      e.state = DirState::kUncached;
+      e.owner = kInvalidNode;
+    }
+    e.state = DirState::kShared;
+    if (e.add_sharer(requester, cost_.dir_hw_pointers)) {
+      t = charge_trap(home, t);
+    }
+    t += cost_.local_mem_latency;
+    reply_data(home, requester, kDataS, line, t, /*hold_busy=*/false);
+    return;
+  }
+
+  // Write or upgrade request.
+  assert(type == kWReq || type == kUpgrade);
+  if (e.state == DirState::kUncached ||
+      (e.state == DirState::kExclusive && e.owner == requester)) {
+    e.state = DirState::kExclusive;
+    e.owner = requester;
+    e.sharers.clear();
+    e.sw_extended = false;
+    t += cost_.local_mem_latency;
+    reply_data(home, requester, kDataE, line, t, /*hold_busy=*/true);
+    return;
+  }
+
+  if (e.state == DirState::kExclusive) {
+    txns_[line] = HomeTxn{HomeTxn::Kind::kWrite, requester, 0};
+    send_coh(home, e.owner,
+             cfg_.forward_dirty_direct ? kFetchInvFwd : kFetchInv, line, 0, t,
+             std::uint64_t{requester} + 1);
+    return;
+  }
+
+  // Shared: invalidate every other sharer, then grant.
+  const bool is_upgrade = (type == kUpgrade) && e.has_sharer(requester);
+  std::vector<NodeId> targets;
+  for (NodeId s : e.sharers) {
+    if (s != requester) targets.push_back(s);
+  }
+  if (e.sw_extended) t = charge_trap(home, t);  // software builds the INV list
+  if (targets.empty()) {
+    e.state = DirState::kExclusive;
+    e.owner = requester;
+    e.sharers.clear();
+    e.sw_extended = false;
+    if (is_upgrade) {
+      reply_data(home, requester, kGrant, line, t, /*hold_busy=*/true);
+    } else {
+      t += cost_.local_mem_latency;
+      reply_data(home, requester, kDataE, line, t, /*hold_busy=*/true);
+    }
+    return;
+  }
+
+  txns_[line] =
+      HomeTxn{is_upgrade ? HomeTxn::Kind::kUpgrade : HomeTxn::Kind::kWrite,
+              requester, static_cast<std::uint32_t>(targets.size())};
+  for (NodeId tgt : targets) {
+    send_coh(home, tgt, kInv, line, 0, t);
+    stats_.add("mem.inv_sent");
+  }
+}
+
+void MemorySystem::finish_write_txn(NodeId home, GAddr line, Cycles t) {
+  auto it = txns_.find(line);
+  assert(it != txns_.end());
+  HomeTxn txn = it->second;
+  txns_.erase(it);
+
+  DirEntry& e = dir_.entry(line);
+  e.state = DirState::kExclusive;
+  e.owner = txn.requester;
+  e.sharers.clear();
+  e.sw_extended = false;
+  if (txn.kind == HomeTxn::Kind::kUpgrade) {
+    reply_data(home, txn.requester, kGrant, line, t, /*hold_busy=*/true);
+  } else {
+    reply_data(home, txn.requester, kDataE, line,
+               t + cost_.local_mem_latency, /*hold_busy=*/true);
+  }
+}
+
+void MemorySystem::reply_data(NodeId home, NodeId requester, CohMsg kind,
+                              GAddr line, Cycles t, bool hold_busy) {
+  const std::uint32_t payload = (kind == kGrant) ? 0 : line_bytes_;
+  if (home == requester) {
+    send_coh(home, requester, kind, line, payload, t);
+    unbusy(home, line, t + 1 + cost_.cache_hit + 1);
+    return;
+  }
+  Packet p;
+  p.src = home;
+  p.dst = requester;
+  p.klass = PacketClass::kCoherence;
+  p.type = kind;
+  p.words = {line};
+  p.payload_bytes = payload;
+  const Cycles delivery = net_.send(std::move(p), t);
+  if (hold_busy) {
+    // Keep the line serialized until the requester's fill is installed so a
+    // later transaction cannot observe a half-transferred exclusive copy.
+    const Cycles when = delivery + cost_.cache_hit + 1;
+    sim_.schedule_at(when, [this, home, line, when] {
+      unbusy(home, line, when);
+    });
+  } else {
+    unbusy(home, line, t);
+  }
+}
+
+void MemorySystem::unbusy(NodeId home, GAddr line, Cycles t) {
+  if (t > sim_.now()) {
+    sim_.schedule_at(t, [this, home, line, t] { unbusy(home, line, t); });
+    return;
+  }
+  DirEntry& e = dir_.entry(line);
+  assert(e.busy);
+  e.busy = false;
+  if (!e.pending.empty()) {
+    DirEntry::Queued q = e.pending.front();
+    e.pending.pop_front();
+    start_txn(home, static_cast<CohMsg>(q.type), q.requester, line, t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full/empty-bit synchronization (J-/L-structures)
+// ---------------------------------------------------------------------------
+
+void MemorySystem::fe_access(NodeId node, MemOp op, GAddr addr,
+                             std::uint32_t size, std::uint64_t value,
+                             Cycles start, DoneFn done) {
+  // The full/empty bit rides with the word (Alewife keeps it in the memory
+  // line); its state changes linearize at the issue/commit points below.
+  // unordered_map references are stable across inserts, so holding st is ok.
+  FEState& st = fe_[addr];
+  switch (op) {
+    case MemOp::kStoreFE:
+      access(node, MemOp::kStore, addr, size, value, start,
+             [this, node, addr, size, done = std::move(done)](std::uint64_t) {
+               FEState& s2 = fe_[addr];
+               s2.full = true;
+               stats_.add("mem.fe_fills");
+               // Wake waiters in FIFO order at the fill's commit time; a
+               // taker consumes the fill, later waiters keep waiting.
+               std::vector<FEWaiter> waiters = std::move(s2.waiters);
+               s2.waiters.clear();
+               const Cycles t = sim_.now();
+               for (std::size_t i = 0; i < waiters.size(); ++i) {
+                 FEWaiter& w = waiters[i];
+                 if (!fe_[addr].full) {
+                   fe_[addr].waiters.push_back(std::move(w));
+                   continue;
+                 }
+                 fe_complete_reader(w.node, w.op, addr, w.size, t,
+                                    std::move(w.done));
+               }
+               done(0);
+             });
+      return;
+
+    case MemOp::kResetFE:
+      access(node, MemOp::kStore, addr, size, value, start,
+             [this, addr, done = std::move(done)](std::uint64_t) {
+               fe_[addr].full = false;
+               done(0);
+             });
+      return;
+
+    case MemOp::kLoadFE:
+    case MemOp::kTakeFE:
+      if (st.full) {
+        fe_complete_reader(node, op, addr, size, start, std::move(done));
+      } else {
+        stats_.add("mem.fe_waits");
+        st.waiters.push_back(FEWaiter{node, op, size, std::move(done)});
+      }
+      return;
+
+    default:
+      assert(false && "not an FE op");
+  }
+}
+
+void MemorySystem::fe_complete_reader(NodeId node, MemOp op, GAddr addr,
+                                      std::uint32_t size, Cycles start,
+                                      DoneFn done) {
+  if (op == MemOp::kTakeFE) {
+    // Take = atomic read + empty: the empty-bit update needs exclusivity,
+    // modelled as a read-modify-write that leaves the value unchanged.
+    fe_[addr].full = false;
+    access(node, MemOp::kFetchAdd, addr, size, 0, start, std::move(done));
+  } else {
+    access(node, MemOp::kLoad, addr, size, 0, start, std::move(done));
+  }
+}
+
+bool MemorySystem::is_remote_stall(NodeId node, MemOp op, GAddr addr) const {
+  if (memop_is_prefetch(op)) return false;  // prefetches never block
+  if (op == MemOp::kLoadFE || op == MemOp::kTakeFE) {
+    // An empty word blocks indefinitely — the prime switching opportunity.
+    return fe_would_block(addr);
+  }
+  if (memop_is_fe(op)) return false;  // FE stores behave like stores
+  if (gaddr_node(addr) == node) return false;  // local memory: short stall
+  const Cache& c = *caches_[node];
+  const GAddr line = c.line_of(addr);
+  const LineState st = c.peek(line);
+  if (op == MemOp::kLoad) return st == LineState::kInvalid;
+  return st != LineState::kModified;  // write/atomic needs exclusivity
+}
+
+// ---------------------------------------------------------------------------
+// DMA coherence hooks
+// ---------------------------------------------------------------------------
+
+Cycles MemorySystem::dma_source_flush(NodeId node, GAddr addr,
+                                      std::uint64_t len) {
+  assert(gaddr_node(addr) == node && "DMA source must be local memory");
+  Cache& c = *caches_[node];
+  Cycles cycles = 0;
+  const GAddr first = c.line_of(addr);
+  const GAddr last = c.line_of(addr + len - 1);
+  for (GAddr line = first; line <= last; line += line_bytes_) {
+    if (c.peek(line) == LineState::kModified) {
+      c.set_state(line, LineState::kShared);
+      DirEntry& e = dir_.entry(line);
+      if (!e.busy && e.state == DirState::kExclusive && e.owner == node) {
+        e.state = DirState::kShared;
+        e.owner = kInvalidNode;
+        e.sharers.clear();
+        e.sharers.push_back(node);
+      }
+      cycles += cost_.dma_per_line;
+      stats_.add("mem.dma_flush_lines");
+    }
+  }
+  return cycles;
+}
+
+Cycles MemorySystem::dma_dest_invalidate(NodeId node, GAddr addr,
+                                         std::uint64_t len) {
+  assert(gaddr_node(addr) == node && "DMA destination must be local memory");
+  Cache& c = *caches_[node];
+  Cycles cycles = 0;
+  const GAddr first = c.line_of(addr);
+  const GAddr last = c.line_of(addr + len - 1);
+  for (GAddr line = first; line <= last; line += line_bytes_) {
+    if (c.invalidate(line) != LineState::kInvalid) {
+      DirEntry& e = dir_.entry(line);
+      if (!e.busy) {
+        if (e.state == DirState::kExclusive && e.owner == node) {
+          e.state = DirState::kUncached;
+          e.owner = kInvalidNode;
+        } else {
+          e.remove_sharer(node);
+          if (e.state == DirState::kShared && e.sharers.empty()) {
+            e.state = DirState::kUncached;
+          }
+        }
+      }
+      cycles += 1;
+      stats_.add("mem.dma_inval_lines");
+    }
+  }
+  return cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants (tests)
+// ---------------------------------------------------------------------------
+
+void MemorySystem::check_invariants() const {
+  // Collect every cached line across the machine.
+  std::unordered_map<GAddr, std::vector<std::pair<NodeId, LineState>>> held;
+  for (NodeId n = 0; n < caches_.size(); ++n) {
+    for (auto& [line, st] : caches_[n]->snapshot()) {
+      held[line].emplace_back(n, st);
+    }
+  }
+
+  for (auto& [line, holders] : held) {
+    std::uint32_t modified = 0;
+    for (auto& [node, st] : holders) {
+      if (st == LineState::kModified) ++modified;
+    }
+    if (modified > 1) {
+      throw std::logic_error("coherence violation: multiple writers on line");
+    }
+    if (modified == 1 && holders.size() > 1) {
+      throw std::logic_error(
+          "coherence violation: modified line also cached elsewhere");
+    }
+    const DirEntry* e = dir_.find(line);
+    for (auto& [node, st] : holders) {
+      if (st == LineState::kModified) {
+        if (e == nullptr || e->state != DirState::kExclusive ||
+            e->owner != node) {
+          throw std::logic_error(
+              "coherence violation: dirty cache line not tracked Exclusive");
+        }
+      }
+      if (st == LineState::kShared) {
+        if (e == nullptr ||
+            (e->state == DirState::kExclusive && e->owner != node)) {
+          throw std::logic_error(
+              "coherence violation: shared copy of an exclusively-owned line");
+        }
+      }
+    }
+  }
+  if (!txns_.empty()) {
+    throw std::logic_error("dangling home transaction at quiesce");
+  }
+  if (!mshrs_.empty()) {
+    throw std::logic_error("dangling MSHR at quiesce");
+  }
+}
+
+}  // namespace alewife

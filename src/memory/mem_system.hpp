@@ -1,0 +1,234 @@
+// The coherent shared-memory system: caches + directories + MSI protocol.
+//
+// Processor-side operations (load/store/atomics/prefetch) are issued through
+// access(); completion is delivered by callback at the simulated completion
+// time. Protocol traffic travels on the same Network as user messages, as on
+// Alewife.
+//
+// Protocol summary (home-based MSI, dirty data forwarded *through* the home
+// node — the paper's §2.2 "intermediate node" behaviour, which is one of the
+// costs explicit messaging avoids):
+//   read miss   : RREQ -> home. Uncached/Shared: memory read, DATA_S back.
+//                 Exclusive: FETCH -> owner -> FETCH_REPLY -> home -> DATA_S.
+//   write miss  : WREQ -> home. Shared: INV fan-out, INV_ACK collection,
+//                 then DATA_E. Exclusive: FETCH_INV through home.
+//   upgrade     : UPGRADE -> home -> INVs -> GRANT (no data).
+// The home serializes transactions per line (busy window + pending queue).
+// Read fills use a short home-occupancy window and tolerate a chasing INV by
+// "poisoning" the fill (complete the load, don't cache the line) — the load
+// is linearized after the write, which is a legal SC outcome.
+//
+// LimitLESS: each directory entry has cfg.cost.dir_hw_pointers hardware
+// pointers; overflow charges cost.limitless_trap and steals those cycles from
+// the home *processor* via the trap hook, as the software-extension handler
+// runs there.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/backing_store.hpp"
+#include "memory/cache.hpp"
+#include "memory/directory.hpp"
+#include "network/network.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace alewife {
+
+enum class MemOp : std::uint8_t {
+  kLoad,
+  kStore,
+  kTestAndSet,  ///< atomically write `value`, return old
+  kFetchAdd,    ///< atomically add `value`, return old
+  kSwap,        ///< atomically exchange with `value`, return old
+  kPrefetch,    ///< non-binding read prefetch (shared state)
+  kPrefetchExcl, ///< non-binding exclusive prefetch
+
+  // Full/empty-bit fine-grain synchronization (Alewife J-/L-structures).
+  // Words start empty; readers block until a writer fills them.
+  kLoadFE,   ///< wait until full, read (leaves full) — J-structure read
+  kTakeFE,   ///< wait until full, read and mark empty — L-structure take
+  kStoreFE,  ///< write and mark full, waking any blocked readers
+  kResetFE,  ///< mark empty without reading (initialization)
+};
+
+constexpr bool memop_is_write(MemOp op) {
+  return op == MemOp::kStore || op == MemOp::kTestAndSet ||
+         op == MemOp::kFetchAdd || op == MemOp::kSwap ||
+         op == MemOp::kStoreFE || op == MemOp::kResetFE;
+}
+constexpr bool memop_is_prefetch(MemOp op) {
+  return op == MemOp::kPrefetch || op == MemOp::kPrefetchExcl;
+}
+constexpr bool memop_is_fe(MemOp op) {
+  return op == MemOp::kLoadFE || op == MemOp::kTakeFE ||
+         op == MemOp::kStoreFE || op == MemOp::kResetFE;
+}
+
+class MemorySystem {
+ public:
+  /// Completion callback; carries the loaded / old value (0 for stores).
+  using DoneFn = std::function<void(std::uint64_t)>;
+
+  /// Invoked when a LimitLESS software handler runs on `node` at `when` for
+  /// `cost` cycles (the Machine wires this to Processor::steal_cycles).
+  using TrapHook = std::function<void(NodeId node, Cycles when, Cycles cost)>;
+
+  MemorySystem(Simulator& sim, Network& net, BackingStore& store,
+               const MachineConfig& cfg, Stats& stats);
+
+  /// Issue a memory operation from `node` starting at time `start`
+  /// (>= sim.now()). `done` runs at the completion time. The access must not
+  /// cross a cache line. Prefetches complete (from the processor's view)
+  /// after cost.prefetch_issue; the fill continues in the background.
+  void access(NodeId node, MemOp op, GAddr addr, std::uint32_t size,
+              std::uint64_t value, Cycles start, DoneFn done);
+
+  /// CMMU DMA support: cost (cycles) of flushing dirty local-cache copies of
+  /// [addr, addr+len) to local memory before a DMA read. `addr` must be homed
+  /// on `node`.
+  Cycles dma_source_flush(NodeId node, GAddr addr, std::uint64_t len);
+
+  /// CMMU DMA support: cost of invalidating local-cache copies of
+  /// [addr, addr+len) after a DMA write into local memory.
+  Cycles dma_dest_invalidate(NodeId node, GAddr addr, std::uint64_t len);
+
+  /// Handle an incoming coherence packet for `node` (wired by the Machine).
+  void on_packet(NodeId node, const Packet& p);
+
+  /// Host-side predictor: would this access stall on a remote transaction?
+  /// (Used by the block-multithreading switch-on-miss decision; no stats or
+  /// LRU side effects.)
+  bool is_remote_stall(NodeId node, MemOp op, GAddr addr) const;
+
+  /// Host-side: is the full/empty word at `addr` currently empty (so a
+  /// kLoadFE/kTakeFE would block)?
+  bool fe_would_block(GAddr addr) const {
+    auto it = fe_.find(addr);
+    return it == fe_.end() || !it->second.full;
+  }
+
+  Cache& cache(NodeId node) { return *caches_[node]; }
+  BackingStore& store() { return store_; }
+  Directory& directory() { return dir_; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+
+  void set_trap_hook(TrapHook hook) { trap_hook_ = std::move(hook); }
+
+  /// Debug/tests: verify cache/directory agreement. Call only when the
+  /// machine is quiescent (no events pending). Throws std::logic_error on
+  /// violation.
+  void check_invariants() const;
+
+ private:
+  enum CohMsg : std::uint32_t {
+    kRReq,
+    kWReq,
+    kUpgrade,
+    kDataS,
+    kDataE,
+    kGrant,
+    kFetch,
+    kFetchInv,
+    kFetchReply,
+    kInv,
+    kInvAck,
+    kWriteback,
+    // Direct cache-to-cache forwarding (cfg.forward_dirty_direct): the home
+    // asks the owner to send data straight to the requester; the owner
+    // notifies the home with kFetchDone (carrying the time by which the
+    // requester's fill is installed, so the home can serialize safely).
+    kFetchFwd,
+    kFetchInvFwd,
+    kFetchDone,
+  };
+
+  struct Waiter {
+    MemOp op;
+    GAddr addr;
+    std::uint32_t size;
+    std::uint64_t value;
+    DoneFn done;
+  };
+
+  /// Processor-side miss-status holding register (one per in-flight line).
+  struct Mshr {
+    bool excl = false;           ///< fill will arrive in Modified state
+    bool prefetch_only = false;  ///< no demand waiter yet
+    bool took_slot = false;      ///< counted against the prefetch limit
+    bool poisoned = false;       ///< an INV chased the fill; don't cache it
+    std::vector<Waiter> waiters;
+  };
+
+  /// Home-side in-flight transaction on a line.
+  struct HomeTxn {
+    enum class Kind : std::uint8_t { kRead, kWrite, kUpgrade } kind;
+    NodeId requester = kInvalidNode;
+    std::uint32_t acks_left = 0;
+  };
+
+  static std::uint64_t mshr_key(NodeId node, GAddr line) {
+    return (static_cast<std::uint64_t>(node) << 48) | line;
+  }
+
+  void start_fill(NodeId node, GAddr line, bool excl, bool upgrade,
+                  bool prefetch_only, Waiter waiter, Cycles t);
+  void fill_complete(NodeId node, GAddr line, LineState st, Cycles t);
+  void complete_waiter(NodeId node, Waiter& w, LineState st, Cycles t);
+  void commit(NodeId node, MemOp op, GAddr addr, std::uint32_t size,
+              std::uint64_t value, Cycles t, const DoneFn& done);
+
+  void send_coh(NodeId src, NodeId dst, CohMsg type, GAddr line,
+                std::uint32_t payload_bytes, Cycles when,
+                std::uint64_t aux = 0);
+  void home_request(NodeId home, CohMsg type, NodeId requester, GAddr line,
+                    Cycles t);
+  void start_txn(NodeId home, CohMsg type, NodeId requester, GAddr line,
+                 Cycles t);
+  void finish_write_txn(NodeId home, GAddr line, Cycles t);
+  void reply_data(NodeId home, NodeId requester, CohMsg kind, GAddr line,
+                  Cycles t, bool hold_busy);
+  void unbusy(NodeId home, GAddr line, Cycles t);
+  void evict(NodeId node, GAddr line, LineState st, Cycles t);
+  Cycles charge_trap(NodeId home, Cycles t);
+
+  Simulator& sim_;
+  Network& net_;
+  BackingStore& store_;
+  Stats& stats_;
+  const MachineConfig& cfg_;
+  const CostModel& cost_;
+  std::uint32_t line_bytes_;
+
+  std::vector<std::unique_ptr<Cache>> caches_;
+  Directory dir_;
+  /// Full/empty synchronization state per word (lazily materialized; words
+  /// start empty).
+  struct FEWaiter {
+    NodeId node;
+    MemOp op;  ///< kLoadFE or kTakeFE
+    std::uint32_t size;
+    DoneFn done;
+  };
+  struct FEState {
+    bool full = false;
+    std::vector<FEWaiter> waiters;
+  };
+  void fe_access(NodeId node, MemOp op, GAddr addr, std::uint32_t size,
+                 std::uint64_t value, Cycles start, DoneFn done);
+  void fe_complete_reader(NodeId node, MemOp op, GAddr addr,
+                          std::uint32_t size, Cycles start, DoneFn done);
+
+  std::unordered_map<std::uint64_t, Mshr> mshrs_;
+  std::unordered_map<GAddr, HomeTxn> txns_;
+  std::unordered_map<GAddr, FEState> fe_;
+  std::vector<std::uint32_t> outstanding_prefetches_;
+  TrapHook trap_hook_;
+};
+
+}  // namespace alewife

@@ -1,0 +1,69 @@
+#include "network/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace alewife {
+
+Network::Network(Simulator& sim, const MachineConfig& cfg, Stats& stats)
+    : sim_(sim),
+      cost_(cfg.cost),
+      stats_(stats),
+      topo_(cfg.nodes, cfg.mesh_width),
+      receivers_(cfg.nodes),
+      link_busy_until_(topo_.link_count(), 0) {}
+
+void Network::set_receiver(NodeId node, Receiver r) {
+  assert(node < receivers_.size());
+  receivers_[node] = std::move(r);
+}
+
+Cycles Network::send(Packet p, Cycles depart) {
+  assert(p.dst < receivers_.size());
+  p.id = next_packet_id_++;
+
+  const std::uint32_t bytes = p.wire_bytes(cost_.packet_header_bytes);
+  const Cycles ser = serialization(bytes);
+
+  Cycles head = depart + cost_.net_inject;
+  if (p.src != p.dst) {
+    for (const LinkId link : topo_.route(p.src, p.dst)) {
+      const std::uint32_t li = topo_.link_index(link);
+      // The head stalls until the link frees, then reserves it for the
+      // packet's full serialization time.
+      Cycles acquire = head;
+      if (link_busy_until_[li] > acquire) {
+        acquire = link_busy_until_[li];
+        stats_.add("net.link_stall_cycles", acquire - head);
+      }
+      link_busy_until_[li] = acquire + ser;
+      head = acquire + cost_.net_hop;
+    }
+  }
+  const Cycles delivery = head + ser;
+
+  stats_.add("net.packets");
+  stats_.add("net.bytes", bytes);
+  if (p.klass == PacketClass::kCoherence) {
+    stats_.add("net.coherence_packets");
+  } else {
+    stats_.add("net.user_packets");
+  }
+
+  if (trace_ != nullptr && trace_->enabled(TraceCat::kNet)) {
+    trace_->emit(TraceCat::kNet, depart, p.src,
+                 "send #" + std::to_string(p.id) + " -> n" +
+                     std::to_string(p.dst) + " type=" +
+                     std::to_string(p.type) + " bytes=" +
+                     std::to_string(bytes) + " deliver@" +
+                     std::to_string(delivery));
+  }
+  const NodeId dst = p.dst;
+  sim_.schedule_at(delivery, [this, dst, pkt = std::move(p)]() mutable {
+    assert(receivers_[dst] && "packet delivered to node with no receiver");
+    receivers_[dst](std::move(pkt));
+  });
+  return delivery;
+}
+
+}  // namespace alewife

@@ -1,0 +1,63 @@
+// The interconnect: delivers packets between nodes with cut-through timing
+// and per-link contention.
+//
+// Timing model: a packet of B wire-bytes serializes into ceil(B / link_bw)
+// cycles. Its head advances one hop per `net_hop` cycles; each traversed link
+// is occupied for the serialization time starting when the head acquires it
+// (a busy-until reservation approximating wormhole flow). The tail therefore
+// arrives at head-arrival + serialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "network/packet.hpp"
+#include "network/topology.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace alewife {
+
+class Network {
+ public:
+  /// Called at packet delivery time (tail arrival) on the destination node.
+  using Receiver = std::function<void(Packet)>;
+
+  Network(Simulator& sim, const MachineConfig& cfg, Stats& stats);
+
+  /// Install the receiver for `node`. Packets of both classes arrive here;
+  /// the node dispatches on Packet::klass.
+  void set_receiver(NodeId node, Receiver r);
+
+  /// Inject `p` at time `depart` (>= now). Returns the delivery time.
+  Cycles send(Packet p, Cycles depart);
+
+  const MeshTopology& topology() const { return topo_; }
+  std::uint32_t hops(NodeId a, NodeId b) const { return topo_.hops(a, b); }
+
+  /// Serialization latency for a packet with `wire_bytes` bytes on the wire.
+  Cycles serialization(std::uint32_t wire_bytes) const {
+    const auto bw = cost_.link_bytes_per_cycle;
+    return (wire_bytes + bw - 1) / bw;
+  }
+
+  std::uint64_t packets_sent() const { return next_packet_id_; }
+
+  /// Attach a trace sink (optional; kNet category).
+  void set_trace(Trace* t) { trace_ = t; }
+
+ private:
+  Simulator& sim_;
+  const CostModel& cost_;
+  Stats& stats_;
+  MeshTopology topo_;
+  std::vector<Receiver> receivers_;
+  std::vector<Cycles> link_busy_until_;
+  std::uint64_t next_packet_id_ = 0;
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace alewife

@@ -1,0 +1,49 @@
+// Network packet: the unit of communication for both coherence traffic and
+// user-level (CMMU) messages — on Alewife they share one interconnect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// Which subsystem consumes the packet at the destination.
+enum class PacketClass : std::uint8_t {
+  kCoherence,    ///< cache-coherence protocol traffic (memory system)
+  kUserMessage,  ///< CMMU message (interrupts the processor)
+};
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PacketClass klass = PacketClass::kUserMessage;
+
+  /// Subsystem-defined message type (coherence opcode or user message type).
+  std::uint32_t type = 0;
+
+  /// Explicit header/operand words (the "explicit operands" of a CMMU
+  /// descriptor, or protocol fields for coherence packets).
+  std::vector<std::uint64_t> words;
+
+  /// Bulk payload carried by DMA (CMMU address/length pairs) or a cache line
+  /// (coherence data replies). Data values live in the nodes' backing stores;
+  /// the packet carries the bytes only when the receiver needs them (user
+  /// messages); coherence replies just model the size.
+  std::vector<std::uint8_t> payload;
+
+  /// Size in bytes used for serialization timing. Covers `payload` plus any
+  /// modelled-but-not-materialized data (e.g. a coherence line fill).
+  std::uint32_t payload_bytes = 0;
+
+  /// Monotonically increasing id, assigned by the network (debug/trace).
+  std::uint64_t id = 0;
+
+  std::uint32_t wire_bytes(std::uint32_t header_bytes) const {
+    return header_bytes +
+           static_cast<std::uint32_t>(words.size()) * 8u + payload_bytes;
+  }
+};
+
+}  // namespace alewife

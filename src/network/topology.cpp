@@ -1,0 +1,54 @@
+#include "network/topology.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace alewife {
+
+namespace {
+std::uint32_t pick_width(std::uint32_t nodes) {
+  std::uint32_t best = 1;
+  for (std::uint32_t w = 1;
+       w <= static_cast<std::uint32_t>(std::sqrt(double(nodes))); ++w) {
+    if (nodes % w == 0) best = w;
+  }
+  // Prefer the divisor pairing closest to square; `best` is the largest
+  // divisor <= sqrt(nodes), so width = best gives height = nodes/best >= best.
+  return nodes / best >= best ? nodes / best : best;
+}
+}  // namespace
+
+MeshTopology::MeshTopology(std::uint32_t nodes, std::uint32_t width)
+    : nodes_(nodes), width_(width == 0 ? pick_width(nodes) : width) {
+  assert(nodes_ > 0);
+  assert(width_ > 0);
+  height_ = (nodes_ + width_ - 1) / width_;
+  assert(width_ * height_ >= nodes_);
+}
+
+std::uint32_t MeshTopology::hops(NodeId a, NodeId b) const {
+  const auto dx = static_cast<std::int64_t>(x_of(a)) - x_of(b);
+  const auto dy = static_cast<std::int64_t>(y_of(a)) - y_of(b);
+  const auto abs64 = [](std::int64_t v) { return v < 0 ? -v : v; };
+  return static_cast<std::uint32_t>(abs64(dx) + abs64(dy));
+}
+
+std::vector<LinkId> MeshTopology::route(NodeId a, NodeId b) const {
+  std::vector<LinkId> links;
+  std::uint32_t x = x_of(a), y = y_of(a);
+  const std::uint32_t bx = x_of(b), by = y_of(b);
+  links.reserve(hops(a, b));
+  while (x != bx) {
+    const Dir d = (x < bx) ? Dir::kEast : Dir::kWest;
+    links.push_back({node_at(x, y), d});
+    x = (x < bx) ? x + 1 : x - 1;
+  }
+  while (y != by) {
+    const Dir d = (y < by) ? Dir::kSouth : Dir::kNorth;
+    links.push_back({node_at(x, y), d});
+    y = (y < by) ? y + 1 : y - 1;
+  }
+  return links;
+}
+
+}  // namespace alewife

@@ -1,0 +1,54 @@
+// 2-D mesh topology with dimension-order (X then Y) routing, as in Alewife.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// A directed link in the mesh, identified by its source node and direction.
+enum class Dir : std::uint8_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+struct LinkId {
+  NodeId from;
+  Dir dir;
+};
+
+class MeshTopology {
+ public:
+  /// Builds a `width` x ceil(nodes/width) mesh. width==0 picks the widest
+  /// w <= sqrt(nodes) that divides nodes (8x8 for 64 nodes).
+  MeshTopology(std::uint32_t nodes, std::uint32_t width = 0);
+
+  std::uint32_t nodes() const { return nodes_; }
+  std::uint32_t width() const { return width_; }
+  std::uint32_t height() const { return height_; }
+
+  std::uint32_t x_of(NodeId n) const { return n % width_; }
+  std::uint32_t y_of(NodeId n) const { return n / width_; }
+  NodeId node_at(std::uint32_t x, std::uint32_t y) const {
+    return y * width_ + x;
+  }
+
+  /// Manhattan hop count between two nodes.
+  std::uint32_t hops(NodeId a, NodeId b) const;
+
+  /// Directed links traversed routing from `a` to `b` (dimension order:
+  /// X first, then Y). Empty when a == b.
+  std::vector<LinkId> route(NodeId a, NodeId b) const;
+
+  /// Flat index of a directed link, for contention bookkeeping.
+  std::uint32_t link_index(LinkId l) const {
+    return l.from * 4u + static_cast<std::uint32_t>(l.dir);
+  }
+  std::uint32_t link_count() const { return nodes_ * 4u; }
+
+ private:
+  std::uint32_t nodes_;
+  std::uint32_t width_;
+  std::uint32_t height_;
+};
+
+}  // namespace alewife

@@ -1,0 +1,273 @@
+#include "proc/processor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace alewife {
+
+Processor::Processor(Simulator& sim, MemorySystem& ms, NodeId node,
+                     const CostModel& cost, Stats& stats,
+                     std::uint32_t store_buffer_depth)
+    : sim_(sim),
+      ms_(ms),
+      node_(node),
+      cost_(cost),
+      stats_(stats),
+      store_buffer_depth_(store_buffer_depth) {}
+
+// ---------------------------------------------------------------------------
+// Fiber-side API
+// ---------------------------------------------------------------------------
+
+void Processor::compute(Cycles n) {
+  assert(Fiber::current() == current_ && current_ != nullptr);
+  if (n == 0) return;
+  compute_end_ = free_at_ + n;
+  state_ = State::kComputing;
+  schedule_compute_wake();
+  Fiber::yield();
+  state_ = State::kRunning;
+  free_at_ = compute_end_;
+}
+
+void Processor::schedule_compute_wake() {
+  const std::uint64_t gen = ++wake_gen_;
+  sim_.schedule_at(compute_end_, [this, gen] {
+    if (gen != wake_gen_ || state_ != State::kComputing) return;
+    resume_current(compute_end_);
+  });
+}
+
+std::uint64_t Processor::mem(MemOp op, GAddr addr, std::uint32_t size,
+                             std::uint64_t value) {
+  assert(Fiber::current() == current_ && current_ != nullptr);
+
+  if ((op == MemOp::kLoadFE || op == MemOp::kTakeFE) && fe_block_ &&
+      pin_depth_ == 0 && ms_.fe_would_block(addr)) {
+    // Full/empty fault: trap, register the waiter, and suspend the thread —
+    // the processor must stay available (the producer may be queued right
+    // here). The FE fill re-readies us.
+    stats_.add("proc.fe_traps");
+    auto wake = fe_block_();
+    assert(wake && "fe_block hook must always provide a waker");
+    charge(cost_.fe_trap);
+    std::uint64_t result = 0;
+    ms_.access(node_, op, addr, size, value, free_at_,
+               [this, &result, wake](std::uint64_t v) {
+                 result = v;
+                 wake(sim_.now());
+               });
+    const Cycles t = free_at_;
+    current_ = nullptr;
+    state_ = State::kIdle;
+    if (release_) release_(t, false);
+    Fiber::yield();
+    state_ = State::kRunning;
+    return result;
+  }
+
+  if (multithread_ && mem_block_ && pin_depth_ == 0 &&
+      ms_.is_remote_stall(node_, op, addr)) {
+    // Block multithreading: hand the core to another ready thread for the
+    // duration of the remote transaction; the fill re-readies this thread.
+    // (An empty wake means nothing else is runnable: stall instead.)
+    auto wake = mem_block_();
+    if (wake) {
+    stats_.add("proc.context_switches");
+    charge(cost_.context_switch);
+    std::uint64_t result = 0;
+    ms_.access(node_, op, addr, size, value, free_at_,
+               [this, &result, wake](std::uint64_t v) {
+                 result = v;
+                 wake(sim_.now());
+               });
+    const Cycles t = free_at_;
+    current_ = nullptr;
+    state_ = State::kIdle;
+    if (release_) release_(t, false);
+    Fiber::yield();
+    // Re-dispatched after the fill: free_at_ was set by resume_current.
+    state_ = State::kRunning;
+    return result;
+    }
+  }
+
+  state_ = State::kWaitMem;
+  std::uint64_t result = 0;
+  ms_.access(node_, op, addr, size, value, free_at_,
+             [this, &result](std::uint64_t v) {
+               result = v;
+               // If a handler ran during the stall, resume after it.
+               const Cycles rt = std::max(sim_.now(), intr_until_);
+               if (rt > sim_.now()) {
+                 sim_.schedule_at(rt, [this, rt] { resume_current(rt); });
+               } else {
+                 resume_current(rt);
+               }
+             });
+  Fiber::yield();
+  state_ = State::kRunning;
+  return result;
+}
+
+void Processor::store_buffered(GAddr a, std::uint64_t v, std::uint32_t size) {
+  assert(Fiber::current() == current_ && current_ != nullptr);
+  if (store_buffer_depth_ == 0) {
+    mem(MemOp::kStore, a, size, v);
+    return;
+  }
+  if (outstanding_stores_ >= store_buffer_depth_) {
+    // Buffer full: stall until one slot drains (the completion callback
+    // below resumes us).
+    store_stall_waiting_ = true;
+    state_ = State::kWaitMem;
+    Fiber::yield();
+    state_ = State::kRunning;
+  }
+  ++outstanding_stores_;
+  stats_.add("proc.buffered_stores");
+  ms_.access(node_, MemOp::kStore, a, size, v, free_at_,
+             [this](std::uint64_t) {
+               assert(outstanding_stores_ > 0);
+               --outstanding_stores_;
+               const bool wake_slot =
+                   store_stall_waiting_ &&
+                   outstanding_stores_ < store_buffer_depth_;
+               const bool wake_fence =
+                   store_fence_waiting_ && outstanding_stores_ == 0;
+               if (wake_slot || wake_fence) {
+                 store_stall_waiting_ = false;
+                 store_fence_waiting_ = false;
+                 const Cycles rt = std::max(sim_.now(), intr_until_);
+                 if (rt > sim_.now()) {
+                   sim_.schedule_at(rt, [this, rt] { resume_current(rt); });
+                 } else {
+                   resume_current(rt);
+                 }
+               }
+             });
+  charge(cost_.cache_hit);  // the store retires into the buffer
+}
+
+void Processor::store_fence() {
+  assert(Fiber::current() == current_ && current_ != nullptr);
+  if (outstanding_stores_ == 0) return;
+  store_fence_waiting_ = true;
+  state_ = State::kWaitMem;
+  Fiber::yield();
+  state_ = State::kRunning;
+}
+
+void Processor::block() {
+  assert(Fiber::current() == current_ && current_ != nullptr);
+  const Cycles t = free_at_;
+  current_ = nullptr;
+  state_ = State::kIdle;
+  // Release synchronously: dispatch() only schedules events, so the next
+  // thread cannot actually start before this fiber yields below — and a
+  // deferred release would open a window where a wake re-dispatches this
+  // thread and the late release then clobbers the scheduler's bookkeeping.
+  if (release_) release_(t, false);
+  Fiber::yield();
+  state_ = State::kRunning;
+}
+
+void Processor::mask_interrupts() {
+  assert(!masked_ && "interrupt masks do not nest");
+  masked_ = true;
+}
+
+void Processor::unmask_interrupts() {
+  masked_ = false;
+  // Queued handlers run now, on the current thread's timeline: the thread's
+  // next operation starts after they finish.
+  while (!pending_intr_.empty()) {
+    InterruptHandler h = std::move(pending_intr_.front());
+    pending_intr_.pop_front();
+    const Cycles start = std::max(free_at_, intr_until_);
+    HandlerCtx ctx(node_, start + cost_.interrupt_entry);
+    h(ctx);
+    intr_until_ = ctx.now() + cost_.interrupt_return;
+    free_at_ = intr_until_;
+    stats_.add("proc.interrupts");
+    stats_.add("proc.interrupt_deferred");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler/CMMU side
+// ---------------------------------------------------------------------------
+
+void Processor::dispatch(Fiber* f, Cycles t) {
+  assert(current_ == nullptr && "dispatch on a busy processor");
+  assert(f != nullptr && !f->finished());
+  current_ = f;
+  const Cycles td = std::max({t, intr_until_, sim_.now()});
+  sim_.schedule_at(td, [this, f, td] {
+    assert(current_ == f);
+    resume_current(std::max(td, intr_until_));
+  });
+}
+
+void Processor::resume_current(Cycles t) {
+  assert(current_ != nullptr);
+  free_at_ = t;
+  state_ = State::kRunning;
+  Fiber* f = current_;
+  f->resume();
+  post_resume();
+}
+
+void Processor::post_resume() {
+  Fiber* f = current_;
+  if (f == nullptr) return;  // thread blocked via block()
+  if (f->finished()) {
+    current_ = nullptr;
+    state_ = State::kIdle;
+    const Cycles t = free_at_;
+    if (release_) release_(t, true);
+    return;
+  }
+  // Otherwise the fiber is suspended in compute()/mem(); a pending event
+  // will resume it.
+}
+
+void Processor::raise_interrupt(InterruptHandler h) {
+  if (masked_) {
+    pending_intr_.push_back(std::move(h));
+    return;
+  }
+  run_handler(h, sim_.now());
+}
+
+void Processor::run_handler(InterruptHandler& h, Cycles arrival) {
+  assert(state_ != State::kRunning &&
+         "interrupt cannot arrive while fiber host code runs");
+  const Cycles start = std::max(arrival, intr_until_);
+  HandlerCtx ctx(node_, start + cost_.interrupt_entry);
+  h(ctx);
+  const Cycles end = ctx.now() + cost_.interrupt_return;
+  intr_until_ = end;
+  stats_.add("proc.interrupts");
+  stats_.add("proc.interrupt_cycles", end - start);
+
+  if (state_ == State::kComputing) {
+    // Preemption: the in-progress compute slides out by the handler time.
+    compute_end_ += end - start;
+    schedule_compute_wake();
+  }
+  // kWaitMem: the memory-completion callback clamps to intr_until_.
+  // kIdle: the next dispatch clamps to intr_until_.
+}
+
+void Processor::steal_cycles(Cycles when, Cycles cost) {
+  const Cycles start = std::max(when, intr_until_);
+  intr_until_ = start + cost;
+  if (state_ == State::kComputing) {
+    compute_end_ += cost;
+    schedule_compute_wake();
+  }
+  stats_.add("proc.stolen_cycles", cost);
+}
+
+}  // namespace alewife

@@ -1,0 +1,227 @@
+// The processor model: one in-order core per node.
+//
+// A Processor executes at most one simulated thread (fiber) at a time and
+// keeps that thread's timeline. Fiber-side operations are blocking from the
+// thread's perspective:
+//   compute(n)       burn n cycles of local work (interruptible)
+//   mem(op, ...)     coherent shared-memory access (suspends until complete)
+//   block()          park the thread until some agent resumes it
+//
+// Message-arrival interrupts (raised by the CMMU) run as host callbacks that
+// charge cycles on this processor's timeline:
+//   - while computing: the handler preempts, pushing the remaining compute out
+//   - while waiting on memory: the handler runs concurrently with the stall;
+//     the resume is pushed to after the handler completes
+//   - while idle: the handler runs at arrival
+// Handlers can be masked (InterruptGuard); masked arrivals queue and run at
+// unmask time. Handlers must never block.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "memory/mem_system.hpp"
+#include "sim/config.hpp"
+#include "sim/fiber.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// Execution context passed to interrupt handlers. Tracks the simulated time
+/// consumed by the handler body.
+class HandlerCtx {
+ public:
+  HandlerCtx(NodeId node, Cycles start) : node_(node), t_(start) {}
+
+  NodeId node() const { return node_; }
+  Cycles now() const { return t_; }
+  void charge(Cycles c) { t_ += c; }
+
+ private:
+  NodeId node_;
+  Cycles t_;
+};
+
+using InterruptHandler = std::function<void(HandlerCtx&)>;
+
+class Processor {
+ public:
+  Processor(Simulator& sim, MemorySystem& ms, NodeId node,
+            const CostModel& cost, Stats& stats,
+            std::uint32_t store_buffer_depth = 4);
+
+  NodeId node() const { return node_; }
+
+  /// Time up to which this thread/processor has accounted work.
+  Cycles free_at() const { return free_at_; }
+
+  /// Earliest moment a new dispatch may begin (accounts for handler work
+  /// performed while idle).
+  Cycles ready_at() const { return intr_until_ > free_at_ ? intr_until_ : free_at_; }
+
+  bool idle() const { return current_ == nullptr; }
+  Fiber* current() const { return current_; }
+
+  // ---- Fiber-side API (call only from the fiber running on this core) ----
+
+  /// Burn `n` cycles of local computation. Interrupt handlers may preempt.
+  void compute(Cycles n);
+
+  /// Advance this thread's timeline by `n` cycles without yielding to the
+  /// event loop. Only for very short, non-interruptible sequences (e.g.
+  /// descriptor register writes); long work must use compute() so interrupts
+  /// can preempt it.
+  void charge(Cycles n) { free_at_ += n; }
+
+  /// Blocking coherent memory operation; returns the loaded/old value.
+  std::uint64_t mem(MemOp op, GAddr addr, std::uint32_t size,
+                    std::uint64_t value = 0);
+
+  std::uint64_t load(GAddr a, std::uint32_t size = 8) {
+    return mem(MemOp::kLoad, a, size);
+  }
+  void store(GAddr a, std::uint64_t v, std::uint32_t size = 8) {
+    mem(MemOp::kStore, a, size, v);
+  }
+  void prefetch(GAddr a) { mem(MemOp::kPrefetch, a, 8); }
+  void prefetch_excl(GAddr a) { mem(MemOp::kPrefetchExcl, a, 8); }
+
+  /// Weakly-ordered store through the write buffer: retires immediately
+  /// unless the buffer is full (then stalls for one slot). Completion order
+  /// relative to later accesses is NOT guaranteed — bracket with
+  /// store_fence() before any signalling. (The §2.2 "weak ordering" latency
+  /// tolerance; data-only buffers, never synchronization.)
+  void store_buffered(GAddr a, std::uint64_t v, std::uint32_t size = 8);
+
+  /// Drain the write buffer: returns when every buffered store has
+  /// committed.
+  void store_fence();
+
+  std::uint32_t outstanding_stores() const { return outstanding_stores_; }
+
+  /// Park the current thread. It resumes (after someone passes it to
+  /// dispatch()) with free_at set to the resume time. The release hook fires
+  /// so the scheduler can run something else.
+  void block();
+
+  /// Mask/unmask message interrupts (critical sections against handlers).
+  void mask_interrupts();
+  void unmask_interrupts();
+
+  // ---- Scheduler/CMMU-side API ----
+
+  /// Begin/resume running `f` at time >= t (also >= any pending handler
+  /// work). The processor must be idle.
+  void dispatch(Fiber* f, Cycles t);
+
+  /// Raised by the CMMU on message arrival (and by anything else that needs
+  /// to steal processor cycles asynchronously). `cost_hint` is added around
+  /// the handler body (interrupt entry/exit are charged automatically).
+  void raise_interrupt(InterruptHandler h);
+
+  /// Steal `cost` cycles at `when` without running code — used for LimitLESS
+  /// software-handler charges.
+  void steal_cycles(Cycles when, Cycles cost);
+
+  /// Hook invoked (in host time, at simulated time t) when the current fiber
+  /// blocks or finishes; `finished` distinguishes the two. The scheduler uses
+  /// it to dispatch the next thread.
+  using ReleaseHook = std::function<void(Cycles t, bool finished)>;
+  void set_release_hook(ReleaseHook h) { release_ = std::move(h); }
+
+  // ---- Block multithreading (Sparcle-style switch on remote miss) ----
+
+  /// Enable switching to another ready thread on remote misses. Requires the
+  /// mem-block hook below.
+  void set_multithread(bool on) { multithread_ = on; }
+
+  /// Called at the moment a thread is about to be switched out on a remote
+  /// miss; returns the wake callback that re-readies that thread when the
+  /// fill completes, or an empty function when the scheduler has nothing
+  /// else to run (in which case the processor stalls instead of switching —
+  /// Sparcle only switches to a *loaded, ready* context).
+  using MemBlockHook = std::function<std::function<void(Cycles)>()>;
+  void set_mem_block_hook(MemBlockHook h) { mem_block_ = std::move(h); }
+
+  /// Unconditional variant used by full/empty faults: an empty-word read
+  /// traps and suspends the thread even when nothing else is runnable (the
+  /// fill may only ever come from a thread queued on this very node).
+  void set_fe_block_hook(MemBlockHook h) { fe_block_ = std::move(h); }
+
+  /// While pinned, the current thread never switches on a miss (used around
+  /// simulated-lock critical sections, where descheduling the lock holder
+  /// would invert priorities).
+  void pin_context() { ++pin_depth_; }
+  void unpin_context() { --pin_depth_; }
+  bool context_pinned() const { return pin_depth_ > 0; }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,       ///< no fiber
+    kRunning,    ///< fiber executing host code right now
+    kComputing,  ///< fiber suspended inside compute()
+    kWaitMem,    ///< fiber suspended inside mem()
+  };
+
+  void schedule_compute_wake();
+  void resume_current(Cycles t);
+  void post_resume();
+  void run_handler(InterruptHandler& h, Cycles arrival);
+  void drain_interrupts(Cycles at);
+
+  Simulator& sim_;
+  MemorySystem& ms_;
+  NodeId node_;
+  const CostModel& cost_;
+  Stats& stats_;
+
+  Fiber* current_ = nullptr;
+  State state_ = State::kIdle;
+  Cycles free_at_ = 0;
+  Cycles compute_end_ = 0;
+  Cycles intr_until_ = 0;   ///< handler work accounted so far
+  std::uint64_t wake_gen_ = 0;
+  bool masked_ = false;
+  std::deque<InterruptHandler> pending_intr_;
+  ReleaseHook release_;
+  MemBlockHook mem_block_;
+  MemBlockHook fe_block_;
+  bool multithread_ = false;
+  int pin_depth_ = 0;
+
+  // Write buffer for store_buffered().
+  std::uint32_t store_buffer_depth_;
+  std::uint32_t outstanding_stores_ = 0;
+  bool store_stall_waiting_ = false;  ///< fiber parked on a slot or fence
+  bool store_fence_waiting_ = false;
+};
+
+/// RAII context pin.
+class ContextPin {
+ public:
+  explicit ContextPin(Processor& p) : p_(p) { p_.pin_context(); }
+  ~ContextPin() { p_.unpin_context(); }
+  ContextPin(const ContextPin&) = delete;
+  ContextPin& operator=(const ContextPin&) = delete;
+
+ private:
+  Processor& p_;
+};
+
+/// RAII interrupt mask (C++ Core Guidelines CP.20 style).
+class InterruptGuard {
+ public:
+  explicit InterruptGuard(Processor& p) : p_(p) { p_.mask_interrupts(); }
+  ~InterruptGuard() { p_.unmask_interrupts(); }
+  InterruptGuard(const InterruptGuard&) = delete;
+  InterruptGuard& operator=(const InterruptGuard&) = delete;
+
+ private:
+  Processor& p_;
+};
+
+}  // namespace alewife

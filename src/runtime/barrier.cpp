@@ -1,0 +1,162 @@
+#include "runtime/barrier.hpp"
+
+#include <cassert>
+
+#include "runtime/context.hpp"
+#include "runtime/msg_types.hpp"
+
+namespace alewife {
+
+CombiningBarrier::CombiningBarrier(RuntimeShared& shared, Mech mech,
+                                   std::uint32_t arity, MsgType msg_type_base)
+    : shared_(shared),
+      mech_(mech),
+      arity_(arity == 0 ? 2 : arity),
+      arrive_type_(msg_type_base),
+      wake_type_(msg_type_base + 1) {
+  const std::uint32_t n = static_cast<std::uint32_t>(shared.nodes.size());
+  state_.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    std::uint32_t kids = 0;
+    for (std::uint32_t c = arity_ * i + 1; c <= arity_ * i + arity_ && c < n;
+         ++c) {
+      ++kids;
+    }
+    state_[i].nchildren = kids;
+  }
+
+  if (mech_ == Mech::kShm) {
+    BackingStore& store = shared.ms.store();
+    const std::uint32_t line = shared.cfg.cache_line_bytes;
+    for (NodeId i = 0; i < n; ++i) {
+      state_[i].count_addr = store.alloc(i, line);
+      state_[i].release_addr = store.alloc(i, line);
+      store.write_uint(state_[i].count_addr, 8, state_[i].nchildren + 1);
+      store.write_uint(state_[i].release_addr, 8, 0);
+    }
+    return;
+  }
+
+  // Message mechanism: register per-node handlers.
+  for (NodeId i = 0; i < n; ++i) {
+    NodeRuntime& nrt = shared.peer(i);
+    nrt.cmmu().set_handler(arrive_type_, [this, i](HandlerCtx& hc, MsgView&) {
+      // Bump the arrival count and test the combining condition (software
+      // combining-tree bookkeeping).
+      hc.charge(12);
+      state_[i].pending_child_arrivals++;
+      msg_arrival_complete(i, &hc, nullptr);
+    });
+    nrt.cmmu().set_handler(wake_type_, [this, i](HandlerCtx& hc, MsgView&) {
+      hc.charge(8);  // episode bookkeeping before forwarding
+      msg_wake(i, &hc, nullptr);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory mechanism
+// ---------------------------------------------------------------------------
+
+void CombiningBarrier::wait(Context& ctx) {
+  const NodeId me = ctx.node();
+  NodeState& st = state_[me];
+  const std::uint64_t gen = ++st.my_gen;
+
+  if (state_.size() == 1) return;
+
+  if (mech_ == Mech::kShm) {
+    // Arrival: decrement my own count; the last arriver at each tree node
+    // carries the signal upward.
+    NodeId cur = me;
+    std::uint64_t old = ctx.fetch_add(state_[cur].count_addr, ~0ull);
+    while (old == 1) {
+      if (cur == 0) {
+        // Root complete: reset the root count and release the root.
+        ctx.store(state_[0].count_addr, state_[0].nchildren + 1);
+        ctx.store(state_[0].release_addr, gen);
+        break;
+      }
+      cur = parent(cur);
+      old = ctx.fetch_add(state_[cur].count_addr, ~0ull);
+    }
+
+    // Wait: spin on the locally-homed release word (cache hits until the
+    // parent's store invalidates the line).
+    while (ctx.load(st.release_addr) < gen) {
+      ctx.compute(4);
+    }
+
+    // Wake my subtree: reset my count for the next episode, then release
+    // each child (remote stores). The root already reset above.
+    if (me != 0) {
+      ctx.store(st.count_addr, st.nchildren + 1);
+    }
+    for (std::uint32_t c = arity_ * me + 1;
+         c <= arity_ * me + arity_ && c < state_.size(); ++c) {
+      ctx.store(state_[c].release_addr, gen);
+    }
+    return;
+  }
+
+  // -------------------------------------------------------------------------
+  // Message mechanism
+  // -------------------------------------------------------------------------
+  st.self_arrived = true;
+  msg_arrival_complete(me, nullptr, &ctx);
+
+  // Block until the wake reaches this node. The wake handler may already
+  // have run (it enqueues us as ready before we block; the scheduler then
+  // redispatches us immediately).
+  while (st.wake_gen < gen) {
+    st.waiting_thread = ctx.thread_id();
+    ctx.suspend();
+  }
+  st.waiting_thread = kInvalidId;
+}
+
+void CombiningBarrier::msg_arrival_complete(NodeId n, HandlerCtx* hc,
+                                            Context* ctx) {
+  NodeState& st = state_[n];
+  if (!st.self_arrived || st.pending_child_arrivals < st.nchildren) return;
+  st.pending_child_arrivals -= st.nchildren;
+  st.self_arrived = false;
+
+  if (n == 0) {
+    msg_wake(0, hc, ctx);
+    return;
+  }
+  MsgDescriptor d;
+  d.dst = parent(n);
+  d.type = arrive_type_;
+  if (hc != nullptr) {
+    shared_.peer(n).cmmu().send_from_handler(*hc, d);
+  } else {
+    ctx->send(d);
+  }
+}
+
+void CombiningBarrier::msg_wake(NodeId n, HandlerCtx* hc, Context* ctx) {
+  NodeState& st = state_[n];
+  st.wake_gen++;
+  for (std::uint32_t c = arity_ * n + 1;
+       c <= arity_ * n + arity_ && c < state_.size(); ++c) {
+    MsgDescriptor d;
+    d.dst = static_cast<NodeId>(c);
+    d.type = wake_type_;
+    if (hc != nullptr) {
+      shared_.peer(n).cmmu().send_from_handler(*hc, d);
+    } else {
+      ctx->send(d);
+    }
+  }
+  if (st.waiting_thread != kInvalidId) {
+    const std::uint64_t tid = st.waiting_thread;
+    st.waiting_thread = kInvalidId;
+    const Cycles t = hc != nullptr ? hc->now() : ctx->now();
+    if (hc != nullptr) hc->charge(2);
+    shared_.peer(n).enqueue_ready(tid, t);
+  }
+}
+
+}  // namespace alewife

@@ -1,0 +1,134 @@
+#include "runtime/bulk.hpp"
+
+#include <cassert>
+
+#include "runtime/context.hpp"
+#include "runtime/msg_types.hpp"
+
+namespace alewife {
+
+BulkCopyEngine::BulkCopyEngine(RuntimeShared& shared) : shared_(shared) {
+  for (NodeRuntime* nrt : shared_.nodes) {
+    Cmmu& cmmu = nrt->cmmu();
+    cmmu.set_handler(kMsgCopyData, [this, nrt](HandlerCtx& hc, MsgView& m) {
+      const GAddr dst = m.operand(hc, 0);
+      const NodeId reply_to = static_cast<NodeId>(m.operand(hc, 1));
+      const std::uint64_t seq = m.operand(hc, 2);
+      // Scatter the payload into local memory; the ack departs when the DMA
+      // engine finishes (completion interrupt on real hardware).
+      hc.charge(8);  // buffer validation / bookkeeping
+      const Cycles dma_done = m.storeback(hc, dst);
+      MsgDescriptor ack;
+      ack.dst = reply_to;
+      ack.type = kMsgCopyAck;
+      ack.operands = {seq};
+      nrt->cmmu().send_raw(ack, dma_done);
+    });
+    cmmu.set_handler(kMsgCopyPullReq, [nrt](HandlerCtx& hc, MsgView& m) {
+      const GAddr src = m.operand(hc, 0);
+      const std::uint64_t n = m.operand(hc, 1);
+      const GAddr dst = m.operand(hc, 2);
+      const NodeId requester = static_cast<NodeId>(m.operand(hc, 3));
+      const std::uint64_t seq = m.operand(hc, 4);
+      MsgDescriptor d;
+      d.dst = requester;
+      d.type = kMsgCopyData;
+      d.operands = {dst, requester, seq};
+      d.regions.push_back({src, static_cast<std::uint32_t>(n)});
+      nrt->cmmu().send_from_handler(hc, d);
+    });
+    cmmu.set_handler(kMsgCopyAck, [this](HandlerCtx& hc, MsgView& m) {
+      const std::uint64_t seq = m.operand(hc, 0);
+      auto it = pending_.find(seq);
+      assert(it != pending_.end() && "copy ack for unknown transfer");
+      Pending p = it->second;
+      pending_.erase(it);
+      hc.charge(2);
+      shared_.peer(p.node).enqueue_ready(p.thread, hc.now());
+    });
+  }
+}
+
+void BulkCopyEngine::copy(Context& ctx, GAddr dst, GAddr src, std::uint64_t n,
+                          CopyImpl impl, std::uint32_t prefetch_lines) {
+  if (n == 0) return;
+  switch (impl) {
+    case CopyImpl::kShmLoop:
+      copy_shm(ctx, dst, src, n, false, 0);
+      return;
+    case CopyImpl::kShmPrefetch:
+      copy_shm(ctx, dst, src, n, true, prefetch_lines);
+      return;
+    case CopyImpl::kMsgDma:
+      copy_msg(ctx, dst, src, n);
+      return;
+  }
+}
+
+void BulkCopyEngine::copy_pull(Context& ctx, GAddr local_dst, GAddr src,
+                               std::uint64_t n) {
+  assert(gaddr_node(local_dst) == ctx.node());
+  const NodeId src_node = gaddr_node(src);
+  if (src_node == ctx.node()) {
+    copy_msg(ctx, local_dst, src, n);
+    return;
+  }
+  ctx.charge(shared_.cfg.cost.bulk_setup);
+  const std::uint64_t seq = next_seq_++;
+  pending_[seq] = Pending{ctx.node(), ctx.runtime().current_thread(), false};
+  MsgDescriptor req;
+  req.dst = src_node;
+  req.type = kMsgCopyPullReq;
+  req.operands = {src, n, local_dst, ctx.node(), seq};
+  ctx.send(req);
+  ctx.suspend();  // woken by the ack when the DMA lands locally
+  shared_.stats.add("bulk.msg_pull_bytes", n);
+}
+
+void BulkCopyEngine::copy_shm(Context& ctx, GAddr dst, GAddr src,
+                              std::uint64_t n, bool prefetching,
+                              std::uint32_t prefetch_lines) {
+  assert(n % 8 == 0 && "shm copy works in doublewords");
+  const std::uint32_t line = shared_.cfg.cache_line_bytes;
+  for (std::uint64_t off = 0; off < n; off += 8) {
+    if (prefetching && off % line == 0) {
+      const std::uint64_t ahead = off + std::uint64_t{prefetch_lines} * line;
+      if (ahead < n) {
+        // "Prefetches one cache block ahead": both the next source line and
+        // the next destination line. The destination arrives shared and the
+        // stores below must upgrade it — the cost the paper observed.
+        ctx.prefetch(src + ahead);
+        ctx.prefetch(dst + ahead);
+      }
+    }
+    const std::uint64_t v = ctx.load(src + off, 8);
+    // Stores stream through the write buffer (weakly ordered; the fence
+    // below restores ordering before the copy is reported complete).
+    ctx.store_buffered(dst + off, v, 8);
+    ctx.charge(2);  // loop control + address generation
+  }
+  ctx.store_fence();
+  shared_.stats.add(prefetching ? "bulk.shm_prefetch_bytes" : "bulk.shm_bytes",
+                    n);
+}
+
+void BulkCopyEngine::copy_msg(Context& ctx, GAddr dst, GAddr src,
+                              std::uint64_t n) {
+  assert(gaddr_node(src) == ctx.node() &&
+         "message copy gathers from local memory");
+  ctx.charge(shared_.cfg.cost.bulk_setup);
+  const std::uint64_t seq = next_seq_++;
+  pending_[seq] =
+      Pending{ctx.node(), ctx.runtime().current_thread(), false};
+
+  MsgDescriptor d;
+  d.dst = gaddr_node(dst);
+  d.type = kMsgCopyData;
+  d.operands = {dst, ctx.node(), seq};
+  d.regions.push_back({src, static_cast<std::uint32_t>(n)});
+  ctx.send(d);
+  ctx.suspend();  // the ack handler readies us
+  shared_.stats.add("bulk.msg_bytes", n);
+}
+
+}  // namespace alewife

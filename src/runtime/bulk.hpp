@@ -1,0 +1,60 @@
+// Memory-to-memory bulk data transfer (paper §4.4, Figure 7).
+//
+// Three implementations of copying a block between nodes:
+//   kShmLoop     — doubleword loads/stores through the shared-memory
+//                  interface (the paper's "no-prefetching" curve)
+//   kShmPrefetch — the same loop, prefetching one cache block ahead (the
+//                  paper's "prefetching" curve; the destination prefetch
+//                  lands in shared state and forces an exclusive upgrade per
+//                  line, which is why the paper measures it *slower*)
+//   kMsgDma      — one message carrying the whole block via the CMMU's DMA
+//                  gather/scatter (the paper's "message-passing" curve)
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "runtime/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class Context;
+
+enum class CopyImpl : std::uint8_t { kShmLoop, kShmPrefetch, kMsgDma };
+
+class BulkCopyEngine {
+ public:
+  /// Registers the copy-data / copy-ack handlers on every node.
+  explicit BulkCopyEngine(RuntimeShared& shared);
+
+  /// Copy `n` bytes from `src` to `dst` (global addresses), blocking the
+  /// calling thread until the destination holds the data. For kMsgDma the
+  /// source must live in the caller's local memory (the DMA engine gathers
+  /// local memory only), matching the machine's real constraint.
+  void copy(Context& ctx, GAddr dst, GAddr src, std::uint64_t n,
+            CopyImpl impl, std::uint32_t prefetch_lines = 1);
+
+  /// Message-mechanism *pull*: fetch [src, src+n) from its (remote) home
+  /// into `local_dst` on the calling node. One small request message to the
+  /// producer, whose handler launches the DMA push; blocks until the data
+  /// has landed locally.
+  void copy_pull(Context& ctx, GAddr local_dst, GAddr src, std::uint64_t n);
+
+ private:
+  void copy_shm(Context& ctx, GAddr dst, GAddr src, std::uint64_t n,
+                bool prefetching, std::uint32_t prefetch_lines);
+  void copy_msg(Context& ctx, GAddr dst, GAddr src, std::uint64_t n);
+
+  struct Pending {
+    NodeId node;
+    std::uint64_t thread;
+    bool done = false;
+  };
+
+  RuntimeShared& shared_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace alewife

@@ -1,0 +1,83 @@
+#include "runtime/context.hpp"
+
+#include "runtime/scheduler.hpp"
+
+namespace alewife {
+
+NodeId Context::node() const { return nrt_.node(); }
+
+std::uint32_t Context::nodes() const {
+  return static_cast<std::uint32_t>(nrt_.shared().nodes.size());
+}
+
+Cycles Context::now() const { return nrt_.proc().free_at(); }
+
+Stats& Context::stats() { return nrt_.shared().stats; }
+
+void Context::compute(Cycles n) { nrt_.proc().compute(n); }
+void Context::charge(Cycles n) { nrt_.proc().charge(n); }
+
+std::uint64_t Context::load(GAddr a, std::uint32_t size) {
+  return nrt_.proc().mem(MemOp::kLoad, a, size);
+}
+void Context::store(GAddr a, std::uint64_t v, std::uint32_t size) {
+  nrt_.proc().mem(MemOp::kStore, a, size, v);
+}
+std::uint64_t Context::test_and_set(GAddr a, std::uint64_t v) {
+  return nrt_.proc().mem(MemOp::kTestAndSet, a, 8, v);
+}
+std::uint64_t Context::fetch_add(GAddr a, std::uint64_t delta) {
+  return nrt_.proc().mem(MemOp::kFetchAdd, a, 8, delta);
+}
+std::uint64_t Context::swap(GAddr a, std::uint64_t v) {
+  return nrt_.proc().mem(MemOp::kSwap, a, 8, v);
+}
+void Context::prefetch(GAddr a) { nrt_.proc().prefetch(a); }
+void Context::store_buffered(GAddr a, std::uint64_t v, std::uint32_t size) {
+  nrt_.proc().store_buffered(a, v, size);
+}
+void Context::store_fence() { nrt_.proc().store_fence(); }
+std::uint64_t Context::load_fe(GAddr a, std::uint32_t size) {
+  return nrt_.proc().mem(MemOp::kLoadFE, a, size);
+}
+std::uint64_t Context::take_fe(GAddr a, std::uint32_t size) {
+  return nrt_.proc().mem(MemOp::kTakeFE, a, size);
+}
+void Context::store_fe(GAddr a, std::uint64_t v, std::uint32_t size) {
+  nrt_.proc().mem(MemOp::kStoreFE, a, size, v);
+}
+void Context::reset_fe(GAddr a, std::uint64_t v, std::uint32_t size) {
+  nrt_.proc().mem(MemOp::kResetFE, a, size, v);
+}
+void Context::prefetch_excl(GAddr a) { nrt_.proc().prefetch_excl(a); }
+
+GAddr Context::shmalloc(NodeId home, std::uint64_t bytes) {
+  return nrt_.shared().ms.store().alloc(home, bytes);
+}
+
+Cycles Context::send(const MsgDescriptor& d) { return nrt_.cmmu().send(d); }
+
+void Context::set_handler(MsgType t, Cmmu::Handler h) {
+  nrt_.cmmu().set_handler(t, std::move(h));
+}
+
+void Context::mask_interrupts() { nrt_.proc().mask_interrupts(); }
+void Context::unmask_interrupts() { nrt_.proc().unmask_interrupts(); }
+
+FutureId Context::spawn(TaskFn fn) { return nrt_.spawn_task(std::move(fn)); }
+std::uint64_t Context::touch(FutureId f) { return nrt_.touch_future(f); }
+
+FutureId Context::invoke_msg(NodeId dst, TaskFn fn) {
+  return nrt_.invoke_msg(dst, std::move(fn));
+}
+FutureId Context::invoke_shm(NodeId dst, TaskFn fn) {
+  return nrt_.invoke_shm(dst, std::move(fn));
+}
+
+void Context::suspend() { nrt_.suspend_current(); }
+std::uint64_t Context::thread_id() const { return nrt_.current_thread(); }
+
+Processor& Context::proc() { return nrt_.proc(); }
+Cmmu& Context::cmmu() { return nrt_.cmmu(); }
+
+}  // namespace alewife

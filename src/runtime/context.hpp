@@ -1,0 +1,99 @@
+// Context: the per-node API surface handed to application threads — the
+// public face of the paper's "integrated interface". A thread can use
+// coherent shared memory, explicit messages, or the runtime primitives built
+// on both, whichever is cheapest for the operation at hand.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "cmmu/cmmu.hpp"
+#include "runtime/task.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class NodeRuntime;
+
+class Context {
+ public:
+  explicit Context(NodeRuntime& nrt) : nrt_(nrt) {}
+
+  // ---- Identity & time -----------------------------------------------------
+  NodeId node() const;
+  std::uint32_t nodes() const;
+  /// This thread's current simulated time.
+  Cycles now() const;
+  Stats& stats();
+
+  // ---- Local computation ---------------------------------------------------
+  /// Burn `n` cycles (interruptible by message handlers).
+  void compute(Cycles n);
+  /// Advance time by `n` without an interrupt point (short sequences only).
+  void charge(Cycles n);
+
+  // ---- Coherent shared memory (single instructions on Alewife) -------------
+  std::uint64_t load(GAddr a, std::uint32_t size = 8);
+  void store(GAddr a, std::uint64_t v, std::uint32_t size = 8);
+  std::uint64_t test_and_set(GAddr a, std::uint64_t v = 1);
+  std::uint64_t fetch_add(GAddr a, std::uint64_t delta);
+  std::uint64_t swap(GAddr a, std::uint64_t v);
+  void prefetch(GAddr a);       ///< non-binding, shared state
+  void prefetch_excl(GAddr a);  ///< non-binding, exclusive state
+
+  /// Weakly-ordered store through the write buffer (data only — bracket
+  /// with store_fence() before any signalling; see Processor).
+  void store_buffered(GAddr a, std::uint64_t v, std::uint32_t size = 8);
+  /// Drain the write buffer.
+  void store_fence();
+
+  // Full/empty-bit fine-grain synchronization (Alewife J-/L-structures).
+  // Words start empty; readers block until a producer store_fe()s.
+  std::uint64_t load_fe(GAddr a, std::uint32_t size = 8);  ///< wait, read
+  std::uint64_t take_fe(GAddr a, std::uint32_t size = 8);  ///< wait, read+empty
+  void store_fe(GAddr a, std::uint64_t v, std::uint32_t size = 8);
+  void reset_fe(GAddr a, std::uint64_t v = 0, std::uint32_t size = 8);
+
+  double load_f64(GAddr a) { return unpack_double(load(a, 8)); }
+  void store_f64(GAddr a, double d) { store(a, pack_double(d), 8); }
+
+  /// Allocate `bytes` of shared memory homed on `home` (setup; free).
+  GAddr shmalloc(NodeId home, std::uint64_t bytes);
+
+  // ---- Messages (describe-then-launch, paper §3) ----------------------------
+  /// Send a message; returns once the launch instruction retires.
+  Cycles send(const MsgDescriptor& d);
+  /// Register a handler for message type `t` on this node.
+  void set_handler(MsgType t, Cmmu::Handler h);
+  void mask_interrupts();
+  void unmask_interrupts();
+
+  // ---- Tasks, futures, remote invocation -----------------------------------
+  FutureId spawn(TaskFn fn);
+  std::uint64_t touch(FutureId f);
+  FutureId invoke_msg(NodeId dst, TaskFn fn);
+  FutureId invoke_shm(NodeId dst, TaskFn fn);
+
+  // ---- Low-level thread control (used by barrier/bulk libraries) -----------
+  void suspend();
+  std::uint64_t thread_id() const;
+  NodeRuntime& runtime() { return nrt_; }
+  Processor& proc();
+  Cmmu& cmmu();
+
+  static std::uint64_t pack_double(double d) {
+    std::uint64_t v;
+    std::memcpy(&v, &d, 8);
+    return v;
+  }
+  static double unpack_double(std::uint64_t v) {
+    double d;
+    std::memcpy(&d, &v, 8);
+    return d;
+  }
+
+ private:
+  NodeRuntime& nrt_;
+};
+
+}  // namespace alewife

@@ -1,0 +1,23 @@
+// Runtime-reserved user message types. Applications start at kMsgUserBase.
+#pragma once
+
+#include "cmmu/message.hpp"
+
+namespace alewife {
+
+enum RtMsg : MsgType {
+  kMsgStealReq = 1,    ///< thief -> victim: request one task
+  kMsgStealReply,      ///< victim -> thief: task id + marshaled args
+  kMsgStealNack,       ///< victim -> thief: nothing to steal
+  kMsgInvoke,          ///< remote thread invocation (task id + args)
+  kMsgFutureFill,      ///< future value + wake, bundled (sync + data)
+  kMsgWakeThread,      ///< ready a suspended thread
+  kMsgCopyData,        ///< bulk copy payload (DMA regions)
+  kMsgCopyAck,         ///< bulk copy acknowledgement
+  kMsgCopyPullReq,     ///< ask a producer node to DMA-push a block here
+  kMsgBarrierArrive,   ///< combining-tree arrival signal
+  kMsgBarrierWake,     ///< combining-tree wakeup signal
+  kMsgUserBase = 100,  ///< first application-defined type
+};
+
+}  // namespace alewife

@@ -1,0 +1,46 @@
+#include "runtime/parallel.hpp"
+
+namespace alewife {
+
+namespace {
+
+std::uint64_t reduce_rec(
+    Context& ctx, std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<std::uint64_t(Context&, std::uint64_t,
+                                      std::uint64_t)>& body) {
+  if (end - begin <= grain) {
+    return body(ctx, begin, end);
+  }
+  const std::uint64_t mid = begin + (end - begin) / 2;
+  const FutureId right = ctx.spawn([mid, end, grain, &body](Context& c) {
+    return reduce_rec(c, mid, end, grain, body);
+  });
+  const std::uint64_t left = reduce_rec(ctx, begin, mid, grain, body);
+  return left + ctx.touch(right);
+}
+
+}  // namespace
+
+void parallel_for(
+    Context& ctx, std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(Context&, std::uint64_t, std::uint64_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  parallel_reduce(ctx, begin, end, grain,
+                  [&body](Context& c, std::uint64_t a,
+                          std::uint64_t b) -> std::uint64_t {
+                    body(c, a, b);
+                    return 0;
+                  });
+}
+
+std::uint64_t parallel_reduce(
+    Context& ctx, std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<std::uint64_t(Context&, std::uint64_t,
+                                      std::uint64_t)>& body) {
+  if (begin >= end) return 0;
+  if (grain == 0) grain = 1;
+  return reduce_rec(ctx, begin, end, grain, body);
+}
+
+}  // namespace alewife

@@ -1,0 +1,30 @@
+// Structured parallel iteration on top of the task scheduler.
+//
+// parallel_for / parallel_reduce split the index range by recursive halving
+// (one spawn per split, lazy-task-creation style): when nobody steals, the
+// whole loop runs inline at sequential cost; when processors are idle, the
+// range spreads at log depth. This is the kind of library the paper's §6
+// envisions compilers targeting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/context.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// Apply `body(ctx, i0, i1)` over [begin, end) in chunks of at most `grain`
+/// indices. Blocks until the whole range is done.
+void parallel_for(
+    Context& ctx, std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(Context&, std::uint64_t, std::uint64_t)>& body);
+
+/// Sum of `body(ctx, i0, i1)` over disjoint chunks covering [begin, end).
+std::uint64_t parallel_reduce(
+    Context& ctx, std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<std::uint64_t(Context&, std::uint64_t,
+                                      std::uint64_t)>& body);
+
+}  // namespace alewife

@@ -1,0 +1,684 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/context.hpp"
+#include "runtime/msg_types.hpp"
+#include "sim/trace.hpp"
+
+namespace alewife {
+
+NodeRuntime::NodeRuntime(RuntimeShared& shared, Processor& proc, Cmmu& cmmu,
+                         FiberPool& pool, NodeId node)
+    : shared_(shared),
+      proc_(proc),
+      cmmu_(cmmu),
+      pool_(pool),
+      node_(node),
+      cost_(shared.cfg.cost),
+      queue_(shared.ms.store(), node, shared.opt.queue_capacity,
+             shared.cfg.cache_line_bytes),
+      wake_queue_(shared.ms.store(), node, 4096,
+                  shared.cfg.cache_line_bytes),
+      ctx_(std::make_unique<Context>(*this)),
+      rng_(shared.cfg.rng_seed ^ (0x9E3779B9ull * (node + 1))) {}
+
+NodeRuntime::~NodeRuntime() = default;
+
+void NodeRuntime::boot() {
+  proc_.set_release_hook(
+      [this](Cycles t, bool finished) { on_release(t, finished); });
+  proc_.set_multithread(shared_.cfg.multithread_on_miss);
+  proc_.set_fe_block_hook([this]() -> std::function<void(Cycles)> {
+    const std::uint64_t id = current_thread_;
+    return [this, id](Cycles t) { enqueue_ready(id, t); };
+  });
+  proc_.set_mem_block_hook([this]() -> std::function<void(Cycles)> {
+    // Only switch when there is something to switch *to*: a ready thread or
+    // queued work the idle loop could pick up.
+    const bool has_work =
+        !ready_threads_.empty() || !local_tasks_.empty() ||
+        queue_.host_size(shared_.ms.store()) > 0 ||
+        wake_queue_.host_size(shared_.ms.store()) > 0;
+    if (!has_work) return nullptr;
+    const std::uint64_t id = current_thread_;
+    return [this, id](Cycles t) {
+      // Hardware context reload: front of the queue, no dispatch cost.
+      threads_.at(id).fast_resume = true;
+      ready_threads_.push_front(id);
+      if (proc_.idle()) pick_next(std::max(t, proc_.ready_at()));
+    };
+  });
+  register_handlers();
+  shared_.sim.schedule_at(0, [this] {
+    if (proc_.idle()) pick_next(0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+std::uint64_t NodeRuntime::make_thread(std::function<void(Context&)> body) {
+  std::uint64_t id;
+  if (!free_thread_ids_.empty()) {
+    id = free_thread_ids_.back();
+    free_thread_ids_.pop_back();
+  } else {
+    id = threads_.size();
+    threads_.emplace_back();
+  }
+  ThreadRec& r = threads_[id];
+  r.fiber = pool_.acquire([this, body = std::move(body)] { body(*ctx_); });
+  r.live = true;
+  shared_.stats.add("rt.threads_created");
+  return id;
+}
+
+void NodeRuntime::recycle_thread(std::uint64_t id) {
+  ThreadRec& r = threads_.at(id);
+  assert(r.live);
+  pool_.release(std::move(r.fiber));
+  r.live = false;
+  free_thread_ids_.push_back(id);
+}
+
+void NodeRuntime::dispatch_thread(std::uint64_t id, Cycles t) {
+  ThreadRec& r = threads_.at(id);
+  assert(r.live && r.fiber);
+  current_thread_ = id;
+  proc_.dispatch(r.fiber.get(), t);
+}
+
+std::uint64_t NodeRuntime::start_thread(std::function<void(Context&)> body,
+                                        Cycles t) {
+  const std::uint64_t id = make_thread(std::move(body));
+  enqueue_ready(id, t);
+  return id;
+}
+
+void NodeRuntime::on_release(Cycles t, bool finished) {
+  const std::uint64_t tid = current_thread_;
+  current_thread_ = kInvalidId;
+  if (finished && tid != kInvalidId) recycle_thread(tid);
+  pick_next(t);
+}
+
+void NodeRuntime::pick_next(Cycles t) {
+  if (!proc_.idle()) return;
+  if (!ready_threads_.empty()) {
+    const std::uint64_t id = ready_threads_.front();
+    ready_threads_.pop_front();
+    ThreadRec& r = threads_.at(id);
+    const Cycles start_cost = r.fast_resume ? 0 : cost_.thread_start;
+    r.fast_resume = false;
+    dispatch_thread(id, t + start_cost);
+    return;
+  }
+  if (!shared_.stopping && !loop_active_) {
+    loop_active_ = true;
+    const std::uint64_t id =
+        make_thread([this](Context& c) { sched_loop(c); });
+    dispatch_thread(id, t + cost_.sched_poll);
+  }
+}
+
+void NodeRuntime::enqueue_ready(std::uint64_t id, Cycles t) {
+  ready_threads_.push_back(id);
+  // With block multithreading the idle loop's own thread can be the one
+  // being readied (it switched out on a miss while loop_active_ was set),
+  // so an idle processor must always re-enter pick_next here.
+  if (proc_.idle()) {
+    pick_next(std::max(t, proc_.ready_at()));
+  }
+}
+
+void NodeRuntime::kick(Cycles t) {
+  if (proc_.idle() && !loop_active_) pick_next(std::max(t, proc_.ready_at()));
+}
+
+void NodeRuntime::suspend_current() {
+  assert(current_thread_ != kInvalidId);
+  proc_.block();
+}
+
+// ---------------------------------------------------------------------------
+// Idle loop: poll local work, steal, run
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::sched_loop(Context& ctx) {
+  // Two backoffs: the local poll stays tight (so message-delivered work is
+  // picked up quickly), while failed steals back off aggressively (so idle
+  // thieves don't saturate victims' queue locks).
+  Cycles poll_backoff = shared_.opt.min_poll_backoff;
+  Cycles steal_backoff = shared_.opt.min_steal_backoff;
+  Cycles next_steal_at = proc_.free_at();
+  while (!shared_.stopping) {
+    if (!ready_threads_.empty()) break;
+    std::uint64_t entry = try_pop_local(ctx);
+    if (entry == 0 && shared_.opt.stealing && shared_.nodes.size() > 1 &&
+        proc_.free_at() >= next_steal_at) {
+      // A thief that has been failing for a while (backoff at cap) takes
+      // even a lone queued task: leaving it for its busy owner could strand
+      // a large subtree behind a long-running thread.
+      const bool desperate =
+          steal_backoff >= shared_.opt.max_steal_backoff;
+      entry = steal_once(ctx, desperate);
+      if (entry != 0) {
+        steal_backoff = shared_.opt.min_steal_backoff;
+      } else {
+        next_steal_at = proc_.free_at() + steal_backoff;
+        steal_backoff = std::min(steal_backoff * 2,
+                                 shared_.opt.max_steal_backoff);
+      }
+    }
+    if (entry != 0) {
+      if (entry_is_thread(entry)) {
+        // A thread-wake token pushed through our shm queue: ready it and
+        // exit; the release hook dispatches it.
+        enqueue_ready(entry_thread(entry), proc_.free_at());
+        break;
+      }
+      loop_active_ = false;
+      run_task_inline(ctx, entry_task(entry));
+      return;
+    }
+    proc_.compute(cost_.sched_poll + poll_backoff);
+    poll_backoff = std::min(poll_backoff * 2, shared_.opt.max_poll_backoff);
+  }
+  loop_active_ = false;
+}
+
+std::uint64_t NodeRuntime::try_pop_local(Context& ctx) {
+  // Wake tokens first: a readied thread beats starting new work.
+  if (wake_queue_.host_size(shared_.ms.store()) > 0) {
+    const std::uint64_t e = wake_queue_.pop_tail(proc_);
+    if (e != 0) return e;
+  }
+  // Host-side task deque first (message-delivered work; the hybrid local
+  // queue). Mutated by handlers too, hence the interrupt mask.
+  if (!local_tasks_.empty()) {
+    InterruptGuard g(proc_);
+    proc_.charge(shared_.opt.local_queue_op);
+    if (!local_tasks_.empty()) {
+      const TaskId id = local_tasks_.back();
+      local_tasks_.pop_back();
+      return encode_task(id);
+    }
+  }
+  // Then the shared-memory queue (shm-mode spawns, shm invokes, thread
+  // tokens). The free host_size probe stands in for the cached poll loads;
+  // real coherence costs are paid as soon as there is something to take.
+  if (queue_.host_size(shared_.ms.store()) > 0) {
+    return queue_.pop_tail(proc_);
+  }
+  (void)ctx;
+  return 0;
+}
+
+std::uint64_t NodeRuntime::steal_once(Context& ctx, bool desperate) {
+  const std::uint32_t n = static_cast<std::uint32_t>(shared_.nodes.size());
+  NodeId victim = static_cast<NodeId>(rng_.below(n - 1));
+  if (victim >= node_) ++victim;
+  shared_.stats.add("rt.steal_attempts");
+  const std::uint64_t e = shared_.opt.mode == SchedMode::kShm
+                              ? steal_shm(ctx, victim, desperate)
+                              : steal_hybrid(ctx, victim);
+  if (e != 0) {
+    shared_.stats.add("rt.steals");
+    if (shared_.trace != nullptr &&
+        shared_.trace->enabled(TraceCat::kSched)) {
+      shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
+                          "steal from n" + std::to_string(victim) +
+                              " entry=" + std::to_string(e));
+    }
+  }
+  return e;
+}
+
+std::uint64_t NodeRuntime::steal_shm(Context& ctx, NodeId victim,
+                                     bool desperate) {
+  (void)ctx;
+  // Search for work by scanning other nodes' queue sizes. The scan itself is
+  // modelled as (nearly) free: an idle thief spins over cached copies of the
+  // tail words, so repeated looks at quiet queues cost almost nothing. Once a
+  // candidate is found, the thief pays real coherence traffic: a fresh read
+  // of the victim's tail (the copy is surely stale), then the lock
+  // acquisition and the steal itself.
+  const std::uint32_t n = static_cast<std::uint32_t>(shared_.nodes.size());
+  const std::uint64_t min_size = desperate ? 1 : shared_.opt.steal_min_size;
+  NodeId v = victim;
+  NodeId best = kInvalidNode;
+  std::uint64_t best_size = 0;
+  for (std::uint32_t probe = 0; probe < shared_.opt.steal_probe_victims;
+       ++probe) {
+    const std::uint64_t sz =
+        shared_.peer(v).queue().host_size(shared_.ms.store());
+    if (sz >= min_size && sz > best_size) {
+      best = v;
+      best_size = sz;
+    }
+    proc_.compute(2);
+    v = static_cast<NodeId>(rng_.below(n - 1));
+    if (v >= node_) ++v;
+  }
+  if (best == kInvalidNode) return 0;
+  // The deepest of the scanned queues is both the biggest work and the most
+  // likely to still hold something once we get the lock.
+  SharedTaskQueue& vq = shared_.peer(best).queue();
+  ContextPin pin(proc_);  // never get descheduled while holding the lock
+  if (vq.probe_size_cheap(proc_) >= min_size &&
+      vq.try_lock(proc_)) {
+    const std::uint64_t e = vq.steal_head_unlocked(
+        proc_, [](std::uint64_t x) { return !entry_is_thread(x); });
+    vq.unlock(proc_);
+    return e;
+  }
+  return 0;  // raced or contended; retreat and back off
+}
+
+std::uint64_t NodeRuntime::steal_hybrid(Context& ctx, NodeId victim) {
+  (void)ctx;
+  steal_done_ = false;
+  steal_result_ = 0;
+  steal_waiting_ = true;
+  MsgDescriptor d;
+  d.dst = victim;
+  d.type = kMsgStealReq;
+  d.operands = {node_};
+  cmmu_.send(d);
+  // Poll for the reply in short interruptible slices; the reply handler
+  // preempts one of them and fills steal_result_.
+  Cycles guard = 0;
+  while (!steal_done_ && !shared_.stopping) {
+    proc_.compute(4);
+    guard += 4;
+    if (guard > 1'000'000) {
+      throw std::logic_error("steal reply never arrived (node " +
+                             std::to_string(node_) + ")");
+    }
+  }
+  steal_waiting_ = false;
+  return steal_result_;
+}
+
+void NodeRuntime::run_task_inline(Context& ctx, TaskId id, bool fresh_thread) {
+  TaskRec& t = shared_.registry.task(id);
+  t.state = TaskState::kClaimed;
+  // Lazy task creation: a popped/stolen task materializes a thread when it
+  // starts running; an inlined touch reuses the toucher's thread for free.
+  if (fresh_thread) proc_.charge(cost_.thread_create);
+  shared_.stats.add("rt.tasks_run");
+  if (shared_.trace != nullptr && shared_.trace->enabled(TraceCat::kSched)) {
+    shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
+                        std::string("run task=") + std::to_string(id) +
+                            (fresh_thread ? "" : " (inlined)"));
+  }
+  TaskFn fn = std::move(t.fn);
+  t.fn = nullptr;
+  const std::uint64_t v = fn(ctx);
+  shared_.registry.task(id).state = TaskState::kDone;
+  fill_future(shared_.registry.task(id).future, v);
+}
+
+// ---------------------------------------------------------------------------
+// Tasks & futures (fiber side)
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::push_local_task(TaskId id) {
+  if (shared_.opt.mode == SchedMode::kShm) {
+    queue_.push(proc_, encode_task(id));
+  } else {
+    InterruptGuard g(proc_);
+    proc_.charge(shared_.opt.local_queue_op);
+    local_tasks_.push_back(id);
+  }
+}
+
+FutureId NodeRuntime::spawn_task(TaskFn fn) {
+  proc_.charge(cost_.task_create);
+  FutureRec fr;
+  fr.home = node_;
+  if (shared_.opt.mode == SchedMode::kShm) {
+    const GAddr cell = shared_.ms.store().alloc(node_, 16);
+    fr.flag_addr = cell;
+    fr.value_addr = cell + 8;
+  }
+  const FutureId fid = shared_.registry.add_future(std::move(fr));
+  TaskRec tr;
+  tr.fn = std::move(fn);
+  tr.future = fid;
+  tr.state = TaskState::kQueued;
+  tr.origin = node_;
+  tr.arg_words = shared_.opt.task_arg_words;
+  const TaskId tid = shared_.registry.add_task(std::move(tr));
+  shared_.registry.future(fid).task = tid;
+  push_local_task(tid);
+  shared_.stats.add("rt.spawns");
+  if (shared_.trace != nullptr && shared_.trace->enabled(TraceCat::kSched)) {
+    shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
+                        "spawn task=" + std::to_string(tid));
+  }
+  return fid;
+}
+
+std::uint64_t NodeRuntime::touch_future(FutureId f) {
+  // Registry references must never be held across a yielding operation
+  // (another thread's spawn can reallocate the tables), so this function
+  // copies what it needs and re-looks-up after every charged step. Returned
+  // values come from the host-side record (functional truth); the
+  // shared-memory loads are issued for their timing.
+  const bool shm = shared_.opt.mode == SchedMode::kShm;
+  GAddr value_addr = kNullGAddr;
+  {
+    FutureRec& fr = shared_.registry.future(f);
+    value_addr = fr.value_addr;
+  }
+  proc_.charge(cost_.touch_check);
+  if (shm) {
+    FutureRec& fr0 = shared_.registry.future(f);
+    proc_.mem(MemOp::kLoad, fr0.flag_addr, 8);  // the full/empty-bit probe
+  }
+  {
+    FutureRec& fr = shared_.registry.future(f);
+    if (fr.filled) {
+      const std::uint64_t v = fr.value;
+      if (shm) proc_.mem(MemOp::kLoad, value_addr, 8);
+      return v;
+    }
+  }
+
+  // Unresolved. Lazy-task-creation fast path: if the producing task is still
+  // sitting un-stolen at the tail of our own queue, run it inline in this
+  // thread — the overhead stays purely local.
+  const TaskId tid = shared_.registry.future(f).task;
+  if (tid != kInvalidId) {
+    TaskRec& t = shared_.registry.task(tid);
+    if (t.state == TaskState::kQueued && t.origin == node_) {
+      bool inlined = false;
+      if (shm) {
+        ContextPin pin(proc_);
+        queue_.lock(proc_);
+        const std::uint64_t e = queue_.pop_tail_unlocked(proc_);
+        if (e == encode_task(tid)) {
+          inlined = true;
+        } else if (e != 0) {
+          queue_.push_tail_unlocked(proc_, e);
+        }
+        queue_.unlock(proc_);
+      } else {
+        InterruptGuard g(proc_);
+        proc_.charge(shared_.opt.local_queue_op);
+        if (!local_tasks_.empty() && local_tasks_.back() == tid) {
+          local_tasks_.pop_back();
+          inlined = true;
+        }
+      }
+      if (inlined) {
+        shared_.stats.add("rt.touch_inlined");
+        run_task_inline(*ctx_, tid, /*fresh_thread=*/false);
+        std::uint64_t v;
+        {
+          FutureRec& fr = shared_.registry.future(f);
+          assert(fr.filled);
+          v = fr.value;
+        }
+        if (shm) {
+          proc_.mem(MemOp::kLoad, value_addr, 8);
+        } else {
+          proc_.charge(1);
+        }
+        return v;
+      }
+    }
+  }
+
+  // Two-phase wait: spin briefly on the full/empty flag (the producer often
+  // finishes within a few hundred cycles), then suspend. In shared-memory
+  // mode the spin re-reads the flag word — cache hits until the producer's
+  // store invalidates the line.
+  {
+    const Cycles spin_until = proc_.free_at() + shared_.opt.touch_spin;
+    GAddr flag_addr = shared_.registry.future(f).flag_addr;
+    while (proc_.free_at() < spin_until) {
+      if (shared_.registry.future(f).filled) break;
+      if (shm) {
+        proc_.mem(MemOp::kLoad, flag_addr, 8);
+        proc_.compute(4);
+      } else {
+        proc_.compute(6);
+      }
+    }
+  }
+  {
+    FutureRec& fr = shared_.registry.future(f);
+    if (!fr.filled) {
+      shared_.stats.add("rt.touch_suspended");
+      fr.waiters.push_back(FutureWaiter{node_, current_thread_});
+      suspend_current();
+    }
+  }
+  std::uint64_t v;
+  {
+    FutureRec& fr = shared_.registry.future(f);
+    assert(fr.filled);
+    v = fr.value;
+  }
+  if (shm) {
+    proc_.mem(MemOp::kLoad, value_addr, 8);
+  } else {
+    proc_.charge(1);
+  }
+  return v;
+}
+
+void NodeRuntime::fill_future(FutureId f, std::uint64_t value) {
+  const bool shm = shared_.opt.mode == SchedMode::kShm;
+  GAddr value_addr, flag_addr;
+  std::vector<FutureWaiter> waiters;
+  {
+    FutureRec& fr = shared_.registry.future(f);
+    assert(!fr.filled);
+    // Host truth first: a toucher arriving from now on sees the value and
+    // never registers as a waiter, so draining `waiters` below is complete.
+    fr.filled = true;
+    fr.value = value;
+    value_addr = fr.value_addr;
+    flag_addr = fr.flag_addr;
+    waiters = std::move(fr.waiters);
+    fr.waiters.clear();
+  }
+  proc_.charge(cost_.future_fill);
+  if (shm) {
+    proc_.mem(MemOp::kStore, value_addr, 8, value);
+    proc_.mem(MemOp::kStore, flag_addr, 8, 1);
+  }
+  for (const FutureWaiter& w : waiters) {
+    if (w.node == node_) {
+      proc_.charge(2);
+      enqueue_ready(w.thread, proc_.free_at());
+    } else if (shm) {
+      // Shared-memory wake: push a thread token through the waiter's wake
+      // queue with remote coherence transactions; its idle loop will find it.
+      shared_.peer(w.node).wake_queue().push(proc_, encode_thread(w.thread));
+      shared_.stats.add("rt.shm_remote_wakes");
+    } else {
+      // Hybrid wake: one message bundling the value with the wakeup.
+      MsgDescriptor d;
+      d.dst = w.node;
+      d.type = kMsgFutureFill;
+      d.operands = {f, value, w.thread};
+      cmmu_.send(d);
+      shared_.stats.add("rt.msg_remote_wakes");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Remote thread invocation (paper §4.3)
+// ---------------------------------------------------------------------------
+
+FutureId NodeRuntime::invoke_msg(NodeId dst, TaskFn fn) {
+  // The descriptor writes below carry the whole marshaling cost; beyond
+  // them the invoker only burns a few bookkeeping cycles (the paper's
+  // T_invoker = 17 is essentially describe + launch).
+  proc_.charge(4);
+  FutureRec fr;
+  fr.home = node_;
+  if (shared_.opt.mode == SchedMode::kShm) {
+    const GAddr cell = shared_.ms.store().alloc(node_, 16);
+    fr.flag_addr = cell;
+    fr.value_addr = cell + 8;
+  }
+  const FutureId fid = shared_.registry.add_future(std::move(fr));
+  TaskRec tr;
+  tr.fn = std::move(fn);
+  tr.future = fid;
+  tr.state = TaskState::kClaimed;  // in flight, not in any queue
+  tr.arg_words = shared_.opt.invoke_arg_words;
+  const TaskId tid = shared_.registry.add_task(std::move(tr));
+  shared_.registry.future(fid).task = tid;
+
+  // All the information needed to invoke the thread is marshaled into a
+  // single message, unpacked and queued atomically by the receiver.
+  MsgDescriptor d;
+  d.dst = dst;
+  d.type = kMsgInvoke;
+  d.operands.push_back(encode_task(tid));
+  for (std::uint32_t i = 0; i < shared_.opt.invoke_arg_words; ++i) {
+    d.operands.push_back(0);  // modelled argument words
+  }
+  cmmu_.send(d);
+  shared_.stats.add("rt.invokes_msg");
+  return fid;
+}
+
+FutureId NodeRuntime::invoke_shm(NodeId dst, TaskFn fn) {
+  proc_.charge(4);
+  FutureRec fr;
+  fr.home = node_;
+  if (shared_.opt.mode == SchedMode::kShm) {
+    const GAddr cell = shared_.ms.store().alloc(node_, 16);
+    fr.flag_addr = cell;
+    fr.value_addr = cell + 8;
+  }
+  const FutureId fid = shared_.registry.add_future(std::move(fr));
+  TaskRec tr;
+  tr.fn = std::move(fn);
+  tr.future = fid;
+  tr.state = TaskState::kQueued;
+  tr.origin = dst;
+  tr.arg_words = shared_.opt.task_arg_words;
+  const TaskId tid = shared_.registry.add_task(std::move(tr));
+  shared_.registry.future(fid).task = tid;
+
+  // Acquire the remote queue lock, write the descriptor words, unlock: every
+  // step is remote coherence traffic (the cost the paper measures as 353
+  // invoker cycles). Argument words are written into the slot line.
+  SharedTaskQueue& vq = shared_.peer(dst).queue();
+  ContextPin pin(proc_);
+  vq.lock(proc_);
+  vq.push_tail_unlocked(proc_, encode_task(tid));
+  // Write the marshaled arguments into the remote task record: real remote
+  // stores, two argument words per (16-byte) line.
+  // The shm invoke passes large arguments by reference; only a compact
+  // record (code pointer + a few words) is written remotely.
+  const GAddr argbuf = shared_.ms.store().alloc(
+      dst, std::uint64_t{shared_.opt.task_arg_words} * 8);
+  for (std::uint32_t i = 0; i < shared_.opt.task_arg_words; ++i) {
+    proc_.mem(MemOp::kStore, argbuf + i * 8, 8, 0);
+  }
+  vq.unlock(proc_);
+  shared_.stats.add("rt.invokes_shm");
+  return fid;
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::deliver_task(TaskId id, Cycles t) {
+  (void)t;
+  TaskRec& tr = shared_.registry.task(id);
+  tr.state = TaskState::kQueued;
+  tr.origin = node_;
+  local_tasks_.push_back(id);
+}
+
+void NodeRuntime::register_handlers() {
+  cmmu_.set_handler(kMsgStealReq, [this](HandlerCtx& hc, MsgView& m) {
+    const NodeId thief = static_cast<NodeId>(m.operand(hc, 0));
+    hc.charge(shared_.opt.local_queue_op);
+    if (!local_tasks_.empty()) {
+      const TaskId id = local_tasks_.front();  // oldest == biggest work
+      local_tasks_.pop_front();
+      TaskRec& t = shared_.registry.task(id);
+      t.state = TaskState::kClaimed;  // migrating
+      MsgDescriptor d;
+      d.dst = thief;
+      d.type = kMsgStealReply;
+      d.operands.push_back(encode_task(id));
+      for (std::uint32_t i = 0; i < t.arg_words; ++i) d.operands.push_back(0);
+      cmmu_.send_from_handler(hc, d);
+      shared_.stats.add("rt.steal_grants");
+    } else {
+      MsgDescriptor d;
+      d.dst = thief;
+      d.type = kMsgStealNack;
+      cmmu_.send_from_handler(hc, d);
+    }
+  });
+
+  cmmu_.set_handler(kMsgStealReply, [this](HandlerCtx& hc, MsgView& m) {
+    const std::uint64_t entry = m.operand(hc, 0);
+    if (steal_waiting_) {
+      steal_result_ = entry;
+      steal_done_ = true;
+    } else {
+      // Thief gave up (stop raced the reply): requeue the task locally so
+      // the work is not lost.
+      deliver_task(entry_task(entry), hc.now());
+      hc.charge(shared_.opt.local_queue_op);
+    }
+  });
+
+  cmmu_.set_handler(kMsgStealNack, [this](HandlerCtx& hc, MsgView&) {
+    hc.charge(1);
+    if (steal_waiting_) {
+      steal_result_ = 0;
+      steal_done_ = true;
+    }
+  });
+
+  cmmu_.set_handler(kMsgInvoke, [this](HandlerCtx& hc, MsgView& m) {
+    const std::uint64_t entry = m.operand(hc, 0);
+    // Unpack the argument words from the window into a task record, then
+    // queue it atomically.
+    const std::size_t extra = m.operand_count() - 1;
+    hc.charge(static_cast<Cycles>(extra) * (cost_.window_read + 2));
+    hc.charge(shared_.opt.local_queue_op + 16);
+    deliver_task(entry_task(entry), hc.now());
+  });
+
+  cmmu_.set_handler(kMsgFutureFill, [this](HandlerCtx& hc, MsgView& m) {
+    const FutureId f = m.operand(hc, 0);
+    const std::uint64_t value = m.operand(hc, 1);
+    const std::uint64_t thread = m.operand(hc, 2);
+    FutureRec& fr = shared_.registry.future(f);
+    fr.filled = true;
+    fr.value = value;
+    hc.charge(2);
+    enqueue_ready(thread, hc.now());
+  });
+
+  cmmu_.set_handler(kMsgWakeThread, [this](HandlerCtx& hc, MsgView& m) {
+    const std::uint64_t thread = m.operand(hc, 0);
+    hc.charge(1);
+    enqueue_ready(thread, hc.now());
+  });
+}
+
+}  // namespace alewife

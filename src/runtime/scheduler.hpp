@@ -1,0 +1,194 @@
+// The thread scheduler — the paper's §4.5 experimental subject.
+//
+// Two interchangeable back ends schedule the same task/future programming
+// model (lazy-task-creation style: spawn pushes a task descriptor, touch
+// inlines the task if nobody stole it, stolen tasks migrate):
+//
+//   kShm    — every scheduler data structure lives in simulated shared
+//             memory. Spawn/pop are lock-protected SharedTaskQueue
+//             operations; thieves reach into the victim's queue with remote
+//             shared-memory transactions; futures are filled through shm
+//             stores, and wakeups travel as thread tokens pushed through the
+//             waiter's shm queue.
+//
+//   kHybrid — local queue operations are plain local work under an interrupt
+//             mask; stealing, remote invocation and future-fill wakeups
+//             travel as single messages that bundle synchronization with
+//             data (the paper's §2.2 third scenario).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cmmu/cmmu.hpp"
+#include "proc/processor.hpp"
+#include "runtime/shared_queue.hpp"
+#include "runtime/task.hpp"
+#include "sim/config.hpp"
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace alewife {
+
+class Context;
+class NodeRuntime;
+
+enum class SchedMode : std::uint8_t { kShm, kHybrid };
+
+struct RuntimeOptions {
+  SchedMode mode = SchedMode::kHybrid;
+  bool stealing = true;          ///< idle nodes search for remote work
+  std::uint32_t queue_capacity = 16384;
+  Cycles min_poll_backoff = 8;   ///< idle-loop local poll backoff range
+  Cycles max_poll_backoff = 64;
+  Cycles min_steal_backoff = 64; ///< inter-steal-attempt backoff range
+  Cycles max_steal_backoff = 768;
+  std::uint32_t task_arg_words = 4;  ///< modelled marshaled argument size
+  std::uint32_t invoke_arg_words = 10;  ///< marshaled words for remote invoke
+  std::uint32_t steal_probe_victims = 3;  ///< shm: queues probed per round
+  std::uint32_t steal_min_size = 2;  ///< don't steal from shorter queues
+  Cycles local_queue_op = 20;    ///< hybrid: masked local queue push/pop
+  Cycles touch_spin = 0;       ///< two-phase wait: spin budget before suspend
+};
+
+/// Machine-wide runtime state shared by all NodeRuntimes.
+struct RuntimeShared {
+  RuntimeShared(Simulator& s, MemorySystem& m, Stats& st,
+                const MachineConfig& c, RuntimeOptions o)
+      : sim(s), ms(m), stats(st), cfg(c), opt(o), rng(c.rng_seed ^ 0xABCD) {}
+
+  Simulator& sim;
+  MemorySystem& ms;
+  Stats& stats;
+  const MachineConfig& cfg;
+  RuntimeOptions opt;
+  Rng rng;
+
+  TaskRegistry registry;
+  std::vector<NodeRuntime*> nodes;  ///< filled by the Machine at boot
+  bool stopping = false;
+  Trace* trace = nullptr;  ///< optional sink for kSched events
+
+  NodeRuntime& peer(NodeId n) { return *nodes.at(n); }
+};
+
+class NodeRuntime {
+ public:
+  NodeRuntime(RuntimeShared& shared, Processor& proc, Cmmu& cmmu,
+              FiberPool& pool, NodeId node);
+  ~NodeRuntime();
+
+  NodeId node() const { return node_; }
+  Processor& proc() { return proc_; }
+  Cmmu& cmmu() { return cmmu_; }
+  Context& ctx() { return *ctx_; }
+  RuntimeShared& shared() { return shared_; }
+  SharedTaskQueue& queue() { return queue_; }
+
+  /// Shared-memory ready-thread queue: remote future-fillers push wake
+  /// tokens here (never into the stealable work queue, where a token at the
+  /// head would wall off the tasks behind it from every thief).
+  SharedTaskQueue& wake_queue() { return wake_queue_; }
+
+  /// Install message handlers and the processor release hook, and kick the
+  /// idle loop. Called once by the Machine before simulation starts.
+  void boot();
+
+  /// Create a thread running `body` and make it ready (no cycles charged —
+  /// used for test/bench injection and the program entry thread).
+  std::uint64_t start_thread(std::function<void(Context&)> body, Cycles t);
+
+  // ---- Fiber-side operations (called from Context) ----
+
+  FutureId spawn_task(TaskFn fn);
+  std::uint64_t touch_future(FutureId f);
+  void fill_future(FutureId f, std::uint64_t value);
+
+  /// Remote thread invocation (paper §4.3), both mechanisms. Returns the
+  /// future of the invoked task.
+  FutureId invoke_msg(NodeId dst, TaskFn fn);
+  FutureId invoke_shm(NodeId dst, TaskFn fn);
+
+  /// Park the current thread; returns after someone wakes it.
+  void suspend_current();
+  std::uint64_t current_thread() const { return current_thread_; }
+
+  // ---- Host-side operations (handlers, scheduler plumbing) ----
+
+  /// Make thread `id` runnable at time `t` (host bookkeeping only; the
+  /// caller charges whatever cycles the wake costs).
+  void enqueue_ready(std::uint64_t id, Cycles t);
+
+  /// Restart scheduling on an idle processor (used between run phases, after
+  /// `stopping` made the idle loop exit).
+  void kick(Cycles t);
+
+  /// Hand a claimed task to this node (message-invoke / steal delivery).
+  void deliver_task(TaskId id, Cycles t);
+
+  Fiber* thread_fiber(std::uint64_t id) { return threads_.at(id).fiber.get(); }
+
+ private:
+  friend class Context;
+
+  struct ThreadRec {
+    std::unique_ptr<Fiber> fiber;
+    bool live = false;
+    /// Set when the thread was switched out on a remote miss: it resumes as
+    /// a hardware context reload (no software dispatch cost, scheduled ahead
+    /// of ordinary ready threads).
+    bool fast_resume = false;
+  };
+
+  std::uint64_t make_thread(std::function<void(Context&)> body);
+  void recycle_thread(std::uint64_t id);
+  void dispatch_thread(std::uint64_t id, Cycles t);
+  void on_release(Cycles t, bool finished);
+  void pick_next(Cycles t);
+  void sched_loop(Context& ctx);
+  void run_task_inline(Context& ctx, TaskId id, bool fresh_thread = true);
+
+  /// Pop one unit of local work (charged). 0 when none.
+  std::uint64_t try_pop_local(Context& ctx);
+
+  /// One steal round (charged). Returns a claimed task id entry or 0.
+  std::uint64_t steal_once(Context& ctx, bool desperate);
+  std::uint64_t steal_shm(Context& ctx, NodeId victim, bool desperate);
+  std::uint64_t steal_hybrid(Context& ctx, NodeId victim);
+
+  void push_local_task(TaskId id);
+  void register_handlers();
+
+  RuntimeShared& shared_;
+  Processor& proc_;
+  Cmmu& cmmu_;
+  FiberPool& pool_;
+  NodeId node_;
+  const CostModel& cost_;
+  SharedTaskQueue queue_;
+  SharedTaskQueue wake_queue_;
+  std::unique_ptr<Context> ctx_;
+
+  std::vector<ThreadRec> threads_;
+  std::vector<std::uint64_t> free_thread_ids_;
+  std::deque<std::uint64_t> ready_threads_;
+  std::deque<TaskId> local_tasks_;  ///< hybrid-mode local queue (host side)
+
+  std::uint64_t current_thread_ = kInvalidId;
+  bool loop_active_ = false;
+
+  /// Per-victim last-seen queue tail (cached-probe model).
+  std::vector<std::uint64_t> probe_seen_;
+
+  // Hybrid steal-reply rendezvous.
+  bool steal_waiting_ = false;
+  bool steal_done_ = false;
+  std::uint64_t steal_result_ = 0;
+
+  Rng rng_;
+};
+
+}  // namespace alewife

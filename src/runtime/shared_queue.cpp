@@ -1,0 +1,129 @@
+#include "runtime/shared_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace alewife {
+
+SharedTaskQueue::SharedTaskQueue(BackingStore& store, NodeId home,
+                                 std::uint32_t capacity,
+                                 std::uint32_t line_bytes)
+    : store_(store), home_(home), capacity_(capacity) {
+  // Lock, head and tail each get their own line to avoid false sharing
+  // (the "carefully tuned" layout the paper alludes to).
+  lock_addr_ = store.alloc(home, line_bytes);
+  head_addr_ = store.alloc(home, line_bytes);
+  tail_addr_ = store.alloc(home, line_bytes);
+  slots_ = store.alloc(home, std::uint64_t{capacity} * 8);
+}
+
+bool SharedTaskQueue::try_lock(Processor& p) {
+  // Test-and-test-and-set: probe with a (shareable) load first so failed
+  // attempts don't bounce the lock line between caches.
+  if (p.mem(MemOp::kLoad, lock_addr_, 8) != 0) return false;
+  return p.mem(MemOp::kTestAndSet, lock_addr_, 8, 1) == 0;
+}
+
+void SharedTaskQueue::lock(Processor& p) {
+  Cycles backoff = 4;
+  while (!try_lock(p)) {
+    p.compute(backoff);
+    if (backoff < 128) backoff *= 2;
+  }
+}
+
+void SharedTaskQueue::unlock(Processor& p) {
+  p.mem(MemOp::kStore, lock_addr_, 8, 0);
+}
+
+void SharedTaskQueue::push_tail_unlocked(Processor& p, std::uint64_t entry) {
+  const std::uint64_t head = p.mem(MemOp::kLoad, head_addr_, 8);
+  const std::uint64_t tail = p.mem(MemOp::kLoad, tail_addr_, 8);
+  if (tail - head >= capacity_) {
+    throw std::runtime_error("SharedTaskQueue overflow (raise capacity)");
+  }
+  p.mem(MemOp::kStore, slot_addr(tail), 8, entry);
+  p.mem(MemOp::kStore, tail_addr_, 8, tail + 1);
+}
+
+std::uint64_t SharedTaskQueue::pop_tail_unlocked(Processor& p) {
+  const std::uint64_t head = p.mem(MemOp::kLoad, head_addr_, 8);
+  const std::uint64_t tail = p.mem(MemOp::kLoad, tail_addr_, 8);
+  if (head == tail) return 0;
+  const std::uint64_t entry = p.mem(MemOp::kLoad, slot_addr(tail - 1), 8);
+  p.mem(MemOp::kStore, tail_addr_, 8, tail - 1);
+  return entry;
+}
+
+std::uint64_t SharedTaskQueue::steal_head_unlocked(
+    Processor& p, const std::function<bool(std::uint64_t)>& accept) {
+  const std::uint64_t head = p.mem(MemOp::kLoad, head_addr_, 8);
+  const std::uint64_t tail = p.mem(MemOp::kLoad, tail_addr_, 8);
+  if (head == tail) return 0;
+  const std::uint64_t entry = p.mem(MemOp::kLoad, slot_addr(head), 8);
+  if (entry == 0 || !accept(entry)) return 0;
+  p.mem(MemOp::kStore, head_addr_, 8, head + 1);
+  return entry;
+}
+
+void SharedTaskQueue::push(Processor& p, std::uint64_t entry) {
+  ContextPin pin(p);  // never switch out while holding the queue lock
+  lock(p);
+  push_tail_unlocked(p, entry);
+  unlock(p);
+}
+
+std::uint64_t SharedTaskQueue::pop_tail(Processor& p) {
+  ContextPin pin(p);
+  lock(p);
+  const std::uint64_t e = pop_tail_unlocked(p);
+  unlock(p);
+  return e;
+}
+
+std::uint64_t SharedTaskQueue::steal_head(
+    Processor& p, const std::function<bool(std::uint64_t)>& accept) {
+  ContextPin pin(p);
+  lock(p);
+  const std::uint64_t e = steal_head_unlocked(p, accept);
+  unlock(p);
+  return e;
+}
+
+std::uint64_t SharedTaskQueue::probe_size(Processor& p) {
+  const std::uint64_t head = p.mem(MemOp::kLoad, head_addr_, 8);
+  const std::uint64_t tail = p.mem(MemOp::kLoad, tail_addr_, 8);
+  return tail - head;
+}
+
+std::uint64_t SharedTaskQueue::probe_size_cheap(Processor& p) {
+  const std::uint64_t tail = p.mem(MemOp::kLoad, tail_addr_, 8);
+  const std::uint64_t head = store_.read_uint(head_addr_, 8);
+  return tail >= head ? tail - head : 0;
+}
+
+std::uint64_t SharedTaskQueue::probe_cached(Processor& p,
+                                            std::uint64_t& seen_tail,
+                                            Cycles hit_cost) {
+  // Callers initialize seen_tail to ~0 ("never seen"), which cannot match a
+  // real tail value in practice.
+  const std::uint64_t cur_tail = store_.read_uint(tail_addr_, 8);
+  std::uint64_t tail;
+  if (cur_tail == seen_tail) {
+    p.charge(hit_cost);  // our cached copy is still valid
+    tail = cur_tail;
+  } else {
+    tail = p.mem(MemOp::kLoad, tail_addr_, 8);
+  }
+  seen_tail = tail;
+  const std::uint64_t head = store_.read_uint(head_addr_, 8);
+  return tail >= head ? tail - head : 0;
+}
+
+std::uint64_t SharedTaskQueue::host_size(const BackingStore& store) const {
+  const std::uint64_t head = store.read_uint(head_addr_, 8);
+  const std::uint64_t tail = store.read_uint(tail_addr_, 8);
+  return tail - head;
+}
+
+}  // namespace alewife

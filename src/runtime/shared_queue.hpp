@@ -1,0 +1,85 @@
+// A task queue living entirely in simulated shared memory, protected by a
+// test-and-set lock — the data structure at the heart of the paper's
+// shared-memory-only scheduler. The owner pushes/pops at the tail (LIFO, for
+// locality); thieves take from the head (FIFO, oldest == biggest work).
+// Every operation executes real coherent-memory transactions from the calling
+// thread's processor, so local ops are cheap (cached) and remote ops pay the
+// full protocol cost the paper describes (lock round trips, line bounces
+// through the home node).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "memory/backing_store.hpp"
+#include "proc/processor.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class SharedTaskQueue {
+ public:
+  /// Allocates the queue's words in shared memory homed on `home`.
+  SharedTaskQueue(BackingStore& store, NodeId home, std::uint32_t capacity,
+                  std::uint32_t line_bytes);
+
+  NodeId home() const { return home_; }
+
+  /// Acquire the queue lock, spinning with exponential backoff.
+  void lock(Processor& p);
+
+  /// One test-and-set attempt; true on success.
+  bool try_lock(Processor& p);
+
+  void unlock(Processor& p);
+
+  /// Owner-side push at the tail. Caller must hold the lock... or use the
+  /// locked_* convenience wrappers below.
+  void push_tail_unlocked(Processor& p, std::uint64_t entry);
+  std::uint64_t pop_tail_unlocked(Processor& p);  ///< 0 when empty
+
+  /// Thief-side pop at the head; `accept` (host predicate, reading the entry
+  /// the caller just loaded) can refuse an entry — e.g. a thread token —
+  /// leaving it in place. Returns the entry or 0.
+  std::uint64_t steal_head_unlocked(
+      Processor& p, const std::function<bool(std::uint64_t)>& accept);
+
+  // Lock-wrapped compound operations.
+  void push(Processor& p, std::uint64_t entry);
+  std::uint64_t pop_tail(Processor& p);
+  std::uint64_t steal_head(Processor& p,
+                           const std::function<bool(std::uint64_t)>& accept);
+
+  /// Unlocked size probe (two loads): used by thieves to pick victims.
+  std::uint64_t probe_size(Processor& p);
+
+  /// One-load probe: read the tail word only (the head is consulted from the
+  /// thief's stale cached copy — conservative, since the head only moves when
+  /// someone steals). Half the sharing footprint of probe_size.
+  std::uint64_t probe_size_cheap(Processor& p);
+
+  /// Spin-style probe: if the tail word is unchanged since the caller's last
+  /// probe (tracked in `seen_tail`), it still sits in the caller's cache and
+  /// the probe costs a hit; otherwise a real coherence read is issued (which
+  /// re-registers the caller as a sharer the owner must invalidate later).
+  std::uint64_t probe_cached(Processor& p, std::uint64_t& seen_tail,
+                             Cycles hit_cost);
+
+  /// Host-side size (no cycles charged; tests and fast checks).
+  std::uint64_t host_size(const BackingStore& store) const;
+
+ private:
+  GAddr slot_addr(std::uint64_t index) const {
+    return slots_ + (index % capacity_) * 8;
+  }
+
+  BackingStore& store_;
+  NodeId home_;
+  std::uint32_t capacity_;
+  GAddr lock_addr_;
+  GAddr head_addr_;
+  GAddr tail_addr_;
+  GAddr slots_;
+};
+
+}  // namespace alewife

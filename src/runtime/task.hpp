@@ -1,0 +1,107 @@
+// Tasks and futures.
+//
+// A task is a unit of stealable work created by spawn(); it computes a
+// 64-bit value and fills a future. Task *closures* are host objects held in
+// the machine-wide TaskRegistry; what travels through simulated shared memory
+// or messages is the task id plus a modelled argument size, so the timing of
+// marshaling is honest while the functional payload stays on the host
+// (documented substitution, DESIGN.md §5).
+//
+// Future synchronization metadata (full flag + value word) lives in simulated
+// shared memory so that touch/fill pay real coherence costs in the
+// shared-memory-only runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class Context;
+
+using TaskId = std::uint64_t;
+using FutureId = std::uint64_t;
+
+constexpr std::uint64_t kInvalidId = ~std::uint64_t{0};
+
+/// Task body: runs in a simulated thread, returns the future's value.
+using TaskFn = std::function<std::uint64_t(Context&)>;
+
+enum class TaskState : std::uint8_t {
+  kQueued,   ///< sitting in some node's task queue
+  kClaimed,  ///< popped/stolen/inlined; running or about to
+  kDone,
+};
+
+struct TaskRec {
+  TaskFn fn;
+  FutureId future = kInvalidId;
+  TaskState state = TaskState::kQueued;
+  NodeId origin = kInvalidNode;  ///< node whose queue holds it (when kQueued)
+  std::uint32_t arg_words = 2;   ///< modelled marshaled-argument size
+};
+
+struct FutureWaiter {
+  NodeId node;
+  std::uint64_t thread;  ///< ThreadRec id on that node
+};
+
+struct FutureRec {
+  GAddr flag_addr = kNullGAddr;   ///< shm full/empty word (shm runtime)
+  GAddr value_addr = kNullGAddr;  ///< shm value word
+  bool filled = false;            ///< host-side truth
+  std::uint64_t value = 0;
+  NodeId home = kInvalidNode;     ///< spawning node
+  TaskId task = kInvalidId;       ///< producing task (for inlining)
+  std::vector<FutureWaiter> waiters;
+};
+
+/// Machine-wide id -> record tables (host side; deterministic single thread).
+class TaskRegistry {
+ public:
+  TaskId add_task(TaskRec rec) {
+    tasks_.push_back(std::move(rec));
+    return tasks_.size() - 1;
+  }
+  FutureId add_future(FutureRec rec) {
+    futures_.push_back(std::move(rec));
+    return futures_.size() - 1;
+  }
+
+  TaskRec& task(TaskId id) { return tasks_.at(id); }
+  FutureRec& future(FutureId id) { return futures_.at(id); }
+
+  std::size_t task_count() const { return tasks_.size(); }
+  std::size_t future_count() const { return futures_.size(); }
+
+  /// Drop all records (between benchmark phases; ids restart at 0).
+  void clear() {
+    tasks_.clear();
+    futures_.clear();
+  }
+
+ private:
+  std::vector<TaskRec> tasks_;
+  std::vector<FutureRec> futures_;
+};
+
+/// Queue entries distinguish stealable tasks from thread-wake tokens (a
+/// suspended thread readied through the shared-memory queue; not stealable).
+constexpr std::uint64_t kThreadTokenBit = 1ull << 62;
+
+constexpr std::uint64_t encode_task(TaskId t) { return t + 1; }  // 0 = empty
+constexpr std::uint64_t encode_thread(std::uint64_t thread_id) {
+  return (thread_id + 1) | kThreadTokenBit;
+}
+constexpr bool entry_is_thread(std::uint64_t e) {
+  return (e & kThreadTokenBit) != 0;
+}
+constexpr TaskId entry_task(std::uint64_t e) { return e - 1; }
+constexpr std::uint64_t entry_thread(std::uint64_t e) {
+  return (e & ~kThreadTokenBit) - 1;
+}
+
+}  // namespace alewife

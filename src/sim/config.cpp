@@ -1,0 +1,51 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace alewife {
+
+namespace {
+bool pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+void MachineConfig::validate() const {
+  if (nodes == 0) {
+    throw std::invalid_argument("MachineConfig: nodes must be > 0");
+  }
+  if (nodes > 65536) {
+    throw std::invalid_argument(
+        "MachineConfig: nodes exceeds the 16-bit node field of GAddr");
+  }
+  if (!pow2(cache_line_bytes) || cache_line_bytes < 8) {
+    throw std::invalid_argument(
+        "MachineConfig: cache_line_bytes must be a power of two >= 8");
+  }
+  if (cache_ways == 0) {
+    throw std::invalid_argument("MachineConfig: cache_ways must be > 0");
+  }
+  if (cache_size_bytes < std::uint64_t{cache_line_bytes} * cache_ways) {
+    throw std::invalid_argument(
+        "MachineConfig: cache smaller than one set");
+  }
+  const std::uint32_t sets =
+      cache_size_bytes / (cache_line_bytes * cache_ways);
+  if (!pow2(sets)) {
+    throw std::invalid_argument(
+        "MachineConfig: cache set count must be a power of two (got " +
+        std::to_string(sets) + ")");
+  }
+  if (mem_bytes_per_node > (1ull << 32)) {
+    throw std::invalid_argument(
+        "MachineConfig: per-node memory exceeds the 32-bit offset field");
+  }
+  if (cost.link_bytes_per_cycle == 0) {
+    throw std::invalid_argument(
+        "MachineConfig: link_bytes_per_cycle must be > 0");
+  }
+  if (mesh_width != 0 && mesh_width > nodes) {
+    throw std::invalid_argument("MachineConfig: mesh_width > nodes");
+  }
+}
+
+}  // namespace alewife

@@ -1,0 +1,101 @@
+// Machine configuration and the cycle-cost model.
+//
+// Every timing assumption of the simulated Alewife-like machine lives here so
+// that benchmarks (and the ablation studies) can sweep them. Defaults are
+// calibrated against the cycle counts the paper reports; see DESIGN.md §7.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// Cycle costs of primitive machine operations.
+struct CostModel {
+  // ---- Processor-side memory operation costs -------------------------------
+  Cycles cache_hit = 2;         ///< load/store hit in the local cache
+  Cycles prefetch_issue = 1;    ///< issuing a (non-blocking) prefetch
+  Cycles prefetch_fill_delay = 16;  ///< prefetches are low-priority requests
+  Cycles amo_extra = 2;         ///< extra ALU cost of an atomic op over a store
+
+  // ---- Memory / directory costs --------------------------------------------
+  Cycles local_mem_latency = 8; ///< DRAM access on the local node
+  Cycles dir_access = 4;        ///< directory lookup/update at the home node
+  Cycles limitless_trap = 40;   ///< software handler cost per LimitLESS event
+  std::uint32_t dir_hw_pointers = 5;  ///< hardware sharer pointers per entry
+
+  // ---- Network costs --------------------------------------------------------
+  Cycles net_inject = 4;        ///< fixed cost to enter the network
+  Cycles net_hop = 1;           ///< per-router hop latency (EMRC-class)
+  std::uint32_t link_bytes_per_cycle = 4;  ///< link bandwidth
+  std::uint32_t packet_header_bytes = 8;   ///< routing/type header per packet
+
+  // ---- CMMU / message-interface costs ---------------------------------------
+  Cycles msg_describe_per_word = 1;  ///< writing one descriptor word (cached-write speed)
+  Cycles msg_launch = 1;             ///< the atomic launch instruction
+  Cycles interrupt_entry = 5;        ///< message arrival to first handler insn (paper §3)
+  Cycles interrupt_return = 3;       ///< returning from a message handler
+  Cycles window_read = 1;            ///< reading one word of the receive window
+  Cycles storeback = 2;              ///< the storeback instruction itself
+  Cycles dma_setup = 24;             ///< programming/arbitrating a DMA channel
+  Cycles dma_per_line = 2;           ///< DMA streaming cost per cache line
+
+  Cycles context_switch = 14;   ///< Sparcle's block-multithreading switch
+  Cycles fe_trap = 30;          ///< full/empty fault: trap + thread suspend
+
+  // ---- Runtime-system costs (software, charged as compute) ------------------
+  Cycles thread_start = 24;     ///< dispatch a ready thread onto the processor
+  Cycles thread_create = 32;    ///< allocate/initialize a thread descriptor
+  Cycles task_create = 40;      ///< build a task+future descriptor (lazy creation)
+  Cycles touch_check = 12;      ///< full/empty test + bookkeeping on touch
+  Cycles future_fill = 12;      ///< resolve a future (flag set + waiter scan)
+  Cycles sched_poll = 8;        ///< one pass of the idle loop's queue check
+  Cycles bulk_setup = 40;       ///< bulk-copy library call overhead
+};
+
+/// Whole-machine configuration.
+struct MachineConfig {
+  std::uint32_t nodes = 64;     ///< number of processors/nodes
+  std::uint32_t mesh_width = 0; ///< 0 = derive a near-square 2-D mesh
+
+  /// Dirty-data forwarding policy. Alewife-style protocols route a dirty
+  /// line through the home node ("intermediate node", paper §2.2); setting
+  /// this sends the owner's data directly to the requester (DASH-style)
+  /// while the home is updated in parallel. Ablation knob.
+  bool forward_dirty_direct = false;
+
+  /// Sparcle-style block multithreading: on a remote cache miss the
+  /// processor switches to another ready thread (cost.context_switch)
+  /// instead of stalling, and the blocked thread is re-readied when the fill
+  /// arrives. Off by default — the paper's experiments ran single-context.
+  bool multithread_on_miss = false;
+
+  // Cache geometry (paper: 16-byte lines).
+  std::uint32_t cache_line_bytes = 16;
+  std::uint32_t cache_size_bytes = 64 * 1024;
+  std::uint32_t cache_ways = 2;
+
+  std::uint64_t mem_bytes_per_node = 4ull * 1024 * 1024;
+
+  std::uint32_t max_outstanding_prefetches = 4;
+
+  /// Write-buffer depth for explicitly *buffered* stores
+  /// (Processor::store_buffered — the weakly-ordered stores §2.2's latency
+  /// tolerance discussion alludes to). Ordinary stores stay sequentially
+  /// consistent. 0 makes buffered stores behave like ordinary stores.
+  std::uint32_t store_buffer_depth = 1;
+
+  CostModel cost;
+
+  std::uint64_t rng_seed = 0x5EEDBA5Eu;
+
+  /// Hard stop for the event loop (0 = unlimited). A safety net so that a
+  /// deadlocked simulated program fails loudly instead of hanging the host.
+  Cycles max_cycles = 0;
+
+  /// Throws std::invalid_argument if the configuration is unusable.
+  void validate() const;
+};
+
+}  // namespace alewife

@@ -1,0 +1,27 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace alewife {
+
+void EventQueue::schedule_at(Cycles when, EventFn fn) {
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+Cycles EventQueue::run_next() {
+  assert(!heap_.empty());
+  // Moving out of top() is safe: we pop immediately and never compare the
+  // moved-from element again.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  ++executed_;
+  ev.fn();
+  return ev.when;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace alewife

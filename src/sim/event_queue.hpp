@@ -1,0 +1,62 @@
+// Discrete-event queue: the heart of the simulator.
+//
+// Events are (time, sequence, callback) triples ordered by time with FIFO
+// tie-breaking, which makes every simulation run fully deterministic on a
+// single host thread (C++ Core Guidelines CP.2: the simulated machine's
+// concurrency is modelled, never expressed as host-thread data races).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at absolute time `when`.
+  /// Events scheduled for the same time run in scheduling order.
+  void schedule_at(Cycles when, EventFn fn);
+
+  /// True when no events remain.
+  bool empty() const { return heap_.empty(); }
+
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Only valid when !empty().
+  Cycles next_time() const { return heap_.top().when; }
+
+  /// Pop and run the earliest event, returning its timestamp.
+  Cycles run_next();
+
+  /// Drop all pending events (used when tearing a machine down).
+  void clear();
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Cycles when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // priority_queue::top() is const&, but we need to move the callback out;
+  // a custom heap over a vector keeps that clean.
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace alewife

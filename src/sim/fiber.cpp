@@ -1,0 +1,108 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+
+namespace alewife {
+
+namespace {
+// Single host thread => plain globals are safe and faster than thread_local.
+Fiber* g_current = nullptr;
+Fiber* g_trampoline_arg = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {}
+
+Fiber::~Fiber() {
+  // A live (started, unfinished) fiber being destroyed means its stack still
+  // holds frames with destructors we cannot run. This only happens when a
+  // Machine is torn down mid-simulation, which callers must avoid for
+  // resource-owning stacks; simulated app code keeps trivial state.
+}
+
+void Fiber::reset(Entry entry) {
+  assert(!started_ || finished_);
+  entry_ = std::move(entry);
+  started_ = false;
+  finished_ = false;
+  pending_exception_ = nullptr;
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_trampoline_arg;
+  self->run_body();
+  // Unreachable: run_body never returns (it swaps back out on completion and
+  // a finished fiber is never resumed again).
+}
+
+void Fiber::run_body() {
+  // NOLINTNEXTLINE(bugprone-infinite-loop): re-entered on pool reuse.
+  for (;;) {
+    try {
+      entry_();
+    } catch (...) {
+      pending_exception_ = std::current_exception();
+    }
+    finished_ = true;
+    entry_ = nullptr;  // drop captures promptly
+    swapcontext(&ctx_, &link_);
+    // Resumed after reset(): run the new entry.
+  }
+}
+
+void Fiber::resume() {
+  assert(!finished_);
+  assert(g_current == nullptr && "nested fiber resume is not supported");
+  if (!started_) {
+    started_ = true;
+    if (ctx_.uc_stack.ss_sp == nullptr) {
+      // First ever start on this stack: create the context.
+      getcontext(&ctx_);
+      ctx_.uc_stack.ss_sp = stack_.data();
+      ctx_.uc_stack.ss_size = stack_.size();
+      ctx_.uc_link = nullptr;
+      makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+      g_trampoline_arg = this;
+    }
+    // else: pool reuse — ctx_ already sits at the swapcontext inside
+    // run_body's loop; resuming it re-enters the loop with the new entry_.
+  }
+  g_current = this;
+  swapcontext(&link_, &ctx_);
+  g_current = nullptr;
+  if (pending_exception_) {
+    auto ex = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "Fiber::yield called outside any fiber");
+  g_current = nullptr;
+  swapcontext(&self->ctx_, &self->link_);
+  g_current = self;
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+std::unique_ptr<Fiber> FiberPool::acquire(Fiber::Entry entry) {
+  std::unique_ptr<Fiber> f;
+  if (!free_.empty()) {
+    f = std::move(free_.back());
+    free_.pop_back();
+  } else {
+    f = std::make_unique<Fiber>(stack_bytes_);
+    ++created_;
+  }
+  f->reset(std::move(entry));
+  return f;
+}
+
+void FiberPool::release(std::unique_ptr<Fiber> fiber) {
+  assert(fiber->finished());
+  free_.push_back(std::move(fiber));
+}
+
+}  // namespace alewife

@@ -1,0 +1,84 @@
+// Stackful fibers (ucontext-based) for simulated threads.
+//
+// Each simulated runtime thread runs on one fiber. A fiber suspends by
+// calling Fiber::yield() (from inside) and is continued with resume() (from
+// the event loop). Everything runs on a single host thread; fibers are a
+// control-flow device, not a parallelism device.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace alewife {
+
+class Fiber {
+ public:
+  using Entry = std::function<void()>;
+
+  explicit Fiber(std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Arm the fiber with a new entry function. Only valid when the fiber is
+  /// fresh or has finished (pool reuse).
+  void reset(Entry entry);
+
+  /// Switch into the fiber; returns when it yields or finishes. If the fiber
+  /// body threw, the exception is rethrown here.
+  void resume();
+
+  bool finished() const { return finished_; }
+  bool started() const { return started_; }
+
+  /// Suspend the currently running fiber, returning control to its resumer.
+  /// Must be called from inside a fiber.
+  static void yield();
+
+  /// The fiber currently executing on this host thread (nullptr if none).
+  static Fiber* current();
+
+  static constexpr std::size_t kDefaultStackBytes = 128 * 1024;
+
+ private:
+  static void trampoline();
+  void run_body();
+
+  ucontext_t ctx_{};
+  ucontext_t link_{};
+  std::vector<std::uint8_t> stack_;
+  Entry entry_;
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+/// Recycles fiber stacks: allocating 128 KiB per spawned task would dominate
+/// simulation cost, so finished fibers return here.
+class FiberPool {
+ public:
+  explicit FiberPool(std::size_t stack_bytes = Fiber::kDefaultStackBytes)
+      : stack_bytes_(stack_bytes) {}
+
+  /// Get a fiber armed with `entry` (reusing a finished fiber if available).
+  std::unique_ptr<Fiber> acquire(Fiber::Entry entry);
+
+  /// Return a finished fiber for reuse.
+  void release(std::unique_ptr<Fiber> fiber);
+
+  std::size_t free_count() const { return free_.size(); }
+  std::uint64_t total_created() const { return created_; }
+
+ private:
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> free_;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace alewife

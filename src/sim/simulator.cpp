@@ -1,0 +1,19 @@
+#include "sim/simulator.hpp"
+
+namespace alewife {
+
+void Simulator::run(Cycles max_cycles) {
+  while (!queue_.empty() && !stopping_) {
+    if (max_cycles != 0 && queue_.next_time() > max_cycles) {
+      throw SimTimeout("simulation exceeded " + std::to_string(max_cycles) +
+                       " cycles at t=" + std::to_string(now_) +
+                       " (likely deadlock in the simulated program)");
+    }
+    // Advance the clock before executing the event so callbacks observe the
+    // correct now().
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+}
+
+}  // namespace alewife

@@ -1,0 +1,54 @@
+// Simulator: global clock + event loop + termination control.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// Thrown when the event loop exceeds MachineConfig::max_cycles — the
+/// simulated program is almost certainly deadlocked or livelocked.
+class SimTimeout : public std::runtime_error {
+ public:
+  explicit SimTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Simulator {
+ public:
+  Cycles now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` cycles from now.
+  void schedule(Cycles delay, EventFn fn) {
+    queue_.schedule_at(now_ + delay, std::move(fn));
+  }
+
+  void schedule_at(Cycles when, EventFn fn) {
+    queue_.schedule_at(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  /// Run events until the queue drains, `stop()` is called, or the optional
+  /// cycle limit is hit (which throws SimTimeout).
+  void run(Cycles max_cycles = 0);
+
+  /// Request that the event loop exit after the current event.
+  void stop() { stopping_ = true; }
+
+  bool stopping() const { return stopping_; }
+
+  /// Clear the stop flag so a machine can be re-run.
+  void reset_stop() { stopping_ = false; }
+
+  EventQueue& queue() { return queue_; }
+  std::uint64_t events_executed() const { return queue_.events_executed(); }
+
+ private:
+  EventQueue queue_;
+  Cycles now_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace alewife

@@ -1,0 +1,61 @@
+// Machine-wide statistics: named counters and simple histograms.
+//
+// Subsystems bump counters by name; benchmarks and tests read them to check
+// invariants ("how many remote misses did that barrier take?").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace alewife {
+
+class Stats {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Record a sample into a named histogram (mean/max retrievable later).
+  void sample(const std::string& name, std::uint64_t value) {
+    auto& h = histograms_[name];
+    h.count++;
+    h.sum += value;
+    if (value > h.max) h.max = value;
+    if (h.count == 1 || value < h.min) h.min = value;
+  }
+
+  struct Summary {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean() const { return count ? double(sum) / double(count) : 0.0; }
+  };
+
+  Summary summary(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? Summary{} : it->second;
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Summary> histograms_;
+};
+
+}  // namespace alewife

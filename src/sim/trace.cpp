@@ -1,0 +1,52 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace alewife {
+
+const char* trace_cat_name(TraceCat c) {
+  switch (c) {
+    case TraceCat::kNet:
+      return "net";
+    case TraceCat::kMem:
+      return "mem";
+    case TraceCat::kMsg:
+      return "msg";
+    case TraceCat::kSched:
+      return "sch";
+    case TraceCat::kApp:
+      return "app";
+    case TraceCat::kCount_:
+      break;
+  }
+  return "?";
+}
+
+void Trace::push(TraceEvent ev) {
+  ++emitted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // When full, `head_` points at the oldest element.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Trace::dump(std::ostream& os) const {
+  for (const TraceEvent& ev : events()) {
+    os << ev.time << ' ' << trace_cat_name(ev.cat) << " n" << ev.node << ' '
+       << ev.text << '\n';
+  }
+}
+
+}  // namespace alewife

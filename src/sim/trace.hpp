@@ -1,0 +1,92 @@
+// Bounded, categorized event tracing.
+//
+// Subsystems emit one-line events into a ring buffer (cheap enough to leave
+// compiled in; disabled categories cost one branch). Tests and the CLI tool
+// read the buffer back or dump it as text. Tracing never affects simulated
+// timing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace alewife {
+
+enum class TraceCat : std::uint8_t {
+  kNet = 0,    ///< packet injections/deliveries
+  kMem,        ///< coherence transactions
+  kMsg,        ///< CMMU sends / handler dispatches
+  kSched,      ///< spawns, steals, thread switches
+  kApp,        ///< application-defined
+  kCount_,
+};
+
+const char* trace_cat_name(TraceCat c);
+
+struct TraceEvent {
+  Cycles time = 0;
+  TraceCat cat = TraceCat::kApp;
+  NodeId node = kInvalidNode;
+  std::string text;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Enable/disable one category (all start disabled).
+  void enable(TraceCat c, bool on = true) {
+    enabled_[static_cast<std::size_t>(c)] = on;
+  }
+  void enable_all(bool on = true) {
+    for (auto& e : enabled_) e = on;
+  }
+  bool enabled(TraceCat c) const {
+    return enabled_[static_cast<std::size_t>(c)];
+  }
+
+  /// Record an event (no-op when the category is disabled). `fn` builds the
+  /// text lazily so disabled tracing does no formatting work.
+  void emit(TraceCat c, Cycles time, NodeId node,
+            const std::function<std::string()>& fn) {
+    if (!enabled(c)) return;
+    push(TraceEvent{time, c, node, fn()});
+  }
+  void emit(TraceCat c, Cycles time, NodeId node, std::string text) {
+    if (!enabled(c)) return;
+    push(TraceEvent{time, c, node, std::move(text)});
+  }
+
+  /// Events in arrival order (oldest first; ring buffer keeps the newest
+  /// `capacity` events).
+  std::vector<TraceEvent> events() const;
+
+  /// Number of events recorded since construction (including evicted ones).
+  std::uint64_t total_emitted() const { return emitted_; }
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    emitted_ = 0;
+  }
+
+  /// Text dump, one event per line: "<time> <cat> n<node> <text>".
+  void dump(std::ostream& os) const;
+
+ private:
+  void push(TraceEvent ev);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  ///< next overwrite position once full
+  std::uint64_t emitted_ = 0;
+  bool enabled_[static_cast<std::size_t>(TraceCat::kCount_)] = {};
+};
+
+}  // namespace alewife

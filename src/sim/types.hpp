@@ -1,0 +1,38 @@
+// Fundamental simulator-wide types: simulated time, node identifiers, and the
+// global (shared-address-space) address format used across all subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace alewife {
+
+/// Simulated time, measured in processor clock cycles (33 MHz in the paper).
+using Cycles = std::uint64_t;
+
+/// Identifies one node (processor + cache + memory + CMMU) of the machine.
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// A global address in the shared address space.
+///
+/// Alewife distributes physical memory across the nodes; the home node of a
+/// location is encoded directly in its address. We pack the home node into
+/// bits [32,48) and the byte offset within that node's memory into bits
+/// [0,32). Bit layouts are an implementation detail of the simulator; user
+/// code should treat GAddr as opaque and use the helpers below.
+using GAddr = std::uint64_t;
+
+constexpr GAddr kNullGAddr = ~GAddr{0};
+
+constexpr GAddr make_gaddr(NodeId node, std::uint64_t offset) {
+  return (static_cast<GAddr>(node) << 32) | (offset & 0xFFFFFFFFull);
+}
+
+constexpr NodeId gaddr_node(GAddr a) {
+  return static_cast<NodeId>((a >> 32) & 0xFFFF);
+}
+
+constexpr std::uint64_t gaddr_offset(GAddr a) { return a & 0xFFFFFFFFull; }
+
+}  // namespace alewife

@@ -1,0 +1,142 @@
+// Tests for the cost oracle and adaptive mechanism selection (§6 extension):
+// prediction accuracy against measured costs, crossover sanity, and that the
+// adaptive copy tracks the cheaper mechanism.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/machine.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg64() {
+  MachineConfig c;
+  c.nodes = 64;
+  c.max_cycles = 100'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+Cycles run_copy(Machine& m, CopyImpl impl, std::uint32_t block) {
+  auto cycles = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr src = ctx.shmalloc(0, block);
+    for (std::uint32_t i = 0; i < block; i += 8) ctx.store(src + i, i);
+    const GAddr dst = ctx.shmalloc(1, block);
+    const Cycles t0 = ctx.now();
+    m.bulk().copy(ctx, dst, src, block, impl);
+    *cycles = ctx.now() - t0;
+    return 0;
+  });
+  return *cycles;
+}
+
+TEST(CostOracle, PredictionsAreMonotoneInSize) {
+  CostOracle o(cfg64());
+  Cycles prev_shm = 0, prev_msg = 0;
+  for (std::uint64_t n = 64; n <= 8192; n *= 2) {
+    const Cycles shm = o.predict_copy_shm(n, 5);
+    const Cycles msg = o.predict_copy_msg(n, 5);
+    EXPECT_GT(shm, prev_shm);
+    EXPECT_GT(msg, prev_msg);
+    prev_shm = shm;
+    prev_msg = msg;
+  }
+}
+
+TEST(CostOracle, MessageMarginalCostIsLower) {
+  CostOracle o(cfg64());
+  const Cycles shm_slope =
+      o.predict_copy_shm(8192, 5) - o.predict_copy_shm(4096, 5);
+  const Cycles msg_slope =
+      o.predict_copy_msg(8192, 5) - o.predict_copy_msg(4096, 5);
+  EXPECT_LT(msg_slope, shm_slope);
+}
+
+TEST(CostOracle, CopyPredictionsTrackMeasurements) {
+  CostOracle o(cfg64());
+  for (std::uint32_t block : {256u, 1024u, 4096u}) {
+    Machine ms(cfg64(), quiet());
+    const Cycles shm_measured = run_copy(ms, CopyImpl::kShmLoop, block);
+    Machine mm(cfg64(), quiet());
+    const Cycles msg_measured = run_copy(mm, CopyImpl::kMsgDma, block);
+    const double shm_err =
+        double(o.predict_copy_shm(block, 1)) / double(shm_measured);
+    const double msg_err =
+        double(o.predict_copy_msg(block, 1)) / double(msg_measured);
+    EXPECT_GT(shm_err, 0.7) << "block " << block;
+    EXPECT_LT(shm_err, 1.4) << "block " << block;
+    EXPECT_GT(msg_err, 0.7) << "block " << block;
+    EXPECT_LT(msg_err, 1.4) << "block " << block;
+  }
+}
+
+TEST(CostOracle, CrossoverIsSmall) {
+  // On the default machine the message mechanism wins from small blocks on
+  // (the paper found it ahead already at a few hundred bytes).
+  CostOracle o(cfg64());
+  const std::uint64_t cross = o.copy_crossover_bytes(1);
+  EXPECT_GT(cross, 0u);
+  EXPECT_LE(cross, 512u);
+}
+
+TEST(CostOracle, BarrierPredictionsOrderCorrectly) {
+  CostOracle o(cfg64());
+  // Message barrier beats shm barrier on 64 nodes (paper: 660 vs 1650).
+  EXPECT_LT(o.predict_barrier_msg(64, 8), o.predict_barrier_shm(64, 2));
+  // Both in a plausible range of the measured values.
+  const Cycles shm = o.predict_barrier_shm(64, 2);
+  EXPECT_GT(shm, 700u);
+  EXPECT_LT(shm, 3500u);
+  const Cycles msg = o.predict_barrier_msg(64, 8);
+  EXPECT_GT(msg, 250u);
+  EXPECT_LT(msg, 1300u);
+}
+
+TEST(Adaptive, ChoosesShmForTinyAndMsgForLarge) {
+  Machine m(cfg64(), quiet());
+  AdaptiveOps a(m);
+  EXPECT_EQ(a.choose_copy(0, 1, 16), CopyImpl::kShmLoop);
+  EXPECT_EQ(a.choose_copy(0, 1, 4096), CopyImpl::kMsgDma);
+}
+
+TEST(Adaptive, CopyIsCorrectAndNearOptimal) {
+  for (std::uint32_t block : {32u, 4096u}) {
+    Machine m(cfg64(), quiet());
+    AdaptiveOps a(m);
+    auto adaptive_cycles = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr src = ctx.shmalloc(0, block);
+      for (std::uint32_t i = 0; i < block; i += 8) ctx.store(src + i, i ^ 5);
+      const GAddr dst = ctx.shmalloc(1, block);
+      const Cycles t0 = ctx.now();
+      a.copy(ctx, dst, src, block);
+      *adaptive_cycles = ctx.now() - t0;
+      for (std::uint32_t i = 0; i < block; i += 8) {
+        EXPECT_EQ(ctx.load(dst + i), i ^ 5);
+      }
+      return 0;
+    });
+    Machine m_shm(cfg64(), quiet());
+    Machine m_msg(cfg64(), quiet());
+    const Cycles best =
+        std::min(run_copy(m_shm, CopyImpl::kShmLoop, block),
+                 run_copy(m_msg, CopyImpl::kMsgDma, block));
+    // Within 25% of the better fixed mechanism (plus the tiny check cost).
+    EXPECT_LE(*adaptive_cycles, best + best / 4 + 8) << "block " << block;
+  }
+}
+
+TEST(Adaptive, MeanHopsMatchesMeshFormula) {
+  CostOracle o(cfg64());
+  // 8x8 mesh: 2 * (64-1)/(3*8) = 5.25
+  EXPECT_NEAR(o.mean_hops(), 5.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace alewife

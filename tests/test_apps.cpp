@@ -1,0 +1,289 @@
+// Application-level property tests: grain's closed form, aq's numerics,
+// jacobi across grids and variants, accum over random arrays — each checked
+// under both scheduler modes where parallelism is involved.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/accum.hpp"
+#include "apps/aq.hpp"
+#include "apps/grain.hpp"
+#include "apps/jacobi.hpp"
+#include "core/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 500'000'000;
+  return c;
+}
+
+RuntimeOptions opts(SchedMode m, bool steal = true) {
+  RuntimeOptions o;
+  o.mode = m;
+  o.stealing = steal;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// grain
+// ---------------------------------------------------------------------------
+
+struct GrainParam {
+  std::uint32_t depth;
+  Cycles delay;
+};
+
+class GrainSweep : public ::testing::TestWithParam<GrainParam> {};
+
+TEST_P(GrainSweep, SequentialTimeMatchesClosedForm) {
+  const GrainParam p = GetParam();
+  Machine m(cfg(1), opts(SchedMode::kHybrid, false));
+  auto dur = std::make_shared<Cycles>(0);
+  const std::uint64_t leaves = m.run([&](Context& ctx) -> std::uint64_t {
+    const Cycles t0 = ctx.now();
+    const std::uint64_t v = apps::grain_sequential(ctx, p.depth, p.delay);
+    *dur = ctx.now() - t0;
+    return v;
+  });
+  EXPECT_EQ(leaves, 1ull << p.depth);
+  EXPECT_EQ(*dur, apps::grain_sequential_cycles(p.depth, p.delay));
+}
+
+TEST_P(GrainSweep, ParallelCountsAllLeaves) {
+  const GrainParam p = GetParam();
+  for (SchedMode mode : {SchedMode::kShm, SchedMode::kHybrid}) {
+    Machine m(cfg(8), opts(mode));
+    const std::uint64_t leaves = m.run([&](Context& ctx) -> std::uint64_t {
+      return apps::grain_parallel(ctx, p.depth, p.delay);
+    });
+    EXPECT_EQ(leaves, 1ull << p.depth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GrainSweep,
+                         ::testing::Values(GrainParam{1, 0}, GrainParam{4, 0},
+                                           GrainParam{6, 50},
+                                           GrainParam{8, 10},
+                                           GrainParam{10, 0}));
+
+TEST(Grain, ZeroDepthIsOneLeaf) {
+  Machine m(cfg(1), opts(SchedMode::kHybrid, false));
+  EXPECT_EQ(m.run([](Context& ctx) -> std::uint64_t {
+              return apps::grain_parallel(ctx, 0, 5);
+            }),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// aq
+// ---------------------------------------------------------------------------
+
+TEST(Aq, SequentialConvergesWithTolerance) {
+  // Tighter tolerance must not move the integral by more than the coarser
+  // tolerance's error budget.
+  Machine m(cfg(1), opts(SchedMode::kHybrid, false));
+  double v1 = 0, v2 = 0;
+  m.run([&](Context& ctx) -> std::uint64_t {
+    v1 = apps::aq_sequential(ctx, apps::aq_domain(), 0.5);
+    v2 = apps::aq_sequential(ctx, apps::aq_domain(), 0.05);
+    return 0;
+  });
+  EXPECT_NEAR(v1, v2, 1.0);  // same ballpark
+  EXPECT_GT(std::fabs(v2), 1.0);  // non-trivial integral
+}
+
+TEST(Aq, EvalCountGrowsWithTightening) {
+  const std::uint64_t coarse = apps::aq_eval_count(apps::aq_domain(), 1.0);
+  const std::uint64_t fine = apps::aq_eval_count(apps::aq_domain(), 0.01);
+  EXPECT_GT(fine, coarse * 4);
+}
+
+class AqModes : public ::testing::TestWithParam<SchedMode> {};
+
+TEST_P(AqModes, ParallelEqualsSequentialBitForBit) {
+  // The parallel decomposition reorders only additions of the same values;
+  // with the fixed touch order the sums associate identically.
+  double seq = 0;
+  {
+    Machine m(cfg(1), opts(GetParam(), false));
+    m.run([&](Context& ctx) -> std::uint64_t {
+      seq = apps::aq_sequential(ctx, apps::aq_domain(), 0.7);
+      return 0;
+    });
+  }
+  Machine m(cfg(16), opts(GetParam()));
+  double par = 0;
+  m.run([&](Context& ctx) -> std::uint64_t {
+    par = apps::aq_parallel(ctx, apps::aq_domain(), 0.7);
+    return 0;
+  });
+  EXPECT_NEAR(par, seq, 1e-9 * std::fabs(seq));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, AqModes,
+                         ::testing::Values(SchedMode::kShm,
+                                           SchedMode::kHybrid));
+
+TEST(Aq, DeterministicAcrossRuns) {
+  double a = 0, b = 0;
+  for (double* out : {&a, &b}) {
+    Machine m(cfg(8), opts(SchedMode::kHybrid));
+    m.run([&](Context& ctx) -> std::uint64_t {
+      *out = apps::aq_parallel(ctx, apps::aq_domain(), 0.3);
+      return 0;
+    });
+  }
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// jacobi
+// ---------------------------------------------------------------------------
+
+struct JacobiParam {
+  std::uint32_t nodes;
+  std::uint32_t grid;
+  bool msg;
+  std::uint32_t iters;
+};
+
+class JacobiSweep : public ::testing::TestWithParam<JacobiParam> {};
+
+TEST_P(JacobiSweep, MatchesReferenceEverywhere) {
+  const JacobiParam p = GetParam();
+  Machine m(cfg(p.nodes), opts(SchedMode::kHybrid, false));
+  auto setup = apps::jacobi_setup(m, p.grid);
+  const auto init = [](std::uint32_t r, std::uint32_t c) {
+    return ((r * 7 + c * 13) % 31) * 0.125;
+  };
+  apps::jacobi_init(m, setup, init);
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kShm, 2);
+  for (NodeId n = 0; n < p.nodes; ++n) {
+    m.start_thread(n, [&, p](Context& ctx) {
+      apps::jacobi_node(ctx, setup, p.msg, p.iters, bar, m.bulk());
+    });
+  }
+  m.run_started();
+  const auto got = apps::jacobi_extract(m, setup, p.iters);
+  const auto want = apps::jacobi_reference(p.grid, init, p.iters);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-12) << "cell " << i;
+  }
+  m.memory().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JacobiSweep,
+    ::testing::Values(JacobiParam{4, 8, false, 4}, JacobiParam{4, 8, true, 4},
+                      JacobiParam{16, 16, false, 6},
+                      JacobiParam{16, 16, true, 6},
+                      JacobiParam{16, 32, true, 3},
+                      JacobiParam{64, 32, false, 3},
+                      JacobiParam{64, 32, true, 3},
+                      JacobiParam{4, 8, true, 1},
+                      JacobiParam{4, 8, false, 0},
+                      JacobiParam{1, 8, false, 4},
+                      JacobiParam{1, 8, true, 4},
+                      JacobiParam{4, 16, false, 5},
+                      JacobiParam{4, 16, true, 5}));
+
+TEST(Jacobi, DiffusionSmoothsTheField) {
+  // Physical sanity: relaxation contracts the range of the interior.
+  const std::uint32_t grid = 16;
+  const auto init = [](std::uint32_t r, std::uint32_t c) {
+    return (r == 8 && c == 8) ? 64.0 : 0.0;
+  };
+  const auto after = apps::jacobi_reference(grid, init, 10);
+  double mx = 0;
+  for (std::uint32_t r = 1; r < grid - 1; ++r) {
+    for (std::uint32_t c = 1; c < grid - 1; ++c) {
+      mx = std::max(mx, after[r * grid + c]);
+    }
+  }
+  EXPECT_LT(mx, 64.0);
+  EXPECT_GT(mx, 0.0);
+  // Pure Jacobi checkerboards: after an even number of iterations the heat
+  // sits at even Manhattan distances from the spike.
+  EXPECT_GT(after[8 * grid + 10], 0.0);
+  EXPECT_EQ(after[8 * grid + 9], 0.0);
+}
+
+TEST(Jacobi, RejectsBadGeometry) {
+  Machine m(cfg(4), opts(SchedMode::kHybrid, false));
+  EXPECT_THROW(apps::jacobi_setup(m, 7), std::invalid_argument);  // 7 % 2 != 0
+  Machine m3(cfg(3), opts(SchedMode::kHybrid, false));
+  EXPECT_THROW(apps::jacobi_setup(m3, 8), std::invalid_argument);  // P not square
+}
+
+// ---------------------------------------------------------------------------
+// accum
+// ---------------------------------------------------------------------------
+
+TEST(Accum, RandomArraysAllSizes) {
+  Rng rng(99);
+  for (std::uint32_t bytes : {64u, 256u, 1024u}) {
+    Machine m(cfg(4), opts(SchedMode::kHybrid, false));
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr arr = ctx.shmalloc(2, bytes);
+      std::uint64_t want = 0;
+      for (std::uint32_t i = 0; i < bytes / 8; ++i) {
+        const std::uint64_t v = rng.below(1u << 20);
+        m.memory().store().write_uint(arr + i * 8, 8, v);
+        want += v;
+      }
+      const GAddr buf = ctx.shmalloc(0, bytes);
+      EXPECT_EQ(apps::accum_shm(ctx, arr, bytes), want);
+      EXPECT_EQ(apps::accum_msg(ctx, m.bulk(), arr, buf, bytes), want);
+      return 0;
+    });
+  }
+}
+
+TEST(Accum, PrefetchDistanceDoesNotChangeTheSum) {
+  Machine m(cfg(4), opts(SchedMode::kHybrid, false));
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr arr = ctx.shmalloc(1, 512);
+    std::uint64_t want = 0;
+    for (int i = 0; i < 64; ++i) {
+      m.memory().store().write_uint(arr + i * 8, 8, i * i);
+      want += std::uint64_t{std::uint32_t(i)} * i;
+    }
+    for (std::uint32_t dist : {0u, 1u, 2u, 4u, 8u}) {
+      EXPECT_EQ(apps::accum_shm(ctx, arr, 512, dist), want);
+    }
+    return 0;
+  });
+}
+
+TEST(Accum, ShmFasterThanMsgForImmediateConsumption) {
+  // The paper's headline claim for accum, as a regression guard.
+  Machine m1(cfg(16), opts(SchedMode::kHybrid, false));
+  Machine m2(cfg(16), opts(SchedMode::kHybrid, false));
+  auto t_shm = std::make_shared<Cycles>(0);
+  auto t_msg = std::make_shared<Cycles>(0);
+  constexpr std::uint32_t kBytes = 2048;
+  m1.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr arr = ctx.shmalloc(1, kBytes);
+    const Cycles t0 = ctx.now();
+    apps::accum_shm(ctx, arr, kBytes);
+    *t_shm = ctx.now() - t0;
+    return 0;
+  });
+  m2.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr arr = ctx.shmalloc(1, kBytes);
+    const GAddr buf = ctx.shmalloc(0, kBytes);
+    const Cycles t0 = ctx.now();
+    apps::accum_msg(ctx, m2.bulk(), arr, buf, kBytes);
+    *t_msg = ctx.now() - t0;
+    return 0;
+  });
+  EXPECT_LT(*t_shm, *t_msg);
+}
+
+}  // namespace
+}  // namespace alewife

@@ -1,0 +1,212 @@
+// Dedicated barrier tests: mechanism timing relationships, reuse across many
+// episodes, stress under random skew, interplay with the scheduler, and
+// degenerate cases.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 200'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+/// Run `episodes` barrier episodes with per-node compute skews drawn from
+/// `rng`; verifies no thread ever passes episode e before all arrived.
+void run_skewed(Machine& m, CombiningBarrier& bar, int episodes, Rng& rng) {
+  const std::uint32_t nodes = m.nodes();
+  auto arrivals = std::make_shared<std::uint32_t>(0);
+  std::vector<Cycles> skews(nodes);
+  for (auto& s : skews) s = rng.below(500);
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [=, &bar](Context& ctx) {
+      for (int e = 0; e < episodes; ++e) {
+        ctx.compute(skews[(n + e) % nodes]);
+        ++*arrivals;
+        bar.wait(ctx);
+        EXPECT_EQ(*arrivals, std::uint32_t(e + 1) * ctx.nodes())
+            << "node " << n << " episode " << e;
+        bar.wait(ctx);
+      }
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(*arrivals, episodes * nodes);
+}
+
+TEST(Barrier, MsgFasterThanShmAt64) {
+  // The paper's headline §4.2 relation, as a regression guard.
+  auto episode_cost = [](CombiningBarrier::Mech mech, std::uint32_t arity) {
+    Machine m(cfg(64), quiet());
+    CombiningBarrier bar(m.runtime(), mech, arity);
+    auto t0 = std::make_shared<Cycles>(0);
+    auto t1 = std::make_shared<Cycles>(0);
+    for (NodeId n = 0; n < 64; ++n) {
+      m.start_thread(n, [&bar, t0, t1, n](Context& ctx) {
+        for (int e = 0; e < 4; ++e) {
+          if (n == 0 && e == 1) *t0 = ctx.now();
+          bar.wait(ctx);
+        }
+        if (n == 0) *t1 = ctx.now();
+      });
+    }
+    m.run_started();
+    return (*t1 - *t0) / 3;
+  };
+  const Cycles shm = episode_cost(CombiningBarrier::Mech::kShm, 2);
+  const Cycles msg = episode_cost(CombiningBarrier::Mech::kMsg, 8);
+  EXPECT_LT(msg * 2, shm);      // at least 2x better
+  EXPECT_GT(msg * 6, shm);      // but not absurdly so
+}
+
+TEST(Barrier, ManyEpisodesReuse) {
+  Machine m(cfg(8), quiet());
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kShm, 2);
+  Rng rng(31337);
+  run_skewed(m, bar, 20, rng);
+  m.memory().check_invariants();
+}
+
+TEST(Barrier, ManyEpisodesReuseMsg) {
+  Machine m(cfg(8), quiet());
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 4);
+  Rng rng(42424);
+  run_skewed(m, bar, 20, rng);
+}
+
+struct SkewParam {
+  std::uint32_t nodes;
+  int mech;
+  std::uint32_t arity;
+  std::uint64_t seed;
+};
+
+class BarrierSkew : public ::testing::TestWithParam<SkewParam> {};
+
+TEST_P(BarrierSkew, RandomSkewsNeverLeakAnEpisode) {
+  const SkewParam p = GetParam();
+  Machine m(cfg(p.nodes), quiet());
+  CombiningBarrier bar(m.runtime(),
+                       static_cast<CombiningBarrier::Mech>(p.mech), p.arity);
+  Rng rng(p.seed);
+  run_skewed(m, bar, 6, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BarrierSkew,
+    ::testing::Values(SkewParam{2, 0, 2, 1}, SkewParam{2, 1, 8, 2},
+                      SkewParam{5, 0, 2, 3}, SkewParam{5, 1, 3, 4},
+                      SkewParam{9, 0, 3, 5}, SkewParam{9, 1, 2, 6},
+                      SkewParam{32, 0, 4, 7}, SkewParam{32, 1, 16, 8},
+                      SkewParam{64, 0, 2, 9}, SkewParam{64, 1, 8, 10}));
+
+TEST(Barrier, TwoIndependentBarriersCoexist) {
+  Machine m(cfg(4), quiet());
+  CombiningBarrier a(m.runtime(), CombiningBarrier::Mech::kMsg, 8,
+                     kMsgUserBase + 10);
+  CombiningBarrier b(m.runtime(), CombiningBarrier::Mech::kMsg, 8,
+                     kMsgUserBase + 12);
+  auto phase = std::make_shared<int>(0);
+  for (NodeId n = 0; n < 4; ++n) {
+    m.start_thread(n, [&a, &b, phase, n](Context& ctx) {
+      ctx.compute(n * 31);
+      a.wait(ctx);
+      if (n == 0) *phase = 1;
+      b.wait(ctx);
+      EXPECT_EQ(*phase, 1);
+    });
+  }
+  m.run_started();
+}
+
+TEST(Barrier, WorksWhileSchedulerSteals) {
+  // Barrier threads coexist with a task storm: the barrier must still close
+  // every episode while steal traffic and task execution interleave.
+  MachineConfig c = cfg(8);
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = true;
+  Machine m(c, o);
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 4);
+  auto sum = std::make_shared<std::uint64_t>(0);
+
+  for (NodeId n = 0; n < 8; ++n) {
+    m.start_thread(n, [&bar, sum, n](Context& ctx) {
+      if (n == 0) {
+        // A spawn storm that spreads via stealing.
+        std::vector<FutureId> futs;
+        for (int i = 0; i < 40; ++i) {
+          futs.push_back(ctx.spawn([](Context& cc) -> std::uint64_t {
+            cc.compute(200);
+            return 1;
+          }));
+        }
+        for (FutureId f : futs) *sum += ctx.touch(f);
+      }
+      for (int e = 0; e < 3; ++e) {
+        ctx.compute((n * 17 + e) % 64);
+        bar.wait(ctx);
+      }
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(*sum, 40u);
+  m.memory().check_invariants();
+}
+
+TEST(Barrier, SingleNodeIsInstant) {
+  Machine m(cfg(1), quiet());
+  for (auto mech : {CombiningBarrier::Mech::kShm,
+                    CombiningBarrier::Mech::kMsg}) {
+    CombiningBarrier bar(m.runtime(), mech, 2);
+    auto cost = std::make_shared<Cycles>(0);
+    m.start_thread(0, [&bar, cost](Context& ctx) {
+      const Cycles t0 = ctx.now();
+      bar.wait(ctx);
+      bar.wait(ctx);
+      *cost = ctx.now() - t0;
+    });
+    m.run_started();
+    EXPECT_EQ(*cost, 0u);
+  }
+}
+
+TEST(Barrier, ShmScalesSubLinearly) {
+  // Tree combining: 4x the processors should cost far less than 4x.
+  auto one = [](std::uint32_t nodes) {
+    Machine m(cfg(nodes), quiet());
+    CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kShm, 2);
+    auto t0 = std::make_shared<Cycles>(0);
+    auto t1 = std::make_shared<Cycles>(0);
+    for (NodeId n = 0; n < nodes; ++n) {
+      m.start_thread(n, [&bar, t0, t1, n](Context& ctx) {
+        for (int e = 0; e < 3; ++e) {
+          if (n == 0 && e == 1) *t0 = ctx.now();
+          bar.wait(ctx);
+        }
+        if (n == 0) *t1 = ctx.now();
+      });
+    }
+    m.run_started();
+    return (*t1 - *t0) / 2;
+  };
+  const Cycles c16 = one(16);
+  const Cycles c64 = one(64);
+  EXPECT_GT(c64, c16);
+  EXPECT_LT(c64, c16 * 4);
+}
+
+}  // namespace
+}  // namespace alewife

@@ -1,0 +1,222 @@
+// Dedicated bulk-transfer tests: all implementations across sizes and node
+// pairs, pull transfers, concurrent copies, timing relationships (the
+// Figure 7 shape as regression guards), and data-integrity properties.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 200'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+struct CopyCase {
+  int impl;
+  std::uint32_t bytes;
+  NodeId src_node;
+  NodeId dst_node;
+};
+
+class CopyMatrix : public ::testing::TestWithParam<CopyCase> {};
+
+TEST_P(CopyMatrix, DataArrivesIntact) {
+  const CopyCase p = GetParam();
+  Machine m(cfg(8), quiet());
+  Rng rng(p.bytes * 31 + p.impl);
+  m.run(
+      [&](Context& ctx) -> std::uint64_t {
+        const GAddr src = ctx.shmalloc(p.src_node, p.bytes);
+        const GAddr dst = ctx.shmalloc(p.dst_node, p.bytes);
+        std::vector<std::uint64_t> want(p.bytes / 8);
+        for (auto& w : want) w = rng.next();
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          m.memory().store().write_uint(src + i * 8, 8, want[i]);
+        }
+        m.bulk().copy(ctx, dst, src, p.bytes,
+                      static_cast<CopyImpl>(p.impl));
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(ctx.load(dst + i * 8), want[i]) << "word " << i;
+        }
+        return 0;
+      },
+      p.src_node);
+  m.memory().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CopyMatrix,
+    ::testing::Values(CopyCase{0, 16, 0, 1},     // single line, shm
+                      CopyCase{1, 16, 0, 1},     // single line, prefetch
+                      CopyCase{2, 16, 0, 1},     // single line, msg
+                      CopyCase{0, 8, 0, 7},      // sub-line
+                      CopyCase{2, 8, 0, 7},
+                      CopyCase{0, 1024, 2, 5},
+                      CopyCase{1, 1024, 2, 5},
+                      CopyCase{2, 1024, 2, 5},
+                      CopyCase{2, 4096, 0, 7},   // corner to corner-ish
+                      CopyCase{2, 64, 3, 3},     // to self (loopback)
+                      CopyCase{0, 64, 3, 3}));
+
+TEST(Bulk, CopiesCorrectUnderDirectForwarding) {
+  // Repeated copies over a dirty destination exercise the forwarded
+  // exclusive transfers inside the shm copy loop.
+  MachineConfig c = cfg(8);
+  c.forward_dirty_direct = true;
+  RuntimeOptions o;
+  o.stealing = false;
+  Machine m(c, o);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr src = ctx.shmalloc(0, 256);
+    const GAddr dst = ctx.shmalloc(5, 256);
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 32; ++i) ctx.store(src + i * 8, round * 100 + i);
+      m.bulk().copy(ctx, dst, src, 256,
+                    round % 2 ? CopyImpl::kMsgDma : CopyImpl::kShmLoop);
+      for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(ctx.load(dst + i * 8), std::uint64_t(round * 100 + i));
+      }
+    }
+    return 0;
+  });
+  m.memory().check_invariants();
+}
+
+TEST(Bulk, PullMatchesPush) {
+  Machine m(cfg(4), quiet());
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const std::uint32_t n = 512;
+    const GAddr remote = ctx.shmalloc(2, n);
+    for (std::uint32_t i = 0; i < n / 8; ++i) {
+      m.memory().store().write_uint(remote + i * 8, 8, i * 3 + 1);
+    }
+    const GAddr l1 = ctx.shmalloc(0, n);
+    m.bulk().copy_pull(ctx, l1, remote, n);
+    for (std::uint32_t i = 0; i < n / 8; ++i) {
+      EXPECT_EQ(ctx.load(l1 + i * 8), i * 3 + 1);
+    }
+    return 0;
+  });
+}
+
+TEST(Bulk, PullFromSelfDegeneratesToLocalCopy) {
+  Machine m(cfg(4), quiet());
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(0, 64);
+    const GAddr b = ctx.shmalloc(0, 64);
+    ctx.store(a, 1234);
+    m.bulk().copy_pull(ctx, b, a, 64);
+    EXPECT_EQ(ctx.load(b), 1234u);
+    return 0;
+  });
+}
+
+TEST(Bulk, ConcurrentCopiesDontInterfere) {
+  // Four nodes copy to four distinct destinations simultaneously.
+  Machine m(cfg(8), quiet());
+  std::vector<GAddr> srcs(4), dsts(4);
+  for (int i = 0; i < 4; ++i) {
+    srcs[i] = m.shmalloc(i, 256);
+    dsts[i] = m.shmalloc(4 + i, 256);
+    for (int w = 0; w < 32; ++w) {
+      m.memory().store().write_uint(srcs[i] + w * 8, 8, i * 1000 + w);
+    }
+  }
+  for (NodeId n = 0; n < 4; ++n) {
+    m.start_thread(n, [&m, &srcs, &dsts, n](Context& ctx) {
+      m.bulk().copy(ctx, dsts[n], srcs[n], 256, CopyImpl::kMsgDma);
+    });
+  }
+  m.run_started();
+  for (int i = 0; i < 4; ++i) {
+    for (int w = 0; w < 32; ++w) {
+      EXPECT_EQ(m.memory().store().read_uint(dsts[i] + w * 8, 8),
+                std::uint64_t(i * 1000 + w));
+    }
+  }
+  m.memory().check_invariants();
+}
+
+TEST(Bulk, OverwritesStaleCachedDestination) {
+  // The destination node has the target lines cached; a message copy must
+  // leave its cache consistent with the new memory contents.
+  Machine m(cfg(4), quiet());
+  const GAddr src = m.shmalloc(0, 64);
+  const GAddr dst = m.shmalloc(1, 64);
+  for (int w = 0; w < 8; ++w) {
+    m.memory().store().write_uint(src + w * 8, 8, 500 + w);
+  }
+  auto observed = std::make_shared<std::uint64_t>(0);
+  HostBarrier sync(m, 2);
+  m.start_thread(1, [&, observed](Context& ctx) {
+    ctx.store(dst, 1);  // dst line now Modified in node 1's cache
+    sync.wait(ctx);     // wait for the copy to land
+    *observed = ctx.load(dst);
+  });
+  m.start_thread(0, [&](Context& ctx) {
+    ctx.compute(100);
+    m.bulk().copy(ctx, dst, src, 64, CopyImpl::kMsgDma);
+    sync.wait(ctx);
+  });
+  m.run_started();
+  EXPECT_EQ(*observed, 500u);
+  m.memory().check_invariants();
+}
+
+// ---------------------------------------------------------------------------
+// Timing relationships (Figure 7 regression guards)
+// ---------------------------------------------------------------------------
+
+Cycles time_copy(CopyImpl impl, std::uint32_t bytes) {
+  Machine m(cfg(8), quiet());
+  auto cycles = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr src = ctx.shmalloc(0, bytes);
+    for (std::uint32_t i = 0; i < bytes; i += 8) ctx.store(src + i, i);
+    const GAddr dst = ctx.shmalloc(1, bytes);
+    const Cycles t0 = ctx.now();
+    m.bulk().copy(ctx, dst, src, bytes, impl);
+    *cycles = ctx.now() - t0;
+    return 0;
+  });
+  return *cycles;
+}
+
+TEST(BulkTiming, MessageBeatsShmAtLargeSizes) {
+  EXPECT_LT(time_copy(CopyImpl::kMsgDma, 4096) * 3,
+            time_copy(CopyImpl::kShmLoop, 4096));
+}
+
+TEST(BulkTiming, ShmBeatsMessageAtTinySizes) {
+  EXPECT_LT(time_copy(CopyImpl::kShmLoop, 16),
+            time_copy(CopyImpl::kMsgDma, 16));
+}
+
+TEST(BulkTiming, PrefetchVariantIsSlowerForCopies) {
+  // The paper's Figure 7 surprise: read-prefetching the destination forces
+  // an upgrade per line.
+  EXPECT_GT(time_copy(CopyImpl::kShmPrefetch, 2048),
+            time_copy(CopyImpl::kShmLoop, 2048));
+}
+
+TEST(BulkTiming, MessageCostIsDominatedByBandwidthAtScale) {
+  const Cycles c1 = time_copy(CopyImpl::kMsgDma, 2048);
+  const Cycles c2 = time_copy(CopyImpl::kMsgDma, 4096);
+  // Doubling the block should roughly double only the marginal part.
+  EXPECT_GT(c2, c1);
+  EXPECT_LT(c2, c1 * 2);
+}
+
+}  // namespace
+}  // namespace alewife

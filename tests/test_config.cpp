@@ -1,0 +1,141 @@
+// Configuration validation and miscellaneous small-type tests: GAddr
+// packing, MachineConfig::validate error paths, backing-store allocation
+// limits, and event-queue bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "memory/backing_store.hpp"
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+namespace {
+
+TEST(GAddrPacking, RoundTrips) {
+  const GAddr a = make_gaddr(37, 0x12345678);
+  EXPECT_EQ(gaddr_node(a), 37u);
+  EXPECT_EQ(gaddr_offset(a), 0x12345678u);
+  EXPECT_EQ(gaddr_node(make_gaddr(0, 0)), 0u);
+  EXPECT_EQ(gaddr_offset(make_gaddr(65535, 0xFFFFFFFF)), 0xFFFFFFFFu);
+  EXPECT_EQ(gaddr_node(make_gaddr(65535, 0xFFFFFFFF)), 65535u);
+}
+
+TEST(GAddrPacking, ArithmeticStaysInNode) {
+  const GAddr base = make_gaddr(5, 1024);
+  EXPECT_EQ(gaddr_node(base + 512), 5u);
+  EXPECT_EQ(gaddr_offset(base + 512), 1536u);
+}
+
+TEST(ConfigValidate, AcceptsDefaults) {
+  MachineConfig c;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ConfigValidate, RejectsZeroNodes) {
+  MachineConfig c;
+  c.nodes = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsNonPow2Line) {
+  MachineConfig c;
+  c.cache_line_bytes = 24;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsTinyLine) {
+  MachineConfig c;
+  c.cache_line_bytes = 4;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsZeroWays) {
+  MachineConfig c;
+  c.cache_ways = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsCacheSmallerThanSet) {
+  MachineConfig c;
+  c.cache_size_bytes = 16;
+  c.cache_ways = 4;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsNonPow2Sets) {
+  MachineConfig c;
+  c.cache_size_bytes = 96;  // 96 / (16*2) = 3 sets
+  c.cache_ways = 2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsOversizedNodeMemory) {
+  MachineConfig c;
+  c.mem_bytes_per_node = (1ull << 33);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsZeroLinkBandwidth) {
+  MachineConfig c;
+  c.cost.link_bytes_per_cycle = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, RejectsWideMesh) {
+  MachineConfig c;
+  c.nodes = 4;
+  c.mesh_width = 9;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, MachineConstructorValidates) {
+  MachineConfig c;
+  c.nodes = 0;
+  EXPECT_THROW(Machine m(c), std::invalid_argument);
+}
+
+TEST(BackingStoreLimits, AllocExhaustionThrows) {
+  BackingStore store(2, 1024, 16);
+  EXPECT_NO_THROW(store.alloc(0, 512));
+  EXPECT_NO_THROW(store.alloc(0, 512));
+  EXPECT_THROW(store.alloc(0, 16), std::bad_alloc);
+  // Node 1's space is independent.
+  EXPECT_NO_THROW(store.alloc(1, 1024));
+}
+
+TEST(BackingStoreLimits, AllocationsAreLineAligned) {
+  BackingStore store(1, 4096, 16);
+  store.alloc(0, 3);  // odd size
+  const GAddr second = store.alloc(0, 8);
+  EXPECT_EQ(gaddr_offset(second) % 16, 0u);
+}
+
+TEST(BackingStoreLimits, ResetAllocatorsReusesSpace) {
+  BackingStore store(1, 64, 16);
+  store.alloc(0, 64);
+  EXPECT_THROW(store.alloc(0, 16), std::bad_alloc);
+  store.reset_allocators();
+  EXPECT_NO_THROW(store.alloc(0, 64));
+}
+
+TEST(EventQueueMisc, ClearDropsPending) {
+  EventQueue q;
+  int hits = 0;
+  q.schedule_at(5, [&] { ++hits; });
+  q.schedule_at(6, [&] { ++hits; });
+  EXPECT_EQ(q.size(), 2u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(EventQueueMisc, ExecutedCountAccumulates) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(i, [] {});
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(q.events_executed(), 5u);
+}
+
+}  // namespace
+}  // namespace alewife

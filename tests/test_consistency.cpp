@@ -1,0 +1,211 @@
+// Memory-model litmus tests: the simulated machine implements sequential
+// consistency (Alewife's model), so the classic weak-memory outcomes must be
+// unobservable across many timing-randomized trials — and the machine must
+// behave identically across cache geometries.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 100'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Litmus: message passing (MP)
+//   P0: x = 1; y = 1        P1: r1 = y; r2 = x
+// SC forbids (r1 == 1 && r2 == 0).
+// ---------------------------------------------------------------------------
+TEST(Litmus, MessagePassingForbiddenOutcome) {
+  Rng rng(5150);
+  for (int trial = 0; trial < 30; ++trial) {
+    MachineConfig c = cfg(4);
+    c.rng_seed = rng.next();
+    Machine m(c, quiet());
+    const GAddr x = m.shmalloc(2, 64);
+    const GAddr y = m.shmalloc(3, 64);
+    auto r1 = std::make_shared<std::uint64_t>(0);
+    auto r2 = std::make_shared<std::uint64_t>(0);
+    const Cycles skew0 = rng.below(120), skew1 = rng.below(120);
+
+    m.start_thread(0, [=](Context& ctx) {
+      ctx.compute(skew0);
+      ctx.store(x, 1);
+      ctx.store(y, 1);
+    });
+    m.start_thread(1, [=](Context& ctx) {
+      ctx.compute(skew1);
+      *r1 = ctx.load(y);
+      *r2 = ctx.load(x);
+    });
+    m.run_started();
+    EXPECT_FALSE(*r1 == 1 && *r2 == 0)
+        << "MP violation at trial " << trial;
+    m.memory().check_invariants();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Litmus: store buffering (SB)
+//   P0: x = 1; r1 = y       P1: y = 1; r2 = x
+// SC forbids (r1 == 0 && r2 == 0).
+// ---------------------------------------------------------------------------
+TEST(Litmus, StoreBufferingForbiddenOutcome) {
+  Rng rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    MachineConfig c = cfg(4);
+    c.rng_seed = rng.next();
+    Machine m(c, quiet());
+    const GAddr x = m.shmalloc(2, 64);
+    const GAddr y = m.shmalloc(3, 64);
+    auto r1 = std::make_shared<std::uint64_t>(9);
+    auto r2 = std::make_shared<std::uint64_t>(9);
+    const Cycles skew0 = rng.below(80), skew1 = rng.below(80);
+
+    m.start_thread(0, [=](Context& ctx) {
+      ctx.compute(skew0);
+      ctx.store(x, 1);
+      *r1 = ctx.load(y);
+    });
+    m.start_thread(1, [=](Context& ctx) {
+      ctx.compute(skew1);
+      ctx.store(y, 1);
+      *r2 = ctx.load(x);
+    });
+    m.run_started();
+    EXPECT_FALSE(*r1 == 0 && *r2 == 0)
+        << "SB violation at trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Litmus: coherence (CO) — all processors agree on each location's final
+// value, and a reader never sees values of one location out of order.
+// ---------------------------------------------------------------------------
+TEST(Litmus, SingleLocationCoherence) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    MachineConfig c = cfg(8);
+    c.rng_seed = rng.next();
+    Machine m(c, quiet());
+    const GAddr x = m.shmalloc(0, 64);
+    // Writers store strictly increasing values; readers sample repeatedly
+    // and must observe a non-decreasing sequence.
+    auto ok = std::make_shared<bool>(true);
+    for (NodeId w = 0; w < 4; ++w) {
+      m.start_thread(w, [=, &m](Context& ctx) {
+        for (int i = 0; i < 10; ++i) {
+          // fetch_add keeps the value monotone under concurrent writers.
+          ctx.fetch_add(x, 1);
+          ctx.compute(10 + (w * 7 + i * 13) % 30);
+        }
+        (void)m;
+      });
+    }
+    for (NodeId r = 4; r < 8; ++r) {
+      m.start_thread(r, [=](Context& ctx) {
+        std::uint64_t last = 0;
+        for (int i = 0; i < 25; ++i) {
+          const std::uint64_t v = ctx.load(x);
+          if (v < last) *ok = false;
+          last = v;
+          ctx.compute(7 + (r * 3 + i) % 20);
+        }
+      });
+    }
+    m.run_started();
+    EXPECT_TRUE(*ok) << "coherence order violation at trial " << trial;
+    EXPECT_EQ(m.memory().store().read_uint(x, 8), 40u);
+    m.memory().check_invariants();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomicity across the full config space
+// ---------------------------------------------------------------------------
+
+struct GeomParam {
+  std::uint32_t nodes;
+  std::uint32_t cache_bytes;
+  std::uint32_t ways;
+  std::uint32_t line;
+};
+
+class Geometry : public ::testing::TestWithParam<GeomParam> {};
+
+TEST_P(Geometry, CountersStayExactAndCoherent) {
+  const GeomParam p = GetParam();
+  MachineConfig c = cfg(p.nodes);
+  c.cache_size_bytes = p.cache_bytes;
+  c.cache_ways = p.ways;
+  c.cache_line_bytes = p.line;
+  Machine m(c, quiet());
+  const GAddr ctr = m.shmalloc(p.nodes - 1, p.line);
+  constexpr int kPerNode = 20;
+  for (NodeId n = 0; n < p.nodes; ++n) {
+    m.start_thread(n, [=](Context& ctx) {
+      for (int i = 0; i < kPerNode; ++i) {
+        ctx.fetch_add(ctr, 1);
+        ctx.compute((n * 13 + i * 7) % 40);
+      }
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(m.memory().store().read_uint(ctr, 8),
+            std::uint64_t{p.nodes} * kPerNode);
+  m.memory().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Geometry,
+    ::testing::Values(GeomParam{2, 1024, 1, 16},    // tiny direct-mapped
+                      GeomParam{4, 4096, 2, 16},
+                      GeomParam{4, 4096, 2, 32},    // wider lines
+                      GeomParam{8, 2048, 4, 64},
+                      GeomParam{16, 65536, 2, 16},
+                      GeomParam{3, 4096, 2, 16},    // non-square mesh
+                      GeomParam{7, 4096, 1, 16}));  // prime node count
+
+TEST(AccessSizes, SubWordLoadsAndStores) {
+  Machine m(cfg(2), quiet());
+  m.run([](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(1, 64);
+    ctx.store(a, 0x1122334455667788ull, 8);
+    EXPECT_EQ(ctx.load(a, 1), 0x88u);         // little-endian byte
+    EXPECT_EQ(ctx.load(a, 2), 0x7788u);
+    EXPECT_EQ(ctx.load(a, 4), 0x55667788u);
+    ctx.store(a + 4, 0xAABBCCDD, 4);
+    EXPECT_EQ(ctx.load(a, 8), 0xAABBCCDD55667788ull);
+    ctx.store(a + 1, 0xEE, 1);
+    EXPECT_EQ(ctx.load(a, 2), 0xEE88u);
+    return 0;
+  });
+}
+
+TEST(AccessSizes, MixedSizesAcrossNodes) {
+  Machine m(cfg(4), quiet());
+  m.run([](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(3, 64);
+    for (std::uint32_t i = 0; i < 16; ++i) ctx.store(a + i, i, 1);
+    std::uint64_t sum = 0;
+    for (std::uint32_t i = 0; i < 16; ++i) sum += ctx.load(a + i, 1);
+    EXPECT_EQ(sum, 120u);
+    return 0;
+  });
+  m.memory().check_invariants();
+}
+
+}  // namespace
+}  // namespace alewife

@@ -1,0 +1,148 @@
+// Tests for the direct cache-to-cache forwarding option (DASH-style), the
+// alternative to Alewife's through-home dirty-data path that §2.2 singles
+// out as a shared-memory defect.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes, bool fwd) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.forward_dirty_direct = fwd;
+  c.max_cycles = 100'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+TEST(Forwarding, ValuesSurviveDirectTransfer) {
+  Machine m(cfg(8, true), quiet());
+  const GAddr a = m.shmalloc(4, 64);
+  m.run([a](Context& ctx) -> std::uint64_t {
+    ctx.store(a, 4242);  // dirty in node 0's cache, homed on node 4
+    return 0;
+  });
+  // A third node reads it: direct owner -> requester transfer.
+  auto got = std::make_shared<std::uint64_t>(0);
+  m.start_thread(7, [got, a](Context& ctx) { *got = ctx.load(a); });
+  m.run_started();
+  EXPECT_EQ(*got, 4242u);
+  EXPECT_GT(m.stats().get("mem.direct_forwards"), 0u);
+  m.memory().check_invariants();
+}
+
+TEST(Forwarding, DirtyReadIsFasterThanThroughHome) {
+  // Triangle: requester 0, home 63 (far corner), owner 1 (adjacent to the
+  // requester). Through-home pays 0->63->1->63->0; direct pays 0->63->1->0.
+  auto dirty_read_latency = [](bool fwd) {
+    Machine m(cfg(64, fwd), quiet());
+    const GAddr a = m.shmalloc(63, 64);
+    auto latency = std::make_shared<Cycles>(0);
+    HostBarrier sync(m, 2);
+    m.start_thread(1, [&, a](Context& ctx) {
+      ctx.store(a, 5);  // node 1 owns the line dirty
+      sync.wait(ctx);
+    });
+    m.start_thread(0, [&, a](Context& ctx) {
+      sync.wait(ctx);
+      const Cycles t0 = ctx.now();
+      ctx.load(a);
+      *latency = ctx.now() - t0;
+    });
+    m.run_started();
+    return *latency;
+  };
+  const Cycles through_home = dirty_read_latency(false);
+  const Cycles direct = dirty_read_latency(true);
+  EXPECT_LT(direct, through_home);
+}
+
+TEST(Forwarding, WritesToDirtyLinesStayAtomic) {
+  // A contended counter where the line is always dirty somewhere: the
+  // forwarded exclusive transfers must preserve atomicity.
+  for (bool fwd : {false, true}) {
+    Machine m(cfg(8, fwd), quiet());
+    const GAddr ctr = m.shmalloc(3, 64);
+    constexpr int kPerNode = 25;
+    for (NodeId n = 0; n < 8; ++n) {
+      m.start_thread(n, [=](Context& ctx) {
+        for (int i = 0; i < kPerNode; ++i) {
+          ctx.fetch_add(ctr, 1);
+          ctx.compute((n * 11 + i * 3) % 17);
+        }
+      });
+    }
+    m.run_started();
+    EXPECT_EQ(m.memory().store().read_uint(ctr, 8), 8u * kPerNode)
+        << "fwd=" << fwd;
+    m.memory().check_invariants();
+  }
+}
+
+TEST(Forwarding, RandomStressKeepsInvariants) {
+  Rng rng(2024);
+  for (bool fwd : {false, true}) {
+    Machine m(cfg(8, fwd), quiet());
+    std::vector<GAddr> addrs;
+    for (int i = 0; i < 8; ++i) {
+      addrs.push_back(m.shmalloc(static_cast<NodeId>(rng.below(8)), 16));
+    }
+    for (NodeId n = 0; n < 8; ++n) {
+      const std::uint64_t seed = rng.next();
+      m.start_thread(n, [&, n, seed](Context& ctx) {
+        Rng r(seed);
+        for (int i = 0; i < 60; ++i) {
+          const GAddr a = addrs[r.below(addrs.size())];
+          switch (r.below(3)) {
+            case 0:
+              ctx.load(a);
+              break;
+            case 1:
+              ctx.store(a, r.next());
+              break;
+            default:
+              ctx.swap(a, r.next());
+              break;
+          }
+          ctx.compute(r.below(25));
+        }
+      });
+    }
+    m.run_started();
+    m.memory().check_invariants();
+  }
+}
+
+TEST(Forwarding, LockBounceIsCheaperWithForwarding) {
+  // Two nodes ping-pong a test&set lock whose home is a third, distant node
+  // — the §2.2 "intermediate node" scenario.
+  auto bounce_time = [](bool fwd) {
+    Machine m(cfg(64, fwd), quiet());
+    const GAddr lock = m.shmalloc(63, 64);
+    auto total = std::make_shared<Cycles>(0);
+    for (NodeId n = 0; n < 2; ++n) {
+      m.start_thread(n, [=](Context& ctx) {
+        const Cycles t0 = ctx.now();
+        for (int i = 0; i < 20; ++i) {
+          ctx.test_and_set(lock);
+          ctx.compute(5);
+        }
+        if (n == 0) *total = ctx.now() - t0;
+      });
+    }
+    m.run_started();
+    return *total;
+  };
+  EXPECT_LT(bounce_time(true), bounce_time(false));
+}
+
+}  // namespace
+}  // namespace alewife

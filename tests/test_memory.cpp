@@ -1,0 +1,409 @@
+// Unit and property tests for the coherent memory system: cache behaviour,
+// MSI directory protocol, atomics, prefetch, LimitLESS, DMA hooks, and
+// randomized stress with invariant checking.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "memory/mem_system.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife {
+namespace {
+
+struct Harness {
+  explicit Harness(std::uint32_t nodes = 8, std::uint32_t cache_bytes = 0) {
+    cfg.nodes = nodes;
+    if (cache_bytes != 0) cfg.cache_size_bytes = cache_bytes;
+    store = std::make_unique<BackingStore>(cfg.nodes, cfg.mem_bytes_per_node,
+                                           cfg.cache_line_bytes);
+    net = std::make_unique<Network>(sim, cfg, stats);
+    ms = std::make_unique<MemorySystem>(sim, *net, *store, cfg, stats);
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+      net->set_receiver(n, [this, n](Packet p) {
+        ASSERT_EQ(p.klass, PacketClass::kCoherence);
+        ms->on_packet(n, p);
+      });
+    }
+  }
+
+  /// Issue an access; returns (value, completion_time) after sim.run().
+  struct Result {
+    std::uint64_t value = 0;
+    Cycles done_at = 0;
+    bool completed = false;
+  };
+
+  std::shared_ptr<Result> issue(NodeId n, MemOp op, GAddr a, std::uint64_t v,
+                                Cycles start) {
+    auto r = std::make_shared<Result>();
+    ms->access(n, op, a, 8, v, start, [this, r](std::uint64_t val) {
+      r->value = val;
+      r->done_at = sim.now();
+      r->completed = true;
+    });
+    return r;
+  }
+
+  std::uint64_t load_now(NodeId n, GAddr a, Cycles start = 0) {
+    auto r = issue(n, MemOp::kLoad, a, 0, start);
+    sim.run();
+    EXPECT_TRUE(r->completed);
+    return r->value;
+  }
+
+  void store_now(NodeId n, GAddr a, std::uint64_t v, Cycles start = 0) {
+    auto r = issue(n, MemOp::kStore, a, v, start);
+    sim.run();
+    EXPECT_TRUE(r->completed);
+  }
+
+  MachineConfig cfg;
+  Simulator sim;
+  Stats stats;
+  std::unique_ptr<BackingStore> store;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<MemorySystem> ms;
+};
+
+TEST(Cache, HitMissAndLru) {
+  Cache c(1024, 16, 2);  // 32 sets, 2 ways
+  EXPECT_EQ(c.lookup(0x100), LineState::kInvalid);
+  c.install(0x100, LineState::kShared);
+  EXPECT_EQ(c.lookup(0x100), LineState::kShared);
+  EXPECT_EQ(c.lookup(0x108), LineState::kShared);  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, EvictsLruWithinSet) {
+  Cache c(64, 16, 2);  // 2 sets, 2 ways
+  // Three lines mapping to the same set must evict the least recently used.
+  std::vector<GAddr> same_set;
+  for (GAddr a = 0; same_set.size() < 3; a += 16) {
+    Cache probe(64, 16, 2);
+    if (!same_set.empty()) {
+      // Crude same-set detection: install first then check eviction victim.
+    }
+    same_set.push_back(a);
+    if (same_set.size() == 3) break;
+  }
+  // Direct check via install results instead:
+  c.install(same_set[0], LineState::kShared);
+  c.install(same_set[1], LineState::kShared);
+  c.install(same_set[2], LineState::kShared);
+  int resident = 0;
+  for (GAddr a : same_set) {
+    if (c.peek(a) != LineState::kInvalid) ++resident;
+  }
+  EXPECT_LE(resident, 3);
+  EXPECT_GE(resident, 2);  // at most one eviction among three installs
+}
+
+TEST(Cache, InvalidateRemoves) {
+  Cache c(1024, 16, 2);
+  c.install(0x40, LineState::kModified);
+  EXPECT_EQ(c.invalidate(0x40), LineState::kModified);
+  EXPECT_EQ(c.peek(0x40), LineState::kInvalid);
+  EXPECT_EQ(c.invalidate(0x40), LineState::kInvalid);
+}
+
+TEST(MemSystem, LocalStoreLoad) {
+  Harness h;
+  const GAddr a = h.store->alloc(0, 64);
+  h.store_now(0, a, 0xDEADBEEF);
+  EXPECT_EQ(h.load_now(0, a), 0xDEADBEEFu);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, RemoteLoadSeesRemoteStore) {
+  Harness h;
+  const GAddr a = h.store->alloc(3, 64);
+  h.store_now(1, a, 77);
+  EXPECT_EQ(h.load_now(2, a), 77u);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, CacheHitFasterThanMiss) {
+  Harness h;
+  const GAddr a = h.store->alloc(5, 64);
+  auto cold = h.issue(0, MemOp::kLoad, a, 0, 0);
+  h.sim.run();
+  const Cycles miss_time = cold->done_at;
+  auto warm = h.issue(0, MemOp::kLoad, a, 0, h.sim.now());
+  h.sim.run();
+  const Cycles hit_time = warm->done_at - miss_time;
+  EXPECT_LT(hit_time, miss_time);
+  EXPECT_LE(hit_time, h.cfg.cost.cache_hit + 1);
+}
+
+TEST(MemSystem, LocalMissFasterThanRemoteMiss) {
+  Harness h;
+  const GAddr local = h.store->alloc(0, 64);
+  const GAddr remote = h.store->alloc(7, 64);
+  auto l = h.issue(0, MemOp::kLoad, local, 0, 0);
+  h.sim.run();
+  auto r = h.issue(0, MemOp::kLoad, remote, 0, h.sim.now());
+  h.sim.run();
+  EXPECT_LT(l->done_at, r->done_at - l->done_at);
+}
+
+TEST(MemSystem, WriteInvalidatesSharers) {
+  Harness h;
+  const GAddr a = h.store->alloc(0, 64);
+  h.store_now(0, a, 1);
+  // Nodes 1..4 cache the line shared.
+  for (NodeId n = 1; n <= 4; ++n) h.load_now(n, a, h.sim.now());
+  EXPECT_EQ(h.ms->cache(2).peek(a), LineState::kShared);
+  // Node 5 writes: everyone else must drop their copy.
+  h.store_now(5, a, 2, h.sim.now());
+  EXPECT_EQ(h.ms->cache(2).peek(a), LineState::kInvalid);
+  EXPECT_EQ(h.ms->cache(5).peek(a), LineState::kModified);
+  EXPECT_GT(h.stats.get("mem.invalidations"), 0u);
+  EXPECT_EQ(h.load_now(1, a, h.sim.now()), 2u);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, DirtyDataForwardedThroughHome) {
+  Harness h;
+  const GAddr a = h.store->alloc(4, 64);
+  h.store_now(2, a, 99, 0);  // dirty in node 2's cache
+  EXPECT_EQ(h.ms->cache(2).peek(a), LineState::kModified);
+  // A third node reads: data must come via a FETCH through home 4.
+  EXPECT_EQ(h.load_now(6, a, h.sim.now()), 99u);
+  // Old owner downgraded to shared.
+  EXPECT_EQ(h.ms->cache(2).peek(a), LineState::kShared);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, UpgradeFromShared) {
+  Harness h;
+  const GAddr a = h.store->alloc(0, 64);
+  h.load_now(1, a);  // node 1 shared
+  auto st = h.issue(1, MemOp::kStore, a, 5, h.sim.now());
+  h.sim.run();
+  EXPECT_TRUE(st->completed);
+  EXPECT_EQ(h.ms->cache(1).peek(a), LineState::kModified);
+  EXPECT_EQ(h.load_now(0, a, h.sim.now()), 5u);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, TestAndSetIsAtomic) {
+  Harness h;
+  const GAddr lock = h.store->alloc(0, 64);
+  // Many nodes race a test-and-set at the same instant.
+  std::vector<std::shared_ptr<Harness::Result>> rs;
+  for (NodeId n = 0; n < 8; ++n) {
+    rs.push_back(h.issue(n, MemOp::kTestAndSet, lock, 1, 0));
+  }
+  h.sim.run();
+  int winners = 0;
+  for (auto& r : rs) {
+    ASSERT_TRUE(r->completed);
+    if (r->value == 0) ++winners;
+  }
+  EXPECT_EQ(winners, 1);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, FetchAddCountsExactly) {
+  Harness h;
+  const GAddr ctr = h.store->alloc(3, 64);
+  constexpr int kPerNode = 10;
+  for (int i = 0; i < kPerNode; ++i) {
+    for (NodeId n = 0; n < 8; ++n) {
+      h.issue(n, MemOp::kFetchAdd, ctr, 1, Cycles(i) * 17 + n * 3);
+    }
+  }
+  h.sim.run();
+  EXPECT_EQ(h.load_now(0, ctr, h.sim.now()), 8u * kPerNode);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, PrefetchHidesLatency) {
+  Harness h;
+  const GAddr a = h.store->alloc(7, 64);
+  // Prefetch, wait for the fill, then load: should hit.
+  auto p = h.issue(0, MemOp::kPrefetch, a, 0, 0);
+  h.sim.run();
+  EXPECT_LE(p->done_at, h.cfg.cost.prefetch_issue + 2);  // non-blocking
+  auto l = h.issue(0, MemOp::kLoad, a, 0, h.sim.now());
+  h.sim.run();
+  EXPECT_LE(l->done_at - p->done_at + h.cfg.cost.prefetch_issue,
+            h.sim.now());  // sanity
+  EXPECT_EQ(h.ms->cache(0).peek(a), LineState::kShared);
+}
+
+TEST(MemSystem, PrefetchMergesWithDemandLoad) {
+  Harness h;
+  const GAddr a = h.store->alloc(7, 64);
+  h.store->write_uint(a, 8, 123);
+  h.issue(0, MemOp::kPrefetch, a, 0, 0);
+  auto l = h.issue(0, MemOp::kLoad, a, 0, 1);  // while fill in flight
+  h.sim.run();
+  ASSERT_TRUE(l->completed);
+  EXPECT_EQ(l->value, 123u);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, PrefetchLimitDropsExcess) {
+  Harness h;
+  std::vector<GAddr> addrs;
+  for (int i = 0; i < 10; ++i) addrs.push_back(h.store->alloc(7, 64));
+  for (GAddr a : addrs) h.issue(0, MemOp::kPrefetch, a, 0, 0);
+  h.sim.run();
+  EXPECT_EQ(h.stats.get("mem.prefetch_issued"),
+            h.cfg.max_outstanding_prefetches);
+  EXPECT_EQ(h.stats.get("mem.prefetch_dropped"),
+            10 - h.cfg.max_outstanding_prefetches);
+}
+
+TEST(MemSystem, ExclusivePrefetchEnablesFastStore) {
+  Harness h;
+  const GAddr a = h.store->alloc(7, 64);
+  h.issue(0, MemOp::kPrefetchExcl, a, 0, 0);
+  h.sim.run();
+  EXPECT_EQ(h.ms->cache(0).peek(a), LineState::kModified);
+  auto st = h.issue(0, MemOp::kStore, a, 9, h.sim.now());
+  h.sim.run();
+  EXPECT_LE(st->done_at - (st->done_at - h.cfg.cost.cache_hit),
+            h.cfg.cost.cache_hit);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, DirtyEvictionPreservesValue) {
+  // Tiny cache: 4 lines, direct-ish (2 sets x 2 ways).
+  Harness h(8, 64);
+  std::vector<GAddr> addrs;
+  for (int i = 0; i < 12; ++i) addrs.push_back(h.store->alloc(2, 16));
+  Cycles t = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto r = h.issue(0, MemOp::kStore, addrs[i], 1000 + i, t);
+    h.sim.run();
+    t = h.sim.now();
+  }
+  EXPECT_GT(h.stats.get("mem.dirty_evictions"), 0u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(h.load_now(1, addrs[i], t), 1000u + i);
+    t = h.sim.now();
+  }
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, LimitlessOverflowTraps) {
+  Harness h;  // 8 nodes, 5 hardware pointers
+  const GAddr a = h.store->alloc(0, 64);
+  Cycles t = 0;
+  for (NodeId n = 0; n < 8; ++n) {
+    h.load_now(n, a, t);
+    t = h.sim.now();
+  }
+  // Sharers 6, 7, 8 overflow the 5 hardware pointers.
+  EXPECT_EQ(h.stats.get("mem.limitless_traps"), 3u);
+  // A write must still invalidate all eight copies.
+  h.store_now(3, a, 42, t);
+  for (NodeId n = 0; n < 8; ++n) {
+    if (n != 3) {
+      EXPECT_EQ(h.ms->cache(n).peek(a), LineState::kInvalid);
+    }
+  }
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, DmaFlushDowngradesDirtyLines) {
+  Harness h;
+  const GAddr a = h.store->alloc(2, 64);
+  h.store_now(2, a, 7);  // dirty in local cache
+  EXPECT_EQ(h.ms->cache(2).peek(a), LineState::kModified);
+  const Cycles c = h.ms->dma_source_flush(2, a, 64);
+  EXPECT_GT(c, 0u);
+  EXPECT_EQ(h.ms->cache(2).peek(a), LineState::kShared);
+  h.ms->check_invariants();
+}
+
+TEST(MemSystem, DmaInvalidateDropsLocalCopies) {
+  Harness h;
+  const GAddr a = h.store->alloc(2, 64);
+  h.load_now(2, a);
+  EXPECT_NE(h.ms->cache(2).peek(a), LineState::kInvalid);
+  h.ms->dma_dest_invalidate(2, a, 64);
+  EXPECT_EQ(h.ms->cache(2).peek(a), LineState::kInvalid);
+  h.ms->check_invariants();
+}
+
+// Property test: randomized concurrent accesses keep the protocol coherent
+// and atomic counters exact.
+struct StressParam {
+  std::uint32_t nodes;
+  std::uint32_t lines;
+  std::uint32_t ops;
+  std::uint64_t seed;
+  bool forward_direct = false;
+};
+
+class MemStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(MemStress, RandomOpsKeepInvariants) {
+  const StressParam p = GetParam();
+  Harness h(p.nodes);
+  h.cfg.forward_dirty_direct = p.forward_direct;
+  Rng rng(p.seed);
+
+  std::vector<GAddr> addrs;
+  std::vector<GAddr> counters;
+  for (std::uint32_t i = 0; i < p.lines; ++i) {
+    addrs.push_back(
+        h.store->alloc(static_cast<NodeId>(rng.below(p.nodes)), 16));
+  }
+  counters.push_back(h.store->alloc(0, 16));
+  counters.push_back(h.store->alloc(p.nodes - 1, 16));
+
+  std::uint64_t adds = 0;
+  for (std::uint32_t i = 0; i < p.ops; ++i) {
+    const NodeId n = static_cast<NodeId>(rng.below(p.nodes));
+    const Cycles start = rng.below(20000);
+    switch (rng.below(5)) {
+      case 0:
+        h.issue(n, MemOp::kLoad, addrs[rng.below(p.lines)], 0, start);
+        break;
+      case 1:
+        h.issue(n, MemOp::kStore, addrs[rng.below(p.lines)], rng.next(),
+                start);
+        break;
+      case 2:
+        h.issue(n, MemOp::kFetchAdd, counters[rng.below(2)], 1, start);
+        ++adds;
+        break;
+      case 3:
+        h.issue(n, MemOp::kPrefetch, addrs[rng.below(p.lines)], 0, start);
+        break;
+      default:
+        h.issue(n, MemOp::kSwap, addrs[rng.below(p.lines)], rng.next(),
+                start);
+        break;
+    }
+  }
+  h.sim.run();
+  h.ms->check_invariants();
+
+  std::uint64_t total = 0;
+  total += h.load_now(0, counters[0], h.sim.now());
+  total += h.load_now(0, counters[1], h.sim.now());
+  EXPECT_EQ(total, adds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MemStress,
+    ::testing::Values(StressParam{2, 4, 300, 11}, StressParam{4, 8, 600, 22},
+                      StressParam{8, 16, 1200, 33},
+                      StressParam{16, 8, 1500, 44},
+                      StressParam{64, 32, 2500, 55},
+                      StressParam{8, 1, 800, 66},   // single hot line
+                      StressParam{3, 2, 500, 77},
+                      StressParam{8, 16, 1200, 88, true},   // direct fwd
+                      StressParam{8, 1, 800, 99, true},     // fwd, hot line
+                      StressParam{16, 8, 1500, 111, true}));
+
+}  // namespace
+}  // namespace alewife

@@ -1,0 +1,304 @@
+// Unit tests for the processor model: timing of compute/charge, interrupt
+// preemption arithmetic, masked deferral, stolen cycles, block/dispatch, and
+// the release hook contract.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/msg_types.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg2() {
+  MachineConfig c;
+  c.nodes = 2;
+  c.max_cycles = 50'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+TEST(Proc, ComputeIsExactWithoutInterrupts) {
+  Machine m(cfg2(), quiet());
+  m.run([](Context& ctx) -> std::uint64_t {
+    const Cycles t0 = ctx.now();
+    ctx.compute(12345);
+    EXPECT_EQ(ctx.now() - t0, 12345u);
+    return 0;
+  });
+}
+
+TEST(Proc, ChargeIsExactAndCheap) {
+  Machine m(cfg2(), quiet());
+  m.run([](Context& ctx) -> std::uint64_t {
+    const Cycles t0 = ctx.now();
+    for (int i = 0; i < 100; ++i) ctx.charge(3);
+    EXPECT_EQ(ctx.now() - t0, 300u);
+    return 0;
+  });
+}
+
+TEST(Proc, InterruptPreemptsComputeAndStretchesIt) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    auto handler_ran_at = std::make_shared<Cycles>(0);
+    m.node(0).cmmu().set_handler(kMsgUserBase,
+                                 [handler_ran_at](HandlerCtx& hc, MsgView&) {
+                                   *handler_ran_at = hc.now();
+                                   hc.charge(50);
+                                 });
+    // Node 1's CMMU fires a message at us mid-compute.
+    MsgDescriptor d;
+    d.dst = 0;
+    d.type = kMsgUserBase;
+    m.node(1).cmmu().send_raw(d, m.sim().now());
+
+    const Cycles t0 = ctx.now();
+    ctx.compute(5000);
+    const Cycles took = ctx.now() - t0;
+    const CostModel& c = m.config().cost;
+    // The compute stretched by exactly the handler's footprint.
+    EXPECT_EQ(took,
+              5000 + c.interrupt_entry + 50 + c.interrupt_return);
+    EXPECT_GT(*handler_ran_at, t0);
+    EXPECT_LT(*handler_ran_at, t0 + 5000);
+    return 0;
+  });
+}
+
+TEST(Proc, BackToBackInterruptsSerialize) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    auto times = std::make_shared<std::vector<Cycles>>();
+    m.node(0).cmmu().set_handler(kMsgUserBase,
+                                 [times](HandlerCtx& hc, MsgView&) {
+                                   times->push_back(hc.now());
+                                   hc.charge(40);
+                                 });
+    MsgDescriptor d;
+    d.dst = 0;
+    d.type = kMsgUserBase;
+    // Two messages arriving (almost) together.
+    m.node(1).cmmu().send_raw(d, m.sim().now());
+    m.node(1).cmmu().send_raw(d, m.sim().now());
+    ctx.compute(4000);
+    EXPECT_EQ(times->size(), 2u);
+    if (times->size() != 2) return 1;
+    const CostModel& c = m.config().cost;
+    // The second handler starts no earlier than the first one's end.
+    EXPECT_GE((*times)[1], (*times)[0] + 40 + c.interrupt_return);
+    return 0;
+  });
+}
+
+TEST(Proc, InterruptDuringMemoryStallDelaysResume) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    m.node(0).cmmu().set_handler(kMsgUserBase, [](HandlerCtx& hc, MsgView&) {
+      hc.charge(500);  // long handler
+    });
+    MsgDescriptor d;
+    d.dst = 0;
+    d.type = kMsgUserBase;
+    m.node(1).cmmu().send_raw(d, m.sim().now());
+
+    // A remote load (~40 cycles) overlapping a 500-cycle handler: the load
+    // completes while the handler occupies the core, so the thread resumes
+    // only after the handler finishes.
+    const GAddr a = ctx.shmalloc(1, 64);
+    const Cycles t0 = ctx.now();
+    ctx.load(a);
+    EXPECT_GE(ctx.now() - t0, 500u);
+    return 0;
+  });
+}
+
+TEST(Proc, StolenCyclesPushOutCompute) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    const Cycles t0 = ctx.now();
+    // A LimitLESS-style trap fires mid-compute (delivered as an event, as
+    // the protocol engine does it).
+    m.sim().schedule_at(t0 + 100, [&m] {
+      m.proc(0).steal_cycles(m.sim().now(), 77);
+    });
+    ctx.compute(1000);
+    EXPECT_EQ(ctx.now() - t0, 1077u);
+    return 0;
+  });
+}
+
+TEST(Proc, MaskedHandlersChargeAtUnmask) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    m.node(0).cmmu().set_handler(kMsgUserBase, [](HandlerCtx& hc, MsgView&) {
+      hc.charge(64);
+    });
+    MsgDescriptor d;
+    d.dst = 0;
+    d.type = kMsgUserBase;
+    m.node(1).cmmu().send_raw(d, m.sim().now());
+
+    ctx.mask_interrupts();
+    ctx.compute(1000);  // message arrives, defers
+    const Cycles before = ctx.now();
+    ctx.unmask_interrupts();
+    const CostModel& c = m.config().cost;
+    EXPECT_EQ(ctx.now() - before,
+              c.interrupt_entry + 64 + c.interrupt_return);
+    return 0;
+  });
+}
+
+TEST(Proc, MaskedComputeIsNotPreempted) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    m.node(0).cmmu().set_handler(kMsgUserBase, [](HandlerCtx& hc, MsgView&) {
+      hc.charge(100);
+    });
+    MsgDescriptor d;
+    d.dst = 0;
+    d.type = kMsgUserBase;
+    m.node(1).cmmu().send_raw(d, m.sim().now());
+
+    ctx.mask_interrupts();
+    const Cycles t0 = ctx.now();
+    ctx.compute(3000);
+    EXPECT_EQ(ctx.now() - t0, 3000u);  // untouched by the arrival
+    ctx.unmask_interrupts();
+    return 0;
+  });
+}
+
+TEST(Proc, HandlerCtxTracksTime) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    auto delta = std::make_shared<Cycles>(0);
+    m.node(0).cmmu().set_handler(kMsgUserBase,
+                                 [delta](HandlerCtx& hc, MsgView&) {
+                                   const Cycles a = hc.now();
+                                   hc.charge(13);
+                                   hc.charge(7);
+                                   *delta = hc.now() - a;
+                                 });
+    MsgDescriptor d;
+    d.dst = 0;
+    d.type = kMsgUserBase;
+    m.node(1).cmmu().send_raw(d, m.sim().now());
+    ctx.compute(2000);
+    EXPECT_EQ(*delta, 20u);
+    return 0;
+  });
+}
+
+TEST(Proc, ThreadsInterleaveViaBlocking) {
+  // Two threads on one node: while A waits on a future produced remotely,
+  // B runs — the release hook hands the core over.
+  MachineConfig c = cfg2();
+  c.nodes = 2;
+  Machine m(c, quiet());
+  auto order = std::make_shared<std::vector<int>>();
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 8);
+
+  m.start_thread(0, [order, &bar](Context& ctx) {
+    order->push_back(1);
+    bar.wait(ctx);  // blocks until node 1 arrives
+    order->push_back(3);
+  });
+  m.start_thread(0, [order](Context& ctx) {
+    ctx.compute(100);
+    order->push_back(2);  // runs while the first thread is blocked
+  });
+  m.start_thread(1, [&bar](Context& ctx) {
+    ctx.compute(10'000);
+    bar.wait(ctx);
+  });
+  m.run_started();
+  EXPECT_EQ(*order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Proc, IdleRestartsAfterPhases) {
+  // Machines can run several phases back to back.
+  Machine m(cfg2(), quiet());
+  for (int phase = 0; phase < 3; ++phase) {
+    const std::uint64_t r = m.run([phase](Context& ctx) -> std::uint64_t {
+      ctx.compute(100);
+      return 100 + phase;
+    });
+    EXPECT_EQ(r, 100u + phase);
+  }
+}
+
+TEST(WriteBuffer, BufferedStoresLandCorrectly) {
+  Machine m(cfg2(), quiet());
+  m.run([](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(1, 512);
+    for (int i = 0; i < 64; ++i) ctx.store_buffered(a + i * 8, 900 + i);
+    ctx.store_fence();
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_EQ(ctx.load(a + i * 8), 900u + i);
+    }
+    return 0;
+  });
+  m.memory().check_invariants();
+}
+
+TEST(WriteBuffer, FenceWaitsForDrain) {
+  Machine m(cfg2(), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(1, 64);
+    const Cycles t0 = ctx.now();
+    ctx.store_buffered(a, 7);
+    const Cycles issue = ctx.now() - t0;
+    EXPECT_LT(issue, 10u);  // retires into the buffer immediately
+    ctx.store_fence();
+    EXPECT_GT(ctx.now() - t0, 20u);  // the fence paid the remote latency
+    EXPECT_EQ(m.proc(0).outstanding_stores(), 0u);
+    return 0;
+  });
+}
+
+TEST(WriteBuffer, OverlapsMissesUpToDepth) {
+  // With a deeper buffer the same store stream completes faster.
+  auto stream_time = [](std::uint32_t depth) {
+    MachineConfig c = cfg2();
+    c.store_buffer_depth = depth;
+    Machine m(c, quiet());
+    auto t = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr a = ctx.shmalloc(1, 1024);
+      const Cycles t0 = ctx.now();
+      for (int i = 0; i < 64; ++i) ctx.store_buffered(a + i * 16, i);
+      ctx.store_fence();
+      *t = ctx.now() - t0;
+      return 0;
+    });
+    return *t;
+  };
+  const Cycles d1 = stream_time(1);
+  const Cycles d4 = stream_time(4);
+  EXPECT_LT(d4 * 2, d1);  // at least 2x from 4-deep pipelining
+}
+
+TEST(WriteBuffer, DepthZeroFallsBackToBlockingStores) {
+  MachineConfig c = cfg2();
+  c.store_buffer_depth = 0;
+  Machine m(c, quiet());
+  m.run([](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(1, 64);
+    const Cycles t0 = ctx.now();
+    ctx.store_buffered(a, 3);
+    EXPECT_GT(ctx.now() - t0, 20u);  // full blocking latency
+    ctx.store_fence();               // no-op
+    EXPECT_EQ(ctx.load(a), 3u);
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace alewife

@@ -1,0 +1,208 @@
+// Reproduction guards: the paper's qualitative claims, encoded as tests with
+// generous bands so calibration drift that would silently flip a conclusion
+// fails CI instead. Each test names the paper section it protects.
+#include <gtest/gtest.h>
+
+#include "apps/accum.hpp"
+#include "apps/grain.hpp"
+#include "apps/jacobi.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 500'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+Cycles barrier_cost(CombiningBarrier::Mech mech, std::uint32_t arity) {
+  Machine m(cfg(64), quiet());
+  CombiningBarrier bar(m.runtime(), mech, arity);
+  auto t0 = std::make_shared<Cycles>(0);
+  auto t1 = std::make_shared<Cycles>(0);
+  for (NodeId n = 0; n < 64; ++n) {
+    m.start_thread(n, [&bar, t0, t1, n](Context& ctx) {
+      for (int e = 0; e < 4; ++e) {
+        if (n == 0 && e == 1) *t0 = ctx.now();
+        bar.wait(ctx);
+      }
+      if (n == 0) *t1 = ctx.now();
+    });
+  }
+  m.run_started();
+  return (*t1 - *t0) / 3;
+}
+
+TEST(PaperClaims, S42_BarrierCyclesInPaperBand) {
+  const Cycles shm = barrier_cost(CombiningBarrier::Mech::kShm, 2);
+  const Cycles msg = barrier_cost(CombiningBarrier::Mech::kMsg, 8);
+  // Paper: ~1650 and ~660 cycles; allow a broad band.
+  EXPECT_GT(shm, 1100u);
+  EXPECT_LT(shm, 2400u);
+  EXPECT_GT(msg, 330u);
+  EXPECT_LT(msg, 1000u);
+  // Claim: msg barrier is a substantial (2-4x) improvement.
+  EXPECT_GT(shm, msg * 2);
+  EXPECT_LT(shm, msg * 5);
+}
+
+TEST(PaperClaims, S43_InvokeDrasticallyCheaperByMessage) {
+  Machine m(cfg(64), quiet());
+  auto t_invoker_shm = std::make_shared<Cycles>(0);
+  auto t_invoker_msg = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    Cycles t0 = ctx.now();
+    FutureId f1 = ctx.invoke_shm(9, [](Context&) -> std::uint64_t { return 1; });
+    *t_invoker_shm = ctx.now() - t0;
+    ctx.touch(f1);
+    t0 = ctx.now();
+    FutureId f2 = ctx.invoke_msg(18, [](Context&) -> std::uint64_t { return 1; });
+    *t_invoker_msg = ctx.now() - t0;
+    ctx.touch(f2);
+    return 0;
+  });
+  // Paper: 353 vs 17 — an order of magnitude or more.
+  EXPECT_LT(*t_invoker_msg * 10, *t_invoker_shm);
+  EXPECT_LT(*t_invoker_msg, 40u);
+}
+
+TEST(PaperClaims, Fig7_MessageCopyWinsAndPrefetchHurts) {
+  auto copy_time = [](CopyImpl impl, std::uint32_t bytes) {
+    Machine m(cfg(64), quiet());
+    auto t = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr src = ctx.shmalloc(0, bytes);
+      for (std::uint32_t i = 0; i < bytes; i += 8) ctx.store(src + i, i);
+      const GAddr dst = ctx.shmalloc(1, bytes);
+      const Cycles t0 = ctx.now();
+      m.bulk().copy(ctx, dst, src, bytes, impl);
+      *t = ctx.now() - t0;
+      return 0;
+    });
+    return *t;
+  };
+  const Cycles np256 = copy_time(CopyImpl::kShmLoop, 256);
+  const Cycles pf256 = copy_time(CopyImpl::kShmPrefetch, 256);
+  const Cycles mp256 = copy_time(CopyImpl::kMsgDma, 256);
+  const Cycles np4k = copy_time(CopyImpl::kShmLoop, 4096);
+  const Cycles mp4k = copy_time(CopyImpl::kMsgDma, 4096);
+  // Claims: msg faster at 256 B (paper 1.5x) and >3x at 4 KB; prefetch
+  // slower than the plain loop.
+  EXPECT_GT(np256, mp256);
+  EXPECT_GT(np4k, mp4k * 3);
+  EXPECT_GT(pf256, np256);
+  // Peak message rate near the paper's 55.4 MB/s (cycles for 4 KB at 33 MHz).
+  EXPECT_GT(mp4k, 1800u);  // < 75 MB/s
+  EXPECT_LT(mp4k, 3400u);  // > 40 MB/s
+}
+
+TEST(PaperClaims, Fig8_AccumFavorsPrefetchedSharedMemory) {
+  auto accum_time = [](bool msg) {
+    Machine m(cfg(64), quiet());
+    auto t = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr arr = ctx.shmalloc(1, 4096);
+      const Cycles t0 = ctx.now();
+      if (msg) {
+        const GAddr buf = ctx.shmalloc(0, 4096);
+        apps::accum_msg(ctx, m.bulk(), arr, buf, 4096);
+      } else {
+        apps::accum_shm(ctx, arr, 4096);
+      }
+      *t = ctx.now() - t0;
+      return 0;
+    });
+    return *t;
+  };
+  const Cycles shm = accum_time(false);
+  const Cycles msg = accum_time(true);
+  // Paper: msg 1.3x slower at 4 KB (ours ~1.65); assert 1.1x..2.5x.
+  EXPECT_GT(msg * 10, shm * 11);
+  EXPECT_LT(msg, shm * 5 / 2);
+}
+
+TEST(PaperClaims, Fig9_HybridSchedulerWinsAndGapShrinks) {
+  auto speedup = [](SchedMode mode, Cycles delay) {
+    RuntimeOptions o;
+    o.mode = mode;
+    Machine m(cfg(16), o);
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      apps::grain_parallel(ctx, 10, delay);
+      *dur = ctx.now() - t0;
+      return 0;
+    });
+    return double(apps::grain_sequential_cycles(10, delay)) / double(*dur);
+  };
+  const double shm_fine = speedup(SchedMode::kShm, 0);
+  const double hyb_fine = speedup(SchedMode::kHybrid, 0);
+  const double shm_coarse = speedup(SchedMode::kShm, 1000);
+  const double hyb_coarse = speedup(SchedMode::kHybrid, 1000);
+  EXPECT_GT(hyb_fine, shm_fine * 1.3);      // hybrid clearly wins fine grain
+  EXPECT_GT(hyb_coarse, shm_coarse);        // still wins coarse grain
+  // The relative advantage shrinks with grain size.
+  EXPECT_LT(hyb_coarse / shm_coarse, hyb_fine / shm_fine);
+}
+
+TEST(PaperClaims, Fig11_JacobiCrossover) {
+  auto cycles_per_iter = [](bool msg, std::uint32_t grid) {
+    Machine m(cfg(64), quiet());
+    auto setup = std::make_shared<apps::JacobiSetup>(
+        apps::jacobi_setup(m, grid));
+    apps::jacobi_init(m, *setup, [](std::uint32_t r, std::uint32_t c) {
+      return 0.001 * r + 0.002 * c;
+    });
+    auto bar = std::make_shared<CombiningBarrier>(
+        m.runtime(), CombiningBarrier::Mech::kShm, 2u);
+    auto worst = std::make_shared<Cycles>(0);
+    for (NodeId n = 0; n < 64; ++n) {
+      m.start_thread(n, [=, &m](Context& ctx) {
+        apps::jacobi_node(ctx, *setup, msg, 2, *bar, m.bulk());
+        const Cycles c =
+            apps::jacobi_node(ctx, *setup, msg, 6, *bar, m.bulk()) / 6;
+        if (c > *worst) *worst = c;
+      });
+    }
+    m.run_started();
+    return *worst;
+  };
+  // Paper: shm slightly better at 32x32, msg slightly better at 128x128,
+  // differences small in both cases.
+  const Cycles shm32 = cycles_per_iter(false, 32);
+  const Cycles msg32 = cycles_per_iter(true, 32);
+  const Cycles shm128 = cycles_per_iter(false, 128);
+  const Cycles msg128 = cycles_per_iter(true, 128);
+  EXPECT_LT(shm32, msg32);
+  EXPECT_GT(shm128, msg128);
+  EXPECT_LT(msg32, shm32 * 2);    // "slightly"
+  EXPECT_GT(msg128 * 2, shm128);  // "slightly"
+}
+
+TEST(PaperClaims, RemoteReadLatencyInAlewifeBand) {
+  Machine m(cfg(64), quiet());
+  auto lat = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(1, 64);
+    const Cycles t0 = ctx.now();
+    ctx.load(a);
+    *lat = ctx.now() - t0;
+    return 0;
+  });
+  // 2-party clean remote read: Alewife-class machines sat around 35-60.
+  EXPECT_GT(*lat, 25u);
+  EXPECT_LT(*lat, 70u);
+}
+
+}  // namespace
+}  // namespace alewife

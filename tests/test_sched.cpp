@@ -1,0 +1,271 @@
+// Scheduler edge cases: inlining vs stealing, wake-queue behaviour,
+// desperate steals, deep nesting, stop/restart semantics, fiber-pool reuse,
+// and determinism of whole runs.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 500'000'000;
+  return c;
+}
+
+RuntimeOptions opts(SchedMode m, bool steal = true) {
+  RuntimeOptions o;
+  o.mode = m;
+  o.stealing = steal;
+  return o;
+}
+
+class BothModes : public ::testing::TestWithParam<SchedMode> {};
+
+TEST_P(BothModes, DeepNestedSpawnChain) {
+  // A linear chain of nested spawns, each touched immediately — stresses
+  // fiber-stack depth of inline execution.
+  Machine m(cfg(2), opts(GetParam(), false));
+  std::function<std::uint64_t(Context&, int)> chain =
+      [&chain](Context& ctx, int depth) -> std::uint64_t {
+    if (depth == 0) return 1;
+    FutureId f = ctx.spawn([&chain, depth](Context& c) {
+      return chain(c, depth - 1);
+    });
+    return ctx.touch(f) + 1;
+  };
+  const std::uint64_t r = m.run(
+      [&chain](Context& ctx) -> std::uint64_t { return chain(ctx, 40); });
+  EXPECT_EQ(r, 41u);
+}
+
+TEST_P(BothModes, ManySmallTasksAllComplete) {
+  Machine m(cfg(8), opts(GetParam()));
+  const std::uint64_t r = m.run([](Context& ctx) -> std::uint64_t {
+    std::vector<FutureId> futs;
+    for (int i = 0; i < 200; ++i) {
+      futs.push_back(ctx.spawn([i](Context& c) -> std::uint64_t {
+        c.compute(10 + i % 37);
+        return std::uint64_t(i);
+      }));
+    }
+    std::uint64_t sum = 0;
+    for (FutureId f : futs) sum += ctx.touch(f);
+    return sum;
+  });
+  EXPECT_EQ(r, 199u * 200 / 2);
+  EXPECT_EQ(m.stats().get("rt.tasks_run"), 200u);
+  m.memory().check_invariants();
+}
+
+TEST_P(BothModes, TouchOutOfOrder) {
+  // Touch futures in reverse and shuffled order: only the last spawn can be
+  // inlined; the rest resolve via suspend/wake or earlier completion.
+  Machine m(cfg(4), opts(GetParam()));
+  const std::uint64_t r = m.run([](Context& ctx) -> std::uint64_t {
+    FutureId a = ctx.spawn([](Context& c) -> std::uint64_t {
+      c.compute(400);
+      return 1;
+    });
+    FutureId b = ctx.spawn([](Context& c) -> std::uint64_t {
+      c.compute(50);
+      return 2;
+    });
+    FutureId c_ = ctx.spawn([](Context& c) -> std::uint64_t {
+      c.compute(150);
+      return 4;
+    });
+    return ctx.touch(a) + ctx.touch(c_) + ctx.touch(b);
+  });
+  EXPECT_EQ(r, 7u);
+}
+
+TEST_P(BothModes, TouchTwiceReturnsSameValue) {
+  Machine m(cfg(2), opts(GetParam(), false));
+  m.run([](Context& ctx) -> std::uint64_t {
+    FutureId f = ctx.spawn([](Context&) -> std::uint64_t { return 88; });
+    EXPECT_EQ(ctx.touch(f), 88u);
+    EXPECT_EQ(ctx.touch(f), 88u);  // second touch: already filled
+    return 0;
+  });
+}
+
+TEST_P(BothModes, MultipleWaitersOnOneFuture) {
+  // Several threads (across nodes) touch the same unresolved future.
+  Machine m(cfg(4), opts(GetParam(), false));
+  auto fut = std::make_shared<FutureId>(kInvalidId);
+  auto sum = std::make_shared<std::uint64_t>(0);
+  HostBarrier published(m, 4);
+  for (NodeId n = 0; n < 4; ++n) {
+    m.start_thread(n, [fut, sum, n, &published](Context& ctx) {
+      if (n == 0) {
+        *fut = ctx.spawn([](Context& c) -> std::uint64_t {
+          c.compute(3000);
+          return 9;
+        });
+      }
+      published.wait(ctx);
+      if (n != 0) *sum += ctx.touch(*fut);
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(*sum, 27u);
+}
+
+TEST_P(BothModes, InvokeChainAcrossNodes) {
+  // Node 0 invokes on 1, which invokes on 2, which invokes on 3.
+  Machine m(cfg(4), opts(GetParam(), false));
+  const std::uint64_t r = m.run([](Context& ctx) -> std::uint64_t {
+    FutureId f = ctx.invoke_msg(1, [](Context& c1) -> std::uint64_t {
+      FutureId g = c1.invoke_msg(2, [](Context& c2) -> std::uint64_t {
+        FutureId h = c2.invoke_msg(3, [](Context& c3) -> std::uint64_t {
+          return c3.node();
+        });
+        return c2.touch(h) * 10 + c2.node();
+      });
+      return c1.touch(g) * 10 + c1.node();
+    });
+    return ctx.touch(f) * 10 + ctx.node();
+  });
+  EXPECT_EQ(r, 3210u);
+}
+
+TEST_P(BothModes, RunsAreDeterministic) {
+  std::uint64_t cycles[2];
+  for (int i = 0; i < 2; ++i) {
+    Machine m(cfg(8), opts(GetParam()));
+    m.run([](Context& ctx) -> std::uint64_t {
+      std::vector<FutureId> futs;
+      for (int t = 0; t < 60; ++t) {
+        futs.push_back(ctx.spawn([t](Context& c) -> std::uint64_t {
+          c.compute(30 + t % 11);
+          return 1;
+        }));
+      }
+      std::uint64_t s = 0;
+      for (FutureId f : futs) s += ctx.touch(f);
+      return s;
+    });
+    cycles[i] = m.now();
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BothModes,
+                         ::testing::Values(SchedMode::kShm,
+                                           SchedMode::kHybrid));
+
+TEST(Sched, InlineFastPathCountsAsInlined) {
+  Machine m(cfg(1), opts(SchedMode::kHybrid, false));
+  m.run([](Context& ctx) -> std::uint64_t {
+    for (int i = 0; i < 10; ++i) {
+      FutureId f = ctx.spawn([](Context&) -> std::uint64_t { return 1; });
+      ctx.touch(f);
+    }
+    return 0;
+  });
+  EXPECT_EQ(m.stats().get("rt.touch_inlined"), 10u);
+  EXPECT_EQ(m.stats().get("rt.touch_suspended"), 0u);
+  EXPECT_EQ(m.stats().get("rt.steals"), 0u);
+}
+
+TEST(Sched, StolenWorkRunsRemotely) {
+  // One node spawns chunky tasks with stealing enabled: some must migrate.
+  Machine m(cfg(8), opts(SchedMode::kHybrid));
+  auto ran_on = std::make_shared<std::vector<NodeId>>();
+  m.run([ran_on](Context& ctx) -> std::uint64_t {
+    std::vector<FutureId> futs;
+    for (int i = 0; i < 32; ++i) {
+      futs.push_back(ctx.spawn([ran_on](Context& c) -> std::uint64_t {
+        c.compute(2000);
+        ran_on->push_back(c.node());
+        return 1;
+      }));
+    }
+    std::uint64_t s = 0;
+    for (FutureId f : futs) s += ctx.touch(f);
+    return s;
+  });
+  bool any_remote = false;
+  for (NodeId n : *ran_on) {
+    if (n != 0) any_remote = true;
+  }
+  EXPECT_TRUE(any_remote);
+  EXPECT_EQ(ran_on->size(), 32u);
+}
+
+TEST(Sched, FiberPoolBoundsGrowth) {
+  // Thousands of tasks must not create thousands of fibers.
+  Machine m(cfg(4), opts(SchedMode::kHybrid));
+  m.run([](Context& ctx) -> std::uint64_t {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<FutureId> futs;
+      for (int i = 0; i < 50; ++i) {
+        futs.push_back(ctx.spawn([](Context& c) -> std::uint64_t {
+          c.compute(40);
+          return 1;
+        }));
+      }
+      for (FutureId f : futs) ctx.touch(f);
+    }
+    return 0;
+  });
+  EXPECT_GE(m.stats().get("rt.tasks_run"), 1000u);
+}
+
+TEST(Sched, StoppingDrainsCleanly) {
+  // After run() returns, the machine quiesces: another run starts fresh.
+  Machine m(cfg(8), opts(SchedMode::kHybrid));
+  for (int phase = 0; phase < 3; ++phase) {
+    const std::uint64_t r = m.run([phase](Context& ctx) -> std::uint64_t {
+      FutureId f = ctx.spawn([phase](Context& c) -> std::uint64_t {
+        c.compute(100 * (phase + 1));
+        return std::uint64_t(phase);
+      });
+      return ctx.touch(f);
+    });
+    EXPECT_EQ(r, std::uint64_t(phase));
+  }
+  m.memory().check_invariants();
+}
+
+TEST(Sched, MixedModePrimitivesInOneRun) {
+  // Barriers, copies, spawns and invokes all interleaved — the integration
+  // smoke test of the whole runtime.
+  Machine m(cfg(8), opts(SchedMode::kHybrid));
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 4);
+  auto total = std::make_shared<std::uint64_t>(0);
+  std::vector<GAddr> bufs, in;
+  for (NodeId n = 0; n < 8; ++n) {
+    bufs.push_back(m.shmalloc(n, 256));
+    in.push_back(m.shmalloc(n, 256));  // separate landing area (no ring race)
+  }
+
+  for (NodeId n = 0; n < 8; ++n) {
+    m.start_thread(n, [&, n](Context& ctx) {
+      // Fill my buffer, then copy it to my right neighbour's landing area.
+      for (int w = 0; w < 32; ++w) ctx.store(bufs[n] + w * 8, n * 100 + w);
+      bar.wait(ctx);
+      m.bulk().copy(ctx, in[(n + 1) % 8], bufs[n], 256, CopyImpl::kMsgDma);
+      bar.wait(ctx);
+      // Now my landing area holds my left neighbour's data.
+      const NodeId left = (n + 7) % 8;
+      EXPECT_EQ(ctx.load(in[n]), left * 100u);
+      // Spawn a couple of tasks for good measure.
+      FutureId f = ctx.spawn([](Context& c) -> std::uint64_t {
+        c.compute(100);
+        return 1;
+      });
+      *total += ctx.touch(f);
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(*total, 8u);
+  m.memory().check_invariants();
+}
+
+}  // namespace
+}  // namespace alewife

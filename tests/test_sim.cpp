@@ -1,0 +1,195 @@
+// Unit tests for the simulation kernel: event queue ordering, simulator
+// clock, fibers, fiber pool, RNG determinism, stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace alewife {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    q.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int hits = 0;
+  std::function<void(Cycles)> chain = [&](Cycles t) {
+    ++hits;
+    if (t < 5) q.schedule_at(t + 1, [&chain, t] { chain(t + 1); });
+  };
+  q.schedule_at(0, [&chain] { chain(0); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(hits, 6);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Cycles> seen;
+  sim.schedule(5, [&] { seen.push_back(sim.now()); });
+  sim.schedule(12, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<Cycles>{5, 12}));
+  EXPECT_EQ(sim.now(), 12u);
+}
+
+TEST(Simulator, MaxCyclesThrows) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule(10, forever); };
+  sim.schedule(0, forever);
+  EXPECT_THROW(sim.run(100), SimTimeout);
+}
+
+TEST(Simulator, StopHaltsLoop) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(1, [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule(2, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Fiber, RunsToCompletion) {
+  Fiber f;
+  int state = 0;
+  f.reset([&] { state = 42; });
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(state, 42);
+}
+
+TEST(Fiber, YieldAndResume) {
+  Fiber f;
+  std::vector<int> trace;
+  f.reset([&] {
+    trace.push_back(1);
+    Fiber::yield();
+    trace.push_back(2);
+    Fiber::yield();
+    trace.push_back(3);
+  });
+  f.resume();
+  trace.push_back(10);
+  f.resume();
+  trace.push_back(20);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  Fiber f;
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* inside = nullptr;
+  f.reset([&] { inside = Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(inside, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, ExceptionPropagatesToResumer) {
+  Fiber f;
+  f.reset([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(FiberPool, ReusesStacks) {
+  FiberPool pool;
+  auto f1 = pool.acquire([] {});
+  f1->resume();
+  pool.release(std::move(f1));
+  EXPECT_EQ(pool.free_count(), 1u);
+  int ran = 0;
+  auto f2 = pool.acquire([&] { ran = 7; });
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.total_created(), 1u);  // recycled, not newly created
+  f2->resume();
+  EXPECT_EQ(ran, 7);
+  EXPECT_TRUE(f2->finished());
+  pool.release(std::move(f2));
+}
+
+TEST(FiberPool, ReusedFiberYieldsCorrectly) {
+  FiberPool pool;
+  auto f = pool.acquire([] {});
+  f->resume();
+  pool.release(std::move(f));
+
+  int phase = 0;
+  f = pool.acquire([&] {
+    phase = 1;
+    Fiber::yield();
+    phase = 2;
+  });
+  f->resume();
+  EXPECT_EQ(phase, 1);
+  f->resume();
+  EXPECT_EQ(phase, 2);
+  EXPECT_TRUE(f->finished());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(13), 13u);
+  }
+}
+
+TEST(Stats, CountersAndHistograms) {
+  Stats s;
+  s.add("x");
+  s.add("x", 4);
+  EXPECT_EQ(s.get("x"), 5u);
+  EXPECT_EQ(s.get("missing"), 0u);
+  s.sample("h", 10);
+  s.sample("h", 20);
+  s.sample("h", 3);
+  const auto sum = s.summary("h");
+  EXPECT_EQ(sum.count, 3u);
+  EXPECT_EQ(sum.min, 3u);
+  EXPECT_EQ(sum.max, 20u);
+  EXPECT_DOUBLE_EQ(sum.mean(), 11.0);
+}
+
+}  // namespace
+}  // namespace alewife

@@ -1,0 +1,218 @@
+// Whole-machine stress: randomized mixed workloads across the full
+// configuration matrix (scheduler mode x dirty-forwarding x multithreading),
+// checking functional conservation laws, coherence invariants, and
+// determinism. These are the tests that catch cross-feature interactions.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife {
+namespace {
+
+struct StressConfig {
+  SchedMode mode;
+  bool forward_direct;
+  bool multithread;
+  std::uint64_t seed;
+};
+
+class FullMatrix : public ::testing::TestWithParam<StressConfig> {};
+
+/// A workload that uses every machine facility at once: each node's thread
+/// does random remote reads/writes/atomics, spawns tasks that recurse, bulk
+/// copies, and barriers — then global conservation laws are checked.
+TEST_P(FullMatrix, MixedWorkloadConserves) {
+  const StressConfig p = GetParam();
+  MachineConfig c;
+  c.nodes = 8;
+  c.forward_dirty_direct = p.forward_direct;
+  c.multithread_on_miss = p.multithread;
+  c.rng_seed = p.seed;
+  c.max_cycles = 500'000'000;
+  RuntimeOptions o;
+  o.mode = p.mode;
+  o.stealing = true;
+  Machine m(c, o);
+
+  constexpr int kNodes = 8;
+  constexpr int kRounds = 6;
+  const GAddr counter = m.shmalloc(3, 64);   // atomics target
+  std::vector<GAddr> cells;                  // scattered value cells
+  for (int i = 0; i < 16; ++i) {
+    cells.push_back(m.shmalloc(static_cast<NodeId>(i % kNodes), 16));
+  }
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 4);
+  auto task_sum = std::make_shared<std::uint64_t>(0);
+  auto adds = std::make_shared<std::uint64_t>(0);
+
+  for (NodeId n = 0; n < kNodes; ++n) {
+    m.start_thread(n, [&, n](Context& ctx) {
+      Rng r(p.seed * 977 + n);
+      for (int round = 0; round < kRounds; ++round) {
+        // Shared-memory phase.
+        for (int i = 0; i < 10; ++i) {
+          const GAddr cell = cells[r.below(cells.size())];
+          switch (r.below(4)) {
+            case 0:
+              ctx.load(cell);
+              break;
+            case 1:
+              ctx.store(cell, r.next());
+              break;
+            case 2:
+              ctx.fetch_add(counter, 1);
+              ++*adds;  // host tally (single-threaded host: exact)
+              break;
+            default:
+              ctx.prefetch(cell);
+              break;
+          }
+          ctx.compute(r.below(30));
+        }
+        // Full/empty + buffered-store phase: a private J-structure handoff
+        // and a buffered burst, fenced before reuse.
+        {
+          const GAddr fe_cell = ctx.shmalloc(n, 16);
+          ctx.store_fe(fe_cell, round + 1);
+          if (ctx.load_fe(fe_cell) != std::uint64_t(round + 1)) {
+            *task_sum += 1;  // poison the conservation check
+          }
+          ctx.reset_fe(fe_cell);
+          const GAddr burst = ctx.shmalloc((n + 1) % kNodes, 64);
+          for (int b = 0; b < 8; ++b) {
+            ctx.store_buffered(burst + b * 8, b);
+          }
+          ctx.store_fence();
+          if (ctx.load(burst + 56) != 7) *task_sum += 1;
+        }
+
+        // Task phase: a small unbalanced spawn tree.
+        std::function<std::uint64_t(Context&, int)> tree =
+            [&tree, &r](Context& cc, int d) -> std::uint64_t {
+          cc.compute(20);
+          if (d == 0) return 1;
+          FutureId f = cc.spawn(
+              [&tree, d](Context& c2) { return tree(c2, d - 1); });
+          const std::uint64_t left = tree(cc, d - 1);
+          return left + cc.touch(f);
+        };
+        const int depth = 2 + int(r.below(3));
+        *task_sum += tree(ctx, depth) - (1ull << depth);  // expect 0 net
+
+        // Bulk phase: copy a cell line to a private landing zone.
+        const GAddr dst = ctx.shmalloc(n, 16);
+        m.bulk().copy(ctx, dst, cells[n % cells.size()], 16,
+                      r.below(2) ? CopyImpl::kMsgDma : CopyImpl::kShmLoop);
+
+        bar.wait(ctx);
+      }
+    });
+  }
+  m.run_started();
+
+  EXPECT_EQ(*task_sum, 0u);  // every spawn tree summed to its leaf count
+  EXPECT_EQ(m.memory().store().read_uint(counter, 8), *adds);
+  m.memory().check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FullMatrix,
+    ::testing::Values(
+        StressConfig{SchedMode::kShm, false, false, 11},
+        StressConfig{SchedMode::kShm, true, false, 12},
+        StressConfig{SchedMode::kShm, false, true, 13},
+        StressConfig{SchedMode::kShm, true, true, 14},
+        StressConfig{SchedMode::kHybrid, false, false, 15},
+        StressConfig{SchedMode::kHybrid, true, false, 16},
+        StressConfig{SchedMode::kHybrid, false, true, 17},
+        StressConfig{SchedMode::kHybrid, true, true, 18},
+        StressConfig{SchedMode::kShm, true, true, 19},
+        StressConfig{SchedMode::kHybrid, true, true, 20}));
+
+TEST(StressDeterminism, IdenticalSeedsIdenticalCycles) {
+  for (SchedMode mode : {SchedMode::kShm, SchedMode::kHybrid}) {
+    Cycles first = 0;
+    for (int run = 0; run < 2; ++run) {
+      MachineConfig c;
+      c.nodes = 8;
+      c.rng_seed = 777;
+      RuntimeOptions o;
+      o.mode = mode;
+      Machine m(c, o);
+      m.run([](Context& ctx) -> std::uint64_t {
+        std::vector<FutureId> futs;
+        for (int i = 0; i < 30; ++i) {
+          futs.push_back(ctx.spawn([i](Context& cc) -> std::uint64_t {
+            cc.compute(25 + i);
+            return 1;
+          }));
+        }
+        std::uint64_t s = 0;
+        for (FutureId f : futs) s += ctx.touch(f);
+        return s;
+      });
+      if (run == 0) {
+        first = m.now();
+      } else {
+        EXPECT_EQ(m.now(), first) << "mode " << int(mode);
+      }
+    }
+  }
+}
+
+TEST(StressDeterminism, DifferentSeedsUsuallyDiffer) {
+  Cycles a, b;
+  for (int which = 0; which < 2; ++which) {
+    MachineConfig c;
+    c.nodes = 8;
+    c.rng_seed = which ? 1001 : 2002;
+    RuntimeOptions o;
+    o.mode = SchedMode::kHybrid;
+    Machine m(c, o);
+    m.run([](Context& ctx) -> std::uint64_t {
+      std::vector<FutureId> futs;
+      for (int i = 0; i < 30; ++i) {
+        futs.push_back(ctx.spawn([](Context& cc) -> std::uint64_t {
+          cc.compute(100);
+          return 1;
+        }));
+      }
+      for (FutureId f : futs) ctx.touch(f);
+      return 0;
+    });
+    (which ? a : b) = m.now();
+  }
+  // Not a hard guarantee, but with steal victims randomized a collision
+  // would be astonishing.
+  EXPECT_NE(a, b);
+}
+
+TEST(StressScale, OneHundredTwentyEightNodes) {
+  // Bigger than the paper's machine: the protocol and runtime must scale.
+  MachineConfig c;
+  c.nodes = 128;
+  c.max_cycles = 500'000'000;
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  Machine m(c, o);
+  const std::uint64_t r = m.run([](Context& ctx) -> std::uint64_t {
+    std::vector<FutureId> futs;
+    for (int i = 0; i < 256; ++i) {
+      futs.push_back(ctx.spawn([](Context& cc) -> std::uint64_t {
+        cc.compute(500);
+        return 1;
+      }));
+    }
+    std::uint64_t s = 0;
+    for (FutureId f : futs) s += ctx.touch(f);
+    return s;
+  });
+  EXPECT_EQ(r, 256u);
+  EXPECT_GT(m.stats().get("rt.steals"), 20u);
+  m.memory().check_invariants();
+}
+
+}  // namespace
+}  // namespace alewife

@@ -1,0 +1,162 @@
+// Tests for the trace subsystem: ring-buffer semantics, category gating,
+// lazy formatting, integration with the network/CMMU emit points, and the
+// guarantee that tracing never perturbs simulated timing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/machine.hpp"
+#include "runtime/msg_types.hpp"
+#include "sim/trace.hpp"
+
+namespace alewife {
+namespace {
+
+TEST(Trace, DisabledCategoriesRecordNothing) {
+  Trace t;
+  t.emit(TraceCat::kNet, 10, 0, "dropped");
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_emitted(), 0u);
+}
+
+TEST(Trace, EnabledCategoriesRecord) {
+  Trace t;
+  t.enable(TraceCat::kNet);
+  t.emit(TraceCat::kNet, 10, 3, "hello");
+  t.emit(TraceCat::kMem, 11, 3, "still disabled");
+  ASSERT_EQ(t.size(), 1u);
+  const auto evs = t.events();
+  EXPECT_EQ(evs[0].time, 10u);
+  EXPECT_EQ(evs[0].node, 3u);
+  EXPECT_EQ(evs[0].text, "hello");
+}
+
+TEST(Trace, LazyFormatterOnlyRunsWhenEnabled) {
+  Trace t;
+  int calls = 0;
+  const auto fmt = [&calls] {
+    ++calls;
+    return std::string("x");
+  };
+  t.emit(TraceCat::kApp, 0, 0, fmt);
+  EXPECT_EQ(calls, 0);
+  t.enable(TraceCat::kApp);
+  t.emit(TraceCat::kApp, 0, 0, fmt);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Trace, RingKeepsNewest) {
+  Trace t(4);
+  t.enable_all();
+  for (int i = 0; i < 10; ++i) {
+    t.emit(TraceCat::kApp, i, 0, std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_emitted(), 10u);
+  const auto evs = t.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs.front().text, "6");  // oldest surviving
+  EXPECT_EQ(evs.back().text, "9");   // newest
+}
+
+TEST(Trace, DumpFormatsLines) {
+  Trace t;
+  t.enable(TraceCat::kMsg);
+  t.emit(TraceCat::kMsg, 42, 7, "launch");
+  std::ostringstream os;
+  t.dump(os);
+  EXPECT_EQ(os.str(), "42 msg n7 launch\n");
+}
+
+TEST(Trace, ClearResets) {
+  Trace t;
+  t.enable_all();
+  t.emit(TraceCat::kApp, 1, 0, "a");
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_emitted(), 0u);
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_STREQ(trace_cat_name(TraceCat::kNet), "net");
+  EXPECT_STREQ(trace_cat_name(TraceCat::kMem), "mem");
+  EXPECT_STREQ(trace_cat_name(TraceCat::kMsg), "msg");
+  EXPECT_STREQ(trace_cat_name(TraceCat::kSched), "sch");
+  EXPECT_STREQ(trace_cat_name(TraceCat::kApp), "app");
+}
+
+// ---------------------------------------------------------------------------
+// Integration with the machine's emit points
+// ---------------------------------------------------------------------------
+
+MachineConfig cfg4() {
+  MachineConfig c;
+  c.nodes = 4;
+  c.max_cycles = 50'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+TEST(TraceIntegration, MessagesProduceLaunchAndRecvEvents) {
+  Machine m(cfg4(), quiet());
+  m.trace().enable(TraceCat::kMsg);
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    m.node(2).cmmu().set_handler(kMsgUserBase, [](HandlerCtx&, MsgView&) {});
+    MsgDescriptor d;
+    d.dst = 2;
+    d.type = kMsgUserBase;
+    ctx.send(d);
+    ctx.compute(2000);
+    return 0;
+  });
+  int launches = 0, recvs = 0;
+  for (const TraceEvent& ev : m.trace().events()) {
+    if (ev.text.rfind("launch", 0) == 0) ++launches;
+    if (ev.text.rfind("recv", 0) == 0) ++recvs;
+  }
+  EXPECT_GE(launches, 1);
+  EXPECT_GE(recvs, 1);
+}
+
+TEST(TraceIntegration, NetEventsCarryDeliveryTimes) {
+  Machine m(cfg4(), quiet());
+  m.trace().enable(TraceCat::kNet);
+  m.run([](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(3, 64);
+    ctx.load(a);  // one remote transaction = two packets
+    return 0;
+  });
+  int net_events = 0;
+  for (const TraceEvent& ev : m.trace().events()) {
+    EXPECT_EQ(ev.cat, TraceCat::kNet);
+    EXPECT_NE(ev.text.find("deliver@"), std::string::npos);
+    ++net_events;
+  }
+  EXPECT_GE(net_events, 2);
+}
+
+TEST(TraceIntegration, TracingDoesNotChangeTiming) {
+  Cycles with = 0, without = 0;
+  for (int traced = 0; traced < 2; ++traced) {
+    Machine m(cfg4(), quiet());
+    if (traced) m.trace().enable_all();
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr a = ctx.shmalloc(2, 256);
+      const Cycles t0 = ctx.now();
+      for (int i = 0; i < 32; ++i) ctx.store(a + (i % 32) * 8, i);
+      *dur = ctx.now() - t0;
+      return 0;
+    });
+    (traced ? with : without) = *dur;
+  }
+  EXPECT_EQ(with, without);
+}
+
+}  // namespace
+}  // namespace alewife

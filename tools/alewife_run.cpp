@@ -1,0 +1,296 @@
+// alewife_run — command-line driver for the simulated machine.
+//
+// Run any of the paper's workloads on a configurable machine without writing
+// code:
+//
+//   alewife_run [machine options] <app> [app options]
+//
+// Machine options:
+//   --nodes N          processors (default 64)
+//   --mode shm|hybrid  scheduler back end (default hybrid)
+//   --no-steal         disable work stealing
+//   --seed S           RNG seed
+//   --trace CATS       comma list of net,mem,msg,sch,app or "all"
+//   --trace-limit N    keep the last N trace events (default 256 printed)
+//   --stats            dump all counters at the end
+//
+// Apps:
+//   grain   --depth D --delay L        (default 12, 100)
+//   aq      --tol T                    (default 0.01)
+//   jacobi  --grid G --iters I [--msg] (default 64, 10)
+//   accum   --bytes B [--msg]          (default 4096)
+//   barrier --mech shm|msg --arity K --episodes E
+//   copy    --bytes B --impl shm|prefetch|msg
+//
+// Examples:
+//   alewife_run --nodes 64 --mode shm grain --depth 12 --delay 0
+//   alewife_run --trace msg copy --bytes 1024 --impl msg
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/accum.hpp"
+#include "apps/aq.hpp"
+#include "apps/grain.hpp"
+#include "apps/jacobi.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+
+using namespace alewife;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= tokens.size(); }
+  std::string peek() const { return done() ? "" : tokens[pos]; }
+  std::string next() { return tokens[pos++]; }
+
+  /// Consume "--name value" if present at the cursor anywhere in the rest.
+  bool option(const std::string& name, std::string& out) {
+    for (std::size_t i = pos; i < tokens.size(); ++i) {
+      if (tokens[i] == name && i + 1 < tokens.size()) {
+        out = tokens[i + 1];
+        tokens.erase(tokens.begin() + i, tokens.begin() + i + 2);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool flag(const std::string& name) {
+    for (std::size_t i = pos; i < tokens.size(); ++i) {
+      if (tokens[i] == name) {
+        tokens.erase(tokens.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr, "alewife_run: %s\n", why);
+  std::fprintf(stderr,
+               "usage: alewife_run [--nodes N] [--mode shm|hybrid] "
+               "[--no-steal] [--seed S] [--trace CATS] [--stats] <app> "
+               "[app options]\napps: grain aq jacobi accum barrier copy\n");
+  std::exit(2);
+}
+
+void enable_traces(Machine& m, const std::string& cats) {
+  std::size_t start = 0;
+  while (start <= cats.size()) {
+    const std::size_t comma = cats.find(',', start);
+    const std::string c = cats.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (c == "all") {
+      m.trace().enable_all();
+    } else if (c == "net") {
+      m.trace().enable(TraceCat::kNet);
+    } else if (c == "mem") {
+      m.trace().enable(TraceCat::kMem);
+    } else if (c == "msg") {
+      m.trace().enable(TraceCat::kMsg);
+    } else if (c == "sch") {
+      m.trace().enable(TraceCat::kSched);
+    } else if (c == "app") {
+      m.trace().enable(TraceCat::kApp);
+    } else if (!c.empty()) {
+      usage("unknown trace category");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+void finish(Machine& m, Cycles duration, bool want_stats, bool want_trace) {
+  std::printf("simulated %llu cycles (%.1f us @33MHz); host events %llu\n",
+              (unsigned long long)duration, duration / 33.0,
+              (unsigned long long)m.sim().events_executed());
+  if (want_stats) {
+    std::printf("-- stats --\n");
+    for (const auto& [k, v] : m.stats().counters()) {
+      std::printf("  %-32s %llu\n", k.c_str(), (unsigned long long)v);
+    }
+  }
+  if (want_trace) {
+    std::printf("-- trace (last %zu of %llu events) --\n", m.trace().size(),
+                (unsigned long long)m.trace().total_emitted());
+    m.trace().dump(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) args.tokens.push_back(argv[i]);
+
+  MachineConfig cfg;
+  cfg.nodes = 64;
+  RuntimeOptions opt;
+  std::string v;
+  if (args.option("--nodes", v)) cfg.nodes = std::stoul(v);
+  if (args.option("--mode", v)) {
+    if (v == "shm") {
+      opt.mode = SchedMode::kShm;
+    } else if (v == "hybrid") {
+      opt.mode = SchedMode::kHybrid;
+    } else {
+      usage("bad --mode");
+    }
+  }
+  if (args.flag("--no-steal")) opt.stealing = false;
+  if (args.option("--seed", v)) cfg.rng_seed = std::stoull(v);
+  std::string trace_cats;
+  const bool want_trace = args.option("--trace", trace_cats);
+  const bool want_stats = args.flag("--stats");
+
+  if (args.done()) usage("missing app");
+  const std::string app = args.next();
+
+  Machine m(cfg, opt);
+  if (want_trace) enable_traces(m, trace_cats);
+
+  if (app == "grain") {
+    std::uint32_t depth = 12;
+    Cycles delay = 100;
+    if (args.option("--depth", v)) depth = std::stoul(v);
+    if (args.option("--delay", v)) delay = std::stoull(v);
+    auto dur = std::make_shared<Cycles>(0);
+    const std::uint64_t leaves = m.run([&](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      const std::uint64_t n = apps::grain_parallel(ctx, depth, delay);
+      *dur = ctx.now() - t0;
+      return n;
+    });
+    const Cycles seq = apps::grain_sequential_cycles(depth, delay);
+    std::printf("grain: %llu leaves, speedup %.2f on %u nodes\n",
+                (unsigned long long)leaves, double(seq) / double(*dur),
+                cfg.nodes);
+    finish(m, *dur, want_stats, want_trace);
+  } else if (app == "aq") {
+    double tol = 0.01;
+    if (args.option("--tol", v)) tol = std::stod(v);
+    auto dur = std::make_shared<Cycles>(0);
+    auto integral = std::make_shared<double>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      *integral = apps::aq_parallel(ctx, apps::aq_domain(), tol);
+      *dur = ctx.now() - t0;
+      return 0;
+    });
+    std::printf("aq: integral %.6f (tol %g, %llu evals)\n", *integral, tol,
+                (unsigned long long)apps::aq_eval_count(apps::aq_domain(),
+                                                        tol));
+    finish(m, *dur, want_stats, want_trace);
+  } else if (app == "jacobi") {
+    std::uint32_t grid = 64, iters = 10;
+    const bool msg = args.flag("--msg");
+    if (args.option("--grid", v)) grid = std::stoul(v);
+    if (args.option("--iters", v)) iters = std::stoul(v);
+    auto setup =
+        std::make_shared<apps::JacobiSetup>(apps::jacobi_setup(m, grid));
+    apps::jacobi_init(m, *setup, [](std::uint32_t r, std::uint32_t c) {
+      return 0.01 * r - 0.02 * c;
+    });
+    auto bar = std::make_shared<CombiningBarrier>(
+        m.runtime(), CombiningBarrier::Mech::kShm, 2);
+    auto worst = std::make_shared<Cycles>(0);
+    for (NodeId n = 0; n < m.nodes(); ++n) {
+      m.start_thread(n, [=, &m](Context& ctx) {
+        const Cycles c =
+            apps::jacobi_node(ctx, *setup, msg, iters, *bar, m.bulk());
+        if (c > *worst) *worst = c;
+      });
+    }
+    m.run_started();
+    std::printf("jacobi %ux%u (%s): %llu cycles/iteration\n", grid, grid,
+                msg ? "message" : "shared-memory",
+                (unsigned long long)(*worst / iters));
+    finish(m, *worst, want_stats, want_trace);
+  } else if (app == "accum") {
+    std::uint32_t bytes = 4096;
+    const bool msg = args.flag("--msg");
+    if (args.option("--bytes", v)) bytes = std::stoul(v);
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr arr = ctx.shmalloc(1 % cfg.nodes, bytes);
+      const Cycles t0 = ctx.now();
+      std::uint64_t sum;
+      if (msg) {
+        const GAddr buf = ctx.shmalloc(0, bytes);
+        sum = apps::accum_msg(ctx, m.bulk(), arr, buf, bytes);
+      } else {
+        sum = apps::accum_shm(ctx, arr, bytes);
+      }
+      *dur = ctx.now() - t0;
+      return sum;
+    });
+    std::printf("accum %u bytes (%s)\n", bytes,
+                msg ? "message" : "shared-memory");
+    finish(m, *dur, want_stats, want_trace);
+  } else if (app == "barrier") {
+    std::string mech = "shm";
+    std::uint32_t arity = 0, episodes = 8;
+    args.option("--mech", mech);
+    if (args.option("--arity", v)) arity = std::stoul(v);
+    if (args.option("--episodes", v)) episodes = std::stoul(v);
+    const auto b_mech = mech == "msg" ? CombiningBarrier::Mech::kMsg
+                                      : CombiningBarrier::Mech::kShm;
+    if (arity == 0) arity = b_mech == CombiningBarrier::Mech::kMsg ? 8 : 2;
+    CombiningBarrier bar(m.runtime(), b_mech, arity);
+    auto t0 = std::make_shared<Cycles>(0);
+    auto t1 = std::make_shared<Cycles>(0);
+    for (NodeId n = 0; n < m.nodes(); ++n) {
+      m.start_thread(n, [&bar, t0, t1, n, episodes](Context& ctx) {
+        if (n == 0) *t0 = ctx.now();
+        for (std::uint32_t e = 0; e < episodes; ++e) bar.wait(ctx);
+        if (n == 0) *t1 = ctx.now();
+      });
+    }
+    m.run_started();
+    std::printf("barrier (%s, arity %u): %llu cycles per episode\n",
+                mech.c_str(), arity,
+                (unsigned long long)((*t1 - *t0) / episodes));
+    finish(m, *t1 - *t0, want_stats, want_trace);
+  } else if (app == "copy") {
+    std::uint32_t bytes = 4096;
+    std::string impl = "msg";
+    if (args.option("--bytes", v)) bytes = std::stoul(v);
+    args.option("--impl", impl);
+    CopyImpl ci;
+    if (impl == "shm") {
+      ci = CopyImpl::kShmLoop;
+    } else if (impl == "prefetch") {
+      ci = CopyImpl::kShmPrefetch;
+    } else if (impl == "msg") {
+      ci = CopyImpl::kMsgDma;
+    } else {
+      usage("bad --impl");
+    }
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr src = ctx.shmalloc(0, bytes);
+      const GAddr dst = ctx.shmalloc(1 % cfg.nodes, bytes);
+      for (std::uint32_t i = 0; i < bytes; i += 8) ctx.store(src + i, i);
+      const Cycles t0 = ctx.now();
+      m.bulk().copy(ctx, dst, src, bytes, ci);
+      *dur = ctx.now() - t0;
+      return 0;
+    });
+    std::printf("copy %u bytes (%s): %.1f MB/s\n", bytes, impl.c_str(),
+                double(bytes) / double(*dur) * 33.0);
+    finish(m, *dur, want_stats, want_trace);
+  } else {
+    usage("unknown app");
+  }
+  return 0;
+}
