@@ -1,8 +1,12 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 namespace alewife::bench {
 
@@ -259,6 +263,57 @@ Cycles measure_jacobi(bool msg_variant, std::uint32_t grid,
   m.run_started();
   const Cycles worst = *std::max_element(per_node->begin(), per_node->end());
   return worst / iters;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep runner
+// ---------------------------------------------------------------------------
+
+unsigned sweep_threads() {
+  if (const char* env = std::getenv("ALEWIFE_SWEEP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+void run_indexed(std::size_t count, const std::function<void(std::size_t)>& job,
+                 unsigned threads) {
+  if (count == 0) return;
+  if (threads == 0) threads = sweep_threads();
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, count));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 // ---------------------------------------------------------------------------

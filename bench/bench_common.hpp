@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,33 @@ AppRun measure_aq(SchedMode mode, std::uint32_t nodes, double tol);
 Cycles measure_jacobi(bool msg_variant, std::uint32_t grid,
                       std::uint32_t nodes, std::uint32_t warmup = 2,
                       std::uint32_t iters = 8);
+
+// ---- parallel sweep runner --------------------------------------------------
+// Sweep points are independent simulations (each job builds its own Machine),
+// so they can run on separate host threads. The simulator's per-thread state
+// (current fiber, event-callback pools) is thread_local, giving a strict
+// one-Machine-per-host-thread contract — see docs/ARCHITECTURE.md. Results
+// are stored by point index, so parallel and serial runs produce identical
+// output regardless of thread timing.
+
+/// Worker count for parallel sweeps: the ALEWIFE_SWEEP_THREADS environment
+/// variable if set (>=1), else std::thread::hardware_concurrency().
+unsigned sweep_threads();
+
+/// Run jobs 0..count-1, each at most once, across up to `threads` host
+/// threads (0 = sweep_threads()). Blocks until all jobs finish. If any job
+/// throws, the first exception is rethrown here after all threads join.
+void run_indexed(std::size_t count, const std::function<void(std::size_t)>& job,
+                 unsigned threads = 0);
+
+/// Map indices to results, in index order (independent of thread timing).
+template <typename R, typename Fn>
+std::vector<R> sweep(std::size_t count, Fn&& fn, unsigned threads = 0) {
+  std::vector<R> out(count);
+  run_indexed(
+      count, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
 
 // ---- table output -----------------------------------------------------------
 void print_header(const std::string& title,

@@ -1,0 +1,167 @@
+// Host-performance microbenchmark for the DES kernel itself.
+//
+// Unlike every other bench in this directory, the numbers here are HOST
+// wall-clock measurements (events per second of real time), not simulated
+// cycles: this is the harness that justifies — and guards — the event-queue
+// hot-path work recorded in docs/PERF.md. Patterns mirror the mix the real
+// subsystems generate:
+//
+//   same-time   cascades at the current timestamp (handler chains)
+//   near-future now + small constant (hop latencies, cache-hit costs)
+//   far-future  now + large constant (timeouts, long DMA streams)
+//   oversized   captures too big for the callback's inline buffer
+//   barrier@64  full-machine replay of the paper's §4.2 msg+shm barrier
+//
+// Usage: bench_host_events [--events N] [--episodes N]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using HostClock = std::chrono::steady_clock;
+
+double seconds_since(HostClock::time_point t0) {
+  return std::chrono::duration<double>(HostClock::now() - t0).count();
+}
+
+struct Row {
+  const char* name;
+  std::uint64_t events;
+  double secs;
+};
+
+void print(const Row& r) {
+  std::printf("%-14s %12llu events %10.3f s %14.0f ev/s\n", r.name,
+              static_cast<unsigned long long>(r.events), r.secs,
+              double(r.events) / r.secs);
+}
+
+/// Self-scheduling chain: each event reschedules itself `delay` cycles out
+/// until `target` events have run. Exercises one queue placement class.
+Row run_chain(const char* name, std::uint64_t target, alewife::Cycles delay) {
+  alewife::Simulator sim;
+  std::uint64_t remaining = target;
+  // Mirrors the subsystems' real captures: a couple of pointers/ints.
+  std::function<void()> step = [&sim, &remaining, &step, delay] {
+    if (remaining != 0 && --remaining != 0) {
+      sim.schedule(delay, [&step] { step(); });
+    }
+  };
+  const auto t0 = HostClock::now();
+  sim.schedule(delay, [&step] { step(); });
+  sim.run();
+  return Row{name, target, seconds_since(t0)};
+}
+
+/// Like run_chain but with 16 live chains (heap/wheel actually hold events).
+Row run_fanout(const char* name, std::uint64_t target, alewife::Cycles delay) {
+  alewife::Simulator sim;
+  constexpr int kChains = 16;
+  std::uint64_t remaining = target;
+  std::function<void(int)> step = [&](int c) {
+    if (remaining == 0) return;
+    --remaining;
+    // Stagger delays across chains the way hop/hit costs stagger in practice.
+    sim.schedule(delay + static_cast<alewife::Cycles>(c % 7),
+                 [&step, c] { step(c); });
+  };
+  const auto t0 = HostClock::now();
+  for (int c = 0; c < kChains; ++c) sim.schedule(delay, [&step, c] { step(c); });
+  sim.run();
+  return Row{name, target - remaining, seconds_since(t0)};
+}
+
+/// Oversized captures: a payload bigger than any sane inline buffer, like
+/// the network's delivery lambda that owns a whole Packet.
+Row run_oversized(const char* name, std::uint64_t target) {
+  alewife::Simulator sim;
+  std::uint64_t remaining = target;
+  std::uint64_t sink = 0;
+  std::function<void()> step = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    std::uint64_t payload[12];
+    for (int i = 0; i < 12; ++i) payload[i] = remaining + i;
+    sim.schedule(3, [&, payload] {
+      sink += payload[11];
+      step();
+    });
+  };
+  const auto t0 = HostClock::now();
+  step();
+  sim.run();
+  if (sink == 42) std::printf("?");  // keep the payload live
+  return Row{name, target, seconds_since(t0)};
+}
+
+/// Whole-machine replay: the §4.2 combining-tree barrier on 64 nodes, both
+/// mechanisms. Reports simulated events executed per host second.
+Row run_barrier_replay(const char* name, int episodes) {
+  using namespace alewife;
+  const auto t0 = HostClock::now();
+  std::uint64_t events = 0;
+  {
+    MachineConfig cfg = bench::bench_cfg(64);
+    Machine m(cfg);
+    CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 8);
+    for (NodeId n = 0; n < 64; ++n) {
+      m.start_thread(n, [&bar, episodes](Context& ctx) {
+        for (int e = 0; e < episodes; ++e) bar.wait(ctx);
+      });
+    }
+    m.run_started();
+    events += m.sim().events_executed();
+  }
+  {
+    MachineConfig cfg = bench::bench_cfg(64);
+    Machine m(cfg);
+    CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kShm, 2);
+    for (NodeId n = 0; n < 64; ++n) {
+      m.start_thread(n, [&bar, episodes](Context& ctx) {
+        for (int e = 0; e < episodes; ++e) bar.wait(ctx);
+      });
+    }
+    m.run_started();
+    events += m.sim().events_executed();
+  }
+  return Row{name, events, seconds_since(t0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t events = 2'000'000;
+  int episodes = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--episodes") == 0 && i + 1 < argc) {
+      episodes = std::stoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "bench_host_events: bad argument '%s'\n"
+                   "usage: bench_host_events [--events N] [--episodes N]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (events == 0 || episodes <= 0) {
+    std::fprintf(stderr, "bench_host_events: --events and --episodes must be >= 1\n");
+    return 2;
+  }
+
+  std::printf("DES kernel host throughput (wall clock, single thread)\n");
+  print(run_chain("same-time", events, 0));
+  print(run_chain("near-future", events, 5));
+  print(run_fanout("near-mixed", events, 3));
+  print(run_chain("far-future", events, 1000));
+  print(run_oversized("oversized", events / 2));
+  print(run_barrier_replay("barrier@64", episodes));
+  return 0;
+}

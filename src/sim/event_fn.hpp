@@ -1,0 +1,209 @@
+// EventFn: the simulator's callback type, tuned for the event-queue hot path.
+//
+// A drop-in replacement for std::function<void()> on the scheduling paths,
+// with three properties the kernel needs:
+//
+//   * Small-buffer storage (kInlineBytes). Every lambda the runtime, memory
+//     and network layers schedule on the hot path captures a few pointers and
+//     integers; those are stored inline, so scheduling an event performs no
+//     heap allocation.
+//   * Trivially relocatable. Inline storage is only used for trivially
+//     copyable callables, so moving an EventFn — which the binary heap does
+//     O(log n) times per event while sifting — is a plain memcpy, never an
+//     indirect call into a move constructor.
+//   * Pooled fallback. Callables that are too big or not trivially copyable
+//     (e.g. the network's delivery lambda, which owns a whole Packet) live in
+//     blocks drawn from a per-host-thread free list, so even the fallback
+//     stops allocating once the simulation reaches steady state.
+//
+// EventFn is move-only (unlike std::function), which also lets events own
+// move-only state such as std::unique_ptr.
+//
+// Thread-safety contract: the pool free lists are thread_local, matching the
+// kernel-wide rule that one Machine (and thus one event queue) lives entirely
+// on one host thread. An EventFn must be destroyed on the thread that
+// created it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace alewife {
+
+namespace detail {
+
+/// Fixed-size-class pool for oversized/non-trivial event captures.
+/// Blocks are recycled through thread_local free lists and released when the
+/// host thread exits.
+class EventFnPool {
+ public:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kClasses = 16;  ///< up to 1 KiB pooled
+  static constexpr std::size_t kMaxPooled = kGranule * kClasses;
+
+  static void* alloc(std::size_t bytes) {
+    const std::size_t cls = (bytes + kGranule - 1) / kGranule;
+    if (cls > kClasses) {
+      auto* h = static_cast<Header*>(::operator new(sizeof(Header) + bytes));
+      h->cls = 0;  // 0 == not pooled
+      return h + 1;
+    }
+    EventFnPool& p = instance();
+    Header*& head = p.free_[cls - 1];
+    if (head != nullptr) {
+      Header* h = head;
+      head = h->next;
+      h->cls = static_cast<std::uint32_t>(cls);
+      return h + 1;
+    }
+    auto* h = static_cast<Header*>(
+        ::operator new(sizeof(Header) + cls * kGranule));
+    h->cls = static_cast<std::uint32_t>(cls);
+    return h + 1;
+  }
+
+  static void free(void* payload) {
+    Header* h = static_cast<Header*>(payload) - 1;
+    const std::uint32_t cls = h->cls;  // before `next` overwrites the union
+    if (cls == 0) {
+      ::operator delete(h);
+      return;
+    }
+    EventFnPool& p = instance();
+    h->next = p.free_[cls - 1];
+    p.free_[cls - 1] = h;
+  }
+
+  ~EventFnPool() {
+    for (Header*& head : free_) {
+      while (head != nullptr) {
+        Header* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+ private:
+  struct alignas(std::max_align_t) Header {
+    union {
+      Header* next;       ///< while on a free list
+      std::uint32_t cls;  ///< while allocated (0 == plain new/delete)
+    };
+  };
+  static_assert(sizeof(Header) == alignof(std::max_align_t));
+
+  static EventFnPool& instance() {
+    thread_local EventFnPool pool;
+    return pool;
+  }
+
+  Header* free_[kClasses] = {};
+};
+
+}  // namespace detail
+
+class EventFn {
+ public:
+  /// Captures up to this size (and trivially copyable) are stored inline.
+  /// Sized for the fattest hot-path lambdas (memory-system transactions
+  /// capture this + five words).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  EventFn(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>);
+    if constexpr (std::is_trivially_copyable_v<Fn> &&
+                  sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = &invoke_inline<Fn>;
+      destroy_ = nullptr;  // trivial
+    } else {
+      void* p = detail::EventFnPool::alloc(sizeof(Fn));
+      ::new (p) Fn(std::forward<F>(f));
+      std::memcpy(buf_, &p, sizeof(p));
+      invoke_ = &invoke_pooled<Fn>;
+      destroy_ = &destroy_pooled<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  using InvokeFn = void (*)(void*);
+  using DestroyFn = void (*)(void*);
+
+  template <typename Fn>
+  static void invoke_inline(void* buf) {
+    (*std::launder(reinterpret_cast<Fn*>(buf)))();
+  }
+
+  template <typename Fn>
+  static Fn* pooled_ptr(void* buf) {
+    void* p;
+    std::memcpy(&p, buf, sizeof(p));
+    return static_cast<Fn*>(p);
+  }
+
+  template <typename Fn>
+  static void invoke_pooled(void* buf) {
+    (*pooled_ptr<Fn>(buf))();
+  }
+
+  template <typename Fn>
+  static void destroy_pooled(void* buf) {
+    Fn* p = pooled_ptr<Fn>(buf);
+    p->~Fn();
+    detail::EventFnPool::free(p);
+  }
+
+  void steal(EventFn& other) noexcept {
+    // Inline callables are trivially copyable by construction and pooled
+    // ones are held by pointer, so relocation is a raw copy.
+    invoke_ = other.invoke_;
+    destroy_ = other.destroy_;
+    std::memcpy(buf_, other.buf_, kInlineBytes);
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  InvokeFn invoke_ = nullptr;
+  DestroyFn destroy_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace alewife

@@ -5,23 +5,124 @@
 
 namespace alewife {
 
+namespace {
+constexpr Cycles kWheelMask = EventQueue::kWheelBuckets - 1;
+}  // namespace
+
 void EventQueue::schedule_at(Cycles when, EventFn fn) {
-  heap_.push(Event{when, next_seq_++, std::move(fn)});
+  const Cycles ahead = when <= now_ ? 0 : when - now_;
+  if (ahead == 0) {
+    ring_.push_back(std::move(fn));
+  } else if (ahead < kWheelBuckets) {
+    wheel_[when & kWheelMask].push_back(std::move(fn));
+    ++wheel_count_;
+    if (when < wheel_next_) wheel_next_ = when;
+  } else {
+    heap_push(when, std::move(fn));
+  }
+  ++size_;
+}
+
+Cycles EventQueue::next_time() const {
+  assert(size_ != 0);
+  if (ring_pos_ != ring_.size()) return now_;
+  Cycles t = wheel_count_ != 0 ? wheel_next_ : kNoWheelTime;
+  if (!heap_.empty() && heap_.front().when < t) t = heap_.front().when;
+  return t;
+}
+
+Cycles EventQueue::wheel_scan() const {
+  assert(wheel_count_ != 0);
+  for (Cycles d = 1; d < kWheelBuckets; ++d) {
+    if (!wheel_[(now_ + d) & kWheelMask].empty()) return now_ + d;
+  }
+  assert(false && "wheel_count_ out of sync with buckets");
+  return kNoWheelTime;
+}
+
+void EventQueue::advance_clock() {
+  assert(ring_pos_ == ring_.size());
+  now_ = next_time();
+  if (wheel_count_ != 0 && wheel_next_ == now_) {
+    std::vector<EventFn>& bucket = wheel_[now_ & kWheelMask];
+    wheel_count_ -= bucket.size();
+    // The drained ring's storage swaps into the bucket — both vectors'
+    // capacities are recycled, so steady state performs no allocation.
+    ring_.swap(bucket);
+    ring_pos_ = 0;
+    wheel_next_ = wheel_count_ != 0 ? wheel_scan() : kNoWheelTime;
+  }
 }
 
 Cycles EventQueue::run_next() {
-  assert(!heap_.empty());
-  // Moving out of top() is safe: we pop immediately and never compare the
-  // moved-from element again.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  assert(size_ != 0);
+  const bool heap_due = !heap_.empty() && heap_.front().when == now_;
+  if (ring_pos_ == ring_.size() && !heap_due) advance_clock();
+
+  EventFn fn;
+  // Heap events due now always precede ring events at the same timestamp:
+  // they were scheduled while this timestamp was still far away (see the
+  // tier-ordering argument in the header).
+  if (!heap_.empty() && heap_.front().when == now_) {
+    fn = heap_pop_top();
+  } else {
+    fn = std::move(ring_[ring_pos_++]);
+    if (ring_pos_ == ring_.size()) {
+      ring_.clear();
+      ring_pos_ = 0;
+    }
+  }
+  --size_;
   ++executed_;
-  ev.fn();
-  return ev.when;
+  fn();
+  return now_;
+}
+
+void EventQueue::heap_push(Cycles when, EventFn fn) {
+  HeapEvent ev{when, next_seq_++, std::move(fn)};
+  // Hole insertion: shift ancestors down instead of pairwise swapping.
+  heap_.emplace_back();
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!ev.before(heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(ev);
+}
+
+EventFn EventQueue::heap_pop_top() {
+  assert(!heap_.empty());
+  EventFn out = std::move(heap_.front().fn);
+  HeapEvent last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].before(heap_[child])) ++child;
+      if (!heap_[child].before(last)) break;
+      heap_[i] = std::move(heap_[child]);
+      i = child;
+    }
+    heap_[i] = std::move(last);
+  }
+  return out;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  // No pops, no sifting: destroy everything in place (the seed implementation
+  // popped the binary heap element by element — O(n log n) for no benefit).
+  ring_.clear();
+  ring_pos_ = 0;
+  for (std::vector<EventFn>& b : wheel_) b.clear();
+  wheel_count_ = 0;
+  wheel_next_ = kNoWheelTime;
+  heap_.clear();
+  size_ = 0;
 }
 
 }  // namespace alewife

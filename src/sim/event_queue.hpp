@@ -1,61 +1,113 @@
 // Discrete-event queue: the heart of the simulator.
 //
-// Events are (time, sequence, callback) triples ordered by time with FIFO
-// tie-breaking, which makes every simulation run fully deterministic on a
-// single host thread (C++ Core Guidelines CP.2: the simulated machine's
-// concurrency is modelled, never expressed as host-thread data races).
+// Events run in strict (time, scheduling-order) order, which makes every
+// simulation fully deterministic on a single host thread (C++ Core
+// Guidelines CP.2: the simulated machine's concurrency is modelled, never
+// expressed as host-thread data races). Internally the queue is tiered by
+// how far ahead an event lands, because the simulation's scheduling mix is
+// extremely skewed toward "right now" and "a few cycles from now":
+//
+//   ring   events at the current timestamp (handler cascades,
+//          schedule_now) — a plain FIFO vector, no ordering work at all.
+//   wheel  events within kWheelBuckets-1 cycles of now (hop latencies,
+//          cache-hit costs) — one FIFO bucket per timestamp, O(1) insert.
+//   heap   everything further out (timeouts, DMA streams) — a classic
+//          binary min-heap on (time, seq).
+//
+// The three tiers preserve the global total order without comparing
+// sequence numbers across tiers: the clock only moves forward, so for any
+// timestamp T every heap insertion (made while T was ≥ kWheelBuckets away)
+// precedes every wheel insertion (made while T was near), which precedes
+// every ring insertion (made at T itself). Draining heap-then-ring at each
+// timestamp therefore replays exact scheduling order.
+//
+// Events scheduled in the past are clamped to the current timestamp (the
+// Simulator already enforces this for all simulation code).
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/types.hpp"
 
 namespace alewife {
 
-using EventFn = std::function<void()>;
-
 class EventQueue {
  public:
-  /// Schedule `fn` to run at absolute time `when`.
+  /// Wheel horizon: events within [now+1, now+kWheelBuckets-1] bucket by
+  /// timestamp. Power of two (index is `when & (kWheelBuckets - 1)`).
+  static constexpr Cycles kWheelBuckets = 64;
+
+  /// Schedule `fn` to run at absolute time `when` (clamped to now()).
   /// Events scheduled for the same time run in scheduling order.
   void schedule_at(Cycles when, EventFn fn);
 
-  /// True when no events remain.
-  bool empty() const { return heap_.empty(); }
+  /// Fast path: schedule `fn` at the current timestamp (FIFO, bypasses all
+  /// ordering structures).
+  void schedule_now(EventFn fn) {
+    ring_.push_back(std::move(fn));
+    ++size_;
+  }
 
-  std::size_t size() const { return heap_.size(); }
+  /// True when no events remain.
+  bool empty() const { return size_ == 0; }
+
+  std::size_t size() const { return size_; }
+
+  /// The queue's clock: the timestamp of the most recently executed event.
+  Cycles now() const { return now_; }
 
   /// Time of the earliest pending event. Only valid when !empty().
-  Cycles next_time() const { return heap_.top().when; }
+  Cycles next_time() const;
 
   /// Pop and run the earliest event, returning its timestamp.
   Cycles run_next();
 
-  /// Drop all pending events (used when tearing a machine down).
+  /// Drop all pending events (used when tearing a machine down). O(n)
+  /// destructions; no heap-sifting (never pops the binary heap).
   void clear();
 
   std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Event {
+  struct HeapEvent {
     Cycles when;
     std::uint64_t seq;
     EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+    bool before(const HeapEvent& o) const {
+      return when != o.when ? when < o.when : seq < o.seq;
     }
   };
 
-  // priority_queue::top() is const&, but we need to move the callback out;
-  // a custom heap over a vector keeps that clean.
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void heap_push(Cycles when, EventFn fn);
+  EventFn heap_pop_top();
+  /// Advance the clock to the earliest pending timestamp and migrate that
+  /// timestamp's wheel bucket into the ring. Requires a drained ring.
+  void advance_clock();
+  /// Earliest nonempty wheel bucket's timestamp. Requires wheel_count_ > 0.
+  Cycles wheel_scan() const;
+
+  // Ring: FIFO of events at now_. Drained front-to-back via ring_pos_; the
+  // vector resets (keeping capacity) when it empties, and bucket migration
+  // is a plain swap into the drained vector.
+  std::vector<EventFn> ring_;
+  std::size_t ring_pos_ = 0;
+
+  std::array<std::vector<EventFn>, kWheelBuckets> wheel_;
+  std::size_t wheel_count_ = 0;
+  // Earliest wheel timestamp; exact whenever wheel_count_ > 0 (updated on
+  // insert, rescanned after a bucket migrates out).
+  static constexpr Cycles kNoWheelTime = ~Cycles{0};
+  Cycles wheel_next_ = kNoWheelTime;
+
+  std::vector<HeapEvent> heap_;
   std::uint64_t next_seq_ = 0;
+
+  Cycles now_ = 0;
+  std::size_t size_ = 0;
   std::uint64_t executed_ = 0;
 };
 

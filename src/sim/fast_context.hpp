@@ -1,0 +1,76 @@
+// Syscall-free stackful context switching for the fiber layer.
+//
+// glibc's swapcontext() makes an rt_sigprocmask system call on every switch
+// (~200 ns each), and the simulator switches fibers roughly once per
+// simulated scheduling decision — profiling showed the two syscalls per
+// resume/yield round trip costing ~40% of wall time on scheduler-heavy
+// workloads. The simulator never touches signal masks, so we swap only what
+// the SysV ABI requires of a function call: callee-saved registers, the
+// stack pointer, and the FPU/SSE control words.
+//
+// The fast path is assembly (fast_context_x86_64.S), enabled when the build
+// adds that file and defines ALEWIFE_HAVE_FAST_CONTEXT. Everywhere else —
+// other architectures, or sanitizer builds, whose fake-stack bookkeeping
+// needs the intercepted swapcontext() — fiber.cpp falls back to ucontext.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ALEWIFE_SANITIZED_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ALEWIFE_SANITIZED_FIBERS 1
+#endif
+#endif
+#ifndef ALEWIFE_SANITIZED_FIBERS
+#define ALEWIFE_SANITIZED_FIBERS 0
+#endif
+
+#if defined(ALEWIFE_HAVE_FAST_CONTEXT) && defined(__x86_64__) && \
+    !ALEWIFE_SANITIZED_FIBERS
+#define ALEWIFE_FAST_CONTEXT 1
+#else
+#define ALEWIFE_FAST_CONTEXT 0
+#endif
+
+#if ALEWIFE_FAST_CONTEXT
+
+namespace alewife::detail {
+
+/// Save the current execution context's stack pointer into *save_sp and
+/// resume the context whose saved stack pointer is resume_sp. Returns when
+/// something switches back into the saved context.
+extern "C" void alewife_ctx_switch(void** save_sp, void* resume_sp);
+
+/// Build an initial switchable frame at the top of the stack
+/// [stack_base, stack_base + bytes). The first alewife_ctx_switch() into the
+/// returned stack pointer calls entry() on that stack. entry must never
+/// return (it would "return" to address 0).
+inline void* alewife_ctx_make(void* stack_base, std::size_t bytes,
+                              void (*entry)()) {
+  std::uintptr_t top = reinterpret_cast<std::uintptr_t>(stack_base) + bytes;
+  top &= ~std::uintptr_t{15};  // SysV 16-byte stack alignment
+  auto* slots = reinterpret_cast<std::uint64_t*>(top);
+  // Mirror alewife_ctx_switch's save layout (see the .S file), so the first
+  // switch "restores" this frame and `ret`s into entry with the alignment of
+  // a normal function call.
+  slots[-1] = 0;                                       // entry's return: trap
+  slots[-2] = reinterpret_cast<std::uint64_t>(entry);  // ret target
+  slots[-3] = 0;                                       // rbp
+  slots[-4] = 0;                                       // rbx
+  slots[-5] = 0;                                       // r12
+  slots[-6] = 0;                                       // r13
+  slots[-7] = 0;                                       // r14
+  slots[-8] = 0;                                       // r15
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  slots[-9] = std::uint64_t{mxcsr} | (std::uint64_t{fcw} << 32);
+  return slots - 9;
+}
+
+}  // namespace alewife::detail
+
+#endif  // ALEWIFE_FAST_CONTEXT

@@ -7,9 +7,11 @@
 namespace alewife {
 
 namespace {
-// Single host thread => plain globals are safe and faster than thread_local.
-Fiber* g_current = nullptr;
-Fiber* g_trampoline_arg = nullptr;
+// One Machine per host thread: each thread has its own "currently running
+// fiber" slot, so independent machines can simulate concurrently (parallel
+// sweep runner) without sharing any mutable state.
+thread_local Fiber* g_current = nullptr;
+thread_local Fiber* g_trampoline_arg = nullptr;
 }  // namespace
 
 Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {}
@@ -46,7 +48,11 @@ void Fiber::run_body() {
     }
     finished_ = true;
     entry_ = nullptr;  // drop captures promptly
+#if ALEWIFE_FAST_CONTEXT
+    detail::alewife_ctx_switch(&sp_, host_sp_);
+#else
     swapcontext(&ctx_, &link_);
+#endif
     // Resumed after reset(): run the new entry.
   }
 }
@@ -54,6 +60,21 @@ void Fiber::run_body() {
 void Fiber::resume() {
   assert(!finished_);
   assert(g_current == nullptr && "nested fiber resume is not supported");
+#if ALEWIFE_FAST_CONTEXT
+  if (!started_) {
+    started_ = true;
+    if (sp_ == nullptr) {
+      // First ever start on this stack: build the initial frame.
+      sp_ = detail::alewife_ctx_make(stack_.data(), stack_.size(),
+                                     &Fiber::trampoline);
+      g_trampoline_arg = this;
+    }
+    // else: pool reuse — sp_ sits at the switch inside run_body's loop;
+    // resuming re-enters the loop with the new entry_.
+  }
+  g_current = this;
+  detail::alewife_ctx_switch(&host_sp_, sp_);
+#else
   if (!started_) {
     started_ = true;
     if (ctx_.uc_stack.ss_sp == nullptr) {
@@ -70,6 +91,7 @@ void Fiber::resume() {
   }
   g_current = this;
   swapcontext(&link_, &ctx_);
+#endif
   g_current = nullptr;
   if (pending_exception_) {
     auto ex = std::exchange(pending_exception_, nullptr);
@@ -81,7 +103,11 @@ void Fiber::yield() {
   Fiber* self = g_current;
   assert(self != nullptr && "Fiber::yield called outside any fiber");
   g_current = nullptr;
+#if ALEWIFE_FAST_CONTEXT
+  detail::alewife_ctx_switch(&self->sp_, self->host_sp_);
+#else
   swapcontext(&self->ctx_, &self->link_);
+#endif
   g_current = self;
 }
 

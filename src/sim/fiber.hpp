@@ -1,12 +1,25 @@
-// Stackful fibers (ucontext-based) for simulated threads.
+// Stackful fibers for simulated threads.
 //
 // Each simulated runtime thread runs on one fiber. A fiber suspends by
 // calling Fiber::yield() (from inside) and is continued with resume() (from
-// the event loop). Everything runs on a single host thread; fibers are a
-// control-flow device, not a parallelism device.
+// the event loop). Fibers are a control-flow device, not a parallelism
+// device: all fibers of one Machine run on one host thread.
+//
+// Thread-safety contract: the "currently running fiber" state is
+// thread_local, so independent Machines may run concurrently on different
+// host threads (one Machine per thread — see docs/ARCHITECTURE.md). A Fiber
+// must be resumed on the host thread that first started it.
+//
+// Switching uses a minimal register-only context switch on x86-64
+// (fast_context.hpp) — glibc's swapcontext costs a syscall per switch —
+// and falls back to ucontext elsewhere and under sanitizers.
 #pragma once
 
+#include "sim/fast_context.hpp"
+
+#if !ALEWIFE_FAST_CONTEXT
 #include <ucontext.h>
+#endif
 
 #include <cstdint>
 #include <exception>
@@ -50,8 +63,13 @@ class Fiber {
   static void trampoline();
   void run_body();
 
+#if ALEWIFE_FAST_CONTEXT
+  void* sp_ = nullptr;       ///< fiber's saved stack pointer while switched out
+  void* host_sp_ = nullptr;  ///< resumer's saved stack pointer while inside
+#else
   ucontext_t ctx_{};
   ucontext_t link_{};
+#endif
   std::vector<std::uint8_t> stack_;
   Entry entry_;
   bool started_ = false;

@@ -4,16 +4,19 @@ namespace alewife {
 
 void Simulator::run(Cycles max_cycles) {
   while (!queue_.empty() && !stopping_) {
-    if (max_cycles != 0 && queue_.next_time() > max_cycles) {
-      throw SimTimeout("simulation exceeded " + std::to_string(max_cycles) +
-                       " cycles at t=" + std::to_string(now_) +
-                       " (likely deadlock in the simulated program)");
-    }
+    const Cycles t = queue_.next_time();
+    if (max_cycles != 0 && t > max_cycles) throw_timeout(max_cycles);
     // Advance the clock before executing the event so callbacks observe the
     // correct now().
-    now_ = queue_.next_time();
+    now_ = t;
     queue_.run_next();
   }
+}
+
+void Simulator::throw_timeout(Cycles max_cycles) const {
+  throw SimTimeout("simulation exceeded " + std::to_string(max_cycles) +
+                   " cycles at t=" + std::to_string(now_) +
+                   " (likely deadlock in the simulated program)");
 }
 
 }  // namespace alewife

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/types.hpp"
@@ -21,13 +22,22 @@ class Simulator {
  public:
   Cycles now() const { return now_; }
 
-  /// Schedule `fn` to run `delay` cycles from now.
+  /// Schedule `fn` to run `delay` cycles from now. Zero-delay events take
+  /// the queue's FIFO ring fast path.
   void schedule(Cycles delay, EventFn fn) {
-    queue_.schedule_at(now_ + delay, std::move(fn));
+    if (delay == 0) {
+      queue_.schedule_now(std::move(fn));
+    } else {
+      queue_.schedule_at(now_ + delay, std::move(fn));
+    }
   }
 
   void schedule_at(Cycles when, EventFn fn) {
-    queue_.schedule_at(when < now_ ? now_ : when, std::move(fn));
+    if (when <= now_) {
+      queue_.schedule_now(std::move(fn));
+    } else {
+      queue_.schedule_at(when, std::move(fn));
+    }
   }
 
   /// Run events until the queue drains, `stop()` is called, or the optional
@@ -46,6 +56,10 @@ class Simulator {
   std::uint64_t events_executed() const { return queue_.events_executed(); }
 
  private:
+  /// Out of line and cold: keeps the timeout message's string construction
+  /// (and its code) entirely off the event-loop hot path.
+  [[noreturn]] void throw_timeout(Cycles max_cycles) const;
+
   EventQueue queue_;
   Cycles now_ = 0;
   bool stopping_ = false;

@@ -1,0 +1,148 @@
+// Determinism guarantees of the DES kernel (ISSUE: kernel overhaul must not
+// change the (time, seq) total order):
+//
+//  1. The same seeded workload run twice produces bit-identical results —
+//     same final cycle count, same event count, same stats counters.
+//  2. Running sweep points through the parallel runner (bench::sweep /
+//     run_indexed) produces exactly the serial results: simulations never
+//     share mutable state across host threads (thread_local fiber slot and
+//     event-callback pools), and results are stored by point index.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/grain.hpp"
+#include "bench_common.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+
+namespace alewife {
+namespace {
+
+// FNV-1a over every observable of a finished machine: final time, events
+// executed, the app's return value, and all named stats counters.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t digest(Machine& m, std::uint64_t app_result) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, m.sim().now());
+  h = fnv1a(h, m.sim().events_executed());
+  h = fnv1a(h, app_result);
+  for (const auto& [name, value] : m.stats().counters()) {
+    h = fnv1a(h, name);
+    h = fnv1a(h, value);
+  }
+  return h;
+}
+
+// A workload with real nondeterminism potential: work stealing consults the
+// per-node RNG, every steal is a message, and the grain tree fans out enough
+// that any event-ordering change shows up in the counters.
+std::uint64_t run_seeded_grain(std::uint64_t seed) {
+  MachineConfig c;
+  c.nodes = 16;
+  c.rng_seed = seed;
+  c.max_cycles = 500'000'000;
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = true;
+  Machine m(c, o);
+  const std::uint64_t leaves = m.run([](Context& ctx) -> std::uint64_t {
+    return apps::grain_parallel(ctx,/*depth=*/10, /*delay=*/20);
+  });
+  return digest(m, leaves);
+}
+
+TEST(Determinism, SameSeedSameDigest) {
+  const std::uint64_t a = run_seeded_grain(0x5EEDBA5Eu);
+  const std::uint64_t b = run_seeded_grain(0x5EEDBA5Eu);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedUsuallyDiffers) {
+  // Different steal choices must feed through to the digest; two fixed seeds
+  // chosen to produce different steal histories (not a statistical claim).
+  const std::uint64_t a = run_seeded_grain(0x5EEDBA5Eu);
+  const std::uint64_t b = run_seeded_grain(0x0DDC0FFEu);
+  EXPECT_NE(a, b);
+}
+
+// One sweep point == one independent simulation; used for both the serial
+// reference and the parallel run.
+std::uint64_t sweep_point(std::size_t i) {
+  switch (i % 3) {
+    case 0: {
+      MachineConfig c;
+      c.nodes = 8 + 8 * static_cast<std::uint32_t>(i / 3);
+      c.rng_seed = 17 * i + 1;
+      c.max_cycles = 500'000'000;
+      RuntimeOptions o;
+      o.mode = SchedMode::kHybrid;
+      o.stealing = true;
+      Machine m(c, o);
+      const std::uint64_t r = m.run([](Context& ctx) -> std::uint64_t {
+        return apps::grain_parallel(ctx,8, 10);
+      });
+      return digest(m, r);
+    }
+    case 1:
+      return bench::measure_barrier(16, CombiningBarrier::Mech::kMsg,
+                                    /*arity=*/4, /*episodes=*/4);
+    default:
+      return bench::measure_barrier(16, CombiningBarrier::Mech::kShm,
+                                    /*arity=*/2, /*episodes=*/4);
+  }
+}
+
+TEST(Determinism, ParallelSweepMatchesSerial) {
+  constexpr std::size_t kPoints = 9;
+  const std::vector<std::uint64_t> serial =
+      bench::sweep<std::uint64_t>(kPoints, sweep_point, /*threads=*/1);
+  const std::vector<std::uint64_t> parallel =
+      bench::sweep<std::uint64_t>(kPoints, sweep_point, /*threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+}
+
+TEST(Determinism, RunIndexedCoversEveryIndexOnce) {
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  bench::run_indexed(
+      kN, [&](std::size_t i) { hits[i].fetch_add(1); }, /*threads=*/4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Determinism, RunIndexedPropagatesFirstException) {
+  EXPECT_THROW(
+      bench::run_indexed(
+          8,
+          [](std::size_t i) {
+            if (i == 3) throw std::runtime_error("boom");
+          },
+          /*threads=*/2),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace alewife

@@ -2,6 +2,8 @@
 // clock, fibers, fiber pool, RNG determinism, stats.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -43,6 +45,113 @@ TEST(EventQueue, EventsCanScheduleEvents) {
   q.schedule_at(0, [&chain] { chain(0); });
   while (!q.empty()) q.run_next();
   EXPECT_EQ(hits, 6);
+}
+
+// The queue runs three tiers (ring / wheel / heap) behind one API. Events
+// for the same timestamp can live in different tiers depending on how far
+// ahead they were scheduled; the global (time, seq) order must still hold.
+TEST(EventQueue, SameTimeAcrossTiersKeepsScheduleOrder) {
+  EventQueue q;
+  std::vector<char> order;
+  // A is scheduled for t=70 from t=0 (70 ahead -> heap).
+  q.schedule_at(70, [&] { order.push_back('A'); });
+  // At t=20 an event schedules B for t=70 (50 ahead -> wheel).
+  q.schedule_at(20, [&] { q.schedule_at(70, [&] { order.push_back('B'); }); });
+  // At t=69 an event schedules C for t=70 (1 ahead -> wheel bucket).
+  q.schedule_at(69, [&] { q.schedule_at(70, [&] { order.push_back('C'); }); });
+  while (!q.empty()) q.run_next();
+  // Scheduling order was A, B, C; execution at t=70 must match.
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'C'}));
+}
+
+TEST(EventQueue, WheelHeapCrossoverBoundary) {
+  EventQueue q;
+  std::vector<Cycles> times;
+  // From t=0: 63 ahead lands in the wheel, 64 and 65 ahead in the heap.
+  // Schedule in reverse to prove ordering comes from timestamps, not tiers.
+  q.schedule_at(65, [&] { times.push_back(65); });
+  q.schedule_at(64, [&] { times.push_back(64); });
+  q.schedule_at(63, [&] { times.push_back(63); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(times, (std::vector<Cycles>{63, 64, 65}));
+}
+
+TEST(EventQueue, WheelBucketReusedAfterMigration) {
+  EventQueue q;
+  std::vector<int> order;
+  // t=10 occupies wheel bucket 10 & 63 = 10. After it drains, an event at
+  // t=20 schedules t=74 — 54 ahead, which maps to the same bucket (74 & 63
+  // = 10). The bucket must have been fully recycled by the migration swap.
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { q.schedule_at(74, [&] { order.push_back(2); }); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ScheduleNowIsFifoWithScheduleAtNow) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] {
+    // All three forms target the current timestamp; FIFO must hold across
+    // the mix of schedule_now and schedule_at(now).
+    q.schedule_now([&] { order.push_back(1); });
+    q.schedule_at(5, [&] { order.push_back(2); });
+    q.schedule_now([&] { order.push_back(3); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, OversizedCaptureFallsBackToPool) {
+  EventQueue q;
+  // 96 bytes of capture — beyond the 48-byte inline buffer, so these go
+  // through the pooled allocation path. Loop enough to recycle pool blocks.
+  std::uint64_t sum = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::uint64_t payload[12];
+    for (int i = 0; i < 12; ++i) payload[i] = std::uint64_t(round) * 12 + i;
+    q.schedule_at(Cycles(round), [&sum, payload] {
+      for (std::uint64_t v : payload) sum += v;
+    });
+  }
+  while (!q.empty()) q.run_next();
+  std::uint64_t expect = 0;
+  for (std::uint64_t v = 0; v < 2400; ++v) expect += v;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(EventQueue, MoveOnlyCaptureIsSupported) {
+  EventQueue q;
+  // EventFn is move-only, so events can own resources via unique_ptr —
+  // impossible with the old copyable std::function events.
+  int out = 0;
+  auto value = std::make_unique<int>(42);
+  q.schedule_at(3, [&out, v = std::move(value)] { out = *v; });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(EventQueue, ClearAfterPartialDrainThenReuse) {
+  EventQueue q;
+  int ran = 0;
+  // Populate all three tiers: ring (same-time), wheel (near), heap (far).
+  q.schedule_at(0, [&] {
+    ++ran;
+    q.schedule_now([&] { ++ran; });
+  });
+  q.schedule_at(10, [&] { ++ran; });
+  q.schedule_at(500, [&] { ++ran; });
+  q.run_next();  // runs the t=0 event, leaving its schedule_now pending
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(q.empty());
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // The queue must be fully reusable after clear().
+  q.schedule_at(1000, [&] { ran += 10; });
+  EXPECT_EQ(q.next_time(), 1000u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(ran, 11);
 }
 
 TEST(Simulator, ClockAdvancesToEventTimes) {

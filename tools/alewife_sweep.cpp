@@ -1,0 +1,201 @@
+// alewife_sweep — run parameter sweeps with one Machine per sweep point,
+// optionally spreading points across host threads.
+//
+//   alewife_sweep [--sweep scaling|interrupt|arity] [--threads N] [--serial]
+//                 [--fast] [--verify]
+//
+//   --sweep NAME   which sweep to run (default: scaling)
+//   --threads N    host threads (default: ALEWIFE_SWEEP_THREADS env or
+//                  hardware_concurrency)
+//   --serial       shorthand for --threads 1
+//   --fast         smaller machines / fewer points (CI smoke)
+//   --verify       run serially first, then in parallel, and fail unless the
+//                  two result tables are byte-identical
+//
+// Each sweep point is an independent simulation: the simulator's mutable
+// state (current fiber, event-callback pools) is thread_local, so points can
+// run concurrently without affecting simulated results. Rows are collected
+// by point index, so the output is identical at any thread count.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace alewife;
+using namespace alewife::bench;
+
+namespace {
+
+struct SweepResult {
+  std::vector<std::string> cols;
+  std::vector<std::vector<std::string>> rows;
+
+  bool operator==(const SweepResult& o) const {
+    return cols == o.cols && rows == o.rows;
+  }
+};
+
+// ---- scaling: grain speedup and barrier latency vs machine size ------------
+
+SweepResult sweep_scaling(bool fast, unsigned threads) {
+  std::vector<std::uint32_t> sizes =
+      fast ? std::vector<std::uint32_t>{8, 16}
+           : std::vector<std::uint32_t>{8, 16, 32, 64, 128};
+  const std::uint32_t depth = fast ? 10 : 14;
+
+  SweepResult r;
+  r.cols = {"procs", "grain shm", "grain hybrid", "bar shm", "bar msg"};
+  r.rows = sweep<std::vector<std::string>>(
+      sizes.size(),
+      [&](std::size_t i) {
+        const std::uint32_t p = sizes[i];
+        const AppRun shm = measure_grain(SchedMode::kShm, p, depth, 100);
+        const AppRun hyb = measure_grain(SchedMode::kHybrid, p, depth, 100);
+        const Cycles bshm =
+            measure_barrier(p, CombiningBarrier::Mech::kShm, 2);
+        const Cycles bmsg =
+            measure_barrier(p, CombiningBarrier::Mech::kMsg, 8);
+        return std::vector<std::string>{
+            std::to_string(p), fmt(shm.speedup(), 2), fmt(hyb.speedup(), 2),
+            std::to_string(bshm), std::to_string(bmsg)};
+      },
+      threads);
+  return r;
+}
+
+// ---- interrupt: message mechanisms vs handler-entry cost -------------------
+
+SweepResult sweep_interrupt(bool fast, unsigned threads) {
+  std::vector<int> entries =
+      fast ? std::vector<int>{5, 60} : std::vector<int>{5, 15, 30, 60, 120, 240};
+  const std::uint32_t nodes = fast ? 16 : 64;
+
+  SweepResult r;
+  r.cols = {"entry cyc", "msg barrier", "msg T_invokee"};
+  r.rows = sweep<std::vector<std::string>>(
+      entries.size(),
+      [&](std::size_t i) {
+        MachineConfig c = bench_cfg(nodes);
+        c.cost.interrupt_entry = entries[i];
+        const Cycles bar =
+            measure_barrier_cfg(c, CombiningBarrier::Mech::kMsg, 8);
+        const InvokeResult inv = measure_invoke_cfg(c, /*use_msg=*/true);
+        return std::vector<std::string>{std::to_string(entries[i]),
+                                        std::to_string(bar),
+                                        std::to_string(inv.t_invokee)};
+      },
+      threads);
+  return r;
+}
+
+// ---- arity: combining-tree fan-in for both barrier mechanisms --------------
+
+SweepResult sweep_arity(bool fast, unsigned threads) {
+  std::vector<std::uint32_t> arities =
+      fast ? std::vector<std::uint32_t>{2, 8}
+           : std::vector<std::uint32_t>{2, 4, 8, 16, 32};
+  const std::uint32_t nodes = fast ? 16 : 64;
+
+  SweepResult r;
+  r.cols = {"arity", "bar shm", "bar msg"};
+  r.rows = sweep<std::vector<std::string>>(
+      arities.size(),
+      [&](std::size_t i) {
+        const std::uint32_t a = arities[i];
+        const Cycles shm =
+            measure_barrier(nodes, CombiningBarrier::Mech::kShm, a);
+        const Cycles msg =
+            measure_barrier(nodes, CombiningBarrier::Mech::kMsg, a);
+        return std::vector<std::string>{std::to_string(a),
+                                        std::to_string(shm),
+                                        std::to_string(msg)};
+      },
+      threads);
+  return r;
+}
+
+SweepResult run_sweep(const std::string& name, bool fast, unsigned threads) {
+  if (name == "scaling") return sweep_scaling(fast, threads);
+  if (name == "interrupt") return sweep_interrupt(fast, threads);
+  if (name == "arity") return sweep_arity(fast, threads);
+  std::fprintf(stderr,
+               "alewife_sweep: unknown sweep '%s' "
+               "(expected scaling|interrupt|arity)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = "scaling";
+  unsigned threads = 0;  // 0 = sweep_threads() default
+  bool fast = false;
+  bool verify = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--sweep" && i + 1 < argc) {
+      name = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--serial") {
+      threads = 1;
+    } else if (a == "--fast") {
+      fast = true;
+    } else if (a == "--verify") {
+      verify = true;
+    } else {
+      std::fprintf(stderr,
+                   "alewife_sweep: bad argument '%s'\n"
+                   "usage: alewife_sweep [--sweep scaling|interrupt|arity] "
+                   "[--threads N] [--serial] [--fast] [--verify]\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+
+  const unsigned effective = threads ? threads : sweep_threads();
+
+  if (verify) {
+    // Serial reference first, then the parallel run it must match exactly.
+    const auto t0 = std::chrono::steady_clock::now();
+    const SweepResult serial = run_sweep(name, fast, 1);
+    const double t_serial = seconds_since(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const SweepResult parallel = run_sweep(name, fast, effective);
+    const double t_parallel = seconds_since(t1);
+
+    print_header("sweep: " + name + " (serial reference)", serial.cols);
+    for (const auto& row : serial.rows) print_row(row);
+    std::printf("\nserial   %7.2fs (1 thread)\n", t_serial);
+    std::printf("parallel %7.2fs (%u threads)\n", t_parallel, effective);
+
+    if (!(serial == parallel)) {
+      std::fprintf(stderr, "VERIFY FAILED: parallel results differ from serial\n");
+      return 1;
+    }
+    std::printf("VERIFY OK: parallel == serial\n");
+    return 0;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SweepResult r = run_sweep(name, fast, effective);
+  const double elapsed = seconds_since(t0);
+
+  print_header("sweep: " + name, r.cols);
+  for (const auto& row : r.rows) print_row(row);
+  std::printf("\nwall %.2fs (%u threads, %zu points)\n", elapsed, effective,
+              r.rows.size());
+  return 0;
+}
