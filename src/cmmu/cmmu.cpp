@@ -37,7 +37,7 @@ Cycles MsgView::storeback(HandlerCtx& ctx, GAddr dst,
   const std::uint64_t lines = (std::uint64_t{n} + line - 1) / line;
   const Cycles done =
       ctx.now() + cost.dma_setup + lines * cost.dma_per_line + inval;
-  cmmu_.stats().add("cmmu.storeback_bytes", n);
+  cmmu_.stats().add(cmmu_.node(), MetricId::kCmmuStorebackBytes, n);
   return done;
 }
 
@@ -126,8 +126,8 @@ void Cmmu::launch(const MsgDescriptor& d, Cycles launch_time) {
                      std::to_string(d.dst) + " payload=" +
                      std::to_string(p.payload_bytes));
   }
-  stats_.add("cmmu.messages_sent");
-  stats_.add("cmmu.message_payload_bytes", p.payload_bytes);
+  stats_.add(node_, MetricId::kCmmuMessagesSent);
+  stats_.add(node_, MetricId::kCmmuMessagePayloadBytes, p.payload_bytes);
   net_.send(std::move(p), depart);
 }
 
@@ -149,7 +149,7 @@ void Cmmu::on_packet(Packet p) {
                  "recv type=" + std::to_string(p.type) + " from n" +
                      std::to_string(p.src));
   }
-  stats_.add("cmmu.messages_received");
+  stats_.add(node_, MetricId::kCmmuMessagesReceived);
 }
 
 }  // namespace alewife

@@ -146,8 +146,9 @@ void AdaptiveOps::copy(Context& ctx, GAddr dst, GAddr src, std::uint64_t n) {
   const CopyImpl impl = choose_copy(gaddr_node(src), gaddr_node(dst), n);
   ctx.charge(4);  // the selection test itself
   machine_.bulk().copy(ctx, dst, src, n, impl);
-  ctx.stats().add(impl == CopyImpl::kMsgDma ? "adaptive.copy_msg"
-                                            : "adaptive.copy_shm");
+  ctx.stats().add(ctx.node(), impl == CopyImpl::kMsgDma
+                                  ? MetricId::kAdaptiveCopyMsg
+                                  : MetricId::kAdaptiveCopyShm);
 }
 
 }  // namespace alewife

@@ -7,6 +7,7 @@ namespace alewife {
 
 Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
   cfg_.validate();
+  stats_.ensure_nodes(cfg_.nodes);
   sim_ = std::make_unique<Simulator>();
   store_ = std::make_unique<BackingStore>(cfg_.nodes, cfg_.mem_bytes_per_node,
                                           cfg_.cache_line_bytes);

@@ -16,6 +16,7 @@ MemorySystem::MemorySystem(Simulator& sim, Network& net, BackingStore& store,
       cost_(cfg.cost),
       line_bytes_(cfg.cache_line_bytes),
       outstanding_prefetches_(cfg.nodes, 0) {
+  stats.ensure_nodes(cfg.nodes);
   caches_.reserve(cfg.nodes);
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
     caches_.push_back(std::make_unique<Cache>(
@@ -114,9 +115,9 @@ void MemorySystem::access(NodeId node, MemOp op, GAddr addr,
         const bool upgrade = want_excl && st == LineState::kShared;
         start_fill(node, line, want_excl, upgrade, /*prefetch_only=*/true,
                    Waiter{}, start + cost_.prefetch_issue);
-        stats_.add("mem.prefetch_issued");
+        stats_.add(node, MetricId::kMemPrefetchIssued);
       } else if (!satisfied) {
-        stats_.add("mem.prefetch_dropped");
+        stats_.add(node, MetricId::kMemPrefetchDropped);
       }
       sim_.schedule_at(start + cost_.prefetch_issue,
                        [done = std::move(done)] { done(0); });
@@ -133,7 +134,7 @@ void MemorySystem::start_fill(NodeId node, GAddr line, bool excl, bool upgrade,
   m.took_slot = prefetch_only;
   if (waiter.done) m.waiters.push_back(std::move(waiter));
 
-  stats_.add(excl ? "mem.write_misses" : "mem.read_misses");
+  stats_.add(node, excl ? MetricId::kMemWriteMisses : MetricId::kMemReadMisses);
   // Prefetch requests queue behind demand traffic in the transaction buffer.
   if (prefetch_only) t += cost_.prefetch_fill_delay;
   const CohMsg req = upgrade ? kUpgrade : (excl ? kWReq : kRReq);
@@ -200,7 +201,7 @@ void MemorySystem::fill_complete(NodeId node, GAddr line, LineState st,
   if (m.poisoned && st == LineState::kShared) {
     // An invalidation overtook this read fill: deliver the data (linearized
     // after the writer) but do not cache the now-stale line.
-    stats_.add("mem.poisoned_fills");
+    stats_.add(node, MetricId::kMemPoisonedFills);
   } else {
     Cache::Victim v = c.install(line, st);
     if (v.valid) evict(node, v.line, v.state, t);
@@ -237,10 +238,10 @@ void MemorySystem::evict(NodeId node, GAddr line, LineState st, Cycles t) {
   if (st != LineState::kModified) {
     // Clean evictions are silent; the directory keeps a stale sharer pointer
     // (it will send a harmless INV later), exactly like real protocols.
-    stats_.add("mem.clean_evictions");
+    stats_.add(node, MetricId::kMemCleanEvictions);
     return;
   }
-  stats_.add("mem.dirty_evictions");
+  stats_.add(node, MetricId::kMemDirtyEvictions);
   // Functional memory is already current (values commit to the backing store
   // at store time); update the directory immediately and model the writeback
   // packet for network timing/occupancy only.
@@ -332,7 +333,7 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
     }
 
     case kWriteback:
-      stats_.add("mem.writebacks_received");
+      stats_.add(node, MetricId::kMemWritebacksReceived);
       return;
 
     case kDataS:
@@ -365,7 +366,7 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
       auto it = mshrs_.find(mshr_key(node, line));
       if (it != mshrs_.end()) it->second.poisoned = true;
       caches_[node]->invalidate(line);
-      stats_.add("mem.invalidations");
+      stats_.add(node, MetricId::kMemInvalidations);
       send_coh(node, p.src, kInvAck, line, 0, t + 1);
       return;
     }
@@ -384,7 +385,7 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
           c.invalidate(line);
         }
       }
-      stats_.add("mem.direct_forwards");
+      stats_.add(node, MetricId::kMemDirectForwards);
       const CohMsg data_kind = (p.type == kFetchFwd) ? kDataS : kDataE;
       Cycles delivery;
       if (node == requester) {
@@ -447,14 +448,14 @@ void MemorySystem::home_request(NodeId home, CohMsg type, NodeId requester,
   DirEntry& e = dir_.entry(line);
   if (e.busy) {
     e.pending.push_back(DirEntry::Queued{type, requester});
-    stats_.add("mem.home_queued");
+    stats_.add(home, MetricId::kMemHomeQueued);
     return;
   }
   start_txn(home, type, requester, line, t);
 }
 
 Cycles MemorySystem::charge_trap(NodeId home, Cycles t) {
-  stats_.add("mem.limitless_traps");
+  stats_.add(home, MetricId::kMemLimitlessTraps);
   if (trap_hook_) trap_hook_(home, t, cost_.limitless_trap);
   return t + cost_.limitless_trap;
 }
@@ -536,7 +537,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
               requester, static_cast<std::uint32_t>(targets.size())};
   for (NodeId tgt : targets) {
     send_coh(home, tgt, kInv, line, 0, t);
-    stats_.add("mem.inv_sent");
+    stats_.add(home, MetricId::kMemInvSent);
   }
 }
 
@@ -619,7 +620,7 @@ void MemorySystem::fe_access(NodeId node, MemOp op, GAddr addr,
              [this, node, addr, size, done = std::move(done)](std::uint64_t) {
                FEState& s2 = fe_[addr];
                s2.full = true;
-               stats_.add("mem.fe_fills");
+               stats_.add(node, MetricId::kMemFeFills);
                // Wake waiters in FIFO order at the fill's commit time; a
                // taker consumes the fill, later waiters keep waiting.
                std::vector<FEWaiter> waiters = std::move(s2.waiters);
@@ -651,7 +652,7 @@ void MemorySystem::fe_access(NodeId node, MemOp op, GAddr addr,
       if (st.full) {
         fe_complete_reader(node, op, addr, size, start, std::move(done));
       } else {
-        stats_.add("mem.fe_waits");
+        stats_.add(node, MetricId::kMemFeWaits);
         st.waiters.push_back(FEWaiter{node, op, size, std::move(done)});
       }
       return;
@@ -711,7 +712,7 @@ Cycles MemorySystem::dma_source_flush(NodeId node, GAddr addr,
         e.sharers.push_back(node);
       }
       cycles += cost_.dma_per_line;
-      stats_.add("mem.dma_flush_lines");
+      stats_.add(node, MetricId::kMemDmaFlushLines);
     }
   }
   return cycles;
@@ -739,7 +740,7 @@ Cycles MemorySystem::dma_dest_invalidate(NodeId node, GAddr addr,
         }
       }
       cycles += 1;
-      stats_.add("mem.dma_inval_lines");
+      stats_.add(node, MetricId::kMemDmaInvalLines);
     }
   }
   return cycles;

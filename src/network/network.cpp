@@ -11,7 +11,9 @@ Network::Network(Simulator& sim, const MachineConfig& cfg, Stats& stats)
       stats_(stats),
       topo_(cfg.nodes, cfg.mesh_width),
       receivers_(cfg.nodes),
-      link_busy_until_(topo_.link_count(), 0) {}
+      link_busy_until_(topo_.link_count(), 0) {
+  stats.ensure_nodes(cfg.nodes);
+}
 
 void Network::set_receiver(NodeId node, Receiver r) {
   assert(node < receivers_.size());
@@ -34,7 +36,7 @@ Cycles Network::send(Packet p, Cycles depart) {
       Cycles acquire = head;
       if (link_busy_until_[li] > acquire) {
         acquire = link_busy_until_[li];
-        stats_.add("net.link_stall_cycles", acquire - head);
+        stats_.add(p.src, MetricId::kNetLinkStallCycles, acquire - head);
       }
       link_busy_until_[li] = acquire + ser;
       head = acquire + cost_.net_hop;
@@ -42,13 +44,11 @@ Cycles Network::send(Packet p, Cycles depart) {
   }
   const Cycles delivery = head + ser;
 
-  stats_.add("net.packets");
-  stats_.add("net.bytes", bytes);
-  if (p.klass == PacketClass::kCoherence) {
-    stats_.add("net.coherence_packets");
-  } else {
-    stats_.add("net.user_packets");
-  }
+  stats_.add(p.src, MetricId::kNetPackets);
+  stats_.add(p.src, MetricId::kNetBytes, bytes);
+  stats_.add(p.src, p.klass == PacketClass::kCoherence
+                        ? MetricId::kNetCoherencePackets
+                        : MetricId::kNetUserPackets);
 
   if (trace_ != nullptr && trace_->enabled(TraceCat::kNet)) {
     trace_->emit(TraceCat::kNet, depart, p.src,

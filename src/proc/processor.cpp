@@ -13,7 +13,9 @@ Processor::Processor(Simulator& sim, MemorySystem& ms, NodeId node,
       node_(node),
       cost_(cost),
       stats_(stats),
-      store_buffer_depth_(store_buffer_depth) {}
+      store_buffer_depth_(store_buffer_depth) {
+  stats.ensure_nodes(node + 1);
+}
 
 // ---------------------------------------------------------------------------
 // Fiber-side API
@@ -47,7 +49,7 @@ std::uint64_t Processor::mem(MemOp op, GAddr addr, std::uint32_t size,
     // Full/empty fault: trap, register the waiter, and suspend the thread —
     // the processor must stay available (the producer may be queued right
     // here). The FE fill re-readies us.
-    stats_.add("proc.fe_traps");
+    stats_.add(node_, MetricId::kProcFeTraps);
     auto wake = fe_block_();
     assert(wake && "fe_block hook must always provide a waker");
     charge(cost_.fe_trap);
@@ -73,7 +75,7 @@ std::uint64_t Processor::mem(MemOp op, GAddr addr, std::uint32_t size,
     // (An empty wake means nothing else is runnable: stall instead.)
     auto wake = mem_block_();
     if (wake) {
-    stats_.add("proc.context_switches");
+    stats_.add(node_, MetricId::kProcContextSwitches);
     charge(cost_.context_switch);
     std::uint64_t result = 0;
     ms_.access(node_, op, addr, size, value, free_at_,
@@ -125,7 +127,7 @@ void Processor::store_buffered(GAddr a, std::uint64_t v, std::uint32_t size) {
     state_ = State::kRunning;
   }
   ++outstanding_stores_;
-  stats_.add("proc.buffered_stores");
+  stats_.add(node_, MetricId::kProcBufferedStores);
   ms_.access(node_, MemOp::kStore, a, size, v, free_at_,
              [this](std::uint64_t) {
                assert(outstanding_stores_ > 0);
@@ -189,8 +191,8 @@ void Processor::unmask_interrupts() {
     h(ctx);
     intr_until_ = ctx.now() + cost_.interrupt_return;
     free_at_ = intr_until_;
-    stats_.add("proc.interrupts");
-    stats_.add("proc.interrupt_deferred");
+    stats_.add(node_, MetricId::kProcInterrupts);
+    stats_.add(node_, MetricId::kProcInterruptDeferred);
   }
 }
 
@@ -248,8 +250,8 @@ void Processor::run_handler(InterruptHandler& h, Cycles arrival) {
   h(ctx);
   const Cycles end = ctx.now() + cost_.interrupt_return;
   intr_until_ = end;
-  stats_.add("proc.interrupts");
-  stats_.add("proc.interrupt_cycles", end - start);
+  stats_.add(node_, MetricId::kProcInterrupts);
+  stats_.add(node_, MetricId::kProcInterruptCycles, end - start);
 
   if (state_ == State::kComputing) {
     // Preemption: the in-progress compute slides out by the handler time.
@@ -267,7 +269,7 @@ void Processor::steal_cycles(Cycles when, Cycles cost) {
     compute_end_ += cost;
     schedule_compute_wake();
   }
-  stats_.add("proc.stolen_cycles", cost);
+  stats_.add(node_, MetricId::kProcStolenCycles, cost);
 }
 
 }  // namespace alewife

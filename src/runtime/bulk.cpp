@@ -82,7 +82,7 @@ void BulkCopyEngine::copy_pull(Context& ctx, GAddr local_dst, GAddr src,
   req.operands = {src, n, local_dst, ctx.node(), seq};
   ctx.send(req);
   ctx.suspend();  // woken by the ack when the DMA lands locally
-  shared_.stats.add("bulk.msg_pull_bytes", n);
+  shared_.stats.add(ctx.node(), MetricId::kBulkMsgPullBytes, n);
 }
 
 void BulkCopyEngine::copy_shm(Context& ctx, GAddr dst, GAddr src,
@@ -108,7 +108,9 @@ void BulkCopyEngine::copy_shm(Context& ctx, GAddr dst, GAddr src,
     ctx.charge(2);  // loop control + address generation
   }
   ctx.store_fence();
-  shared_.stats.add(prefetching ? "bulk.shm_prefetch_bytes" : "bulk.shm_bytes",
+  shared_.stats.add(ctx.node(),
+                    prefetching ? MetricId::kBulkShmPrefetchBytes
+                                : MetricId::kBulkShmBytes,
                     n);
 }
 
@@ -128,7 +130,7 @@ void BulkCopyEngine::copy_msg(Context& ctx, GAddr dst, GAddr src,
   d.regions.push_back({src, static_cast<std::uint32_t>(n)});
   ctx.send(d);
   ctx.suspend();  // the ack handler readies us
-  shared_.stats.add("bulk.msg_bytes", n);
+  shared_.stats.add(ctx.node(), MetricId::kBulkMsgBytes, n);
 }
 
 }  // namespace alewife

@@ -74,7 +74,7 @@ std::uint64_t NodeRuntime::make_thread(std::function<void(Context&)> body) {
   ThreadRec& r = threads_[id];
   r.fiber = pool_.acquire([this, body = std::move(body)] { body(*ctx_); });
   r.live = true;
-  shared_.stats.add("rt.threads_created");
+  shared_.stats.add(node_, MetricId::kRtThreadsCreated);
   return id;
 }
 
@@ -223,12 +223,12 @@ std::uint64_t NodeRuntime::steal_once(Context& ctx, bool desperate) {
   const std::uint32_t n = static_cast<std::uint32_t>(shared_.nodes.size());
   NodeId victim = static_cast<NodeId>(rng_.below(n - 1));
   if (victim >= node_) ++victim;
-  shared_.stats.add("rt.steal_attempts");
+  shared_.stats.add(node_, MetricId::kRtStealAttempts);
   const std::uint64_t e = shared_.opt.mode == SchedMode::kShm
                               ? steal_shm(ctx, victim, desperate)
                               : steal_hybrid(ctx, victim);
   if (e != 0) {
-    shared_.stats.add("rt.steals");
+    shared_.stats.add(node_, MetricId::kRtSteals);
     if (shared_.trace != nullptr &&
         shared_.trace->enabled(TraceCat::kSched)) {
       shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
@@ -311,7 +311,7 @@ void NodeRuntime::run_task_inline(Context& ctx, TaskId id, bool fresh_thread) {
   // Lazy task creation: a popped/stolen task materializes a thread when it
   // starts running; an inlined touch reuses the toucher's thread for free.
   if (fresh_thread) proc_.charge(cost_.thread_create);
-  shared_.stats.add("rt.tasks_run");
+  shared_.stats.add(node_, MetricId::kRtTasksRun);
   if (shared_.trace != nullptr && shared_.trace->enabled(TraceCat::kSched)) {
     shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
                         std::string("run task=") + std::to_string(id) +
@@ -357,7 +357,7 @@ FutureId NodeRuntime::spawn_task(TaskFn fn) {
   const TaskId tid = shared_.registry.add_task(std::move(tr));
   shared_.registry.future(fid).task = tid;
   push_local_task(tid);
-  shared_.stats.add("rt.spawns");
+  shared_.stats.add(node_, MetricId::kRtSpawns);
   if (shared_.trace != nullptr && shared_.trace->enabled(TraceCat::kSched)) {
     shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
                         "spawn task=" + std::to_string(tid));
@@ -418,7 +418,7 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
         }
       }
       if (inlined) {
-        shared_.stats.add("rt.touch_inlined");
+        shared_.stats.add(node_, MetricId::kRtTouchInlined);
         run_task_inline(*ctx_, tid, /*fresh_thread=*/false);
         std::uint64_t v;
         {
@@ -456,7 +456,7 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
   {
     FutureRec& fr = shared_.registry.future(f);
     if (!fr.filled) {
-      shared_.stats.add("rt.touch_suspended");
+      shared_.stats.add(node_, MetricId::kRtTouchSuspended);
       fr.waiters.push_back(FutureWaiter{node_, current_thread_});
       suspend_current();
     }
@@ -504,7 +504,7 @@ void NodeRuntime::fill_future(FutureId f, std::uint64_t value) {
       // Shared-memory wake: push a thread token through the waiter's wake
       // queue with remote coherence transactions; its idle loop will find it.
       shared_.peer(w.node).wake_queue().push(proc_, encode_thread(w.thread));
-      shared_.stats.add("rt.shm_remote_wakes");
+      shared_.stats.add(node_, MetricId::kRtShmRemoteWakes);
     } else {
       // Hybrid wake: one message bundling the value with the wakeup.
       MsgDescriptor d;
@@ -512,7 +512,7 @@ void NodeRuntime::fill_future(FutureId f, std::uint64_t value) {
       d.type = kMsgFutureFill;
       d.operands = {f, value, w.thread};
       cmmu_.send(d);
-      shared_.stats.add("rt.msg_remote_wakes");
+      shared_.stats.add(node_, MetricId::kRtMsgRemoteWakes);
     }
   }
 }
@@ -552,7 +552,7 @@ FutureId NodeRuntime::invoke_msg(NodeId dst, TaskFn fn) {
     d.operands.push_back(0);  // modelled argument words
   }
   cmmu_.send(d);
-  shared_.stats.add("rt.invokes_msg");
+  shared_.stats.add(node_, MetricId::kRtInvokesMsg);
   return fid;
 }
 
@@ -592,7 +592,7 @@ FutureId NodeRuntime::invoke_shm(NodeId dst, TaskFn fn) {
     proc_.mem(MemOp::kStore, argbuf + i * 8, 8, 0);
   }
   vq.unlock(proc_);
-  shared_.stats.add("rt.invokes_shm");
+  shared_.stats.add(node_, MetricId::kRtInvokesShm);
   return fid;
 }
 
@@ -623,7 +623,7 @@ void NodeRuntime::register_handlers() {
       d.operands.push_back(encode_task(id));
       for (std::uint32_t i = 0; i < t.arg_words; ++i) d.operands.push_back(0);
       cmmu_.send_from_handler(hc, d);
-      shared_.stats.add("rt.steal_grants");
+      shared_.stats.add(node_, MetricId::kRtStealGrants);
     } else {
       MsgDescriptor d;
       d.dst = thief;

@@ -58,7 +58,9 @@ struct RuntimeOptions {
 struct RuntimeShared {
   RuntimeShared(Simulator& s, MemorySystem& m, Stats& st,
                 const MachineConfig& c, RuntimeOptions o)
-      : sim(s), ms(m), stats(st), cfg(c), opt(o), rng(c.rng_seed ^ 0xABCD) {}
+      : sim(s), ms(m), stats(st), cfg(c), opt(o), rng(c.rng_seed ^ 0xABCD) {
+    stats.ensure_nodes(c.nodes);
+  }
 
   Simulator& sim;
   MemorySystem& ms;

@@ -1,0 +1,37 @@
+#include "sim/metrics.hpp"
+
+#include <unordered_map>
+
+namespace alewife {
+
+namespace {
+
+constexpr MetricInfo kInfo[kMetricCount] = {
+#define ALEWIFE_METRIC_INFO(id, name, unit, subsystem) {name, unit, subsystem},
+    ALEWIFE_METRIC_LIST(ALEWIFE_METRIC_INFO)
+#undef ALEWIFE_METRIC_INFO
+};
+
+}  // namespace
+
+const MetricInfo& metric_info(MetricId id) {
+  return kInfo[static_cast<std::size_t>(id)];
+}
+
+std::optional<MetricId> metric_from_name(std::string_view name) {
+  // Built once; reverse lookup only runs on cold paths (the string shim,
+  // tests, exporters), never on per-event counter bumps.
+  static const std::unordered_map<std::string_view, MetricId> by_name = [] {
+    std::unordered_map<std::string_view, MetricId> m;
+    m.reserve(kMetricCount);
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      m.emplace(kInfo[i].name, static_cast<MetricId>(i));
+    }
+    return m;
+  }();
+  const auto it = by_name.find(name);
+  if (it == by_name.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace alewife

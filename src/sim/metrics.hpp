@@ -1,0 +1,107 @@
+// Compile-time metric registry: every built-in counter the simulator emits.
+//
+// Each metric is a (name, unit, subsystem) triple identified by a dense
+// MetricId, so hot-path bumps are a single indexed array increment
+// (Stats::add(node, id)) instead of a string construction plus map lookup.
+// The X-macro below is the single source of truth: the enum, the info table,
+// the name->id reverse map, docs/METRICS.md and the JSON exporter all follow
+// it. Append new metrics at the end of their subsystem block; never reorder
+// across a release of the stats JSON schema without bumping its version.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace alewife {
+
+// X(enumerator, "dotted.name", "unit", "subsystem")
+// Units: "count" (events), "bytes", "cycles" (simulated), "lines" (cache
+// lines). Attribution (which node's cell is bumped) is documented per
+// subsystem in docs/METRICS.md.
+#define ALEWIFE_METRIC_LIST(X)                                                \
+  /* network: attributed to the packet's source node */                       \
+  X(kNetPackets, "net.packets", "count", "network")                           \
+  X(kNetBytes, "net.bytes", "bytes", "network")                               \
+  X(kNetCoherencePackets, "net.coherence_packets", "count", "network")        \
+  X(kNetUserPackets, "net.user_packets", "count", "network")                  \
+  X(kNetLinkStallCycles, "net.link_stall_cycles", "cycles", "network")        \
+  /* memory: requester-side events to the requesting node, home/protocol */   \
+  /* events to the node running that protocol action */                       \
+  X(kMemReadMisses, "mem.read_misses", "count", "memory")                     \
+  X(kMemWriteMisses, "mem.write_misses", "count", "memory")                   \
+  X(kMemPrefetchIssued, "mem.prefetch_issued", "count", "memory")             \
+  X(kMemPrefetchDropped, "mem.prefetch_dropped", "count", "memory")           \
+  X(kMemPoisonedFills, "mem.poisoned_fills", "count", "memory")               \
+  X(kMemCleanEvictions, "mem.clean_evictions", "count", "memory")             \
+  X(kMemDirtyEvictions, "mem.dirty_evictions", "count", "memory")             \
+  X(kMemWritebacksReceived, "mem.writebacks_received", "count", "memory")     \
+  X(kMemInvalidations, "mem.invalidations", "count", "memory")                \
+  X(kMemDirectForwards, "mem.direct_forwards", "count", "memory")             \
+  X(kMemHomeQueued, "mem.home_queued", "count", "memory")                     \
+  X(kMemLimitlessTraps, "mem.limitless_traps", "count", "memory")             \
+  X(kMemInvSent, "mem.inv_sent", "count", "memory")                           \
+  X(kMemFeFills, "mem.fe_fills", "count", "memory")                           \
+  X(kMemFeWaits, "mem.fe_waits", "count", "memory")                           \
+  X(kMemDmaFlushLines, "mem.dma_flush_lines", "lines", "memory")              \
+  X(kMemDmaInvalLines, "mem.dma_inval_lines", "lines", "memory")              \
+  /* cmmu: sends to the sender, receives/storebacks to the receiver */        \
+  X(kCmmuMessagesSent, "cmmu.messages_sent", "count", "cmmu")                 \
+  X(kCmmuMessagePayloadBytes, "cmmu.message_payload_bytes", "bytes", "cmmu")  \
+  X(kCmmuMessagesReceived, "cmmu.messages_received", "count", "cmmu")         \
+  X(kCmmuStorebackBytes, "cmmu.storeback_bytes", "bytes", "cmmu")             \
+  /* proc: always the local core */                                           \
+  X(kProcFeTraps, "proc.fe_traps", "count", "proc")                           \
+  X(kProcContextSwitches, "proc.context_switches", "count", "proc")           \
+  X(kProcBufferedStores, "proc.buffered_stores", "count", "proc")             \
+  X(kProcInterrupts, "proc.interrupts", "count", "proc")                      \
+  X(kProcInterruptDeferred, "proc.interrupt_deferred", "count", "proc")       \
+  X(kProcInterruptCycles, "proc.interrupt_cycles", "cycles", "proc")          \
+  X(kProcStolenCycles, "proc.stolen_cycles", "cycles", "proc")                \
+  /* runtime: the node whose scheduler performs the operation */              \
+  X(kRtThreadsCreated, "rt.threads_created", "count", "runtime")              \
+  X(kRtStealAttempts, "rt.steal_attempts", "count", "runtime")                \
+  X(kRtSteals, "rt.steals", "count", "runtime")                               \
+  X(kRtStealGrants, "rt.steal_grants", "count", "runtime")                    \
+  X(kRtTasksRun, "rt.tasks_run", "count", "runtime")                          \
+  X(kRtSpawns, "rt.spawns", "count", "runtime")                               \
+  X(kRtTouchInlined, "rt.touch_inlined", "count", "runtime")                  \
+  X(kRtTouchSuspended, "rt.touch_suspended", "count", "runtime")              \
+  X(kRtShmRemoteWakes, "rt.shm_remote_wakes", "count", "runtime")             \
+  X(kRtMsgRemoteWakes, "rt.msg_remote_wakes", "count", "runtime")             \
+  X(kRtInvokesMsg, "rt.invokes_msg", "count", "runtime")                      \
+  X(kRtInvokesShm, "rt.invokes_shm", "count", "runtime")                      \
+  /* bulk copy engine: the node driving the copy */                           \
+  X(kBulkMsgPullBytes, "bulk.msg_pull_bytes", "bytes", "bulk")                \
+  X(kBulkShmPrefetchBytes, "bulk.shm_prefetch_bytes", "bytes", "bulk")        \
+  X(kBulkShmBytes, "bulk.shm_bytes", "bytes", "bulk")                         \
+  X(kBulkMsgBytes, "bulk.msg_bytes", "bytes", "bulk")                         \
+  /* adaptive mechanism selection: the deciding node */                       \
+  X(kAdaptiveCopyMsg, "adaptive.copy_msg", "count", "adaptive")               \
+  X(kAdaptiveCopyShm, "adaptive.copy_shm", "count", "adaptive")
+
+enum class MetricId : std::uint16_t {
+#define ALEWIFE_METRIC_ENUM(id, name, unit, subsystem) id,
+  ALEWIFE_METRIC_LIST(ALEWIFE_METRIC_ENUM)
+#undef ALEWIFE_METRIC_ENUM
+      kCount_,
+};
+
+constexpr std::size_t kMetricCount =
+    static_cast<std::size_t>(MetricId::kCount_);
+
+struct MetricInfo {
+  const char* name;       ///< dotted legacy name, e.g. "net.packets"
+  const char* unit;       ///< "count" | "bytes" | "cycles" | "lines"
+  const char* subsystem;  ///< emitting subsystem
+};
+
+/// Static descriptor for one metric (O(1) table lookup).
+const MetricInfo& metric_info(MetricId id);
+
+/// Reverse lookup by dotted name; nullopt for names not in the registry
+/// (app-level custom counters fall through to the Stats string shim).
+std::optional<MetricId> metric_from_name(std::string_view name);
+
+}  // namespace alewife

@@ -1,0 +1,15 @@
+#include "sim/stats.hpp"
+
+namespace alewife {
+
+std::map<std::string, std::uint64_t> Stats::counters() const {
+  std::map<std::string, std::uint64_t> out = custom_;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const auto id = static_cast<MetricId>(i);
+    const std::uint64_t total = get(id);
+    if (total != 0) out[metric_info(id).name] = total;
+  }
+  return out;
+}
+
+}  // namespace alewife

@@ -1,35 +1,123 @@
-// Machine-wide statistics: named counters and simple histograms.
+// Machine-wide statistics: typed per-node counters plus simple histograms.
 //
-// Subsystems bump counters by name; benchmarks and tests read them to check
-// invariants ("how many remote misses did that barrier take?").
+// Built-in counters are identified by MetricId (sim/metrics.hpp) and stored
+// in one flat per-node uint64_t array, so the hot-path bump
+//
+//     stats.add(node, MetricId::kNetPackets);
+//
+// is a branch-free indexed increment — no string construction, no tree
+// lookup. Per-node attribution falls out of the layout for free, and
+// snapshot()/operator- give interval (phase) measurements:
+//
+//     StatsSnapshot before = stats.snapshot();
+//     ... run the measured phase ...
+//     StatsSnapshot delta = stats.snapshot() - before;
+//     delta.get(MetricId::kCmmuMessagesSent);          // machine total
+//     delta.get(MetricId::kCmmuMessagesSent, node);    // one node
+//
+// The string overloads remain as a shim for app-level code and older tests:
+// registry names route to the typed array (attributed to node 0 when the
+// caller supplies no node); unknown names land in a custom string-keyed map.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "sim/metrics.hpp"
+#include "sim/types.hpp"
+
 namespace alewife {
+
+/// Point-in-time copy of the typed counter array. Value type: subtract two
+/// snapshots of the same machine to get a phase delta.
+struct StatsSnapshot {
+  std::uint32_t nodes = 0;
+  std::vector<std::uint64_t> cells;  ///< [node * kMetricCount + metric]
+
+  std::uint64_t get(MetricId id, NodeId node) const {
+    return cells[std::size_t{node} * kMetricCount +
+                 static_cast<std::size_t>(id)];
+  }
+
+  /// Machine-wide total for `id`.
+  std::uint64_t get(MetricId id) const {
+    std::uint64_t total = 0;
+    for (std::uint32_t n = 0; n < nodes; ++n) total += get(id, n);
+    return total;
+  }
+
+  StatsSnapshot& operator-=(const StatsSnapshot& o) {
+    assert(nodes == o.nodes && "snapshots are from different machines");
+    for (std::size_t i = 0; i < cells.size(); ++i) cells[i] -= o.cells[i];
+    return *this;
+  }
+  friend StatsSnapshot operator-(StatsSnapshot a, const StatsSnapshot& b) {
+    a -= b;
+    return a;
+  }
+};
 
 class Stats {
  public:
+  Stats() : cells_(kMetricCount, 0) {}
+
+  /// Grow the per-node array to cover nodes [0, nodes). Called by each
+  /// component constructor (and the Machine) before any counter bump, so
+  /// add() itself never bounds-checks. Existing counts are preserved.
+  void ensure_nodes(std::uint32_t nodes) {
+    if (nodes > nodes_) {
+      nodes_ = nodes;
+      cells_.resize(std::size_t{nodes} * kMetricCount, 0);
+    }
+  }
+  std::uint32_t nodes() const { return nodes_; }
+
+  // ---- Typed hot path -------------------------------------------------------
+
+  /// Bump metric `id` for `node`: a single indexed array increment.
+  void add(NodeId node, MetricId id, std::uint64_t delta = 1) {
+    cells_[std::size_t{node} * kMetricCount + static_cast<std::size_t>(id)] +=
+        delta;
+  }
+
+  std::uint64_t get(MetricId id, NodeId node) const {
+    return cells_[std::size_t{node} * kMetricCount +
+                  static_cast<std::size_t>(id)];
+  }
+
+  /// Machine-wide total for `id`.
+  std::uint64_t get(MetricId id) const {
+    std::uint64_t total = 0;
+    for (std::uint32_t n = 0; n < nodes_; ++n) total += get(id, n);
+    return total;
+  }
+
+  StatsSnapshot snapshot() const { return StatsSnapshot{nodes_, cells_}; }
+
+  // ---- String shim (app-level code and legacy call sites) -------------------
+
+  /// Registry names route to the typed array (node 0); unknown names are
+  /// app-defined custom counters.
   void add(const std::string& name, std::uint64_t delta = 1) {
-    counters_[name] += delta;
+    if (const auto id = metric_from_name(name)) {
+      add(0, *id, delta);
+    } else {
+      custom_[name] += delta;
+    }
   }
 
+  /// Registry names report the machine-wide total; unknown names read the
+  /// custom map (0 when absent).
   std::uint64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    if (const auto id = metric_from_name(name)) return get(*id);
+    auto it = custom_.find(name);
+    return it == custom_.end() ? 0 : it->second;
   }
 
-  /// Record a sample into a named histogram (mean/max retrievable later).
-  void sample(const std::string& name, std::uint64_t value) {
-    auto& h = histograms_[name];
-    h.count++;
-    h.sum += value;
-    if (value > h.max) h.max = value;
-    if (h.count == 1 || value < h.min) h.min = value;
-  }
+  // ---- Histograms -----------------------------------------------------------
 
   struct Summary {
     std::uint64_t count = 0;
@@ -37,24 +125,61 @@ class Stats {
     std::uint64_t min = 0;
     std::uint64_t max = 0;
     double mean() const { return count ? double(sum) / double(count) : 0.0; }
+
+    /// Cross-node aggregation: fold another summary into this one. An empty
+    /// summary is the identity.
+    void merge(const Summary& o) {
+      if (o.count == 0) return;
+      if (count == 0) {
+        *this = o;
+        return;
+      }
+      count += o.count;
+      sum += o.sum;
+      if (o.min < min) min = o.min;
+      if (o.max > max) max = o.max;
+    }
   };
+
+  /// Record a sample into a named histogram (count/sum/min/max).
+  void sample(const std::string& name, std::uint64_t value) {
+    auto& h = histograms_[name];
+    h.count++;
+    h.sum += value;
+    // min and max are both seeded from the first sample (symmetric guards:
+    // relying on zero-init for max would go stale if Summary ever gained a
+    // non-zero reset, and reads confusingly even while it happens to work).
+    if (h.count == 1 || value < h.min) h.min = value;
+    if (h.count == 1 || value > h.max) h.max = value;
+  }
 
   Summary summary(const std::string& name) const {
     auto it = histograms_.find(name);
     return it == histograms_.end() ? Summary{} : it->second;
   }
 
-  const std::map<std::string, std::uint64_t>& counters() const {
-    return counters_;
+  const std::map<std::string, Summary>& histograms() const {
+    return histograms_;
   }
 
+  // ---- Reporting ------------------------------------------------------------
+
+  /// Name-keyed view of every non-zero counter (registry totals merged with
+  /// custom counters) — for text dumps; not a hot-path accessor.
+  std::map<std::string, std::uint64_t> counters() const;
+
+  const std::map<std::string, std::uint64_t>& custom() const { return custom_; }
+
   void clear() {
-    counters_.clear();
+    cells_.assign(cells_.size(), 0);
+    custom_.clear();
     histograms_.clear();
   }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::uint32_t nodes_ = 1;
+  std::vector<std::uint64_t> cells_;  ///< [node * kMetricCount + metric]
+  std::map<std::string, std::uint64_t> custom_;
   std::map<std::string, Summary> histograms_;
 };
 

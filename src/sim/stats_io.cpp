@@ -1,0 +1,84 @@
+#include "sim/stats_io.hpp"
+
+#include <ostream>
+
+#include "sim/json.hpp"
+
+namespace alewife {
+
+void write_stats_json(std::ostream& os, const RunMeta& meta, const Stats& stats,
+                      const StatsSnapshot* window) {
+  const StatsSnapshot snap = window ? *window : stats.snapshot();
+  os << "{\n";
+  os << "  \"schema\": \"alewife-stats\",\n";
+  os << "  \"version\": " << kStatsSchemaVersion << ",\n";
+  os << "  \"app\": \"" << json::escape(meta.app) << "\",\n";
+  os << "  \"cmdline\": \"" << json::escape(meta.cmdline) << "\",\n";
+  os << "  \"nodes\": " << snap.nodes << ",\n";
+  os << "  \"seed\": " << meta.seed << ",\n";
+  os << "  \"cycles\": " << meta.cycles << ",\n";
+  os << "  \"events\": " << meta.events << ",\n";
+
+  os << "  \"counters\": [\n";
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const auto id = static_cast<MetricId>(i);
+    const MetricInfo& info = metric_info(id);
+    os << "    {\"name\": \"" << info.name << "\", \"subsystem\": \""
+       << info.subsystem << "\", \"unit\": \"" << info.unit
+       << "\", \"total\": " << snap.get(id) << ", \"per_node\": [";
+    for (std::uint32_t n = 0; n < snap.nodes; ++n) {
+      if (n != 0) os << ", ";
+      os << snap.get(id, n);
+    }
+    os << "]}" << (i + 1 < kMetricCount ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"histograms\": [";
+  {
+    bool first = true;
+    for (const auto& [name, h] : stats.histograms()) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"name\": \"" << json::escape(name)
+         << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+         << ", \"min\": " << h.min << ", \"max\": " << h.max
+         << ", \"mean\": " << h.mean() << "}";
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "],\n";
+
+  os << "  \"custom\": [";
+  {
+    bool first = true;
+    for (const auto& [name, total] : stats.custom()) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"name\": \"" << json::escape(name)
+         << "\", \"total\": " << total << "}";
+    }
+    if (!first) os << "\n  ";
+  }
+  os << "]\n";
+  os << "}\n";
+}
+
+void write_chrome_trace(std::ostream& os, const Trace& trace,
+                        double clock_mhz) {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const TraceEvent& ev : trace.events()) {
+    if (!first) os << ",\n";
+    first = false;
+    // Instant events, one simulated node per trace "thread". ts is in
+    // microseconds per the trace_event spec.
+    os << " {\"name\": \"" << json::escape(ev.text) << "\", \"cat\": \""
+       << trace_cat_name(ev.cat) << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": "
+       << double(ev.time) / clock_mhz << ", \"pid\": 0, \"tid\": " << ev.node
+       << "}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace alewife

@@ -1,0 +1,49 @@
+// Machine-readable exporters for the observability layer.
+//
+//   write_stats_json   — schema-versioned stats dump ("alewife-stats" v1):
+//                        run metadata, every registry counter with per-node
+//                        attribution, histograms and custom counters.
+//                        Validated in CI by tools/check_stats_schema.py and
+//                        consumed by `alewife_report --compare`.
+//   write_chrome_trace — the Trace ring buffer as Chrome trace_event JSON
+//                        (one instant event per TraceEvent, tid = node), so
+//                        runs open directly in Perfetto / chrome://tracing.
+//
+// Both writers are pure output: exporting never touches simulated state, so
+// enabling them cannot perturb cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace alewife {
+
+/// Run provenance recorded at the top of the stats JSON.
+struct RunMeta {
+  std::string app;      ///< workload name, e.g. "barrier"
+  std::string cmdline;  ///< full command line (or harness description)
+  std::uint32_t nodes = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t cycles = 0;  ///< headline simulated duration
+  std::uint64_t events = 0;  ///< host events executed
+};
+
+/// Current version of the "alewife-stats" schema (bump on layout changes).
+constexpr int kStatsSchemaVersion = 1;
+
+/// Write the stats JSON document. `window`, when given, supplies the counter
+/// values (a phase delta); histograms and custom counters always come from
+/// `stats` (they are not snapshotted).
+void write_stats_json(std::ostream& os, const RunMeta& meta, const Stats& stats,
+                      const StatsSnapshot* window = nullptr);
+
+/// Write the trace ring as Chrome trace_event JSON. Timestamps convert
+/// simulated cycles to microseconds at `clock_mhz`.
+void write_chrome_trace(std::ostream& os, const Trace& trace,
+                        double clock_mhz = 33.0);
+
+}  // namespace alewife

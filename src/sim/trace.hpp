@@ -76,6 +76,13 @@ class Trace {
     emitted_ = 0;
   }
 
+  /// Resize the ring. Drops already-recorded events, so call before the run
+  /// (the CLI's --trace-limit does this at startup).
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    clear();
+  }
+
   /// Text dump, one event per line: "<time> <cat> n<node> <text>".
   void dump(std::ostream& os) const;
 

@@ -1,0 +1,361 @@
+// Tests for the typed observability API: the MetricId registry, the flat
+// per-node counter array, phase snapshots, per-node attribution on real
+// message traffic, the JSON exporters (round-tripped through the bundled
+// parser), histogram min/max seeding, Summary::merge, and the guarantee
+// that trace export never perturbs simulated timing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/machine.hpp"
+#include "runtime/msg_types.hpp"
+#include "sim/json.hpp"
+#include "sim/metrics.hpp"
+#include "sim/stats.hpp"
+#include "sim/stats_io.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 50'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(MetricRegistry, NamesAreUniqueAndRoundTrip) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const auto id = static_cast<MetricId>(i);
+    const MetricInfo& info = metric_info(id);
+    ASSERT_NE(info.name, nullptr);
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate metric name " << info.name;
+    const auto back = metric_from_name(info.name);
+    ASSERT_TRUE(back.has_value()) << info.name;
+    EXPECT_EQ(*back, id);
+  }
+  EXPECT_FALSE(metric_from_name("no.such.metric").has_value());
+  EXPECT_FALSE(metric_from_name("").has_value());
+}
+
+TEST(MetricRegistry, EveryMetricHasUnitAndSubsystem) {
+  const std::set<std::string> units = {"count", "bytes", "cycles", "lines"};
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const MetricInfo& info = metric_info(static_cast<MetricId>(i));
+    EXPECT_TRUE(units.count(info.unit)) << info.name << ": " << info.unit;
+    EXPECT_NE(std::string(info.subsystem), "") << info.name;
+    // Name is "<prefix>.<rest>"; the prefix groups the subsystem's metrics.
+    EXPECT_NE(std::string(info.name).find('.'), std::string::npos);
+  }
+}
+
+// ---- typed counters and snapshots ------------------------------------------
+
+TEST(Stats, TypedAddIsPerNode) {
+  Stats s;
+  s.ensure_nodes(4);
+  s.add(2, MetricId::kNetPackets, 5);
+  s.add(3, MetricId::kNetPackets, 7);
+  EXPECT_EQ(s.get(MetricId::kNetPackets, 2), 5u);
+  EXPECT_EQ(s.get(MetricId::kNetPackets, 3), 7u);
+  EXPECT_EQ(s.get(MetricId::kNetPackets, 0), 0u);
+  EXPECT_EQ(s.get(MetricId::kNetPackets), 12u);  // machine total
+}
+
+TEST(Stats, EnsureNodesGrowsAndPreserves) {
+  Stats s;
+  s.add(0, MetricId::kRtSteals, 3);
+  s.ensure_nodes(8);
+  EXPECT_EQ(s.get(MetricId::kRtSteals, 0), 3u);
+  s.add(7, MetricId::kRtSteals);
+  EXPECT_EQ(s.get(MetricId::kRtSteals), 4u);
+  s.ensure_nodes(2);  // shrink requests are ignored
+  EXPECT_EQ(s.nodes(), 8u);
+}
+
+TEST(Stats, StringShimRoutesRegistryNames) {
+  Stats s;
+  s.ensure_nodes(2);
+  s.add("net.packets", 4);  // registry name -> typed array, node 0
+  EXPECT_EQ(s.get(MetricId::kNetPackets, 0), 4u);
+  EXPECT_EQ(s.get("net.packets"), 4u);
+  s.add("app.my_counter", 9);  // unknown -> custom map
+  EXPECT_EQ(s.get("app.my_counter"), 9u);
+  EXPECT_EQ(s.custom().at("app.my_counter"), 9u);
+  EXPECT_EQ(s.get("app.absent"), 0u);
+}
+
+TEST(Stats, SnapshotDiffIsolatesAPhase) {
+  Stats s;
+  s.ensure_nodes(2);
+  s.add(0, MetricId::kCmmuMessagesSent, 10);
+  const StatsSnapshot before = s.snapshot();
+  s.add(0, MetricId::kCmmuMessagesSent, 3);
+  s.add(1, MetricId::kCmmuMessagesSent, 2);
+  const StatsSnapshot delta = s.snapshot() - before;
+  EXPECT_EQ(delta.get(MetricId::kCmmuMessagesSent), 5u);
+  EXPECT_EQ(delta.get(MetricId::kCmmuMessagesSent, 0), 3u);
+  EXPECT_EQ(delta.get(MetricId::kCmmuMessagesSent, 1), 2u);
+  // The cumulative counter is unaffected by snapshotting.
+  EXPECT_EQ(s.get(MetricId::kCmmuMessagesSent), 15u);
+}
+
+TEST(Stats, SnapshotDiffAcrossMachinePhases) {
+  Machine m(cfg(4), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    auto got = std::make_shared<int>(0);
+    m.node(1).cmmu().set_handler(kMsgUserBase,
+                                 [got](HandlerCtx&, MsgView&) { ++*got; });
+    const auto ping = [&](int n) {
+      const int base = *got;
+      for (int i = 0; i < n; ++i) {
+        MsgDescriptor d;
+        d.dst = 1;
+        d.type = kMsgUserBase;
+        ctx.send(d);
+      }
+      while (*got < base + n) ctx.compute(16);
+    };
+    ping(2);  // phase 1
+    const StatsSnapshot before = m.stats().snapshot();
+    ping(3);  // phase 2 — the measured window
+    const StatsSnapshot delta = m.stats().snapshot() - before;
+    EXPECT_EQ(delta.get(MetricId::kCmmuMessagesSent), 3u);
+    EXPECT_EQ(delta.get(MetricId::kCmmuMessagesReceived), 3u);
+    EXPECT_EQ(m.stats().get(MetricId::kCmmuMessagesSent), 5u);
+    return 0;
+  });
+}
+
+// ---- per-node attribution on real traffic ----------------------------------
+
+TEST(Stats, MessagePingAttributesSenderAndReceiver) {
+  Machine m(cfg(2), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    auto got = std::make_shared<bool>(false);
+    m.node(1).cmmu().set_handler(kMsgUserBase,
+                                 [got](HandlerCtx&, MsgView&) { *got = true; });
+    MsgDescriptor d;
+    d.dst = 1;
+    d.type = kMsgUserBase;
+    d.operands = {42};
+    ctx.send(d);
+    while (!*got) ctx.compute(16);
+
+    const Stats& s = m.stats();
+    // Sends charge the sending node, receives the receiving node.
+    EXPECT_EQ(s.get(MetricId::kCmmuMessagesSent, 0), 1u);
+    EXPECT_EQ(s.get(MetricId::kCmmuMessagesSent, 1), 0u);
+    EXPECT_EQ(s.get(MetricId::kCmmuMessagesReceived, 1), 1u);
+    EXPECT_EQ(s.get(MetricId::kCmmuMessagesReceived, 0), 0u);
+    // Network packets are attributed to their source: all of this test's
+    // traffic originates at node 0.
+    EXPECT_GE(s.get(MetricId::kNetPackets, 0), 1u);
+    EXPECT_EQ(s.get(MetricId::kNetPackets, 1), 0u);
+    EXPECT_EQ(s.get(MetricId::kNetUserPackets, 0), 1u);
+    return 0;
+  });
+}
+
+// ---- JSON export round-trip -------------------------------------------------
+
+TEST(StatsIo, JsonExportRoundTrips) {
+  Machine m(cfg(2), quiet());
+  m.run([&m](Context& ctx) -> std::uint64_t {
+    auto got = std::make_shared<bool>(false);
+    m.node(1).cmmu().set_handler(kMsgUserBase,
+                                 [got](HandlerCtx&, MsgView&) { *got = true; });
+    MsgDescriptor d;
+    d.dst = 1;
+    d.type = kMsgUserBase;
+    ctx.send(d);
+    while (!*got) ctx.compute(16);
+    return 0;
+  });
+  m.stats().sample("handler.latency", 7);
+  m.stats().sample("handler.latency", 3);
+  m.stats().add("app.custom", 2);
+
+  RunMeta meta;
+  meta.app = "ping";
+  meta.cmdline = "test \"quoted\"";
+  meta.nodes = m.nodes();
+  meta.seed = 123;
+  meta.cycles = 4567;
+  meta.events = m.sim().events_executed();
+
+  std::ostringstream os;
+  write_stats_json(os, meta, m.stats());
+  const json::Value doc = json::parse(os.str());
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->string, "alewife-stats");
+  EXPECT_EQ(doc.find("version")->as_u64(),
+            static_cast<std::uint64_t>(kStatsSchemaVersion));
+  EXPECT_EQ(doc.find("app")->string, "ping");
+  EXPECT_EQ(doc.find("cmdline")->string, "test \"quoted\"");
+  EXPECT_EQ(doc.find("nodes")->as_u64(), 2u);
+  EXPECT_EQ(doc.find("cycles")->as_u64(), 4567u);
+
+  // Every registry metric appears once, with per_node summing to total and
+  // values matching the live Stats.
+  const json::Value* counters = doc.find("counters");
+  ASSERT_TRUE(counters != nullptr && counters->is_array());
+  ASSERT_EQ(counters->array.size(), kMetricCount);
+  for (const json::Value& c : counters->array) {
+    const std::string& name = c.find("name")->string;
+    const auto id = metric_from_name(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_EQ(c.find("total")->as_u64(), m.stats().get(*id)) << name;
+    const json::Value* per_node = c.find("per_node");
+    ASSERT_TRUE(per_node != nullptr && per_node->is_array()) << name;
+    ASSERT_EQ(per_node->array.size(), m.nodes()) << name;
+    std::uint64_t sum = 0;
+    for (std::size_t n = 0; n < per_node->array.size(); ++n) {
+      const std::uint64_t v = per_node->array[n].as_u64();
+      EXPECT_EQ(v, m.stats().get(*id, static_cast<NodeId>(n))) << name;
+      sum += v;
+    }
+    EXPECT_EQ(sum, c.find("total")->as_u64()) << name;
+  }
+
+  // Histograms and custom counters survive too.
+  const json::Value* hists = doc.find("histograms");
+  ASSERT_TRUE(hists != nullptr && hists->is_array());
+  ASSERT_EQ(hists->array.size(), 1u);
+  EXPECT_EQ(hists->array[0].find("name")->string, "handler.latency");
+  EXPECT_EQ(hists->array[0].find("count")->as_u64(), 2u);
+  EXPECT_EQ(hists->array[0].find("min")->as_u64(), 3u);
+  EXPECT_EQ(hists->array[0].find("max")->as_u64(), 7u);
+  const json::Value* custom = doc.find("custom");
+  ASSERT_TRUE(custom != nullptr && custom->is_array());
+  ASSERT_EQ(custom->array.size(), 1u);
+  EXPECT_EQ(custom->array[0].find("name")->string, "app.custom");
+  EXPECT_EQ(custom->array[0].find("total")->as_u64(), 2u);
+}
+
+TEST(StatsIo, WindowedExportUsesSnapshotDelta) {
+  Stats s;
+  s.ensure_nodes(2);
+  s.add(0, MetricId::kNetPackets, 10);
+  const StatsSnapshot before = s.snapshot();
+  s.add(1, MetricId::kNetPackets, 4);
+  const StatsSnapshot window = s.snapshot() - before;
+
+  RunMeta meta;
+  meta.nodes = 2;
+  std::ostringstream os;
+  write_stats_json(os, meta, s, &window);
+  const json::Value doc = json::parse(os.str());
+  for (const json::Value& c : doc.find("counters")->array) {
+    if (c.find("name")->string == "net.packets") {
+      EXPECT_EQ(c.find("total")->as_u64(), 4u);  // window, not cumulative
+      EXPECT_EQ(c.find("per_node")->array[0].as_u64(), 0u);
+      EXPECT_EQ(c.find("per_node")->array[1].as_u64(), 4u);
+    }
+  }
+}
+
+TEST(StatsIo, ChromeTraceParsesAndMapsNodesToTids) {
+  Trace t;
+  t.enable_all();
+  t.emit(TraceCat::kNet, 33, 2, "pkt 0->1");
+  t.emit(TraceCat::kSched, 66, 5, "steal \"x\"");
+  std::ostringstream os;
+  write_chrome_trace(os, t, 33.0);
+  const json::Value doc = json::parse(os.str());
+  const json::Value* evs = doc.find("traceEvents");
+  ASSERT_TRUE(evs != nullptr && evs->is_array());
+  ASSERT_EQ(evs->array.size(), 2u);
+  EXPECT_EQ(evs->array[0].find("ph")->string, "i");
+  EXPECT_EQ(evs->array[0].find("tid")->as_u64(), 2u);
+  EXPECT_DOUBLE_EQ(evs->array[0].find("ts")->number, 1.0);  // 33 cyc @33MHz
+  EXPECT_EQ(evs->array[1].find("tid")->as_u64(), 5u);
+  EXPECT_EQ(evs->array[1].find("name")->string, "steal \"x\"");
+}
+
+// ---- tracing must not perturb timing ----------------------------------------
+
+TEST(StatsIo, TraceExportDoesNotPerturbCycles) {
+  const auto workload = [](Machine& m) {
+    return m.run([&m](Context& ctx) -> std::uint64_t {
+      auto got = std::make_shared<int>(0);
+      m.node(1).cmmu().set_handler(kMsgUserBase,
+                                   [got](HandlerCtx&, MsgView&) { ++*got; });
+      for (int i = 0; i < 4; ++i) {
+        MsgDescriptor d;
+        d.dst = 1;
+        d.type = kMsgUserBase;
+        ctx.send(d);
+      }
+      while (*got < 4) ctx.compute(16);
+      return ctx.now();
+    });
+  };
+
+  Machine plain(cfg(2), quiet());
+  const std::uint64_t cycles_plain = workload(plain);
+
+  Machine traced(cfg(2), quiet());
+  traced.trace().enable_all();  // what --trace-out turns on
+  const std::uint64_t cycles_traced = workload(traced);
+  std::ostringstream os;
+  write_chrome_trace(os, traced.trace());
+
+  EXPECT_EQ(cycles_plain, cycles_traced);
+  EXPECT_EQ(plain.sim().events_executed(), traced.sim().events_executed());
+  EXPECT_GT(traced.trace().total_emitted(), 0u);
+}
+
+// ---- histograms -------------------------------------------------------------
+
+TEST(Summary, SampleSeedsMinAndMaxSymmetrically) {
+  Stats s;
+  s.sample("h", 7);  // first sample seeds both bounds
+  EXPECT_EQ(s.summary("h").min, 7u);
+  EXPECT_EQ(s.summary("h").max, 7u);
+  s.sample("h", 9);
+  s.sample("h", 3);
+  const auto h = s.summary("h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 19u);
+  EXPECT_EQ(h.min, 3u);
+  EXPECT_EQ(h.max, 9u);
+  EXPECT_DOUBLE_EQ(h.mean(), 19.0 / 3.0);
+}
+
+TEST(Summary, MergeCombinesAndTreatsEmptyAsIdentity) {
+  Stats::Summary a;  // empty
+  Stats::Summary b{3, 30, 5, 15};
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.min, 5u);
+  EXPECT_EQ(a.max, 15u);
+
+  Stats::Summary c{2, 8, 1, 7};
+  a.merge(c);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.sum, 38u);
+  EXPECT_EQ(a.min, 1u);
+  EXPECT_EQ(a.max, 15u);
+
+  a.merge(Stats::Summary{});  // merging empty changes nothing
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.min, 1u);
+  EXPECT_EQ(a.max, 15u);
+}
+
+}  // namespace
+}  // namespace alewife

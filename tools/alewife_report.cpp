@@ -1,15 +1,30 @@
 // alewife_report — regenerate the paper-vs-measured comparison from live
-// simulation runs and emit it as Markdown (the data behind EXPERIMENTS.md).
+// simulation runs and emit it as Markdown (the data behind EXPERIMENTS.md),
+// or diff two machine-readable result files as a regression gate.
 //
 //   alewife_report [--fast] > report.md
+//   alewife_report --compare BASELINE.json CURRENT.json [--tol F]
 //
 // --fast shrinks the sweeps (fewer grain/aq points) for a quick sanity run.
+//
+// --compare loads two JSON files written by `alewife_run --stats-json`
+// (alewife-stats v1) or `alewife_sweep --json` (alewife-sweep v1), flattens
+// every numeric leaf to a dotted key, and reports per-key deltas. Keys whose
+// relative change exceeds --tol (default 0 — the simulator is deterministic,
+// so same-seed same-code runs must match exactly) fail the gate (exit 1).
+// This is how BENCH_*.json trajectories are checked between PRs.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cli.hpp"
+#include "sim/json.hpp"
 
 using namespace alewife;
 using namespace alewife::bench;
@@ -34,10 +49,150 @@ void row(const std::vector<std::string>& cells) {
 
 std::string n(std::uint64_t v) { return std::to_string(v); }
 
+// ---- --compare regression mode ---------------------------------------------
+
+/// Flatten every numeric leaf of a parsed result file into dotted keys.
+/// Array elements keyed by their "name" member when present (so counters and
+/// sweep rows diff by identity, not position); numeric strings — the sweep
+/// format stores formatted numbers — count as numeric leaves.
+void flatten(const alewife::json::Value& v, const std::string& prefix,
+             std::map<std::string, double>& out) {
+  using alewife::json::Value;
+  switch (v.type) {
+    case Value::Type::kNumber:
+      out[prefix] = v.number;
+      return;
+    case Value::Type::kString: {
+      char* end = nullptr;
+      const double d = std::strtod(v.string.c_str(), &end);
+      if (end != v.string.c_str() && end != nullptr && *end == '\0') {
+        out[prefix] = d;
+      }
+      return;
+    }
+    case Value::Type::kObject:
+      for (const auto& [k, child] : v.object) {
+        if (k == "name") continue;  // identity, not data
+        flatten(child, prefix.empty() ? k : prefix + "." + k, out);
+      }
+      return;
+    case Value::Type::kArray:
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        const Value& e = v.array[i];
+        std::string key = std::to_string(i);
+        if (const Value* name = e.find("name"); name && name->is_string()) {
+          key = name->string;
+        }
+        flatten(e, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+std::map<std::string, double> load_flat(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "alewife_report: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const alewife::json::Value doc = alewife::json::parse(buf.str());
+  if (const auto* schema = doc.find("schema");
+      schema == nullptr || !schema->is_string()) {
+    std::fprintf(stderr, "alewife_report: '%s' has no \"schema\" field\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::map<std::string, double> flat;
+  flatten(doc, "", flat);
+  // Provenance fields that may legitimately differ between runs.
+  flat.erase("version");
+  flat.erase("events");
+  return flat;
+}
+
+int compare(const std::string& base_path, const std::string& cur_path,
+            double tol) {
+  const auto base = load_flat(base_path);
+  const auto cur = load_flat(cur_path);
+
+  std::printf("# Regression comparison\n\n");
+  std::printf("baseline: %s\ncurrent:  %s\ntolerance: %g\n\n",
+              base_path.c_str(), cur_path.c_str(), tol);
+  table_header({"key", "baseline", "current", "delta"});
+
+  int regressions = 0;
+  for (const auto& [key, b] : base) {
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      row({key, fmt(b, 6), "(missing)", "-"});
+      ++regressions;
+      continue;
+    }
+    const double c = it->second;
+    const double denom = std::fabs(b) > 0 ? std::fabs(b) : 1.0;
+    const double rel = (c - b) / denom;
+    const bool bad = std::fabs(rel) > tol;
+    if (bad || c != b) {
+      char pct[32];
+      std::snprintf(pct, sizeof pct, "%+.2f%%%s", rel * 100.0,
+                    bad ? " **FAIL**" : "");
+      row({key, fmt(b, 6), fmt(c, 6), pct});
+    }
+    if (bad) ++regressions;
+  }
+  for (const auto& [key, c] : cur) {
+    if (base.find(key) == base.end()) row({key, "(new)", fmt(c, 6), "-"});
+  }
+
+  if (regressions != 0) {
+    std::printf("\n%d key(s) beyond tolerance — regression.\n", regressions);
+    return 1;
+  }
+  std::printf("\nAll %zu shared keys within tolerance.\n", base.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  bool fast = false;
+  bool want_compare = false;
+  double tol = 0.0;
+  std::vector<std::string> files;
+
+  cli::OptionTable opts;
+  opts.flag("--fast", "shrink the sweeps (quick sanity run)", &fast)
+      .flag("--compare", "diff two result JSON files", &want_compare)
+      .value_double("--tol", "relative tolerance for --compare", &tol);
+
+  const std::vector<std::string> tokens(argv + 1, argv + argc);
+  try {
+    std::size_t pos = 0;
+    while (pos < tokens.size()) {
+      pos = opts.parse_prefix(tokens, pos);
+      if (pos < tokens.size()) files.push_back(tokens[pos++]);
+    }
+    if (want_compare) {
+      if (files.size() != 2) {
+        throw cli::UsageError("--compare needs exactly two JSON files");
+      }
+    } else if (!files.empty()) {
+      throw cli::UsageError("unexpected argument '" + files[0] + "'");
+    }
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr,
+                 "alewife_report: %s\n"
+                 "usage: alewife_report [--fast]\n"
+                 "       alewife_report --compare BASE.json CUR.json [--tol F]\n",
+                 e.what());
+    return 2;
+  }
+
+  if (want_compare) return compare(files[0], files[1], tol);
 
   std::printf("# Reproduction report — PPoPP'93 Alewife paper\n");
   std::printf("\nGenerated by `alewife_report`%s. All values are simulated "

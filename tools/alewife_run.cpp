@@ -5,14 +5,19 @@
 //
 //   alewife_run [machine options] <app> [app options]
 //
-// Machine options:
-//   --nodes N          processors (default 64)
-//   --mode shm|hybrid  scheduler back end (default hybrid)
-//   --no-steal         disable work stealing
-//   --seed S           RNG seed
-//   --trace CATS       comma list of net,mem,msg,sch,app or "all"
-//   --trace-limit N    keep the last N trace events (default 256 printed)
-//   --stats            dump all counters at the end
+// Machine options (see --help):
+//   --nodes N            processors (default 64)
+//   --mode shm|hybrid    scheduler back end (default hybrid)
+//   --no-steal           disable work stealing
+//   --seed S             RNG seed
+//   --trace CATS         comma list of net,mem,msg,sch,app or "all"
+//   --trace-limit N      keep the last N trace events (default 4096)
+//   --stats              dump all counters at the end
+//   --stats-json FILE    write schema-versioned stats JSON (per-node
+//                        counters, histograms; see docs/METRICS.md)
+//   --trace-out FILE     write the trace as Chrome trace_event JSON
+//                        (open in Perfetto / chrome://tracing); enables all
+//                        categories unless --trace narrows them
 //
 // Apps:
 //   grain   --depth D --delay L        (default 12, 100)
@@ -22,12 +27,16 @@
 //   barrier --mech shm|msg --arity K --episodes E
 //   copy    --bytes B --impl shm|prefetch|msg
 //
+// Unknown or misspelled --flags are errors (exit 2), both before and after
+// the app name.
+//
 // Examples:
 //   alewife_run --nodes 64 --mode shm grain --depth 12 --delay 0
-//   alewife_run --trace msg copy --bytes 1024 --impl msg
+//   alewife_run --stats-json out.json barrier --mech msg --episodes 4
+//   alewife_run --trace-out trace.json copy --bytes 1024 --impl msg
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -37,50 +46,69 @@
 #include "apps/aq.hpp"
 #include "apps/grain.hpp"
 #include "apps/jacobi.hpp"
+#include "cli.hpp"
 #include "core/machine.hpp"
 #include "runtime/barrier.hpp"
+#include "sim/stats_io.hpp"
 
 using namespace alewife;
 
 namespace {
 
-struct Args {
-  std::vector<std::string> tokens;
-  std::size_t pos = 0;
-
-  bool done() const { return pos >= tokens.size(); }
-  std::string peek() const { return done() ? "" : tokens[pos]; }
-  std::string next() { return tokens[pos++]; }
-
-  /// Consume "--name value" if present at the cursor anywhere in the rest.
-  bool option(const std::string& name, std::string& out) {
-    for (std::size_t i = pos; i < tokens.size(); ++i) {
-      if (tokens[i] == name && i + 1 < tokens.size()) {
-        out = tokens[i + 1];
-        tokens.erase(tokens.begin() + i, tokens.begin() + i + 2);
-        return true;
-      }
-    }
-    return false;
-  }
-
-  bool flag(const std::string& name) {
-    for (std::size_t i = pos; i < tokens.size(); ++i) {
-      if (tokens[i] == name) {
-        tokens.erase(tokens.begin() + i);
-        return true;
-      }
-    }
-    return false;
-  }
+struct MachineArgs {
+  MachineConfig cfg;
+  RuntimeOptions opt;
+  std::string trace_cats;
+  std::uint32_t trace_limit = 4096;
+  bool want_stats = false;
+  std::string stats_json;  ///< --stats-json FILE (empty = off)
+  std::string trace_out;   ///< --trace-out FILE (empty = off)
 };
 
-[[noreturn]] void usage(const char* why) {
+cli::OptionTable machine_options(MachineArgs& a) {
+  cli::OptionTable t;
+  t.value_u32("--nodes", "processors (default 64)", &a.cfg.nodes)
+      .value("--mode", "shm|hybrid", "scheduler back end (default hybrid)",
+             [&a](const std::string& v) {
+               if (v == "shm") {
+                 a.opt.mode = SchedMode::kShm;
+               } else if (v == "hybrid") {
+                 a.opt.mode = SchedMode::kHybrid;
+               } else {
+                 throw cli::UsageError("--mode must be shm or hybrid");
+               }
+             })
+      .flag("--no-steal", "disable work stealing",
+            [&a] { a.opt.stealing = false; })
+      .value_u64("--seed", "RNG seed", &a.cfg.rng_seed)
+      .value_str("--trace", "CATS",
+                 "enable trace categories (net,mem,msg,sch,app or all)",
+                 &a.trace_cats)
+      .value_u32("--trace-limit", "keep the last N trace events (default 4096)",
+                 &a.trace_limit)
+      .flag("--stats", "dump all counters at the end", &a.want_stats)
+      .value_str("--stats-json", "FILE", "write stats JSON (alewife-stats v1)",
+                 &a.stats_json)
+      .value_str("--trace-out", "FILE", "write Chrome trace_event JSON",
+                 &a.trace_out);
+  return t;
+}
+
+[[noreturn]] void usage(const MachineArgs& a, const char* why) {
   std::fprintf(stderr, "alewife_run: %s\n", why);
   std::fprintf(stderr,
-               "usage: alewife_run [--nodes N] [--mode shm|hybrid] "
-               "[--no-steal] [--seed S] [--trace CATS] [--stats] <app> "
-               "[app options]\napps: grain aq jacobi accum barrier copy\n");
+               "usage: alewife_run [machine options] <app> [app options]\n"
+               "machine options:\n");
+  MachineArgs defaults = a;
+  machine_options(defaults).print_help(stderr);
+  std::fprintf(stderr,
+               "apps:\n"
+               "  grain   --depth D --delay L\n"
+               "  aq      --tol T\n"
+               "  jacobi  --grid G --iters I [--msg]\n"
+               "  accum   --bytes B [--msg]\n"
+               "  barrier --mech shm|msg --arity K --episodes E\n"
+               "  copy    --bytes B --impl shm|prefetch|msg\n");
   std::exit(2);
 }
 
@@ -103,67 +131,103 @@ void enable_traces(Machine& m, const std::string& cats) {
     } else if (c == "app") {
       m.trace().enable(TraceCat::kApp);
     } else if (!c.empty()) {
-      usage("unknown trace category");
+      throw cli::UsageError("unknown trace category '" + c + "'");
     }
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
 }
 
-void finish(Machine& m, Cycles duration, bool want_stats, bool want_trace) {
+/// Report + exporters, shared by every app branch.
+void finish(Machine& m, const MachineArgs& a, const std::string& app,
+            const std::string& cmdline, Cycles duration) {
   std::printf("simulated %llu cycles (%.1f us @33MHz); host events %llu\n",
               (unsigned long long)duration, duration / 33.0,
               (unsigned long long)m.sim().events_executed());
-  if (want_stats) {
+  if (a.want_stats) {
     std::printf("-- stats --\n");
     for (const auto& [k, v] : m.stats().counters()) {
       std::printf("  %-32s %llu\n", k.c_str(), (unsigned long long)v);
     }
   }
-  if (want_trace) {
+  if (!a.trace_cats.empty()) {
     std::printf("-- trace (last %zu of %llu events) --\n", m.trace().size(),
                 (unsigned long long)m.trace().total_emitted());
     m.trace().dump(std::cout);
   }
+  if (!a.stats_json.empty()) {
+    RunMeta meta;
+    meta.app = app;
+    meta.cmdline = cmdline;
+    meta.nodes = m.nodes();
+    meta.seed = m.config().rng_seed;
+    meta.cycles = duration;
+    meta.events = m.sim().events_executed();
+    std::ofstream os(a.stats_json);
+    if (!os) {
+      std::fprintf(stderr, "alewife_run: cannot write '%s'\n",
+                   a.stats_json.c_str());
+      std::exit(1);
+    }
+    write_stats_json(os, meta, m.stats());
+  }
+  if (!a.trace_out.empty()) {
+    std::ofstream os(a.trace_out);
+    if (!os) {
+      std::fprintf(stderr, "alewife_run: cannot write '%s'\n",
+                   a.trace_out.c_str());
+      std::exit(1);
+    }
+    write_chrome_trace(os, m.trace());
+  }
 }
 
-}  // namespace
+int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
+  MachineArgs a;
+  a.cfg.nodes = 64;
 
-int main(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) args.tokens.push_back(argv[i]);
+  const cli::OptionTable machine_t = machine_options(a);
+  std::size_t pos = machine_t.parse_prefix(tokens, 0);
+  if (pos >= tokens.size()) usage(a, "missing app");
+  const std::string app = tokens[pos++];
 
-  MachineConfig cfg;
-  cfg.nodes = 64;
-  RuntimeOptions opt;
-  std::string v;
-  if (args.option("--nodes", v)) cfg.nodes = std::stoul(v);
-  if (args.option("--mode", v)) {
-    if (v == "shm") {
-      opt.mode = SchedMode::kShm;
-    } else if (v == "hybrid") {
-      opt.mode = SchedMode::kHybrid;
-    } else {
-      usage("bad --mode");
+  // App options and machine options may interleave after the app name (the
+  // documented style is machine options first, but e.g. --stats-json reads
+  // naturally at the end). Anything neither table knows is an error.
+  const auto parse_rest = [&](const cli::OptionTable& app_t) {
+    std::size_t p = pos;
+    while (p < tokens.size()) {
+      std::size_t next = app_t.parse_known_prefix(tokens, p);
+      next = machine_t.parse_known_prefix(tokens, next);
+      if (next == p) {
+        throw cli::UsageError(tokens[p].rfind("--", 0) == 0
+                                  ? "unknown option '" + tokens[p] + "'"
+                                  : "unexpected argument '" + tokens[p] + "'");
+      }
+      p = next;
     }
-  }
-  if (args.flag("--no-steal")) opt.stealing = false;
-  if (args.option("--seed", v)) cfg.rng_seed = std::stoull(v);
-  std::string trace_cats;
-  const bool want_trace = args.option("--trace", trace_cats);
-  const bool want_stats = args.flag("--stats");
+  };
 
-  if (args.done()) usage("missing app");
-  const std::string app = args.next();
-
-  Machine m(cfg, opt);
-  if (want_trace) enable_traces(m, trace_cats);
+  // Deferred machine construction: options must all be parsed first.
+  std::unique_ptr<Machine> mp;
+  const auto machine = [&]() -> Machine& {
+    mp = std::make_unique<Machine>(a.cfg, a.opt);
+    mp->trace().set_capacity(a.trace_limit);
+    if (!a.trace_cats.empty()) enable_traces(*mp, a.trace_cats);
+    // --trace-out with no explicit categories records everything: the
+    // exporter is pure output, so this cannot perturb simulated timing.
+    if (!a.trace_out.empty() && a.trace_cats.empty()) mp->trace().enable_all();
+    return *mp;
+  };
 
   if (app == "grain") {
     std::uint32_t depth = 12;
-    Cycles delay = 100;
-    if (args.option("--depth", v)) depth = std::stoul(v);
-    if (args.option("--delay", v)) delay = std::stoull(v);
+    std::uint64_t delay = 100;
+    cli::OptionTable t;
+    t.value_u32("--depth", "tree depth", &depth)
+        .value_u64("--delay", "leaf compute cycles", &delay);
+    parse_rest(t);
+    Machine& m = machine();
     auto dur = std::make_shared<Cycles>(0);
     const std::uint64_t leaves = m.run([&](Context& ctx) -> std::uint64_t {
       const Cycles t0 = ctx.now();
@@ -174,11 +238,14 @@ int main(int argc, char** argv) {
     const Cycles seq = apps::grain_sequential_cycles(depth, delay);
     std::printf("grain: %llu leaves, speedup %.2f on %u nodes\n",
                 (unsigned long long)leaves, double(seq) / double(*dur),
-                cfg.nodes);
-    finish(m, *dur, want_stats, want_trace);
+                a.cfg.nodes);
+    finish(m, a, app, cmdline, *dur);
   } else if (app == "aq") {
     double tol = 0.01;
-    if (args.option("--tol", v)) tol = std::stod(v);
+    cli::OptionTable t;
+    t.value_double("--tol", "error tolerance", &tol);
+    parse_rest(t);
+    Machine& m = machine();
     auto dur = std::make_shared<Cycles>(0);
     auto integral = std::make_shared<double>(0);
     m.run([&](Context& ctx) -> std::uint64_t {
@@ -190,12 +257,16 @@ int main(int argc, char** argv) {
     std::printf("aq: integral %.6f (tol %g, %llu evals)\n", *integral, tol,
                 (unsigned long long)apps::aq_eval_count(apps::aq_domain(),
                                                         tol));
-    finish(m, *dur, want_stats, want_trace);
+    finish(m, a, app, cmdline, *dur);
   } else if (app == "jacobi") {
     std::uint32_t grid = 64, iters = 10;
-    const bool msg = args.flag("--msg");
-    if (args.option("--grid", v)) grid = std::stoul(v);
-    if (args.option("--iters", v)) iters = std::stoul(v);
+    bool msg = false;
+    cli::OptionTable t;
+    t.value_u32("--grid", "grid size", &grid)
+        .value_u32("--iters", "iterations", &iters)
+        .flag("--msg", "use the message variant", &msg);
+    parse_rest(t);
+    Machine& m = machine();
     auto setup =
         std::make_shared<apps::JacobiSetup>(apps::jacobi_setup(m, grid));
     apps::jacobi_init(m, *setup, [](std::uint32_t r, std::uint32_t c) {
@@ -215,14 +286,18 @@ int main(int argc, char** argv) {
     std::printf("jacobi %ux%u (%s): %llu cycles/iteration\n", grid, grid,
                 msg ? "message" : "shared-memory",
                 (unsigned long long)(*worst / iters));
-    finish(m, *worst, want_stats, want_trace);
+    finish(m, a, app, cmdline, *worst);
   } else if (app == "accum") {
     std::uint32_t bytes = 4096;
-    const bool msg = args.flag("--msg");
-    if (args.option("--bytes", v)) bytes = std::stoul(v);
+    bool msg = false;
+    cli::OptionTable t;
+    t.value_u32("--bytes", "array bytes", &bytes)
+        .flag("--msg", "use the message variant", &msg);
+    parse_rest(t);
+    Machine& m = machine();
     auto dur = std::make_shared<Cycles>(0);
     m.run([&](Context& ctx) -> std::uint64_t {
-      const GAddr arr = ctx.shmalloc(1 % cfg.nodes, bytes);
+      const GAddr arr = ctx.shmalloc(1 % a.cfg.nodes, bytes);
       const Cycles t0 = ctx.now();
       std::uint64_t sum;
       if (msg) {
@@ -236,13 +311,19 @@ int main(int argc, char** argv) {
     });
     std::printf("accum %u bytes (%s)\n", bytes,
                 msg ? "message" : "shared-memory");
-    finish(m, *dur, want_stats, want_trace);
+    finish(m, a, app, cmdline, *dur);
   } else if (app == "barrier") {
     std::string mech = "shm";
     std::uint32_t arity = 0, episodes = 8;
-    args.option("--mech", mech);
-    if (args.option("--arity", v)) arity = std::stoul(v);
-    if (args.option("--episodes", v)) episodes = std::stoul(v);
+    cli::OptionTable t;
+    t.value_str("--mech", "shm|msg", "barrier mechanism", &mech)
+        .value_u32("--arity", "combining-tree fan-in", &arity)
+        .value_u32("--episodes", "barrier episodes", &episodes);
+    parse_rest(t);
+    Machine& m = machine();
+    if (mech != "shm" && mech != "msg") {
+      throw cli::UsageError("--mech must be shm or msg");
+    }
     const auto b_mech = mech == "msg" ? CombiningBarrier::Mech::kMsg
                                       : CombiningBarrier::Mech::kShm;
     if (arity == 0) arity = b_mech == CombiningBarrier::Mech::kMsg ? 8 : 2;
@@ -260,12 +341,15 @@ int main(int argc, char** argv) {
     std::printf("barrier (%s, arity %u): %llu cycles per episode\n",
                 mech.c_str(), arity,
                 (unsigned long long)((*t1 - *t0) / episodes));
-    finish(m, *t1 - *t0, want_stats, want_trace);
+    finish(m, a, app, cmdline, *t1 - *t0);
   } else if (app == "copy") {
     std::uint32_t bytes = 4096;
     std::string impl = "msg";
-    if (args.option("--bytes", v)) bytes = std::stoul(v);
-    args.option("--impl", impl);
+    cli::OptionTable t;
+    t.value_u32("--bytes", "copy bytes", &bytes)
+        .value_str("--impl", "shm|prefetch|msg", "copy implementation", &impl);
+    parse_rest(t);
+    Machine& m = machine();
     CopyImpl ci;
     if (impl == "shm") {
       ci = CopyImpl::kShmLoop;
@@ -274,12 +358,12 @@ int main(int argc, char** argv) {
     } else if (impl == "msg") {
       ci = CopyImpl::kMsgDma;
     } else {
-      usage("bad --impl");
+      throw cli::UsageError("--impl must be shm, prefetch or msg");
     }
     auto dur = std::make_shared<Cycles>(0);
     m.run([&](Context& ctx) -> std::uint64_t {
       const GAddr src = ctx.shmalloc(0, bytes);
-      const GAddr dst = ctx.shmalloc(1 % cfg.nodes, bytes);
+      const GAddr dst = ctx.shmalloc(1 % a.cfg.nodes, bytes);
       for (std::uint32_t i = 0; i < bytes; i += 8) ctx.store(src + i, i);
       const Cycles t0 = ctx.now();
       m.bulk().copy(ctx, dst, src, bytes, ci);
@@ -288,9 +372,27 @@ int main(int argc, char** argv) {
     });
     std::printf("copy %u bytes (%s): %.1f MB/s\n", bytes, impl.c_str(),
                 double(bytes) / double(*dur) * 33.0);
-    finish(m, *dur, want_stats, want_trace);
+    finish(m, a, app, cmdline, *dur);
   } else {
-    usage("unknown app");
+    usage(a, ("unknown app '" + app + "'").c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  std::string cmdline = "alewife_run";
+  for (int i = 1; i < argc; ++i) {
+    tokens.push_back(argv[i]);
+    cmdline += ' ';
+    cmdline += argv[i];
+  }
+  try {
+    return run(tokens, cmdline);
+  } catch (const cli::UsageError& e) {
+    MachineArgs defaults;
+    usage(defaults, e.what());
+  }
 }

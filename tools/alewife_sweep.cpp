@@ -2,7 +2,7 @@
 // optionally spreading points across host threads.
 //
 //   alewife_sweep [--sweep scaling|interrupt|arity] [--threads N] [--serial]
-//                 [--fast] [--verify]
+//                 [--fast] [--verify] [--json FILE]
 //
 //   --sweep NAME   which sweep to run (default: scaling)
 //   --threads N    host threads (default: ALEWIFE_SWEEP_THREADS env or
@@ -11,6 +11,9 @@
 //   --fast         smaller machines / fewer points (CI smoke)
 //   --verify       run serially first, then in parallel, and fail unless the
 //                  two result tables are byte-identical
+//   --json FILE    also write the result table as JSON (alewife-sweep v1) —
+//                  the format `alewife_report --compare` diffs, and what
+//                  BENCH_baseline.json records for the perf trajectory
 //
 // Each sweep point is an independent simulation: the simulator's mutable
 // state (current fiber, event-callback pools) is thread_local, so points can
@@ -20,10 +23,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cli.hpp"
+#include "sim/json.hpp"
 
 using namespace alewife;
 using namespace alewife::bench;
@@ -134,34 +140,59 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Result table as JSON: rows become objects keyed by column name (plus
+/// "name" = the first column's value, the row's natural key), so
+/// `alewife_report --compare` can diff two sweep files point by point.
+void write_sweep_json(std::ostream& os, const std::string& sweep, bool fast,
+                      const SweepResult& r) {
+  os << "{\n";
+  os << "  \"schema\": \"alewife-sweep\",\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"sweep\": \"" << alewife::json::escape(sweep) << "\",\n";
+  os << "  \"fast\": " << (fast ? "true" : "false") << ",\n";
+  os << "  \"cols\": [";
+  for (std::size_t i = 0; i < r.cols.size(); ++i) {
+    os << (i ? ", " : "") << '"' << alewife::json::escape(r.cols[i]) << '"';
+  }
+  os << "],\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    const auto& row = r.rows[i];
+    os << "    {\"name\": \"" << alewife::json::escape(row.at(0)) << '"';
+    for (std::size_t c = 0; c < r.cols.size() && c < row.size(); ++c) {
+      os << ", \"" << alewife::json::escape(r.cols[c]) << "\": \""
+         << alewife::json::escape(row[c]) << '"';
+    }
+    os << "}" << (i + 1 < r.rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string name = "scaling";
-  unsigned threads = 0;  // 0 = sweep_threads() default
+  std::uint32_t threads = 0;  // 0 = sweep_threads() default
   bool fast = false;
   bool verify = false;
+  std::string json_out;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--sweep" && i + 1 < argc) {
-      name = argv[++i];
-    } else if (a == "--threads" && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
-    } else if (a == "--serial") {
-      threads = 1;
-    } else if (a == "--fast") {
-      fast = true;
-    } else if (a == "--verify") {
-      verify = true;
-    } else {
-      std::fprintf(stderr,
-                   "alewife_sweep: bad argument '%s'\n"
-                   "usage: alewife_sweep [--sweep scaling|interrupt|arity] "
-                   "[--threads N] [--serial] [--fast] [--verify]\n",
-                   a.c_str());
-      return 2;
-    }
+  cli::OptionTable opts;
+  opts.value_str("--sweep", "NAME", "scaling|interrupt|arity", &name)
+      .value_u32("--threads", "host threads", &threads)
+      .flag("--serial", "shorthand for --threads 1", [&] { threads = 1; })
+      .flag("--fast", "smaller machines / fewer points", &fast)
+      .flag("--verify", "check parallel result == serial", &verify)
+      .value_str("--json", "FILE", "write the result table as JSON",
+                 &json_out);
+
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  try {
+    opts.parse_all(tokens);
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "alewife_sweep: %s\nusage: alewife_sweep [options]\n",
+                 e.what());
+    opts.print_help(stderr);
+    return 2;
   }
 
   const unsigned effective = threads ? threads : sweep_threads();
@@ -186,6 +217,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("VERIFY OK: parallel == serial\n");
+    if (!json_out.empty()) {
+      std::ofstream os(json_out);
+      if (!os) {
+        std::fprintf(stderr, "alewife_sweep: cannot write '%s'\n",
+                     json_out.c_str());
+        return 1;
+      }
+      write_sweep_json(os, name, fast, serial);
+    }
     return 0;
   }
 
@@ -197,5 +237,14 @@ int main(int argc, char** argv) {
   for (const auto& row : r.rows) print_row(row);
   std::printf("\nwall %.2fs (%u threads, %zu points)\n", elapsed, effective,
               r.rows.size());
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "alewife_sweep: cannot write '%s'\n",
+                   json_out.c_str());
+      return 1;
+    }
+    write_sweep_json(os, name, fast, r);
+  }
   return 0;
 }

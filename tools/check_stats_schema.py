@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate an `alewife_run --stats-json` file against the alewife-stats v1
+schema. Stdlib only — CI runs it on a fresh runner with no extra packages.
+
+Usage: check_stats_schema.py FILE.json
+
+Checks structure (required fields, types), internal consistency (per_node
+lists match the declared node count and sum to each counter's total), and
+the registry invariants the C++ side promises (unique counter names, known
+units). Exits 0 on success, 1 with a message per violation otherwise.
+"""
+import json
+import sys
+
+KNOWN_UNITS = {"count", "bytes", "cycles", "lines"}
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def require(doc, key, types, what="document"):
+    if key not in doc:
+        err(f"{what}: missing required field '{key}'")
+        return None
+    if not isinstance(doc[key], types):
+        err(f"{what}: field '{key}' has type {type(doc[key]).__name__}, "
+            f"expected {types}")
+        return None
+    return doc[key]
+
+
+def check(doc):
+    schema = require(doc, "schema", str)
+    if schema is not None and schema != "alewife-stats":
+        err(f"schema is '{schema}', expected 'alewife-stats'")
+    version = require(doc, "version", int)
+    if version is not None and version != 1:
+        err(f"version is {version}, this checker understands version 1")
+
+    require(doc, "app", str)
+    require(doc, "cmdline", str)
+    nodes = require(doc, "nodes", int)
+    require(doc, "seed", int)
+    require(doc, "cycles", int)
+    require(doc, "events", int)
+
+    counters = require(doc, "counters", list)
+    if counters is None:
+        return
+    seen = set()
+    for i, c in enumerate(counters):
+        what = f"counters[{i}]"
+        if not isinstance(c, dict):
+            err(f"{what}: not an object")
+            continue
+        name = require(c, "name", str, what)
+        if name is not None:
+            what = f"counters[{i}] ({name})"
+            if name in seen:
+                err(f"{what}: duplicate counter name")
+            seen.add(name)
+            if "." not in name:
+                err(f"{what}: name has no subsystem prefix")
+        unit = require(c, "unit", str, what)
+        if unit is not None and unit not in KNOWN_UNITS:
+            err(f"{what}: unknown unit '{unit}'")
+        require(c, "subsystem", str, what)
+        total = require(c, "total", int, what)
+        per_node = require(c, "per_node", list, what)
+        if per_node is None or total is None:
+            continue
+        if nodes is not None and len(per_node) != nodes:
+            err(f"{what}: per_node has {len(per_node)} entries, "
+                f"document says nodes={nodes}")
+        if not all(isinstance(v, int) and v >= 0 for v in per_node):
+            err(f"{what}: per_node entries must be non-negative integers")
+        elif sum(per_node) != total:
+            err(f"{what}: per_node sums to {sum(per_node)}, total says {total}")
+
+    hists = require(doc, "histograms", list)
+    for i, h in enumerate(hists or []):
+        what = f"histograms[{i}]"
+        if not isinstance(h, dict):
+            err(f"{what}: not an object")
+            continue
+        require(h, "name", str, what)
+        count = require(h, "count", int, what)
+        require(h, "sum", int, what)
+        lo = require(h, "min", int, what)
+        hi = require(h, "max", int, what)
+        require(h, "mean", (int, float), what)
+        if count and lo is not None and hi is not None and lo > hi:
+            err(f"{what}: min {lo} > max {hi}")
+
+    custom = require(doc, "custom", list)
+    for i, c in enumerate(custom or []):
+        what = f"custom[{i}]"
+        if not isinstance(c, dict):
+            err(f"{what}: not an object")
+            continue
+        require(c, "name", str, what)
+        require(c, "total", int, what)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print(f"{path}: top level is not a JSON object", file=sys.stderr)
+        return 1
+    check(doc)
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
+        return 1
+    n = len(doc.get("counters", []))
+    print(f"{path}: OK (alewife-stats v1, {n} counters, "
+          f"{doc.get('nodes', '?')} nodes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

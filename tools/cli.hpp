@@ -1,0 +1,187 @@
+// Shared option-table parser for the CLI tools.
+//
+// Each tool declares its options once (name, value placeholder, help text,
+// apply function); parsing walks the command line left to right, so a
+// misspelled or unknown `--flag` is an error instead of being silently
+// ignored, and `print_help` renders the table for usage messages. Numeric
+// conversions validate their input and report the offending option by name.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alewife::cli {
+
+/// Thrown on unknown options, missing values, or malformed numbers; the
+/// tool catches it, prints usage, and exits 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class OptionTable {
+ public:
+  /// A boolean option taking no value.
+  OptionTable& flag(std::string name, std::string help, bool* out) {
+    return add(std::move(name), "", std::move(help), false,
+               [out](const std::string&) { *out = true; });
+  }
+  OptionTable& flag(std::string name, std::string help,
+                    std::function<void()> fn) {
+    return add(std::move(name), "", std::move(help), false,
+               [fn = std::move(fn)](const std::string&) { fn(); });
+  }
+
+  /// An option taking one value, delivered raw to `fn`.
+  OptionTable& value(std::string name, std::string meta, std::string help,
+                     std::function<void(const std::string&)> fn) {
+    return add(std::move(name), std::move(meta), std::move(help), true,
+               std::move(fn));
+  }
+
+  OptionTable& value_str(std::string name, std::string meta, std::string help,
+                         std::string* out) {
+    return value(std::move(name), std::move(meta), std::move(help),
+                 [out](const std::string& v) { *out = v; });
+  }
+
+  OptionTable& value_u32(std::string name, std::string help,
+                         std::uint32_t* out) {
+    std::string n = name;
+    return value(std::move(name), "N", std::move(help),
+                 [n, out](const std::string& v) {
+                   *out = static_cast<std::uint32_t>(parse_u64(n, v));
+                 });
+  }
+
+  OptionTable& value_u64(std::string name, std::string help,
+                         std::uint64_t* out) {
+    std::string n = name;
+    return value(std::move(name), "N", std::move(help),
+                 [n, out](const std::string& v) { *out = parse_u64(n, v); });
+  }
+
+  OptionTable& value_double(std::string name, std::string help, double* out) {
+    std::string n = name;
+    return value(std::move(name), "X", std::move(help),
+                 [n, out](const std::string& v) { *out = parse_double(n, v); });
+  }
+
+  /// Consume options from `argv[pos]` onward; returns the index of the first
+  /// token that is not an option of this table. A token starting with "--"
+  /// that the table does not know is a UsageError (misspelled flags must not
+  /// be silently ignored).
+  std::size_t parse_prefix(const std::vector<std::string>& argv,
+                           std::size_t pos = 0) const {
+    pos = parse_known_prefix(argv, pos);
+    if (pos < argv.size() && argv[pos].rfind("--", 0) == 0) {
+      throw UsageError("unknown option '" + argv[pos] + "'");
+    }
+    return pos;
+  }
+
+  /// Like parse_prefix, but an option this table does not know simply stops
+  /// the scan (the caller hands the rest to another table — e.g. machine
+  /// options interleaved with app options). Known options still validate
+  /// their values.
+  std::size_t parse_known_prefix(const std::vector<std::string>& argv,
+                                 std::size_t pos = 0) const {
+    while (pos < argv.size()) {
+      const std::string& tok = argv[pos];
+      if (tok.rfind("--", 0) != 0) break;  // positional argument: stop here
+      const Opt* o = find(tok);
+      if (o == nullptr) break;
+      if (o->takes_value) {
+        if (pos + 1 >= argv.size()) {
+          throw UsageError("option '" + tok + "' needs a value");
+        }
+        o->apply(argv[pos + 1]);
+        pos += 2;
+      } else {
+        o->apply("");
+        pos += 1;
+      }
+    }
+    return pos;
+  }
+
+  /// Like parse_prefix, but every remaining token must be consumed (no
+  /// positionals allowed).
+  void parse_all(const std::vector<std::string>& argv,
+                 std::size_t pos = 0) const {
+    pos = parse_prefix(argv, pos);
+    if (pos < argv.size()) {
+      throw UsageError("unexpected argument '" + argv[pos] + "'");
+    }
+  }
+
+  /// One "  --name META  help" line per option.
+  void print_help(std::FILE* f, const char* indent = "  ") const {
+    std::size_t width = 0;
+    for (const Opt& o : opts_) {
+      width = std::max(width, o.name.size() + 1 + o.meta.size());
+    }
+    for (const Opt& o : opts_) {
+      const std::string left =
+          o.name + (o.meta.empty() ? "" : " " + o.meta);
+      std::fprintf(f, "%s%-*s  %s\n", indent, static_cast<int>(width),
+                   left.c_str(), o.help.c_str());
+    }
+  }
+
+  static std::uint64_t parse_u64(const std::string& opt,
+                                 const std::string& v) {
+    try {
+      std::size_t used = 0;
+      const std::uint64_t r = std::stoull(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return r;
+    } catch (const std::exception&) {
+      throw UsageError("option '" + opt + "': '" + v + "' is not a number");
+    }
+  }
+
+  static double parse_double(const std::string& opt, const std::string& v) {
+    try {
+      std::size_t used = 0;
+      const double r = std::stod(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return r;
+    } catch (const std::exception&) {
+      throw UsageError("option '" + opt + "': '" + v + "' is not a number");
+    }
+  }
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string meta;
+    std::string help;
+    bool takes_value;
+    std::function<void(const std::string&)> apply;
+  };
+
+  OptionTable& add(std::string name, std::string meta, std::string help,
+                   bool takes_value,
+                   std::function<void(const std::string&)> apply) {
+    opts_.push_back(Opt{std::move(name), std::move(meta), std::move(help),
+                        takes_value, std::move(apply)});
+    return *this;
+  }
+
+  const Opt* find(const std::string& name) const {
+    for (const Opt& o : opts_) {
+      if (o.name == name) return &o;
+    }
+    return nullptr;
+  }
+
+  std::vector<Opt> opts_;
+};
+
+}  // namespace alewife::cli
