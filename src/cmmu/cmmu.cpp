@@ -128,15 +128,32 @@ void Cmmu::launch(const MsgDescriptor& d, Cycles launch_time) {
   }
   stats_.add(node_, MetricId::kCmmuMessagesSent);
   stats_.add(node_, MetricId::kCmmuMessagePayloadBytes, p.payload_bytes);
-  net_.send(std::move(p), depart);
+  if (rel_ != nullptr) {
+    rel_send(std::move(p), depart);
+  } else {
+    net_.send(std::move(p), depart);
+  }
 }
 
 void Cmmu::on_packet(Packet p) {
+  if (rel_ != nullptr) {
+    if (p.type == kMsgRelAck || p.type == kMsgRelNack) {
+      rel_control(p);
+      return;
+    }
+    rel_receive(std::move(p));
+    return;
+  }
+  deliver(std::move(p));
+}
+
+void Cmmu::deliver(Packet p) {
   auto it = handlers_.find(p.type);
   if (it == handlers_.end()) {
     throw std::logic_error("unhandled message type " + std::to_string(p.type) +
                            " on node " + std::to_string(node_));
   }
+  if (wd_ != nullptr) wd_->note(sim_.now());
   // The arrival interrupts the processor; the handler runs on its timeline.
   Handler& h = it->second;
   proc_.raise_interrupt(
@@ -150,6 +167,198 @@ void Cmmu::on_packet(Packet p) {
                      std::to_string(p.src));
   }
   stats_.add(node_, MetricId::kCmmuMessagesReceived);
+}
+
+// ---- Reliable-delivery layer ------------------------------------------------
+//
+// A selective-repeat protocol between CMMUs, invisible to handlers and the
+// runtime. Every data packet carries a per-(src,dst) sequence number and a
+// checksum; the receiver acks each packet individually, delivers in sequence
+// order (buffering out-of-order arrivals up to the receive window), and nacks
+// corruption and window overflow. The sender keeps a pristine copy of every
+// unacked packet and retransmits on nack or timeout with capped exponential
+// backoff, giving up (and counting a send failure) after max_retries — at
+// which point the watchdog is the backstop for whoever was waiting.
+
+void Cmmu::set_reliability(const FaultConfig* fc) {
+  rel_ = fc;
+  if (fc != nullptr) {
+    const std::uint32_t n = net_.topology().nodes();
+    next_seq_.assign(n, 0);
+    rx_.assign(n, RxState{});
+  } else {
+    next_seq_.clear();
+    rx_.clear();
+    unacked_.clear();
+  }
+}
+
+std::size_t Cmmu::rel_buffered() const {
+  std::size_t n = 0;
+  for (const RxState& rx : rx_) n += rx.ooo.size();
+  return n;
+}
+
+std::string Cmmu::rel_dump() const {
+  const std::size_t buf = rel_buffered();
+  if (unacked_.empty() && buf == 0) return {};
+  std::string s = "unacked=" + std::to_string(unacked_.size());
+  if (!unacked_.empty()) {
+    // The oldest outstanding packet is the likely wedge point.
+    const auto& [key, u] = *unacked_.begin();
+    s += " oldest(dst=n" + std::to_string(key.first) +
+         " seq=" + std::to_string(key.second) +
+         " retries=" + std::to_string(u.retries) + ")";
+  }
+  if (buf != 0) s += " ooo_buffered=" + std::to_string(buf);
+  return s;
+}
+
+void Cmmu::rel_send(Packet p, Cycles depart) {
+  p.rel_seq = ++next_seq_[p.dst];  // sequences start at 1; 0 marks control
+  p.checksum = packet_checksum(p);
+  const RelKey key{p.dst, p.rel_seq};
+  // Store the pristine copy before handing the packet to the network: fault
+  // injection mutates only the in-flight copy, so retransmissions always
+  // carry clean data.
+  Unacked& u = unacked_[key];
+  u.pkt = p;
+  const Cycles delivery = net_.send(std::move(p), depart);
+  arm_timer(key, delivery + rel_->retrans_timeout, u.timer_gen);
+}
+
+void Cmmu::rel_receive(Packet p) {
+  RxState& rx = rx_[p.src];
+  const std::uint64_t seq = p.rel_seq;
+
+  if (packet_checksum(p) != p.checksum) {
+    // Bit damage in flight: ask for an immediate resend.
+    stats_.add(node_, MetricId::kRelNacksSent);
+    send_control(kMsgRelNack, p.src, seq, kRelNackCorrupt);
+    return;
+  }
+  if (seq < rx.next_expected || rx.ooo.count(seq) != 0) {
+    // Duplicate — fault-injected, or a retransmission racing its own ack.
+    // Drop it but re-ack: the original ack may have been the casualty.
+    stats_.add(node_, MetricId::kRelDupsDropped);
+    send_control(kMsgRelAck, p.src, seq, 0);
+    return;
+  }
+  const std::uint32_t win = rel_->recv_window;
+  if (win != 0 && seq >= rx.next_expected + win) {
+    // Beyond the receive window. Charge a storeback-style drain on the
+    // processor (the hardware analogue: software empties the input queue to
+    // memory) and nack so the sender re-arms its timer without burning a
+    // retry — the receiver is congested, not losing data.
+    stats_.add(node_, MetricId::kRelWindowOverflows);
+    proc_.steal_cycles(sim_.now(), cost_.storeback + cost_.dma_per_line);
+    stats_.add(node_, MetricId::kRelNacksSent);
+    send_control(kMsgRelNack, p.src, seq, kRelNackWindow);
+    return;
+  }
+
+  stats_.add(node_, MetricId::kRelAcksSent);
+  send_control(kMsgRelAck, p.src, seq, 0);
+
+  if (seq != rx.next_expected) {
+    // Ahead of the stream: hold until the gap fills.
+    stats_.add(node_, MetricId::kRelOutOfOrder);
+    rx.ooo.emplace(seq, std::move(p));
+    return;
+  }
+  // In order: deliver, then drain any buffered successors in sequence.
+  rx.next_expected = seq + 1;
+  stats_.add(node_, MetricId::kRelDeliveredBytes,
+             p.payload.size() + 8 * p.words.size());
+  deliver(std::move(p));
+  for (auto it = rx.ooo.begin();
+       it != rx.ooo.end() && it->first == rx.next_expected;) {
+    ++rx.next_expected;
+    stats_.add(node_, MetricId::kRelDeliveredBytes,
+               it->second.payload.size() + 8 * it->second.words.size());
+    deliver(std::move(it->second));
+    it = rx.ooo.erase(it);
+  }
+}
+
+void Cmmu::rel_control(const Packet& p) {
+  // A mangled control packet is indistinguishable from garbage; ignore it
+  // and let the data-side timeout recover.
+  if (p.words.size() < 2 || packet_checksum(p) != p.checksum) return;
+  const RelKey key{p.src, p.words[0]};
+  auto it = unacked_.find(key);
+  if (it == unacked_.end()) return;  // ack/nack for an already-settled seq
+  if (p.type == kMsgRelAck) {
+    unacked_.erase(it);
+    return;
+  }
+  Unacked& u = it->second;
+  if (p.words[1] == kRelNackCorrupt) {
+    // The receiver saw the packet mangled: resend immediately.
+    if (u.retries >= rel_->max_retries) {
+      stats_.add(node_, MetricId::kRelSendFailures);
+      unacked_.erase(it);
+      return;
+    }
+    ++u.retries;
+    stats_.add(node_, MetricId::kRelRetransmits);
+    resend(key, u);
+  } else {
+    // Window overflow: the packet reached a live receiver, so its transmit
+    // history is congestion, not loss — reset the retry budget (the watchdog,
+    // not retry exhaustion, is the backstop against a wedged receiver) and
+    // back off one timeout before trying again.
+    u.retries = 0;
+    ++u.timer_gen;
+    arm_timer(key, sim_.now() + rel_backoff(u.retries), u.timer_gen);
+  }
+}
+
+void Cmmu::on_retransmit_timer(RelKey key, std::uint64_t gen) {
+  auto it = unacked_.find(key);
+  if (it == unacked_.end() || it->second.timer_gen != gen) return;  // stale
+  Unacked& u = it->second;
+  if (u.retries >= rel_->max_retries) {
+    // Give up. The packet is lost for good; if anything was waiting on it,
+    // the watchdog converts the resulting silence into a diagnostic.
+    stats_.add(node_, MetricId::kRelSendFailures);
+    unacked_.erase(it);
+    return;
+  }
+  ++u.retries;
+  stats_.add(node_, MetricId::kRelRetransmits);
+  resend(key, u);
+}
+
+void Cmmu::resend(RelKey key, Unacked& u) {
+  ++u.timer_gen;  // invalidate any timer armed for the previous transmission
+  Packet copy = u.pkt;
+  const Cycles delivery = net_.send(std::move(copy), sim_.now());
+  arm_timer(key, delivery + rel_backoff(u.retries), u.timer_gen);
+}
+
+Cycles Cmmu::rel_backoff(std::uint32_t retries) const {
+  return rel_->retrans_timeout << std::min<std::uint32_t>(retries, 4);
+}
+
+void Cmmu::arm_timer(RelKey key, Cycles when, std::uint64_t gen) {
+  sim_.schedule_at(when, [this, key, gen] { on_retransmit_timer(key, gen); });
+}
+
+void Cmmu::send_control(MsgType type, NodeId dst, std::uint64_t seq,
+                        std::uint64_t arg) {
+  // Acks and nacks bypass the descriptor path entirely: no processor charge,
+  // no send metrics, rel_seq 0 so they are never themselves sequenced. They
+  // ride the same faulty network as data — a lost ack surfaces as a
+  // retransmitted (then dup-dropped and re-acked) data packet.
+  Packet p;
+  p.src = node_;
+  p.dst = dst;
+  p.klass = PacketClass::kUserMessage;
+  p.type = type;
+  p.words = {seq, arg};
+  p.checksum = packet_checksum(p);
+  net_.send(std::move(p), sim_.now());
 }
 
 }  // namespace alewife

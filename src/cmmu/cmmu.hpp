@@ -16,8 +16,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "cmmu/message.hpp"
 #include "memory/mem_system.hpp"
@@ -103,6 +106,25 @@ class Cmmu {
   /// Attach a trace sink (optional; kMsg category).
   void set_trace(Trace* t) { trace_ = t; }
 
+  /// Arm the reliable-delivery layer (Machine, when FaultConfig::reliable_on
+  /// holds): every launched message gets a per-destination sequence number
+  /// and a checksum, is buffered for timeout/nack-driven retransmission with
+  /// bounded exponential backoff, and is acked/deduplicated/reordered by the
+  /// receiving CMMU behind a finite receive window. Entirely transparent to
+  /// handlers and the runtime. Pass nullptr to disarm (default: off, zero
+  /// overhead).
+  void set_reliability(const FaultConfig* fc);
+
+  /// Message deliveries to handlers count as watchdog progress.
+  void set_watchdog(Watchdog* wd) { wd_ = wd; }
+
+  // ---- Reliable-layer introspection (diagnostics, tests) --------------------
+  bool reliable() const { return rel_ != nullptr; }
+  std::size_t rel_unacked() const { return unacked_.size(); }
+  std::size_t rel_buffered() const;  ///< out-of-order packets held
+  /// One-line retransmit-state summary for the watchdog dump ("" if idle).
+  std::string rel_dump() const;
+
   // Internal (MsgView).
   const CostModel& cost() const { return cost_; }
   MemorySystem& memory() { return ms_; }
@@ -110,9 +132,36 @@ class Cmmu {
   Simulator& sim() { return sim_; }
 
  private:
+  using RelKey = std::pair<NodeId, std::uint64_t>;  ///< (dst, seq)
+
+  struct Unacked {
+    Packet pkt;                   ///< pristine copy for retransmission
+    std::uint32_t retries = 0;
+    std::uint64_t timer_gen = 0;  ///< invalidates stale timeout events
+  };
+
+  struct RxState {
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, Packet> ooo;  ///< buffered out-of-order packets
+  };
+
   void launch(const MsgDescriptor& d, Cycles launch_time);
   /// Throws std::invalid_argument on malformed descriptors.
   void validate(const MsgDescriptor& d) const;
+
+  /// Hand the packet to its handler (interrupts the processor).
+  void deliver(Packet p);
+
+  // Reliable-delivery internals.
+  void rel_send(Packet p, Cycles depart);
+  void rel_receive(Packet p);
+  void rel_control(const Packet& p);  ///< ack/nack consumption
+  void on_retransmit_timer(RelKey key, std::uint64_t gen);
+  void arm_timer(RelKey key, Cycles when, std::uint64_t gen);
+  void resend(RelKey key, Unacked& u);
+  Cycles rel_backoff(std::uint32_t retries) const;
+  void send_control(MsgType type, NodeId dst, std::uint64_t seq,
+                    std::uint64_t arg);
 
   Simulator& sim_;
   Network& net_;
@@ -123,6 +172,14 @@ class Cmmu {
   NodeId node_;
   std::unordered_map<MsgType, Handler> handlers_;
   Trace* trace_ = nullptr;
+  Watchdog* wd_ = nullptr;
+
+  // Reliable-delivery state (empty/unused unless rel_ is set). Ordered maps
+  // keep diagnostic dumps and drain order deterministic.
+  const FaultConfig* rel_ = nullptr;
+  std::vector<std::uint64_t> next_seq_;  ///< per-destination send sequence
+  std::map<RelKey, Unacked> unacked_;    ///< retransmit buffer
+  std::vector<RxState> rx_;              ///< per-source receive state
 };
 
 }  // namespace alewife

@@ -18,6 +18,19 @@ namespace alewife {
 /// protocol uses its own packet class and does not consume these.
 using MsgType = std::uint32_t;
 
+/// Hardware-reserved control types at the top of the type space: the
+/// reliable-delivery layer's ack/nack packets. Consumed inside the CMMU
+/// before handler dispatch; never visible to (and never valid for) user
+/// code. words = {sequence, arg}; for nacks arg is a RelNack reason.
+constexpr MsgType kMsgRelAck = 0xFFFFFF00u;
+constexpr MsgType kMsgRelNack = 0xFFFFFF01u;
+
+/// Nack reasons (second control word of a kMsgRelNack).
+enum RelNack : std::uint64_t {
+  kRelNackCorrupt = 0,  ///< checksum mismatch: resend immediately
+  kRelNackWindow = 1,   ///< receive window overflow: resend after a timeout
+};
+
 struct MsgDescriptor {
   NodeId dst = kInvalidNode;
   MsgType type = 0;

@@ -54,6 +54,70 @@ Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
     shared_->nodes.push_back(nodes_.back().get());
   }
   bulk_ = std::make_unique<BulkCopyEngine>(*shared_);
+
+  // Fault injection, reliable delivery and the watchdog. With a default
+  // FaultConfig none of this arms, and behavior (and digests) are
+  // bit-identical to a machine without the subsystem.
+  if (cfg_.fault.any_faults()) {
+    fault_ = std::make_unique<FaultPlan>(cfg_.fault, cfg_.rng_seed);
+    net_->set_fault(fault_.get());
+  }
+  if (cfg_.fault.reliable_on()) {
+    for (auto& c : cmmus_) c->set_reliability(&cfg_.fault);
+  }
+  const Cycles wd_interval = cfg_.fault.effective_watchdog();
+  if (wd_interval != 0) {
+    watchdog_ = std::make_unique<Watchdog>(wd_interval, &stats_);
+    watchdog_->set_dump([this] { return diagnostic_dump(); });
+    sim_->set_watchdog(watchdog_.get());
+    net_->set_watchdog(watchdog_.get());
+    shared_->wd = watchdog_.get();
+    for (auto& c : cmmus_) c->set_watchdog(watchdog_.get());
+  }
+  sim_->set_diagnostics([this] { return diagnostic_dump(); });
+}
+
+std::string Machine::diagnostic_dump() {
+  std::string s = "  network: sent=" + std::to_string(net_->packets_sent()) +
+                  " delivered=" + std::to_string(net_->packets_delivered()) +
+                  " dropped=" + std::to_string(net_->packets_dropped()) +
+                  " in-flight=" + std::to_string(net_->packets_in_flight()) +
+                  "\n";
+  constexpr std::uint32_t kMaxNodeLines = 16;
+  std::uint32_t shown = 0;
+  std::uint32_t busy = 0;
+  const BackingStore& store = ms_->store();
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    NodeRuntime& rt = *nodes_[n];
+    Cmmu& c = *cmmus_[n];
+    const std::uint64_t shmq = rt.queue().host_size(store);
+    const std::uint64_t wakeq = rt.wake_queue().host_size(store);
+    const std::string rel = c.rel_dump();
+    const bool interesting = rt.current_thread() != kInvalidId ||
+                             rt.ready_count() != 0 ||
+                             rt.local_task_count() != 0 || shmq != 0 ||
+                             wakeq != 0 || !rel.empty();
+    if (!interesting) continue;
+    ++busy;
+    if (shown >= kMaxNodeLines) continue;  // keep counting, stop printing
+    ++shown;
+    s += "  n" + std::to_string(n) + ": thread=" +
+         (rt.current_thread() == kInvalidId
+              ? std::string("-")
+              : std::to_string(rt.current_thread())) +
+         " ready=" + std::to_string(rt.ready_count()) +
+         " local_tasks=" + std::to_string(rt.local_task_count()) +
+         " shmq=" + std::to_string(shmq) +
+         " wakeq=" + std::to_string(wakeq);
+    if (!rel.empty()) s += " rel[" + rel + "]";
+    s += "\n";
+  }
+  if (busy == 0) {
+    s += "  all nodes idle\n";
+  } else if (busy > shown) {
+    s += "  ... and " + std::to_string(busy - shown) + " more busy nodes\n";
+  }
+  return s;
 }
 
 Machine::~Machine() = default;

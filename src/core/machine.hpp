@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cmmu/cmmu.hpp"
@@ -55,6 +56,18 @@ class Machine {
   const MachineConfig& config() const { return cfg_; }
   std::uint32_t nodes() const { return cfg_.nodes; }
 
+  /// Non-null when MachineConfig::fault configures active fault injection.
+  FaultPlan* fault() { return fault_.get(); }
+  /// Non-null when a watchdog interval is in effect (explicit, or auto with
+  /// the reliable layer).
+  Watchdog* watchdog() { return watchdog_.get(); }
+  bool faults_active() const { return fault_ != nullptr; }
+
+  /// Snapshot of machine state for diagnostics: network counters plus
+  /// per-node scheduler/queue/retransmit state (busy nodes only, capped).
+  /// Attached to WatchdogError and SimTimeout messages.
+  std::string diagnostic_dump();
+
   /// Allocate shared memory homed on `home` (host-side setup; no cycles).
   GAddr shmalloc(NodeId home, std::uint64_t bytes) {
     return ms_->store().alloc(home, bytes);
@@ -83,6 +96,10 @@ class Machine {
   MachineConfig cfg_;
   Stats stats_;
   Trace trace_;
+  // Declared before the components that hold raw pointers to them, so they
+  // are destroyed last.
+  std::unique_ptr<FaultPlan> fault_;
+  std::unique_ptr<Watchdog> watchdog_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<BackingStore> store_;
   std::unique_ptr<Network> net_;

@@ -27,6 +27,16 @@ Cycles Network::send(Packet p, Cycles depart) {
   const std::uint32_t bytes = p.wire_bytes(cost_.packet_header_bytes);
   const Cycles ser = serialization(bytes);
 
+  // Fault injection applies to user messages only: coherence packets ride a
+  // reliable virtual channel (losing protocol traffic would wedge the
+  // directory state machines, which hardware prevents by construction).
+  FaultDecision fate;
+  const bool faultable =
+      fault_ != nullptr && p.klass == PacketClass::kUserMessage;
+  if (faultable) fate = fault_->decide();
+  const bool check_links = faultable && fault_->has_outages();
+
+  bool outage = false;
   Cycles head = depart + cost_.net_inject;
   if (p.src != p.dst) {
     for (const LinkId link : topo_.route(p.src, p.dst)) {
@@ -38,11 +48,20 @@ Cycles Network::send(Packet p, Cycles depart) {
         acquire = link_busy_until_[li];
         stats_.add(p.src, MetricId::kNetLinkStallCycles, acquire - head);
       }
+      if (check_links &&
+          fault_->link_down(link.from, topo_.neighbor(link.from, link.dir),
+                            acquire)) {
+        // The head reaches a dead link and the router discards the packet.
+        // Links already traversed keep their reservations (the wire was
+        // really consumed up to the failure point).
+        outage = true;
+        break;
+      }
       link_busy_until_[li] = acquire + ser;
       head = acquire + cost_.net_hop;
     }
   }
-  const Cycles delivery = head + ser;
+  const Cycles delivery = head + ser + fate.extra_delay;
 
   stats_.add(p.src, MetricId::kNetPackets);
   stats_.add(p.src, MetricId::kNetBytes, bytes);
@@ -50,20 +69,64 @@ Cycles Network::send(Packet p, Cycles depart) {
                         ? MetricId::kNetCoherencePackets
                         : MetricId::kNetUserPackets);
 
+  const bool lost = outage || fate.drop;
   if (trace_ != nullptr && trace_->enabled(TraceCat::kNet)) {
     trace_->emit(TraceCat::kNet, depart, p.src,
                  "send #" + std::to_string(p.id) + " -> n" +
                      std::to_string(p.dst) + " type=" +
                      std::to_string(p.type) + " bytes=" +
                      std::to_string(bytes) + " deliver@" +
-                     std::to_string(delivery));
+                     std::to_string(delivery) +
+                     (outage ? " LINK-DOWN" : fate.drop ? " DROPPED" : ""));
   }
+  if (lost) {
+    stats_.add(p.src, outage ? MetricId::kFaultLinkDrops
+                             : MetricId::kFaultDrops);
+    ++dropped_;
+    return delivery;
+  }
+  if (fate.extra_delay != 0) stats_.add(p.src, MetricId::kFaultDelays);
+  if (fate.corrupt) {
+    corrupt(p);
+    stats_.add(p.src, MetricId::kFaultCorrupts);
+  }
+  if (fate.dup) {
+    // The duplicate trails the original by one serialization + hop — a
+    // stutter, not a full retransmission.
+    stats_.add(p.src, MetricId::kFaultDups);
+    deliver_at(p, delivery + ser + cost_.net_hop);
+  }
+  deliver_at(std::move(p), delivery);
+  return delivery;
+}
+
+void Network::deliver_at(Packet p, Cycles when) {
+  ++in_flight_;
   const NodeId dst = p.dst;
-  sim_.schedule_at(delivery, [this, dst, pkt = std::move(p)]() mutable {
+  // Only user-message deliveries count as watchdog progress: coherence
+  // traffic from a thread spinning on a contended line would otherwise keep
+  // resetting the deadline of a machine that is semantically livelocked.
+  const bool progress = p.klass == PacketClass::kUserMessage;
+  sim_.schedule_at(when, [this, dst, progress, pkt = std::move(p)]() mutable {
+    --in_flight_;
+    ++delivered_;
+    if (progress && wd_ != nullptr) wd_->note(sim_.now());
     assert(receivers_[dst] && "packet delivered to node with no receiver");
     receivers_[dst](std::move(pkt));
   });
-  return delivery;
+}
+
+void Network::corrupt(Packet& p) {
+  // Flip a bit where it hurts: payload first, then operand words; packets
+  // with neither get their checksum field itself damaged.
+  if (!p.payload.empty()) {
+    p.payload[fault_->draw(p.payload.size())] ^=
+        static_cast<std::uint8_t>(1u << fault_->draw(8));
+  } else if (!p.words.empty()) {
+    p.words[fault_->draw(p.words.size())] ^= 1ull << fault_->draw(64);
+  } else {
+    p.checksum ^= 1;
+  }
 }
 
 }  // namespace alewife

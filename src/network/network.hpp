@@ -15,6 +15,7 @@
 #include "network/packet.hpp"
 #include "network/topology.hpp"
 #include "sim/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -45,11 +46,29 @@ class Network {
   }
 
   std::uint64_t packets_sent() const { return next_packet_id_; }
+  std::uint64_t packets_delivered() const { return delivered_; }
+  std::uint64_t packets_dropped() const { return dropped_; }
+  /// Scheduled deliveries not yet executed (includes duplicates).
+  std::uint64_t packets_in_flight() const { return in_flight_; }
 
   /// Attach a trace sink (optional; kNet category).
   void set_trace(Trace* t) { trace_ = t; }
 
+  /// Arm fault injection (Machine, when the plan has active faults).
+  /// Faults apply to user-message packets only: coherence traffic rides a
+  /// reliable virtual channel, as on hardware where losing protocol packets
+  /// would wedge the directory state machines.
+  void set_fault(FaultPlan* plan) { fault_ = plan; }
+
+  /// Packet deliveries count as watchdog progress.
+  void set_watchdog(Watchdog* wd) { wd_ = wd; }
+
  private:
+  /// Schedule one delivery event for `p` at `when`.
+  void deliver_at(Packet p, Cycles when);
+  /// Flip a data bit so the receiver's checksum verification fails.
+  void corrupt(Packet& p);
+
   Simulator& sim_;
   const CostModel& cost_;
   Stats& stats_;
@@ -57,7 +76,12 @@ class Network {
   std::vector<Receiver> receivers_;
   std::vector<Cycles> link_busy_until_;
   std::uint64_t next_packet_id_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t in_flight_ = 0;
   Trace* trace_ = nullptr;
+  FaultPlan* fault_ = nullptr;
+  Watchdog* wd_ = nullptr;
 };
 
 }  // namespace alewife

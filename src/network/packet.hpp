@@ -40,10 +40,44 @@ struct Packet {
   /// Monotonically increasing id, assigned by the network (debug/trace).
   std::uint64_t id = 0;
 
+  /// Reliable-delivery sequence number, assigned per (src, dst) stream by
+  /// the sending CMMU when the recovery layer is armed. 0 = unsequenced
+  /// (coherence traffic, ack/nack control packets, faults-off runs).
+  std::uint64_t rel_seq = 0;
+
+  /// FNV checksum over the packet's identifying fields and data (see
+  /// packet_checksum); verified by the receiving CMMU when the reliable
+  /// layer is armed. Corruption faults flip data bits so this mismatches.
+  std::uint64_t checksum = 0;
+
   std::uint32_t wire_bytes(std::uint32_t header_bytes) const {
     return header_bytes +
            static_cast<std::uint32_t>(words.size()) * 8u + payload_bytes;
   }
 };
+
+/// FNV-1a over src/dst/type/seq, the operand words and the payload bytes.
+/// Excludes `id` (reassigned per transmission) and `checksum` itself.
+inline std::uint64_t packet_checksum(const Packet& p) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(p.src);
+  mix(p.dst);
+  mix(p.type);
+  mix(p.rel_seq);
+  mix(p.payload_bytes);
+  mix(p.words.size());
+  for (const std::uint64_t w : p.words) mix(w);
+  for (const std::uint8_t b : p.payload) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 }  // namespace alewife

@@ -32,6 +32,17 @@ class MeshTopology {
     return y * width_ + x;
   }
 
+  /// The node a directed link from `n` in direction `d` lands on (caller
+  /// guarantees the link exists, as route() output does).
+  NodeId neighbor(NodeId n, Dir d) const {
+    switch (d) {
+      case Dir::kEast: return n + 1;
+      case Dir::kWest: return n - 1;
+      case Dir::kNorth: return n - width_;
+      default: return n + width_;  // kSouth
+    }
+  }
+
   /// Manhattan hop count between two nodes.
   std::uint32_t hops(NodeId a, NodeId b) const;
 

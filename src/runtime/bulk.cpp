@@ -40,7 +40,13 @@ BulkCopyEngine::BulkCopyEngine(RuntimeShared& shared) : shared_(shared) {
     cmmu.set_handler(kMsgCopyAck, [this](HandlerCtx& hc, MsgView& m) {
       const std::uint64_t seq = m.operand(hc, 0);
       auto it = pending_.find(seq);
-      assert(it != pending_.end() && "copy ack for unknown transfer");
+      if (it == pending_.end()) {
+        // Stale ack for a transfer already completed (possible only under
+        // fault injection, e.g. a duplicated packet that slipped past the
+        // reliable layer): ignore it rather than wake a random thread.
+        hc.charge(1);
+        return;
+      }
       Pending p = it->second;
       pending_.erase(it);
       hc.charge(2);

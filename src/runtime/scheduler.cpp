@@ -90,6 +90,7 @@ void NodeRuntime::dispatch_thread(std::uint64_t id, Cycles t) {
   ThreadRec& r = threads_.at(id);
   assert(r.live && r.fiber);
   current_thread_ = id;
+  if (shared_.wd != nullptr) shared_.wd->note(t);
   proc_.dispatch(r.fiber.get(), t);
 }
 
@@ -128,6 +129,7 @@ void NodeRuntime::pick_next(Cycles t) {
 
 void NodeRuntime::enqueue_ready(std::uint64_t id, Cycles t) {
   ready_threads_.push_back(id);
+  if (shared_.wd != nullptr) shared_.wd->note(t);
   // With block multithreading the idle loop's own thread can be the one
   // being readied (it switched out on a miss while loop_active_ was set),
   // so an idle processor must always re-enter pick_next here.
@@ -291,12 +293,17 @@ std::uint64_t NodeRuntime::steal_hybrid(Context& ctx, NodeId victim) {
   d.operands = {node_};
   cmmu_.send(d);
   // Poll for the reply in short interruptible slices; the reply handler
-  // preempts one of them and fills steal_result_.
+  // preempts one of them and fills steal_result_. With the reliable layer on
+  // the request or reply may ride out several retransmission timeouts, and
+  // if retries exhaust the reply never comes — stretch the guard so the
+  // watchdog (which sees no progress) fires with its diagnostic dump first.
+  const Cycles guard_limit =
+      shared_.cfg.fault.reliable_on() ? 16'000'000 : 1'000'000;
   Cycles guard = 0;
   while (!steal_done_ && !shared_.stopping) {
     proc_.compute(4);
     guard += 4;
-    if (guard > 1'000'000) {
+    if (guard > guard_limit) {
       throw std::logic_error("steal reply never arrived (node " +
                              std::to_string(node_) + ")");
     }
@@ -312,6 +319,7 @@ void NodeRuntime::run_task_inline(Context& ctx, TaskId id, bool fresh_thread) {
   // starts running; an inlined touch reuses the toucher's thread for free.
   if (fresh_thread) proc_.charge(cost_.thread_create);
   shared_.stats.add(node_, MetricId::kRtTasksRun);
+  if (shared_.wd != nullptr) shared_.wd->note(proc_.free_at());
   if (shared_.trace != nullptr && shared_.trace->enabled(TraceCat::kSched)) {
     shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
                         std::string("run task=") + std::to_string(id) +
@@ -328,14 +336,18 @@ void NodeRuntime::run_task_inline(Context& ctx, TaskId id, bool fresh_thread) {
 // Tasks & futures (fiber side)
 // ---------------------------------------------------------------------------
 
-void NodeRuntime::push_local_task(TaskId id) {
+bool NodeRuntime::push_local_task(TaskId id) {
   if (shared_.opt.mode == SchedMode::kShm) {
-    queue_.push(proc_, encode_task(id));
+    if (!queue_.try_push(proc_, encode_task(id))) {
+      shared_.stats.add(node_, MetricId::kRtQueueFull);
+      return false;
+    }
   } else {
     InterruptGuard g(proc_);
     proc_.charge(shared_.opt.local_queue_op);
     local_tasks_.push_back(id);
   }
+  return true;
 }
 
 FutureId NodeRuntime::spawn_task(TaskFn fn) {
@@ -356,11 +368,17 @@ FutureId NodeRuntime::spawn_task(TaskFn fn) {
   tr.arg_words = shared_.opt.task_arg_words;
   const TaskId tid = shared_.registry.add_task(std::move(tr));
   shared_.registry.future(fid).task = tid;
-  push_local_task(tid);
   shared_.stats.add(node_, MetricId::kRtSpawns);
   if (shared_.trace != nullptr && shared_.trace->enabled(TraceCat::kSched)) {
     shared_.trace->emit(TraceCat::kSched, proc_.free_at(), node_,
                         "spawn task=" + std::to_string(tid));
+  }
+  if (!push_local_task(tid)) {
+    // Local queue full: degrade to eager evaluation — run the task inline in
+    // the spawning thread, exactly as if a touch had inlined it. The future
+    // is filled synchronously, nothing is lost, and rt.queue_full records
+    // the pressure.
+    run_task_inline(*ctx_, tid, /*fresh_thread=*/false);
   }
   return fid;
 }
@@ -581,7 +599,17 @@ FutureId NodeRuntime::invoke_shm(NodeId dst, TaskFn fn) {
   SharedTaskQueue& vq = shared_.peer(dst).queue();
   ContextPin pin(proc_);
   vq.lock(proc_);
-  vq.push_tail_unlocked(proc_, encode_task(tid));
+  std::uint32_t full_retries = 0;
+  while (!vq.try_push_tail_unlocked(proc_, encode_task(tid))) {
+    // Remote queue full: drop the lock so the owner can drain, back off,
+    // retry. Persistent fullness (a wedged or wildly undersized target) is
+    // surfaced as a typed QueueFull instead of silently spinning forever.
+    vq.unlock(proc_);
+    shared_.stats.add(node_, MetricId::kRtQueueFull);
+    if (++full_retries > 64) throw QueueFull(dst, shared_.opt.queue_capacity);
+    proc_.compute(256);
+    vq.lock(proc_);
+  }
   // Write the marshaled arguments into the remote task record: real remote
   // stores, two argument words per (16-byte) line.
   // The shm invoke passes large arguments by reference; only a compact

@@ -73,6 +73,7 @@ struct RuntimeShared {
   std::vector<NodeRuntime*> nodes;  ///< filled by the Machine at boot
   bool stopping = false;
   Trace* trace = nullptr;  ///< optional sink for kSched events
+  Watchdog* wd = nullptr;  ///< thread dispatch/wake and task runs note progress
 
   NodeRuntime& peer(NodeId n) { return *nodes.at(n); }
 };
@@ -133,6 +134,10 @@ class NodeRuntime {
 
   Fiber* thread_fiber(std::uint64_t id) { return threads_.at(id).fiber.get(); }
 
+  // ---- Diagnostics (watchdog dump, tests) ----
+  std::size_t ready_count() const { return ready_threads_.size(); }
+  std::size_t local_task_count() const { return local_tasks_.size(); }
+
  private:
   friend class Context;
 
@@ -161,7 +166,10 @@ class NodeRuntime {
   std::uint64_t steal_shm(Context& ctx, NodeId victim, bool desperate);
   std::uint64_t steal_hybrid(Context& ctx, NodeId victim);
 
-  void push_local_task(TaskId id);
+  /// Queue the freshly spawned task locally. Returns false when the local
+  /// shm queue is full (counted under rt.queue_full); the caller degrades
+  /// by running the task inline.
+  bool push_local_task(TaskId id);
   void register_handlers();
 
   RuntimeShared& shared_;

@@ -36,14 +36,18 @@ void SharedTaskQueue::unlock(Processor& p) {
   p.mem(MemOp::kStore, lock_addr_, 8, 0);
 }
 
-void SharedTaskQueue::push_tail_unlocked(Processor& p, std::uint64_t entry) {
+bool SharedTaskQueue::try_push_tail_unlocked(Processor& p,
+                                             std::uint64_t entry) {
   const std::uint64_t head = p.mem(MemOp::kLoad, head_addr_, 8);
   const std::uint64_t tail = p.mem(MemOp::kLoad, tail_addr_, 8);
-  if (tail - head >= capacity_) {
-    throw std::runtime_error("SharedTaskQueue overflow (raise capacity)");
-  }
+  if (tail - head >= capacity_) return false;
   p.mem(MemOp::kStore, slot_addr(tail), 8, entry);
   p.mem(MemOp::kStore, tail_addr_, 8, tail + 1);
+  return true;
+}
+
+void SharedTaskQueue::push_tail_unlocked(Processor& p, std::uint64_t entry) {
+  if (!try_push_tail_unlocked(p, entry)) throw QueueFull(home_, capacity_);
 }
 
 std::uint64_t SharedTaskQueue::pop_tail_unlocked(Processor& p) {
@@ -71,6 +75,14 @@ void SharedTaskQueue::push(Processor& p, std::uint64_t entry) {
   lock(p);
   push_tail_unlocked(p, entry);
   unlock(p);
+}
+
+bool SharedTaskQueue::try_push(Processor& p, std::uint64_t entry) {
+  ContextPin pin(p);
+  lock(p);
+  const bool ok = try_push_tail_unlocked(p, entry);
+  unlock(p);
+  return ok;
 }
 
 std::uint64_t SharedTaskQueue::pop_tail(Processor& p) {

@@ -10,12 +10,36 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 #include "memory/backing_store.hpp"
 #include "proc/processor.hpp"
 #include "sim/types.hpp"
 
 namespace alewife {
+
+/// Thrown when a task/wake queue is full and the caller cannot degrade
+/// gracefully. The scheduler normally avoids this (overflowing spawns run
+/// inline, counted under rt.queue_full); reaching user code means the
+/// machine is configured with a queue_capacity far too small for the load.
+class QueueFull : public std::runtime_error {
+ public:
+  QueueFull(NodeId home, std::uint32_t capacity)
+      : std::runtime_error("shared task queue on node " +
+                           std::to_string(home) + " is full (capacity " +
+                           std::to_string(capacity) +
+                           "; raise MachineConfig::queue_capacity)"),
+        home_(home),
+        capacity_(capacity) {}
+
+  NodeId home() const { return home_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+ private:
+  NodeId home_;
+  std::uint32_t capacity_;
+};
 
 class SharedTaskQueue {
  public:
@@ -34,8 +58,11 @@ class SharedTaskQueue {
   void unlock(Processor& p);
 
   /// Owner-side push at the tail. Caller must hold the lock... or use the
-  /// locked_* convenience wrappers below.
+  /// locked_* convenience wrappers below. Throws QueueFull at capacity.
   void push_tail_unlocked(Processor& p, std::uint64_t entry);
+  /// As above, but reports a full queue as `false` instead of throwing
+  /// (charges the two probe loads either way).
+  bool try_push_tail_unlocked(Processor& p, std::uint64_t entry);
   std::uint64_t pop_tail_unlocked(Processor& p);  ///< 0 when empty
 
   /// Thief-side pop at the head; `accept` (host predicate, reading the entry
@@ -44,8 +71,10 @@ class SharedTaskQueue {
   std::uint64_t steal_head_unlocked(
       Processor& p, const std::function<bool(std::uint64_t)>& accept);
 
-  // Lock-wrapped compound operations.
+  // Lock-wrapped compound operations. push throws QueueFull at capacity;
+  // try_push returns false instead.
   void push(Processor& p, std::uint64_t entry);
+  bool try_push(Processor& p, std::uint64_t entry);
   std::uint64_t pop_tail(Processor& p);
   std::uint64_t steal_head(Processor& p,
                            const std::function<bool(std::uint64_t)>& accept);

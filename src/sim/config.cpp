@@ -46,6 +46,7 @@ void MachineConfig::validate() const {
   if (mesh_width != 0 && mesh_width > nodes) {
     throw std::invalid_argument("MachineConfig: mesh_width > nodes");
   }
+  fault.validate(nodes);
 }
 
 }  // namespace alewife

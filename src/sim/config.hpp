@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace alewife {
@@ -89,6 +90,10 @@ struct MachineConfig {
   CostModel cost;
 
   std::uint64_t rng_seed = 0x5EEDBA5Eu;
+
+  /// Fault injection + reliable-delivery + watchdog knobs (docs/FAULTS.md).
+  /// All-defaults = perfect network; no fault code runs.
+  FaultConfig fault;
 
   /// Hard stop for the event loop (0 = unlimited). A safety net so that a
   /// deadlocked simulated program fails loudly instead of hanging the host.

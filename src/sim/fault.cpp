@@ -1,0 +1,94 @@
+#include "sim/fault.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/metrics.hpp"
+#include "sim/stats.hpp"
+
+namespace alewife {
+
+namespace {
+bool rate_ok(double r) { return r >= 0.0 && r <= 1.0; }
+}  // namespace
+
+void FaultConfig::validate(std::uint32_t nodes) const {
+  if (!rate_ok(drop_rate) || !rate_ok(dup_rate) || !rate_ok(corrupt_rate) ||
+      !rate_ok(delay_rate)) {
+    throw std::invalid_argument(
+        "FaultConfig: fault rates must be probabilities in [0, 1]");
+  }
+  if (delay_rate > 0.0 && delay_max == 0) {
+    throw std::invalid_argument(
+        "FaultConfig: delay_max must be > 0 when delay_rate is set");
+  }
+  for (const LinkOutage& o : outages) {
+    if (o.a >= nodes || o.b >= nodes) {
+      throw std::invalid_argument(
+          "FaultConfig: link outage names a node outside the machine");
+    }
+    if (o.a == o.b) {
+      throw std::invalid_argument(
+          "FaultConfig: link outage endpoints must differ");
+    }
+    if (o.until <= o.from) {
+      throw std::invalid_argument(
+          "FaultConfig: link outage interval is empty (until <= from)");
+    }
+  }
+}
+
+LinkOutage FaultConfig::parse_outage(const std::string& spec) {
+  LinkOutage o;
+  unsigned a = 0, b = 0;
+  unsigned long long from = 0, until = 0;
+  int consumed = -1;
+  if (std::sscanf(spec.c_str(), "%u,%u@%llu..%llu%n", &a, &b, &from, &until,
+                  &consumed) != 4 ||
+      consumed < 0 || static_cast<std::size_t>(consumed) != spec.size()) {
+    throw std::invalid_argument(
+        "link outage spec must look like A,B@T0..T1 (got '" + spec + "')");
+  }
+  o.a = static_cast<NodeId>(a);
+  o.b = static_cast<NodeId>(b);
+  o.from = from;
+  o.until = until;
+  return o;
+}
+
+FaultDecision FaultPlan::decide() {
+  FaultDecision d;
+  // One draw per configured category keeps the stream a pure function of
+  // (seed, config, transmission order) — the determinism tests rely on it.
+  if (cfg_.drop_rate > 0.0 && rng_.uniform() < cfg_.drop_rate) d.drop = true;
+  if (cfg_.dup_rate > 0.0 && rng_.uniform() < cfg_.dup_rate) d.dup = true;
+  if (cfg_.corrupt_rate > 0.0 && rng_.uniform() < cfg_.corrupt_rate) {
+    d.corrupt = true;
+  }
+  if (cfg_.delay_rate > 0.0 && rng_.uniform() < cfg_.delay_rate) {
+    d.extra_delay = 1 + rng_.below(cfg_.delay_max);
+  }
+  return d;
+}
+
+bool FaultPlan::link_down(NodeId a, NodeId b, Cycles t) const {
+  for (const LinkOutage& o : cfg_.outages) {
+    const bool match = (o.a == a && o.b == b) || (o.a == b && o.b == a);
+    if (match && t >= o.from && t < o.until) return true;
+  }
+  return false;
+}
+
+void Watchdog::trip(Cycles now, std::size_t pending_events) {
+  if (stats_ != nullptr) stats_->add(0, MetricId::kWatchdogTrips);
+  std::string msg =
+      "watchdog: no progress for " + std::to_string(interval_) +
+      " cycles (t=" + std::to_string(now) + ", " +
+      std::to_string(pending_events) +
+      " pending events) — the simulated machine is livelocked\n";
+  if (dump_) msg += dump_();
+  throw WatchdogError(msg);
+}
+
+}  // namespace alewife

@@ -1,0 +1,169 @@
+// Deterministic fault injection, and the no-progress watchdog.
+//
+// The paper assumes a reliable Alewife network; this module lets the
+// simulator take that assumption away on purpose. A seeded FaultPlan decides,
+// packet by packet, whether the network drops, duplicates, delays or corrupts
+// a user-level message (coherence traffic rides a reliable virtual channel —
+// dropping protocol packets would wedge the MSI state machines, which real
+// hardware prevents by construction). Link outages take mesh links down and
+// up on a schedule. Every decision draws from one Rng stream derived from
+// the machine seed, so equal seeds give bit-identical faulty runs and the
+// determinism suite holds with faults enabled.
+//
+// The Watchdog is the recovery layer's last line: when no semantic progress
+// (thread dispatched, task run, packet delivered) happens for an interval, it
+// converts the silent livelock into a structured WatchdogError carrying a
+// diagnostic dump of per-node queue depths, in-flight packets and retransmit
+// state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class Stats;
+
+/// One scheduled mesh-link outage: the (undirected) link between adjacent
+/// nodes `a` and `b` is down for t in [from, until). Packets whose head
+/// reaches the dead link are discarded there.
+struct LinkOutage {
+  NodeId a = 0;
+  NodeId b = 0;
+  Cycles from = 0;
+  Cycles until = 0;
+};
+
+/// Fault-injection and recovery configuration, embedded in MachineConfig.
+/// All-defaults means "perfect network": no fault code runs, and behavior is
+/// bit-identical to a build without this subsystem.
+struct FaultConfig {
+  // ---- Injection (network side; user-message packets only) -----------------
+  double drop_rate = 0.0;     ///< P(packet silently discarded)
+  double dup_rate = 0.0;      ///< P(packet delivered twice)
+  double corrupt_rate = 0.0;  ///< P(a payload/operand bit flips in flight)
+  double delay_rate = 0.0;    ///< P(extra delivery delay)
+  Cycles delay_max = 64;      ///< extra delay drawn uniformly from [1, max]
+  std::vector<LinkOutage> outages;
+
+  /// Fault-stream seed; 0 derives one from MachineConfig::rng_seed so the
+  /// default stays a function of the machine seed alone.
+  std::uint64_t seed = 0;
+
+  // ---- Recovery (reliable-delivery layer in the CMMU) ----------------------
+  /// Force the reliable-delivery layer on even with no faults configured
+  /// (the layer always arms itself when any fault rate is nonzero).
+  bool reliable = false;
+  /// CMMU receive-window depth in packets: sequenced packets more than this
+  /// far ahead of the next expected one are nacked and drained storeback-
+  /// style instead of buffered. 0 = unbounded.
+  std::uint32_t recv_window = 16;
+  Cycles retrans_timeout = 4096;  ///< base retransmit timeout (cycles)
+  std::uint32_t max_retries = 16; ///< retransmissions before giving up
+
+  // ---- Watchdog -------------------------------------------------------------
+  /// No-progress interval before the watchdog trips. 0 = auto: armed at
+  /// kAutoWatchdogInterval whenever the reliable layer is on, off otherwise.
+  Cycles watchdog_interval = 0;
+
+  static constexpr Cycles kAutoWatchdogInterval = 2'000'000;
+
+  bool any_faults() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || corrupt_rate > 0.0 ||
+           delay_rate > 0.0 || !outages.empty();
+  }
+  bool reliable_on() const { return reliable || any_faults(); }
+  Cycles effective_watchdog() const {
+    if (watchdog_interval != 0) return watchdog_interval;
+    return reliable_on() ? kAutoWatchdogInterval : 0;
+  }
+
+  /// Throws std::invalid_argument if rates/outages are unusable; called from
+  /// MachineConfig::validate with the machine's node count.
+  void validate(std::uint32_t nodes) const;
+
+  /// Parse "a,b@t0..t1" (the --fault-link-down flag format). Throws
+  /// std::invalid_argument on malformed specs.
+  static LinkOutage parse_outage(const std::string& spec);
+};
+
+/// What the network does to one transmission of one packet.
+struct FaultDecision {
+  bool drop = false;
+  bool dup = false;
+  bool corrupt = false;
+  Cycles extra_delay = 0;
+};
+
+/// The seeded per-run fault stream. Owned by the Machine; consulted by the
+/// Network once per packet transmission (retransmissions get fresh draws).
+class FaultPlan {
+ public:
+  FaultPlan(const FaultConfig& cfg, std::uint64_t machine_seed)
+      : cfg_(cfg),
+        rng_(cfg.seed != 0 ? cfg.seed : (machine_seed ^ 0xFA017'FA017ull)) {}
+
+  const FaultConfig& config() const { return cfg_; }
+  bool active() const { return cfg_.any_faults(); }
+  bool has_outages() const { return !cfg_.outages.empty(); }
+
+  /// Draw this transmission's fate (advances the fault Rng).
+  FaultDecision decide();
+
+  /// Is the undirected link between adjacent nodes `a` and `b` down at `t`?
+  bool link_down(NodeId a, NodeId b, Cycles t) const;
+
+  /// Auxiliary draw for fault details (e.g. which byte corruption flips).
+  std::uint64_t draw(std::uint64_t bound) { return rng_.below(bound); }
+
+ private:
+  FaultConfig cfg_;
+  Rng rng_;
+};
+
+/// Thrown by the watchdog: the simulation made no progress for a full
+/// interval. what() carries the Machine's diagnostic dump.
+class WatchdogError : public std::runtime_error {
+ public:
+  explicit WatchdogError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// No-progress detector. The event loop checks `due(t)` before each event;
+/// progress points (thread dispatch/wake, task run, packet delivery) call
+/// `note(t)` to push the deadline out. Idle-loop polling and retransmit
+/// timers deliberately do NOT note progress — they are exactly the event
+/// traffic that keeps a livelocked machine's queue busy forever.
+class Watchdog {
+ public:
+  Watchdog(Cycles interval, Stats* stats)
+      : interval_(interval), deadline_(interval), stats_(stats) {}
+
+  Cycles interval() const { return interval_; }
+
+  /// Install the callback that renders the diagnostic dump on a trip.
+  void set_dump(std::function<std::string()> fn) { dump_ = std::move(fn); }
+
+  bool due(Cycles t) const { return t > deadline_; }
+
+  void note(Cycles t) {
+    const Cycles d = t + interval_;
+    if (d > deadline_) deadline_ = d;
+  }
+
+  /// Record the trip in stats and throw WatchdogError with the dump attached.
+  [[noreturn]] void trip(Cycles now, std::size_t pending_events);
+
+ private:
+  Cycles interval_;
+  Cycles deadline_;
+  Stats* stats_;
+  std::function<std::string()> dump_;
+};
+
+}  // namespace alewife

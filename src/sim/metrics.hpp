@@ -72,6 +72,7 @@ namespace alewife {
   X(kRtMsgRemoteWakes, "rt.msg_remote_wakes", "count", "runtime")             \
   X(kRtInvokesMsg, "rt.invokes_msg", "count", "runtime")                      \
   X(kRtInvokesShm, "rt.invokes_shm", "count", "runtime")                      \
+  X(kRtQueueFull, "rt.queue_full", "count", "runtime")                        \
   /* bulk copy engine: the node driving the copy */                           \
   X(kBulkMsgPullBytes, "bulk.msg_pull_bytes", "bytes", "bulk")                \
   X(kBulkShmPrefetchBytes, "bulk.shm_prefetch_bytes", "bytes", "bulk")        \
@@ -79,7 +80,25 @@ namespace alewife {
   X(kBulkMsgBytes, "bulk.msg_bytes", "bytes", "bulk")                         \
   /* adaptive mechanism selection: the deciding node */                       \
   X(kAdaptiveCopyMsg, "adaptive.copy_msg", "count", "adaptive")               \
-  X(kAdaptiveCopyShm, "adaptive.copy_shm", "count", "adaptive")
+  X(kAdaptiveCopyShm, "adaptive.copy_shm", "count", "adaptive")               \
+  /* fault injection: attributed to the faulted packet's source node */       \
+  X(kFaultDrops, "fault.drops", "count", "fault")                             \
+  X(kFaultDups, "fault.dups", "count", "fault")                               \
+  X(kFaultCorrupts, "fault.corrupts", "count", "fault")                       \
+  X(kFaultDelays, "fault.delays", "count", "fault")                           \
+  X(kFaultLinkDrops, "fault.link_drops", "count", "fault")                    \
+  /* reliable delivery: sender-side events to the sender, receiver-side */    \
+  /* events (acks/nacks/dups/window) to the receiving node */                 \
+  X(kRelRetransmits, "rel.retransmits", "count", "rel")                       \
+  X(kRelSendFailures, "rel.send_failures", "count", "rel")                    \
+  X(kRelAcksSent, "rel.acks_sent", "count", "rel")                            \
+  X(kRelNacksSent, "rel.nacks_sent", "count", "rel")                          \
+  X(kRelDupsDropped, "rel.dups_dropped", "count", "rel")                      \
+  X(kRelOutOfOrder, "rel.out_of_order", "count", "rel")                       \
+  X(kRelWindowOverflows, "rel.window_overflows", "count", "rel")              \
+  X(kRelDeliveredBytes, "rel.delivered_bytes", "bytes", "rel")                \
+  /* watchdog: node 0 (machine-wide) */                                       \
+  X(kWatchdogTrips, "watchdog.trips", "count", "watchdog")
 
 enum class MetricId : std::uint16_t {
 #define ALEWIFE_METRIC_ENUM(id, name, unit, subsystem) id,

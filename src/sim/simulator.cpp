@@ -1,11 +1,18 @@
 #include "sim/simulator.hpp"
 
+#include "sim/fault.hpp"
+
 namespace alewife {
 
 void Simulator::run(Cycles max_cycles) {
   while (!queue_.empty() && !stopping_) {
     const Cycles t = queue_.next_time();
     if (max_cycles != 0 && t > max_cycles) throw_timeout(max_cycles);
+    if (watchdog_ != nullptr && watchdog_->due(t)) {
+      // No progress point was noted for a full interval even though the
+      // queue is still busy (idle polling, retransmit timers): livelock.
+      watchdog_->trip(t, queue_.size());
+    }
     // Advance the clock before executing the event so callbacks observe the
     // correct now().
     now_ = t;
@@ -14,9 +21,13 @@ void Simulator::run(Cycles max_cycles) {
 }
 
 void Simulator::throw_timeout(Cycles max_cycles) const {
-  throw SimTimeout("simulation exceeded " + std::to_string(max_cycles) +
-                   " cycles at t=" + std::to_string(now_) +
-                   " (likely deadlock in the simulated program)");
+  std::string msg = "simulation exceeded " + std::to_string(max_cycles) +
+                    " cycles at t=" + std::to_string(now_) + " (" +
+                    std::to_string(queue_.size()) + " pending events, " +
+                    std::to_string(queue_.events_executed()) +
+                    " executed; likely deadlock in the simulated program)";
+  if (diagnostics_) msg += "\n" + diagnostics_();
+  throw SimTimeout(msg);
 }
 
 }  // namespace alewife

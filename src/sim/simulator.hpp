@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -11,8 +12,11 @@
 
 namespace alewife {
 
+class Watchdog;
+
 /// Thrown when the event loop exceeds MachineConfig::max_cycles — the
-/// simulated program is almost certainly deadlocked or livelocked.
+/// simulated program is almost certainly deadlocked or livelocked. what()
+/// includes the machine's diagnostic dump when one is installed.
 class SimTimeout : public std::runtime_error {
  public:
   explicit SimTimeout(const std::string& what) : std::runtime_error(what) {}
@@ -55,6 +59,16 @@ class Simulator {
   EventQueue& queue() { return queue_; }
   std::uint64_t events_executed() const { return queue_.events_executed(); }
 
+  /// Arm (or disarm with nullptr) the no-progress watchdog. The loop checks
+  /// it before each event; a trip throws WatchdogError out of run().
+  void set_watchdog(Watchdog* wd) { watchdog_ = wd; }
+
+  /// Install the callback that renders a machine-state dump, appended to
+  /// SimTimeout messages so a hung run fails with actionable diagnostics.
+  void set_diagnostics(std::function<std::string()> fn) {
+    diagnostics_ = std::move(fn);
+  }
+
  private:
   /// Out of line and cold: keeps the timeout message's string construction
   /// (and its code) entirely off the event-loop hot path.
@@ -63,6 +77,8 @@ class Simulator {
   EventQueue queue_;
   Cycles now_ = 0;
   bool stopping_ = false;
+  Watchdog* watchdog_ = nullptr;
+  std::function<std::string()> diagnostics_;
 };
 
 }  // namespace alewife

@@ -85,6 +85,55 @@ TEST(Determinism, DifferentSeedUsuallyDiffers) {
   EXPECT_NE(a, b);
 }
 
+// The same workload under heavy seeded fault injection: drops, dups,
+// corruption, delays, plus the whole ack/retransmit recovery machinery. The
+// determinism contract must survive all of it.
+std::uint64_t run_seeded_faulty(std::uint64_t fault_seed) {
+  MachineConfig c;
+  c.nodes = 16;
+  c.rng_seed = 0x5EEDBA5Eu;
+  c.max_cycles = 500'000'000;
+  c.fault.drop_rate = 0.05;
+  c.fault.dup_rate = 0.03;
+  c.fault.corrupt_rate = 0.02;
+  c.fault.delay_rate = 0.05;
+  c.fault.seed = fault_seed;
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = true;
+  Machine m(c, o);
+  const std::uint64_t leaves = m.run([](Context& ctx) -> std::uint64_t {
+    return apps::grain_parallel(ctx, /*depth=*/9, /*delay=*/20);
+  });
+  return digest(m, leaves);
+}
+
+TEST(Determinism, SameFaultSeedSameDigest) {
+  const std::uint64_t a = run_seeded_faulty(0xFA017u);
+  const std::uint64_t b = run_seeded_faulty(0xFA017u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentFaultSeedUsuallyDiffers) {
+  const std::uint64_t a = run_seeded_faulty(0xFA017u);
+  const std::uint64_t b = run_seeded_faulty(0xBEEFu);
+  EXPECT_NE(a, b);
+}
+
+TEST(Determinism, FaultyParallelSweepMatchesSerial) {
+  constexpr std::size_t kPoints = 6;
+  const auto point = [](std::size_t i) {
+    return run_seeded_faulty(0x1000 + i);
+  };
+  const std::vector<std::uint64_t> serial =
+      bench::sweep<std::uint64_t>(kPoints, point, /*threads=*/1);
+  const std::vector<std::uint64_t> parallel =
+      bench::sweep<std::uint64_t>(kPoints, point, /*threads=*/4);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "faulty sweep point " << i;
+  }
+}
+
 // One sweep point == one independent simulation; used for both the serial
 // reference and the parallel run.
 std::uint64_t sweep_point(std::size_t i) {

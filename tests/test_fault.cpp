@@ -1,0 +1,265 @@
+// Fault injection, reliable delivery and the watchdog (ISSUE: robustness).
+//
+// The machine must produce *correct answers* — not merely finish — while the
+// network drops, duplicates, corrupts, delays and severs links under it, and
+// must convert an unrecoverable livelock into a structured diagnostic rather
+// than spinning forever.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/grain.hpp"
+#include "apps/jacobi.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/msg_types.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig faulty_cfg(std::uint32_t nodes, double drop, double dup = 0.0,
+                         double corrupt = 0.0) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.rng_seed = 0xFA17;
+  c.max_cycles = 500'000'000;
+  c.fault.drop_rate = drop;
+  c.fault.dup_rate = dup;
+  c.fault.corrupt_rate = corrupt;
+  return c;
+}
+
+// Run `episodes` message-barrier episodes across all nodes; returns total
+// barrier-phase cycles on node 0.
+Cycles run_barrier(Machine& m, std::uint32_t episodes) {
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 8);
+  auto t0 = std::make_shared<Cycles>(0);
+  auto t1 = std::make_shared<Cycles>(0);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&bar, t0, t1, n, episodes](Context& ctx) {
+      if (n == 0) *t0 = ctx.now();
+      for (std::uint32_t e = 0; e < episodes; ++e) bar.wait(ctx);
+      if (n == 0) *t1 = ctx.now();
+    });
+  }
+  m.run_started();
+  return *t1 - *t0;
+}
+
+TEST(Fault, BarrierCompletesUnderDropAndDup) {
+  Machine m(faulty_cfg(64, /*drop=*/0.05, /*dup=*/0.02));
+  const Cycles cycles = run_barrier(m, 4);
+  EXPECT_GT(cycles, 0u);
+  // The faults really happened, and the reliable layer really recovered.
+  EXPECT_GT(m.stats().get(MetricId::kFaultDrops), 0u);
+  EXPECT_GT(m.stats().get(MetricId::kFaultDups), 0u);
+  EXPECT_GT(m.stats().get(MetricId::kRelRetransmits), 0u);
+  EXPECT_GT(m.stats().get(MetricId::kRelAcksSent), 0u);
+  EXPECT_GT(m.stats().get(MetricId::kRelDupsDropped), 0u);
+  EXPECT_EQ(m.stats().get(MetricId::kRelSendFailures), 0u);
+}
+
+TEST(Fault, BulkTransferSurvivesDropDupAndCorruption) {
+  Machine m(faulty_cfg(16, /*drop=*/0.08, /*dup=*/0.04, /*corrupt=*/0.04));
+  constexpr std::uint32_t kBytes = 4096;
+  GAddr src = 0, dst = 0;
+  m.run([&](Context& ctx) -> std::uint64_t {
+    src = ctx.shmalloc(0, kBytes);
+    dst = ctx.shmalloc(5, kBytes);
+    for (std::uint32_t i = 0; i < kBytes; i += 8) {
+      ctx.store(src + i, 0x1234'5678'0000ull + i);
+    }
+    m.bulk().copy(ctx, dst, src, kBytes, CopyImpl::kMsgDma);
+    return 0;
+  });
+  // Every byte must have landed intact despite in-flight corruption: the
+  // checksum nack + retransmit path delivers pristine data or nothing.
+  const BackingStore& store = m.memory().store();
+  for (std::uint32_t i = 0; i < kBytes; i += 8) {
+    ASSERT_EQ(store.read_uint(dst + i, 8), 0x1234'5678'0000ull + i)
+        << "byte offset " << i;
+  }
+  EXPECT_GT(m.stats().get(MetricId::kFaultDrops), 0u);
+}
+
+TEST(Fault, JacobiUnderFaultsMatchesReference) {
+  const auto f = [](std::uint32_t r, std::uint32_t c) {
+    return 0.01 * r - 0.02 * c;
+  };
+  constexpr std::uint32_t kGrid = 32;
+  constexpr std::uint32_t kIters = 4;
+
+  Machine m(faulty_cfg(16, /*drop=*/0.05, /*dup=*/0.02, /*corrupt=*/0.02));
+  apps::JacobiSetup s = apps::jacobi_setup(m, kGrid);
+  apps::jacobi_init(m, s, f);
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kShm, 2);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&, n](Context& ctx) {
+      apps::jacobi_node(ctx, s, /*msg_variant=*/true, kIters, bar, m.bulk());
+    });
+  }
+  m.run_started();
+
+  const std::vector<double> got = apps::jacobi_extract(m, s, kIters);
+  const std::vector<double> want = apps::jacobi_reference(kGrid, f, kIters);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_DOUBLE_EQ(got[i], want[i]) << "grid element " << i;
+  }
+  EXPECT_GT(m.stats().get(MetricId::kFaultDrops), 0u);
+}
+
+TEST(Fault, ScheduledLinkOutageIsRoutedAround) {
+  // Sever the 0-1 link for a window in the middle of the run. Dimension-order
+  // routing cannot detour, so packets crossing it die at the dead link and
+  // the reliable layer retransmits them after the link comes back.
+  MachineConfig c = faulty_cfg(16, /*drop=*/0.0);
+  c.fault.outages.push_back(LinkOutage{0, 1, 1'000, 30'000});
+  Machine m(c);
+  const Cycles cycles = run_barrier(m, 6);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_GT(m.stats().get(MetricId::kFaultLinkDrops), 0u);
+  EXPECT_GT(m.stats().get(MetricId::kRelRetransmits), 0u);
+  EXPECT_EQ(m.stats().get(MetricId::kRelSendFailures), 0u);
+}
+
+TEST(Fault, DegradationIsMonotonicInDropRate) {
+  Cycles prev = 0;
+  for (const double drop : {0.0, 0.05, 0.15}) {
+    Machine m(faulty_cfg(16, drop, drop / 2.0));
+    const Cycles cycles = run_barrier(m, 4);
+    EXPECT_GT(cycles, prev) << "drop rate " << drop
+                            << " should cost more than the previous point";
+    prev = cycles;
+  }
+}
+
+TEST(Fault, WatchdogTripsOnLivelock) {
+  // 100% loss: every transmission (and every retransmission) dies. Retries
+  // exhaust, nothing makes progress, yet idle loops keep the event queue
+  // busy forever — exactly the silent livelock the watchdog exists for.
+  MachineConfig c = faulty_cfg(16, /*drop=*/1.0);
+  c.fault.watchdog_interval = 200'000;
+  Machine m(c);
+  try {
+    run_barrier(m, 2);
+    FAIL() << "livelocked run should have tripped the watchdog";
+  } catch (const WatchdogError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no progress"), std::string::npos) << what;
+    EXPECT_NE(what.find("network:"), std::string::npos) << what;
+    EXPECT_NE(what.find("unacked"), std::string::npos) << what;
+  }
+  EXPECT_EQ(m.stats().get(MetricId::kWatchdogTrips), 1u);
+}
+
+TEST(Fault, ReceiveWindowOverflowRecoversExactlyOnce) {
+  // A one-packet receive window plus loss forces out-of-window arrivals
+  // (seq N+1 lands while seq N is still being retransmitted). Every message
+  // must still be delivered exactly once, in order per sender.
+  MachineConfig c = faulty_cfg(4, /*drop=*/0.3);
+  c.fault.recv_window = 1;
+  Machine m(c);
+  constexpr std::uint32_t kPerSender = 20;
+  std::set<std::pair<NodeId, std::uint64_t>> seen;
+  std::vector<std::uint64_t> last_idx(m.nodes(), 0);
+  m.cmmu(0).set_handler(
+      kMsgUserBase + 1, [&](HandlerCtx& hc, MsgView& msg) {
+        const std::uint64_t idx = msg.operand(hc, 0);
+        EXPECT_TRUE(seen.emplace(msg.src(), idx).second)
+            << "duplicate delivery of message " << idx << " from n"
+            << msg.src();
+        EXPECT_GT(idx, last_idx[msg.src()]) << "reordered delivery";
+        last_idx[msg.src()] = idx;
+      });
+  for (NodeId n = 1; n < m.nodes(); ++n) {
+    m.start_thread(n, [n](Context& ctx) {
+      for (std::uint64_t i = 1; i <= kPerSender; ++i) {
+        MsgDescriptor d;
+        d.dst = 0;
+        d.type = kMsgUserBase + 1;
+        d.operands = {i};
+        ctx.send(d);
+      }
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(seen.size(), std::size_t{kPerSender} * (m.nodes() - 1));
+  EXPECT_GT(m.stats().get(MetricId::kRelWindowOverflows), 0u);
+  EXPECT_EQ(m.stats().get(MetricId::kRelSendFailures), 0u);
+}
+
+TEST(Fault, QueueFullDegradesToInlineExecution) {
+  // Satellite: a spawn storm against a tiny shm queue must not abort with an
+  // overflow error — overflowing spawns run inline (eager evaluation) and
+  // the pressure is visible in rt.queue_full.
+  MachineConfig c;
+  c.nodes = 4;
+  c.rng_seed = 0xFA17;
+  c.max_cycles = 500'000'000;
+  RuntimeOptions o;
+  o.mode = SchedMode::kShm;
+  o.queue_capacity = 4;
+  Machine m(c, o);
+  const std::uint64_t leaves = m.run([](Context& ctx) -> std::uint64_t {
+    return apps::grain_parallel(ctx, /*depth=*/8, /*delay=*/5);
+  });
+  EXPECT_EQ(leaves, 1u << 8);
+  EXPECT_GT(m.stats().get(MetricId::kRtQueueFull), 0u);
+}
+
+TEST(Fault, QueueFullCarriesHomeAndCapacity) {
+  const QueueFull e(7, 16);
+  EXPECT_EQ(e.home(), 7u);
+  EXPECT_EQ(e.capacity(), 16u);
+  EXPECT_NE(std::string(e.what()).find("node 7"), std::string::npos);
+}
+
+TEST(Fault, SimTimeoutCarriesDiagnostics) {
+  // Satellite: a run that exceeds max_cycles must name the cycle, the
+  // pending-event count, and the per-node machine state — not just "timed
+  // out".
+  MachineConfig c;
+  c.nodes = 4;
+  c.rng_seed = 1;
+  c.max_cycles = 50'000;
+  Machine m(c);
+  try {
+    m.run([](Context& ctx) -> std::uint64_t {
+      for (;;) ctx.compute(100);  // never finishes
+    });
+    FAIL() << "run should have exceeded max_cycles";
+  } catch (const SimTimeout& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pending"), std::string::npos) << what;
+    EXPECT_NE(what.find("n0:"), std::string::npos) << what;
+  }
+}
+
+TEST(Fault, ConfigValidationRejectsBadSpecs) {
+  MachineConfig c;
+  c.nodes = 16;
+  c.fault.drop_rate = 1.5;
+  EXPECT_THROW(Machine m(c), std::invalid_argument);
+
+  c.fault.drop_rate = 0.0;
+  c.fault.outages.push_back(LinkOutage{0, 99, 0, 100});
+  EXPECT_THROW(Machine m(c), std::invalid_argument);
+
+  EXPECT_THROW(FaultConfig::parse_outage("garbage"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse_outage("0,1@50..50x"),
+               std::invalid_argument);
+  const LinkOutage o = FaultConfig::parse_outage("3,7@100..2000");
+  EXPECT_EQ(o.a, 3u);
+  EXPECT_EQ(o.b, 7u);
+  EXPECT_EQ(o.from, 100u);
+  EXPECT_EQ(o.until, 2000u);
+}
+
+}  // namespace
+}  // namespace alewife

@@ -18,6 +18,11 @@
 //   --trace-out FILE     write the trace as Chrome trace_event JSON
 //                        (open in Perfetto / chrome://tracing); enables all
 //                        categories unless --trace narrows them
+//   --fault-*            deterministic fault injection (drop/dup/corrupt/
+//                        delay rates, scheduled link outages) with automatic
+//                        ack/retransmit recovery and a livelock watchdog;
+//                        see docs/FAULTS.md. Any nonzero rate arms the
+//                        reliable layer and prints a "-- faults --" summary.
 //
 // Apps:
 //   grain   --depth D --delay L        (default 12, 100)
@@ -90,7 +95,34 @@ cli::OptionTable machine_options(MachineArgs& a) {
       .value_str("--stats-json", "FILE", "write stats JSON (alewife-stats v1)",
                  &a.stats_json)
       .value_str("--trace-out", "FILE", "write Chrome trace_event JSON",
-                 &a.trace_out);
+                 &a.trace_out)
+      .value_double("--fault-drop-rate", "P(drop) per user packet",
+                    &a.cfg.fault.drop_rate)
+      .value_double("--fault-dup-rate", "P(duplicate) per user packet",
+                    &a.cfg.fault.dup_rate)
+      .value_double("--fault-corrupt-rate", "P(bit flip) per user packet",
+                    &a.cfg.fault.corrupt_rate)
+      .value_double("--fault-delay-rate", "P(extra delay) per user packet",
+                    &a.cfg.fault.delay_rate)
+      .value_u64("--fault-delay-max", "max extra delay cycles (default 64)",
+                 &a.cfg.fault.delay_max)
+      .value("--fault-link-down", "A,B@T0..T1",
+             "take the A-B mesh link down for cycles [T0, T1); repeatable",
+             [&a](const std::string& v) {
+               a.cfg.fault.outages.push_back(FaultConfig::parse_outage(v));
+             })
+      .value_u64("--fault-seed", "fault-stream seed (0 = derive from --seed)",
+                 &a.cfg.fault.seed)
+      .flag("--reliable", "arm the reliable layer even with no faults",
+            &a.cfg.fault.reliable)
+      .value_u32("--fault-window", "CMMU receive window, packets (default 16)",
+                 &a.cfg.fault.recv_window)
+      .value_u64("--fault-timeout", "base retransmit timeout (default 4096)",
+                 &a.cfg.fault.retrans_timeout)
+      .value_u32("--fault-retries", "max retransmissions (default 16)",
+                 &a.cfg.fault.max_retries)
+      .value_u64("--watchdog", "no-progress interval (0 = auto)",
+                 &a.cfg.fault.watchdog_interval);
   return t;
 }
 
@@ -144,6 +176,33 @@ void finish(Machine& m, const MachineArgs& a, const std::string& app,
   std::printf("simulated %llu cycles (%.1f us @33MHz); host events %llu\n",
               (unsigned long long)duration, duration / 33.0,
               (unsigned long long)m.sim().events_executed());
+  if (m.config().fault.reliable_on()) {
+    Stats& st = m.stats();
+    const auto c = [&st](MetricId id) {
+      return (unsigned long long)st.get(id);
+    };
+    std::printf("-- faults --\n");
+    std::printf(
+        "  injected: drops %llu  dups %llu  corrupts %llu  delays %llu"
+        "  link-drops %llu\n",
+        c(MetricId::kFaultDrops), c(MetricId::kFaultDups),
+        c(MetricId::kFaultCorrupts), c(MetricId::kFaultDelays),
+        c(MetricId::kFaultLinkDrops));
+    std::printf(
+        "  recovery: retransmits %llu  acks %llu  nacks %llu"
+        "  dup-drops %llu  ooo %llu  window-overflows %llu"
+        "  send-failures %llu\n",
+        c(MetricId::kRelRetransmits), c(MetricId::kRelAcksSent),
+        c(MetricId::kRelNacksSent), c(MetricId::kRelDupsDropped),
+        c(MetricId::kRelOutOfOrder), c(MetricId::kRelWindowOverflows),
+        c(MetricId::kRelSendFailures));
+    const std::uint64_t good = st.get(MetricId::kRelDeliveredBytes);
+    if (duration != 0) {
+      std::printf("  goodput: %llu bytes in %llu cycles (%.2f MB/s @33MHz)\n",
+                  (unsigned long long)good, (unsigned long long)duration,
+                  double(good) / double(duration) * 33.0);
+    }
+  }
   if (a.want_stats) {
     std::printf("-- stats --\n");
     for (const auto& [k, v] : m.stats().counters()) {
@@ -394,5 +453,12 @@ int main(int argc, char** argv) {
   } catch (const cli::UsageError& e) {
     MachineArgs defaults;
     usage(defaults, e.what());
+  } catch (const WatchdogError& e) {
+    // Livelock converted into a structured diagnostic by the watchdog.
+    std::fprintf(stderr, "alewife_run: %s\n", e.what());
+    return 3;
+  } catch (const SimTimeout& e) {
+    std::fprintf(stderr, "alewife_run: %s\n", e.what());
+    return 3;
   }
 }

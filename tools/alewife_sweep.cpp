@@ -1,8 +1,8 @@
 // alewife_sweep — run parameter sweeps with one Machine per sweep point,
 // optionally spreading points across host threads.
 //
-//   alewife_sweep [--sweep scaling|interrupt|arity] [--threads N] [--serial]
-//                 [--fast] [--verify] [--json FILE]
+//   alewife_sweep [--sweep scaling|interrupt|arity|faults] [--threads N]
+//                 [--serial] [--fast] [--verify] [--json FILE]
 //
 //   --sweep NAME   which sweep to run (default: scaling)
 //   --threads N    host threads (default: ALEWIFE_SWEEP_THREADS env or
@@ -124,13 +124,60 @@ SweepResult sweep_arity(bool fast, unsigned threads) {
   return r;
 }
 
+// ---- faults: recovery cost vs packet-drop probability -----------------------
+//
+// Each point runs the msg barrier and a msg-DMA bulk copy on a machine whose
+// network drops (and occasionally duplicates) user packets; the reliable
+// layer arms automatically. Degradation should be monotonic and the
+// retransmit counter should track the drop rate.
+
+SweepResult sweep_faults(bool fast, unsigned threads) {
+  std::vector<double> drops =
+      fast ? std::vector<double>{0.0, 0.05}
+           : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10};
+  const std::uint32_t nodes = fast ? 16 : 64;
+  const std::uint32_t block = 4096;
+
+  SweepResult r;
+  r.cols = {"drop %", "bar msg", "copy msg", "retrans", "goodput B"};
+  r.rows = sweep<std::vector<std::string>>(
+      drops.size(),
+      [&](std::size_t i) {
+        MachineConfig c = bench_cfg(nodes);
+        c.fault.drop_rate = drops[i];
+        c.fault.dup_rate = drops[i] / 2.0;
+        const Cycles bar =
+            measure_barrier_cfg(c, CombiningBarrier::Mech::kMsg, 8, 4);
+
+        Machine m(c);
+        Cycles copy_cyc = 0;
+        m.run([&](Context& ctx) -> std::uint64_t {
+          const GAddr src = ctx.shmalloc(0, block);
+          const GAddr dst = ctx.shmalloc(1 % c.nodes, block);
+          for (std::uint32_t b = 0; b < block; b += 8) ctx.store(src + b, b);
+          const Cycles t0 = ctx.now();
+          m.bulk().copy(ctx, dst, src, block, CopyImpl::kMsgDma);
+          copy_cyc = ctx.now() - t0;
+          return 0;
+        });
+        return std::vector<std::string>{
+            fmt(drops[i] * 100.0, 1), std::to_string(bar),
+            std::to_string(copy_cyc),
+            std::to_string(m.stats().get(MetricId::kRelRetransmits)),
+            std::to_string(m.stats().get(MetricId::kRelDeliveredBytes))};
+      },
+      threads);
+  return r;
+}
+
 SweepResult run_sweep(const std::string& name, bool fast, unsigned threads) {
   if (name == "scaling") return sweep_scaling(fast, threads);
   if (name == "interrupt") return sweep_interrupt(fast, threads);
   if (name == "arity") return sweep_arity(fast, threads);
+  if (name == "faults") return sweep_faults(fast, threads);
   std::fprintf(stderr,
                "alewife_sweep: unknown sweep '%s' "
-               "(expected scaling|interrupt|arity)\n",
+               "(expected scaling|interrupt|arity|faults)\n",
                name.c_str());
   std::exit(2);
 }
@@ -177,7 +224,7 @@ int main(int argc, char** argv) {
   std::string json_out;
 
   cli::OptionTable opts;
-  opts.value_str("--sweep", "NAME", "scaling|interrupt|arity", &name)
+  opts.value_str("--sweep", "NAME", "scaling|interrupt|arity|faults", &name)
       .value_u32("--threads", "host threads", &threads)
       .flag("--serial", "shorthand for --threads 1", [&] { threads = 1; })
       .flag("--fast", "smaller machines / fewer points", &fast)

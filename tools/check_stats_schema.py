@@ -2,17 +2,42 @@
 """Validate an `alewife_run --stats-json` file against the alewife-stats v1
 schema. Stdlib only — CI runs it on a fresh runner with no extra packages.
 
-Usage: check_stats_schema.py FILE.json
+Usage: check_stats_schema.py [--expect-nonzero NAME]... FILE.json
 
 Checks structure (required fields, types), internal consistency (per_node
 lists match the declared node count and sum to each counter's total), and
 the registry invariants the C++ side promises (unique counter names, known
-units). Exits 0 on success, 1 with a message per violation otherwise.
+units, and that the fault/reliability/watchdog counters are present — the
+exporter emits the whole registry, so a fault counter missing from the JSON
+means the registry regressed). `--expect-nonzero NAME` (repeatable)
+additionally fails unless counter NAME has a total > 0 — the CI fault matrix
+uses it to prove injection and recovery actually happened at nonzero drop
+rates. Exits 0 on success, 1 with a message per violation otherwise.
 """
 import json
 import sys
 
 KNOWN_UNITS = {"count", "bytes", "cycles", "lines"}
+
+# Every registry counter the robustness layer promises; the exporter writes
+# all MetricIds (zero or not), so absence is a schema regression.
+REQUIRED_COUNTERS = {
+    "fault.drops",
+    "fault.dups",
+    "fault.corrupts",
+    "fault.delays",
+    "fault.link_drops",
+    "rel.retransmits",
+    "rel.send_failures",
+    "rel.acks_sent",
+    "rel.nacks_sent",
+    "rel.dups_dropped",
+    "rel.out_of_order",
+    "rel.window_overflows",
+    "rel.delivered_bytes",
+    "rt.queue_full",
+    "watchdog.trips",
+}
 
 errors = []
 
@@ -32,7 +57,7 @@ def require(doc, key, types, what="document"):
     return doc[key]
 
 
-def check(doc):
+def check(doc, expect_nonzero=()):
     schema = require(doc, "schema", str)
     if schema is not None and schema != "alewife-stats":
         err(f"schema is '{schema}', expected 'alewife-stats'")
@@ -51,6 +76,7 @@ def check(doc):
     if counters is None:
         return
     seen = set()
+    totals = {}
     for i, c in enumerate(counters):
         what = f"counters[{i}]"
         if not isinstance(c, dict):
@@ -69,6 +95,8 @@ def check(doc):
             err(f"{what}: unknown unit '{unit}'")
         require(c, "subsystem", str, what)
         total = require(c, "total", int, what)
+        if name is not None and total is not None:
+            totals[name] = total
         per_node = require(c, "per_node", list, what)
         if per_node is None or total is None:
             continue
@@ -79,6 +107,14 @@ def check(doc):
             err(f"{what}: per_node entries must be non-negative integers")
         elif sum(per_node) != total:
             err(f"{what}: per_node sums to {sum(per_node)}, total says {total}")
+
+    for name in sorted(REQUIRED_COUNTERS - seen):
+        err(f"counters: required counter '{name}' is missing")
+    for name in expect_nonzero:
+        if name not in totals:
+            err(f"--expect-nonzero: counter '{name}' not found")
+        elif totals[name] == 0:
+            err(f"--expect-nonzero: counter '{name}' is zero")
 
     hists = require(doc, "histograms", list)
     for i, h in enumerate(hists or []):
@@ -106,10 +142,15 @@ def check(doc):
 
 
 def main(argv):
-    if len(argv) != 2:
+    expect_nonzero = []
+    args = argv[1:]
+    while len(args) >= 2 and args[0] == "--expect-nonzero":
+        expect_nonzero.append(args[1])
+        args = args[2:]
+    if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    path = argv[1]
+    path = args[0]
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -119,7 +160,7 @@ def main(argv):
     if not isinstance(doc, dict):
         print(f"{path}: top level is not a JSON object", file=sys.stderr)
         return 1
-    check(doc)
+    check(doc, expect_nonzero)
     if errors:
         for e in errors:
             print(f"{path}: {e}", file=sys.stderr)
