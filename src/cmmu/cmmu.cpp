@@ -33,6 +33,9 @@ Cycles MsgView::storeback(HandlerCtx& ctx, GAddr dst,
   ms.store().write_bytes(dst, p_.payload.data() + cursor_, n);
   cursor_ += n;
   const Cycles inval = ms.dma_dest_invalidate(cmmu_.node(), dst, n);
+  if (MemChecker* chk = ms.checker()) {
+    chk->on_dma_storeback(cmmu_.node(), dst, n, ctx.now());
+  }
   const std::uint32_t line = ms.line_bytes();
   const std::uint64_t lines = (std::uint64_t{n} + line - 1) / line;
   const Cycles done =

@@ -158,6 +158,7 @@ std::uint64_t Machine::run(std::function<std::uint64_t(Context&)> main_fn,
         "simulation quiesced before the entry thread finished (deadlock in "
         "the simulated program?)");
   }
+  ms_->check_quiesce();
   return result;
 }
 
@@ -182,6 +183,7 @@ void Machine::run_started() {
         "simulation quiesced with started threads still live (deadlock in "
         "the simulated program?)");
   }
+  ms_->check_quiesce();
 }
 
 void HostBarrier::wait(Context& ctx) {

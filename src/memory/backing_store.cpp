@@ -58,7 +58,9 @@ std::uint64_t BackingStore::read_uint(GAddr addr, std::uint32_t size) const {
 void BackingStore::write_uint(GAddr addr, std::uint32_t size,
                               std::uint64_t value) {
   assert(size == 1 || size == 2 || size == 4 || size == 8);
-  std::memcpy(ptr(addr, size), &value, size);
+  std::uint8_t* p = ptr(addr, size);
+  std::memcpy(p, &value, size);
+  if (observer_) observer_->on_write(addr, p, size);
 }
 
 void BackingStore::read_bytes(GAddr addr, std::uint8_t* out,
@@ -68,7 +70,9 @@ void BackingStore::read_bytes(GAddr addr, std::uint8_t* out,
 
 void BackingStore::write_bytes(GAddr addr, const std::uint8_t* in,
                                std::uint64_t n) {
-  std::memcpy(ptr(addr, n), in, n);
+  std::uint8_t* p = ptr(addr, n);
+  std::memcpy(p, in, n);
+  if (observer_) observer_->on_write(addr, p, n);
 }
 
 }  // namespace alewife

@@ -15,8 +15,20 @@ namespace alewife {
 
 class BackingStore {
  public:
+  /// Observes every functional write (commit-time protocol writes, DMA
+  /// storebacks, and host-side setup writes alike). Installed by the memory
+  /// checker to keep its golden shadow store exact; null (the default) costs
+  /// one predicted-not-taken branch per write and nothing else.
+  struct Observer {
+    virtual ~Observer() = default;
+    virtual void on_write(GAddr addr, const std::uint8_t* bytes,
+                          std::uint64_t n) = 0;
+  };
+
   BackingStore(std::uint32_t nodes, std::uint64_t bytes_per_node,
                std::uint32_t line_bytes);
+
+  void set_observer(Observer* o) { observer_ = o; }
 
   /// Allocate `bytes` on `node`'s memory, aligned to a cache line.
   /// Throws std::bad_alloc if the node's memory is exhausted.
@@ -42,6 +54,7 @@ class BackingStore {
   std::uint32_t line_bytes_;
   std::vector<std::vector<std::uint8_t>> mem_;
   std::vector<std::uint64_t> brk_;
+  Observer* observer_ = nullptr;
 };
 
 }  // namespace alewife

@@ -1,0 +1,457 @@
+#include "memory/checker.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "memory/mem_system.hpp"
+
+namespace alewife {
+namespace {
+
+const char* memop_name(MemOp op) {
+  switch (op) {
+    case MemOp::kLoad: return "load";
+    case MemOp::kStore: return "store";
+    case MemOp::kTestAndSet: return "test_and_set";
+    case MemOp::kFetchAdd: return "fetch_add";
+    case MemOp::kSwap: return "swap";
+    case MemOp::kPrefetch: return "prefetch";
+    case MemOp::kPrefetchExcl: return "prefetch_excl";
+    case MemOp::kLoadFE: return "load_fe";
+    case MemOp::kTakeFE: return "take_fe";
+    case MemOp::kStoreFE: return "store_fe";
+    case MemOp::kResetFE: return "reset_fe";
+  }
+  return "?";
+}
+
+const char* dir_state_name(DirState s) {
+  switch (s) {
+    case DirState::kUncached: return "U";
+    case DirState::kShared: return "S";
+    case DirState::kExclusive: return "E";
+  }
+  return "?";
+}
+
+const char* line_state_name(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+std::string node_name(NodeId n) {
+  return n == kInvalidNode ? std::string("-") : std::to_string(n);
+}
+
+std::string hex_addr(GAddr a) {
+  std::ostringstream oss;
+  oss << "0x" << std::hex << a;
+  return oss.str();
+}
+
+}  // namespace
+
+MemChecker::MemChecker(const MachineConfig& cfg, Stats& stats,
+                       BackingStore& store, const Directory& dir,
+                       const std::vector<std::unique_ptr<Cache>>& caches)
+    : cfg_(cfg),
+      stats_(stats),
+      store_(store),
+      dir_(dir),
+      caches_(caches),
+      pending_bound_(cfg.check.max_pending ? cfg.check.max_pending
+                                           : cfg.nodes) {
+  store_.set_observer(this);
+}
+
+MemChecker::~MemChecker() { store_.set_observer(nullptr); }
+
+// ---- Value oracle -----------------------------------------------------------
+
+std::uint64_t MemChecker::shadow_read(GAddr addr, std::uint32_t size) {
+  // Untouched memory is zero (BackingStore materializes node arrays zeroed,
+  // and every write since construction has passed through on_write), so the
+  // shadow is exact without ever consulting the store.
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    auto it = shadow_.find(addr + i);
+    const std::uint64_t byte = it == shadow_.end() ? 0 : it->second;
+    v |= byte << (8 * i);
+  }
+  return v;
+}
+
+void MemChecker::shadow_write(GAddr addr, std::uint32_t size,
+                              std::uint64_t value) {
+  for (std::uint32_t i = 0; i < size; ++i)
+    shadow_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void MemChecker::begin_commit(NodeId node, MemOp op, GAddr addr,
+                              std::uint32_t size, std::uint64_t operand,
+                              std::uint64_t result, Cycles t) {
+  ++value_checks_;
+  stats_.add(node, MetricId::kCheckValueChecks);
+
+  const std::uint64_t shadow_old = shadow_read(addr, size);
+  const GAddr line = addr & ~GAddr{cfg_.cache_line_bytes - 1};
+
+  bool check_result = false;
+  bool writes = false;
+  std::uint64_t new_value = 0;
+  switch (op) {
+    case MemOp::kLoad:
+      check_result = true;
+      break;
+    case MemOp::kStore:
+      writes = true;
+      new_value = operand;
+      break;
+    case MemOp::kTestAndSet:
+    case MemOp::kSwap:
+      check_result = true;
+      writes = true;
+      new_value = operand;
+      break;
+    case MemOp::kFetchAdd:
+      check_result = true;
+      writes = true;
+      new_value = shadow_old + operand;
+      break;
+    default:
+      // Prefetches and raw FE ops never reach commit (FE traffic is lowered
+      // to kLoad/kStore/kFetchAdd first); anything else here is a new code
+      // path that bypassed the oracle's replay rules.
+      fail("unexpected-commit-op", line, node, t,
+           std::string("MemOp ") + memop_name(op) + " reached commit()");
+  }
+
+  if (check_result && result != shadow_old) {
+    std::ostringstream d;
+    d << memop_name(op) << " addr=" << hex_addr(addr) << " size=" << size
+      << " returned 0x" << std::hex << result << " but the golden model has 0x"
+      << shadow_old;
+    fail("value-mismatch", line, node, t, d.str());
+  }
+
+  if (writes) shadow_write(addr, size, new_value);
+
+  in_commit_ = true;
+  commit_writes_ = writes;
+  commit_node_ = node;
+  commit_addr_ = addr;
+  commit_size_ = size;
+  commit_time_ = t;
+}
+
+void MemChecker::end_commit() {
+  if (commit_writes_) {
+    const GAddr line = commit_addr_ & ~GAddr{cfg_.cache_line_bytes - 1};
+    fail("missing-commit-write", line, commit_node_, commit_time_,
+         "commit promised a functional write that never reached the store");
+  }
+  in_commit_ = false;
+  commit_node_ = kInvalidNode;
+}
+
+void MemChecker::on_write(GAddr addr, const std::uint8_t* bytes,
+                          std::uint64_t n) {
+  if (!in_commit_) {
+    // External truth: host-side setup writes and CMMU DMA storebacks define
+    // the memory image; the shadow follows them.
+    for (std::uint64_t i = 0; i < n; ++i) shadow_[addr + i] = bytes[i];
+    return;
+  }
+  const GAddr line = commit_addr_ & ~GAddr{cfg_.cache_line_bytes - 1};
+  if (!commit_writes_ || addr != commit_addr_ || n != commit_size_) {
+    std::ostringstream d;
+    d << "commit of " << hex_addr(commit_addr_) << "/" << commit_size_
+      << "B wrote " << hex_addr(addr) << "/" << n << "B instead";
+    fail("unexpected-commit-write", line, commit_node_, commit_time_, d.str());
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint8_t want = shadow_[addr + i];
+    if (bytes[i] != want) {
+      std::ostringstream d;
+      d << "committed byte " << hex_addr(addr + i) << " = 0x" << std::hex
+        << std::setw(2) << std::setfill('0') << unsigned(bytes[i])
+        << " but the golden model computed 0x" << std::setw(2)
+        << unsigned(want);
+      fail("commit-write-mismatch", line, commit_node_, commit_time_, d.str());
+    }
+  }
+  commit_writes_ = false;  // exactly one functional write per commit
+}
+
+// ---- Protocol checks --------------------------------------------------------
+
+void MemChecker::on_fill(NodeId node, GAddr line, LineState st, bool installed,
+                         Cycles t) {
+  ++protocol_checks_;
+  stats_.add(gaddr_node(line), MetricId::kCheckProtocolChecks);
+  if (!installed) return;  // poisoned read fill: delivered, never cached
+
+  if (caches_[node]->peek(line) != st) {
+    fail("fill-not-installed", line, node, t,
+         std::string("fill in state ") + line_state_name(st) +
+             " is not present in the filling cache");
+  }
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    if (n == node) continue;
+    const LineState other = caches_[n]->peek(line);
+    if (other == LineState::kInvalid) continue;
+    if (st == LineState::kModified) {
+      std::ostringstream d;
+      d << "modified fill at node " << node << " while node " << n
+        << " still holds the line in state " << line_state_name(other);
+      fail("fill-exclusivity", line, node, t, d.str());
+    }
+    if (st == LineState::kShared && other == LineState::kModified) {
+      std::ostringstream d;
+      d << "shared fill at node " << node << " while node " << n
+        << " holds the line modified";
+      fail("fill-shared-vs-modified", line, node, t, d.str());
+    }
+  }
+}
+
+void MemChecker::on_writeback(NodeId node, GAddr line, bool dir_busy,
+                              Cycles t) {
+  ++protocol_checks_;
+  stats_.add(gaddr_node(line), MetricId::kCheckProtocolChecks);
+  if (dir_busy) return;  // home mid-transaction: ownership is in flight
+  const DirEntry* e = dir_.find(line);
+  if (!e || e->state != DirState::kExclusive || e->owner != node) {
+    std::ostringstream d;
+    d << "node " << node
+      << " wrote back a dirty line the directory does not record it owning";
+    fail("writeback-not-owner", line, node, t, d.str());
+  }
+}
+
+void MemChecker::check_entry(GAddr line, const DirEntry& e, Cycles t) {
+  const NodeId home = gaddr_node(line);
+
+  for (NodeId s : e.sharers) {
+    if (s >= cfg_.nodes) {
+      fail("sharer-out-of-range", line, home, t,
+           "sharer " + std::to_string(s) + " is not a machine node");
+    }
+  }
+  {
+    std::set<NodeId> uniq(e.sharers.begin(), e.sharers.end());
+    if (uniq.size() != e.sharers.size()) {
+      fail("sharer-duplicate", line, home, t,
+           "the sharer list contains a node more than once");
+    }
+  }
+
+  switch (e.state) {
+    case DirState::kUncached:
+      if (e.owner != kInvalidNode || !e.sharers.empty() || e.sw_extended) {
+        fail("uncached-residue", line, home, t,
+             "kUncached entry still records an owner, sharers, or "
+             "sw_extended (reset_uncached was bypassed)");
+      }
+      break;
+    case DirState::kExclusive:
+      if (e.owner >= cfg_.nodes || !e.sharers.empty() || e.sw_extended) {
+        fail("exclusive-malformed", line, home, t,
+             "kExclusive entry lacks a valid single owner with an empty "
+             "sharer set");
+      }
+      break;
+    case DirState::kShared:
+      if (e.owner != kInvalidNode || e.sharers.empty()) {
+        fail("shared-malformed", line, home, t,
+             "kShared entry must have sharers and no owner");
+      }
+      break;
+  }
+
+  if (!e.sw_extended && e.sharers.size() > cfg_.cost.dir_hw_pointers) {
+    std::ostringstream d;
+    d << e.sharers.size() << " sharers exceed " << cfg_.cost.dir_hw_pointers
+      << " hardware pointers without sw_extended set";
+    fail("sw-extended-unset", line, home, t, d.str());
+  }
+
+  if (!e.busy && !e.pending.empty()) {
+    fail("pending-without-busy", line, home, t,
+         "requests are queued on a line with no transaction in flight");
+  }
+  if (e.pending.size() > pending_bound_) {
+    std::ostringstream d;
+    d << "pending depth " << e.pending.size() << " exceeds the bound "
+      << pending_bound_ << " (MSHR merging allows one request per node)";
+    fail("pending-overflow", line, home, t, d.str());
+  }
+}
+
+void MemChecker::track_busy(GAddr line, const DirEntry& e, Cycles t) {
+  if (!e.busy) {
+    busy_since_.erase(line);
+    return;
+  }
+  const auto [it, fresh] = busy_since_.emplace(line, t);
+  // Directory mutations are reported at their *scheduled* times, which are
+  // not monotonic across lines (a reply noted at t+latency can precede a
+  // request noted at now). Track the earliest sighting and only age forward.
+  if (!fresh && t < it->second) it->second = t;
+  if (!fresh && t > it->second &&
+      t - it->second > cfg_.check.max_busy_cycles) {
+    std::ostringstream d;
+    d << "line busy since t=" << it->second << " ("
+      << (t - it->second) << " cycles > " << cfg_.check.max_busy_cycles << ")";
+    fail("busy-wedged", line, gaddr_node(line), t, d.str());
+  }
+}
+
+void MemChecker::on_dir_change(GAddr line, Cycles t) {
+  ++protocol_checks_;
+  stats_.add(gaddr_node(line), MetricId::kCheckProtocolChecks);
+  if (const DirEntry* e = dir_.find(line)) {
+    check_entry(line, *e, t);
+    track_busy(line, *e, t);
+  }
+  // The touched-line age check above only fires when a busy line keeps
+  // seeing traffic; a periodic sweep catches lines that wedged silently.
+  if ((protocol_checks_ & 0xFFF) == 0) {
+    for (const auto& [l, since] : busy_since_) {
+      if (t > since && t - since > cfg_.check.max_busy_cycles) {
+        std::ostringstream d;
+        d << "line busy since t=" << since << " with no completing traffic";
+        fail("busy-wedged", l, gaddr_node(l), t, d.str());
+      }
+    }
+  }
+}
+
+void MemChecker::on_dma_storeback(NodeId node, GAddr dst, std::uint64_t len,
+                                  Cycles t) {
+  const GAddr mask = ~GAddr{cfg_.cache_line_bytes - 1};
+  const GAddr first = dst & mask;
+  const GAddr last = (dst + (len ? len - 1 : 0)) & mask;
+  for (GAddr l = first; l <= last; l += cfg_.cache_line_bytes) {
+    ++protocol_checks_;
+    stats_.add(gaddr_node(l), MetricId::kCheckProtocolChecks);
+    if (caches_[node]->peek(l) != LineState::kInvalid) {
+      std::ostringstream d;
+      d << "DMA storeback into [" << hex_addr(dst) << ", +" << len
+        << ") left a live local cache copy at node " << node;
+      fail("dma-stale-line", l, node, t, d.str());
+    }
+  }
+}
+
+void MemChecker::on_quiesce(Cycles t) {
+  // Directory: every entry settled and internally consistent.
+  for (const auto& [line, e] : dir_.sorted_entries()) {
+    ++protocol_checks_;
+    if (e->busy || !e->pending.empty()) {
+      std::ostringstream d;
+      d << "entry still busy=" << e->busy << " pending=" << e->pending.size()
+        << " at quiesce";
+      fail("quiesce-busy", line, gaddr_node(line), t, d.str());
+    }
+    check_entry(line, *e, t);
+  }
+  if (!busy_since_.empty()) {
+    const auto& [line, since] = *busy_since_.begin();
+    fail("quiesce-busy", line, gaddr_node(line), t,
+         "busy tracking still live at quiesce (since t=" +
+             std::to_string(since) + ")");
+  }
+
+  // Caches vs directory: a dirty copy must be the recorded exclusive owner;
+  // a clean copy must be a recorded sharer. (The converse is not required —
+  // silent clean evictions leave stale sharer pointers by design.)
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    for (const auto& [line, st] : caches_[n]->snapshot()) {
+      ++protocol_checks_;
+      const DirEntry* e = dir_.find(line);
+      if (st == LineState::kModified) {
+        if (!e || e->state != DirState::kExclusive || e->owner != n) {
+          std::ostringstream d;
+          d << "node " << n << " holds the line modified but the directory "
+            << "does not record it as the exclusive owner";
+          fail("quiesce-modified-unowned", line, n, t, d.str());
+        }
+      } else if (st == LineState::kShared) {
+        if (!e || e->state != DirState::kShared || !e->has_sharer(n)) {
+          std::ostringstream d;
+          d << "node " << n << " holds the line shared but the directory "
+            << "does not record it as a sharer";
+          fail("quiesce-shared-untracked", line, n, t, d.str());
+        }
+      }
+    }
+  }
+
+  // Golden shadow vs the functional store, byte for byte.
+  std::vector<GAddr> addrs;
+  addrs.reserve(shadow_.size());
+  for (const auto& [a, _] : shadow_) addrs.push_back(a);
+  std::sort(addrs.begin(), addrs.end());
+  for (GAddr a : addrs) {
+    const std::uint8_t want = shadow_[a];
+    const std::uint8_t got =
+        static_cast<std::uint8_t>(store_.read_uint(a, 1));
+    if (got != want) {
+      std::ostringstream d;
+      d << "store byte " << hex_addr(a) << " = 0x" << std::hex << std::setw(2)
+        << std::setfill('0') << unsigned(got)
+        << " but the golden model has 0x" << std::setw(2) << unsigned(want);
+      fail("shadow-divergence", a & ~GAddr{cfg_.cache_line_bytes - 1},
+           gaddr_node(a), t, d.str());
+    }
+  }
+  ++value_checks_;
+  stats_.add(0, MetricId::kCheckValueChecks);
+}
+
+// ---- Failure reporting ------------------------------------------------------
+
+std::string MemChecker::dump_line(GAddr line) const {
+  std::ostringstream oss;
+  if (const DirEntry* e = dir_.find(line)) {
+    oss << "  directory: state=" << dir_state_name(e->state)
+        << " owner=" << node_name(e->owner) << " sharers=[";
+    for (std::size_t i = 0; i < e->sharers.size(); ++i) {
+      if (i) oss << ",";
+      oss << e->sharers[i];
+    }
+    oss << "] sw_extended=" << e->sw_extended << " busy=" << e->busy
+        << " pending=" << e->pending.size() << "\n";
+  } else {
+    oss << "  directory: no entry\n";
+  }
+  oss << "  caches:";
+  bool any = false;
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    const LineState st = caches_[n]->peek(line);
+    if (st == LineState::kInvalid) continue;
+    oss << " node" << n << "=" << line_state_name(st);
+    any = true;
+  }
+  if (!any) oss << " (no cached copies)";
+  oss << "\n";
+  return oss.str();
+}
+
+void MemChecker::fail(const std::string& kind, GAddr line, NodeId node,
+                      Cycles t, const std::string& detail) const {
+  std::ostringstream oss;
+  oss << "memory checker: " << kind << " at t=" << t << " node="
+      << node_name(node) << " line=" << hex_addr(line) << "\n  " << detail
+      << "\n" << dump_line(line);
+  throw CheckerError(kind, oss.str());
+}
+
+}  // namespace alewife

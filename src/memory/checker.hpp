@@ -1,0 +1,159 @@
+// Run-time self-checking for the coherent memory system (docs/CHECKING.md).
+//
+// Two layers, both armed by MachineConfig::check.enabled:
+//
+//  1. Golden-model value oracle. A byte-granular shadow store replays every
+//     committed load/store/atomic with independent arithmetic (sequentially
+//     consistent per location — the machine's memory model). At each commit
+//     the returned value must match the shadow, and the bytes the protocol
+//     writes to the BackingStore must match what the golden model computed.
+//     DMA storebacks and host-side setup writes are observed through the
+//     BackingStore write hook, so the shadow never goes stale. This guards
+//     the functional/timing split itself: if a future change caches data
+//     values, double-applies a commit, or reorders a commit against a fill,
+//     the oracle trips at the first wrong byte.
+//
+//  2. Protocol invariant assertions. Every directory mutation re-checks the
+//     entry-local invariant catalogue (single owner in kExclusive, sharer
+//     set within the machine and empty in kUncached, sw_extended consistent
+//     with the hardware-pointer budget, bounded pending queue, busy windows
+//     that eventually close); every cache fill checks physical exclusivity
+//     across all caches; every dirty writeback checks directory agreement.
+//
+// Violations throw CheckerError carrying a structured, deterministically
+// ordered dump (same discipline as WatchdogError): equal seeds produce
+// byte-identical failure reports, so a fuzzer failure replays exactly.
+//
+// Cost: when disabled no MemChecker is constructed; the hooks reduce to a
+// null-pointer test. No simulated timing changes either way — the checker
+// observes, it never schedules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/backing_store.hpp"
+#include "memory/cache.hpp"
+#include "memory/directory.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+enum class MemOp : std::uint8_t;  // defined in memory/mem_system.hpp
+
+/// Thrown on the first violated check. what() carries the full dump;
+/// kind() is a stable machine-readable tag (e.g. "value-mismatch",
+/// "multiple-writers", "pending-overflow") for tests and triage.
+class CheckerError : public std::logic_error {
+ public:
+  CheckerError(std::string kind, const std::string& what)
+      : std::logic_error(what), kind_(std::move(kind)) {}
+  const std::string& kind() const { return kind_; }
+
+ private:
+  std::string kind_;
+};
+
+class MemChecker final : public BackingStore::Observer {
+ public:
+  /// Registers itself as the store's write observer; detaches in the dtor.
+  MemChecker(const MachineConfig& cfg, Stats& stats, BackingStore& store,
+             const Directory& dir,
+             const std::vector<std::unique_ptr<Cache>>& caches);
+  ~MemChecker() override;
+
+  MemChecker(const MemChecker&) = delete;
+  MemChecker& operator=(const MemChecker&) = delete;
+
+  // ---- Value oracle ---------------------------------------------------------
+
+  /// Called by MemorySystem::commit just before the operation's functional
+  /// effect is applied. `result` is the value the machine is about to hand
+  /// the program (the old value for loads/atomics). Replays the op on the
+  /// shadow and arms the write cross-check for the store that follows.
+  void begin_commit(NodeId node, MemOp op, GAddr addr, std::uint32_t size,
+                    std::uint64_t operand, std::uint64_t result, Cycles t);
+  /// Closes the begin_commit window (after the functional write, if any).
+  void end_commit();
+
+  /// BackingStore::Observer: inside a commit window, the written bytes must
+  /// equal the golden model's prediction; outside one (DMA storeback, host
+  /// setup writes), the write is external truth and refreshes the shadow.
+  void on_write(GAddr addr, const std::uint8_t* bytes,
+                std::uint64_t n) override;
+
+  // ---- Protocol checks ------------------------------------------------------
+
+  /// A data reply landed at `node`. `installed` is false for poisoned read
+  /// fills (delivered but not cached). Checks physical exclusivity across
+  /// every cache at the fill instant.
+  void on_fill(NodeId node, GAddr line, LineState st, bool installed,
+               Cycles t);
+
+  /// `node` is writing back a dirty line. When the home is not mid-
+  /// transaction on it, the directory must agree it is the exclusive owner.
+  void on_writeback(NodeId node, GAddr line, bool dir_busy, Cycles t);
+
+  /// The directory entry for `line` was mutated (state/owner/sharers/busy/
+  /// pending). Re-checks the entry-local invariant catalogue and the busy-
+  /// window age; periodically sweeps every tracked busy line.
+  void on_dir_change(GAddr line, Cycles t);
+
+  /// A DMA storeback wrote [dst, dst+len) into `node`'s local memory and
+  /// invalidated local copies; no stale local cache line may survive it.
+  void on_dma_storeback(NodeId node, GAddr dst, std::uint64_t len, Cycles t);
+
+  /// Machine quiesced: no busy lines, no pending requests, full cache/
+  /// directory agreement, and the shadow matches the store byte for byte.
+  void on_quiesce(Cycles t);
+
+  std::uint64_t value_checks() const { return value_checks_; }
+  std::uint64_t protocol_checks() const { return protocol_checks_; }
+
+ private:
+  std::uint64_t shadow_read(GAddr addr, std::uint32_t size);
+  void shadow_write(GAddr addr, std::uint32_t size, std::uint64_t value);
+  void check_entry(GAddr line, const DirEntry& e, Cycles t);
+  void track_busy(GAddr line, const DirEntry& e, Cycles t);
+
+  /// Renders the deterministic dump (directory entry + per-node cache states
+  /// + shadow/store bytes around `addr`) and throws CheckerError.
+  [[noreturn]] void fail(const std::string& kind, GAddr line, NodeId node,
+                         Cycles t, const std::string& detail) const;
+  std::string dump_line(GAddr line) const;
+
+  const MachineConfig& cfg_;
+  Stats& stats_;
+  BackingStore& store_;
+  const Directory& dir_;
+  const std::vector<std::unique_ptr<Cache>>& caches_;
+  std::uint32_t pending_bound_;
+
+  /// Golden shadow: one byte per touched address, lazily seeded from the
+  /// store the first time a location is read (pre-seeding 4 MB/node would
+  /// defeat the lazy BackingStore).
+  std::unordered_map<GAddr, std::uint8_t> shadow_;
+
+  // Commit window armed by begin_commit for the write cross-check.
+  bool in_commit_ = false;
+  bool commit_writes_ = false;
+  NodeId commit_node_ = kInvalidNode;
+  GAddr commit_addr_ = 0;
+  std::uint32_t commit_size_ = 0;
+  Cycles commit_time_ = 0;
+
+  /// First-seen busy time per line (sorted: dumps iterate it).
+  std::map<GAddr, Cycles> busy_since_;
+
+  std::uint64_t value_checks_ = 0;
+  std::uint64_t protocol_checks_ = 0;
+};
+
+}  // namespace alewife

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -61,6 +62,18 @@ struct DirEntry {
     sharers.erase(std::remove(sharers.begin(), sharers.end(), n),
                   sharers.end());
   }
+
+  /// Return the entry to the uncached state. Every transition to kUncached
+  /// must go through here: it clears `sw_extended` along with the owner and
+  /// sharer set, so a one-time LimitLESS overflow cannot keep charging
+  /// software-trap cost after the line's sharing history has been wiped
+  /// (ISSUE 4 satellite; the checker asserts kUncached => !sw_extended).
+  void reset_uncached() {
+    state = DirState::kUncached;
+    owner = kInvalidNode;
+    sharers.clear();
+    sw_extended = false;
+  }
 };
 
 /// All directory entries homed on one machine (lazily materialized).
@@ -74,6 +87,18 @@ class Directory {
   }
 
   std::size_t size() const { return entries_.size(); }
+
+  /// Deterministic iteration for checkers and diagnostic dumps: all entries,
+  /// sorted by line address (never iterate entries_ directly for output —
+  /// unordered_map order varies run to run).
+  std::vector<std::pair<GAddr, const DirEntry*>> sorted_entries() const {
+    std::vector<std::pair<GAddr, const DirEntry*>> v;
+    v.reserve(entries_.size());
+    for (const auto& [line, e] : entries_) v.emplace_back(line, &e);
+    std::sort(v.begin(), v.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return v;
+  }
 
  private:
   std::unordered_map<GAddr, DirEntry> entries_;

@@ -1,5 +1,6 @@
 #include "memory/mem_system.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -22,6 +23,16 @@ MemorySystem::MemorySystem(Simulator& sim, Network& net, BackingStore& store,
     caches_.push_back(std::make_unique<Cache>(
         cfg.cache_size_bytes, cfg.cache_line_bytes, cfg.cache_ways));
   }
+  if (cfg.check.enabled) {
+    checker_ =
+        std::make_unique<MemChecker>(cfg_, stats_, store_, dir_, caches_);
+  }
+}
+
+MemorySystem::~MemorySystem() = default;
+
+void MemorySystem::check_quiesce() {
+  if (checker_) checker_->on_quiesce(sim_.now());
 }
 
 // ---------------------------------------------------------------------------
@@ -142,32 +153,51 @@ void MemorySystem::start_fill(NodeId node, GAddr line, bool excl, bool upgrade,
 }
 
 void MemorySystem::commit(NodeId node, MemOp op, GAddr addr,
-                          std::uint32_t size, std::uint64_t value, Cycles,
+                          std::uint32_t size, std::uint64_t value, Cycles t,
                           const DoneFn& done) {
+  // The checker (when armed) brackets every functional effect: begin_commit
+  // replays the op on the golden shadow and validates the value handed to the
+  // program; the store write is then cross-checked byte-for-byte through the
+  // BackingStore observer; end_commit closes the window.
   (void)node;
+  (void)t;
   switch (op) {
-    case MemOp::kLoad:
-      done(store_.read_uint(addr, size));
+    case MemOp::kLoad: {
+      const std::uint64_t v = store_.read_uint(addr, size);
+      if (checker_) {
+        checker_->begin_commit(node, op, addr, size, value, v, t);
+        checker_->end_commit();
+      }
+      done(v);
       return;
+    }
     case MemOp::kStore:
+      if (checker_) checker_->begin_commit(node, op, addr, size, value, 0, t);
       store_.write_uint(addr, size, value);
+      if (checker_) checker_->end_commit();
       done(0);
       return;
     case MemOp::kTestAndSet: {
       const std::uint64_t old = store_.read_uint(addr, size);
+      if (checker_) checker_->begin_commit(node, op, addr, size, value, old, t);
       store_.write_uint(addr, size, value);
+      if (checker_) checker_->end_commit();
       done(old);
       return;
     }
     case MemOp::kFetchAdd: {
       const std::uint64_t old = store_.read_uint(addr, size);
+      if (checker_) checker_->begin_commit(node, op, addr, size, value, old, t);
       store_.write_uint(addr, size, old + value);
+      if (checker_) checker_->end_commit();
       done(old);
       return;
     }
     case MemOp::kSwap: {
       const std::uint64_t old = store_.read_uint(addr, size);
+      if (checker_) checker_->begin_commit(node, op, addr, size, value, old, t);
       store_.write_uint(addr, size, value);
+      if (checker_) checker_->end_commit();
       done(old);
       return;
     }
@@ -198,14 +228,17 @@ void MemorySystem::fill_complete(NodeId node, GAddr line, LineState st,
   }
 
   Cache& c = *caches_[node];
+  bool installed = false;
   if (m.poisoned && st == LineState::kShared) {
     // An invalidation overtook this read fill: deliver the data (linearized
     // after the writer) but do not cache the now-stale line.
     stats_.add(node, MetricId::kMemPoisonedFills);
   } else {
     Cache::Victim v = c.install(line, st);
+    installed = true;
     if (v.valid) evict(node, v.line, v.state, t);
   }
+  if (checker_) checker_->on_fill(node, line, st, installed, t);
 
   for (Waiter& w : m.waiters) complete_waiter(node, w, st, t);
 }
@@ -246,9 +279,10 @@ void MemorySystem::evict(NodeId node, GAddr line, LineState st, Cycles t) {
   // at store time); update the directory immediately and model the writeback
   // packet for network timing/occupancy only.
   DirEntry& e = dir_.entry(line);
+  if (checker_) checker_->on_writeback(node, line, e.busy, t);
   if (!e.busy && e.state == DirState::kExclusive && e.owner == node) {
-    e.state = DirState::kUncached;
-    e.owner = kInvalidNode;
+    e.reset_uncached();
+    note_dir(line, t);
   }
   send_coh(node, gaddr_node(line), kWriteback, line, line_bytes_, t);
 }
@@ -329,6 +363,7 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
         txns_.erase(it);
         reply_data(node, txn.requester, kDataE, line, t2, /*hold_busy=*/true);
       }
+      note_dir(line, t);
       return;
     }
 
@@ -431,6 +466,7 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
         e.sharers.clear();
         e.sw_extended = false;
       }
+      note_dir(line, t);
       // Memory is refreshed in parallel with the direct transfer.
       unbusy(node, line,
              std::max(t + cost_.local_mem_latency, safe_at));
@@ -449,6 +485,8 @@ void MemorySystem::home_request(NodeId home, CohMsg type, NodeId requester,
   if (e.busy) {
     e.pending.push_back(DirEntry::Queued{type, requester});
     stats_.add(home, MetricId::kMemHomeQueued);
+    stats_.max_to(home, MetricId::kMemPendingPeak, e.pending.size());
+    note_dir(line, t);
     return;
   }
   start_txn(home, type, requester, line, t);
@@ -473,13 +511,13 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
       send_coh(home, e.owner,
                cfg_.forward_dirty_direct ? kFetchFwd : kFetch, line, 0, t,
                std::uint64_t{requester} + 1);
+      note_dir(line, t);
       return;
     }
     // Uncached / Shared (or stale-owner self request after eviction).
     if (e.state == DirState::kExclusive) {
       // Requester was recorded as owner but evicted: memory is current.
-      e.state = DirState::kUncached;
-      e.owner = kInvalidNode;
+      e.reset_uncached();
     }
     e.state = DirState::kShared;
     if (e.add_sharer(requester, cost_.dir_hw_pointers)) {
@@ -487,6 +525,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
     }
     t += cost_.local_mem_latency;
     reply_data(home, requester, kDataS, line, t, /*hold_busy=*/false);
+    note_dir(line, t);
     return;
   }
 
@@ -500,6 +539,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
     e.sw_extended = false;
     t += cost_.local_mem_latency;
     reply_data(home, requester, kDataE, line, t, /*hold_busy=*/true);
+    note_dir(line, t);
     return;
   }
 
@@ -508,6 +548,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
     send_coh(home, e.owner,
              cfg_.forward_dirty_direct ? kFetchInvFwd : kFetchInv, line, 0, t,
              std::uint64_t{requester} + 1);
+    note_dir(line, t);
     return;
   }
 
@@ -529,6 +570,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
       t += cost_.local_mem_latency;
       reply_data(home, requester, kDataE, line, t, /*hold_busy=*/true);
     }
+    note_dir(line, t);
     return;
   }
 
@@ -539,6 +581,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
     send_coh(home, tgt, kInv, line, 0, t);
     stats_.add(home, MetricId::kMemInvSent);
   }
+  note_dir(line, t);
 }
 
 void MemorySystem::finish_write_txn(NodeId home, GAddr line, Cycles t) {
@@ -558,6 +601,7 @@ void MemorySystem::finish_write_txn(NodeId home, GAddr line, Cycles t) {
     reply_data(home, txn.requester, kDataE, line,
                t + cost_.local_mem_latency, /*hold_busy=*/true);
   }
+  note_dir(line, t);
 }
 
 void MemorySystem::reply_data(NodeId home, NodeId requester, CohMsg kind,
@@ -600,6 +644,8 @@ void MemorySystem::unbusy(NodeId home, GAddr line, Cycles t) {
     DirEntry::Queued q = e.pending.front();
     e.pending.pop_front();
     start_txn(home, static_cast<CohMsg>(q.type), q.requester, line, t);
+  } else {
+    note_dir(line, t);
   }
 }
 
@@ -703,13 +749,23 @@ Cycles MemorySystem::dma_source_flush(NodeId node, GAddr addr,
   const GAddr last = c.line_of(addr + len - 1);
   for (GAddr line = first; line <= last; line += line_bytes_) {
     if (c.peek(line) == LineState::kModified) {
-      c.set_state(line, LineState::kShared);
+      // Downgrade the dirty copy and the directory entry together, or not at
+      // all. The old code downgraded the cache unconditionally: a gather
+      // racing the tail of the line's own write transaction (home still
+      // busy) left state=kExclusive owner=self against a kShared cache copy
+      // forever — found by the checker's quiesce sweep. When the home is
+      // mid-transaction the copy stays kModified; the in-flight protocol
+      // action will collect it, and the DMA reads correct bytes from the
+      // backing store either way (values commit functionally, not at
+      // writeback).
       DirEntry& e = dir_.entry(line);
       if (!e.busy && e.state == DirState::kExclusive && e.owner == node) {
+        c.set_state(line, LineState::kShared);
         e.state = DirState::kShared;
         e.owner = kInvalidNode;
         e.sharers.clear();
         e.sharers.push_back(node);
+        note_dir(line, sim_.now());
       }
       cycles += cost_.dma_per_line;
       stats_.add(node, MetricId::kMemDmaFlushLines);
@@ -730,14 +786,18 @@ Cycles MemorySystem::dma_dest_invalidate(NodeId node, GAddr addr,
       DirEntry& e = dir_.entry(line);
       if (!e.busy) {
         if (e.state == DirState::kExclusive && e.owner == node) {
-          e.state = DirState::kUncached;
-          e.owner = kInvalidNode;
+          e.reset_uncached();
         } else {
           e.remove_sharer(node);
           if (e.state == DirState::kShared && e.sharers.empty()) {
-            e.state = DirState::kUncached;
+            // reset_uncached (not a bare state change) so a LimitLESS
+            // overflow epoch ends here: the stale sw_extended flag used to
+            // survive this transition and keep charging trap cost on the
+            // line's next write sharing cycle.
+            e.reset_uncached();
           }
         }
+        note_dir(line, sim_.now());
       }
       cycles += 1;
       stats_.add(node, MetricId::kMemDmaInvalLines);
@@ -751,15 +811,22 @@ Cycles MemorySystem::dma_dest_invalidate(NodeId node, GAddr addr,
 // ---------------------------------------------------------------------------
 
 void MemorySystem::check_invariants() const {
-  // Collect every cached line across the machine.
+  // Collect every cached line across the machine. Iterate lines in sorted
+  // order so any violation message (and the first violation found when there
+  // are several) is identical run to run.
   std::unordered_map<GAddr, std::vector<std::pair<NodeId, LineState>>> held;
   for (NodeId n = 0; n < caches_.size(); ++n) {
     for (auto& [line, st] : caches_[n]->snapshot()) {
       held[line].emplace_back(n, st);
     }
   }
+  std::vector<GAddr> lines;
+  lines.reserve(held.size());
+  for (auto& [line, holders] : held) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
 
-  for (auto& [line, holders] : held) {
+  for (GAddr line : lines) {
+    const auto& holders = held[line];
     std::uint32_t modified = 0;
     for (auto& [node, st] : holders) {
       if (st == LineState::kModified) ++modified;

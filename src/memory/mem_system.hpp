@@ -32,6 +32,7 @@
 
 #include "memory/backing_store.hpp"
 #include "memory/cache.hpp"
+#include "memory/checker.hpp"
 #include "memory/directory.hpp"
 #include "network/network.hpp"
 #include "sim/config.hpp"
@@ -81,6 +82,7 @@ class MemorySystem {
 
   MemorySystem(Simulator& sim, Network& net, BackingStore& store,
                const MachineConfig& cfg, Stats& stats);
+  ~MemorySystem();  // out of line: detaches the checker's store observer
 
   /// Issue a memory operation from `node` starting at time `start`
   /// (>= sim.now()). `done` runs at the completion time. The access must not
@@ -117,6 +119,14 @@ class MemorySystem {
   BackingStore& store() { return store_; }
   Directory& directory() { return dir_; }
   std::uint32_t line_bytes() const { return line_bytes_; }
+
+  /// The golden-model checker, or nullptr when cfg.check.enabled is false
+  /// (docs/CHECKING.md). The CMMU uses this to report DMA storebacks.
+  MemChecker* checker() { return checker_.get(); }
+
+  /// Checker hook for quiescent points (end of Machine::run): full directory/
+  /// cache cross-check plus a shadow-vs-store sweep. No-op when unchecked.
+  void check_quiesce();
 
   void set_trap_hook(TrapHook hook) { trap_hook_ = std::move(hook); }
 
@@ -197,6 +207,12 @@ class MemorySystem {
   void evict(NodeId node, GAddr line, LineState st, Cycles t);
   Cycles charge_trap(NodeId home, Cycles t);
 
+  /// Tell the checker the directory entry for `line` was mutated. Call after
+  /// every dir_ state change; reduces to a null test when unchecked.
+  void note_dir(GAddr line, Cycles t) {
+    if (checker_) checker_->on_dir_change(line, t);
+  }
+
   Simulator& sim_;
   Network& net_;
   BackingStore& store_;
@@ -229,6 +245,7 @@ class MemorySystem {
   std::unordered_map<GAddr, FEState> fe_;
   std::vector<std::uint32_t> outstanding_prefetches_;
   TrapHook trap_hook_;
+  std::unique_ptr<MemChecker> checker_;  // null unless cfg.check.enabled
 };
 
 }  // namespace alewife

@@ -55,6 +55,29 @@ struct CostModel {
   Cycles bulk_setup = 40;       ///< bulk-copy library call overhead
 };
 
+/// Run-time self-checking knobs (docs/CHECKING.md). With `enabled` false no
+/// checker is constructed and no check code runs: simulated timing, stats and
+/// determinism digests are bit-identical to a build without the subsystem.
+struct CheckConfig {
+  /// Arm the golden-model memory checker + protocol invariant assertions.
+  /// Building with -DALEWIFE_FORCE_CHECK=ON flips the default so the entire
+  /// existing test suite runs checker-armed without edits (CI job).
+#ifdef ALEWIFE_FORCE_CHECK
+  bool enabled = true;
+#else
+  bool enabled = false;
+#endif
+
+  /// A directory entry may stay busy at most this long before the checker
+  /// calls it wedged (same order as the watchdog's auto interval).
+  Cycles max_busy_cycles = 2'000'000;
+
+  /// Bound on a line's pending queue depth. 0 = nodes: MSHR merging gives
+  /// each node at most one outstanding request per line, so the home can
+  /// never legally queue more than one request per node.
+  std::uint32_t max_pending = 0;
+};
+
 /// Whole-machine configuration.
 struct MachineConfig {
   std::uint32_t nodes = 64;     ///< number of processors/nodes
@@ -94,6 +117,10 @@ struct MachineConfig {
   /// Fault injection + reliable-delivery + watchdog knobs (docs/FAULTS.md).
   /// All-defaults = perfect network; no fault code runs.
   FaultConfig fault;
+
+  /// Golden-model memory checker knobs (docs/CHECKING.md). Disabled by
+  /// default; no check code runs and timing is unchanged.
+  CheckConfig check;
 
   /// Hard stop for the event loop (0 = unlimited). A safety net so that a
   /// deadlocked simulated program fails loudly instead of hanging the host.

@@ -46,6 +46,7 @@ namespace alewife {
   X(kMemFeWaits, "mem.fe_waits", "count", "memory")                           \
   X(kMemDmaFlushLines, "mem.dma_flush_lines", "lines", "memory")              \
   X(kMemDmaInvalLines, "mem.dma_inval_lines", "lines", "memory")              \
+  X(kMemPendingPeak, "mem.pending_peak", "count", "memory")                   \
   /* cmmu: sends to the sender, receives/storebacks to the receiver */        \
   X(kCmmuMessagesSent, "cmmu.messages_sent", "count", "cmmu")                 \
   X(kCmmuMessagePayloadBytes, "cmmu.message_payload_bytes", "bytes", "cmmu")  \
@@ -98,7 +99,11 @@ namespace alewife {
   X(kRelWindowOverflows, "rel.window_overflows", "count", "rel")              \
   X(kRelDeliveredBytes, "rel.delivered_bytes", "bytes", "rel")                \
   /* watchdog: node 0 (machine-wide) */                                       \
-  X(kWatchdogTrips, "watchdog.trips", "count", "watchdog")
+  X(kWatchdogTrips, "watchdog.trips", "count", "watchdog")                    \
+  /* golden-model checker: value checks to the committing node, protocol */   \
+  /* checks to the line's home node (docs/CHECKING.md) */                     \
+  X(kCheckValueChecks, "check.value_checks", "count", "check")                \
+  X(kCheckProtocolChecks, "check.protocol_checks", "count", "check")
 
 enum class MetricId : std::uint16_t {
 #define ALEWIFE_METRIC_ENUM(id, name, unit, subsystem) id,

@@ -83,6 +83,16 @@ class Stats {
         delta;
   }
 
+  /// Raise metric `id` for `node` to at least `value` (peak/high-water
+  /// gauges, e.g. mem.pending_peak). The exporter still sums per-node cells
+  /// into the machine "total", so for gauges that total reads as the sum of
+  /// per-node peaks (documented per metric in docs/METRICS.md).
+  void max_to(NodeId node, MetricId id, std::uint64_t value) {
+    auto& cell = cells_[std::size_t{node} * kMetricCount +
+                        static_cast<std::size_t>(id)];
+    if (value > cell) cell = value;
+  }
+
   std::uint64_t get(MetricId id, NodeId node) const {
     return cells_[std::size_t{node} * kMetricCount +
                   static_cast<std::size_t>(id)];

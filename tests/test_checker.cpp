@@ -1,0 +1,360 @@
+// The golden-model memory checker and protocol invariants (docs/CHECKING.md):
+// the checker must stay silent on correct machines (zero behavioral change),
+// catch injected corruption and value-oracle violations with deterministic
+// structured dumps, and the LimitLESS sw_extended lifecycle bug it was built
+// to flag must stay fixed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/machine.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig checked_cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 100'000'000;
+  c.check.enabled = true;
+  // 8 lines, 2-way: constant evictions keep the writeback checks hot.
+  c.cache_size_bytes = 128;
+  c.cache_ways = 2;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+/// A small cross-node workload: every node hammers a shared counter and its
+/// own remote-homed slot, then the machine quiesces (running every checker
+/// sweep, including the shadow-vs-store byte comparison).
+std::uint64_t run_workload(Machine& m) {
+  const GAddr ctr = m.shmalloc(m.nodes() - 1, 64);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [=](Context& ctx) {
+      const GAddr slot = ctx.shmalloc((ctx.node() + 1) % ctx.nodes(), 64);
+      for (int i = 0; i < 10; ++i) {
+        ctx.fetch_add(ctr, 1);
+        ctx.store(slot, i * 3 + ctx.node());
+        (void)ctx.load(slot);
+        ctx.compute(5 + (n * 7 + i) % 23);
+      }
+    });
+  }
+  m.run_started();
+  return m.memory().store().read_uint(ctr, 8);
+}
+
+// ---------------------------------------------------------------------------
+// The checker on a correct machine: armed, counting, silent.
+// ---------------------------------------------------------------------------
+
+TEST(Checker, ArmedRunPassesAndCounts) {
+  Machine m(checked_cfg(4), quiet());
+  ASSERT_NE(m.memory().checker(), nullptr);
+  EXPECT_EQ(run_workload(m), 40u);
+  EXPECT_GT(m.stats().get(MetricId::kCheckValueChecks), 0u);
+  EXPECT_GT(m.stats().get(MetricId::kCheckProtocolChecks), 0u);
+}
+
+#ifndef ALEWIFE_FORCE_CHECK
+TEST(Checker, DisabledMachineHasNoChecker) {
+  MachineConfig c = checked_cfg(4);
+  c.check.enabled = false;
+  Machine m(c, quiet());
+  EXPECT_EQ(m.memory().checker(), nullptr);
+  EXPECT_EQ(run_workload(m), 40u);
+  EXPECT_EQ(m.stats().get(MetricId::kCheckValueChecks), 0u);
+  EXPECT_EQ(m.stats().get(MetricId::kCheckProtocolChecks), 0u);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Value oracle: wrong results and lost commit writes trip with stable kinds.
+// ---------------------------------------------------------------------------
+
+TEST(Checker, OracleRejectsWrongLoadResult) {
+  Machine m(checked_cfg(2), quiet());
+  MemChecker* chk = m.memory().checker();
+  ASSERT_NE(chk, nullptr);
+  const GAddr a = m.shmalloc(0, 64);
+  // Memory starts zeroed; a load that "returned" 1 is a lie.
+  try {
+    chk->begin_commit(0, MemOp::kLoad, a, 8, 0, /*result=*/1, /*t=*/10);
+    FAIL() << "oracle accepted a wrong load result";
+  } catch (const CheckerError& e) {
+    EXPECT_EQ(e.kind(), "value-mismatch");
+    EXPECT_NE(std::string(e.what()).find("golden model"), std::string::npos);
+  }
+}
+
+TEST(Checker, OracleRequiresTheCommitWrite) {
+  Machine m(checked_cfg(2), quiet());
+  MemChecker* chk = m.memory().checker();
+  ASSERT_NE(chk, nullptr);
+  const GAddr a = m.shmalloc(0, 64);
+  chk->begin_commit(0, MemOp::kStore, a, 8, /*operand=*/5, 0, /*t=*/10);
+  // A store commit that never reaches the backing store is a lost update.
+  try {
+    chk->end_commit();
+    FAIL() << "oracle accepted a store commit with no functional write";
+  } catch (const CheckerError& e) {
+    EXPECT_EQ(e.kind(), "missing-commit-write");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol invariants: injected directory corruption is caught, each with a
+// stable machine-readable kind. End-to-end where the corruption survives
+// real traffic; straight through on_dir_change where traffic would first
+// legalize the entry (e.g. an uncached line goes shared on the next read).
+// ---------------------------------------------------------------------------
+
+TEST(Checker, CatchesOutOfRangeSharerDuringARealRun) {
+  Machine m(checked_cfg(4), quiet());
+  const GAddr line = m.shmalloc(1, 64);
+  DirEntry& e = m.memory().directory().entry(line);
+  e.state = DirState::kShared;
+  e.sharers = {99};  // not a node of this 4-node machine
+  try {
+    m.run([=](Context& ctx) -> std::uint64_t { return ctx.load(line); });
+    FAIL() << "corrupted sharer list went unnoticed";
+  } catch (const CheckerError& err) {
+    EXPECT_EQ(err.kind(), "sharer-out-of-range");
+  }
+}
+
+TEST(Checker, CatchesPendingWithoutBusy) {
+  Machine m(checked_cfg(4), quiet());
+  MemChecker* chk = m.memory().checker();
+  ASSERT_NE(chk, nullptr);
+  const GAddr line = m.shmalloc(1, 64);
+  DirEntry& e = m.memory().directory().entry(line);
+  e.pending.push_back(DirEntry::Queued{0, 2});  // queued on an idle line
+  try {
+    chk->on_dir_change(line, 100);
+    FAIL() << "pending queue on an idle line went unnoticed";
+  } catch (const CheckerError& err) {
+    EXPECT_EQ(err.kind(), "pending-without-busy");
+  }
+}
+
+TEST(Checker, CatchesPendingOverflow) {
+  Machine m(checked_cfg(4), quiet());
+  MemChecker* chk = m.memory().checker();
+  ASSERT_NE(chk, nullptr);
+  const GAddr line = m.shmalloc(1, 64);
+  DirEntry& e = m.memory().directory().entry(line);
+  e.busy = true;
+  // MSHR merging bounds the queue at one request per node (4 here); a
+  // deeper queue means requests are leaking past the merge.
+  for (NodeId n = 0; n < 5; ++n) e.pending.push_back(DirEntry::Queued{0, n});
+  try {
+    chk->on_dir_change(line, 100);
+    FAIL() << "over-deep pending queue went unnoticed";
+  } catch (const CheckerError& err) {
+    EXPECT_EQ(err.kind(), "pending-overflow");
+  }
+}
+
+TEST(Checker, CatchesUncachedResidue) {
+  // The exact signature of the pre-fix LimitLESS bug: a line back in
+  // kUncached with sw_extended still set keeps charging software traps to
+  // every future write-sharing epoch.
+  Machine m(checked_cfg(4), quiet());
+  MemChecker* chk = m.memory().checker();
+  ASSERT_NE(chk, nullptr);
+  const GAddr line = m.shmalloc(1, 64);
+  m.memory().directory().entry(line).sw_extended = true;  // state kUncached
+  try {
+    chk->on_dir_change(line, 100);
+    FAIL() << "stale sw_extended on an uncached line went unnoticed";
+  } catch (const CheckerError& err) {
+    EXPECT_EQ(err.kind(), "uncached-residue");
+  }
+}
+
+TEST(Checker, FailureDumpsAreDeterministic) {
+  // Equal machines + equal corruption must produce byte-identical dumps, so
+  // a fuzzer failure replayed from its seed reports exactly the same text.
+  auto dump_once = []() -> std::string {
+    MachineConfig c = checked_cfg(4);
+    c.rng_seed = 0xD5;
+    Machine m(c, quiet());
+    const GAddr line = m.shmalloc(1, 64);
+    DirEntry& e = m.memory().directory().entry(line);
+    e.state = DirState::kShared;
+    e.sharers = {99};
+    try {
+      m.run([=](Context& ctx) -> std::uint64_t { return ctx.load(line); });
+    } catch (const CheckerError& err) {
+      return err.what();
+    }
+    return "";
+  };
+  const std::string a = dump_once();
+  const std::string b = dump_once();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: DMA source flush racing the line's own write transaction.
+//
+// Found by the checker's quiesce sweep: gathering a just-stored line for a
+// self-pull DMA while the home was still busy finishing that store's
+// transaction downgraded the cache copy to kShared but skipped the
+// (busy-guarded) directory update, leaving state=kExclusive owner=self
+// against a kShared copy forever. The flush must downgrade cache and
+// directory together, or not at all.
+// ---------------------------------------------------------------------------
+
+TEST(Checker, BulkSelfPullGatherRacingOwnStore) {
+  MachineConfig c;
+  c.nodes = 4;
+  c.max_cycles = 200'000'000;
+  c.check.enabled = true;
+  Machine m(c, quiet());
+  const std::uint64_t got = m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr a = ctx.shmalloc(0, 64);
+    const GAddr b = ctx.shmalloc(0, 64);
+    // The store's home transaction is still winding down when the gather's
+    // source flush runs — the exact window the bug needed.
+    ctx.store(a, 1234);
+    m.bulk().copy_pull(ctx, b, a, 64);
+    return ctx.load(b);
+  });  // Machine::run quiesces: the checker cross-checks caches vs directory
+  EXPECT_EQ(got, 1234u);
+  m.memory().check_invariants();
+}
+
+// ---------------------------------------------------------------------------
+// Regression: LimitLESS sw_extended lifecycle (ISSUE 4 satellite).
+//
+// DirEntry::add_sharer sets sw_extended on hardware-pointer overflow, and
+// every write epoch on an overflowed line charges a software trap for the
+// INV fan-out. Before the fix, transitions back to kUncached through the
+// DMA-invalidate path left sw_extended set, so one overflow epoch kept
+// charging trap cost to every later write epoch of the line, forever.
+// reset_uncached() must clear it wherever a line leaves the sharing domain.
+// ---------------------------------------------------------------------------
+
+TEST(LimitlessLifecycle, DmaInvalidateEndsTheOverflowEpoch) {
+  // Checker off: this is a pure-behavior regression test of trap accounting.
+  MachineConfig c;
+  c.nodes = 4;
+  c.max_cycles = 100'000'000;
+  c.cost.dir_hw_pointers = 5;
+  Machine m(c, quiet());
+  MemorySystem& ms = m.memory();
+  const GAddr line = m.shmalloc(1, 64);
+
+  // A real load from the home node caches the line and records the sharer.
+  m.start_thread(1, [=](Context& ctx) { (void)ctx.load(line); });
+  m.run_started();
+  ASSERT_EQ(ms.cache(1).peek(line), LineState::kShared);
+
+  // Fabricate the tail of an overflow epoch: the software-extended flag is
+  // still set (as it would be after the other sharers dropped away).
+  ms.directory().entry(line).sw_extended = true;
+
+  // A DMA write into node 1's local memory invalidates its cached copy and
+  // removes the last sharer; the transition to kUncached must close the
+  // LimitLESS epoch.
+  ms.dma_dest_invalidate(1, line, 16);
+  const DirEntry* after = ms.directory().find(line);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->state, DirState::kUncached);
+  EXPECT_FALSE(after->sw_extended) << "sw_extended must clear on kUncached";
+
+  // The next write-sharing epoch fits in the hardware pointers, so its INV
+  // fan-out must not be charged a software trap. Pre-fix, the surviving
+  // sw_extended flag charged one here.
+  m.start_thread(2, [=](Context& ctx) { (void)ctx.load(line); });
+  m.start_thread(3, [=](Context& ctx) {
+    ctx.compute(200);
+    ctx.store(line, 7);
+  });
+  m.run_started();
+  EXPECT_EQ(m.stats().get(MetricId::kMemLimitlessTraps), 0u);
+}
+
+TEST(LimitlessLifecycle, RealOverflowTrapsThenRecovers) {
+  // End-to-end under the checker: actually overflow the pointers (2 hw
+  // pointers, 4 readers), confirm traps are charged during the overflow
+  // epoch and the write fan-out, then confirm a fresh epoch after the line
+  // returns to kUncached is trap-free again.
+  MachineConfig c = checked_cfg(6);
+  c.cost.dir_hw_pointers = 2;
+  Machine m(c, quiet());
+  const GAddr line = m.shmalloc(0, 64);
+
+  for (NodeId n = 1; n < 5; ++n) {
+    m.start_thread(n, [=](Context& ctx) { (void)ctx.load(line); });
+  }
+  m.run_started();
+  const std::uint64_t read_traps = m.stats().get(MetricId::kMemLimitlessTraps);
+  EXPECT_GE(read_traps, 1u) << "4 sharers on 2 hw pointers never trapped";
+  {
+    const DirEntry* e = m.memory().directory().find(line);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->sw_extended);
+  }
+
+  // A write from the home invalidates every sharer; the software handler
+  // builds the INV list (one more trap) and the epoch ends exclusive.
+  m.start_thread(0, [=](Context& ctx) { ctx.store(line, 1); });
+  m.run_started();
+  const std::uint64_t write_traps = m.stats().get(MetricId::kMemLimitlessTraps);
+  EXPECT_GT(write_traps, read_traps);
+  {
+    const DirEntry* e = m.memory().directory().find(line);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, DirState::kExclusive);
+    EXPECT_FALSE(e->sw_extended) << "going exclusive must close the epoch";
+  }
+
+  // DMA into the home's local memory drops its dirty copy: back to
+  // kUncached through the owner branch of the invalidate path.
+  m.memory().dma_dest_invalidate(0, line, 16);
+  {
+    const DirEntry* e = m.memory().directory().find(line);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, DirState::kUncached);
+    EXPECT_FALSE(e->sw_extended);
+  }
+
+  // Fresh small epoch: two readers fit in the pointers; no further traps.
+  m.start_thread(1, [=](Context& ctx) { (void)ctx.load(line); });
+  m.start_thread(2, [=](Context& ctx) { (void)ctx.load(line); });
+  m.run_started();
+  EXPECT_EQ(m.stats().get(MetricId::kMemLimitlessTraps), write_traps);
+}
+
+// ---------------------------------------------------------------------------
+// Pending-queue metering (ISSUE 4 satellite): contention on one home line
+// must register in mem.pending_peak, bounded by the node count.
+// ---------------------------------------------------------------------------
+
+TEST(PendingPeak, ContentionIsMeteredAndBounded) {
+  Machine m(checked_cfg(8), quiet());
+  const GAddr hot = m.shmalloc(0, 64);
+  for (NodeId n = 0; n < 8; ++n) {
+    m.start_thread(n, [=](Context& ctx) {
+      for (int i = 0; i < 8; ++i) ctx.fetch_add(hot, 1);
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(m.memory().store().read_uint(hot, 8), 64u);
+  const std::uint64_t peak = m.stats().get(MetricId::kMemPendingPeak);
+  EXPECT_GE(peak, 1u) << "8 writers on one line never queued?";
+  EXPECT_LE(peak, 8u) << "pending deque deeper than one request per node";
+}
+
+}  // namespace
+}  // namespace alewife

@@ -14,6 +14,9 @@ MachineConfig cfg(std::uint32_t nodes) {
   MachineConfig c;
   c.nodes = nodes;
   c.max_cycles = 100'000'000;
+  // The whole suite runs under the golden-model checker: every litmus and
+  // geometry workload doubles as a protocol self-check (docs/CHECKING.md).
+  c.check.enabled = true;
   return c;
 }
 
@@ -176,7 +179,12 @@ INSTANTIATE_TEST_SUITE_P(
                       GeomParam{8, 2048, 4, 64},
                       GeomParam{16, 65536, 2, 16},
                       GeomParam{3, 4096, 2, 16},    // non-square mesh
-                      GeomParam{7, 4096, 1, 16}));  // prime node count
+                      GeomParam{7, 4096, 1, 16},    // prime node count
+                      // 2-way caches of 2-4 lines: every miss evicts, so the
+                      // counter traffic is dominated by writeback/refill
+                      // races — the checker's richest hunting ground.
+                      GeomParam{4, 32, 2, 16},
+                      GeomParam{8, 64, 2, 16}));
 
 TEST(AccessSizes, SubWordLoadsAndStores) {
   Machine m(cfg(2), quiet());

@@ -31,6 +31,13 @@ MachineConfig faulty_cfg(std::uint32_t nodes, double drop, double dup = 0.0,
   c.fault.drop_rate = drop;
   c.fault.dup_rate = dup;
   c.fault.corrupt_rate = corrupt;
+  // Every fault workload also runs under the golden-model checker with a
+  // 16-line 2-way cache, so recovery paths (retransmitted DMA storebacks,
+  // replayed handler side effects) are cross-checked against the oracle
+  // while evictions and writebacks fire constantly (docs/CHECKING.md).
+  c.check.enabled = true;
+  c.cache_size_bytes = 512;
+  c.cache_ways = 2;
   return c;
 }
 

@@ -1,0 +1,408 @@
+// alewife_fuzz — seeded coherence fuzzer (docs/CHECKING.md).
+//
+// Drives randomized mixes of coherent shared-memory traffic (loads, stores,
+// atomics, prefetches), remote invocations, bulk copies, and full/empty-bit
+// synchronization across small machines with deliberately tiny caches, so
+// evictions, writebacks, LimitLESS overflows and busy/pending serialization
+// all fire constantly — with the golden-model memory checker armed to
+// cross-check every committed value and directory transition. Optional
+// fault injection (--faults) layers packet drop/dup/corrupt/delay underneath
+// the same workloads.
+//
+// Every choice in an episode derives from (--seed, episode index) through
+// the simulator's own deterministic Rng, so any failure replays
+// bit-identically:
+//
+//   alewife_fuzz --seed S --start E --episodes 1 [--faults] [--nodes N]
+//
+// is printed verbatim on failure. Exit codes: 0 all episodes clean, 2 usage,
+// 4 a CheckerError (coherence violation caught by the golden model), 1 any
+// other failure (wrong end-to-end values, watchdog trip, timeout).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "core/machine.hpp"
+#include "sim/rng.hpp"
+
+using namespace alewife;
+
+namespace {
+
+struct FuzzArgs {
+  std::uint64_t seed = 0xA1EF122u;  ///< base seed for every episode stream
+  std::uint64_t episodes = 20;
+  std::uint64_t start = 0;      ///< first episode index (replay = --start E)
+  std::uint32_t nodes = 0;      ///< 0 = vary per episode
+  bool faults = false;          ///< layer packet faults under the workload
+  bool no_check = false;        ///< run without the golden-model checker
+  bool verbose = false;
+};
+
+// One pre-generated operation; threads execute their plan in order so the
+// host can compute every expected end-state while generating, without any
+// dependence on interleaving.
+struct Op {
+  enum Kind : std::uint8_t {
+    kLoad,         // a: address
+    kStore,        // a: address, v: value
+    kPrivStore,    // v: value (own private slot; final value asserted)
+    kFetchAdd,     // a: counter, v: delta (totals asserted)
+    kSwap,         // a: lock cell, v: value
+    kTas,          // a: lock cell
+    kPrefetch,     // a: address
+    kPrefetchExcl, // a: address
+    kBulkCopy,     // a: dst region, v: bytes, aux: CopyImpl
+    kInvoke,       // a: counter, v: delta, aux: 0 = invoke_shm, 1 = invoke_msg
+    kFeRoundtrip,  // v: value (own FE slot; store_fe then take_fe == v)
+    kCompute,      // v: cycles
+  };
+  Kind kind;
+  GAddr a = 0;
+  std::uint64_t v = 0;
+  std::uint32_t aux = 0;
+  NodeId dst = 0;  // kInvoke target node
+};
+
+struct ThreadPlan {
+  NodeId node = 0;
+  GAddr priv_slot = 0;   // this thread's private 8-byte cell
+  GAddr fe_slot = 0;     // this thread's full/empty word
+  GAddr scratch = 0;     // node-local bulk source region
+  std::vector<Op> ops;
+};
+
+constexpr std::uint64_t kBulkRegionBytes = 256;
+
+/// Everything one episode asserts after the run.
+struct Expected {
+  std::vector<std::uint64_t> counter_totals;  // per counter
+  std::vector<std::uint64_t> priv_finals;     // per thread (0 = never stored)
+};
+
+std::string replay_command(const FuzzArgs& fa, std::uint64_t episode) {
+  std::ostringstream oss;
+  oss << "alewife_fuzz --seed " << fa.seed << " --start " << episode
+      << " --episodes 1";
+  if (fa.nodes != 0) oss << " --nodes " << fa.nodes;
+  if (fa.faults) oss << " --faults";
+  if (fa.no_check) oss << " --no-check";
+  return oss.str();
+}
+
+/// Run one episode; returns empty string on success, else a failure
+/// description. CheckerError propagates to the caller (distinct exit code).
+std::string run_episode(const FuzzArgs& fa, std::uint64_t episode,
+                        std::uint64_t* value_checks,
+                        std::uint64_t* protocol_checks) {
+  // Independent deterministic stream per (seed, episode).
+  Rng rng(fa.seed ^ (0x9E3779B97F4A7C15ull * (episode + 1)));
+
+  MachineConfig cfg;
+  static constexpr std::uint32_t kNodeChoices[] = {2, 3, 4, 8};
+  cfg.nodes = fa.nodes != 0 ? fa.nodes : kNodeChoices[rng.below(4)];
+  // Tiny caches: 2..16 lines total, so almost every access evicts something.
+  static constexpr std::uint32_t kCacheChoices[] = {32, 64, 128, 256};
+  cfg.cache_line_bytes = 16;
+  cfg.cache_size_bytes = kCacheChoices[rng.below(4)];
+  cfg.cache_ways = 1 + static_cast<std::uint32_t>(rng.below(2));
+  static constexpr std::uint32_t kPtrChoices[] = {1, 2, 5};
+  cfg.cost.dir_hw_pointers = kPtrChoices[rng.below(3)];
+  cfg.forward_dirty_direct = rng.below(2) == 0;
+  cfg.multithread_on_miss = rng.below(2) == 0;
+  cfg.rng_seed = fa.seed ^ (0xC0FFEEull * (episode + 1));
+  cfg.max_cycles = 200'000'000;
+  cfg.check.enabled = !fa.no_check;
+  if (fa.faults) {
+    static constexpr double kRates[] = {0.0, 0.01, 0.03};
+    cfg.fault.drop_rate = kRates[rng.below(3)];
+    cfg.fault.dup_rate = kRates[rng.below(3)];
+    cfg.fault.corrupt_rate = kRates[rng.below(3)];
+    cfg.fault.delay_rate = kRates[rng.below(3)];
+  }
+
+  RuntimeOptions opt;
+  opt.mode = rng.below(2) == 0 ? SchedMode::kHybrid : SchedMode::kShm;
+  opt.stealing = rng.below(2) == 0;
+
+  const std::uint32_t threads_per_node =
+      1 + static_cast<std::uint32_t>(rng.below(2));
+  const std::uint32_t n_threads = cfg.nodes * threads_per_node;
+  const std::uint32_t ops_per_thread =
+      24 + static_cast<std::uint32_t>(rng.below(41));  // 24..64
+
+  Machine m(cfg, opt);
+
+  // ---- Shared-address pools (host-side setup; memory starts zeroed) --------
+  // A few cells per home so the directory sees every node as a home, plus
+  // per-node bulk regions and per-thread private/FE slots.
+  std::vector<GAddr> cells;
+  const std::uint32_t cells_per_home = 4;
+  for (NodeId h = 0; h < cfg.nodes; ++h) {
+    const GAddr base = m.shmalloc(h, cells_per_home * 8);
+    for (std::uint32_t i = 0; i < cells_per_home; ++i)
+      cells.push_back(base + i * 8);
+  }
+  std::vector<GAddr> locks;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    locks.push_back(m.shmalloc(static_cast<NodeId>(rng.below(cfg.nodes)), 8));
+  }
+  std::vector<GAddr> counters;
+  const std::uint32_t n_counters = 3;
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    counters.push_back(
+        m.shmalloc(static_cast<NodeId>(rng.below(cfg.nodes)), 8));
+  }
+  std::vector<GAddr> bulk_dst(cfg.nodes), scratch(cfg.nodes);
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    bulk_dst[n] = m.shmalloc(n, kBulkRegionBytes);
+    scratch[n] = m.shmalloc(n, kBulkRegionBytes);
+  }
+  // The load pool mixes plain cells with the bulk regions, so readers race
+  // against DMA storebacks and copy loops.
+  std::vector<GAddr> load_pool = cells;
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    load_pool.push_back(bulk_dst[n]);
+    load_pool.push_back(scratch[n] + 8 * rng.below(kBulkRegionBytes / 8));
+  }
+
+  // ---- Pre-generate every thread's plan + the expected end state -----------
+  Expected exp;
+  exp.counter_totals.assign(n_counters, 0);
+  exp.priv_finals.assign(n_threads, 0);
+  std::vector<ThreadPlan> plans(n_threads);
+  for (std::uint32_t t = 0; t < n_threads; ++t) {
+    ThreadPlan& p = plans[t];
+    p.node = static_cast<NodeId>(t % cfg.nodes);
+    p.priv_slot = m.shmalloc(static_cast<NodeId>(rng.below(cfg.nodes)), 8);
+    p.fe_slot = m.shmalloc(p.node, 8);
+    p.scratch = scratch[p.node];
+    for (std::uint32_t i = 0; i < ops_per_thread; ++i) {
+      Op op;
+      const std::uint64_t r = rng.below(100);
+      if (r < 25) {
+        op.kind = Op::kLoad;
+        op.a = load_pool[rng.below(load_pool.size())];
+      } else if (r < 45) {
+        op.kind = Op::kStore;
+        op.a = cells[rng.below(cells.size())];
+        op.v = rng.next();
+      } else if (r < 55) {
+        op.kind = Op::kPrivStore;
+        op.v = rng.next();
+        exp.priv_finals[t] = op.v;  // program order within one thread
+      } else if (r < 65) {
+        op.kind = Op::kFetchAdd;
+        const std::uint32_t c = static_cast<std::uint32_t>(
+            rng.below(n_counters));
+        op.a = counters[c];
+        op.v = rng.below(1'000'000);
+        exp.counter_totals[c] += op.v;
+      } else if (r < 70) {
+        op.kind = rng.below(2) == 0 ? Op::kSwap : Op::kTas;
+        op.a = locks[rng.below(locks.size())];
+        op.v = rng.next() | 1;
+      } else if (r < 75) {
+        op.kind = rng.below(2) == 0 ? Op::kPrefetch : Op::kPrefetchExcl;
+        op.a = load_pool[rng.below(load_pool.size())];
+      } else if (r < 80) {
+        op.kind = Op::kBulkCopy;
+        op.a = bulk_dst[rng.below(cfg.nodes)];
+        op.v = 8 * (1 + rng.below(kBulkRegionBytes / 8));  // 8..256, 8-aligned
+        op.aux = static_cast<std::uint32_t>(rng.below(3));  // CopyImpl
+      } else if (r < 86) {
+        op.kind = Op::kInvoke;
+        const std::uint32_t c = static_cast<std::uint32_t>(
+            rng.below(n_counters));
+        op.a = counters[c];
+        op.v = 1 + rng.below(1000);
+        op.aux = static_cast<std::uint32_t>(rng.below(2));
+        op.dst = static_cast<NodeId>(rng.below(cfg.nodes));
+        exp.counter_totals[c] += op.v;
+      } else if (r < 93) {
+        op.kind = Op::kFeRoundtrip;
+        op.v = rng.next();
+      } else {
+        op.kind = Op::kCompute;
+        op.v = 1 + rng.below(64);
+      }
+      p.ops.push_back(op);
+    }
+  }
+
+  // ---- Execute --------------------------------------------------------------
+  // Failures inside simulated threads are recorded, not thrown: a fiber
+  // unwinding through the scheduler would wedge the run.
+  auto errors = std::make_shared<std::vector<std::string>>();
+  for (std::uint32_t t = 0; t < n_threads; ++t) {
+    const ThreadPlan& p = plans[t];
+    m.start_thread(p.node, [&m, &p, errors](Context& ctx) {
+      for (const Op& op : p.ops) {
+        switch (op.kind) {
+          case Op::kLoad:
+            (void)ctx.load(op.a, 8);
+            break;
+          case Op::kStore:
+            ctx.store(op.a, op.v, 8);
+            break;
+          case Op::kPrivStore:
+            ctx.store(p.priv_slot, op.v, 8);
+            break;
+          case Op::kFetchAdd:
+            (void)ctx.fetch_add(op.a, op.v);
+            break;
+          case Op::kSwap:
+            (void)ctx.swap(op.a, op.v);
+            break;
+          case Op::kTas:
+            (void)ctx.test_and_set(op.a, op.v);
+            break;
+          case Op::kPrefetch:
+            ctx.prefetch(op.a);
+            break;
+          case Op::kPrefetchExcl:
+            ctx.prefetch_excl(op.a);
+            break;
+          case Op::kBulkCopy:
+            m.bulk().copy(ctx, op.a, p.scratch, op.v,
+                          static_cast<CopyImpl>(op.aux));
+            break;
+          case Op::kInvoke: {
+            const GAddr counter = op.a;
+            const std::uint64_t delta = op.v;
+            const TaskFn fn = [counter, delta](Context& rc) -> std::uint64_t {
+              (void)rc.fetch_add(counter, delta);
+              return delta;
+            };
+            const FutureId f = op.aux == 0 ? ctx.invoke_shm(op.dst, fn)
+                                           : ctx.invoke_msg(op.dst, fn);
+            const std::uint64_t got = ctx.touch(f);
+            if (got != delta) {
+              std::ostringstream oss;
+              oss << "invoke returned " << got << ", expected " << delta;
+              errors->push_back(oss.str());
+            }
+            break;
+          }
+          case Op::kFeRoundtrip: {
+            ctx.store_fe(p.fe_slot, op.v, 8);
+            const std::uint64_t got = ctx.take_fe(p.fe_slot, 8);
+            if (got != op.v) {
+              std::ostringstream oss;
+              oss << "full/empty roundtrip returned " << got << ", expected "
+                  << op.v;
+              errors->push_back(oss.str());
+            }
+            break;
+          }
+          case Op::kCompute:
+            ctx.compute(op.v);
+            break;
+        }
+      }
+    });
+  }
+  m.run_started();
+
+  // ---- End-to-end verification ----------------------------------------------
+  if (!errors->empty()) {
+    return "in-run assertion: " + errors->front() + " (+" +
+           std::to_string(errors->size() - 1) + " more)";
+  }
+  BackingStore& store = m.memory().store();
+  for (std::uint32_t c = 0; c < n_counters; ++c) {
+    const std::uint64_t got = store.read_uint(counters[c], 8);
+    if (got != exp.counter_totals[c]) {
+      std::ostringstream oss;
+      oss << "counter " << c << " ended at " << got << ", expected "
+          << exp.counter_totals[c];
+      return oss.str();
+    }
+  }
+  for (std::uint32_t t = 0; t < n_threads; ++t) {
+    const std::uint64_t got = store.read_uint(plans[t].priv_slot, 8);
+    if (got != exp.priv_finals[t]) {
+      std::ostringstream oss;
+      oss << "private slot of thread " << t << " ended at " << got
+          << ", expected " << exp.priv_finals[t];
+      return oss.str();
+    }
+  }
+  m.memory().check_invariants();
+
+  *value_checks += m.stats().get(MetricId::kCheckValueChecks);
+  *protocol_checks += m.stats().get(MetricId::kCheckProtocolChecks);
+  if (fa.verbose) {
+    std::printf("episode %llu: nodes=%u cache=%uB/%uw ptrs=%u %s%s ok "
+                "(%llu cycles)\n",
+                (unsigned long long)episode, cfg.nodes, cfg.cache_size_bytes,
+                cfg.cache_ways, cfg.cost.dir_hw_pointers,
+                opt.mode == SchedMode::kShm ? "shm" : "hybrid",
+                cfg.fault.any_faults() ? "+faults" : "",
+                (unsigned long long)m.now());
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzArgs fa;
+  cli::OptionTable t;
+  t.value_u64("--seed", "base seed (default 0xA1EF122)", &fa.seed)
+      .value_u64("--episodes", "episodes to run (default 20)", &fa.episodes)
+      .value_u64("--start", "first episode index (failure replay)", &fa.start)
+      .value_u32("--nodes", "fix the node count (0 = vary)", &fa.nodes)
+      .flag("--faults", "inject packet drop/dup/corrupt/delay", &fa.faults)
+      .flag("--no-check", "disable the golden-model checker", &fa.no_check)
+      .flag("--verbose", "one line per episode", &fa.verbose);
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  try {
+    t.parse_all(tokens);
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "alewife_fuzz: %s\nusage: alewife_fuzz [options]\n",
+                 e.what());
+    t.print_help(stderr);
+    return 2;
+  }
+
+  std::uint64_t value_checks = 0, protocol_checks = 0;
+  for (std::uint64_t e = fa.start; e < fa.start + fa.episodes; ++e) {
+    std::string failure;
+    try {
+      failure = run_episode(fa, e, &value_checks, &protocol_checks);
+    } catch (const CheckerError& err) {
+      std::fprintf(stderr,
+                   "alewife_fuzz: episode %llu FAILED (checker: %s)\n%s\n"
+                   "replay: %s\n",
+                   (unsigned long long)e, err.kind().c_str(), err.what(),
+                   replay_command(fa, e).c_str());
+      return 4;
+    } catch (const std::exception& err) {
+      std::fprintf(stderr,
+                   "alewife_fuzz: episode %llu FAILED (%s)\nreplay: %s\n",
+                   (unsigned long long)e, err.what(),
+                   replay_command(fa, e).c_str());
+      return 1;
+    }
+    if (!failure.empty()) {
+      std::fprintf(stderr,
+                   "alewife_fuzz: episode %llu FAILED (%s)\nreplay: %s\n",
+                   (unsigned long long)e, failure.c_str(),
+                   replay_command(fa, e).c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "alewife_fuzz: %llu episodes clean (seed %llu, start %llu%s%s); "
+      "%llu value checks, %llu protocol checks\n",
+      (unsigned long long)fa.episodes, (unsigned long long)fa.seed,
+      (unsigned long long)fa.start, fa.faults ? ", faults" : "",
+      fa.no_check ? ", unchecked" : "",
+      (unsigned long long)value_checks, (unsigned long long)protocol_checks);
+  return 0;
+}

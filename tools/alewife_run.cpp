@@ -122,7 +122,9 @@ cli::OptionTable machine_options(MachineArgs& a) {
       .value_u32("--fault-retries", "max retransmissions (default 16)",
                  &a.cfg.fault.max_retries)
       .value_u64("--watchdog", "no-progress interval (0 = auto)",
-                 &a.cfg.fault.watchdog_interval);
+                 &a.cfg.fault.watchdog_interval)
+      .flag("--check", "arm the golden-model memory checker (docs/CHECKING.md)",
+            &a.cfg.check.enabled);
   return t;
 }
 
@@ -202,6 +204,13 @@ void finish(Machine& m, const MachineArgs& a, const std::string& app,
                   (unsigned long long)good, (unsigned long long)duration,
                   double(good) / double(duration) * 33.0);
     }
+  }
+  if (m.config().check.enabled) {
+    Stats& st = m.stats();
+    std::printf("-- check --\n");
+    std::printf("  value checks %llu  protocol checks %llu  (all passed)\n",
+                (unsigned long long)st.get(MetricId::kCheckValueChecks),
+                (unsigned long long)st.get(MetricId::kCheckProtocolChecks));
   }
   if (a.want_stats) {
     std::printf("-- stats --\n");
@@ -460,5 +469,10 @@ int main(int argc, char** argv) {
   } catch (const SimTimeout& e) {
     std::fprintf(stderr, "alewife_run: %s\n", e.what());
     return 3;
+  } catch (const CheckerError& e) {
+    // The golden-model checker caught a coherence violation; the dump is
+    // deterministic, so rerunning the same command reproduces it exactly.
+    std::fprintf(stderr, "alewife_run: %s\n", e.what());
+    return 4;
   }
 }

@@ -37,6 +37,12 @@ REQUIRED_COUNTERS = {
     "rel.delivered_bytes",
     "rt.queue_full",
     "watchdog.trips",
+    # Self-checking subsystem (docs/CHECKING.md). pending_peak is a gauge:
+    # each node reports its deepest directory pending queue, and the total is
+    # the sum of per-node peaks (not a machine-wide maximum).
+    "mem.pending_peak",
+    "check.value_checks",
+    "check.protocol_checks",
 }
 
 errors = []
