@@ -179,12 +179,17 @@ constexpr int kAppSeeds = 3;  ///< schedulers are seed-sensitive; average
 
 AppRun measure_grain(SchedMode mode, std::uint32_t nodes, std::uint32_t depth,
                      Cycles delay) {
+  return measure_grain_cfg(bench_cfg(nodes), mode, depth, delay);
+}
+
+AppRun measure_grain_cfg(const MachineConfig& cfg, SchedMode mode,
+                         std::uint32_t depth, Cycles delay) {
   Cycles total = 0;
   for (int s = 0; s < kAppSeeds; ++s) {
     RuntimeOptions o;
     o.mode = mode;
     o.stealing = true;
-    MachineConfig c = bench_cfg(nodes);
+    MachineConfig c = cfg;
     c.rng_seed ^= 0x1111ull * s;
     Machine m(c, o);
     auto dur = std::make_shared<Cycles>(0);

@@ -79,6 +79,11 @@ struct AppRun {
 AppRun measure_grain(SchedMode mode, std::uint32_t nodes, std::uint32_t depth,
                      Cycles delay);
 
+/// Same, with an explicit machine configuration (sharded scaling rows set
+/// cfg.shards and a smaller per-node memory).
+AppRun measure_grain_cfg(const MachineConfig& cfg, SchedMode mode,
+                         std::uint32_t depth, Cycles delay);
+
 AppRun measure_aq(SchedMode mode, std::uint32_t nodes, double tol);
 
 // ---- Figure 11: jacobi ------------------------------------------------------

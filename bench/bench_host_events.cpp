@@ -11,8 +11,11 @@
 //   far-future  now + large constant (timeouts, long DMA streams)
 //   oversized   captures too big for the callback's inline buffer
 //   barrier@64  full-machine replay of the paper's §4.2 msg+shm barrier
+//   barrier@1024 shards=K   the same msg barrier on 1024 nodes run on the
+//               sharded engine at K host threads (docs/PERF.md's
+//               parallel-DES table; --no-sharded skips these rows)
 //
-// Usage: bench_host_events [--events N] [--episodes N]
+// Usage: bench_host_events [--events N] [--episodes N] [--no-sharded]
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -133,20 +136,44 @@ Row run_barrier_replay(const char* name, int episodes) {
   return Row{name, events, seconds_since(t0)};
 }
 
+/// Sharded engine at K host threads: the msg barrier on 1024 nodes. The
+/// simulated event stream is identical at every K (the determinism proof in
+/// tests/test_shards.cpp), so ev/s differences are pure host parallelism.
+Row run_sharded_barrier(const char* name, std::uint32_t shards, int episodes) {
+  using namespace alewife;
+  const auto t0 = HostClock::now();
+  MachineConfig cfg = bench::bench_cfg(1024);
+  cfg.shards = shards;
+  cfg.mem_bytes_per_node = 512 * 1024;
+  Machine m(cfg);
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 8);
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    m.start_thread(n, [&bar, episodes](Context& ctx) {
+      for (int e = 0; e < episodes; ++e) bar.wait(ctx);
+    });
+  }
+  m.run_started();
+  return Row{name, m.sim().events_executed(), seconds_since(t0)};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t events = 2'000'000;
   int episodes = 40;
+  bool sharded = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
       events = std::stoull(argv[++i]);
     } else if (std::strcmp(argv[i], "--episodes") == 0 && i + 1 < argc) {
       episodes = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-sharded") == 0) {
+      sharded = false;
     } else {
       std::fprintf(stderr,
                    "bench_host_events: bad argument '%s'\n"
-                   "usage: bench_host_events [--events N] [--episodes N]\n",
+                   "usage: bench_host_events [--events N] [--episodes N] "
+                   "[--no-sharded]\n",
                    argv[i]);
       return 2;
     }
@@ -163,5 +190,12 @@ int main(int argc, char** argv) {
   print(run_chain("far-future", events, 1000));
   print(run_oversized("oversized", events / 2));
   print(run_barrier_replay("barrier@64", episodes));
+  if (sharded) {
+    std::printf("sharded engine (1024 nodes, msg barrier, wall clock)\n");
+    print(run_sharded_barrier("b1024 shards=1", 1, episodes));
+    print(run_sharded_barrier("b1024 shards=2", 2, episodes));
+    print(run_sharded_barrier("b1024 shards=4", 4, episodes));
+    print(run_sharded_barrier("b1024 shards=8", 8, episodes));
+  }
   return 0;
 }

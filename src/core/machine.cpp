@@ -1,19 +1,54 @@
 #include "core/machine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace alewife {
 
+namespace {
+
+/// Routes host-phase schedule calls (boot, thread injection, kicks) to the
+/// target node's shard while in scope. No-op for the serial engines.
+class HostRoute {
+ public:
+  HostRoute(Simulator& sim, NodeId node) : sharded_(sim.sharded()) {
+    if (sharded_) sharded_->set_host_route(node);
+  }
+  ~HostRoute() {
+    if (sharded_) sharded_->set_host_route(kInvalidNode);
+  }
+  HostRoute(const HostRoute&) = delete;
+  HostRoute& operator=(const HostRoute&) = delete;
+
+ private:
+  ShardedSim* sharded_;
+};
+
+}  // namespace
+
 Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
   cfg_.validate();
   stats_.ensure_nodes(cfg_.nodes);
   sim_ = std::make_unique<Simulator>();
+  if (cfg_.shards > 0) {
+    sim_->enable_sharding(ShardPlan::make(cfg_.nodes, cfg_.shards),
+                          cfg_.cost.shard_lookahead());
+  }
   store_ = std::make_unique<BackingStore>(cfg_.nodes, cfg_.mem_bytes_per_node,
                                           cfg_.cache_line_bytes);
   net_ = std::make_unique<Network>(*sim_, cfg_, stats_);
   ms_ = std::make_unique<MemorySystem>(*sim_, *net_, *store_, cfg_, stats_);
-  pool_ = std::make_unique<FiberPool>();
+  if (cfg_.shards > 0) {
+    // Window-boundary callback: runs on the coordinator with every shard
+    // parked (deferred checker fill scans).
+    sim_->set_boundary_hook([this](Cycles t) { ms_->on_window_boundary(t); });
+  }
+  const std::uint32_t pool_count = cfg_.shards > 0 ? cfg_.shards : 1;
+  pools_.reserve(pool_count);
+  for (std::uint32_t s = 0; s < pool_count; ++s) {
+    pools_.push_back(std::make_unique<FiberPool>());
+  }
 
   procs_.reserve(cfg_.nodes);
   cmmus_.reserve(cfg_.nodes);
@@ -49,8 +84,10 @@ Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
   shared_->trace = &trace_;
   nodes_.reserve(cfg_.nodes);
   for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    FiberPool& pool =
+        *pools_[cfg_.shards > 0 ? sim_->sharded()->plan().shard_of(n) : 0];
     nodes_.push_back(std::make_unique<NodeRuntime>(*shared_, *procs_[n],
-                                                   *cmmus_[n], *pool_, n));
+                                                   *cmmus_[n], pool, n));
     shared_->nodes.push_back(nodes_.back().get());
   }
   bulk_ = std::make_unique<BulkCopyEngine>(*shared_);
@@ -60,6 +97,10 @@ Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
   // bit-identical to a machine without the subsystem.
   if (cfg_.fault.any_faults()) {
     fault_ = std::make_unique<FaultPlan>(cfg_.fault, cfg_.rng_seed);
+    // Sharded engine: one fault stream per source node, so decisions are a
+    // function of (seed, src, per-source send index) — independent of the
+    // host-side interleaving of sends from different nodes.
+    if (cfg_.shards > 0) fault_->enable_per_source(cfg_.nodes);
     net_->set_fault(fault_.get());
   }
   if (cfg_.fault.reliable_on()) {
@@ -125,12 +166,16 @@ Machine::~Machine() = default;
 void Machine::boot_once() {
   if (booted_) return;
   booted_ = true;
-  for (auto& n : nodes_) n->boot();
+  for (auto& n : nodes_) {
+    HostRoute route(*sim_, n->node());
+    n->boot();
+  }
 }
 
 void Machine::kick_all() {
   for (auto& n : nodes_) {
     NodeRuntime* nrt = n.get();
+    HostRoute route(*sim_, n->node());
     // Restart each node's idle loop (it exits whenever `stopping` is set
     // between phases).
     sim_->schedule_at(sim_->now(), [nrt, this] { nrt->kick(sim_->now()); });
@@ -140,17 +185,20 @@ void Machine::kick_all() {
 std::uint64_t Machine::run(std::function<std::uint64_t(Context&)> main_fn,
                            NodeId start_node) {
   boot_once();
-  shared_->stopping = false;
+  shared_->reset_stopping();
   std::uint64_t result = 0;
   bool done = false;
-  nodes_.at(start_node)
-      ->start_thread(
-          [this, &result, &done, fn = std::move(main_fn)](Context& c) {
-            result = fn(c);
-            done = true;
-            shared_->stopping = true;
-          },
-          sim_->now());
+  {
+    HostRoute route(*sim_, start_node);
+    nodes_.at(start_node)
+        ->start_thread(
+            [this, &result, &done, fn = std::move(main_fn)](Context& c) {
+              result = fn(c);
+              done = true;
+              shared_->request_stop(c.now());
+            },
+            sim_->now());
+  }
   kick_all();
   sim_->run(cfg_.max_cycles);
   if (!done) {
@@ -164,21 +212,24 @@ std::uint64_t Machine::run(std::function<std::uint64_t(Context&)> main_fn,
 
 void Machine::start_thread(NodeId n, std::function<void(Context&)> body) {
   boot_once();
-  ++live_injected_;
+  live_injected_.fetch_add(1, std::memory_order_relaxed);
+  HostRoute route(*sim_, n);
   nodes_.at(n)->start_thread(
       [this, body = std::move(body)](Context& c) {
         body(c);
-        if (--live_injected_ == 0) shared_->stopping = true;
+        if (live_injected_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          shared_->request_stop(c.now());
+        }
       },
       sim_->now());
 }
 
 void Machine::run_started() {
-  if (live_injected_ == 0) return;
-  shared_->stopping = false;
+  if (live_injected_.load(std::memory_order_relaxed) == 0) return;
+  shared_->reset_stopping();
   kick_all();
   sim_->run(cfg_.max_cycles);
-  if (live_injected_ != 0) {
+  if (live_injected_.load(std::memory_order_relaxed) != 0) {
     throw std::logic_error(
         "simulation quiesced with started threads still live (deadlock in "
         "the simulated program?)");
@@ -187,19 +238,56 @@ void Machine::run_started() {
 }
 
 void HostBarrier::wait(Context& ctx) {
-  arrived_.push_back(Arrived{ctx.node(), ctx.thread_id()});
-  if (arrived_.size() < expected_) {
-    ctx.suspend();
+  ShardedSim* sh = machine_.sim().sharded();
+  if (sh == nullptr) {
+    arrived_.push_back(Arrived{ctx.node(), ctx.thread_id(), ctx.now()});
+    if (arrived_.size() < expected_) {
+      ctx.suspend();
+      return;
+    }
+    // Last arriver: release everyone else, then continue.
+    std::vector<Arrived> all = std::move(arrived_);
+    arrived_.clear();
+    const Cycles t = ctx.now();
+    for (const Arrived& a : all) {
+      if (a.thread == ctx.thread_id() && a.node == ctx.node()) continue;
+      machine_.node(a.node).enqueue_ready(a.thread, t);
+    }
     return;
   }
-  // Last arriver: release everyone else, then continue.
-  std::vector<Arrived> all = std::move(arrived_);
-  arrived_.clear();
-  const Cycles t = ctx.now();
-  for (const Arrived& a : all) {
-    if (a.thread == ctx.thread_id() && a.node == ctx.node()) continue;
-    machine_.node(a.node).enqueue_ready(a.thread, t);
+
+  // Sharded: arrivals race across shard threads. The last arriver schedules
+  // one wake per participant (itself included) at the first window boundary
+  // after the latest arrival time — a pure function of simulated times, so
+  // the resume schedule is identical at any shard count. The list is reset
+  // before the wakes can run (they sit in the next window, behind the
+  // inter-window barrier), so reuse is safe.
+  bool last = false;
+  std::vector<Arrived> all;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    arrived_.push_back(Arrived{ctx.node(), ctx.thread_id(), ctx.now()});
+    if (arrived_.size() == expected_) {
+      last = true;
+      all = std::move(arrived_);
+      arrived_.clear();
+    }
   }
+  if (last) {
+    Cycles t_max = 0;
+    for (const Arrived& a : all) t_max = std::max(t_max, a.at);
+    const Cycles w = sh->boundary_after(t_max);
+    for (const Arrived& a : all) {
+      // Key on (node, thread): a thread waits on at most one barrier, so the
+      // wake keys are unique (and thus deterministically ordered) even when
+      // several barriers release in the same window.
+      NodeRuntime* rt = &machine_.node(a.node);
+      sh->schedule_host_event(a.node, w, w, a.thread, [rt, a, w] {
+        rt->enqueue_ready(a.thread, w);
+      });
+    }
+  }
+  ctx.suspend();
 }
 
 }  // namespace alewife

@@ -13,9 +13,11 @@
 //                                         harness style) and run them all.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,20 +106,32 @@ class Machine {
   std::unique_ptr<BackingStore> store_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<MemorySystem> ms_;
-  std::unique_ptr<FiberPool> pool_;
+  /// One fiber pool per shard (one total when serial): fibers and their
+  /// recycling lists must stay on the host thread that runs their nodes.
+  std::vector<std::unique_ptr<FiberPool>> pools_;
   std::vector<std::unique_ptr<Processor>> procs_;
   std::vector<std::unique_ptr<Cmmu>> cmmus_;
   std::unique_ptr<RuntimeShared> shared_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::unique_ptr<BulkCopyEngine> bulk_;
   bool booted_ = false;
-  std::uint64_t live_injected_ = 0;
+  /// Decremented by finishing injected threads — on shard workers when
+  /// sharded, hence atomic.
+  std::atomic<std::uint64_t> live_injected_{0};
 };
 
 /// Zero-cost host-side rendezvous for benchmark phase alignment: all N
 /// participating threads block; once the last arrives, all resume. No
 /// simulated communication is charged — use it only to line up measurement
 /// phases, never inside a measured region.
+///
+/// Sharded engine: arrivals race across shard threads (a mutex serializes
+/// the bookkeeping), and every participant — the last arriver included —
+/// suspends and is woken by a deterministic host event at the first window
+/// boundary after the latest arrival. Resume times are therefore quantized
+/// to window boundaries (the serial engines resume at the last arrival time
+/// exactly); since the boundary is a pure function of the arrival times,
+/// digests stay identical at any shard count.
 class HostBarrier {
  public:
   HostBarrier(Machine& m, std::uint32_t participants)
@@ -129,10 +143,12 @@ class HostBarrier {
   struct Arrived {
     NodeId node;
     std::uint64_t thread;
+    Cycles at = 0;
   };
   Machine& machine_;
   std::uint32_t expected_;
   std::vector<Arrived> arrived_;
+  std::mutex mu_;  ///< guards arrived_ in sharded runs
 };
 
 }  // namespace alewife

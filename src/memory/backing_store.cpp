@@ -12,6 +12,7 @@ BackingStore::BackingStore(std::uint32_t nodes, std::uint64_t bytes_per_node,
     : bytes_per_node_(bytes_per_node),
       line_bytes_(line_bytes),
       mem_(nodes),
+      once_(new std::once_flag[nodes]),
       brk_(nodes, 0) {
   // Node arrays materialize lazily on first touch: a 64-node machine would
   // otherwise zero hundreds of megabytes per construction.
@@ -39,7 +40,8 @@ const std::uint8_t* BackingStore::ptr(GAddr addr, std::uint64_t n) const {
   assert(off + n <= bytes_per_node_);
   (void)n;
   auto& m = const_cast<std::vector<std::uint8_t>&>(mem_[node]);
-  if (m.empty()) m.resize(bytes_per_node_, 0);
+  std::call_once(once_[node],
+                 [&m, this] { m.resize(bytes_per_node_, 0); });
   return m.data() + off;
 }
 

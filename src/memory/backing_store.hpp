@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -53,6 +55,10 @@ class BackingStore {
   std::uint64_t bytes_per_node_;
   std::uint32_t line_bytes_;
   std::vector<std::vector<std::uint8_t>> mem_;
+  /// Guards each node array's lazy materialization: with the sharded engine
+  /// two shards can fault in the same remote node's region concurrently
+  /// (fast path after materialization is one atomic load).
+  std::unique_ptr<std::once_flag[]> once_;
   std::vector<std::uint64_t> brk_;
   Observer* observer_ = nullptr;
 };

@@ -96,6 +96,7 @@ void MemChecker::shadow_write(GAddr addr, std::uint32_t size,
 void MemChecker::begin_commit(NodeId node, MemOp op, GAddr addr,
                               std::uint32_t size, std::uint64_t operand,
                               std::uint64_t result, Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   ++value_checks_;
   stats_.add(node, MetricId::kCheckValueChecks);
 
@@ -151,6 +152,7 @@ void MemChecker::begin_commit(NodeId node, MemOp op, GAddr addr,
 }
 
 void MemChecker::end_commit() {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   if (commit_writes_) {
     const GAddr line = commit_addr_ & ~GAddr{cfg_.cache_line_bytes - 1};
     fail("missing-commit-write", line, commit_node_, commit_time_,
@@ -162,6 +164,7 @@ void MemChecker::end_commit() {
 
 void MemChecker::on_write(GAddr addr, const std::uint8_t* bytes,
                           std::uint64_t n) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   if (!in_commit_) {
     // External truth: host-side setup writes and CMMU DMA storebacks define
     // the memory image; the shadow follows them.
@@ -193,9 +196,20 @@ void MemChecker::on_write(GAddr addr, const std::uint8_t* bytes,
 
 void MemChecker::on_fill(NodeId node, GAddr line, LineState st, bool installed,
                          Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   ++protocol_checks_;
   stats_.add(gaddr_node(line), MetricId::kCheckProtocolChecks);
   if (!installed) return;  // poisoned read fill: delivered, never cached
+
+  if (deferred_fills_) {
+    // Sharded engine: peeking *other* shards' caches mid-window is racy;
+    // log the fill and cross-check at the window boundary. The self-install
+    // check is skipped entirely — a same-window S-then-M upgrade through the
+    // local bypass legitimately leaves the boundary-time state different
+    // from the fill-time state.
+    fill_log_.push_back(DeferredFill{node, line, st, t});
+    return;
+  }
 
   if (caches_[node]->peek(line) != st) {
     fail("fill-not-installed", line, node, t,
@@ -221,8 +235,57 @@ void MemChecker::on_fill(NodeId node, GAddr line, LineState st, bool installed,
   }
 }
 
+void MemChecker::flush_deferred_fills(Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
+  if (fill_log_.empty()) return;
+  std::vector<DeferredFill> log;
+  log.swap(fill_log_);
+  // The log accumulates in host execution order across shards; sort by
+  // simulated coordinates so a failing run reports the same first violation
+  // at any shard count.
+  std::sort(log.begin(), log.end(),
+            [](const DeferredFill& a, const DeferredFill& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.line != b.line) return a.line < b.line;
+              return a.node < b.node;
+            });
+  (void)t;
+  for (const DeferredFill& f : log) {
+    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+      if (n == f.node) continue;
+      const LineState other = caches_[n]->peek(f.line);
+      if (other == LineState::kInvalid) continue;
+      if (f.st == LineState::kModified) {
+        std::ostringstream d;
+        d << "modified fill at node " << f.node << " (t=" << f.t
+          << ") while node " << n << " holds the line in state "
+          << line_state_name(other) << " at the window boundary";
+        fail("fill-exclusivity", f.line, f.node, f.t, d.str());
+      }
+      if (f.st == LineState::kShared && other == LineState::kModified) {
+        std::ostringstream d;
+        d << "shared fill at node " << f.node << " (t=" << f.t
+          << ") while node " << n << " holds the line modified at the window "
+          << "boundary";
+        fail("fill-shared-vs-modified", f.line, f.node, f.t, d.str());
+      }
+    }
+  }
+}
+
+void MemChecker::on_poisoned_load(NodeId node, GAddr addr, std::uint32_t size,
+                                  Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
+  (void)addr;
+  (void)size;
+  (void)t;
+  ++value_checks_;
+  stats_.add(node, MetricId::kCheckValueChecks);
+}
+
 void MemChecker::on_writeback(NodeId node, GAddr line, bool dir_busy,
                               Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   ++protocol_checks_;
   stats_.add(gaddr_node(line), MetricId::kCheckProtocolChecks);
   if (dir_busy) return;  // home mid-transaction: ownership is in flight
@@ -314,6 +377,7 @@ void MemChecker::track_busy(GAddr line, const DirEntry& e, Cycles t) {
 }
 
 void MemChecker::on_dir_change(GAddr line, Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   ++protocol_checks_;
   stats_.add(gaddr_node(line), MetricId::kCheckProtocolChecks);
   if (const DirEntry* e = dir_.find(line)) {
@@ -335,6 +399,7 @@ void MemChecker::on_dir_change(GAddr line, Cycles t) {
 
 void MemChecker::on_dma_storeback(NodeId node, GAddr dst, std::uint64_t len,
                                   Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   const GAddr mask = ~GAddr{cfg_.cache_line_bytes - 1};
   const GAddr first = dst & mask;
   const GAddr last = (dst + (len ? len - 1 : 0)) & mask;
@@ -351,6 +416,7 @@ void MemChecker::on_dma_storeback(NodeId node, GAddr dst, std::uint64_t len,
 }
 
 void MemChecker::on_quiesce(Cycles t) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   // Directory: every entry settled and internally consistent.
   for (const auto& [line, e] : dir_.sorted_entries()) {
     ++protocol_checks_;

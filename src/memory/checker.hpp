@@ -27,11 +27,22 @@
 // Cost: when disabled no MemChecker is constructed; the hooks reduce to a
 // null-pointer test. No simulated timing changes either way — the checker
 // observes, it never schedules.
+//
+// Sharded engine: the checker is the one deliberately cross-shard structure
+// (one shadow store for the whole machine), so every entry point serializes
+// on an internal recursive mutex — correct because every check consumes only
+// simulated-time-deterministic state, and the counters are order-independent
+// sums. Two sharded adaptations: MemorySystem::commit holds the lock across
+// its whole begin_commit..store-write..end_commit bracket (lock()), and
+// cross-cache fill exclusivity checks are deferred to window boundaries
+// (set_deferred_fills / flush_deferred_fills) when all shards are parked and
+// the peeked cache states are stable.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -72,6 +83,24 @@ class MemChecker final : public BackingStore::Observer {
   MemChecker(const MemChecker&) = delete;
   MemChecker& operator=(const MemChecker&) = delete;
 
+  /// Sharded engine: hand the internal lock to MemorySystem::commit so the
+  /// whole commit bracket (value check, functional store write, close) is one
+  /// critical section — otherwise another shard's external write (a DMA
+  /// storeback) could land inside the window and trip the commit-write
+  /// cross-check. Recursive, so the bracketed hooks re-enter freely; RAII, so
+  /// a thrown CheckerError still releases it.
+  std::unique_lock<std::recursive_mutex> lock() const {
+    return std::unique_lock<std::recursive_mutex>(mu_);
+  }
+
+  /// Sharded engine: buffer on_fill's cross-cache exclusivity checks until
+  /// flush_deferred_fills (the serial engines check at the fill instant).
+  void set_deferred_fills(bool deferred) { deferred_fills_ = deferred; }
+
+  /// Run the buffered fill checks. Called at a window boundary with every
+  /// shard parked, so peeking all caches is race-free.
+  void flush_deferred_fills(Cycles t);
+
   // ---- Value oracle ---------------------------------------------------------
 
   /// Called by MemorySystem::commit just before the operation's functional
@@ -100,6 +129,12 @@ class MemChecker final : public BackingStore::Observer {
   /// `node` is writing back a dirty line. When the home is not mid-
   /// transaction on it, the directory must agree it is the exclusive owner.
   void on_writeback(NodeId node, GAddr line, bool dir_busy, Cycles t);
+
+  /// Sharded engine: a poisoned read fill completed a load from the line
+  /// image the data sender captured. The load linearizes *before* the
+  /// chasing write, but the shadow may already hold the writer's value, so
+  /// the value compare is skipped; this keeps the check accounting exact.
+  void on_poisoned_load(NodeId node, GAddr addr, std::uint32_t size, Cycles t);
 
   /// The directory entry for `line` was mutated (state/owner/sharers/busy/
   /// pending). Re-checks the entry-local invariant catalogue and the busy-
@@ -151,6 +186,20 @@ class MemChecker final : public BackingStore::Observer {
 
   /// First-seen busy time per line (sorted: dumps iterate it).
   std::map<GAddr, Cycles> busy_since_;
+
+  /// Serializes every entry point; see the file comment's sharded-engine
+  /// paragraph. Uncontended in the serial engines.
+  mutable std::recursive_mutex mu_;
+
+  /// Installed fills awaiting the window-boundary cross-cache check.
+  struct DeferredFill {
+    NodeId node;
+    GAddr line;
+    LineState st;
+    Cycles t;
+  };
+  bool deferred_fills_ = false;
+  std::vector<DeferredFill> fill_log_;
 
   std::uint64_t value_checks_ = 0;
   std::uint64_t protocol_checks_ = 0;

@@ -77,31 +77,47 @@ struct DirEntry {
 };
 
 /// All directory entries homed on one machine (lazily materialized).
+///
+/// Entries are stored in one hash map per home node. Every protocol-side
+/// mutation of a line's entry happens in an event executing on the line's
+/// home node (the sharded engine relies on this: each map is touched by
+/// exactly one shard, so lazy materialization never races a concurrent
+/// insert's rehash). In the serial engines the split is invisible.
 class Directory {
  public:
-  DirEntry& entry(GAddr line) { return entries_[line]; }
+  /// Sized once (by the MemorySystem ctor) before any entry() call.
+  void init_nodes(std::uint32_t nodes) { by_home_.resize(nodes); }
+
+  DirEntry& entry(GAddr line) { return by_home_[gaddr_node(line)][line]; }
 
   const DirEntry* find(GAddr line) const {
-    auto it = entries_.find(line);
-    return it == entries_.end() ? nullptr : &it->second;
+    const auto& m = by_home_[gaddr_node(line)];
+    auto it = m.find(line);
+    return it == m.end() ? nullptr : &it->second;
   }
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& m : by_home_) n += m.size();
+    return n;
+  }
 
   /// Deterministic iteration for checkers and diagnostic dumps: all entries,
-  /// sorted by line address (never iterate entries_ directly for output —
+  /// sorted by line address (never iterate the maps directly for output —
   /// unordered_map order varies run to run).
   std::vector<std::pair<GAddr, const DirEntry*>> sorted_entries() const {
     std::vector<std::pair<GAddr, const DirEntry*>> v;
-    v.reserve(entries_.size());
-    for (const auto& [line, e] : entries_) v.emplace_back(line, &e);
+    v.reserve(size());
+    for (const auto& m : by_home_) {
+      for (const auto& [line, e] : m) v.emplace_back(line, &e);
+    }
     std::sort(v.begin(), v.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     return v;
   }
 
  private:
-  std::unordered_map<GAddr, DirEntry> entries_;
+  std::vector<std::unordered_map<GAddr, DirEntry>> by_home_;
 };
 
 }  // namespace alewife

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -16,8 +17,12 @@ MemorySystem::MemorySystem(Simulator& sim, Network& net, BackingStore& store,
       cfg_(cfg),
       cost_(cfg.cost),
       line_bytes_(cfg.cache_line_bytes),
+      sharded_(cfg.shards > 0),
+      mshrs_(cfg.nodes),
+      txns_(cfg.nodes),
       outstanding_prefetches_(cfg.nodes, 0) {
   stats.ensure_nodes(cfg.nodes);
+  dir_.init_nodes(cfg.nodes);
   caches_.reserve(cfg.nodes);
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
     caches_.push_back(std::make_unique<Cache>(
@@ -26,6 +31,7 @@ MemorySystem::MemorySystem(Simulator& sim, Network& net, BackingStore& store,
   if (cfg.check.enabled) {
     checker_ =
         std::make_unique<MemChecker>(cfg_, stats_, store_, dir_, caches_);
+    checker_->set_deferred_fills(sharded_);
   }
 }
 
@@ -33,6 +39,21 @@ MemorySystem::~MemorySystem() = default;
 
 void MemorySystem::check_quiesce() {
   if (checker_) checker_->on_quiesce(sim_.now());
+}
+
+void MemorySystem::on_window_boundary(Cycles t) {
+  if (checker_) checker_->flush_deferred_fills(t);
+}
+
+std::vector<std::uint8_t> MemorySystem::capture_line(GAddr line) const {
+  std::vector<std::uint8_t> image(line_bytes_);
+  for (std::uint32_t i = 0; i < line_bytes_; i += 8) {
+    const std::uint64_t w = store_.read_uint(line + i, 8);
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      image[i + b] = static_cast<std::uint8_t>(w >> (8 * b));
+    }
+  }
+  return image;
 }
 
 // ---------------------------------------------------------------------------
@@ -51,8 +72,8 @@ void MemorySystem::access(NodeId node, MemOp op, GAddr addr,
   assert(c.line_of(addr + size - 1) == line && "access crosses a cache line");
 
   // Merge with an in-flight fill for the same line, if any.
-  auto it = mshrs_.find(mshr_key(node, line));
-  if (it != mshrs_.end()) {
+  auto it = mshrs_[node].find(line);
+  if (it != mshrs_[node].end()) {
     if (memop_is_prefetch(op)) {
       // Prefetch to a line already being fetched: free.
       sim_.schedule_at(start + cost_.prefetch_issue,
@@ -139,7 +160,7 @@ void MemorySystem::access(NodeId node, MemOp op, GAddr addr,
 
 void MemorySystem::start_fill(NodeId node, GAddr line, bool excl, bool upgrade,
                               bool prefetch_only, Waiter waiter, Cycles t) {
-  Mshr& m = mshrs_[mshr_key(node, line)];
+  Mshr& m = mshrs_[node][line];
   m.excl = excl;
   m.prefetch_only = prefetch_only;
   m.took_slot = prefetch_only;
@@ -158,7 +179,12 @@ void MemorySystem::commit(NodeId node, MemOp op, GAddr addr,
   // The checker (when armed) brackets every functional effect: begin_commit
   // replays the op on the golden shadow and validates the value handed to the
   // program; the store write is then cross-checked byte-for-byte through the
-  // BackingStore observer; end_commit closes the window.
+  // BackingStore observer; end_commit closes the window. The whole bracket
+  // runs under one checker lock so another shard's functional write (a DMA
+  // storeback) cannot interleave into the commit window and trip the
+  // unexpected-commit-write check; RAII releases it if a CheckerError throws.
+  std::unique_lock<std::recursive_mutex> bracket;
+  if (checker_) bracket = checker_->lock();
   (void)node;
   (void)t;
   switch (op) {
@@ -216,11 +242,12 @@ void MemorySystem::commit(NodeId node, MemOp op, GAddr addr,
 }
 
 void MemorySystem::fill_complete(NodeId node, GAddr line, LineState st,
-                                 Cycles t) {
-  auto it = mshrs_.find(mshr_key(node, line));
-  assert(it != mshrs_.end() && "fill for line with no MSHR");
+                                 Cycles t,
+                                 const std::vector<std::uint8_t>& image) {
+  auto it = mshrs_[node].find(line);
+  assert(it != mshrs_[node].end() && "fill for line with no MSHR");
   Mshr m = std::move(it->second);
-  mshrs_.erase(it);
+  mshrs_[node].erase(it);
 
   if (m.took_slot) {
     assert(outstanding_prefetches_[node] > 0);
@@ -228,10 +255,12 @@ void MemorySystem::fill_complete(NodeId node, GAddr line, LineState st,
   }
 
   Cache& c = *caches_[node];
+  bool poisoned = false;
   bool installed = false;
   if (m.poisoned && st == LineState::kShared) {
     // An invalidation overtook this read fill: deliver the data (linearized
     // after the writer) but do not cache the now-stale line.
+    poisoned = true;
     stats_.add(node, MetricId::kMemPoisonedFills);
   } else {
     Cache::Victim v = c.install(line, st);
@@ -239,6 +268,36 @@ void MemorySystem::fill_complete(NodeId node, GAddr line, LineState st,
     if (v.valid) evict(node, v.line, v.state, t);
   }
   if (checker_) checker_->on_fill(node, line, st, installed, t);
+
+  if (poisoned && sharded_) {
+    // Sharded engine: the chasing writer commits in a later window with no
+    // happens-before edge to this shard, so reading the backing store here
+    // would be racy *and* host-interleaving-dependent. Loads complete from
+    // the line image the data sender captured (linearizing the load before
+    // the chasing write — the legal SC outcome poisoning models); everything
+    // else re-issues through the protocol.
+    assert(!image.empty() && "sharded kDataS must carry a line image");
+    for (Waiter& w : m.waiters) {
+      if (w.op != MemOp::kLoad) {
+        access(node, w.op, w.addr, w.size, w.value, t, std::move(w.done));
+        continue;
+      }
+      std::uint64_t v = 0;
+      const std::uint64_t off = w.addr - line;
+      for (std::uint32_t b = 0; b < w.size; ++b) {
+        v |= std::uint64_t{image[off + b]} << (8 * b);
+      }
+      sim_.schedule_at(
+          t + cost_.cache_hit,
+          [this, node, w = std::move(w), v]() mutable {
+            if (checker_) {
+              checker_->on_poisoned_load(node, w.addr, w.size, sim_.now());
+            }
+            w.done(v);
+          });
+    }
+    return;
+  }
 
   for (Waiter& w : m.waiters) complete_waiter(node, w, st, t);
 }
@@ -276,13 +335,18 @@ void MemorySystem::evict(NodeId node, GAddr line, LineState st, Cycles t) {
   }
   stats_.add(node, MetricId::kMemDirtyEvictions);
   // Functional memory is already current (values commit to the backing store
-  // at store time); update the directory immediately and model the writeback
-  // packet for network timing/occupancy only.
-  DirEntry& e = dir_.entry(line);
-  if (checker_) checker_->on_writeback(node, line, e.busy, t);
-  if (!e.busy && e.state == DirState::kExclusive && e.owner == node) {
-    e.reset_uncached();
-    note_dir(line, t);
+  // at store time); the writeback packet models network timing/occupancy
+  // only. Serial engines update the home directory eagerly here. The sharded
+  // engine defers it to the kWriteback handler at the home (the evictor may
+  // be on another shard, and the protocol already tolerates an in-flight
+  // writeback: a stale-owner kFetch is replied to regardless).
+  if (!sharded_) {
+    DirEntry& e = dir_.entry(line);
+    if (checker_) checker_->on_writeback(node, line, e.busy, t);
+    if (!e.busy && e.state == DirState::kExclusive && e.owner == node) {
+      e.reset_uncached();
+      note_dir(line, t);
+    }
   }
   send_coh(node, gaddr_node(line), kWriteback, line, line_bytes_, t);
 }
@@ -296,9 +360,19 @@ void MemorySystem::send_coh(NodeId src, NodeId dst, CohMsg type, GAddr line,
                             std::uint64_t aux) {
   // The aux word (forwarding target / serialization time) is only carried
   // when present, so the common protocol messages keep their wire size.
+  //
+  // Sharded engine: kDataS ships the line's byte image, captured now at the
+  // sender. This is race-free — when data is sent in the Shared state, every
+  // past Modified holder's last commit sits at least one window barrier in
+  // the past (downgrade/fetch/writeback round trips cross a barrier), and no
+  // node currently holds the line writable. Timing is unaffected: wire size
+  // counts payload_bytes, not the payload vector.
+  std::vector<std::uint8_t> image;
+  if (sharded_ && type == kDataS) image = capture_line(line);
   if (src == dst) {
     // Local bypass: requests to the local memory controller skip the network.
-    sim_.schedule_at(when + 1, [this, dst, type, src, line, aux] {
+    sim_.schedule_at(when + 1, [this, dst, type, src, line, aux,
+                                image = std::move(image)] {
       Packet p;
       p.src = src;
       p.dst = dst;
@@ -306,6 +380,7 @@ void MemorySystem::send_coh(NodeId src, NodeId dst, CohMsg type, GAddr line,
       p.type = type;
       p.words = {line};
       if (aux != 0) p.words.push_back(aux);
+      p.payload = image;
       on_packet(dst, p);
     });
     return;
@@ -317,6 +392,7 @@ void MemorySystem::send_coh(NodeId src, NodeId dst, CohMsg type, GAddr line,
   p.type = type;
   p.words = {line};
   if (aux != 0) p.words.push_back(aux);
+  p.payload = std::move(image);
   p.payload_bytes = payload_bytes;
   net_.send(std::move(p), when);
 }
@@ -332,16 +408,16 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
       return;
 
     case kInvAck: {
-      auto it = txns_.find(line);
-      assert(it != txns_.end() && "INV_ACK with no transaction");
+      auto it = txns_[node].find(line);
+      assert(it != txns_[node].end() && "INV_ACK with no transaction");
       assert(it->second.acks_left > 0);
       if (--it->second.acks_left == 0) finish_write_txn(node, line, t);
       return;
     }
 
     case kFetchReply: {
-      auto it = txns_.find(line);
-      assert(it != txns_.end() && "FETCH_REPLY with no transaction");
+      auto it = txns_[node].find(line);
+      assert(it != txns_[node].end() && "FETCH_REPLY with no transaction");
       HomeTxn txn = it->second;
       DirEntry& e = dir_.entry(line);
       const Cycles t2 = t + cost_.local_mem_latency;  // memory update
@@ -352,7 +428,7 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
         e.sharers.clear();
         e.sharers.push_back(old_owner);
         e.add_sharer(txn.requester, cost_.dir_hw_pointers);
-        txns_.erase(it);
+        txns_[node].erase(it);
         reply_data(node, txn.requester, kDataS, line, t2,
                    /*hold_busy=*/false);
       } else {
@@ -360,7 +436,7 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
         e.owner = txn.requester;
         e.sharers.clear();
         e.sw_extended = false;
-        txns_.erase(it);
+        txns_[node].erase(it);
         reply_data(node, txn.requester, kDataE, line, t2, /*hold_busy=*/true);
       }
       note_dir(line, t);
@@ -369,14 +445,28 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
 
     case kWriteback:
       stats_.add(node, MetricId::kMemWritebacksReceived);
+      if (sharded_) {
+        // Sharded engine: the deferred half of evict() — the home updates
+        // its own directory when the writeback arrives. A stale-owner kFetch
+        // crossing this packet is harmless (the owner replies regardless and
+        // memory is functionally current).
+        DirEntry& e = dir_.entry(line);
+        const NodeId wb_owner = p.src;
+        if (checker_) checker_->on_writeback(wb_owner, line, e.busy, t);
+        if (!e.busy && e.state == DirState::kExclusive &&
+            e.owner == wb_owner) {
+          e.reset_uncached();
+          note_dir(line, t);
+        }
+      }
       return;
 
     case kDataS:
-      fill_complete(node, line, LineState::kShared, t);
+      fill_complete(node, line, LineState::kShared, t, p.payload);
       return;
     case kDataE:
     case kGrant:
-      fill_complete(node, line, LineState::kModified, t);
+      fill_complete(node, line, LineState::kModified, t, {});
       return;
 
     case kFetch:
@@ -398,8 +488,8 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
     }
 
     case kInv: {
-      auto it = mshrs_.find(mshr_key(node, line));
-      if (it != mshrs_.end()) it->second.poisoned = true;
+      auto it = mshrs_[node].find(line);
+      if (it != mshrs_[node].end()) it->second.poisoned = true;
       caches_[node]->invalidate(line);
       stats_.add(node, MetricId::kMemInvalidations);
       send_coh(node, p.src, kInvAck, line, 0, t + 1);
@@ -435,6 +525,9 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
         data.klass = PacketClass::kCoherence;
         data.type = data_kind;
         data.words = {line};
+        // Sharded kDataS carries the image; the old owner's own commits are
+        // same-shard, so capturing here is race-free.
+        if (sharded_ && data_kind == kDataS) data.payload = capture_line(line);
         data.payload_bytes = line_bytes_;
         delivery = net_.send(std::move(data), t + cost_.cache_hit);
       }
@@ -448,10 +541,10 @@ void MemorySystem::on_packet(NodeId node, const Packet& p) {
 
     case kFetchDone: {
       const Cycles safe_at = p.words.at(1);
-      auto it = txns_.find(line);
-      assert(it != txns_.end() && "FETCH_DONE with no transaction");
+      auto it = txns_[node].find(line);
+      assert(it != txns_[node].end() && "FETCH_DONE with no transaction");
       HomeTxn txn = it->second;
-      txns_.erase(it);
+      txns_[node].erase(it);
       DirEntry& e = dir_.entry(line);
       if (txn.kind == HomeTxn::Kind::kRead) {
         const NodeId old_owner = e.owner;
@@ -507,7 +600,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
 
   if (type == kRReq) {
     if (e.state == DirState::kExclusive && e.owner != requester) {
-      txns_[line] = HomeTxn{HomeTxn::Kind::kRead, requester, 0};
+      txns_[home][line] = HomeTxn{HomeTxn::Kind::kRead, requester, 0};
       send_coh(home, e.owner,
                cfg_.forward_dirty_direct ? kFetchFwd : kFetch, line, 0, t,
                std::uint64_t{requester} + 1);
@@ -544,7 +637,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
   }
 
   if (e.state == DirState::kExclusive) {
-    txns_[line] = HomeTxn{HomeTxn::Kind::kWrite, requester, 0};
+    txns_[home][line] = HomeTxn{HomeTxn::Kind::kWrite, requester, 0};
     send_coh(home, e.owner,
              cfg_.forward_dirty_direct ? kFetchInvFwd : kFetchInv, line, 0, t,
              std::uint64_t{requester} + 1);
@@ -574,7 +667,7 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
     return;
   }
 
-  txns_[line] =
+  txns_[home][line] =
       HomeTxn{is_upgrade ? HomeTxn::Kind::kUpgrade : HomeTxn::Kind::kWrite,
               requester, static_cast<std::uint32_t>(targets.size())};
   for (NodeId tgt : targets) {
@@ -585,10 +678,10 @@ void MemorySystem::start_txn(NodeId home, CohMsg type, NodeId requester,
 }
 
 void MemorySystem::finish_write_txn(NodeId home, GAddr line, Cycles t) {
-  auto it = txns_.find(line);
-  assert(it != txns_.end());
+  auto it = txns_[home].find(line);
+  assert(it != txns_[home].end());
   HomeTxn txn = it->second;
-  txns_.erase(it);
+  txns_[home].erase(it);
 
   DirEntry& e = dir_.entry(line);
   e.state = DirState::kExclusive;
@@ -618,6 +711,7 @@ void MemorySystem::reply_data(NodeId home, NodeId requester, CohMsg kind,
   p.klass = PacketClass::kCoherence;
   p.type = kind;
   p.words = {line};
+  if (sharded_ && kind == kDataS) p.payload = capture_line(line);
   p.payload_bytes = payload;
   const Cycles delivery = net_.send(std::move(p), t);
   if (hold_busy) {
@@ -659,6 +753,11 @@ void MemorySystem::fe_access(NodeId node, MemOp op, GAddr addr,
   // The full/empty bit rides with the word (Alewife keeps it in the memory
   // line); its state changes linearize at the issue/commit points below.
   // unordered_map references are stable across inserts, so holding st is ok.
+  if (sharded_) {
+    throw std::logic_error(
+        "full/empty ops are unsupported with --shards: the waiter list is "
+        "host-side cross-node state (run the workload with --shards 0)");
+  }
   FEState& st = fe_[addr];
   switch (op) {
     case MemOp::kStoreFE:
@@ -856,11 +955,15 @@ void MemorySystem::check_invariants() const {
       }
     }
   }
-  if (!txns_.empty()) {
-    throw std::logic_error("dangling home transaction at quiesce");
+  for (const auto& m : txns_) {
+    if (!m.empty()) {
+      throw std::logic_error("dangling home transaction at quiesce");
+    }
   }
-  if (!mshrs_.empty()) {
-    throw std::logic_error("dangling MSHR at quiesce");
+  for (const auto& m : mshrs_) {
+    if (!m.empty()) {
+      throw std::logic_error("dangling MSHR at quiesce");
+    }
   }
 }
 

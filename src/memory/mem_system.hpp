@@ -22,6 +22,16 @@
 // pointers; overflow charges cost.limitless_trap and steals those cycles from
 // the home *processor* via the trap hook, as the software-extension handler
 // runs there.
+// Sharded engine (MachineConfig::shards >= 1): every mutable structure is
+// touched only by events of one node's shard — MSHRs are per requester,
+// home transactions and directory entries per home. Two semantic deltas vs
+// the serial engines, both deterministic at any shard count: a dirty
+// eviction updates the home directory when the kWriteback packet arrives
+// (not eagerly at the evictor), and a poisoned read fill returns the line
+// image captured when the home sent the data (legal SC — the load
+// linearizes *before* the chasing write — and independent of host thread
+// interleaving). Full/empty-bit ops are unsupported (host-side cross-node
+// waiter lists) and throw.
 #pragma once
 
 #include <cstdint>
@@ -128,6 +138,10 @@ class MemorySystem {
   /// cache cross-check plus a shadow-vs-store sweep. No-op when unchecked.
   void check_quiesce();
 
+  /// Sharded engine: called by the Machine's window-boundary hook (all
+  /// shards parked) to run the checker's deferred cross-cache fill checks.
+  void on_window_boundary(Cycles t);
+
   void set_trap_hook(TrapHook hook) { trap_hook_ = std::move(hook); }
 
   /// Debug/tests: verify cache/directory agreement. Call only when the
@@ -182,13 +196,10 @@ class MemorySystem {
     std::uint32_t acks_left = 0;
   };
 
-  static std::uint64_t mshr_key(NodeId node, GAddr line) {
-    return (static_cast<std::uint64_t>(node) << 48) | line;
-  }
-
   void start_fill(NodeId node, GAddr line, bool excl, bool upgrade,
                   bool prefetch_only, Waiter waiter, Cycles t);
-  void fill_complete(NodeId node, GAddr line, LineState st, Cycles t);
+  void fill_complete(NodeId node, GAddr line, LineState st, Cycles t,
+                     const std::vector<std::uint8_t>& image);
   void complete_waiter(NodeId node, Waiter& w, LineState st, Cycles t);
   void commit(NodeId node, MemOp op, GAddr addr, std::uint32_t size,
               std::uint64_t value, Cycles t, const DoneFn& done);
@@ -207,6 +218,10 @@ class MemorySystem {
   void evict(NodeId node, GAddr line, LineState st, Cycles t);
   Cycles charge_trap(NodeId home, Cycles t);
 
+  /// Sharded engine: snapshot the line's bytes (shipped with kDataS so a
+  /// poisoned fill has a deterministic value source).
+  std::vector<std::uint8_t> capture_line(GAddr line) const;
+
   /// Tell the checker the directory entry for `line` was mutated. Call after
   /// every dir_ state change; reduces to a null test when unchecked.
   void note_dir(GAddr line, Cycles t) {
@@ -220,6 +235,7 @@ class MemorySystem {
   const MachineConfig& cfg_;
   const CostModel& cost_;
   std::uint32_t line_bytes_;
+  const bool sharded_;
 
   std::vector<std::unique_ptr<Cache>> caches_;
   Directory dir_;
@@ -240,8 +256,10 @@ class MemorySystem {
   void fe_complete_reader(NodeId node, MemOp op, GAddr addr,
                           std::uint32_t size, Cycles start, DoneFn done);
 
-  std::unordered_map<std::uint64_t, Mshr> mshrs_;
-  std::unordered_map<GAddr, HomeTxn> txns_;
+  /// MSHRs per requesting node, home transactions per home node: each map is
+  /// only ever touched by events of that node's shard.
+  std::vector<std::unordered_map<GAddr, Mshr>> mshrs_;
+  std::vector<std::unordered_map<GAddr, HomeTxn>> txns_;
   std::unordered_map<GAddr, FEState> fe_;
   std::vector<std::uint32_t> outstanding_prefetches_;
   TrapHook trap_hook_;

@@ -11,8 +11,10 @@ Network::Network(Simulator& sim, const MachineConfig& cfg, Stats& stats)
       stats_(stats),
       topo_(cfg.nodes, cfg.mesh_width),
       receivers_(cfg.nodes),
-      link_busy_until_(topo_.link_count(), 0) {
+      link_busy_until_(topo_.link_count(), 0),
+      sharded_(cfg.shards > 0) {
   stats.ensure_nodes(cfg.nodes);
+  if (sharded_) src_.resize(cfg.nodes);
 }
 
 void Network::set_receiver(NodeId node, Receiver r) {
@@ -20,9 +22,27 @@ void Network::set_receiver(NodeId node, Receiver r) {
   receivers_[node] = std::move(r);
 }
 
+std::uint64_t Network::packets_sent() const {
+  if (!sharded_) return next_packet_id_;
+  std::uint64_t total = 0;
+  for (const SrcState& s : src_) total += s.sent;
+  return total;
+}
+
 Cycles Network::send(Packet p, Cycles depart) {
   assert(p.dst < receivers_.size());
-  p.id = next_packet_id_++;
+  SrcState* src = sharded_ ? &src_[p.src] : nullptr;
+  if (src != nullptr) {
+    // Per-source ids keep packets distinguishable in traces without a
+    // shared counter; per-source link reservations model self-interference.
+    p.id = (std::uint64_t{p.src} << 40) | src->next_id++;
+    ++src->sent;
+    if (src->link_busy.empty()) src->link_busy.resize(topo_.link_count(), 0);
+  } else {
+    p.id = next_packet_id_++;
+  }
+  std::vector<Cycles>& link_busy =
+      src != nullptr ? src->link_busy : link_busy_until_;
 
   const std::uint32_t bytes = p.wire_bytes(cost_.packet_header_bytes);
   const Cycles ser = serialization(bytes);
@@ -33,7 +53,9 @@ Cycles Network::send(Packet p, Cycles depart) {
   FaultDecision fate;
   const bool faultable =
       fault_ != nullptr && p.klass == PacketClass::kUserMessage;
-  if (faultable) fate = fault_->decide();
+  if (faultable) {
+    fate = src != nullptr ? fault_->decide_for(p.src) : fault_->decide();
+  }
   const bool check_links = faultable && fault_->has_outages();
 
   bool outage = false;
@@ -44,8 +66,8 @@ Cycles Network::send(Packet p, Cycles depart) {
       // The head stalls until the link frees, then reserves it for the
       // packet's full serialization time.
       Cycles acquire = head;
-      if (link_busy_until_[li] > acquire) {
-        acquire = link_busy_until_[li];
+      if (link_busy[li] > acquire) {
+        acquire = link_busy[li];
         stats_.add(p.src, MetricId::kNetLinkStallCycles, acquire - head);
       }
       if (check_links &&
@@ -57,7 +79,7 @@ Cycles Network::send(Packet p, Cycles depart) {
         outage = true;
         break;
       }
-      link_busy_until_[li] = acquire + ser;
+      link_busy[li] = acquire + ser;
       head = acquire + cost_.net_hop;
     }
   }
@@ -82,38 +104,63 @@ Cycles Network::send(Packet p, Cycles depart) {
   if (lost) {
     stats_.add(p.src, outage ? MetricId::kFaultLinkDrops
                              : MetricId::kFaultDrops);
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return delivery;
   }
   if (fate.extra_delay != 0) stats_.add(p.src, MetricId::kFaultDelays);
   if (fate.corrupt) {
-    corrupt(p);
+    if (src != nullptr) {
+      // Per-source corruption draws, same stream discipline as decide_for.
+      if (!p.payload.empty()) {
+        p.payload[fault_->draw_for(p.src, p.payload.size())] ^=
+            static_cast<std::uint8_t>(1u << fault_->draw_for(p.src, 8));
+      } else if (!p.words.empty()) {
+        p.words[fault_->draw_for(p.src, p.words.size())] ^=
+            1ull << fault_->draw_for(p.src, 64);
+      } else {
+        p.checksum ^= 1;
+      }
+    } else {
+      corrupt(p);
+    }
     stats_.add(p.src, MetricId::kFaultCorrupts);
   }
   if (fate.dup) {
     // The duplicate trails the original by one serialization + hop — a
     // stutter, not a full retransmission.
     stats_.add(p.src, MetricId::kFaultDups);
-    deliver_at(p, delivery + ser + cost_.net_hop);
+    deliver_at(p, delivery + ser + cost_.net_hop, depart);
   }
-  deliver_at(std::move(p), delivery);
+  deliver_at(std::move(p), delivery, depart);
   return delivery;
 }
 
-void Network::deliver_at(Packet p, Cycles when) {
-  ++in_flight_;
+void Network::deliver_at(Packet p, Cycles when, Cycles depart) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   const NodeId dst = p.dst;
+  const NodeId src_node = p.src;
   // Only user-message deliveries count as watchdog progress: coherence
   // traffic from a thread spinning on a contended line would otherwise keep
   // resetting the deadline of a machine that is semantically livelocked.
   const bool progress = p.klass == PacketClass::kUserMessage;
-  sim_.schedule_at(when, [this, dst, progress, pkt = std::move(p)]() mutable {
-    --in_flight_;
-    ++delivered_;
+  auto fn = [this, dst, progress, pkt = std::move(p)]() mutable {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    delivered_.fetch_add(1, std::memory_order_relaxed);
     if (progress && wd_ != nullptr) wd_->note(sim_.now());
     assert(receivers_[dst] && "packet delivered to node with no receiver");
     receivers_[dst](std::move(pkt));
-  });
+  };
+  if (sharded_) {
+    // Deterministic merge key: (when, depart, source, per-source sequence) —
+    // a pure function of simulated times and node ids, identical at any
+    // shard count. The lookahead bound guarantees `when` lands at or beyond
+    // the next window boundary for cross-shard destinations.
+    sim_.sharded()->schedule_delivery(dst, when, depart, src_node,
+                                      src_[src_node].deliver_seq++,
+                                      std::move(fn));
+    return;
+  }
+  sim_.schedule_at(when, std::move(fn));
 }
 
 void Network::corrupt(Packet& p) {

@@ -6,8 +6,19 @@
 // is occupied for the serialization time starting when the head acquires it
 // (a busy-until reservation approximating wormhole flow). The tail therefore
 // arrives at head-arrival + serialization.
+//
+// Sharded engine (MachineConfig::shards >= 1): all mutable network state
+// splits per source node — link reservations, packet ids, fault draws,
+// delivery sequence numbers — so concurrent shards never share a mutable
+// word. The price is that link contention is modelled per source
+// (self-interference only): two *different* senders no longer contend for
+// the same physical link. That is a documented modelling delta of the
+// sharded engine (docs/ARCHITECTURE.md), chosen because a global link
+// arbiter is inherently cross-shard-ordering-dependent. Global counters
+// (delivered/dropped/in-flight) are relaxed atomics read after the run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -45,11 +56,17 @@ class Network {
     return (wire_bytes + bw - 1) / bw;
   }
 
-  std::uint64_t packets_sent() const { return next_packet_id_; }
-  std::uint64_t packets_delivered() const { return delivered_; }
-  std::uint64_t packets_dropped() const { return dropped_; }
+  std::uint64_t packets_sent() const;
+  std::uint64_t packets_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t packets_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   /// Scheduled deliveries not yet executed (includes duplicates).
-  std::uint64_t packets_in_flight() const { return in_flight_; }
+  std::uint64_t packets_in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
   /// Attach a trace sink (optional; kNet category).
   void set_trace(Trace* t) { trace_ = t; }
@@ -64,8 +81,19 @@ class Network {
   void set_watchdog(Watchdog* wd) { wd_ = wd; }
 
  private:
-  /// Schedule one delivery event for `p` at `when`.
-  void deliver_at(Packet p, Cycles when);
+  /// Per-source mutable state for the sharded engine: only events of the
+  /// source node's shard ever touch it.
+  struct SrcState {
+    std::vector<Cycles> link_busy;  ///< lazily sized to link_count()
+    std::uint64_t next_id = 0;
+    std::uint64_t deliver_seq = 0;
+    std::uint64_t sent = 0;
+    char pad[64];  ///< keep neighbouring sources off one cache line
+  };
+
+  /// Schedule one delivery event for `p` at `when`; `depart` orders
+  /// same-time deliveries deterministically in the sharded engine.
+  void deliver_at(Packet p, Cycles when, Cycles depart);
   /// Flip a data bit so the receiver's checksum verification fails.
   void corrupt(Packet& p);
 
@@ -75,10 +103,12 @@ class Network {
   MeshTopology topo_;
   std::vector<Receiver> receivers_;
   std::vector<Cycles> link_busy_until_;
+  std::vector<SrcState> src_;  ///< sharded engine only (sized per node)
+  bool sharded_ = false;
   std::uint64_t next_packet_id_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t in_flight_ = 0;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
   Trace* trace_ = nullptr;
   FaultPlan* fault_ = nullptr;
   Watchdog* wd_ = nullptr;

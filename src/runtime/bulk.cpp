@@ -8,6 +8,9 @@
 namespace alewife {
 
 BulkCopyEngine::BulkCopyEngine(RuntimeShared& shared) : shared_(shared) {
+  if (shared_.cfg.shards > 0) {
+    next_seq_by_node_.assign(shared_.nodes.size(), 1);
+  }
   for (NodeRuntime* nrt : shared_.nodes) {
     Cmmu& cmmu = nrt->cmmu();
     cmmu.set_handler(kMsgCopyData, [this, nrt](HandlerCtx& hc, MsgView& m) {
@@ -39,20 +42,35 @@ BulkCopyEngine::BulkCopyEngine(RuntimeShared& shared) : shared_(shared) {
     });
     cmmu.set_handler(kMsgCopyAck, [this](HandlerCtx& hc, MsgView& m) {
       const std::uint64_t seq = m.operand(hc, 0);
-      auto it = pending_.find(seq);
-      if (it == pending_.end()) {
-        // Stale ack for a transfer already completed (possible only under
-        // fault injection, e.g. a duplicated packet that slipped past the
-        // reliable layer): ignore it rather than wake a random thread.
-        hc.charge(1);
-        return;
+      Pending p;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        auto it = pending_.find(seq);
+        if (it == pending_.end()) {
+          // Stale ack for a transfer already completed (possible only under
+          // fault injection, e.g. a duplicated packet that slipped past the
+          // reliable layer): ignore it rather than wake a random thread.
+          hc.charge(1);
+          return;
+        }
+        p = it->second;
+        pending_.erase(it);
       }
-      Pending p = it->second;
-      pending_.erase(it);
       hc.charge(2);
       shared_.peer(p.node).enqueue_ready(p.thread, hc.now());
     });
   }
+}
+
+std::uint64_t BulkCopyEngine::start_transfer(Context& ctx) {
+  std::lock_guard<std::mutex> g(mu_);
+  const NodeId node = ctx.node();
+  const std::uint64_t seq =
+      next_seq_by_node_.empty()
+          ? next_seq_++
+          : ((std::uint64_t{node} + 1) << 32 | next_seq_by_node_[node]++);
+  pending_[seq] = Pending{node, ctx.runtime().current_thread(), false};
+  return seq;
 }
 
 void BulkCopyEngine::copy(Context& ctx, GAddr dst, GAddr src, std::uint64_t n,
@@ -80,8 +98,7 @@ void BulkCopyEngine::copy_pull(Context& ctx, GAddr local_dst, GAddr src,
     return;
   }
   ctx.charge(shared_.cfg.cost.bulk_setup);
-  const std::uint64_t seq = next_seq_++;
-  pending_[seq] = Pending{ctx.node(), ctx.runtime().current_thread(), false};
+  const std::uint64_t seq = start_transfer(ctx);
   MsgDescriptor req;
   req.dst = src_node;
   req.type = kMsgCopyPullReq;
@@ -125,9 +142,7 @@ void BulkCopyEngine::copy_msg(Context& ctx, GAddr dst, GAddr src,
   assert(gaddr_node(src) == ctx.node() &&
          "message copy gathers from local memory");
   ctx.charge(shared_.cfg.cost.bulk_setup);
-  const std::uint64_t seq = next_seq_++;
-  pending_[seq] =
-      Pending{ctx.node(), ctx.runtime().current_thread(), false};
+  const std::uint64_t seq = start_transfer(ctx);
 
   MsgDescriptor d;
   d.dst = gaddr_node(dst);

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "runtime/scheduler.hpp"
 #include "sim/types.hpp"
@@ -52,9 +54,22 @@ class BulkCopyEngine {
     bool done = false;
   };
 
+  /// Allocate a transfer correlation id and register the calling thread as
+  /// its waiter. Serial engines draw seqs from one global counter (preserving
+  /// historical packet contents and thus pinned fuzz digests); the sharded
+  /// engine partitions the seq space by initiating node so the *values*
+  /// carried in packets are independent of how shard threads interleave
+  /// their allocations (packet bytes feed the fault injector's
+  /// corruption/checksum path, so they must be deterministic).
+  std::uint64_t start_transfer(Context& ctx);
+
   RuntimeShared& shared_;
+  /// Guards pending_ and the seq counters: initiators and ack handlers on
+  /// different shard threads touch them concurrently. Uncontended serially.
+  std::mutex mu_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::uint64_t next_seq_ = 1;
+  std::vector<std::uint64_t> next_seq_by_node_;  ///< sharded engine only
 };
 
 }  // namespace alewife

@@ -119,7 +119,7 @@ void NodeRuntime::pick_next(Cycles t) {
     dispatch_thread(id, t + start_cost);
     return;
   }
-  if (!shared_.stopping && !loop_active_) {
+  if (!shared_.is_stopping(t) && !loop_active_) {
     loop_active_ = true;
     const std::uint64_t id =
         make_thread([this](Context& c) { sched_loop(c); });
@@ -158,7 +158,7 @@ void NodeRuntime::sched_loop(Context& ctx) {
   Cycles poll_backoff = shared_.opt.min_poll_backoff;
   Cycles steal_backoff = shared_.opt.min_steal_backoff;
   Cycles next_steal_at = proc_.free_at();
-  while (!shared_.stopping) {
+  while (!shared_.is_stopping(proc_.free_at())) {
     if (!ready_threads_.empty()) break;
     std::uint64_t entry = try_pop_local(ctx);
     if (entry == 0 && shared_.opt.stealing && shared_.nodes.size() > 1 &&
@@ -185,7 +185,9 @@ void NodeRuntime::sched_loop(Context& ctx) {
         break;
       }
       loop_active_ = false;
-      run_task_inline(ctx, entry_task(entry));
+      TaskRec* rec = popped_rec_;
+      popped_rec_ = nullptr;
+      run_task_inline(ctx, entry_task(entry), rec);
       return;
     }
     proc_.compute(cost_.sched_poll + poll_backoff);
@@ -195,6 +197,7 @@ void NodeRuntime::sched_loop(Context& ctx) {
 }
 
 std::uint64_t NodeRuntime::try_pop_local(Context& ctx) {
+  popped_rec_ = nullptr;
   // Wake tokens first: a readied thread beats starting new work.
   if (wake_queue_.host_size(shared_.ms.store()) > 0) {
     const std::uint64_t e = wake_queue_.pop_tail(proc_);
@@ -206,9 +209,10 @@ std::uint64_t NodeRuntime::try_pop_local(Context& ctx) {
     InterruptGuard g(proc_);
     proc_.charge(shared_.opt.local_queue_op);
     if (!local_tasks_.empty()) {
-      const TaskId id = local_tasks_.back();
+      const LocalTask lt = local_tasks_.back();
       local_tasks_.pop_back();
-      return encode_task(id);
+      popped_rec_ = lt.rec;
+      return encode_task(lt.id);
     }
   }
   // Then the shared-memory queue (shm-mode spawns, shm invokes, thread
@@ -286,6 +290,7 @@ std::uint64_t NodeRuntime::steal_hybrid(Context& ctx, NodeId victim) {
   (void)ctx;
   steal_done_ = false;
   steal_result_ = 0;
+  steal_rec_ = nullptr;
   steal_waiting_ = true;
   MsgDescriptor d;
   d.dst = victim;
@@ -300,7 +305,7 @@ std::uint64_t NodeRuntime::steal_hybrid(Context& ctx, NodeId victim) {
   const Cycles guard_limit =
       shared_.cfg.fault.reliable_on() ? 16'000'000 : 1'000'000;
   Cycles guard = 0;
-  while (!steal_done_ && !shared_.stopping) {
+  while (!steal_done_ && !shared_.is_stopping(proc_.free_at())) {
     proc_.compute(4);
     guard += 4;
     if (guard > guard_limit) {
@@ -309,11 +314,14 @@ std::uint64_t NodeRuntime::steal_hybrid(Context& ctx, NodeId victim) {
     }
   }
   steal_waiting_ = false;
+  popped_rec_ = steal_rec_;
+  steal_rec_ = nullptr;
   return steal_result_;
 }
 
-void NodeRuntime::run_task_inline(Context& ctx, TaskId id, bool fresh_thread) {
-  TaskRec& t = shared_.registry.task(id);
+void NodeRuntime::run_task_inline(Context& ctx, TaskId id, TaskRec* rec,
+                                  bool fresh_thread) {
+  TaskRec& t = resolve_task(id, rec);
   t.state = TaskState::kClaimed;
   // Lazy task creation: a popped/stolen task materializes a thread when it
   // starts running; an inlined touch reuses the toucher's thread for free.
@@ -328,8 +336,10 @@ void NodeRuntime::run_task_inline(Context& ctx, TaskId id, bool fresh_thread) {
   TaskFn fn = std::move(t.fn);
   t.fn = nullptr;
   const std::uint64_t v = fn(ctx);
-  shared_.registry.task(id).state = TaskState::kDone;
-  fill_future(shared_.registry.task(id).future, v);
+  // Deque storage keeps the record's address stable across any spawns the
+  // body performed, so `t` is still the live record here.
+  t.state = TaskState::kDone;
+  fill_future(t.future, v);
 }
 
 // ---------------------------------------------------------------------------
@@ -345,7 +355,7 @@ bool NodeRuntime::push_local_task(TaskId id) {
   } else {
     InterruptGuard g(proc_);
     proc_.charge(shared_.opt.local_queue_op);
-    local_tasks_.push_back(id);
+    local_tasks_.push_back(LocalTask{id, shared_.registry.task_ptr(id)});
   }
   return true;
 }
@@ -359,14 +369,14 @@ FutureId NodeRuntime::spawn_task(TaskFn fn) {
     fr.flag_addr = cell;
     fr.value_addr = cell + 8;
   }
-  const FutureId fid = shared_.registry.add_future(std::move(fr));
+  const FutureId fid = shared_.registry.add_future(node_, std::move(fr));
   TaskRec tr;
   tr.fn = std::move(fn);
   tr.future = fid;
   tr.state = TaskState::kQueued;
   tr.origin = node_;
   tr.arg_words = shared_.opt.task_arg_words;
-  const TaskId tid = shared_.registry.add_task(std::move(tr));
+  const TaskId tid = shared_.registry.add_task(node_, std::move(tr));
   shared_.registry.future(fid).task = tid;
   shared_.stats.add(node_, MetricId::kRtSpawns);
   if (shared_.trace != nullptr && shared_.trace->enabled(TraceCat::kSched)) {
@@ -378,7 +388,8 @@ FutureId NodeRuntime::spawn_task(TaskFn fn) {
     // the spawning thread, exactly as if a touch had inlined it. The future
     // is filled synchronously, nothing is lost, and rt.queue_full records
     // the pressure.
-    run_task_inline(*ctx_, tid, /*fresh_thread=*/false);
+    run_task_inline(*ctx_, tid, shared_.registry.task_ptr(tid),
+                    /*fresh_thread=*/false);
   }
   return fid;
 }
@@ -390,6 +401,14 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
   // values come from the host-side record (functional truth); the
   // shared-memory loads are issued for their timing.
   const bool shm = shared_.opt.mode == SchedMode::kShm;
+  if (shared_.sharded && TaskRegistry::id_node(f) != node_) {
+    // Cross-node touch would have to read another shard's future record.
+    // No workload in the suite does this; rather than invent racy
+    // semantics, refuse loudly.
+    throw std::logic_error(
+        "touch_future: touching a remote node's future is unsupported with "
+        "--shards");
+  }
   GAddr value_addr = kNullGAddr;
   {
     FutureRec& fr = shared_.registry.future(f);
@@ -414,9 +433,19 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
   // thread — the overhead stays purely local.
   const TaskId tid = shared_.registry.future(f).task;
   if (tid != kInvalidId) {
-    TaskRec& t = shared_.registry.task(tid);
-    if (t.state == TaskState::kQueued && t.origin == node_) {
+    // Sharded rule: never pre-probe the record's state/origin — a thief on
+    // another shard may be mutating it. Presence in our own local deque is
+    // the only safe (and sufficient) ownership test: an entry still in the
+    // deque cannot have been stolen. The serial engines keep the record
+    // probe, which skips the queue charge for already-migrated tasks.
+    const bool probe_ok = [&] {
+      if (shared_.sharded) return true;
+      TaskRec& t = shared_.registry.task(tid);
+      return t.state == TaskState::kQueued && t.origin == node_;
+    }();
+    if (probe_ok) {
       bool inlined = false;
+      TaskRec* trec = nullptr;
       if (shm) {
         ContextPin pin(proc_);
         queue_.lock(proc_);
@@ -430,14 +459,15 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
       } else {
         InterruptGuard g(proc_);
         proc_.charge(shared_.opt.local_queue_op);
-        if (!local_tasks_.empty() && local_tasks_.back() == tid) {
+        if (!local_tasks_.empty() && local_tasks_.back().id == tid) {
+          trec = local_tasks_.back().rec;
           local_tasks_.pop_back();
           inlined = true;
         }
       }
       if (inlined) {
         shared_.stats.add(node_, MetricId::kRtTouchInlined);
-        run_task_inline(*ctx_, tid, /*fresh_thread=*/false);
+        run_task_inline(*ctx_, tid, trec, /*fresh_thread=*/false);
         std::uint64_t v;
         {
           FutureRec& fr = shared_.registry.future(f);
@@ -494,6 +524,20 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
 }
 
 void NodeRuntime::fill_future(FutureId f, std::uint64_t value) {
+  if (shared_.sharded && TaskRegistry::id_node(f) != node_) {
+    // Sharded engine: a future's record is only ever mutated by its home
+    // shard, so a remote fill travels as a message to the home node (which
+    // also wakes the — necessarily home-local — waiters). The 2-operand
+    // form distinguishes this from the legacy waiter-wake fill message.
+    proc_.charge(cost_.future_fill);
+    MsgDescriptor d;
+    d.dst = TaskRegistry::id_node(f);
+    d.type = kMsgFutureFill;
+    d.operands = {f, value};
+    cmmu_.send(d);
+    shared_.stats.add(node_, MetricId::kRtMsgRemoteWakes);
+    return;
+  }
   const bool shm = shared_.opt.mode == SchedMode::kShm;
   GAddr value_addr, flag_addr;
   std::vector<FutureWaiter> waiters;
@@ -535,6 +579,19 @@ void NodeRuntime::fill_future(FutureId f, std::uint64_t value) {
   }
 }
 
+void NodeRuntime::fill_local(FutureId f, std::uint64_t value, Cycles t) {
+  FutureRec& fr = shared_.registry.future(f);
+  assert(!fr.filled);
+  fr.filled = true;
+  fr.value = value;
+  std::vector<FutureWaiter> waiters = std::move(fr.waiters);
+  fr.waiters.clear();
+  for (const FutureWaiter& w : waiters) {
+    assert(w.node == node_ && "sharded futures only ever have home waiters");
+    enqueue_ready(w.thread, t);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Remote thread invocation (paper §4.3)
 // ---------------------------------------------------------------------------
@@ -551,13 +608,13 @@ FutureId NodeRuntime::invoke_msg(NodeId dst, TaskFn fn) {
     fr.flag_addr = cell;
     fr.value_addr = cell + 8;
   }
-  const FutureId fid = shared_.registry.add_future(std::move(fr));
+  const FutureId fid = shared_.registry.add_future(node_, std::move(fr));
   TaskRec tr;
   tr.fn = std::move(fn);
   tr.future = fid;
   tr.state = TaskState::kClaimed;  // in flight, not in any queue
   tr.arg_words = shared_.opt.invoke_arg_words;
-  const TaskId tid = shared_.registry.add_task(std::move(tr));
+  const TaskId tid = shared_.registry.add_task(node_, std::move(tr));
   shared_.registry.future(fid).task = tid;
 
   // All the information needed to invoke the thread is marshaled into a
@@ -569,12 +626,24 @@ FutureId NodeRuntime::invoke_msg(NodeId dst, TaskFn fn) {
   for (std::uint32_t i = 0; i < shared_.opt.invoke_arg_words; ++i) {
     d.operands.push_back(0);  // modelled argument words
   }
+  if (shared_.sharded) {
+    // Ship the record's stable address so the receiver never walks our
+    // (possibly concurrently growing) registry deque. Trailing word, so
+    // operand indices stay put.
+    d.operands.push_back(
+        reinterpret_cast<std::uint64_t>(shared_.registry.task_ptr(tid)));
+  }
   cmmu_.send(d);
   shared_.stats.add(node_, MetricId::kRtInvokesMsg);
   return fid;
 }
 
 FutureId NodeRuntime::invoke_shm(NodeId dst, TaskFn fn) {
+  if (shared_.sharded) {
+    throw std::logic_error(
+        "invoke_shm: host-side remote queue access is unsupported with "
+        "--shards (use invoke_msg)");
+  }
   proc_.charge(4);
   FutureRec fr;
   fr.home = node_;
@@ -583,14 +652,14 @@ FutureId NodeRuntime::invoke_shm(NodeId dst, TaskFn fn) {
     fr.flag_addr = cell;
     fr.value_addr = cell + 8;
   }
-  const FutureId fid = shared_.registry.add_future(std::move(fr));
+  const FutureId fid = shared_.registry.add_future(node_, std::move(fr));
   TaskRec tr;
   tr.fn = std::move(fn);
   tr.future = fid;
   tr.state = TaskState::kQueued;
   tr.origin = dst;
   tr.arg_words = shared_.opt.task_arg_words;
-  const TaskId tid = shared_.registry.add_task(std::move(tr));
+  const TaskId tid = shared_.registry.add_task(node_, std::move(tr));
   shared_.registry.future(fid).task = tid;
 
   // Acquire the remote queue lock, write the descriptor words, unlock: every
@@ -628,12 +697,12 @@ FutureId NodeRuntime::invoke_shm(NodeId dst, TaskFn fn) {
 // Message handlers
 // ---------------------------------------------------------------------------
 
-void NodeRuntime::deliver_task(TaskId id, Cycles t) {
+void NodeRuntime::deliver_task(TaskId id, TaskRec* rec, Cycles t) {
   (void)t;
-  TaskRec& tr = shared_.registry.task(id);
+  TaskRec& tr = resolve_task(id, rec);
   tr.state = TaskState::kQueued;
   tr.origin = node_;
-  local_tasks_.push_back(id);
+  local_tasks_.push_back(LocalTask{id, &tr});
 }
 
 void NodeRuntime::register_handlers() {
@@ -641,15 +710,18 @@ void NodeRuntime::register_handlers() {
     const NodeId thief = static_cast<NodeId>(m.operand(hc, 0));
     hc.charge(shared_.opt.local_queue_op);
     if (!local_tasks_.empty()) {
-      const TaskId id = local_tasks_.front();  // oldest == biggest work
+      const LocalTask lt = local_tasks_.front();  // oldest == biggest work
       local_tasks_.pop_front();
-      TaskRec& t = shared_.registry.task(id);
+      TaskRec& t = *lt.rec;
       t.state = TaskState::kClaimed;  // migrating
       MsgDescriptor d;
       d.dst = thief;
       d.type = kMsgStealReply;
-      d.operands.push_back(encode_task(id));
+      d.operands.push_back(encode_task(lt.id));
       for (std::uint32_t i = 0; i < t.arg_words; ++i) d.operands.push_back(0);
+      if (shared_.sharded) {
+        d.operands.push_back(reinterpret_cast<std::uint64_t>(lt.rec));
+      }
       cmmu_.send_from_handler(hc, d);
       shared_.stats.add(node_, MetricId::kRtStealGrants);
     } else {
@@ -662,13 +734,19 @@ void NodeRuntime::register_handlers() {
 
   cmmu_.set_handler(kMsgStealReply, [this](HandlerCtx& hc, MsgView& m) {
     const std::uint64_t entry = m.operand(hc, 0);
+    TaskRec* rec = nullptr;
+    if (shared_.sharded) {
+      rec = reinterpret_cast<TaskRec*>(
+          m.operand(hc, m.operand_count() - 1));
+    }
     if (steal_waiting_) {
       steal_result_ = entry;
+      steal_rec_ = rec;
       steal_done_ = true;
     } else {
       // Thief gave up (stop raced the reply): requeue the task locally so
       // the work is not lost.
-      deliver_task(entry_task(entry), hc.now());
+      deliver_task(entry_task(entry), rec, hc.now());
       hc.charge(shared_.opt.local_queue_op);
     }
   });
@@ -683,17 +761,30 @@ void NodeRuntime::register_handlers() {
 
   cmmu_.set_handler(kMsgInvoke, [this](HandlerCtx& hc, MsgView& m) {
     const std::uint64_t entry = m.operand(hc, 0);
+    TaskRec* rec = nullptr;
+    std::size_t extra = m.operand_count() - 1;
+    if (shared_.sharded) {
+      rec = reinterpret_cast<TaskRec*>(
+          m.operand(hc, m.operand_count() - 1));
+      extra -= 1;  // the trailing record pointer isn't a marshaled argument
+    }
     // Unpack the argument words from the window into a task record, then
     // queue it atomically.
-    const std::size_t extra = m.operand_count() - 1;
     hc.charge(static_cast<Cycles>(extra) * (cost_.window_read + 2));
     hc.charge(shared_.opt.local_queue_op + 16);
-    deliver_task(entry_task(entry), hc.now());
+    deliver_task(entry_task(entry), rec, hc.now());
   });
 
   cmmu_.set_handler(kMsgFutureFill, [this](HandlerCtx& hc, MsgView& m) {
     const FutureId f = m.operand(hc, 0);
     const std::uint64_t value = m.operand(hc, 1);
+    if (m.operand_count() == 2) {
+      // Sharded remote fill (2-operand form): we are the future's home;
+      // record the value and wake our local waiters.
+      hc.charge(cost_.future_fill);
+      fill_local(f, value, hc.now());
+      return;
+    }
     const std::uint64_t thread = m.operand(hc, 2);
     FutureRec& fr = shared_.registry.future(f);
     fr.filled = true;

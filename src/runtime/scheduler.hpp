@@ -15,11 +15,22 @@
 //             mask; stealing, remote invocation and future-fill wakeups
 //             travel as single messages that bundle synchronization with
 //             data (the paper's §2.2 third scenario).
+//
+// Sharded engine notes (MachineConfig::shards >= 1): only kHybrid runs.
+// Every cross-node interaction is a message; the host-side shortcuts that
+// reach directly into another node's state (kShm host-side queue claiming,
+// direct remote future fills, the registry-record pre-check in touch) are
+// replaced by message chains or node-local checks. The stop flag becomes
+// window-quantized: a node observes "stopping" only from the window after
+// the one in which the flag was raised, so visibility is a pure function of
+// simulated time (deterministic at any shard count).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "cmmu/cmmu.hpp"
@@ -29,6 +40,7 @@
 #include "sim/config.hpp"
 #include "sim/fiber.hpp"
 #include "sim/rng.hpp"
+#include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
 namespace alewife {
@@ -58,8 +70,20 @@ struct RuntimeOptions {
 struct RuntimeShared {
   RuntimeShared(Simulator& s, MemorySystem& m, Stats& st,
                 const MachineConfig& c, RuntimeOptions o)
-      : sim(s), ms(m), stats(st), cfg(c), opt(o), rng(c.rng_seed ^ 0xABCD) {
+      : sim(s),
+        ms(m),
+        stats(st),
+        cfg(c),
+        opt(o),
+        rng(c.rng_seed ^ 0xABCD),
+        sharded(c.shards > 0) {
+    if (sharded && o.mode == SchedMode::kShm) {
+      throw std::invalid_argument(
+          "sharded runs (--shards) require the hybrid scheduler: the shm "
+          "scheduler claims work host-side across nodes");
+    }
     stats.ensure_nodes(c.nodes);
+    registry.init_nodes(c.nodes);
   }
 
   Simulator& sim;
@@ -68,12 +92,50 @@ struct RuntimeShared {
   const MachineConfig& cfg;
   RuntimeOptions opt;
   Rng rng;
+  const bool sharded;
 
   TaskRegistry registry;
   std::vector<NodeRuntime*> nodes;  ///< filled by the Machine at boot
   bool stopping = false;
   Trace* trace = nullptr;  ///< optional sink for kSched events
   Watchdog* wd = nullptr;  ///< thread dispatch/wake and task runs note progress
+
+  static constexpr Cycles kNeverStop = ~Cycles{0};
+  /// Sharded stop visibility: the first window boundary at or after the
+  /// raise. Callers probe with times that can reach past the current window
+  /// (`Processor::free_at`), so `is_stopping` must not let a *same-window*
+  /// raise through: the relaxed store may not have reached every shard yet,
+  /// and letting the racy read decide would make idle-poll counts depend on
+  /// host interleaving. A raise only becomes observable in the window after
+  /// the one that issued it — by then the boundary rendezvous has published
+  /// it everywhere — so the answer is a pure function of simulated time.
+  std::atomic<Cycles> stop_visible_at{kNeverStop};
+
+  bool is_stopping(Cycles t) const {
+    if (!sharded) return stopping;
+    const Cycles vis = stop_visible_at.load(std::memory_order_relaxed);
+    if (t < vis) return false;
+    return vis <= sim.sharded()->window_start();
+  }
+
+  /// Raise the stop flag at simulated time `t` (visible next window when
+  /// sharded, immediately otherwise).
+  void request_stop(Cycles t) {
+    if (!sharded) {
+      stopping = true;
+      return;
+    }
+    const Cycles vis = sim.sharded()->boundary_after(t);
+    Cycles cur = stop_visible_at.load(std::memory_order_relaxed);
+    while (vis < cur && !stop_visible_at.compare_exchange_weak(
+                            cur, vis, std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset_stopping() {
+    stopping = false;
+    stop_visible_at.store(kNeverStop, std::memory_order_relaxed);
+  }
 
   NodeRuntime& peer(NodeId n) { return *nodes.at(n); }
 };
@@ -130,7 +192,9 @@ class NodeRuntime {
   void kick(Cycles t);
 
   /// Hand a claimed task to this node (message-invoke / steal delivery).
-  void deliver_task(TaskId id, Cycles t);
+  /// `rec` is the stable record pointer when the sender shipped one (sharded
+  /// engine); null means "resolve through the registry" (serial engines).
+  void deliver_task(TaskId id, TaskRec* rec, Cycles t);
 
   Fiber* thread_fiber(std::uint64_t id) { return threads_.at(id).fiber.get(); }
 
@@ -156,7 +220,18 @@ class NodeRuntime {
   void on_release(Cycles t, bool finished);
   void pick_next(Cycles t);
   void sched_loop(Context& ctx);
-  void run_task_inline(Context& ctx, TaskId id, bool fresh_thread = true);
+  void run_task_inline(Context& ctx, TaskId id, TaskRec* rec,
+                       bool fresh_thread = true);
+
+  /// Resolve a task record: prefer the shipped pointer; fall back to the
+  /// owner-side registry (safe serially, or for ids this node created).
+  TaskRec& resolve_task(TaskId id, TaskRec* rec) {
+    return rec != nullptr ? *rec : shared_.registry.task(id);
+  }
+
+  /// Home-side future fill (fiber fill at home, or the home's handler for a
+  /// sharded remote-fill message).
+  void fill_local(FutureId f, std::uint64_t value, Cycles t);
 
   /// Pop one unit of local work (charged). 0 when none.
   std::uint64_t try_pop_local(Context& ctx);
@@ -182,10 +257,17 @@ class NodeRuntime {
   SharedTaskQueue wake_queue_;
   std::unique_ptr<Context> ctx_;
 
+  /// Hybrid-mode local queue entry: the id plus the record's stable address
+  /// (so steal replies can ship the pointer without a registry walk).
+  struct LocalTask {
+    TaskId id;
+    TaskRec* rec;
+  };
+
   std::vector<ThreadRec> threads_;
   std::vector<std::uint64_t> free_thread_ids_;
   std::deque<std::uint64_t> ready_threads_;
-  std::deque<TaskId> local_tasks_;  ///< hybrid-mode local queue (host side)
+  std::deque<LocalTask> local_tasks_;  ///< hybrid-mode local queue (host side)
 
   std::uint64_t current_thread_ = kInvalidId;
   bool loop_active_ = false;
@@ -197,6 +279,11 @@ class NodeRuntime {
   bool steal_waiting_ = false;
   bool steal_done_ = false;
   std::uint64_t steal_result_ = 0;
+  TaskRec* steal_rec_ = nullptr;  ///< shipped record ptr (sharded engine)
+
+  /// Record pointer for the entry most recently returned by try_pop_local /
+  /// steal_once (consumed by sched_loop before the next pop).
+  TaskRec* popped_rec_ = nullptr;
 
   Rng rng_;
 };

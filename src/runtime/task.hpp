@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -59,33 +60,76 @@ struct FutureRec {
   std::vector<FutureWaiter> waiters;
 };
 
-/// Machine-wide id -> record tables (host side; deterministic single thread).
+/// Machine-wide id -> record tables, stored per creating node.
+///
+/// Ids encode (node, index); records live in per-node deques so element
+/// addresses are stable for a record's whole lifetime. That matters to the
+/// sharded engine in two ways: a node only ever resolves ids it owns (the
+/// per-node deque is mutated exclusively by the owning shard, so growth
+/// never races), and records handed to other nodes travel as raw `TaskRec*`
+/// pointers through message operands — a remote claimant works on the stable
+/// record without ever walking an owner's (possibly concurrently growing)
+/// deque. Handoffs are message chains, each crossing at least one window
+/// barrier, so accesses to one record are totally ordered (happens-before)
+/// even across shards. In the serial engines everything is single-threaded
+/// and the encoding is just a different id spelling.
 class TaskRegistry {
  public:
-  TaskId add_task(TaskRec rec) {
-    tasks_.push_back(std::move(rec));
-    return tasks_.size() - 1;
-  }
-  FutureId add_future(FutureRec rec) {
-    futures_.push_back(std::move(rec));
-    return futures_.size() - 1;
+  /// Sized once by the Machine before any add; per-node slots never move.
+  void init_nodes(std::uint32_t nodes) {
+    tasks_.resize(nodes);
+    futures_.resize(nodes);
   }
 
-  TaskRec& task(TaskId id) { return tasks_.at(id); }
-  FutureRec& future(FutureId id) { return futures_.at(id); }
+  static constexpr std::uint32_t kNodeShift = 40;
 
-  std::size_t task_count() const { return tasks_.size(); }
-  std::size_t future_count() const { return futures_.size(); }
+  static NodeId id_node(std::uint64_t id) {
+    return static_cast<NodeId>(id >> kNodeShift);
+  }
+  static std::uint64_t id_index(std::uint64_t id) {
+    return id & ((1ull << kNodeShift) - 1);
+  }
 
-  /// Drop all records (between benchmark phases; ids restart at 0).
+  TaskId add_task(NodeId node, TaskRec rec) {
+    auto& dq = tasks_[node];
+    dq.push_back(std::move(rec));
+    return (std::uint64_t{node} << kNodeShift) | (dq.size() - 1);
+  }
+  FutureId add_future(NodeId node, FutureRec rec) {
+    auto& dq = futures_[node];
+    dq.push_back(std::move(rec));
+    return (std::uint64_t{node} << kNodeShift) | (dq.size() - 1);
+  }
+
+  /// Owner-side resolution. Sharded-engine rule: only call these for ids the
+  /// executing node created (cross-node consumers use the TaskRec* carried
+  /// in the message instead).
+  TaskRec& task(TaskId id) { return tasks_.at(id_node(id)).at(id_index(id)); }
+  FutureRec& future(FutureId id) {
+    return futures_.at(id_node(id)).at(id_index(id));
+  }
+  TaskRec* task_ptr(TaskId id) { return &task(id); }
+
+  std::size_t task_count() const {
+    std::size_t n = 0;
+    for (const auto& dq : tasks_) n += dq.size();
+    return n;
+  }
+  std::size_t future_count() const {
+    std::size_t n = 0;
+    for (const auto& dq : futures_) n += dq.size();
+    return n;
+  }
+
+  /// Drop all records (between benchmark phases; ids restart per node).
   void clear() {
-    tasks_.clear();
-    futures_.clear();
+    for (auto& dq : tasks_) dq.clear();
+    for (auto& dq : futures_) dq.clear();
   }
 
  private:
-  std::vector<TaskRec> tasks_;
-  std::vector<FutureRec> futures_;
+  std::vector<std::deque<TaskRec>> tasks_;
+  std::vector<std::deque<FutureRec>> futures_;
 };
 
 /// Queue entries distinguish stealable tasks from thread-wake tokens (a

@@ -46,6 +46,14 @@ void MachineConfig::validate() const {
   if (mesh_width != 0 && mesh_width > nodes) {
     throw std::invalid_argument("MachineConfig: mesh_width > nodes");
   }
+  if (shards > nodes) {
+    throw std::invalid_argument("MachineConfig: shards > nodes");
+  }
+  if (shards > 0 && cost.shard_lookahead() < 1) {
+    throw std::invalid_argument(
+        "MachineConfig: sharded runs need a lookahead >= 1 cycle "
+        "(net_inject + header serialization)");
+  }
   fault.validate(nodes);
 }
 

@@ -53,6 +53,16 @@ struct CostModel {
   Cycles future_fill = 12;      ///< resolve a future (flag set + waiter scan)
   Cycles sched_poll = 8;        ///< one pass of the idle loop's queue check
   Cycles bulk_setup = 40;       ///< bulk-copy library call overhead
+
+  /// Sharded-engine lookahead: a certified lower bound on any packet's
+  /// delivery latency. Every delivery pays net_inject plus at least the
+  /// header's serialization, even to self (src == dst crosses no links), so
+  /// an event in window w can only affect other nodes in window w+1 on.
+  Cycles shard_lookahead() const {
+    const Cycles min_ser =
+        (packet_header_bytes + link_bytes_per_cycle - 1) / link_bytes_per_cycle;
+    return net_inject + min_ser;
+  }
 };
 
 /// Run-time self-checking knobs (docs/CHECKING.md). With `enabled` false no
@@ -82,6 +92,16 @@ struct CheckConfig {
 struct MachineConfig {
   std::uint32_t nodes = 64;     ///< number of processors/nodes
   std::uint32_t mesh_width = 0; ///< 0 = derive a near-square 2-D mesh
+
+  /// Parallel DES: partition the mesh into this many contiguous node-id
+  /// tiles, one host thread each, synchronized by conservative lookahead
+  /// windows (docs/ARCHITECTURE.md, "Sharded engine"). 0 = the default
+  /// serial engine, bit-identical to builds before sharding existed.
+  /// Sharded runs are deterministic with digests identical at any K >= 1;
+  /// `shards = 1` is the serial reference of that proof. Requires the
+  /// hybrid scheduler (kShm host-side task claiming and full/empty host ops
+  /// are gated off; see docs).
+  std::uint32_t shards = 0;
 
   /// Dirty-data forwarding policy. Alewife-style protocols route a dirty
   /// line through the home node ("intermediate node", paper §2.2); setting

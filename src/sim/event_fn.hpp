@@ -19,10 +19,13 @@
 // EventFn is move-only (unlike std::function), which also lets events own
 // move-only state such as std::unique_ptr.
 //
-// Thread-safety contract: the pool free lists are thread_local, matching the
-// kernel-wide rule that one Machine (and thus one event queue) lives entirely
-// on one host thread. An EventFn must be destroyed on the thread that
-// created it.
+// Thread-safety contract: the pool free lists are thread_local. Allocating
+// on one thread and destroying on another is safe — free() pushes the block
+// onto the *freeing* thread's list, so blocks migrate between per-thread
+// pools instead of mutating a remote list. The sharded engine relies on
+// this: cross-shard deliveries are created on the sending shard's thread and
+// destroyed on the receiving one (with the window barrier providing the
+// happens-before for the handoff).
 #pragma once
 
 #include <cstddef>

@@ -57,19 +57,34 @@ LinkOutage FaultConfig::parse_outage(const std::string& spec) {
   return o;
 }
 
-FaultDecision FaultPlan::decide() {
+FaultDecision FaultPlan::decide_with(Rng& rng) {
   FaultDecision d;
   // One draw per configured category keeps the stream a pure function of
   // (seed, config, transmission order) — the determinism tests rely on it.
-  if (cfg_.drop_rate > 0.0 && rng_.uniform() < cfg_.drop_rate) d.drop = true;
-  if (cfg_.dup_rate > 0.0 && rng_.uniform() < cfg_.dup_rate) d.dup = true;
-  if (cfg_.corrupt_rate > 0.0 && rng_.uniform() < cfg_.corrupt_rate) {
+  if (cfg_.drop_rate > 0.0 && rng.uniform() < cfg_.drop_rate) d.drop = true;
+  if (cfg_.dup_rate > 0.0 && rng.uniform() < cfg_.dup_rate) d.dup = true;
+  if (cfg_.corrupt_rate > 0.0 && rng.uniform() < cfg_.corrupt_rate) {
     d.corrupt = true;
   }
-  if (cfg_.delay_rate > 0.0 && rng_.uniform() < cfg_.delay_rate) {
-    d.extra_delay = 1 + rng_.below(cfg_.delay_max);
+  if (cfg_.delay_rate > 0.0 && rng.uniform() < cfg_.delay_rate) {
+    d.extra_delay = 1 + rng.below(cfg_.delay_max);
   }
   return d;
+}
+
+FaultDecision FaultPlan::decide() { return decide_with(rng_); }
+
+void FaultPlan::enable_per_source(std::uint32_t nodes) {
+  const std::uint64_t base = seed_;
+  src_rng_.clear();
+  src_rng_.reserve(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    src_rng_.emplace_back(base ^ (0x9E3779B97F4A7C15ull * (n + 1)));
+  }
+}
+
+FaultDecision FaultPlan::decide_for(NodeId src) {
+  return decide_with(src_rng_[src]);
 }
 
 bool FaultPlan::link_down(NodeId a, NodeId b, Cycles t) const {

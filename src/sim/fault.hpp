@@ -17,6 +17,7 @@
 // state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -107,7 +108,8 @@ class FaultPlan {
  public:
   FaultPlan(const FaultConfig& cfg, std::uint64_t machine_seed)
       : cfg_(cfg),
-        rng_(cfg.seed != 0 ? cfg.seed : (machine_seed ^ 0xFA017'FA017ull)) {}
+        seed_(cfg.seed != 0 ? cfg.seed : (machine_seed ^ 0xFA017'FA017ull)),
+        rng_(seed_) {}
 
   const FaultConfig& config() const { return cfg_; }
   bool active() const { return cfg_.any_faults(); }
@@ -116,15 +118,29 @@ class FaultPlan {
   /// Draw this transmission's fate (advances the fault Rng).
   FaultDecision decide();
 
+  /// Sharded engine: split the single fault stream into one independent
+  /// stream per source node, so concurrent senders never race on (or
+  /// reorder draws within) a shared Rng. Streams are a pure function of
+  /// (seed, source), making faulty sharded runs deterministic at any K.
+  void enable_per_source(std::uint32_t nodes);
+  FaultDecision decide_for(NodeId src);
+
   /// Is the undirected link between adjacent nodes `a` and `b` down at `t`?
   bool link_down(NodeId a, NodeId b, Cycles t) const;
 
   /// Auxiliary draw for fault details (e.g. which byte corruption flips).
   std::uint64_t draw(std::uint64_t bound) { return rng_.below(bound); }
+  std::uint64_t draw_for(NodeId src, std::uint64_t bound) {
+    return src_rng_[src].below(bound);
+  }
 
  private:
+  FaultDecision decide_with(Rng& rng);
+
   FaultConfig cfg_;
+  std::uint64_t seed_;  ///< effective seed (explicit or machine-derived)
   Rng rng_;
+  std::vector<Rng> src_rng_;  ///< per-source streams (sharded engine only)
 };
 
 /// Thrown by the watchdog: the simulation made no progress for a full
@@ -134,11 +150,15 @@ class WatchdogError : public std::runtime_error {
   explicit WatchdogError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// No-progress detector. The event loop checks `due(t)` before each event;
-/// progress points (thread dispatch/wake, task run, packet delivery) call
-/// `note(t)` to push the deadline out. Idle-loop polling and retransmit
+/// No-progress detector. The event loop checks `due(t)` before each event
+/// (the sharded engine checks at window boundaries, where all workers are
+/// parked); progress points (thread dispatch/wake, task run, packet delivery)
+/// call `note(t)` to push the deadline out. Idle-loop polling and retransmit
 /// timers deliberately do NOT note progress — they are exactly the event
 /// traffic that keeps a livelocked machine's queue busy forever.
+///
+/// The deadline is an atomic max so shard workers may note progress
+/// concurrently; `trip()` is only ever called single-threaded.
 class Watchdog {
  public:
   Watchdog(Cycles interval, Stats* stats)
@@ -149,11 +169,16 @@ class Watchdog {
   /// Install the callback that renders the diagnostic dump on a trip.
   void set_dump(std::function<std::string()> fn) { dump_ = std::move(fn); }
 
-  bool due(Cycles t) const { return t > deadline_; }
+  bool due(Cycles t) const {
+    return t > deadline_.load(std::memory_order_relaxed);
+  }
 
   void note(Cycles t) {
     const Cycles d = t + interval_;
-    if (d > deadline_) deadline_ = d;
+    Cycles cur = deadline_.load(std::memory_order_relaxed);
+    while (d > cur && !deadline_.compare_exchange_weak(
+                          cur, d, std::memory_order_relaxed)) {
+    }
   }
 
   /// Record the trip in stats and throw WatchdogError with the dump attached.
@@ -161,7 +186,7 @@ class Watchdog {
 
  private:
   Cycles interval_;
-  Cycles deadline_;
+  std::atomic<Cycles> deadline_;
   Stats* stats_;
   std::function<std::string()> dump_;
 };

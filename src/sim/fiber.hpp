@@ -3,12 +3,15 @@
 // Each simulated runtime thread runs on one fiber. A fiber suspends by
 // calling Fiber::yield() (from inside) and is continued with resume() (from
 // the event loop). Fibers are a control-flow device, not a parallelism
-// device: all fibers of one Machine run on one host thread.
+// device: all fibers of one *node* run on one host thread.
 //
 // Thread-safety contract: the "currently running fiber" state is
 // thread_local, so independent Machines may run concurrently on different
-// host threads (one Machine per thread — see docs/ARCHITECTURE.md). A Fiber
-// must be resumed on the host thread that first started it.
+// host threads (one Machine per thread — see docs/ARCHITECTURE.md), and the
+// sharded engine runs each shard's fibers on that shard's worker. A Fiber
+// must only ever be resumed from the host thread that runs its node's
+// events (the Machine keeps one FiberPool per shard for the same reason);
+// never two threads at once.
 //
 // Switching uses a minimal register-only context switch on x86-64
 // (fast_context.hpp) — glibc's swapcontext costs a syscall per switch —

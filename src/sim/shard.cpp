@@ -1,0 +1,356 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
+
+namespace alewife {
+
+namespace {
+
+/// Hot spin-wait primitive for the window rendezvous.
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+struct TlsShard {
+  void* shard = nullptr;      // Shard* of the window being executed
+  std::uint32_t index = 0;    // its shard id
+  void* owner = nullptr;      // the ShardedSim executing it
+};
+
+thread_local TlsShard tls_shard;
+
+}  // namespace
+
+// ---- ShardPlan --------------------------------------------------------------
+
+ShardPlan ShardPlan::make(std::uint32_t nodes, std::uint32_t shards) {
+  ShardPlan p;
+  p.shards = shards;
+  p.shard_of_node.resize(nodes);
+  // Contiguous node-id bands (row bands of the row-major mesh), remainder
+  // spread over the leading shards: tile sizes differ by at most one.
+  const std::uint32_t base = nodes / shards;
+  const std::uint32_t extra = nodes % shards;
+  std::uint32_t n = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint32_t count = base + (s < extra ? 1 : 0);
+    for (std::uint32_t i = 0; i < count; ++i) p.shard_of_node[n++] = s;
+  }
+  return p;
+}
+
+// ---- ShardQueue -------------------------------------------------------------
+
+void ShardQueue::push(const EventKey& k, EventFn fn) {
+  heap_.push_back(HeapEvent{k, std::move(fn)});
+  ++size_;
+  // Sift up.
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].key.before(heap_[parent].key)) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Cycles ShardQueue::next_time() const {
+  // The ring holds events at (or clamped to) the current clock, which is
+  // never later than any heap event's time; callers pair next_time() with
+  // the shard clock, so report the heap's view and let ring_pending() cover
+  // the rest.
+  return heap_.front().key.when;
+}
+
+EventFn ShardQueue::pop_ring() {
+  EventFn fn = std::move(ring_[ring_pos_]);
+  ++ring_pos_;
+  if (ring_pos_ == ring_.size()) {
+    ring_.clear();
+    ring_pos_ = 0;
+  }
+  --size_;
+  return fn;
+}
+
+EventFn ShardQueue::pop_heap() {
+  EventFn fn = std::move(heap_.front().fn);
+  // Standard pop: move the tail to the root and sift down.
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t best = i;
+    if (l < n && heap_[l].key.before(heap_[best].key)) best = l;
+    if (r < n && heap_[r].key.before(heap_[best].key)) best = r;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  --size_;
+  return fn;
+}
+
+void ShardQueue::clear() {
+  heap_.clear();
+  ring_.clear();
+  ring_pos_ = 0;
+  size_ = 0;
+}
+
+// ---- ShardedSim -------------------------------------------------------------
+
+ShardedSim::ShardedSim(ShardPlan plan, Cycles lookahead)
+    : plan_(std::move(plan)), lookahead_(lookahead) {
+  shards_ = std::vector<Shard>(plan_.shards);
+  mail_.resize(static_cast<std::size_t>(plan_.shards) * plan_.shards);
+}
+
+ShardedSim::~ShardedSim() {
+  if (!workers_.empty()) {
+    quit_.store(true, std::memory_order_relaxed);
+    go_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+Cycles ShardedSim::now() const {
+  if (tls_shard.owner == this && tls_shard.shard != nullptr) {
+    return static_cast<const Shard*>(tls_shard.shard)->clock;
+  }
+  Cycles mx = 0;
+  for (const Shard& s : shards_) mx = std::max(mx, s.clock);
+  return mx;
+}
+
+std::uint64_t ShardedSim::events_executed() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.executed;
+  return total;
+}
+
+bool ShardedSim::in_shard() { return tls_shard.shard != nullptr; }
+
+void ShardedSim::set_host_route(NodeId node) {
+  host_route_ =
+      node == kInvalidNode ? -1 : static_cast<std::int64_t>(plan_.shard_of(node));
+}
+
+void ShardedSim::schedule_local(Cycles when, EventFn fn) {
+  if (tls_shard.owner == this && tls_shard.shard != nullptr) {
+    Shard& s = *static_cast<Shard*>(tls_shard.shard);
+    if (when <= s.clock) {
+      s.q.push_now(std::move(fn));
+    } else {
+      s.q.push(EventKey{when, s.clock, 0, 0, s.seq++}, std::move(fn));
+    }
+    return;
+  }
+  host_schedule(when, std::move(fn));
+}
+
+void ShardedSim::host_schedule(Cycles when, EventFn fn) {
+  // Host phase (boot, start_thread, kick): single-threaded, routed to the
+  // target node's shard. Clamp to the global clock so host events never land
+  // behind a shard that already ran ahead in a previous run() call.
+  if (host_route_ < 0) {
+    throw std::logic_error(
+        "ShardedSim: host-phase schedule without a host route (wrap the call "
+        "in Machine host routing)");
+  }
+  Shard& s = shards_[static_cast<std::size_t>(host_route_)];
+  const Cycles t = std::max(when, now());
+  s.q.push(EventKey{t, t, 0, 0, s.seq++}, std::move(fn));
+}
+
+void ShardedSim::schedule_delivery(NodeId dst, Cycles when, Cycles sched,
+                                   NodeId src, std::uint64_t src_seq,
+                                   EventFn fn) {
+  const std::uint32_t ds = plan_.shard_of(dst);
+  const EventKey key{when, sched, 1, src, src_seq};
+  if (tls_shard.owner == this && tls_shard.shard != nullptr &&
+      tls_shard.index != ds) {
+    mail_[static_cast<std::size_t>(tls_shard.index) * plan_.shards + ds]
+        .push_back(MailEntry{key, std::move(fn)});
+    return;
+  }
+  // Same shard (when >= sched + L > clock), or single-threaded host phase.
+  shards_[ds].q.push(key, std::move(fn));
+}
+
+void ShardedSim::schedule_host_event(NodeId node, Cycles when, Cycles sched,
+                                     std::uint64_t emit_idx, EventFn fn) {
+  const std::uint32_t ds = plan_.shard_of(node);
+  const EventKey key{when, sched, 2, node, emit_idx};
+  if (tls_shard.owner == this && tls_shard.shard != nullptr &&
+      tls_shard.index != ds) {
+    mail_[static_cast<std::size_t>(tls_shard.index) * plan_.shards + ds]
+        .push_back(MailEntry{key, std::move(fn)});
+    return;
+  }
+  shards_[ds].q.push(key, std::move(fn));
+}
+
+void ShardedSim::ensure_workers() {
+  if (!workers_.empty() || plan_.shards <= 1) return;
+  workers_.reserve(plan_.shards - 1);
+  for (std::uint32_t s = 1; s < plan_.shards; ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+void ShardedSim::worker_main(std::uint32_t shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t g;
+    std::uint32_t spins = 0;
+    while ((g = go_.load(std::memory_order_acquire)) == seen) {
+      if (++spins < 4096) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    seen = g;
+    if (quit_.load(std::memory_order_relaxed)) return;
+    run_window(shard, window_boundary_);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ShardedSim::run_window(std::uint32_t shard, Cycles boundary) {
+  Shard& s = shards_[shard];
+  tls_shard.shard = &s;
+  tls_shard.index = shard;
+  tls_shard.owner = this;
+  try {
+    // Per timestamp: drain keyed (heap) events first, then the FIFO ring of
+    // events scheduled at the clock during execution — the serial queue's
+    // heap-before-ring discipline. Ring execution never repopulates the heap
+    // at the current clock (deliveries land strictly later; local events at
+    // the clock take the ring).
+    for (;;) {
+      if (!s.q.heap_empty() && s.q.heap_next() == s.clock) {
+        EventFn fn = s.q.pop_heap();
+        ++s.executed;
+        fn();
+        continue;
+      }
+      if (s.q.ring_pending()) {
+        EventFn fn = s.q.pop_ring();
+        ++s.executed;
+        fn();
+        continue;
+      }
+      if (s.q.heap_empty() || s.q.heap_next() >= boundary) break;
+      s.clock = s.q.heap_next();
+    }
+  } catch (...) {
+    s.error = std::current_exception();
+  }
+  tls_shard.shard = nullptr;
+  tls_shard.owner = nullptr;
+}
+
+void ShardedSim::drain_mailboxes() {
+  for (std::uint32_t src = 0; src < plan_.shards; ++src) {
+    for (std::uint32_t dst = 0; dst < plan_.shards; ++dst) {
+      std::vector<MailEntry>& box =
+          mail_[static_cast<std::size_t>(src) * plan_.shards + dst];
+      for (MailEntry& e : box) {
+        shards_[dst].q.push(e.key, std::move(e.fn));
+      }
+      box.clear();
+    }
+  }
+}
+
+void ShardedSim::run(Cycles max_cycles, Watchdog* wd,
+                     const std::function<std::string()>& diagnostics,
+                     const std::function<void(Cycles)>& boundary_hook) {
+  ensure_workers();
+  // Re-run alignment: advance idle shards toward the global clock so
+  // host-injected events (clamped to the global clock) don't make a lagging
+  // shard re-execute the past. Never past a shard's own pending work.
+  const Cycles base = now();
+  for (Shard& s : shards_) {
+    const Cycles target =
+        s.q.empty() ? base : std::min(base, s.q.next_time());
+    s.clock = std::max(s.clock, target);
+  }
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    // Mailboxes are empty here (drained at the previous boundary), so the
+    // earliest pending work is the min over the shard queues. Ring events
+    // can't be pending between windows: each window drains its ring fully.
+    Cycles next = ~Cycles{0};
+    std::size_t pending = 0;
+    for (const Shard& s : shards_) {
+      pending += s.q.size();
+      if (!s.q.empty()) next = std::min(next, s.q.next_time());
+    }
+    if (pending == 0) break;
+    if (max_cycles != 0 && next > max_cycles) {
+      throw_timeout(max_cycles, diagnostics);
+    }
+    if (wd != nullptr && wd->due(next)) {
+      // All workers are parked between windows: trip (throw + dump) runs
+      // single-threaded, exactly like the serial engine.
+      wd->trip(next, pending);
+    }
+
+    // One lookahead window [wL, (w+1)L) containing the earliest event.
+    const Cycles boundary = (next / lookahead_ + 1) * lookahead_;
+    window_boundary_ = boundary;
+    done_.store(0, std::memory_order_relaxed);
+    go_.fetch_add(1, std::memory_order_release);
+    run_window(0, boundary);
+    std::uint32_t spins = 0;
+    while (done_.load(std::memory_order_acquire) != plan_.shards - 1) {
+      if (++spins < 4096) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+
+    // Deterministic error propagation: lowest shard id wins.
+    for (Shard& s : shards_) {
+      if (s.error) {
+        std::exception_ptr e = s.error;
+        s.error = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+
+    drain_mailboxes();
+    if (boundary_hook) boundary_hook(boundary);
+  }
+}
+
+void ShardedSim::throw_timeout(
+    Cycles max_cycles, const std::function<std::string()>& diagnostics) {
+  std::size_t pending = 0;
+  for (const Shard& s : shards_) pending += s.q.size();
+  std::string msg = "simulation exceeded " + std::to_string(max_cycles) +
+                    " cycles at t=" + std::to_string(now()) + " (" +
+                    std::to_string(pending) + " pending events, " +
+                    std::to_string(events_executed()) +
+                    " executed; likely deadlock in the simulated program)";
+  if (diagnostics) msg += "\n" + diagnostics();
+  throw SimTimeout(msg);
+}
+
+}  // namespace alewife

@@ -1,0 +1,233 @@
+// Sharded (parallel) DES backend: conservative lookahead-window
+// synchronization across K host threads (ISSUE 6).
+//
+// The simulated mesh is partitioned into K contiguous node-id tiles (row
+// bands of the row-major mesh). Each shard owns a keyed event queue, a clock
+// and a fiber pool, and runs the events of its nodes for one *window*
+// [wL, (w+1)L) at a time, where the lookahead
+//
+//     L = net_inject + ceil(packet_header_bytes / link_bytes_per_cycle)
+//
+// is a certified lower bound on any network delivery latency: a packet sent
+// at time t is delivered no earlier than t + L, so an event executed inside
+// window w can only schedule cross-shard work for window w+1 or later.
+// Between windows all shards rendezvous at a host barrier and the
+// coordinator merges the cross-shard mailboxes into the destination queues.
+//
+// Determinism: every event carries an explicit key
+//
+//     (when, sched_time, kind, a, b)
+//
+// compared lexicographically, and each shard executes its events in exactly
+// this order. The key never references shard topology:
+//   kind 0  local event; a = 0, b = per-shard scheduling sequence. Two
+//           same-key-prefix local events from *different* nodes never
+//           interact (every direct schedule call in sharded mode targets the
+//           scheduling node itself), so the per-shard sequence is
+//           digest-safe at any K.
+//   kind 1  network delivery; a = source node, b = per-source delivery
+//           sequence. All deliveries use this key — same-shard and
+//           cross-shard alike — so ordering is identical at any K.
+//   kind 2  host event (HostBarrier wakes); a = destination node, b = a
+//           deterministic emit index.
+// Within one timestamp a shard drains keyed (heap) events first, then the
+// FIFO ring of events scheduled at the current time during execution — the
+// same tier discipline as the serial EventQueue.
+//
+// The result: equal-seed digests are bit-identical for every shard count
+// K >= 1 on supported workloads. (`--shards 1` runs the same semantics on
+// one thread and is the serial reference of the parallel==serial proof; see
+// docs/ARCHITECTURE.md for the short list of modeling deltas between the
+// sharded engine and the default serial engine.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class Watchdog;
+
+/// Contiguous node-id partition of the machine into `shards` tiles.
+struct ShardPlan {
+  std::uint32_t shards = 0;
+  std::vector<std::uint32_t> shard_of_node;
+
+  static ShardPlan make(std::uint32_t nodes, std::uint32_t shards);
+
+  std::uint32_t shard_of(NodeId n) const { return shard_of_node[n]; }
+};
+
+/// Deterministic total order for sharded events (see file comment).
+struct EventKey {
+  Cycles when = 0;
+  Cycles sched = 0;
+  std::uint8_t kind = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  bool before(const EventKey& o) const {
+    if (when != o.when) return when < o.when;
+    if (sched != o.sched) return sched < o.sched;
+    if (kind != o.kind) return kind < o.kind;
+    if (a != o.a) return a < o.a;
+    return b < o.b;
+  }
+};
+
+/// Per-shard event queue: a binary min-heap on EventKey plus a FIFO ring for
+/// events scheduled at (or clamped to) the shard's current time.
+class ShardQueue {
+ public:
+  void push(const EventKey& k, EventFn fn);
+  void push_now(EventFn fn) {
+    ring_.push_back(std::move(fn));
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Earliest pending time. Only valid when !empty().
+  Cycles next_time() const;
+  bool ring_pending() const { return ring_pos_ != ring_.size(); }
+  bool heap_empty() const { return heap_.empty(); }
+  Cycles heap_next() const { return heap_.front().key.when; }
+
+  /// Pop the next event in key order at the current clock. The caller drains
+  /// ring-after-heap per timestamp (see run_window).
+  EventFn pop_ring();
+  EventFn pop_heap();
+
+  void clear();
+
+ private:
+  struct HeapEvent {
+    EventKey key;
+    EventFn fn;
+  };
+  std::vector<HeapEvent> heap_;
+  std::vector<EventFn> ring_;
+  std::size_t ring_pos_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// The parallel backend the Simulator delegates to when
+/// MachineConfig::shards >= 1. One instance per Machine.
+class ShardedSim {
+ public:
+  ShardedSim(ShardPlan plan, Cycles lookahead);
+  ~ShardedSim();
+
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  const ShardPlan& plan() const { return plan_; }
+  Cycles lookahead() const { return lookahead_; }
+  std::uint32_t shard_count() const { return plan_.shards; }
+
+  /// First cycle of the window after the one containing `t`.
+  Cycles boundary_after(Cycles t) const {
+    return (t / lookahead_ + 1) * lookahead_;
+  }
+
+  /// First cycle of the currently running (or just finished) window. Stable
+  /// for a whole window: the coordinator writes `window_boundary_` before
+  /// releasing the go signal, so every shard reads the same value.
+  Cycles window_start() const {
+    return window_boundary_ > lookahead_ ? window_boundary_ - lookahead_ : 0;
+  }
+
+  // ---- Clocks ---------------------------------------------------------------
+  /// Executing on a worker: that shard's clock. Host phase: max shard clock.
+  Cycles now() const;
+  std::uint64_t events_executed() const;
+
+  // ---- Scheduling (executing-event context) ---------------------------------
+  /// Local event for the currently executing shard (kind 0). `when` <= the
+  /// shard clock takes the FIFO ring.
+  void schedule_local(Cycles when, EventFn fn);
+
+  /// Network delivery for `dst` (kind 1): same-shard inserts directly,
+  /// cross-shard goes through the boundary mailbox.
+  void schedule_delivery(NodeId dst, Cycles when, Cycles sched, NodeId src,
+                         std::uint64_t src_seq, EventFn fn);
+
+  /// Host event for `node` (kind 2), e.g. a HostBarrier wake. `when` must be
+  /// at or after the next window boundary.
+  void schedule_host_event(NodeId node, Cycles when, Cycles sched,
+                           std::uint64_t emit_idx, EventFn fn);
+
+  // ---- Scheduling (host phase, single-threaded) -----------------------------
+  /// Route host-phase schedule_at calls (boot, start_thread, kick) to
+  /// `node`'s shard. Pass kInvalidNode to clear.
+  void set_host_route(NodeId node);
+  bool host_routed() const { return host_route_ >= 0; }
+  void host_schedule(Cycles when, EventFn fn);
+
+  /// True when called from inside a shard worker executing events.
+  static bool in_shard();
+
+  // ---- Run loop -------------------------------------------------------------
+  /// Run windows until every queue and mailbox drains. `max_cycles` and the
+  /// watchdog are checked between windows by the coordinator, where all
+  /// workers are parked (throwing and dumping stay single-threaded).
+  void run(Cycles max_cycles, Watchdog* wd,
+           const std::function<std::string()>& diagnostics,
+           const std::function<void(Cycles)>& boundary_hook);
+
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+  void reset_stop() { stop_requested_.store(false, std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    ShardQueue q;
+    Cycles clock = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t seq = 0;  ///< kind-0 scheduling sequence
+    std::exception_ptr error;
+    // Pad to keep hot per-shard state off shared cache lines.
+    char pad[64];
+  };
+
+  struct MailEntry {
+    EventKey key;
+    EventFn fn;
+  };
+
+  void run_window(std::uint32_t shard, Cycles boundary);
+  void worker_main(std::uint32_t shard);
+  void ensure_workers();
+  void drain_mailboxes();
+  [[noreturn]] void throw_timeout(
+      Cycles max_cycles, const std::function<std::string()>& diagnostics);
+
+  ShardPlan plan_;
+  Cycles lookahead_;
+  std::vector<Shard> shards_;
+  /// mail_[src * K + dst]: written only by shard `src` during a window,
+  /// drained only by the coordinator at the barrier.
+  std::vector<std::vector<MailEntry>> mail_;
+
+  // Host-phase routing and deterministic host scheduling sequence.
+  std::int64_t host_route_ = -1;
+  std::uint64_t host_seq_ = 0;
+
+  // Window rendezvous: coordinator bumps `go_` with the boundary published
+  // in `boundary_`; workers run their window and bump `done_`.
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> go_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::atomic<bool> quit_{false};
+  Cycles window_boundary_ = 0;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace alewife

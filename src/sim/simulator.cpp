@@ -5,6 +5,10 @@
 namespace alewife {
 
 void Simulator::run(Cycles max_cycles) {
+  if (sharded_) {
+    sharded_->run(max_cycles, watchdog_, diagnostics_, boundary_hook_);
+    return;
+  }
   while (!queue_.empty() && !stopping_) {
     const Cycles t = queue_.next_time();
     if (max_cycles != 0 && t > max_cycles) throw_timeout(max_cycles);

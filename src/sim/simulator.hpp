@@ -1,13 +1,23 @@
 // Simulator: global clock + event loop + termination control.
+//
+// Two interchangeable backends sit behind this interface:
+//   * the default serial engine (EventQueue + the loop in run()), and
+//   * the sharded parallel engine (ShardedSim, armed by enable_sharding when
+//     MachineConfig::shards >= 1), which partitions nodes across host
+//     threads under conservative lookahead-window synchronization.
+// All scheduling calls route transparently; in sharded mode now() is the
+// executing shard's clock (or the global max clock in the host phase).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/shard.hpp"
 #include "sim/types.hpp"
 
 namespace alewife {
@@ -24,11 +34,15 @@ class SimTimeout : public std::runtime_error {
 
 class Simulator {
  public:
-  Cycles now() const { return now_; }
+  Cycles now() const { return sharded_ ? sharded_->now() : now_; }
 
   /// Schedule `fn` to run `delay` cycles from now. Zero-delay events take
   /// the queue's FIFO ring fast path.
   void schedule(Cycles delay, EventFn fn) {
+    if (sharded_) {
+      sharded_->schedule_local(sharded_->now() + delay, std::move(fn));
+      return;
+    }
     if (delay == 0) {
       queue_.schedule_now(std::move(fn));
     } else {
@@ -37,6 +51,10 @@ class Simulator {
   }
 
   void schedule_at(Cycles when, EventFn fn) {
+    if (sharded_) {
+      sharded_->schedule_local(when, std::move(fn));
+      return;
+    }
     if (when <= now_) {
       queue_.schedule_now(std::move(fn));
     } else {
@@ -48,16 +66,44 @@ class Simulator {
   /// cycle limit is hit (which throws SimTimeout).
   void run(Cycles max_cycles = 0);
 
-  /// Request that the event loop exit after the current event.
-  void stop() { stopping_ = true; }
+  /// Request that the event loop exit after the current event (sharded: at
+  /// the next window boundary).
+  void stop() {
+    if (sharded_) {
+      sharded_->request_stop();
+    } else {
+      stopping_ = true;
+    }
+  }
 
   bool stopping() const { return stopping_; }
 
   /// Clear the stop flag so a machine can be re-run.
-  void reset_stop() { stopping_ = false; }
+  void reset_stop() {
+    stopping_ = false;
+    if (sharded_) sharded_->reset_stop();
+  }
 
   EventQueue& queue() { return queue_; }
-  std::uint64_t events_executed() const { return queue_.events_executed(); }
+  std::uint64_t events_executed() const {
+    return sharded_ ? sharded_->events_executed() : queue_.events_executed();
+  }
+
+  // ---- Sharded backend -----------------------------------------------------
+  /// Arm the sharded parallel engine. Called once by the Machine constructor
+  /// when MachineConfig::shards >= 1; every subsequent scheduling call and
+  /// run() routes to it.
+  void enable_sharding(ShardPlan plan, Cycles lookahead) {
+    sharded_ = std::make_unique<ShardedSim>(std::move(plan), lookahead);
+  }
+  ShardedSim* sharded() { return sharded_.get(); }
+  const ShardedSim* sharded() const { return sharded_.get(); }
+
+  /// Coordinator callback run after each sharded window's mailbox drain
+  /// (checker boundary scans, barrier bookkeeping). Sharded engine only.
+  void set_boundary_hook(std::function<void(Cycles)> fn) {
+    boundary_hook_ = std::move(fn);
+  }
 
   /// Arm (or disarm with nullptr) the no-progress watchdog. The loop checks
   /// it before each event; a trip throws WatchdogError out of run().
@@ -79,6 +125,8 @@ class Simulator {
   bool stopping_ = false;
   Watchdog* watchdog_ = nullptr;
   std::function<std::string()> diagnostics_;
+  std::unique_ptr<ShardedSim> sharded_;
+  std::function<void(Cycles)> boundary_hook_;
 };
 
 }  // namespace alewife

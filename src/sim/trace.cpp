@@ -23,6 +23,7 @@ const char* trace_cat_name(TraceCat c) {
 }
 
 void Trace::push(TraceEvent ev) {
+  std::lock_guard<std::mutex> g(mu_);
   ++emitted_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
@@ -33,6 +34,7 @@ void Trace::push(TraceEvent ev) {
 }
 
 std::vector<TraceEvent> Trace::events() const {
+  std::lock_guard<std::mutex> g(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // When full, `head_` points at the oldest element.

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,11 +67,18 @@ class Trace {
   std::vector<TraceEvent> events() const;
 
   /// Number of events recorded since construction (including evicted ones).
-  std::uint64_t total_emitted() const { return emitted_; }
-  std::size_t size() const { return ring_.size(); }
+  std::uint64_t total_emitted() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return emitted_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return ring_.size();
+  }
   std::size_t capacity() const { return capacity_; }
 
   void clear() {
+    std::lock_guard<std::mutex> g(mu_);
     ring_.clear();
     head_ = 0;
     emitted_ = 0;
@@ -89,6 +97,11 @@ class Trace {
  private:
   void push(TraceEvent ev);
 
+  /// Guards the ring: sharded runs emit from every shard worker. The
+  /// enabled_ flags stay lock-free — they are set before the run and only
+  /// read during it. Trace order for same-cycle events from different shards
+  /// is host-dependent; traces are diagnostics, never digested.
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  ///< next overwrite position once full

@@ -1,0 +1,276 @@
+// Sharded-engine determinism proofs (ISSUE 6).
+//
+// The sharded DES core must be a *timing-exact* replica of itself at any
+// shard count: `shards = 1` runs the sharded semantics on one host thread,
+// and every digest here must be bit-identical at K in {1, 2, 4} — with
+// work stealing, under seeded fault injection, and with the golden-model
+// checker armed. The digests cover final time, events executed, the app's
+// result, and every stats counter, so any ordering leak between shards
+// shows up.
+//
+// The legacy serial engine (`shards = 0`) is intentionally *not* compared
+// against the sharded one: host-barrier wakes quantize to window boundaries
+// and a few protocol paths defer to boundaries (docs/ARCHITECTURE.md lists
+// the deltas). Its own determinism is covered by test_determinism.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/grain.hpp"
+#include "apps/jacobi.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/bulk.hpp"
+
+namespace alewife {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t digest(Machine& m, std::uint64_t app_result) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, m.sim().now());
+  h = fnv1a(h, m.sim().events_executed());
+  h = fnv1a(h, app_result);
+  for (const auto& [name, value] : m.stats().counters()) {
+    h = fnv1a(h, name);
+    h = fnv1a(h, value);
+  }
+  return h;
+}
+
+MachineConfig shard_cfg(std::uint32_t nodes, std::uint32_t shards) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.shards = shards;
+  c.max_cycles = 500'000'000;
+  return c;
+}
+
+void add_faults(MachineConfig& c) {
+  c.fault.drop_rate = 0.05;
+  c.fault.dup_rate = 0.03;
+  c.fault.corrupt_rate = 0.02;
+  c.fault.delay_rate = 0.05;
+  c.fault.seed = 0xFA017u;
+}
+
+// ---------------------------------------------------------------------------
+// The five reference workloads. Each builds its own Machine from `cfg` and
+// returns the full-machine digest.
+// ---------------------------------------------------------------------------
+
+// 1. grain under the hybrid scheduler with stealing: per-node RNG steal
+// decisions, every steal a message.
+std::uint64_t wl_grain(MachineConfig cfg) {
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = true;
+  Machine m(cfg, o);
+  const std::uint64_t leaves = m.run([](Context& ctx) -> std::uint64_t {
+    return apps::grain_parallel(ctx, /*depth=*/8, /*delay=*/20);
+  });
+  return digest(m, leaves);
+}
+
+// 2 & 3. combining-tree barrier episodes, message and shared-memory
+// mechanisms, aligned by the host barrier (whose sharded wakes quantize to
+// window boundaries — the quantized schedule must still be K-independent).
+std::uint64_t wl_barrier(MachineConfig cfg, CombiningBarrier::Mech mech) {
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = false;
+  Machine m(cfg, o);
+  CombiningBarrier bar(m.runtime(), mech, /*arity=*/4);
+  HostBarrier align(m, cfg.nodes);
+  auto exits = std::make_shared<std::vector<Cycles>>(cfg.nodes, 0);
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    m.start_thread(n, [&bar, &align, exits, n](Context& ctx) {
+      for (int e = 0; e < 4; ++e) {
+        align.wait(ctx);
+        bar.wait(ctx);
+        (*exits)[n] ^= ctx.now();
+      }
+    });
+  }
+  m.run_started();
+  std::uint64_t mix = 0;
+  for (Cycles t : *exits) mix = fnv1a(mix, t);
+  return digest(m, mix);
+}
+
+// 4. jacobi, message (bulk-copy ghost exchange) variant: DMA storebacks,
+// barriers each iteration, and a numeric answer that must match the host
+// reference at every shard count.
+std::uint64_t wl_jacobi(MachineConfig cfg) {
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = false;
+  Machine m(cfg, o);
+  constexpr std::uint32_t kGrid = 24;
+  constexpr std::uint32_t kIters = 3;
+  auto f = [](std::uint32_t r, std::uint32_t c) {
+    return 0.001 * r + 0.002 * c;
+  };
+  auto setup = std::make_shared<apps::JacobiSetup>(apps::jacobi_setup(m, kGrid));
+  apps::jacobi_init(m, *setup, f);
+  auto bar = std::make_shared<CombiningBarrier>(m.runtime(),
+                                                CombiningBarrier::Mech::kShm, 2u);
+  auto cyc = std::make_shared<std::vector<Cycles>>(cfg.nodes, 0);
+  for (NodeId n = 0; n < cfg.nodes; ++n) {
+    m.start_thread(n, [=, &m](Context& ctx) {
+      (*cyc)[n] = apps::jacobi_node(ctx, *setup, /*msg_variant=*/true, kIters,
+                                    *bar, m.bulk());
+    });
+  }
+  m.run_started();
+  const std::vector<double> got = apps::jacobi_extract(m, *setup, kIters);
+  const std::vector<double> want = apps::jacobi_reference(kGrid, f, kIters);
+  EXPECT_EQ(got, want) << "jacobi result wrong (bit-exact host reference)";
+  std::uint64_t mix = 0;
+  for (Cycles t : *cyc) mix = fnv1a(mix, t);
+  return digest(m, mix);
+}
+
+// 5. memory-to-memory copy via message DMA (cold destinations).
+std::uint64_t wl_copy_msgdma(MachineConfig cfg) {
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = false;
+  Machine m(cfg, o);
+  auto total = std::make_shared<Cycles>(0);
+  const std::uint64_t r = m.run([&](Context& ctx) -> std::uint64_t {
+    constexpr std::uint32_t kBlock = 2048;
+    const GAddr src = ctx.shmalloc(0, kBlock);
+    for (std::uint32_t i = 0; i < kBlock; i += 8) ctx.store(src + i, i);
+    for (int rep = 0; rep < 2; ++rep) {
+      const GAddr dst = ctx.shmalloc(1 + rep, kBlock);
+      const Cycles t0 = ctx.now();
+      m.bulk().copy(ctx, dst, src, kBlock, CopyImpl::kMsgDma);
+      *total += ctx.now() - t0;
+    }
+    return *total;
+  });
+  return digest(m, r);
+}
+
+// ---------------------------------------------------------------------------
+
+using Workload = std::uint64_t (*)(MachineConfig);
+
+struct Named {
+  const char* name;
+  Workload fn;
+};
+
+const Named kWorkloads[] = {
+    {"grain-hybrid-stealing", &wl_grain},
+    {"barrier-msg",
+     [](MachineConfig c) { return wl_barrier(c, CombiningBarrier::Mech::kMsg); }},
+    {"barrier-shm",
+     [](MachineConfig c) { return wl_barrier(c, CombiningBarrier::Mech::kShm); }},
+    {"jacobi-msg", &wl_jacobi},
+    {"copy-msgdma", &wl_copy_msgdma},
+};
+
+// Jacobi needs nodes to be a perfect square with sqrt dividing the grid.
+constexpr std::uint32_t kNodes = 16;
+
+TEST(Shards, DigestEqualAcrossShardCounts) {
+  for (const Named& w : kWorkloads) {
+    const std::uint64_t k1 = w.fn(shard_cfg(kNodes, 1));
+    const std::uint64_t k2 = w.fn(shard_cfg(kNodes, 2));
+    const std::uint64_t k4 = w.fn(shard_cfg(kNodes, 4));
+    EXPECT_EQ(k1, k2) << w.name << ": shards=1 vs shards=2";
+    EXPECT_EQ(k1, k4) << w.name << ": shards=1 vs shards=4";
+  }
+}
+
+TEST(Shards, DigestEqualUnderFaultInjection) {
+  // Drops, dups, corruption, delays, plus the ack/retransmit machinery —
+  // with per-source fault streams the decisions must be K-independent.
+  for (const Named& w : kWorkloads) {
+    std::uint64_t d[3];
+    const std::uint32_t ks[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      MachineConfig c = shard_cfg(kNodes, ks[i]);
+      add_faults(c);
+      d[i] = w.fn(c);
+    }
+    EXPECT_EQ(d[0], d[1]) << w.name << " (faults): shards=1 vs shards=2";
+    EXPECT_EQ(d[0], d[2]) << w.name << " (faults): shards=1 vs shards=4";
+  }
+}
+
+TEST(Shards, DigestEqualWithCheckerArmed) {
+  // The golden-model checker observes from all shard threads (locked, with
+  // window-deferred cross-cache fill checks) and must neither trip nor
+  // perturb timing. check.* counters differ legitimately with K? No: the
+  // per-node counts are driven by the simulated event stream, which is
+  // K-independent, so the full digest must still match.
+  for (const Named& w : kWorkloads) {
+    std::uint64_t d[3];
+    const std::uint32_t ks[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      MachineConfig c = shard_cfg(kNodes, ks[i]);
+      c.check.enabled = true;
+      d[i] = w.fn(c);
+    }
+    EXPECT_EQ(d[0], d[1]) << w.name << " (check): shards=1 vs shards=2";
+    EXPECT_EQ(d[0], d[2]) << w.name << " (check): shards=1 vs shards=4";
+  }
+}
+
+TEST(Shards, SameSeedRepeatableAtFixedShardCount) {
+  // Host-thread interleaving varies run to run; digests must not.
+  const std::uint64_t a = wl_grain(shard_cfg(kNodes, 4));
+  const std::uint64_t b = wl_grain(shard_cfg(kNodes, 4));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shards, DifferentSeedUsuallyDiffers) {
+  // Sanity: the digest is sensitive to the simulation's actual content.
+  MachineConfig c = shard_cfg(kNodes, 2);
+  c.rng_seed = 0x0DDC0FFEu;
+  EXPECT_NE(wl_grain(shard_cfg(kNodes, 2)), wl_grain(c));
+}
+
+TEST(Shards, LegacySerialEngineUnchanged) {
+  // shards=0 must keep its pre-sharding digests: same workload, two runs,
+  // and the sharded-only machinery (window hooks, image payloads, per-source
+  // fault streams) must stay cold.
+  MachineConfig c = shard_cfg(kNodes, 0);
+  const std::uint64_t a = wl_grain(c);
+  const std::uint64_t b = wl_grain(c);
+  EXPECT_EQ(a, b);
+  MachineConfig f = shard_cfg(kNodes, 0);
+  add_faults(f);
+  EXPECT_EQ(wl_grain(f), wl_grain(f));
+}
+
+TEST(Shards, ShardCountAboveNodesRejectedOrClamped) {
+  // More shards than nodes must not crash or hang; config validation decides.
+  MachineConfig c = shard_cfg(4, 4);
+  EXPECT_NO_THROW({ wl_grain(c); });
+}
+
+}  // namespace
+}  // namespace alewife

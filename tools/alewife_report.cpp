@@ -12,11 +12,15 @@
 // every numeric leaf to a dotted key, and reports per-key deltas. Keys whose
 // relative change exceeds --tol (default 0 — the simulator is deterministic,
 // so same-seed same-code runs must match exactly) fail the gate (exit 1).
+// Keys containing "host " (e.g. BENCH_parallel.json's "host wall s" and
+// "host Mev/s" columns) are host wall-clock measurements — legitimately
+// different on every run and machine — and are excluded from the gate.
 // This is how BENCH_*.json trajectories are checked between PRs.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <sstream>
 #include <string>
@@ -111,6 +115,12 @@ std::map<std::string, double> load_flat(const std::string& path) {
   // Provenance fields that may legitimately differ between runs.
   flat.erase("version");
   flat.erase("events");
+  // Host wall-clock measurements (sweep columns named "host ...") are not
+  // deterministic; the gate pins simulated results only.
+  for (auto it = flat.begin(); it != flat.end();) {
+    it = it->first.find("host ") != std::string::npos ? flat.erase(it)
+                                                      : std::next(it);
+  }
   return flat;
 }
 

@@ -7,6 +7,11 @@
 //
 // Machine options (see --help):
 //   --nodes N            processors (default 64)
+//   --shards K           parallel DES: simulate the mesh on K host threads
+//                        (0 = serial engine). Digests are bit-identical at
+//                        any K >= 1 — see docs/ARCHITECTURE.md.
+//   --verify-shards      rerun the app at shards 1, 2 and 4 and fail (exit 5)
+//                        unless all three full-machine digests match
 //   --mode shm|hybrid    scheduler back end (default hybrid)
 //   --no-steal           disable work stealing
 //   --seed S             RNG seed
@@ -39,6 +44,7 @@
 //   alewife_run --nodes 64 --mode shm grain --depth 12 --delay 0
 //   alewife_run --stats-json out.json barrier --mech msg --episodes 4
 //   alewife_run --trace-out trace.json copy --bytes 1024 --impl msg
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -66,6 +72,7 @@ struct MachineArgs {
   std::string trace_cats;
   std::uint32_t trace_limit = 4096;
   bool want_stats = false;
+  bool verify_shards = false;  ///< rerun at shards {1,2,4}, compare digests
   std::string stats_json;  ///< --stats-json FILE (empty = off)
   std::string trace_out;   ///< --trace-out FILE (empty = off)
 };
@@ -73,6 +80,14 @@ struct MachineArgs {
 cli::OptionTable machine_options(MachineArgs& a) {
   cli::OptionTable t;
   t.value_u32("--nodes", "processors (default 64)", &a.cfg.nodes)
+      .value_u32("--shards",
+                 "parallel DES: host threads simulating the mesh (0 = serial "
+                 "engine; digests identical at any N >= 1)",
+                 &a.cfg.shards)
+      .flag("--verify-shards",
+            "rerun the app at shards 1, 2 and 4 and fail unless all three "
+            "digests are bit-identical",
+            &a.verify_shards)
       .value("--mode", "shm|hybrid", "scheduler back end (default hybrid)",
              [&a](const std::string& v) {
                if (v == "shm") {
@@ -170,6 +185,68 @@ void enable_traces(Machine& m, const std::string& cats) {
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
+}
+
+// ---- --verify-shards --------------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Full-machine digest: final time, event count, the run's duration and
+/// every stats counter — the same observables tests/test_shards.cpp pins.
+std::uint64_t machine_digest(Machine& m, Cycles duration) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, m.sim().now());
+  h = fnv1a(h, m.sim().events_executed());
+  h = fnv1a(h, duration);
+  for (const auto& [name, value] : m.stats().counters()) {
+    for (unsigned char c : name) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+    h = fnv1a(h, value);
+  }
+  return h;
+}
+
+/// One app run: builds its workload on `m`, returns the measured duration.
+/// `quiet` suppresses the app's own result line (verification reruns).
+using AppExec = std::function<Cycles(Machine&, bool quiet)>;
+
+int run_verify_shards(const MachineArgs& a, const AppExec& exec) {
+  if (a.opt.mode == SchedMode::kShm) {
+    std::fprintf(stderr,
+                 "alewife_run: --verify-shards needs --mode hybrid (the "
+                 "shm-only scheduler is gated off under sharding)\n");
+    return 2;
+  }
+  std::printf("-- verify-shards --\n");
+  std::uint64_t ref = 0;
+  bool first = true;
+  bool ok = true;
+  for (const std::uint32_t k : {1u, 2u, 4u}) {
+    if (k > a.cfg.nodes) continue;
+    MachineConfig c = a.cfg;
+    c.shards = k;
+    Machine m(c, a.opt);
+    const Cycles dur = exec(m, /*quiet=*/true);
+    const std::uint64_t d = machine_digest(m, dur);
+    std::printf("  shards=%u  digest=%016llx\n", k, (unsigned long long)d);
+    if (first) {
+      ref = d;
+      first = false;
+    } else if (d != ref) {
+      ok = false;
+    }
+  }
+  std::printf(ok ? "verify-shards: PASS (digests bit-identical)\n"
+                 : "verify-shards: FAIL (digests differ)\n");
+  return ok ? 0 : 5;
 }
 
 /// Report + exporters, shared by every app branch.
@@ -288,6 +365,10 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
     return *mp;
   };
 
+  // Each app defines one re-runnable exec(machine, quiet) so the primary
+  // run and the --verify-shards reruns share the exact same workload.
+  AppExec exec;
+
   if (app == "grain") {
     std::uint32_t depth = 12;
     std::uint64_t delay = 100;
@@ -295,37 +376,43 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
     t.value_u32("--depth", "tree depth", &depth)
         .value_u64("--delay", "leaf compute cycles", &delay);
     parse_rest(t);
-    Machine& m = machine();
-    auto dur = std::make_shared<Cycles>(0);
-    const std::uint64_t leaves = m.run([&](Context& ctx) -> std::uint64_t {
-      const Cycles t0 = ctx.now();
-      const std::uint64_t n = apps::grain_parallel(ctx, depth, delay);
-      *dur = ctx.now() - t0;
-      return n;
-    });
-    const Cycles seq = apps::grain_sequential_cycles(depth, delay);
-    std::printf("grain: %llu leaves, speedup %.2f on %u nodes\n",
-                (unsigned long long)leaves, double(seq) / double(*dur),
-                a.cfg.nodes);
-    finish(m, a, app, cmdline, *dur);
+    exec = [depth, delay, &a](Machine& m, bool quiet) -> Cycles {
+      Cycles dur = 0;
+      const std::uint64_t leaves = m.run([&](Context& ctx) -> std::uint64_t {
+        const Cycles t0 = ctx.now();
+        const std::uint64_t n = apps::grain_parallel(ctx, depth, delay);
+        dur = ctx.now() - t0;
+        return n;
+      });
+      if (!quiet) {
+        const Cycles seq = apps::grain_sequential_cycles(depth, delay);
+        std::printf("grain: %llu leaves, speedup %.2f on %u nodes\n",
+                    (unsigned long long)leaves, double(seq) / double(dur),
+                    a.cfg.nodes);
+      }
+      return dur;
+    };
   } else if (app == "aq") {
     double tol = 0.01;
     cli::OptionTable t;
     t.value_double("--tol", "error tolerance", &tol);
     parse_rest(t);
-    Machine& m = machine();
-    auto dur = std::make_shared<Cycles>(0);
-    auto integral = std::make_shared<double>(0);
-    m.run([&](Context& ctx) -> std::uint64_t {
-      const Cycles t0 = ctx.now();
-      *integral = apps::aq_parallel(ctx, apps::aq_domain(), tol);
-      *dur = ctx.now() - t0;
-      return 0;
-    });
-    std::printf("aq: integral %.6f (tol %g, %llu evals)\n", *integral, tol,
-                (unsigned long long)apps::aq_eval_count(apps::aq_domain(),
-                                                        tol));
-    finish(m, a, app, cmdline, *dur);
+    exec = [tol](Machine& m, bool quiet) -> Cycles {
+      Cycles dur = 0;
+      double integral = 0;
+      m.run([&](Context& ctx) -> std::uint64_t {
+        const Cycles t0 = ctx.now();
+        integral = apps::aq_parallel(ctx, apps::aq_domain(), tol);
+        dur = ctx.now() - t0;
+        return 0;
+      });
+      if (!quiet) {
+        std::printf("aq: integral %.6f (tol %g, %llu evals)\n", integral, tol,
+                    (unsigned long long)apps::aq_eval_count(apps::aq_domain(),
+                                                            tol));
+      }
+      return dur;
+    };
   } else if (app == "jacobi") {
     std::uint32_t grid = 64, iters = 10;
     bool msg = false;
@@ -334,27 +421,33 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
         .value_u32("--iters", "iterations", &iters)
         .flag("--msg", "use the message variant", &msg);
     parse_rest(t);
-    Machine& m = machine();
-    auto setup =
-        std::make_shared<apps::JacobiSetup>(apps::jacobi_setup(m, grid));
-    apps::jacobi_init(m, *setup, [](std::uint32_t r, std::uint32_t c) {
-      return 0.01 * r - 0.02 * c;
-    });
-    auto bar = std::make_shared<CombiningBarrier>(
-        m.runtime(), CombiningBarrier::Mech::kShm, 2);
-    auto worst = std::make_shared<Cycles>(0);
-    for (NodeId n = 0; n < m.nodes(); ++n) {
-      m.start_thread(n, [=, &m](Context& ctx) {
-        const Cycles c =
-            apps::jacobi_node(ctx, *setup, msg, iters, *bar, m.bulk());
-        if (c > *worst) *worst = c;
+    exec = [grid, iters, msg](Machine& m, bool quiet) -> Cycles {
+      auto setup =
+          std::make_shared<apps::JacobiSetup>(apps::jacobi_setup(m, grid));
+      apps::jacobi_init(m, *setup, [](std::uint32_t r, std::uint32_t c) {
+        return 0.01 * r - 0.02 * c;
       });
-    }
-    m.run_started();
-    std::printf("jacobi %ux%u (%s): %llu cycles/iteration\n", grid, grid,
-                msg ? "message" : "shared-memory",
-                (unsigned long long)(*worst / iters));
-    finish(m, a, app, cmdline, *worst);
+      auto bar = std::make_shared<CombiningBarrier>(
+          m.runtime(), CombiningBarrier::Mech::kShm, 2);
+      // Per-node slots: under sharding the node threads finish on different
+      // host threads, so a shared "worst so far" would race.
+      auto cyc = std::make_shared<std::vector<Cycles>>(m.nodes(), 0);
+      for (NodeId n = 0; n < m.nodes(); ++n) {
+        m.start_thread(n, [=, &m](Context& ctx) {
+          (*cyc)[n] = apps::jacobi_node(ctx, *setup, msg, iters, *bar,
+                                        m.bulk());
+        });
+      }
+      m.run_started();
+      Cycles worst = 0;
+      for (const Cycles c : *cyc) worst = std::max(worst, c);
+      if (!quiet) {
+        std::printf("jacobi %ux%u (%s): %llu cycles/iteration\n", grid, grid,
+                    msg ? "message" : "shared-memory",
+                    (unsigned long long)(worst / iters));
+      }
+      return worst;
+    };
   } else if (app == "accum") {
     std::uint32_t bytes = 4096;
     bool msg = false;
@@ -362,24 +455,27 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
     t.value_u32("--bytes", "array bytes", &bytes)
         .flag("--msg", "use the message variant", &msg);
     parse_rest(t);
-    Machine& m = machine();
-    auto dur = std::make_shared<Cycles>(0);
-    m.run([&](Context& ctx) -> std::uint64_t {
-      const GAddr arr = ctx.shmalloc(1 % a.cfg.nodes, bytes);
-      const Cycles t0 = ctx.now();
-      std::uint64_t sum;
-      if (msg) {
-        const GAddr buf = ctx.shmalloc(0, bytes);
-        sum = apps::accum_msg(ctx, m.bulk(), arr, buf, bytes);
-      } else {
-        sum = apps::accum_shm(ctx, arr, bytes);
+    exec = [bytes, msg, &a](Machine& m, bool quiet) -> Cycles {
+      Cycles dur = 0;
+      m.run([&](Context& ctx) -> std::uint64_t {
+        const GAddr arr = ctx.shmalloc(1 % a.cfg.nodes, bytes);
+        const Cycles t0 = ctx.now();
+        std::uint64_t sum;
+        if (msg) {
+          const GAddr buf = ctx.shmalloc(0, bytes);
+          sum = apps::accum_msg(ctx, m.bulk(), arr, buf, bytes);
+        } else {
+          sum = apps::accum_shm(ctx, arr, bytes);
+        }
+        dur = ctx.now() - t0;
+        return sum;
+      });
+      if (!quiet) {
+        std::printf("accum %u bytes (%s)\n", bytes,
+                    msg ? "message" : "shared-memory");
       }
-      *dur = ctx.now() - t0;
-      return sum;
-    });
-    std::printf("accum %u bytes (%s)\n", bytes,
-                msg ? "message" : "shared-memory");
-    finish(m, a, app, cmdline, *dur);
+      return dur;
+    };
   } else if (app == "barrier") {
     std::string mech = "shm";
     std::uint32_t arity = 0, episodes = 8;
@@ -388,28 +484,31 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
         .value_u32("--arity", "combining-tree fan-in", &arity)
         .value_u32("--episodes", "barrier episodes", &episodes);
     parse_rest(t);
-    Machine& m = machine();
     if (mech != "shm" && mech != "msg") {
       throw cli::UsageError("--mech must be shm or msg");
     }
     const auto b_mech = mech == "msg" ? CombiningBarrier::Mech::kMsg
                                       : CombiningBarrier::Mech::kShm;
     if (arity == 0) arity = b_mech == CombiningBarrier::Mech::kMsg ? 8 : 2;
-    CombiningBarrier bar(m.runtime(), b_mech, arity);
-    auto t0 = std::make_shared<Cycles>(0);
-    auto t1 = std::make_shared<Cycles>(0);
-    for (NodeId n = 0; n < m.nodes(); ++n) {
-      m.start_thread(n, [&bar, t0, t1, n, episodes](Context& ctx) {
-        if (n == 0) *t0 = ctx.now();
-        for (std::uint32_t e = 0; e < episodes; ++e) bar.wait(ctx);
-        if (n == 0) *t1 = ctx.now();
-      });
-    }
-    m.run_started();
-    std::printf("barrier (%s, arity %u): %llu cycles per episode\n",
-                mech.c_str(), arity,
-                (unsigned long long)((*t1 - *t0) / episodes));
-    finish(m, a, app, cmdline, *t1 - *t0);
+    exec = [b_mech, mech, arity, episodes](Machine& m, bool quiet) -> Cycles {
+      CombiningBarrier bar(m.runtime(), b_mech, arity);
+      auto t0 = std::make_shared<Cycles>(0);
+      auto t1 = std::make_shared<Cycles>(0);
+      for (NodeId n = 0; n < m.nodes(); ++n) {
+        m.start_thread(n, [&bar, t0, t1, n, episodes](Context& ctx) {
+          if (n == 0) *t0 = ctx.now();
+          for (std::uint32_t e = 0; e < episodes; ++e) bar.wait(ctx);
+          if (n == 0) *t1 = ctx.now();
+        });
+      }
+      m.run_started();
+      if (!quiet) {
+        std::printf("barrier (%s, arity %u): %llu cycles per episode\n",
+                    mech.c_str(), arity,
+                    (unsigned long long)((*t1 - *t0) / episodes));
+      }
+      return *t1 - *t0;
+    };
   } else if (app == "copy") {
     std::uint32_t bytes = 4096;
     std::string impl = "msg";
@@ -417,7 +516,6 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
     t.value_u32("--bytes", "copy bytes", &bytes)
         .value_str("--impl", "shm|prefetch|msg", "copy implementation", &impl);
     parse_rest(t);
-    Machine& m = machine();
     CopyImpl ci;
     if (impl == "shm") {
       ci = CopyImpl::kShmLoop;
@@ -428,22 +526,31 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
     } else {
       throw cli::UsageError("--impl must be shm, prefetch or msg");
     }
-    auto dur = std::make_shared<Cycles>(0);
-    m.run([&](Context& ctx) -> std::uint64_t {
-      const GAddr src = ctx.shmalloc(0, bytes);
-      const GAddr dst = ctx.shmalloc(1 % a.cfg.nodes, bytes);
-      for (std::uint32_t i = 0; i < bytes; i += 8) ctx.store(src + i, i);
-      const Cycles t0 = ctx.now();
-      m.bulk().copy(ctx, dst, src, bytes, ci);
-      *dur = ctx.now() - t0;
-      return 0;
-    });
-    std::printf("copy %u bytes (%s): %.1f MB/s\n", bytes, impl.c_str(),
-                double(bytes) / double(*dur) * 33.0);
-    finish(m, a, app, cmdline, *dur);
+    exec = [bytes, impl, ci, &a](Machine& m, bool quiet) -> Cycles {
+      Cycles dur = 0;
+      m.run([&](Context& ctx) -> std::uint64_t {
+        const GAddr src = ctx.shmalloc(0, bytes);
+        const GAddr dst = ctx.shmalloc(1 % a.cfg.nodes, bytes);
+        for (std::uint32_t i = 0; i < bytes; i += 8) ctx.store(src + i, i);
+        const Cycles t0 = ctx.now();
+        m.bulk().copy(ctx, dst, src, bytes, ci);
+        dur = ctx.now() - t0;
+        return 0;
+      });
+      if (!quiet) {
+        std::printf("copy %u bytes (%s): %.1f MB/s\n", bytes, impl.c_str(),
+                    double(bytes) / double(dur) * 33.0);
+      }
+      return dur;
+    };
   } else {
     usage(a, ("unknown app '" + app + "'").c_str());
   }
+
+  Machine& m = machine();
+  const Cycles dur = exec(m, /*quiet=*/false);
+  finish(m, a, app, cmdline, dur);
+  if (a.verify_shards) return run_verify_shards(a, exec);
   return 0;
 }
 

@@ -1,8 +1,8 @@
 // alewife_sweep — run parameter sweeps with one Machine per sweep point,
 // optionally spreading points across host threads.
 //
-//   alewife_sweep [--sweep scaling|interrupt|arity|faults] [--threads N]
-//                 [--serial] [--fast] [--verify] [--json FILE]
+//   alewife_sweep [--sweep scaling|interrupt|arity|faults|parallel]
+//                 [--threads N] [--serial] [--fast] [--verify] [--json FILE]
 //
 //   --sweep NAME   which sweep to run (default: scaling)
 //   --threads N    host threads (default: ALEWIFE_SWEEP_THREADS env or
@@ -40,17 +40,48 @@ struct SweepResult {
   std::vector<std::string> cols;
   std::vector<std::vector<std::string>> rows;
 
+  /// --verify equality. Columns named "host ..." are host wall-clock
+  /// measurements (the parallel sweep's "host wall s" / "host Mev/s") and
+  /// legitimately differ run to run; only simulated results are compared —
+  /// the same convention `alewife_report --compare` applies to sweep JSON.
   bool operator==(const SweepResult& o) const {
-    return cols == o.cols && rows == o.rows;
+    if (cols != o.cols || rows.size() != o.rows.size()) return false;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].size() != o.rows[r].size()) return false;
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        if (c < cols.size() && cols[c].find("host ") != std::string::npos) {
+          continue;
+        }
+        if (rows[r][c] != o.rows[r][c]) return false;
+      }
+    }
+    return true;
   }
 };
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 // ---- scaling: grain speedup and barrier latency vs machine size ------------
+//
+// Rows past 128 processors run on the sharded engine (8 host threads per
+// machine) with a smaller per-node memory — the sizes the serial engine
+// could not reach in reasonable wall time. The shm-only scheduler is gated
+// off under sharding, so those rows report "-" for it.
+
+MachineConfig big_cfg(std::uint32_t procs) {
+  MachineConfig c = bench_cfg(procs);
+  c.shards = 8;
+  c.mem_bytes_per_node = 512 * 1024;  // 1024 nodes fit in half a GB
+  return c;
+}
 
 SweepResult sweep_scaling(bool fast, unsigned threads) {
   std::vector<std::uint32_t> sizes =
       fast ? std::vector<std::uint32_t>{8, 16}
-           : std::vector<std::uint32_t>{8, 16, 32, 64, 128};
+           : std::vector<std::uint32_t>{8, 16, 32, 64, 128, 256, 512, 1024};
   const std::uint32_t depth = fast ? 10 : 14;
 
   SweepResult r;
@@ -59,6 +90,18 @@ SweepResult sweep_scaling(bool fast, unsigned threads) {
       sizes.size(),
       [&](std::size_t i) {
         const std::uint32_t p = sizes[i];
+        if (p > 128) {
+          const MachineConfig c = big_cfg(p);
+          const AppRun hyb =
+              measure_grain_cfg(c, SchedMode::kHybrid, depth, 100);
+          const Cycles bshm =
+              measure_barrier_cfg(c, CombiningBarrier::Mech::kShm, 2);
+          const Cycles bmsg =
+              measure_barrier_cfg(c, CombiningBarrier::Mech::kMsg, 8);
+          return std::vector<std::string>{
+              std::to_string(p), "-", fmt(hyb.speedup(), 2),
+              std::to_string(bshm), std::to_string(bmsg)};
+        }
         const AppRun shm = measure_grain(SchedMode::kShm, p, depth, 100);
         const AppRun hyb = measure_grain(SchedMode::kHybrid, p, depth, 100);
         const Cycles bshm =
@@ -70,6 +113,59 @@ SweepResult sweep_scaling(bool fast, unsigned threads) {
             std::to_string(bshm), std::to_string(bmsg)};
       },
       threads);
+  return r;
+}
+
+// ---- parallel: the sharded engine's own scaling (BENCH_parallel.json) ------
+//
+// One row per shard count, each running the same 1024-node workloads (grain
+// under the hybrid scheduler, then message-barrier episodes). The simulated
+// columns are deterministic and K-independent — they are what the
+// `alewife_report --compare` gate pins. The "host ..." columns are host
+// wall-clock measurements (they vary run to run and machine to machine) and
+// are excluded from the gate by the host-key convention.
+
+SweepResult sweep_parallel(bool fast, unsigned /*threads*/) {
+  const std::uint32_t nodes = fast ? 64 : 1024;
+  const std::uint32_t depth = fast ? 10 : 14;
+  const std::vector<std::uint32_t> shard_counts =
+      fast ? std::vector<std::uint32_t>{1, 2}
+           : std::vector<std::uint32_t>{1, 2, 4, 8};
+
+  SweepResult r;
+  r.cols = {"shards", "grain cyc", "bar msg cyc", "host wall s", "host Mev/s"};
+  // Points run serially on purpose: each row is itself a K-thread machine,
+  // and wall-clock per row is the measurement.
+  for (const std::uint32_t k : shard_counts) {
+    MachineConfig c = bench_cfg(nodes);
+    c.shards = k;
+    c.mem_bytes_per_node = 512 * 1024;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t events = 0;
+    Cycles grain_cyc = 0;
+    {
+      RuntimeOptions o;
+      o.mode = SchedMode::kHybrid;
+      o.stealing = true;
+      Machine m(c, o);
+      Cycles dur = 0;
+      m.run([&](Context& ctx) -> std::uint64_t {
+        const Cycles s = ctx.now();
+        const std::uint64_t leaves = apps::grain_parallel(ctx, depth, 100);
+        dur = ctx.now() - s;
+        return leaves;
+      });
+      grain_cyc = dur;
+      events += m.sim().events_executed();
+    }
+    const Cycles bmsg =
+        measure_barrier_cfg(c, CombiningBarrier::Mech::kMsg, 8, 4);
+    const double wall = seconds_since(t0);
+    r.rows.push_back({std::to_string(k), std::to_string(grain_cyc),
+                      std::to_string(bmsg), fmt(wall, 3),
+                      fmt(wall > 0 ? double(events) / wall / 1e6 : 0.0, 2)});
+  }
   return r;
 }
 
@@ -175,16 +271,12 @@ SweepResult run_sweep(const std::string& name, bool fast, unsigned threads) {
   if (name == "interrupt") return sweep_interrupt(fast, threads);
   if (name == "arity") return sweep_arity(fast, threads);
   if (name == "faults") return sweep_faults(fast, threads);
+  if (name == "parallel") return sweep_parallel(fast, threads);
   std::fprintf(stderr,
                "alewife_sweep: unknown sweep '%s' "
-               "(expected scaling|interrupt|arity|faults)\n",
+               "(expected scaling|interrupt|arity|faults|parallel)\n",
                name.c_str());
   std::exit(2);
-}
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
 }
 
 /// Result table as JSON: rows become objects keyed by column name (plus
@@ -224,7 +316,8 @@ int main(int argc, char** argv) {
   std::string json_out;
 
   cli::OptionTable opts;
-  opts.value_str("--sweep", "NAME", "scaling|interrupt|arity|faults", &name)
+  opts.value_str("--sweep", "NAME", "scaling|interrupt|arity|faults|parallel",
+                 &name)
       .value_u32("--threads", "host threads", &threads)
       .flag("--serial", "shorthand for --threads 1", [&] { threads = 1; })
       .flag("--fast", "smaller machines / fewer points", &fast)
