@@ -78,6 +78,76 @@ Cycles measure_barrier_cfg(const MachineConfig& cfg,
 }
 
 // ---------------------------------------------------------------------------
+// Collectives library
+// ---------------------------------------------------------------------------
+
+Cycles measure_collective_cfg(const MachineConfig& cfg, const std::string& op,
+                              const CollectiveConfig& ccfg, int episodes,
+                              std::uint32_t bytes) {
+  const std::uint32_t nodes = cfg.nodes;
+  Machine m(cfg, quiet_opts());
+  Communicator comm(m.runtime(), ccfg);
+  HostBarrier align(m, nodes);
+
+  const bool data = op == "scatter" || op == "gather";
+  GAddr rootbuf = kNullGAddr;
+  auto local = std::make_shared<std::vector<GAddr>>(nodes, kNullGAddr);
+  if (data) {
+    BackingStore& store = m.runtime().ms.store();
+    rootbuf = store.alloc(0, std::uint64_t{nodes} * bytes);
+    for (NodeId i = 0; i < nodes; ++i) (*local)[i] = store.alloc(i, bytes);
+    for (std::uint64_t off = 0; off < std::uint64_t{nodes} * bytes; off += 8) {
+      store.write_uint(rootbuf + off, 8, off);
+    }
+  }
+
+  struct Episode {
+    Cycles enter = 0;
+    Cycles exit = 0;
+  };
+  auto marks = std::make_shared<std::vector<std::vector<Episode>>>(nodes);
+  for (auto& v : *marks) v.resize(episodes + 1);
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [&comm, &align, marks, local, rootbuf, op, n, episodes,
+                       bytes](Context& ctx) {
+      for (int e = 0; e <= episodes; ++e) {
+        align.wait(ctx);
+        (*marks)[n][e].enter = ctx.now();
+        if (op == "barrier") {
+          comm.barrier(ctx);
+        } else if (op == "reduce") {
+          comm.reduce(ctx, n + e);
+        } else if (op == "allreduce") {
+          comm.allreduce(ctx, n + e);
+        } else if (op == "broadcast") {
+          comm.broadcast(ctx, 42 + e);
+        } else if (op == "scatter") {
+          comm.scatter(ctx, rootbuf, (*local)[n], bytes);
+        } else {
+          comm.gather(ctx, (*local)[n], rootbuf, bytes);
+        }
+        (*marks)[n][e].exit = ctx.now();
+      }
+    });
+  }
+  m.run_started();
+
+  // Episode 0 warms caches/handlers; average the rest. Whole-collective
+  // latency: last exit minus first entry.
+  Cycles total = 0;
+  for (int e = 1; e <= episodes; ++e) {
+    Cycles first_enter = ~Cycles{0}, last_exit = 0;
+    for (NodeId n = 0; n < nodes; ++n) {
+      first_enter = std::min(first_enter, (*marks)[n][e].enter);
+      last_exit = std::max(last_exit, (*marks)[n][e].exit);
+    }
+    total += last_exit - first_enter;
+  }
+  return total / episodes;
+}
+
+// ---------------------------------------------------------------------------
 // Remote thread invocation
 // ---------------------------------------------------------------------------
 

@@ -41,6 +41,15 @@ Cycles measure_barrier_cfg(const MachineConfig& cfg,
                            CombiningBarrier::Mech mech, std::uint32_t arity,
                            int episodes = 8);
 
+// ---- collectives library (docs/COLLECTIVES.md) ------------------------------
+/// Average whole-collective latency (all-entered to all-exited) over
+/// `episodes` aligned episodes. `op` is a CLI-style name: barrier | broadcast
+/// | reduce | allreduce | scatter | gather; `bytes` is the per-node slice for
+/// scatter/gather.
+Cycles measure_collective_cfg(const MachineConfig& cfg, const std::string& op,
+                              const CollectiveConfig& ccfg, int episodes = 8,
+                              std::uint32_t bytes = 64);
+
 // ---- §4.3: remote thread invocation ----------------------------------------
 struct InvokeResult {
   Cycles t_invoker;  ///< invoke start until invoker proceeds

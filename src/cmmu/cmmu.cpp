@@ -150,7 +150,31 @@ void Cmmu::on_packet(Packet p) {
   deliver(std::move(p));
 }
 
+void Cmmu::combine_local(const MsgDescriptor& d, Cycles when) {
+  validate(d);
+  Packet p;
+  p.src = node_;
+  p.dst = node_;
+  p.klass = PacketClass::kUserMessage;
+  p.type = d.type;
+  p.words = d.operands;
+  combine_.absorb(p, when);
+}
+
 void Cmmu::deliver(Packet p) {
+  if (combine_.handles(p.type)) {
+    // NIC-side combining: the engine absorbs the packet on its own timeline;
+    // the processor is never interrupted.
+    if (wd_ != nullptr) wd_->note(sim_.now());
+    if (trace_ != nullptr && trace_->enabled(TraceCat::kMsg)) {
+      trace_->emit(TraceCat::kMsg, sim_.now(), node_,
+                   "combine type=" + std::to_string(p.type) + " from n" +
+                       std::to_string(p.src));
+    }
+    stats_.add(node_, MetricId::kCmmuMessagesReceived);
+    combine_.absorb(p, sim_.now());
+    return;
+  }
   auto it = handlers_.find(p.type);
   if (it == handlers_.end()) {
     throw std::logic_error("unhandled message type " + std::to_string(p.type) +

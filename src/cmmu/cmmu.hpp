@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "cmmu/combine.hpp"
 #include "cmmu/message.hpp"
 #include "memory/mem_system.hpp"
 #include "network/network.hpp"
@@ -88,6 +89,16 @@ class Cmmu {
   /// Register the handler for message type `t` on this node.
   void set_handler(MsgType t, Handler h);
 
+  /// CMMU-side combining (docs/COLLECTIVES.md): packets of a registered type
+  /// are absorbed by the combining engine instead of interrupting the
+  /// processor. Checked before handler dispatch on delivery.
+  CombineEngine& combiner() { return combine_; }
+
+  /// Local injection into the combining engine: the calling thread has
+  /// already paid describe+launch up to `when`; the local CMMU absorbs the
+  /// message directly (no network trip, src == dst).
+  void combine_local(const MsgDescriptor& d, Cycles when);
+
   /// Fiber-side send: charges describe+launch on the calling thread and
   /// returns as soon as the launch instruction retires; DMA gather and the
   /// network transfer proceed asynchronously. Returns the launch-retire time.
@@ -125,11 +136,12 @@ class Cmmu {
   /// One-line retransmit-state summary for the watchdog dump ("" if idle).
   std::string rel_dump() const;
 
-  // Internal (MsgView).
+  // Internal (MsgView, CombineEngine).
   const CostModel& cost() const { return cost_; }
   MemorySystem& memory() { return ms_; }
   Stats& stats() { return stats_; }
   Simulator& sim() { return sim_; }
+  Processor& processor() { return proc_; }
 
  private:
   using RelKey = std::pair<NodeId, std::uint64_t>;  ///< (dst, seq)
@@ -171,6 +183,7 @@ class Cmmu {
   Stats& stats_;
   NodeId node_;
   std::unordered_map<MsgType, Handler> handlers_;
+  CombineEngine combine_{*this};
   Trace* trace_ = nullptr;
   Watchdog* wd_ = nullptr;
 

@@ -1,0 +1,37 @@
+#include "cmmu/combine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cmmu/cmmu.hpp"
+
+namespace alewife {
+
+NodeId CombineCtx::node() const { return cmmu_.node(); }
+
+void CombineCtx::send(const MsgDescriptor& d) { cmmu_.send_raw(d, t_); }
+
+void CombineCtx::interrupt(InterruptHandler h) {
+  // The wake becomes visible to the processor when the engine finishes with
+  // this packet; schedule the interrupt at that point (same node, so this is
+  // always legal under sharding).
+  Processor& proc = cmmu_.processor();
+  cmmu_.sim().schedule_at(t_, [&proc, h = std::move(h)]() mutable {
+    proc.raise_interrupt(std::move(h));
+  });
+}
+
+void CombineEngine::absorb(const Packet& p, Cycles floor) {
+  auto it = combiners_.find(p.type);
+  assert(it != combiners_.end() && "absorb() without a registered combiner");
+  const Cycles start = std::max(floor, busy_until_);
+  CombineCtx cc(cmmu_, start);
+  cc.charge(cmmu_.cost().cmmu_combine);
+  it->second(cc, p);
+  busy_until_ = cc.now();
+  Stats& st = cmmu_.stats();
+  st.add(cmmu_.node(), MetricId::kCollCmmuCombines);
+  st.add(cmmu_.node(), MetricId::kCollCmmuCombineCycles, cc.now() - start);
+}
+
+}  // namespace alewife

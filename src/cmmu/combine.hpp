@@ -1,0 +1,85 @@
+// CMMU-side message combining (in-network collective offload).
+//
+// The paper's combining trees run in software: every arrival interrupts the
+// processor (interrupt_entry + handler + interrupt_return) just to bump a
+// counter or add a word. NIC-based collective protocols — the Quadrics
+// hardware barrier and Myrinet firmware reductions — showed the network
+// interface itself can absorb arrivals, combine their operands, and forward
+// one packet up the tree, never involving the processor at intermediate
+// nodes. This module models that: a per-node CombineEngine attached to the
+// CMMU intercepts registered message types *before* handler dispatch and runs
+// a combiner function on the CMMU's own timeline.
+//
+// Timing model: the engine is a single serial unit per node. Each absorbed
+// packet occupies it from max(arrival, busy_until) for cost.cmmu_combine
+// cycles (plus whatever the combiner charges for forwarding); processor time
+// is spent only when a combiner explicitly wakes a local thread, which costs
+// one real interrupt. All forwards go through the normal send path
+// (reliable-layer aware, fault-injected, lookahead-respecting), so CMMU
+// combining is deterministic under sharding and survives faulty networks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "cmmu/message.hpp"
+#include "network/packet.hpp"
+#include "proc/processor.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class Cmmu;
+
+/// Execution context of one combining step, on the CMMU's timeline (no
+/// processor involvement unless interrupt() is called).
+class CombineCtx {
+ public:
+  CombineCtx(Cmmu& cmmu, Cycles start) : cmmu_(cmmu), t_(start) {}
+
+  NodeId node() const;
+  Cycles now() const { return t_; }
+  void charge(Cycles c) { t_ += c; }
+
+  /// Forward a (combined) packet up/down the tree; departs at now() with no
+  /// processor charge — the engine already described it.
+  void send(const MsgDescriptor& d);
+
+  /// Deliver a result to the local processor: raises one real message
+  /// interrupt at now(). Used only when a local thread must observe the
+  /// combined value (the single unavoidable processor touch per episode).
+  void interrupt(InterruptHandler h);
+
+ private:
+  Cmmu& cmmu_;
+  Cycles t_;
+};
+
+/// Combiner callback: absorb one packet of a registered type. The packet may
+/// come off the network or from the local processor's own launch
+/// (Cmmu::combine_local); `p.src` distinguishes if needed.
+using Combiner = std::function<void(CombineCtx&, const Packet&)>;
+
+/// Per-node combining engine owned by the Cmmu.
+class CombineEngine {
+ public:
+  explicit CombineEngine(Cmmu& cmmu) : cmmu_(cmmu) {}
+
+  void set(MsgType t, Combiner f) { combiners_[t] = std::move(f); }
+  bool handles(MsgType t) const { return combiners_.count(t) != 0; }
+
+  /// Absorb one packet: serialize on the engine (busy_until), charge the
+  /// base combining occupancy, run the combiner. `floor` is the earliest the
+  /// engine may start (packet arrival, or a local launch's retire time).
+  void absorb(const Packet& p, Cycles floor);
+
+  Cycles busy_until() const { return busy_until_; }
+
+ private:
+  Cmmu& cmmu_;
+  std::unordered_map<MsgType, Combiner> combiners_;
+  Cycles busy_until_ = 0;
+};
+
+}  // namespace alewife

@@ -132,7 +132,82 @@ Cycles CostOracle::predict_barrier_msg(std::uint32_t nodes,
          depth * (msg + handler + arity * (2 + c.msg_launch));
 }
 
+namespace {
+std::uint32_t tree_depth(std::uint32_t nodes, std::uint32_t arity) {
+  std::uint32_t depth = 0;
+  for (std::uint64_t reach = 1; reach < nodes; reach = reach * arity + 1) {
+    ++depth;
+  }
+  return depth;
+}
+}  // namespace
+
+Cycles CostOracle::predict_coll_shm(std::uint32_t nodes,
+                                    std::uint32_t arity) const {
+  // The barrier's arrive/release skeleton plus, per level, the completing
+  // arriver's remote reads of its children's value slots and one release
+  // value store alongside the generation store.
+  const std::uint32_t hops = static_cast<std::uint32_t>(mean_hops_);
+  const Cycles slot_read = remote_rtt(hops, cfg_.cache_line_bytes);
+  const std::uint32_t depth = tree_depth(nodes, arity);
+  return predict_barrier_shm(nodes, arity) +
+         depth * arity * slot_read / 2 +  // reads overlap the up-wave AMOs
+         depth * slot_read;               // value release stores
+}
+
+Cycles CostOracle::predict_coll_msg(std::uint32_t nodes, std::uint32_t arity,
+                                    Combining comb) const {
+  const CostModel& c = cfg_.cost;
+  const std::uint32_t hops = static_cast<std::uint32_t>(mean_hops_);
+  const std::uint32_t depth = tree_depth(nodes, arity);
+  // Operand-carrying arrive/wake packets: header + opword + value.
+  const Cycles msg = 4 * c.msg_describe_per_word + c.msg_launch +
+                     c.net_inject + Cycles{hops} * c.net_hop +
+                     serialization(c.packet_header_bytes + 2 * 8);
+  if (comb == Combining::kCmmu) {
+    // Intermediate nodes never take an interrupt: arrivals serialize on the
+    // combining engine; only the final wake costs a processor touch.
+    const Cycles wake_int = c.interrupt_entry + 2 + c.interrupt_return;
+    return depth * (msg + arity * c.cmmu_combine) +
+           depth * (msg + c.cmmu_combine) + wake_int;
+  }
+  const Cycles handler =
+      c.interrupt_entry + 12 + 2 * c.window_read + 2 + c.interrupt_return;
+  return depth * (msg + arity * handler) +
+         depth * (msg + handler + arity * (2 + c.msg_launch));
+}
+
+Cycles CostOracle::predict_coll_hybrid(std::uint32_t nodes,
+                                       std::uint32_t arity,
+                                       std::uint32_t group,
+                                       Combining comb) const {
+  if (group == 0) group = arity == 0 ? 8 : arity;
+  if (group > nodes) group = nodes;
+  const std::uint32_t leaders = (nodes + group - 1) / group;
+  // Group phase: members' slot stores + counter AMOs land on the leader (one
+  // line each, near-neighbor), the leader reads them back, then releases
+  // every member with two remote stores.
+  const Cycles near = remote_rtt(1, cfg_.cache_line_bytes);
+  const Cycles gather_in = (group - 1) * near + cfg_.cost.amo_extra;
+  const Cycles release = (group - 1) * near;
+  return gather_in + predict_coll_msg(leaders, arity, comb) + release +
+         local_miss();
+}
+
 AdaptiveOps::AdaptiveOps(Machine& m) : machine_(m), oracle_(m.config()) {}
+
+CollMech AdaptiveOps::choose_collective(std::uint32_t arity,
+                                        std::uint32_t group,
+                                        Combining comb) const {
+  const std::uint32_t nodes = machine_.config().nodes;
+  const Cycles shm = oracle_.predict_coll_shm(nodes, arity == 0 ? 2 : arity);
+  const Cycles msg =
+      oracle_.predict_coll_msg(nodes, arity == 0 ? 8 : arity, comb);
+  const Cycles hyb = oracle_.predict_coll_hybrid(
+      nodes, arity == 0 ? 8 : arity, group, comb);
+  if (shm <= msg && shm <= hyb) return CollMech::kShm;
+  return msg <= hyb ? CollMech::kMsg : CollMech::kHybrid;
+}
 
 CopyImpl AdaptiveOps::choose_copy(NodeId src_node, NodeId dst_node,
                                   std::uint64_t n) const {

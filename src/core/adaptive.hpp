@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "runtime/bulk.hpp"
+#include "runtime/collective.hpp"
 #include "sim/config.hpp"
 #include "sim/types.hpp"
 
@@ -41,6 +42,16 @@ class CostOracle {
   Cycles predict_barrier_shm(std::uint32_t nodes, std::uint32_t arity) const;
   Cycles predict_barrier_msg(std::uint32_t nodes, std::uint32_t arity) const;
 
+  /// Predicted value-collective (allreduce-shaped) latency per mechanism.
+  /// The msg/hybrid predictions take the combining side: kCmmu replaces the
+  /// per-arrival interrupt+handler at intermediate tree nodes with the
+  /// combining engine's occupancy.
+  Cycles predict_coll_shm(std::uint32_t nodes, std::uint32_t arity) const;
+  Cycles predict_coll_msg(std::uint32_t nodes, std::uint32_t arity,
+                          Combining comb) const;
+  Cycles predict_coll_hybrid(std::uint32_t nodes, std::uint32_t arity,
+                             std::uint32_t group, Combining comb) const;
+
   /// Average hop distance on this machine's mesh (uniform traffic).
   double mean_hops() const { return mean_hops_; }
 
@@ -63,6 +74,11 @@ class AdaptiveOps {
   /// What copy() would pick, without running it.
   CopyImpl choose_copy(NodeId src_node, NodeId dst_node,
                        std::uint64_t n) const;
+
+  /// Predicted-cheapest mechanism for an allreduce-shaped collective on this
+  /// machine (the §6 selection hook, extended from point ops to collectives).
+  CollMech choose_collective(std::uint32_t arity, std::uint32_t group,
+                             Combining comb) const;
 
   const CostOracle& oracle() const { return oracle_; }
 

@@ -1,22 +1,19 @@
-// Combining-tree barrier synchronization (paper §4.2), with both mechanisms:
+// DEPRECATED: CombiningBarrier is now a thin shim over the collectives
+// library (runtime/collective.hpp) — construct a Communicator and call
+// barrier() instead; it adds value collectives (reduce/allreduce/broadcast,
+// scatter/gather), a hybrid hierarchical mechanism, and CMMU-side combining.
 //
-//   kShm — arrival counters and release generations in shared memory, laid
-//          out so each processor spins only on its locally-homed release word
-//          (the "carefully crafted to minimize message exchanges" variant).
-//          The last arriver at a tree node propagates the arrival upward with
-//          a remote atomic decrement; wakeups propagate downward as remote
-//          stores that invalidate the spinners' cached copies.
-//
-//   kMsg — one message per arrival and one per wakeup: the ideal the paper
-//          quotes at 660 cycles on 64 processors with a two-level 8-ary tree.
-//
-// One thread per node must call wait(). The same barrier object is reusable
-// (generation-counted).
+// The shim preserves the original semantics and timing exactly: the same
+// shared-memory cell layout (arrival counter + release generation per node,
+// allocated in node order), the same message protocol (one zero-operand
+// message per arrival and per wakeup), the same handler charges, and the same
+// default message types — existing callers keep their cycle counts and
+// digests bit for bit.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "runtime/collective.hpp"
 #include "runtime/msg_types.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/types.hpp"
@@ -33,42 +30,30 @@ class CombiningBarrier {
   /// `msg_type_base` lets several barriers coexist; it claims two message
   /// types (base, base+1) on every node.
   CombiningBarrier(RuntimeShared& shared, Mech mech, std::uint32_t arity,
-                   MsgType msg_type_base = kMsgBarrierArrive);
+                   MsgType msg_type_base = kMsgBarrierArrive)
+      : mech_(mech),
+        comm_(shared, make_config(mech, arity, msg_type_base)) {}
 
   /// Block until every node has arrived. Call from exactly one thread per
   /// node per episode.
-  void wait(Context& ctx);
+  void wait(Context& ctx) { comm_.barrier(ctx); }
 
   Mech mech() const { return mech_; }
-  std::uint32_t arity() const { return arity_; }
+  std::uint32_t arity() const { return comm_.arity(); }
 
  private:
-  struct NodeState {
-    // Shared-memory cells (kShm).
-    GAddr count_addr = kNullGAddr;    ///< remaining arrivals (children + self)
-    GAddr release_addr = kNullGAddr;  ///< wake generation
+  static CollectiveConfig make_config(Mech mech, std::uint32_t arity,
+                                      MsgType msg_type_base) {
+    CollectiveConfig cfg;
+    cfg.mech = mech == Mech::kShm ? CollMech::kShm : CollMech::kMsg;
+    cfg.arity = arity == 0 ? 2 : arity;  // legacy default for both mechs
+    cfg.msg_type_base = msg_type_base;
+    cfg.barrier_only = true;
+    return cfg;
+  }
 
-    // Host bookkeeping (kMsg).
-    std::uint32_t pending_child_arrivals = 0;
-    bool self_arrived = false;
-    std::uint64_t wake_gen = 0;
-    std::uint64_t waiting_thread = kInvalidId;
-
-    std::uint64_t my_gen = 0;  ///< barrier episodes entered by this node
-    std::uint32_t nchildren = 0;
-  };
-
-  NodeId parent(NodeId n) const { return (n - 1) / arity_; }
-
-  void msg_arrival_complete(NodeId n, HandlerCtx* hc, Context* ctx);
-  void msg_wake(NodeId n, HandlerCtx* hc, Context* ctx);
-
-  RuntimeShared& shared_;
   Mech mech_;
-  std::uint32_t arity_;
-  MsgType arrive_type_;
-  MsgType wake_type_;
-  std::vector<NodeState> state_;
+  Communicator comm_;
 };
 
 }  // namespace alewife

@@ -1,0 +1,899 @@
+#include "runtime/collective.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "memory/checker.hpp"
+#include "runtime/context.hpp"
+
+namespace alewife {
+
+// ---------------------------------------------------------------------------
+// Construction: topology, message types, shared-memory cells
+// ---------------------------------------------------------------------------
+
+Communicator::Communicator(RuntimeShared& shared, CollectiveConfig cfg)
+    : shared_(shared),
+      cfg_(cfg),
+      nodes_(static_cast<std::uint32_t>(shared.nodes.size())),
+      arity_(cfg.arity != 0 ? cfg.arity
+                            : (cfg.mech == CollMech::kShm ? 2u : 8u)),
+      group_(cfg.mech == CollMech::kHybrid
+                 ? (cfg.group != 0 ? cfg.group : arity_)
+                 : 1u),
+      stride_(cfg.mech == CollMech::kHybrid ? group_ : 1u),
+      tsize_((nodes_ + stride_ - 1) / stride_) {
+  wstate_.resize(tsize_);
+  for (std::uint32_t i = 0; i < tsize_; ++i) {
+    std::uint32_t kids = 0;
+    for (std::uint32_t c = arity_ * i + 1;
+         c <= arity_ * i + arity_ && c < tsize_; ++c) {
+      ++kids;
+    }
+    wstate_[i].nchildren = kids;
+  }
+
+  if (cfg_.mech != CollMech::kShm) {
+    if (cfg_.msg_type_base != 0) {
+      arrive_type_ = cfg_.msg_type_base;
+    } else {
+      arrive_type_ = shared.msg_types.allocate(cfg_.barrier_only ? 2u : 3u);
+    }
+    wake_type_ = arrive_type_ + 1;
+    data_type_ = cfg_.barrier_only ? 0 : arrive_type_ + 2;
+    if (cfg_.combining == Combining::kCmmu) {
+      cstate_.resize(tsize_);
+      for (std::uint32_t i = 0; i < tsize_; ++i) register_wave_cmmu(i);
+    } else {
+      for (std::uint32_t i = 0; i < tsize_; ++i) register_wave_proc(i);
+    }
+    if (!cfg_.barrier_only) {
+      for (NodeId n = 0; n < nodes_; ++n) register_data_handler(n);
+    }
+  }
+
+  if (cfg_.mech == CollMech::kShm) {
+    BackingStore& store = shared.ms.store();
+    const std::uint32_t line = shared.cfg.cache_line_bytes;
+    shm_.resize(nodes_);
+    // Barrier cells first, in node order — exactly the CombiningBarrier
+    // layout, so the legacy shim reproduces its timing bit for bit.
+    for (NodeId i = 0; i < nodes_; ++i) {
+      shm_[i].bar_count = store.alloc(i, line);
+      shm_[i].bar_release = store.alloc(i, line);
+      store.write_uint(shm_[i].bar_count, 8, wstate_[i].nchildren + 1);
+      store.write_uint(shm_[i].bar_release, 8, 0);
+    }
+    if (!cfg_.barrier_only) {
+      // Value tree: one slot per child plus the node's own contribution.
+      const std::uint64_t slot_bytes = std::uint64_t{arity_ + 1} * 8;
+      for (NodeId i = 0; i < nodes_; ++i) {
+        ShmCells& c = shm_[i];
+        c.vcount = store.alloc(i, line);
+        c.vslots = store.alloc(i, slot_bytes);
+        c.vrel_gen = store.alloc(i, line);
+        c.vrel_val = store.alloc(i, line);
+        store.write_uint(c.vcount, 8, wstate_[i].nchildren + 1);
+        store.write_uint(c.vrel_gen, 8, 0);
+      }
+    }
+  }
+
+  if (cfg_.mech == CollMech::kHybrid) {
+    BackingStore& store = shared.ms.store();
+    const std::uint32_t line = shared.cfg.cache_line_bytes;
+    hyb_.resize(nodes_);
+    for (NodeId i = 0; i < nodes_; ++i) {
+      HybridCells& h = hyb_[i];
+      if (is_leader(i)) {
+        const std::uint32_t gs = group_size(i);
+        h.gcount = store.alloc(i, line);
+        h.gslots = store.alloc(i, gs > 1 ? std::uint64_t{gs - 1} * 8 : 8);
+        h.dcount = store.alloc(i, line);
+        store.write_uint(h.gcount, 8, 0);
+        store.write_uint(h.dcount, 8, 0);
+      } else {
+        h.hrel_gen = store.alloc(i, line);
+        h.hrel_val = store.alloc(i, line);
+        h.drel_gen = store.alloc(i, line);
+        store.write_uint(h.hrel_gen, 8, 0);
+        store.write_uint(h.drel_gen, 8, 0);
+      }
+    }
+  }
+
+  if (!cfg_.barrier_only) dstate_.resize(nodes_);
+}
+
+std::uint32_t Communicator::group_size(NodeId leader) const {
+  return std::min<std::uint32_t>(leader + group_, nodes_) - leader;
+}
+
+std::uint64_t Communicator::comb(RedOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case RedOp::kSum:
+      return a + b;
+    case RedOp::kMin:
+      return a < b ? a : b;
+    case RedOp::kMax:
+      return a > b ? a : b;
+  }
+  return a;
+}
+
+template <typename S>
+void Communicator::comb_into(S& st, RedOp op, std::uint64_t v) {
+  if (!st.have_accum) {
+    st.accum = v;
+    st.have_accum = true;
+  } else {
+    st.accum = comb(op, st.accum, v);
+  }
+}
+
+std::uint64_t Communicator::opword(std::uint8_t kind, RedOp op) {
+  return static_cast<std::uint64_t>(kind) |
+         (static_cast<std::uint64_t>(op) << 4);
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+void Communicator::barrier(Context& ctx) {
+  shared_.stats.add(ctx.node(), MetricId::kCollOps);
+  if (nodes_ == 1) return;
+  switch (cfg_.mech) {
+    case CollMech::kShm:
+      shm_barrier(ctx);
+      return;
+    case CollMech::kMsg:
+      wave(ctx, kWaveBarrier, RedOp::kSum, 0);
+      return;
+    case CollMech::kHybrid:
+      hybrid_value(ctx, kWaveBarrier, RedOp::kSum, 0);
+      return;
+  }
+}
+
+std::uint64_t Communicator::value_op(Context& ctx, std::uint8_t kind, RedOp op,
+                                     std::uint64_t v) {
+  if (cfg_.barrier_only) {
+    throw std::logic_error(
+        "Communicator: value collectives unavailable on a barrier-only "
+        "(legacy shim) instance");
+  }
+  shared_.stats.add(ctx.node(), MetricId::kCollOps);
+  if (nodes_ == 1) return v;
+  switch (cfg_.mech) {
+    case CollMech::kShm:
+      return shm_value(ctx, kind, op, v);
+    case CollMech::kMsg:
+      return wave(ctx, kind, op, v);
+    case CollMech::kHybrid:
+      return hybrid_value(ctx, kind, op, v);
+  }
+  return v;
+}
+
+std::uint64_t Communicator::reduce(Context& ctx, std::uint64_t contribution,
+                                   RedOp op) {
+  return value_op(ctx, kWaveReduce, op, contribution);
+}
+
+std::uint64_t Communicator::allreduce(Context& ctx, std::uint64_t contribution,
+                                      RedOp op) {
+  return value_op(ctx, kWaveAllreduce, op, contribution);
+}
+
+std::uint64_t Communicator::broadcast(Context& ctx, std::uint64_t value,
+                                      NodeId root) {
+  // Sum-allreduce of (root's value, zeroes elsewhere): correct for any root
+  // without a root-relative tree, and exercises the same combining path.
+  return value_op(ctx, kWaveAllreduce, RedOp::kSum,
+                  ctx.node() == root ? value : 0);
+}
+
+// ---------------------------------------------------------------------------
+// Message wave (kMsg threads; kHybrid leaders)
+// ---------------------------------------------------------------------------
+
+std::uint64_t Communicator::wave(Context& ctx, std::uint8_t kind, RedOp op,
+                                 std::uint64_t v) {
+  const std::uint32_t idx = t_index(ctx.node());
+  WaveState& st = wstate_[idx];
+  const std::uint64_t gen = ++st.my_gen;
+  if (tsize_ == 1) return v;
+
+  if (cfg_.combining == Combining::kCmmu) {
+    // Hand my contribution to my own combining engine: describe + launch is
+    // paid on the thread, everything else happens on the CMMU timeline.
+    MsgDescriptor d;
+    d.dst = ctx.node();
+    d.type = arrive_type_;
+    if (kind != kWaveBarrier) d.operands = {opword(kind, op), v};
+    ctx.charge(d.words() * shared_.cfg.cost.msg_describe_per_word +
+               shared_.cfg.cost.msg_launch);
+    ctx.cmmu().combine_local(d, ctx.now());
+    shared_.stats.add(ctx.node(), MetricId::kCollMsgs);
+  } else {
+    st.kind = kind;
+    st.op = op;
+    if (kind != kWaveBarrier) {
+      comb_into(st, op, v);
+      ctx.charge(2);
+    }
+    st.self_arrived = true;
+    wave_arrive_complete(idx, nullptr, &ctx);
+  }
+
+  while (st.wake_gen < gen) {
+    st.waiting_thread = ctx.thread_id();
+    ctx.suspend();
+  }
+  st.waiting_thread = kInvalidId;
+  return kind == kWaveBarrier ? 0 : st.down_value;
+}
+
+void Communicator::wave_arrive_complete(std::uint32_t idx, HandlerCtx* hc,
+                                        Context* ctx) {
+  WaveState& st = wstate_[idx];
+  if (!st.self_arrived || st.pending < st.nchildren) return;
+  st.pending -= st.nchildren;
+  st.self_arrived = false;
+  const std::uint8_t kind = st.kind;
+  const std::uint64_t combined = st.have_accum ? st.accum : 0;
+  st.have_accum = false;
+  st.accum = 0;
+
+  if (idx == 0) {
+    wave_start_down(combined, kind, hc, ctx);
+    return;
+  }
+  MsgDescriptor d;
+  d.dst = t_node(t_parent(idx));
+  d.type = arrive_type_;
+  if (kind != kWaveBarrier) d.operands = {opword(kind, st.op), combined};
+  const NodeId n = t_node(idx);
+  if (hc != nullptr) {
+    shared_.peer(n).cmmu().send_from_handler(*hc, d);
+  } else {
+    ctx->send(d);
+  }
+  shared_.stats.add(n, MetricId::kCollMsgs);
+}
+
+void Communicator::wave_start_down(std::uint64_t combined, std::uint8_t kind,
+                                   HandlerCtx* hc, Context* ctx) {
+  WaveState& st = wstate_[0];
+  st.wake_gen++;
+  st.down_value = kind == kWaveBarrier ? 0 : combined;
+  const bool has_down = kind == kWaveAllreduce;
+  const NodeId n = t_node(0);
+  for (std::uint32_t c = 1; c <= arity_ && c < tsize_; ++c) {
+    MsgDescriptor d;
+    d.dst = t_node(c);
+    d.type = wake_type_;
+    if (has_down) d.operands = {combined};
+    if (hc != nullptr) {
+      shared_.peer(n).cmmu().send_from_handler(*hc, d);
+    } else {
+      ctx->send(d);
+    }
+    shared_.stats.add(n, MetricId::kCollMsgs);
+  }
+  if (st.waiting_thread != kInvalidId) {
+    const std::uint64_t tid = st.waiting_thread;
+    st.waiting_thread = kInvalidId;
+    const Cycles t = hc != nullptr ? hc->now() : ctx->now();
+    if (hc != nullptr) hc->charge(2);
+    shared_.peer(n).enqueue_ready(tid, t);
+  }
+}
+
+void Communicator::wave_wake(std::uint32_t idx, std::uint64_t value,
+                             bool has_value, HandlerCtx* hc, Context* ctx) {
+  WaveState& st = wstate_[idx];
+  st.wake_gen++;
+  st.down_value = has_value ? value : 0;
+  const NodeId n = t_node(idx);
+  for (std::uint32_t c = arity_ * idx + 1;
+       c <= arity_ * idx + arity_ && c < tsize_; ++c) {
+    MsgDescriptor d;
+    d.dst = t_node(c);
+    d.type = wake_type_;
+    if (has_value) d.operands = {value};
+    if (hc != nullptr) {
+      shared_.peer(n).cmmu().send_from_handler(*hc, d);
+    } else {
+      ctx->send(d);
+    }
+    shared_.stats.add(n, MetricId::kCollMsgs);
+  }
+  if (st.waiting_thread != kInvalidId) {
+    const std::uint64_t tid = st.waiting_thread;
+    st.waiting_thread = kInvalidId;
+    const Cycles t = hc != nullptr ? hc->now() : ctx->now();
+    if (hc != nullptr) hc->charge(2);
+    shared_.peer(n).enqueue_ready(tid, t);
+  }
+}
+
+void Communicator::register_wave_proc(std::uint32_t idx) {
+  Cmmu& cmmu = shared_.peer(t_node(idx)).cmmu();
+  cmmu.set_handler(
+      arrive_type_, [this, idx](HandlerCtx& hc, MsgView& view) {
+        // Combining-tree bookkeeping, plus the software combine of the
+        // carried operand when this is a value wave.
+        hc.charge(12);
+        WaveState& st = wstate_[idx];
+        if (view.operand_count() > 0) {
+          const std::uint64_t ow = view.operand(hc, 0);
+          const std::uint64_t val = view.operand(hc, 1);
+          st.kind = static_cast<std::uint8_t>(ow & 0xF);
+          st.op = static_cast<RedOp>((ow >> 4) & 0xF);
+          comb_into(st, st.op, val);
+          hc.charge(2);
+          shared_.stats.add(t_node(idx), MetricId::kCollProcCombines);
+        } else {
+          st.kind = kWaveBarrier;
+        }
+        st.pending++;
+        wave_arrive_complete(idx, &hc, nullptr);
+      });
+  cmmu.set_handler(wake_type_, [this, idx](HandlerCtx& hc, MsgView& view) {
+    hc.charge(8);  // episode bookkeeping before forwarding
+    std::uint64_t val = 0;
+    const bool has = view.operand_count() > 0;
+    if (has) val = view.operand(hc, 0);
+    wave_wake(idx, val, has, &hc, nullptr);
+  });
+}
+
+void Communicator::register_wave_cmmu(std::uint32_t idx) {
+  const NodeId n = t_node(idx);
+  Cmmu& cmmu = shared_.peer(n).cmmu();
+  cmmu.combiner().set(
+      arrive_type_, [this, idx, n](CombineCtx& cc, const Packet& p) {
+        CmmuWave& cs = cstate_[idx];
+        if (!p.words.empty()) {
+          cs.kind = static_cast<std::uint8_t>(p.words[0] & 0xF);
+          cs.op = static_cast<RedOp>((p.words[0] >> 4) & 0xF);
+          comb_into(cs, cs.op, p.words[1]);
+        } else {
+          cs.kind = kWaveBarrier;
+        }
+        if (p.src == n) {
+          cs.self_arrived = true;
+        } else {
+          cs.pending++;
+        }
+        if (!cs.self_arrived || cs.pending < wstate_[idx].nchildren) return;
+        cs.pending -= wstate_[idx].nchildren;
+        cs.self_arrived = false;
+        const std::uint8_t kind = cs.kind;
+        const std::uint64_t combined = cs.have_accum ? cs.accum : 0;
+        cs.have_accum = false;
+        cs.accum = 0;
+
+        if (idx != 0) {
+          // Forward one combined packet up the tree, NIC to NIC.
+          MsgDescriptor d;
+          d.dst = t_node(t_parent(idx));
+          d.type = arrive_type_;
+          if (kind != kWaveBarrier) d.operands = {opword(kind, cs.op), combined};
+          cc.send(d);
+          shared_.stats.add(n, MetricId::kCollMsgs);
+          return;
+        }
+        // Root: fan the wake out engine-side, then the one unavoidable
+        // processor touch — an interrupt delivering the result locally.
+        const bool has_down = kind == kWaveAllreduce;
+        for (std::uint32_t c = 1; c <= arity_ && c < tsize_; ++c) {
+          MsgDescriptor d;
+          d.dst = t_node(c);
+          d.type = wake_type_;
+          if (has_down) d.operands = {combined};
+          cc.send(d);
+          shared_.stats.add(n, MetricId::kCollMsgs);
+        }
+        const std::uint64_t down = kind == kWaveBarrier ? 0 : combined;
+        cc.interrupt([this, idx, down](HandlerCtx& hc) {
+          hc.charge(2);
+          WaveState& st = wstate_[idx];
+          st.wake_gen++;
+          st.down_value = down;
+          if (st.waiting_thread != kInvalidId) {
+            const std::uint64_t tid = st.waiting_thread;
+            st.waiting_thread = kInvalidId;
+            shared_.peer(t_node(idx)).enqueue_ready(tid, hc.now());
+          }
+        });
+      });
+  cmmu.combiner().set(
+      wake_type_, [this, idx, n](CombineCtx& cc, const Packet& p) {
+        const bool has = !p.words.empty();
+        const std::uint64_t val = has ? p.words[0] : 0;
+        for (std::uint32_t c = arity_ * idx + 1;
+             c <= arity_ * idx + arity_ && c < tsize_; ++c) {
+          MsgDescriptor d;
+          d.dst = t_node(c);
+          d.type = wake_type_;
+          if (has) d.operands = {val};
+          cc.send(d);
+          shared_.stats.add(n, MetricId::kCollMsgs);
+        }
+        cc.interrupt([this, idx, val, has](HandlerCtx& hc) {
+          hc.charge(2);
+          WaveState& st = wstate_[idx];
+          st.wake_gen++;
+          st.down_value = has ? val : 0;
+          if (st.waiting_thread != kInvalidId) {
+            const std::uint64_t tid = st.waiting_thread;
+            st.waiting_thread = kInvalidId;
+            shared_.peer(t_node(idx)).enqueue_ready(tid, hc.now());
+          }
+        });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory mechanism
+// ---------------------------------------------------------------------------
+
+void Communicator::shm_barrier(Context& ctx) {
+  const NodeId me = ctx.node();
+  WaveState& st = wstate_[me];
+  const std::uint64_t gen = ++st.my_gen;
+
+  // Arrival: decrement my own count; the last arriver at each tree node
+  // carries the signal upward.
+  NodeId cur = me;
+  std::uint64_t old = ctx.fetch_add(shm_[cur].bar_count, ~0ull);
+  while (old == 1) {
+    if (cur == 0) {
+      ctx.store(shm_[0].bar_count, wstate_[0].nchildren + 1);
+      ctx.store(shm_[0].bar_release, gen);
+      break;
+    }
+    cur = static_cast<NodeId>(t_parent(cur));
+    old = ctx.fetch_add(shm_[cur].bar_count, ~0ull);
+  }
+
+  // Wait: spin on the locally-homed release word (cache hits until the
+  // parent's store invalidates the line).
+  while (ctx.load(shm_[me].bar_release) < gen) {
+    ctx.compute(4);
+  }
+
+  // Wake my subtree: reset my count for the next episode, then release each
+  // child (remote stores). The root already reset above.
+  if (me != 0) {
+    ctx.store(shm_[me].bar_count, st.nchildren + 1);
+  }
+  for (std::uint32_t c = arity_ * me + 1;
+       c <= arity_ * me + arity_ && c < nodes_; ++c) {
+    ctx.store(shm_[c].bar_release, gen);
+  }
+}
+
+std::uint64_t Communicator::shm_value(Context& ctx, std::uint8_t kind,
+                                      RedOp op, std::uint64_t v) {
+  (void)kind;  // reduce/allreduce/broadcast share the release-value wave
+  const NodeId me = ctx.node();
+  WaveState& st = wstate_[me];
+  const std::uint64_t gen = ++st.my_gen;
+
+  // Publish my contribution in my own self slot (read by whichever arriver
+  // completes this tree node), then signal arrival.
+  ctx.store(shm_[me].vslots + std::uint64_t{arity_} * 8, v);
+  NodeId cur = me;
+  std::uint64_t old = ctx.fetch_add(shm_[cur].vcount, ~0ull);
+  while (old == 1) {
+    // Last arriver at `cur`: combine its child slots with its own
+    // contribution, reset its counter, and carry the partial upward.
+    std::uint64_t part = ctx.load(shm_[cur].vslots + std::uint64_t{arity_} * 8);
+    std::uint32_t k = 0;
+    for (std::uint32_t c = arity_ * cur + 1;
+         c <= arity_ * cur + arity_ && c < nodes_; ++c, ++k) {
+      part = comb(op, part, ctx.load(shm_[cur].vslots + std::uint64_t{k} * 8));
+    }
+    shared_.stats.add(me, MetricId::kCollProcCombines);
+    ctx.store(shm_[cur].vcount, wstate_[cur].nchildren + 1);
+    if (cur == 0) {
+      ctx.store(shm_[0].vrel_val, part);
+      ctx.store(shm_[0].vrel_gen, gen);
+      break;
+    }
+    const NodeId par = static_cast<NodeId>(t_parent(cur));
+    ctx.store(shm_[par].vslots + std::uint64_t{cur - arity_ * par - 1} * 8,
+              part);
+    old = ctx.fetch_add(shm_[par].vcount, ~0ull);
+    cur = par;
+  }
+
+  while (ctx.load(shm_[me].vrel_gen) < gen) {
+    ctx.compute(4);
+  }
+  const std::uint64_t val = ctx.load(shm_[me].vrel_val);
+  for (std::uint32_t c = arity_ * me + 1;
+       c <= arity_ * me + arity_ && c < nodes_; ++c) {
+    ctx.store(shm_[c].vrel_val, val);
+    ctx.store(shm_[c].vrel_gen, gen);
+  }
+  return val;
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid two-level wave
+// ---------------------------------------------------------------------------
+
+std::uint64_t Communicator::hybrid_value(Context& ctx, std::uint8_t kind,
+                                         RedOp op, std::uint64_t v) {
+  const NodeId me = ctx.node();
+  const NodeId lead = leader_of(me);
+  HybridCells& h = hyb_[me];
+  const std::uint64_t gen = ++h.hgen;
+
+  if (me != lead) {
+    // Member: single-copy my contribution into the leader's slot, bump its
+    // arrival counter, spin on my locally-homed release line.
+    if (kind != kWaveBarrier) {
+      ctx.store(hyb_[lead].gslots + std::uint64_t{me - lead - 1} * 8, v);
+    }
+    ctx.fetch_add(hyb_[lead].gcount, 1);
+    while (ctx.load(h.hrel_gen) < gen) {
+      ctx.compute(4);
+    }
+    return kind == kWaveBarrier ? 0 : ctx.load(h.hrel_val);
+  }
+
+  // Leader: absorb the group, run the leader-tree message wave, release.
+  const std::uint32_t gs = group_size(me);
+  std::uint64_t combined = v;
+  if (gs > 1) {
+    while (ctx.load(h.gcount) < gs - 1) {
+      ctx.compute(4);
+    }
+    if (kind != kWaveBarrier) {
+      for (std::uint32_t j = 1; j < gs; ++j) {
+        combined =
+            comb(op, combined, ctx.load(h.gslots + std::uint64_t{j - 1} * 8));
+      }
+      shared_.stats.add(me, MetricId::kCollProcCombines);
+    }
+    ctx.store(h.gcount, 0);
+  }
+  std::uint64_t val = wave(ctx, kind, op, combined);
+  if (kind == kWaveBarrier) val = 0;
+  for (std::uint32_t j = 1; j < gs; ++j) {
+    if (kind != kWaveBarrier) ctx.store(hyb_[me + j].hrel_val, val);
+    ctx.store(hyb_[me + j].hrel_gen, gen);
+  }
+  return val;
+}
+
+// ---------------------------------------------------------------------------
+// Data plumbing (scatter/gather)
+// ---------------------------------------------------------------------------
+
+std::uint32_t Communicator::chunks(std::uint32_t bytes) const {
+  if (bytes == 0) return 0;
+  const std::uint32_t chunk =
+      cfg_.chunk_bytes != 0 ? std::min(cfg_.chunk_bytes, bytes) : bytes;
+  return (bytes + chunk - 1) / chunk;
+}
+
+void Communicator::push_chunks(Context& ctx, NodeId dst, GAddr src,
+                               std::uint32_t bytes,
+                               std::uint64_t dst_off_base) {
+  const std::uint32_t chunk =
+      cfg_.chunk_bytes != 0 ? std::min(cfg_.chunk_bytes, bytes) : bytes;
+  for (std::uint32_t off = 0; off < bytes; off += chunk) {
+    const std::uint32_t len = std::min(chunk, bytes - off);
+    MsgDescriptor d;
+    d.dst = dst;
+    d.type = data_type_;
+    d.operands = {dst_off_base + off};
+    d.regions = {{src + off, len}};
+    ctx.send(d);
+    shared_.stats.add(ctx.node(), MetricId::kCollMsgs);
+    shared_.stats.add(ctx.node(), MetricId::kCollBytes, len);
+  }
+}
+
+void Communicator::register_data_handler(NodeId n) {
+  Cmmu& cmmu = shared_.peer(n).cmmu();
+  cmmu.set_handler(data_type_, [this, n](HandlerCtx& hc, MsgView& view) {
+    hc.charge(8);  // chunk bookkeeping
+    const std::uint64_t off = view.operand(hc, 0);
+    DataState& ds = dstate_[n];
+    view.storeback(hc, ds.buf + off);
+    ds.got++;
+    if (ds.waiting_thread != kInvalidId && ds.got >= ds.expect) {
+      const std::uint64_t tid = ds.waiting_thread;
+      ds.waiting_thread = kInvalidId;
+      const Cycles t = hc.now();
+      hc.charge(2);
+      shared_.peer(n).enqueue_ready(tid, t);
+    }
+  });
+}
+
+void Communicator::wait_data(Context& ctx) {
+  DataState& ds = dstate_[ctx.node()];
+  while (ds.got < ds.expect) {
+    ds.waiting_thread = ctx.thread_id();
+    ctx.suspend();
+  }
+  ds.waiting_thread = kInvalidId;
+  ds.got = 0;
+  ds.expect = 0;
+}
+
+void Communicator::copy_words(Context& ctx, GAddr src, GAddr dst,
+                              std::uint32_t bytes) {
+  for (std::uint32_t off = 0; off < bytes; off += 8) {
+    ctx.store(dst + off, ctx.load(src + off));
+  }
+  shared_.stats.add(ctx.node(), MetricId::kCollBytes, bytes);
+}
+
+void Communicator::dma_local_copy(Context& ctx, GAddr src, GAddr dst,
+                                  std::uint32_t bytes) {
+  if (bytes == 0) return;
+  MemorySystem& ms = shared_.ms;
+  const NodeId me = ctx.node();
+  // Loopback DMA: source-coherent gather, dest-invalidating scatter.
+  Cycles extra = ms.dma_source_flush(me, src, bytes);
+  std::vector<std::uint8_t> buf(bytes);
+  ms.store().read_bytes(src, buf.data(), bytes);
+  ms.store().write_bytes(dst, buf.data(), bytes);
+  extra += ms.dma_dest_invalidate(me, dst, bytes);
+  if (MemChecker* chk = ms.checker()) {
+    chk->on_dma_storeback(me, dst, bytes, ctx.now());
+  }
+  const std::uint32_t line = ms.line_bytes();
+  const std::uint64_t lines = (std::uint64_t{bytes} + line - 1) / line;
+  ctx.charge(shared_.cfg.cost.dma_setup +
+             lines * shared_.cfg.cost.dma_per_line + extra);
+  shared_.stats.add(me, MetricId::kCollBytes, bytes);
+}
+
+void Communicator::ensure_staging(Context& ctx, NodeId leader,
+                                  std::uint32_t bytes) {
+  HybridCells& h = hyb_[leader];
+  if (h.staging_bytes >= bytes) return;
+  h.staging = ctx.shmalloc(leader, bytes);
+  h.staging_bytes = bytes;
+}
+
+void Communicator::sync_wave(Context& ctx) {
+  switch (cfg_.mech) {
+    case CollMech::kShm:
+      shm_barrier(ctx);
+      return;
+    case CollMech::kMsg:
+      wave(ctx, kWaveBarrier, RedOp::kSum, 0);
+      return;
+    case CollMech::kHybrid:
+      hybrid_value(ctx, kWaveBarrier, RedOp::kSum, 0);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter / gather
+// ---------------------------------------------------------------------------
+
+void Communicator::scatter(Context& ctx, GAddr send, GAddr recv,
+                           std::uint32_t bytes) {
+  if (cfg_.barrier_only) {
+    throw std::logic_error(
+        "Communicator: scatter unavailable on a barrier-only instance");
+  }
+  if (bytes == 0 || bytes % 8 != 0) {
+    throw std::invalid_argument(
+        "Communicator::scatter: bytes must be a positive multiple of 8");
+  }
+  shared_.stats.add(ctx.node(), MetricId::kCollOps);
+  if (nodes_ == 1) {
+    copy_words(ctx, send, recv, bytes);
+    return;
+  }
+  switch (cfg_.mech) {
+    case CollMech::kShm:
+      scatter_shm(ctx, send, recv, bytes);
+      return;
+    case CollMech::kMsg:
+      scatter_msg(ctx, send, recv, bytes);
+      return;
+    case CollMech::kHybrid:
+      scatter_hybrid(ctx, send, recv, bytes);
+      return;
+  }
+}
+
+void Communicator::gather(Context& ctx, GAddr send, GAddr recv,
+                          std::uint32_t bytes) {
+  if (cfg_.barrier_only) {
+    throw std::logic_error(
+        "Communicator: gather unavailable on a barrier-only instance");
+  }
+  if (bytes == 0 || bytes % 8 != 0) {
+    throw std::invalid_argument(
+        "Communicator::gather: bytes must be a positive multiple of 8");
+  }
+  shared_.stats.add(ctx.node(), MetricId::kCollOps);
+  if (nodes_ == 1) {
+    copy_words(ctx, send, recv, bytes);
+    return;
+  }
+  switch (cfg_.mech) {
+    case CollMech::kShm:
+      gather_shm(ctx, send, recv, bytes);
+      return;
+    case CollMech::kMsg:
+      gather_msg(ctx, send, recv, bytes);
+      return;
+    case CollMech::kHybrid:
+      gather_hybrid(ctx, send, recv, bytes);
+      return;
+  }
+}
+
+void Communicator::scatter_shm(Context& ctx, GAddr send, GAddr recv,
+                               std::uint32_t bytes) {
+  // Ready wave orders everyone behind the root's buffer being valid; each
+  // node then pulls its own slice with remote loads; the done wave is the
+  // combinable completion ack.
+  sync_wave(ctx);
+  copy_words(ctx, send + std::uint64_t{ctx.node()} * bytes, recv, bytes);
+  sync_wave(ctx);
+}
+
+void Communicator::gather_shm(Context& ctx, GAddr send, GAddr recv,
+                              std::uint32_t bytes) {
+  sync_wave(ctx);
+  copy_words(ctx, send, recv + std::uint64_t{ctx.node()} * bytes, bytes);
+  sync_wave(ctx);
+}
+
+void Communicator::scatter_msg(Context& ctx, GAddr send, GAddr recv,
+                               std::uint32_t bytes) {
+  const NodeId me = ctx.node();
+  if (me != 0) {
+    DataState& ds = dstate_[me];
+    ds.buf = recv;
+    ds.expect = chunks(bytes);
+    ds.got = 0;
+  }
+  sync_wave(ctx);  // all receive buffers registered
+  if (me == 0) {
+    for (NodeId dst = 1; dst < nodes_; ++dst) {
+      push_chunks(ctx, dst, send + std::uint64_t{dst} * bytes, bytes, 0);
+    }
+    copy_words(ctx, send, recv, bytes);
+  } else {
+    wait_data(ctx);
+  }
+  sync_wave(ctx);  // completion acks combine up the tree
+}
+
+void Communicator::gather_msg(Context& ctx, GAddr send, GAddr recv,
+                              std::uint32_t bytes) {
+  const NodeId me = ctx.node();
+  if (me == 0) {
+    DataState& ds = dstate_[0];
+    ds.buf = recv;
+    ds.expect = (nodes_ - 1) * chunks(bytes);
+    ds.got = 0;
+  }
+  sync_wave(ctx);
+  if (me == 0) {
+    copy_words(ctx, send, recv, bytes);
+    wait_data(ctx);
+  } else {
+    push_chunks(ctx, 0, send, bytes, std::uint64_t{me} * bytes);
+  }
+  sync_wave(ctx);
+}
+
+void Communicator::scatter_hybrid(Context& ctx, GAddr send, GAddr recv,
+                                  std::uint32_t bytes) {
+  const NodeId me = ctx.node();
+  const NodeId lead = leader_of(me);
+  HybridCells& h = hyb_[me];
+  const std::uint32_t gs = group_size(lead);
+  const std::uint32_t block = gs * bytes;
+
+  if (me == lead) {
+    ensure_staging(ctx, me, block);
+    DataState& ds = dstate_[me];
+    ds.buf = h.staging;
+    ds.expect = me == 0 ? 0 : chunks(block);
+    ds.got = 0;
+  }
+  sync_wave(ctx);  // staging buffers allocated and registered everywhere
+
+  if (me == 0) {
+    // One DMA block per remote group, one loopback DMA for my own group.
+    for (NodeId l = group_; l < nodes_; l += group_) {
+      push_chunks(ctx, l, send + std::uint64_t{l} * bytes,
+                  group_size(l) * bytes, 0);
+    }
+    dma_local_copy(ctx, send, h.staging, block);
+  }
+  if (me == lead) {
+    if (me != 0) wait_data(ctx);
+    const std::uint64_t dgen = ++h.dgen;
+    for (std::uint32_t j = 1; j < gs; ++j) {
+      ctx.store(hyb_[me + j].drel_gen, dgen);
+    }
+    copy_words(ctx, h.staging, recv, bytes);  // leader's slice is slot 0
+    if (gs > 1) {
+      while (ctx.load(h.dcount) < gs - 1) {
+        ctx.compute(4);
+      }
+      ctx.store(h.dcount, 0);
+    }
+  } else {
+    const std::uint64_t dgen = ++h.dgen;
+    while (ctx.load(h.drel_gen) < dgen) {
+      ctx.compute(4);
+    }
+    copy_words(ctx, hyb_[lead].staging + std::uint64_t{me - lead} * bytes,
+               recv, bytes);
+    ctx.fetch_add(hyb_[lead].dcount, 1);
+  }
+  sync_wave(ctx);
+}
+
+void Communicator::gather_hybrid(Context& ctx, GAddr send, GAddr recv,
+                                 std::uint32_t bytes) {
+  const NodeId me = ctx.node();
+  const NodeId lead = leader_of(me);
+  HybridCells& h = hyb_[me];
+  const std::uint32_t gs = group_size(lead);
+  const std::uint32_t block = gs * bytes;
+
+  if (me == lead) {
+    ensure_staging(ctx, me, block);
+  }
+  if (me == 0) {
+    DataState& ds = dstate_[0];
+    ds.buf = recv;
+    ds.got = 0;
+    ds.expect = 0;
+    for (NodeId l = group_; l < nodes_; l += group_) {
+      ds.expect += chunks(group_size(l) * bytes);
+    }
+  }
+  sync_wave(ctx);
+
+  if (me == lead) {
+    ++h.dgen;
+    copy_words(ctx, send, h.staging, bytes);  // leader's slice is slot 0
+    if (gs > 1) {
+      while (ctx.load(h.dcount) < gs - 1) {
+        ctx.compute(4);
+      }
+      ctx.store(h.dcount, 0);
+    }
+    if (me == 0) {
+      dma_local_copy(ctx, h.staging, recv, block);
+      wait_data(ctx);
+    } else {
+      push_chunks(ctx, 0, h.staging, block, std::uint64_t{me} * bytes);
+    }
+  } else {
+    ++h.dgen;
+    copy_words(ctx, send,
+               hyb_[lead].staging + std::uint64_t{me - lead} * bytes, bytes);
+    ctx.fetch_add(hyb_[lead].dcount, 1);
+  }
+  sync_wave(ctx);
+}
+
+}  // namespace alewife

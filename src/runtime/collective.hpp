@@ -1,0 +1,270 @@
+// The collectives library: one Communicator handle, six operations
+// (barrier / broadcast / reduce / allreduce / scatter / gather), three
+// interchangeable mechanisms, two combining sides.
+//
+//   kShm    — combining trees in coherent shared memory. Arrival counters,
+//             per-child value slots and release words are laid out so every
+//             spin is on a locally-homed line; the last arriver at a tree
+//             node reads the child slots, combines, and carries the result
+//             upward with remote stores + atomics (the paper's §4.2 layout,
+//             generalized from signals to values). Scatter/gather move data
+//             with plain remote loads/stores.
+//
+//   kMsg    — one message per arrival/wakeup, combined in the arrival
+//             handler (software combining tree, the paper's 660-cycle ideal
+//             generalized to carry operands). Scatter/gather DMA-push
+//             chunked slices directly between root and leaves.
+//
+//   kHybrid — XHC-style hierarchy: nodes combine into their group leader
+//             through shared memory (single-copy within the group), leaders
+//             run the kMsg tree among themselves, and results fan back
+//             through locally-homed release lines. Scatter/gather stage
+//             group blocks in a leader-homed staging buffer: one DMA per
+//             group plus intra-group shm copies.
+//
+// Combining side (msg/hybrid tree only):
+//
+//   kProc — arrivals interrupt the processor at every tree node (handler
+//           software combines), as in the paper.
+//   kCmmu — arrivals are absorbed by the CMMU's combining engine
+//           (src/cmmu/combine.hpp): ack-combining and arithmetic reduction
+//           happen on the NIC timeline, Quadrics/Myrinet style; the
+//           processor is interrupted exactly once per node per episode, to
+//           wake the blocked thread.
+//
+// Usage rules (MPI-flavored): every node runs exactly one thread through the
+// Communicator, all nodes issue the same collectives in the same order with
+// the same reduction op / byte counts, and scatter/gather buffers are 8-byte
+// granular (send homed on the root for scatter, recv homed on the root for
+// gather, per-node buffers homed locally). Every operation is synchronizing:
+// it returns only after the collective completed machine-wide, so buffers
+// are immediately reusable. Objects are reusable across episodes
+// (generation-counted) and several Communicators coexist — message types
+// come from the machine-wide MsgTypeRegistry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/msg_types.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+class Context;
+
+enum class CollMech : std::uint8_t { kShm, kMsg, kHybrid };
+enum class Combining : std::uint8_t { kProc, kCmmu };
+enum class RedOp : std::uint8_t { kSum, kMin, kMax };
+
+/// Descriptor configuring a Communicator (the API-redesign replacement for
+/// positional constructor arguments).
+struct CollectiveConfig {
+  CollMech mech = CollMech::kMsg;
+  Combining combining = Combining::kProc;  ///< tree combining side (msg/hybrid)
+  /// Combining-tree fan-in. 0 = the per-mechanism default the paper/bench
+  /// sweeps converged on: 2 for shm, 8 for msg/hybrid.
+  std::uint32_t arity = 0;
+  /// Hybrid: consecutive nodes per shm leaf group (0 = same as arity).
+  std::uint32_t group = 0;
+  /// Scatter/gather DMA chunk size in bytes (0 = whole slice per message).
+  std::uint32_t chunk_bytes = 0;
+  /// 0 = allocate a block from RuntimeShared::msg_types. Nonzero pins the
+  /// base explicitly (legacy barrier compatibility).
+  MsgType msg_type_base = 0;
+  /// Legacy CombiningBarrier shim: provision only the barrier (two message
+  /// types, the original shm cell layout, nothing else).
+  bool barrier_only = false;
+};
+
+class Communicator {
+ public:
+  Communicator(RuntimeShared& shared, CollectiveConfig cfg = {});
+
+  /// Block until every node has arrived (one thread per node per episode).
+  void barrier(Context& ctx);
+
+  /// Combine every node's contribution with `op`. Returns the combined
+  /// value on node 0; the return value on other nodes is unspecified.
+  std::uint64_t reduce(Context& ctx, std::uint64_t contribution,
+                       RedOp op = RedOp::kSum);
+
+  /// Combine every node's contribution; every node returns the result.
+  std::uint64_t allreduce(Context& ctx, std::uint64_t contribution,
+                          RedOp op = RedOp::kSum);
+
+  /// Every node returns `root`'s value (other nodes' `value` is ignored).
+  std::uint64_t broadcast(Context& ctx, std::uint64_t value, NodeId root = 0);
+
+  /// Node i receives bytes [i*bytes, (i+1)*bytes) of root 0's `send` buffer
+  /// into its local `recv`. `send` is read on the root only; `recv` must be
+  /// homed on the caller. bytes must be a multiple of 8.
+  void scatter(Context& ctx, GAddr send, GAddr recv, std::uint32_t bytes);
+
+  /// Root 0 receives node i's `send` buffer at recv + i*bytes. All nodes
+  /// pass the same `recv` (homed on node 0); `send` must be homed on the
+  /// caller. bytes must be a multiple of 8.
+  void gather(Context& ctx, GAddr send, GAddr recv, std::uint32_t bytes);
+
+  const CollectiveConfig& config() const { return cfg_; }
+  CollMech mech() const { return cfg_.mech; }
+  Combining combining() const { return cfg_.combining; }
+  std::uint32_t arity() const { return arity_; }
+  std::uint32_t group() const { return group_; }
+  std::uint32_t chunk_bytes() const { return cfg_.chunk_bytes; }
+  /// First of the 3 message types used (arrive, wake, data); 0 for pure shm.
+  MsgType type_base() const { return arrive_type_; }
+
+ private:
+  // Wave kinds: one combining-tree up-wave + fan-out down-wave machine
+  // serves barrier (no value), reduce (value up) and allreduce (value up +
+  // down); broadcast is allreduce of (me==root ? value : 0) under kSum.
+  enum : std::uint8_t { kWaveBarrier = 0, kWaveReduce, kWaveAllreduce };
+
+  /// Per-participant tree state, processor side (kProc handlers + threads).
+  struct WaveState {
+    std::uint32_t pending = 0;   ///< child arrivals (cumulative)
+    bool self_arrived = false;
+    std::uint64_t accum = 0;     ///< running combine of this episode
+    bool have_accum = false;
+    std::uint8_t kind = kWaveBarrier;
+    RedOp op = RedOp::kSum;
+    std::uint64_t wake_gen = 0;
+    std::uint64_t down_value = 0;
+    std::uint64_t waiting_thread = kInvalidId;
+    std::uint64_t my_gen = 0;    ///< episodes entered by this participant
+    std::uint32_t nchildren = 0;
+  };
+
+  /// Tree state owned by the CMMU combining engine (kCmmu): touched only
+  /// from combiner callbacks on the owning node's timeline.
+  struct CmmuWave {
+    std::uint32_t pending = 0;
+    bool self_arrived = false;
+    std::uint64_t accum = 0;
+    bool have_accum = false;
+    std::uint8_t kind = kWaveBarrier;
+    RedOp op = RedOp::kSum;
+  };
+
+  /// Shared-memory cells (kShm), all homed on their node.
+  struct ShmCells {
+    GAddr bar_count = kNullGAddr;    ///< legacy barrier: remaining arrivals
+    GAddr bar_release = kNullGAddr;  ///< legacy barrier: wake generation
+    GAddr vcount = kNullGAddr;       ///< value tree: remaining arrivals
+    GAddr vslots = kNullGAddr;       ///< arity child slots + own contribution
+    GAddr vrel_gen = kNullGAddr;     ///< release generation (local spin)
+    GAddr vrel_val = kNullGAddr;     ///< released value
+  };
+
+  /// Hybrid in-group cells: arrival/done counters + member slots homed on
+  /// the leader, release lines homed on each member.
+  struct HybridCells {
+    GAddr gcount = kNullGAddr;   ///< on leader: member value-op arrivals
+    GAddr gslots = kNullGAddr;   ///< on leader: member contributions
+    GAddr dcount = kNullGAddr;   ///< on leader: data-phase member completions
+    GAddr hrel_gen = kNullGAddr; ///< on member: in-group release generation
+    GAddr hrel_val = kNullGAddr; ///< on member: released value
+    GAddr drel_gen = kNullGAddr; ///< on member: data-ready release generation
+    GAddr staging = kNullGAddr;  ///< on leader: scatter/gather block buffer
+    std::uint32_t staging_bytes = 0;
+    std::uint64_t hgen = 0;      ///< in-group value episodes (host counter)
+    std::uint64_t dgen = 0;      ///< in-group data episodes (host counter)
+  };
+
+  /// Scatter/gather arrival bookkeeping (host side, like the msg barrier's).
+  struct DataState {
+    GAddr buf = kNullGAddr;      ///< storeback base for incoming chunks
+    std::uint32_t expect = 0;
+    std::uint32_t got = 0;
+    std::uint64_t waiting_thread = kInvalidId;
+  };
+
+  // ---- Tree topology over participants (all nodes, or hybrid leaders) ----
+  std::uint32_t tree_size() const { return tsize_; }
+  NodeId t_node(std::uint32_t idx) const {
+    return static_cast<NodeId>(idx * stride_);
+  }
+  std::uint32_t t_index(NodeId n) const { return n / stride_; }
+  std::uint32_t t_parent(std::uint32_t idx) const {
+    return (idx - 1) / arity_;
+  }
+
+  // ---- Hybrid group helpers ----
+  NodeId leader_of(NodeId n) const { return n - (n % group_); }
+  bool is_leader(NodeId n) const { return n % group_ == 0; }
+  /// Nodes in n's group, including the leader.
+  std::uint32_t group_size(NodeId leader) const;
+
+  static std::uint64_t comb(RedOp op, std::uint64_t a, std::uint64_t b);
+  static std::uint64_t opword(std::uint8_t kind, RedOp op);
+  template <typename S>
+  static void comb_into(S& st, RedOp op, std::uint64_t v);
+
+  std::uint64_t value_op(Context& ctx, std::uint8_t kind, RedOp op,
+                         std::uint64_t v);
+
+  // Message wave (kMsg threads; kHybrid leaders).
+  std::uint64_t wave(Context& ctx, std::uint8_t kind, RedOp op,
+                     std::uint64_t v);
+  void wave_arrive_complete(std::uint32_t idx, HandlerCtx* hc, Context* ctx);
+  void wave_start_down(std::uint64_t combined, std::uint8_t kind,
+                       HandlerCtx* hc, Context* ctx);
+  void wave_wake(std::uint32_t idx, std::uint64_t value, bool has_value,
+                 HandlerCtx* hc, Context* ctx);
+  void register_wave_proc(std::uint32_t idx);
+  void register_wave_cmmu(std::uint32_t idx);
+  void register_data_handler(NodeId n);
+
+  // Shared-memory value tree.
+  std::uint64_t shm_value(Context& ctx, std::uint8_t kind, RedOp op,
+                          std::uint64_t v);
+  void shm_barrier(Context& ctx);  ///< verbatim legacy combining barrier
+
+  // Hybrid two-level wave.
+  std::uint64_t hybrid_value(Context& ctx, std::uint8_t kind, RedOp op,
+                             std::uint64_t v);
+
+  // Data plumbing.
+  std::uint32_t chunks(std::uint32_t bytes) const;
+  void push_chunks(Context& ctx, NodeId dst, GAddr src, std::uint32_t bytes,
+                   std::uint64_t dst_off_base);
+  void wait_data(Context& ctx);
+  /// Local block move modeled as a DMA transfer (source-coherent, dest
+  /// invalidating), for staging blocks too big for word-at-a-time copies.
+  void dma_local_copy(Context& ctx, GAddr src, GAddr dst, std::uint32_t bytes);
+  /// Word-at-a-time copy through the cache (remote or local slices).
+  void copy_words(Context& ctx, GAddr src, GAddr dst, std::uint32_t bytes);
+  void ensure_staging(Context& ctx, NodeId leader, std::uint32_t bytes);
+
+  void scatter_shm(Context& ctx, GAddr send, GAddr recv, std::uint32_t bytes);
+  void scatter_msg(Context& ctx, GAddr send, GAddr recv, std::uint32_t bytes);
+  void scatter_hybrid(Context& ctx, GAddr send, GAddr recv,
+                      std::uint32_t bytes);
+  void gather_shm(Context& ctx, GAddr send, GAddr recv, std::uint32_t bytes);
+  void gather_msg(Context& ctx, GAddr send, GAddr recv, std::uint32_t bytes);
+  void gather_hybrid(Context& ctx, GAddr send, GAddr recv,
+                     std::uint32_t bytes);
+
+  void sync_wave(Context& ctx);  ///< barrier-kind wave on the active mech
+
+  RuntimeShared& shared_;
+  CollectiveConfig cfg_;
+  std::uint32_t nodes_;
+  std::uint32_t arity_;
+  std::uint32_t group_;   ///< 1 unless hybrid
+  std::uint32_t stride_;  ///< participant id spacing (group_ for hybrid)
+  std::uint32_t tsize_;   ///< tree participants
+  MsgType arrive_type_ = 0;
+  MsgType wake_type_ = 0;
+  MsgType data_type_ = 0;
+
+  std::vector<WaveState> wstate_;   ///< per tree participant
+  std::vector<CmmuWave> cstate_;    ///< per tree participant (kCmmu)
+  std::vector<ShmCells> shm_;       ///< per node (kShm)
+  std::vector<HybridCells> hyb_;    ///< per node (kHybrid)
+  std::vector<DataState> dstate_;   ///< per node (scatter/gather)
+};
+
+}  // namespace alewife

@@ -1,5 +1,16 @@
-// Runtime-reserved user message types. Applications start at kMsgUserBase.
+// Message-type space management.
+//
+// The fixed RtMsg enum below names the runtime's own reserved types.
+// Applications may hand-pick types starting at kMsgUserBase, but libraries
+// that stamp out several instances (collectives, future subsystems) allocate
+// contiguous blocks from the per-machine MsgTypeRegistry instead of doing
+// manual type arithmetic — the registry lives in RuntimeShared, hands out
+// each type at most once, and raises a typed error on exhaustion.
 #pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "cmmu/message.hpp"
 
@@ -17,7 +28,55 @@ enum RtMsg : MsgType {
   kMsgCopyPullReq,     ///< ask a producer node to DMA-push a block here
   kMsgBarrierArrive,   ///< combining-tree arrival signal
   kMsgBarrierWake,     ///< combining-tree wakeup signal
-  kMsgUserBase = 100,  ///< first application-defined type
+  kMsgUserBase = 100,  ///< first hand-assigned application type
+};
+
+/// Registry-managed block: dynamic allocations live above the hand-assigned
+/// application range and below the CMMU's reserved control types
+/// (kMsgRelAck/kMsgRelNack at the top of the space).
+constexpr MsgType kMsgDynBase = 0x1000;
+constexpr MsgType kMsgDynLimit = 0x10000;
+
+/// Thrown when a MsgTypeRegistry runs out of dynamic message types.
+class MsgTypeExhausted : public std::runtime_error {
+ public:
+  MsgTypeExhausted(std::uint32_t requested, MsgType next, MsgType limit)
+      : std::runtime_error(
+            "message-type space exhausted: requested a block of " +
+            std::to_string(requested) + " but only " +
+            std::to_string(limit > next ? limit - next : 0) +
+            " dynamic types remain (base " + std::to_string(kMsgDynBase) +
+            ", limit " + std::to_string(limit) + ")") {}
+};
+
+/// Per-machine allocator of contiguous message-type blocks. One instance
+/// lives in RuntimeShared; every node shares the same assignment, so a block
+/// allocated once is valid machine-wide. Allocation is host-side setup (no
+/// simulated cycles) and monotonic — types are never recycled, which keeps a
+/// stale handler registration from silently capturing a new subsystem's
+/// traffic.
+class MsgTypeRegistry {
+ public:
+  MsgTypeRegistry(MsgType base = kMsgDynBase, MsgType limit = kMsgDynLimit)
+      : next_(base), limit_(limit) {}
+
+  /// Claim `count` contiguous types; returns the first. Throws
+  /// MsgTypeExhausted when the dynamic range cannot fit the block.
+  MsgType allocate(std::uint32_t count) {
+    if (count == 0 || count > limit_ - next_) {
+      throw MsgTypeExhausted(count, next_, limit_);
+    }
+    const MsgType base = next_;
+    next_ += count;
+    return base;
+  }
+
+  /// Types still available (diagnostics, tests).
+  MsgType remaining() const { return limit_ - next_; }
+
+ private:
+  MsgType next_;
+  MsgType limit_;
 };
 
 }  // namespace alewife

@@ -35,6 +35,7 @@
 
 #include "cmmu/cmmu.hpp"
 #include "proc/processor.hpp"
+#include "runtime/msg_types.hpp"
 #include "runtime/shared_queue.hpp"
 #include "runtime/task.hpp"
 #include "sim/config.hpp"
@@ -95,6 +96,7 @@ struct RuntimeShared {
   const bool sharded;
 
   TaskRegistry registry;
+  MsgTypeRegistry msg_types;  ///< machine-wide dynamic message-type allocator
   std::vector<NodeRuntime*> nodes;  ///< filled by the Machine at boot
   bool stopping = false;
   Trace* trace = nullptr;  ///< optional sink for kSched events

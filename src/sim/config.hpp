@@ -41,6 +41,12 @@ struct CostModel {
   Cycles storeback = 2;              ///< the storeback instruction itself
   Cycles dma_setup = 24;             ///< programming/arbitrating a DMA channel
   Cycles dma_per_line = 2;           ///< DMA streaming cost per cache line
+  /// CMMU-side collective combining (Quadrics/Myrinet-style NIC offload):
+  /// occupancy of the combining engine per absorbed packet — match/accumulate
+  /// plus, on tree completion, forwarding the combined packet. The processor
+  /// is never interrupted; contrast with interrupt_entry + handler +
+  /// interrupt_return on the proc-combining path.
+  Cycles cmmu_combine = 6;
 
   Cycles context_switch = 14;   ///< Sparcle's block-multithreading switch
   Cycles fe_trap = 30;          ///< full/empty fault: trap + thread suspend

@@ -103,7 +103,15 @@ namespace alewife {
   /* golden-model checker: value checks to the committing node, protocol */   \
   /* checks to the line's home node (docs/CHECKING.md) */                     \
   X(kCheckValueChecks, "check.value_checks", "count", "check")                \
-  X(kCheckProtocolChecks, "check.protocol_checks", "count", "check")
+  X(kCheckProtocolChecks, "check.protocol_checks", "count", "check")          \
+  /* collectives: thread-side ops to the calling node; combining events to */ \
+  /* the tree node whose CMMU/processor performed the combine */              \
+  X(kCollOps, "coll.ops", "count", "coll")                                    \
+  X(kCollMsgs, "coll.msgs", "count", "coll")                                  \
+  X(kCollBytes, "coll.bytes", "bytes", "coll")                                \
+  X(kCollProcCombines, "coll.proc_combines", "count", "coll")                 \
+  X(kCollCmmuCombines, "coll.cmmu_combines", "count", "coll")                 \
+  X(kCollCmmuCombineCycles, "coll.cmmu_combine_cycles", "cycles", "coll")
 
 enum class MetricId : std::uint16_t {
 #define ALEWIFE_METRIC_ENUM(id, name, unit, subsystem) id,

@@ -1,0 +1,492 @@
+// Collectives-library tests (docs/COLLECTIVES.md): every operation against
+// host-computed expected results across shm / msg / hybrid mechanisms, proc
+// and CMMU combining sides, several arities and group shapes, and ragged
+// (non-power-of-two) machines — plus fault-injected runs, checker-armed runs,
+// and shards 1/2/4 digest equality for the acceptance ops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/collective.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig cfg(std::uint32_t nodes) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.max_cycles = 500'000'000;
+  return c;
+}
+
+RuntimeOptions quiet() {
+  RuntimeOptions o;
+  o.stealing = false;
+  return o;
+}
+
+void add_faults(MachineConfig& c) {
+  c.fault.drop_rate = 0.05;
+  c.fault.dup_rate = 0.03;
+  c.fault.corrupt_rate = 0.02;
+  c.fault.delay_rate = 0.05;
+  c.fault.seed = 0xC0117u;
+}
+
+// Host-computed references for the value collectives, contribution f(n, e).
+std::uint64_t contrib(NodeId n, int e) { return n * 3ull + 11 + e; }
+
+std::uint64_t ref_sum(std::uint32_t nodes, int e) {
+  std::uint64_t s = 0;
+  for (NodeId n = 0; n < nodes; ++n) s += contrib(n, e);
+  return s;
+}
+
+/// Run `episodes` rounds of barrier + reduce + allreduce(sum/min/max) +
+/// broadcast (root 0 and root nodes-1) through `comm`, checking every result
+/// in-thread against the host-computed reference.
+void run_value_ops(Machine& m, Communicator& comm, int episodes) {
+  const std::uint32_t nodes = m.nodes();
+  auto arrivals = std::make_shared<std::uint32_t>(0);
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [=, &comm](Context& ctx) {
+      const NodeId me = ctx.node();
+      for (int e = 0; e < episodes; ++e) {
+        ctx.compute((me * 13 + e * 7) % 96);  // skew the arrivals
+
+        ++*arrivals;
+        comm.barrier(ctx);
+        EXPECT_EQ(*arrivals, std::uint32_t(e + 1) * nodes)
+            << "node " << me << " episode " << e;
+
+        const std::uint64_t red = comm.reduce(ctx, contrib(me, e));
+        if (me == 0) {
+          EXPECT_EQ(red, ref_sum(nodes, e)) << "episode " << e;
+        }
+
+        EXPECT_EQ(comm.allreduce(ctx, contrib(me, e)), ref_sum(nodes, e))
+            << "node " << me << " episode " << e;
+        EXPECT_EQ(comm.allreduce(ctx, contrib(me, e), RedOp::kMin),
+                  contrib(0, e))
+            << "node " << me << " episode " << e;
+        EXPECT_EQ(comm.allreduce(ctx, contrib(me, e), RedOp::kMax),
+                  contrib(nodes - 1, e))
+            << "node " << me << " episode " << e;
+
+        // Non-root contributions to broadcast must be ignored.
+        const std::uint64_t junk = 0xDEAD0000ull + me;
+        EXPECT_EQ(comm.broadcast(ctx, me == 0 ? 0xB0 + e : junk, 0),
+                  std::uint64_t(0xB0 + e));
+        const NodeId last = nodes - 1;
+        EXPECT_EQ(comm.broadcast(ctx, me == last ? 0xC0 + e : junk, last),
+                  std::uint64_t(0xC0 + e));
+      }
+    });
+  }
+  m.run_started();
+  EXPECT_EQ(*arrivals, std::uint32_t(episodes) * nodes);
+}
+
+/// One scatter + gather round trip with byte-pattern verification: root 0
+/// scatters a patterned buffer, every node checks its slice, doubles it,
+/// gathers it back, and the root checks the transformed whole.
+void run_data_ops(Machine& m, Communicator& comm, std::uint32_t bytes) {
+  const std::uint32_t nodes = m.nodes();
+  BackingStore& store = m.runtime().ms.store();
+  const GAddr rootbuf = store.alloc(0, std::uint64_t{nodes} * bytes);
+  auto local = std::make_shared<std::vector<GAddr>>();
+  for (NodeId i = 0; i < nodes; ++i) local->push_back(store.alloc(i, bytes));
+  auto pattern = [](std::uint64_t off) { return off * 0x9E3779B97F4A7C15ull; };
+  for (std::uint64_t off = 0; off < std::uint64_t{nodes} * bytes; off += 8) {
+    store.write_uint(rootbuf + off, 8, pattern(off));
+  }
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [=, &comm](Context& ctx) {
+      const NodeId me = ctx.node();
+      const GAddr mine = (*local)[me];
+      comm.scatter(ctx, rootbuf, mine, bytes);
+      for (std::uint32_t off = 0; off < bytes; off += 8) {
+        EXPECT_EQ(ctx.load(mine + off), pattern(me * bytes + off))
+            << "node " << me << " offset " << off;
+        ctx.store(mine + off, ctx.load(mine + off) * 2);
+      }
+      comm.gather(ctx, mine, rootbuf, bytes);
+      if (me == 0) {  // gather is synchronizing: all slices have landed
+        for (std::uint64_t off = 0; off < std::uint64_t{nodes} * bytes;
+             off += 8) {
+          EXPECT_EQ(ctx.load(rootbuf + off), pattern(off) * 2)
+              << "offset " << off;
+        }
+      }
+    });
+  }
+  m.run_started();
+}
+
+struct Pt {
+  std::uint32_t nodes;
+  CollMech mech;
+  Combining comb;
+  std::uint32_t arity;  // 0 = mechanism default
+  std::uint32_t group;  // 0 = arity (hybrid only)
+};
+
+std::string pt_name(const ::testing::TestParamInfo<Pt>& i) {
+  const Pt& p = i.param;
+  std::string s = "n" + std::to_string(p.nodes);
+  s += p.mech == CollMech::kShm    ? "Shm"
+       : p.mech == CollMech::kMsg  ? "Msg"
+                                   : "Hybrid";
+  s += p.comb == Combining::kCmmu ? "Cmmu" : "Proc";
+  s += "a" + std::to_string(p.arity);
+  if (p.group) s += "g" + std::to_string(p.group);
+  return s;
+}
+
+CollectiveConfig pt_cfg(const Pt& p) {
+  CollectiveConfig c;
+  c.mech = p.mech;
+  c.combining = p.comb;
+  c.arity = p.arity;
+  c.group = p.group;
+  return c;
+}
+
+class CollectiveOps : public ::testing::TestWithParam<Pt> {};
+
+TEST_P(CollectiveOps, ValueOpsMatchHostReference) {
+  const Pt p = GetParam();
+  Machine m(cfg(p.nodes), quiet());
+  Communicator comm(m.runtime(), pt_cfg(p));
+  run_value_ops(m, comm, /*episodes=*/3);
+}
+
+TEST_P(CollectiveOps, ScatterGatherRoundTrip) {
+  const Pt p = GetParam();
+  Machine m(cfg(p.nodes), quiet());
+  Communicator comm(m.runtime(), pt_cfg(p));
+  run_data_ops(m, comm, /*bytes=*/64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveOps,
+    ::testing::Values(
+        // 8 nodes: every mechanism and both combining sides.
+        Pt{8, CollMech::kShm, Combining::kProc, 2, 0},
+        Pt{8, CollMech::kMsg, Combining::kProc, 2, 0},
+        Pt{8, CollMech::kMsg, Combining::kCmmu, 8, 0},
+        Pt{8, CollMech::kHybrid, Combining::kProc, 2, 4},
+        Pt{8, CollMech::kHybrid, Combining::kCmmu, 4, 0},
+        // Ragged machines: incomplete trees and a short final group.
+        Pt{13, CollMech::kMsg, Combining::kProc, 3, 0},
+        Pt{13, CollMech::kHybrid, Combining::kCmmu, 2, 4},
+        // Mid sizes and arity variety.
+        Pt{16, CollMech::kShm, Combining::kProc, 4, 0},
+        Pt{32, CollMech::kMsg, Combining::kCmmu, 4, 0},
+        // 64 nodes: the paper's machine size.
+        Pt{64, CollMech::kShm, Combining::kProc, 2, 0},
+        Pt{64, CollMech::kMsg, Combining::kProc, 8, 0},
+        Pt{64, CollMech::kMsg, Combining::kCmmu, 8, 0},
+        Pt{64, CollMech::kHybrid, Combining::kCmmu, 8, 8}),
+    pt_name);
+
+TEST(Collectives, ChunkedScatterGather) {
+  // Slices bigger than the chunk size: 128-byte slices pushed as 32-byte
+  // DMA chunks (4 messages per slice).
+  for (CollMech mech : {CollMech::kMsg, CollMech::kHybrid}) {
+    Machine m(cfg(8), quiet());
+    CollectiveConfig c;
+    c.mech = mech;
+    c.chunk_bytes = 32;
+    Communicator comm(m.runtime(), c);
+    run_data_ops(m, comm, /*bytes=*/128);
+  }
+}
+
+TEST(Collectives, SingleNodeIsTrivial) {
+  Machine m(cfg(1), quiet());
+  for (CollMech mech : {CollMech::kShm, CollMech::kMsg, CollMech::kHybrid}) {
+    CollectiveConfig c;
+    c.mech = mech;
+    Communicator comm(m.runtime(), c);
+    m.start_thread(0, [&comm](Context& ctx) {
+      comm.barrier(ctx);
+      EXPECT_EQ(comm.allreduce(ctx, 7), 7u);
+      EXPECT_EQ(comm.broadcast(ctx, 9), 9u);
+    });
+    m.run_started();
+  }
+}
+
+TEST(Collectives, ScatterGatherRejectBadBytes) {
+  Machine m(cfg(4), quiet());
+  Communicator comm(m.runtime());
+  m.start_thread(0, [&m, &comm](Context& ctx) {
+    const GAddr buf = ctx.shmalloc(0, 64);
+    EXPECT_THROW(comm.scatter(ctx, buf, buf, 12), std::invalid_argument);
+    EXPECT_THROW(comm.gather(ctx, buf, buf, 0), std::invalid_argument);
+    (void)m;
+  });
+  m.run_started();
+}
+
+TEST(Collectives, BarrierOnlyConfigRejectsValueOps) {
+  // The CombiningBarrier shim provisions just the barrier; the richer
+  // operations must fail loudly, not misbehave.
+  Machine m(cfg(4), quiet());
+  CollectiveConfig c;
+  c.barrier_only = true;
+  Communicator comm(m.runtime(), c);
+  m.start_thread(0, [&comm](Context& ctx) {
+    const GAddr buf = ctx.shmalloc(0, 64);
+    EXPECT_THROW(comm.scatter(ctx, buf, buf, 8), std::logic_error);
+  });
+  m.run_started();
+}
+
+TEST(Collectives, TwoCommunicatorsCoexist) {
+  // The registry hands each Communicator its own message-type block; ops on
+  // the two must not cross wires even when interleaved.
+  Machine m(cfg(8), quiet());
+  Communicator a(m.runtime(), {CollMech::kMsg, Combining::kProc, 2});
+  Communicator b(m.runtime(), {CollMech::kMsg, Combining::kCmmu, 4});
+  EXPECT_NE(a.type_base(), b.type_base());
+  const std::uint32_t nodes = m.nodes();
+  for (NodeId n = 0; n < nodes; ++n) {
+    m.start_thread(n, [&a, &b, nodes](Context& ctx) {
+      const NodeId me = ctx.node();
+      EXPECT_EQ(a.allreduce(ctx, me), nodes * (nodes - 1) / 2);
+      EXPECT_EQ(b.allreduce(ctx, 1), nodes);
+      EXPECT_EQ(a.broadcast(ctx, me == 0 ? 55u : 0u), 55u);
+      b.barrier(ctx);
+    });
+  }
+  m.run_started();
+}
+
+TEST(Collectives, ShimBarrierSharesTheMachine) {
+  // The deprecated CombiningBarrier shim and a full Communicator coexist:
+  // the shim pins legacy message types, the Communicator allocates from the
+  // registry.
+  Machine m(cfg(8), quiet());
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 4);
+  Communicator comm(m.runtime(), {CollMech::kMsg, Combining::kCmmu});
+  auto phase = std::make_shared<int>(0);
+  for (NodeId n = 0; n < 8; ++n) {
+    m.start_thread(n, [&bar, &comm, phase](Context& ctx) {
+      bar.wait(ctx);
+      if (ctx.node() == 0) *phase = 1;
+      EXPECT_EQ(comm.allreduce(ctx, 1), 8u);
+      EXPECT_EQ(*phase, 1);
+      bar.wait(ctx);
+    });
+  }
+  m.run_started();
+}
+
+TEST(Collectives, RegistryExhaustionIsTyped) {
+  Machine m(cfg(2), quiet());
+  MsgTypeRegistry& reg = m.runtime().msg_types;
+  EXPECT_THROW(reg.allocate(0), MsgTypeExhausted);
+  const MsgType rem = reg.remaining();
+  EXPECT_GT(rem, 3u);  // room for many Communicators
+  EXPECT_NO_THROW(reg.allocate(rem));
+  EXPECT_EQ(reg.remaining(), 0u);
+  EXPECT_THROW(reg.allocate(1), MsgTypeExhausted);
+}
+
+TEST(Collectives, OracleRanksAndSelectorAgrees) {
+  // The §6 selection hook: predictions are positive, grow with machine size,
+  // CMMU combining is predicted no slower than proc combining, and the
+  // adaptive selector returns the argmin of the three predictions.
+  MachineConfig c = cfg(64);
+  CostOracle o(c);
+  EXPECT_GT(o.predict_coll_shm(64, 2), 0u);
+  EXPECT_GT(o.predict_coll_msg(64, 8, Combining::kProc),
+            o.predict_coll_msg(8, 8, Combining::kProc));
+  EXPECT_LE(o.predict_coll_msg(64, 8, Combining::kCmmu),
+            o.predict_coll_msg(64, 8, Combining::kProc));
+  Machine m(c, quiet());
+  AdaptiveOps ops(m);
+  const CollMech pick = ops.choose_collective(8, 8, Combining::kCmmu);
+  const Cycles shm = o.predict_coll_shm(64, 8);
+  const Cycles msg = o.predict_coll_msg(64, 8, Combining::kCmmu);
+  const Cycles hyb = o.predict_coll_hybrid(64, 8, 8, Combining::kCmmu);
+  const Cycles best = std::min(shm, std::min(msg, hyb));
+  const Cycles picked = pick == CollMech::kShm   ? shm
+                        : pick == CollMech::kMsg ? msg
+                                                 : hyb;
+  EXPECT_EQ(picked, best);
+}
+
+TEST(Collectives, SurvivesFaultInjection) {
+  // Drops, dups, corruption and delays under the reliable layer: every
+  // result must still be exact, for both combining sides and the data ops.
+  for (Combining comb : {Combining::kProc, Combining::kCmmu}) {
+    MachineConfig c = cfg(8);
+    add_faults(c);
+    Machine m(c, quiet());
+    Communicator comm(m.runtime(), {CollMech::kMsg, comb});
+    run_value_ops(m, comm, /*episodes=*/2);
+  }
+  MachineConfig c = cfg(8);
+  add_faults(c);
+  Machine m(c, quiet());
+  CollectiveConfig cc;
+  cc.mech = CollMech::kHybrid;
+  cc.chunk_bytes = 16;
+  Communicator comm(m.runtime(), cc);
+  run_data_ops(m, comm, /*bytes=*/64);
+}
+
+TEST(Collectives, ChecksCleanUnderGoldenModel) {
+  // The golden-model checker observes every load/store/atomic/DMA the
+  // collectives issue; any stale value or protocol violation trips it.
+  for (CollMech mech : {CollMech::kShm, CollMech::kMsg, CollMech::kHybrid}) {
+    MachineConfig c = cfg(8);
+    c.check.enabled = true;
+    Machine m(c, quiet());
+    CollectiveConfig cc;
+    cc.mech = mech;
+    Communicator comm(m.runtime(), cc);
+    run_value_ops(m, comm, /*episodes=*/2);
+  }
+  MachineConfig c = cfg(8);
+  c.check.enabled = true;
+  Machine m(c, quiet());
+  CollectiveConfig cc;
+  cc.mech = CollMech::kHybrid;
+  Communicator comm(m.runtime(), cc);
+  run_data_ops(m, comm, /*bytes=*/64);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-engine digest equality (the acceptance gate): barrier, reduce,
+// allreduce and broadcast must produce bit-identical full-machine digests at
+// shards 1, 2 and 4 with equal seeds — also under fault injection and with
+// the checker armed.
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t digest(Machine& m, std::uint64_t app_result) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, m.sim().now());
+  h = fnv1a(h, m.sim().events_executed());
+  h = fnv1a(h, app_result);
+  for (const auto& [name, value] : m.stats().counters()) {
+    h = fnv1a(h, name);
+    h = fnv1a(h, value);
+  }
+  return h;
+}
+
+std::uint64_t wl_collectives(MachineConfig c, const CollectiveConfig& cc) {
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = false;
+  Machine m(c, o);
+  Communicator comm(m.runtime(), cc);
+  HostBarrier align(m, c.nodes);
+  auto mix = std::make_shared<std::vector<std::uint64_t>>(c.nodes, 0);
+  for (NodeId n = 0; n < c.nodes; ++n) {
+    m.start_thread(n, [=, &comm, &align](Context& ctx) {
+      const NodeId me = ctx.node();
+      std::uint64_t& acc = (*mix)[me];
+      for (int e = 0; e < 3; ++e) {
+        align.wait(ctx);
+        comm.barrier(ctx);
+        acc = fnv1a(acc, ctx.now());
+        acc = fnv1a(acc, comm.reduce(ctx, contrib(me, e)));
+        acc = fnv1a(acc, comm.allreduce(ctx, contrib(me, e)));
+        acc = fnv1a(acc, comm.broadcast(ctx, 0xB0 + e + me, 0));
+        acc = fnv1a(acc, ctx.now());
+      }
+    });
+  }
+  m.run_started();
+  std::uint64_t r = 0;
+  for (std::uint64_t v : *mix) r = fnv1a(r, v);
+  return digest(m, r);
+}
+
+struct ShardVariant {
+  const char* name;
+  CollectiveConfig cc;
+};
+
+const ShardVariant kShardVariants[] = {
+    {"msg-proc", {CollMech::kMsg, Combining::kProc, 4}},
+    {"msg-cmmu", {CollMech::kMsg, Combining::kCmmu, 4}},
+    {"shm", {CollMech::kShm, Combining::kProc, 2}},
+    {"hybrid-cmmu", {CollMech::kHybrid, Combining::kCmmu, 2, 4}},
+};
+
+MachineConfig shard_cfg(std::uint32_t shards) {
+  MachineConfig c = cfg(16);
+  c.shards = shards;
+  return c;
+}
+
+TEST(CollectiveShards, DigestEqualAcrossShardCounts) {
+  for (const ShardVariant& v : kShardVariants) {
+    const std::uint64_t k1 = wl_collectives(shard_cfg(1), v.cc);
+    const std::uint64_t k2 = wl_collectives(shard_cfg(2), v.cc);
+    const std::uint64_t k4 = wl_collectives(shard_cfg(4), v.cc);
+    EXPECT_EQ(k1, k2) << v.name << ": shards=1 vs shards=2";
+    EXPECT_EQ(k1, k4) << v.name << ": shards=1 vs shards=4";
+  }
+}
+
+TEST(CollectiveShards, DigestEqualUnderFaultInjection) {
+  for (const ShardVariant& v : kShardVariants) {
+    std::uint64_t d[3];
+    const std::uint32_t ks[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      MachineConfig c = shard_cfg(ks[i]);
+      add_faults(c);
+      d[i] = wl_collectives(c, v.cc);
+    }
+    EXPECT_EQ(d[0], d[1]) << v.name << " (faults): shards=1 vs shards=2";
+    EXPECT_EQ(d[0], d[2]) << v.name << " (faults): shards=1 vs shards=4";
+  }
+}
+
+TEST(CollectiveShards, DigestEqualWithCheckerArmed) {
+  for (const ShardVariant& v : kShardVariants) {
+    std::uint64_t d[3];
+    const std::uint32_t ks[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i) {
+      MachineConfig c = shard_cfg(ks[i]);
+      c.check.enabled = true;
+      d[i] = wl_collectives(c, v.cc);
+    }
+    EXPECT_EQ(d[0], d[1]) << v.name << " (check): shards=1 vs shards=2";
+    EXPECT_EQ(d[0], d[2]) << v.name << " (check): shards=1 vs shards=4";
+  }
+}
+
+}  // namespace
+}  // namespace alewife

@@ -36,6 +36,9 @@
 //   accum   --bytes B [--msg]          (default 4096)
 //   barrier --mech shm|msg --arity K --episodes E
 //   copy    --bytes B --impl shm|prefetch|msg
+//   coll    --coll-op OP --coll-mech shm|msg|hybrid --coll-combining proc|cmmu
+//           --coll-arity K --coll-group G --coll-chunk C
+//           --episodes E --bytes B     (collectives library, docs/COLLECTIVES.md)
 //
 // Unknown or misspelled --flags are errors (exit 2), both before and after
 // the app name.
@@ -157,7 +160,10 @@ cli::OptionTable machine_options(MachineArgs& a) {
                "  jacobi  --grid G --iters I [--msg]\n"
                "  accum   --bytes B [--msg]\n"
                "  barrier --mech shm|msg --arity K --episodes E\n"
-               "  copy    --bytes B --impl shm|prefetch|msg\n");
+               "  copy    --bytes B --impl shm|prefetch|msg\n"
+               "  coll    --coll-op OP --coll-mech M --coll-combining C\n"
+               "          --coll-arity K --coll-group G --coll-chunk B\n"
+               "          --episodes E --bytes B\n");
   std::exit(2);
 }
 
@@ -505,6 +511,77 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
       if (!quiet) {
         std::printf("barrier (%s, arity %u): %llu cycles per episode\n",
                     mech.c_str(), arity,
+                    (unsigned long long)((*t1 - *t0) / episodes));
+      }
+      return *t1 - *t0;
+    };
+  } else if (app == "coll") {
+    cli::CollCliArgs cc;
+    std::uint32_t episodes = 8, bytes = 64;
+    cli::OptionTable t;
+    cli::add_coll_options(t, &cc);
+    t.value_u32("--episodes", "collective episodes", &episodes)
+        .value_u32("--bytes", "scatter/gather slice bytes per node", &bytes);
+    parse_rest(t);
+    if (bytes == 0 || bytes % 8 != 0) {
+      throw cli::UsageError("--bytes must be a positive multiple of 8");
+    }
+    exec = [cc, episodes, bytes](Machine& m, bool quiet) -> Cycles {
+      auto comm = std::make_shared<Communicator>(m.runtime(), cc.cfg);
+      const std::uint32_t n = m.nodes();
+      const bool data = cc.op == "scatter" || cc.op == "gather";
+      GAddr rootbuf = kNullGAddr;
+      auto local = std::make_shared<std::vector<GAddr>>();
+      if (data) {
+        BackingStore& store = m.runtime().ms.store();
+        rootbuf = store.alloc(0, std::uint64_t{n} * bytes);
+        for (NodeId i = 0; i < n; ++i) {
+          local->push_back(store.alloc(i, bytes));
+        }
+        // Deterministic source pattern, laid down before the machine starts.
+        for (std::uint64_t off = 0; off < std::uint64_t{n} * bytes; off += 8) {
+          store.write_uint(rootbuf + off, 8, off * 0x9E3779B97F4A7C15ull);
+        }
+      }
+      auto t0 = std::make_shared<Cycles>(0);
+      auto t1 = std::make_shared<Cycles>(0);
+      const std::string op = cc.op;
+      for (NodeId node = 0; node < n; ++node) {
+        m.start_thread(node, [=](Context& ctx) {
+          const NodeId me = ctx.node();
+          if (data && op == "gather") {
+            for (std::uint32_t off = 0; off < bytes; off += 8) {
+              ctx.store((*local)[me] + off, me * 1000003ull + off);
+            }
+          }
+          if (me == 0) *t0 = ctx.now();
+          for (std::uint32_t e = 0; e < episodes; ++e) {
+            if (op == "barrier") {
+              comm->barrier(ctx);
+            } else if (op == "reduce") {
+              comm->reduce(ctx, me + e);
+            } else if (op == "allreduce") {
+              comm->allreduce(ctx, me + e);
+            } else if (op == "broadcast") {
+              comm->broadcast(ctx, 42 + e);
+            } else if (op == "scatter") {
+              comm->scatter(ctx, rootbuf, (*local)[me], bytes);
+            } else {
+              comm->gather(ctx, (*local)[me], rootbuf, bytes);
+            }
+          }
+          if (me == 0) *t1 = ctx.now();
+        });
+      }
+      m.run_started();
+      if (!quiet) {
+        const char* mech = cc.cfg.mech == CollMech::kShm    ? "shm"
+                           : cc.cfg.mech == CollMech::kMsg  ? "msg"
+                                                            : "hybrid";
+        const char* side =
+            cc.cfg.combining == Combining::kCmmu ? "cmmu" : "proc";
+        std::printf("coll %s (%s, %s, arity %u): %llu cycles per episode\n",
+                    op.c_str(), mech, side, comm->arity(),
                     (unsigned long long)((*t1 - *t0) / episodes));
       }
       return *t1 - *t0;

@@ -1,7 +1,7 @@
 // alewife_sweep — run parameter sweeps with one Machine per sweep point,
 // optionally spreading points across host threads.
 //
-//   alewife_sweep [--sweep scaling|interrupt|arity|faults|parallel]
+//   alewife_sweep [--sweep scaling|interrupt|arity|faults|parallel|collectives]
 //                 [--threads N] [--serial] [--fast] [--verify] [--json FILE]
 //
 //   --sweep NAME   which sweep to run (default: scaling)
@@ -220,6 +220,55 @@ SweepResult sweep_arity(bool fast, unsigned threads) {
   return r;
 }
 
+// ---- collectives: proc vs CMMU combining across node counts ----------------
+//
+// One row per machine size. The headline ablation is the paper-style
+// software combining tree (every arrival interrupts a processor) against the
+// CMMU combining engine (arrivals absorbed NIC-side), for both the barrier
+// and a value-carrying allreduce; shm, hybrid and the scatter/gather data
+// movers ride along. Recorded as BENCH_collectives.json and gated by
+// `alewife_report --compare` in CI.
+
+SweepResult sweep_collectives(bool fast, unsigned threads) {
+  std::vector<std::uint32_t> sizes = fast
+                                         ? std::vector<std::uint32_t>{8, 16}
+                                         : std::vector<std::uint32_t>{8, 16,
+                                                                      32, 64};
+  SweepResult r;
+  r.cols = {"procs",       "bar proc",  "bar cmmu", "allred proc",
+            "allred cmmu", "allred shm", "allred hyb", "scatter",
+            "gather"};
+  r.rows = sweep<std::vector<std::string>>(
+      sizes.size(),
+      [&](std::size_t i) {
+        const std::uint32_t p = sizes[i];
+        const MachineConfig c = bench_cfg(p);
+        const auto coll = [&c](const char* op, CollMech mech,
+                               Combining comb) {
+          CollectiveConfig cc;
+          cc.mech = mech;
+          cc.combining = comb;
+          return measure_collective_cfg(c, op, cc, /*episodes=*/4);
+        };
+        return std::vector<std::string>{
+            std::to_string(p),
+            std::to_string(coll("barrier", CollMech::kMsg, Combining::kProc)),
+            std::to_string(coll("barrier", CollMech::kMsg, Combining::kCmmu)),
+            std::to_string(
+                coll("allreduce", CollMech::kMsg, Combining::kProc)),
+            std::to_string(
+                coll("allreduce", CollMech::kMsg, Combining::kCmmu)),
+            std::to_string(
+                coll("allreduce", CollMech::kShm, Combining::kProc)),
+            std::to_string(
+                coll("allreduce", CollMech::kHybrid, Combining::kCmmu)),
+            std::to_string(coll("scatter", CollMech::kMsg, Combining::kProc)),
+            std::to_string(coll("gather", CollMech::kMsg, Combining::kProc))};
+      },
+      threads);
+  return r;
+}
+
 // ---- faults: recovery cost vs packet-drop probability -----------------------
 //
 // Each point runs the msg barrier and a msg-DMA bulk copy on a machine whose
@@ -272,9 +321,11 @@ SweepResult run_sweep(const std::string& name, bool fast, unsigned threads) {
   if (name == "arity") return sweep_arity(fast, threads);
   if (name == "faults") return sweep_faults(fast, threads);
   if (name == "parallel") return sweep_parallel(fast, threads);
+  if (name == "collectives") return sweep_collectives(fast, threads);
   std::fprintf(stderr,
                "alewife_sweep: unknown sweep '%s' "
-               "(expected scaling|interrupt|arity|faults|parallel)\n",
+               "(expected scaling|interrupt|arity|faults|parallel|"
+               "collectives)\n",
                name.c_str());
   std::exit(2);
 }
@@ -316,8 +367,8 @@ int main(int argc, char** argv) {
   std::string json_out;
 
   cli::OptionTable opts;
-  opts.value_str("--sweep", "NAME", "scaling|interrupt|arity|faults|parallel",
-                 &name)
+  opts.value_str("--sweep", "NAME",
+                 "scaling|interrupt|arity|faults|parallel|collectives", &name)
       .value_u32("--threads", "host threads", &threads)
       .flag("--serial", "shorthand for --threads 1", [&] { threads = 1; })
       .flag("--fast", "smaller machines / fewer points", &fast)

@@ -43,6 +43,14 @@ REQUIRED_COUNTERS = {
     "mem.pending_peak",
     "check.value_checks",
     "check.protocol_checks",
+    # Collectives library (docs/COLLECTIVES.md), including the CMMU-side
+    # combining engine's occupancy counters.
+    "coll.ops",
+    "coll.msgs",
+    "coll.bytes",
+    "coll.proc_combines",
+    "coll.cmmu_combines",
+    "coll.cmmu_combine_cycles",
 }
 
 errors = []

@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/collective.hpp"
+
 namespace alewife::cli {
 
 /// Thrown on unknown options, missing values, or malformed numbers; the
@@ -183,5 +185,64 @@ class OptionTable {
 
   std::vector<Opt> opts_;
 };
+
+// ---------------------------------------------------------------------------
+// Shared --coll-* option group (alewife_run's coll app, alewife_sweep's
+// collectives sweep). Unknown values are UsageErrors, so the tools exit 2.
+// ---------------------------------------------------------------------------
+
+/// Parsed collective selection: the operation name plus a CollectiveConfig.
+struct CollCliArgs {
+  std::string op = "allreduce";
+  CollectiveConfig cfg;
+};
+
+inline CollMech parse_coll_mech(const std::string& v) {
+  if (v == "shm") return CollMech::kShm;
+  if (v == "msg") return CollMech::kMsg;
+  if (v == "hybrid") return CollMech::kHybrid;
+  throw UsageError("option '--coll-mech': unknown mechanism '" + v +
+                   "' (shm|msg|hybrid)");
+}
+
+inline Combining parse_coll_combining(const std::string& v) {
+  if (v == "proc") return Combining::kProc;
+  if (v == "cmmu") return Combining::kCmmu;
+  throw UsageError("option '--coll-combining': unknown side '" + v +
+                   "' (proc|cmmu)");
+}
+
+inline std::string parse_coll_op(const std::string& v) {
+  static const char* const kOps[] = {"barrier", "broadcast", "reduce",
+                                     "allreduce", "scatter", "gather"};
+  for (const char* op : kOps) {
+    if (v == op) return v;
+  }
+  throw UsageError(
+      "option '--coll-op': unknown operation '" + v +
+      "' (barrier|broadcast|reduce|allreduce|scatter|gather)");
+}
+
+/// Install the --coll-* options into `t`, writing into `*a`.
+inline void add_coll_options(OptionTable& t, CollCliArgs* a) {
+  t.value("--coll-op", "OP",
+          "collective operation "
+          "(barrier|broadcast|reduce|allreduce|scatter|gather)",
+          [a](const std::string& v) { a->op = parse_coll_op(v); });
+  t.value("--coll-mech", "M", "collective mechanism (shm|msg|hybrid)",
+          [a](const std::string& v) { a->cfg.mech = parse_coll_mech(v); });
+  t.value("--coll-combining", "C",
+          "tree combining side for msg/hybrid (proc|cmmu)",
+          [a](const std::string& v) {
+            a->cfg.combining = parse_coll_combining(v);
+          });
+  t.value_u32("--coll-arity", "combining-tree fan-in (0 = mechanism default)",
+              &a->cfg.arity);
+  t.value_u32("--coll-group", "hybrid shm group size (0 = arity)",
+              &a->cfg.group);
+  t.value_u32("--coll-chunk",
+              "scatter/gather DMA chunk bytes (0 = whole slice)",
+              &a->cfg.chunk_bytes);
+}
 
 }  // namespace alewife::cli
