@@ -139,6 +139,7 @@ void Cmmu::launch(const MsgDescriptor& d, Cycles launch_time) {
 }
 
 void Cmmu::on_packet(Packet p) {
+  if (down_) return;  // belt: the network already drops traffic to dead NICs
   if (rel_ != nullptr) {
     if (p.type == kMsgRelAck || p.type == kMsgRelNack) {
       rel_control(p);
@@ -180,7 +181,9 @@ void Cmmu::deliver(Packet p) {
     throw std::logic_error("unhandled message type " + std::to_string(p.type) +
                            " on node " + std::to_string(node_));
   }
-  if (wd_ != nullptr) wd_->note(sim_.now());
+  if (wd_ != nullptr && progress_exempt_.count(p.type) == 0) {
+    wd_->note(sim_.now());
+  }
   // The arrival interrupts the processor; the handler runs on its timeline.
   Handler& h = it->second;
   proc_.raise_interrupt(
@@ -213,11 +216,51 @@ void Cmmu::set_reliability(const FaultConfig* fc) {
     const std::uint32_t n = net_.topology().nodes();
     next_seq_.assign(n, 0);
     rx_.assign(n, RxState{});
+    peer_dead_.assign(n, false);
   } else {
     next_seq_.clear();
     rx_.clear();
     unacked_.clear();
+    peer_dead_.clear();
   }
+}
+
+void Cmmu::crash() { down_ = true; }
+
+void Cmmu::restart_volatile() {
+  down_ = false;
+  unacked_.clear();
+  if (rel_ != nullptr) {
+    // next_seq_ survives (persistent incarnation state, see header); the
+    // receive windows restart unsynced so the first packet from each peer
+    // re-baselines next_expected instead of hitting a permanent window nack.
+    RxState fresh;
+    fresh.synced = false;
+    rx_.assign(rx_.size(), fresh);
+    peer_dead_.assign(peer_dead_.size(), false);
+  }
+}
+
+void Cmmu::declare_peer_dead(NodeId peer) {
+  if (down_ || rel_ == nullptr) return;
+  if (peer < peer_dead_.size() && peer_dead_[peer]) return;
+  if (peer >= peer_dead_.size()) peer_dead_.resize(peer + 1, false);
+  peer_dead_[peer] = true;
+  stats_.add(node_, MetricId::kRelPeersDeclaredDead);
+  // Every other packet still waiting on the dead peer is equally doomed:
+  // abandon the whole per-destination retransmit set at once (fast-fail)
+  // instead of letting each entry burn its own retry budget.
+  for (auto it = unacked_.lower_bound(RelKey{peer, 0});
+       it != unacked_.end() && it->first.first == peer;) {
+    stats_.add(node_, MetricId::kRelSendFailures);
+    it = unacked_.erase(it);
+  }
+  if (trace_ != nullptr && trace_->enabled(TraceCat::kMsg)) {
+    trace_->emit(TraceCat::kMsg, sim_.now(), node_,
+                 "peer n" + std::to_string(peer) +
+                     " declared dead (retry budget exhausted)");
+  }
+  if (peer_death_) peer_death_(peer);
 }
 
 std::size_t Cmmu::rel_buffered() const {
@@ -241,7 +284,23 @@ std::string Cmmu::rel_dump() const {
   return s;
 }
 
+std::string Cmmu::suspects_dump() const {
+  std::string s;
+  for (NodeId p = 0; p < peer_dead_.size(); ++p) {
+    if (!peer_dead_[p]) continue;
+    if (!s.empty()) s += ",";
+    s += "n" + std::to_string(p);
+  }
+  return s;
+}
+
 void Cmmu::rel_send(Packet p, Cycles depart) {
+  if (p.dst < peer_dead_.size() && peer_dead_[p.dst]) {
+    // Fast-fail: the peer was already declared dead; re-running a full retry
+    // ladder for every subsequent message would just re-prove it.
+    stats_.add(node_, MetricId::kRelSendFailures);
+    return;
+  }
   p.rel_seq = ++next_seq_[p.dst];  // sequences start at 1; 0 marks control
   p.checksum = packet_checksum(p);
   const RelKey key{p.dst, p.rel_seq};
@@ -263,6 +322,13 @@ void Cmmu::rel_receive(Packet p) {
     stats_.add(node_, MetricId::kRelNacksSent);
     send_control(kMsgRelNack, p.src, seq, kRelNackCorrupt);
     return;
+  }
+  if (!rx.synced) {
+    // Post-restart resynchronization: this node's receive window died with
+    // it, so the first intact packet from each peer defines the new
+    // sequence baseline (everything earlier was lost to the crash).
+    rx.next_expected = seq;
+    rx.synced = true;
   }
   if (seq < rx.next_expected || rx.ooo.count(seq) != 0) {
     // Duplicate — fault-injected, or a retransmission racing its own ack.
@@ -324,7 +390,9 @@ void Cmmu::rel_control(const Packet& p) {
     // The receiver saw the packet mangled: resend immediately.
     if (u.retries >= rel_->max_retries) {
       stats_.add(node_, MetricId::kRelSendFailures);
+      const NodeId peer = key.first;
       unacked_.erase(it);
+      declare_peer_dead(peer);
       return;
     }
     ++u.retries;
@@ -342,14 +410,19 @@ void Cmmu::rel_control(const Packet& p) {
 }
 
 void Cmmu::on_retransmit_timer(RelKey key, std::uint64_t gen) {
+  if (down_) return;  // fail-stop: timers armed before the crash are void
   auto it = unacked_.find(key);
   if (it == unacked_.end() || it->second.timer_gen != gen) return;  // stale
   Unacked& u = it->second;
   if (u.retries >= rel_->max_retries) {
-    // Give up. The packet is lost for good; if anything was waiting on it,
-    // the watchdog converts the resulting silence into a diagnostic.
+    // Give up: the packet is lost for good. Promote the silence into a
+    // typed failure-detection verdict — the peer is declared dead, waiters
+    // get PeerUnreachable/CollectiveAborted through the death hook, and the
+    // watchdog stays a backstop instead of the primary diagnostic.
     stats_.add(node_, MetricId::kRelSendFailures);
+    const NodeId peer = key.first;
     unacked_.erase(it);
+    declare_peer_dead(peer);
     return;
   }
   ++u.retries;

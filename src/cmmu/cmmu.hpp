@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "cmmu/combine.hpp"
@@ -89,6 +90,13 @@ class Cmmu {
   /// Register the handler for message type `t` on this node.
   void set_handler(MsgType t, Handler h);
 
+  /// Mark message type `t` as idle-loop chatter: its deliveries do not count
+  /// as watchdog progress. Steal-protocol polls and failure-detection pings
+  /// are exactly the traffic that keeps a deadlocked machine's network busy
+  /// forever; exempting them lets the watchdog trip. The real work paths —
+  /// task runs, thread wakes — note progress on their own.
+  void set_progress_exempt(MsgType t) { progress_exempt_.insert(t); }
+
   /// CMMU-side combining (docs/COLLECTIVES.md): packets of a registered type
   /// are absorbed by the combining engine instead of interrupting the
   /// processor. Checked before handler dispatch on delivery.
@@ -129,12 +137,42 @@ class Cmmu {
   /// Message deliveries to handlers count as watchdog progress.
   void set_watchdog(Watchdog* wd) { wd_ = wd; }
 
+  // ---- Fail-stop faults (Machine::crash_node / restart_node) ----------------
+
+  /// This node crashed: packet handling and retransmit timers freeze (the
+  /// network already drops traffic to/from the dead NIC; these gates catch
+  /// timer events armed before the crash).
+  void crash();
+  /// Restart after a crash: volatile NIC state — the retransmit buffer, the
+  /// receive windows, peer suspicions — is lost. Per-destination send
+  /// sequence counters deliberately survive (modeled as the NIC's persistent
+  /// incarnation state) so live receivers never confuse a restarted sender's
+  /// fresh traffic with pre-crash duplicates; the restarted node's *receive*
+  /// side instead resynchronizes on the first packet it sees from each peer.
+  void restart_volatile();
+  bool node_down() const { return down_; }
+
+  /// Failure detection: a peer whose retry budget this CMMU exhausted is
+  /// declared dead (rel.peers_declared_dead) — further sends to it fail fast
+  /// and the death hook tells the runtime so waiters get typed errors
+  /// instead of the watchdog.
+  using PeerDeathHook = std::function<void(NodeId peer)>;
+  void set_peer_death_hook(PeerDeathHook h) { peer_death_ = std::move(h); }
+  bool peer_suspected(NodeId peer) const {
+    return peer < peer_dead_.size() && peer_dead_[peer];
+  }
+  /// Externally mark a peer dead (e.g. an abort notification carrying the
+  /// verdict of another node's detector); fires the same hook.
+  void declare_peer_dead(NodeId peer);
+
   // ---- Reliable-layer introspection (diagnostics, tests) --------------------
   bool reliable() const { return rel_ != nullptr; }
   std::size_t rel_unacked() const { return unacked_.size(); }
   std::size_t rel_buffered() const;  ///< out-of-order packets held
   /// One-line retransmit-state summary for the watchdog dump ("" if idle).
   std::string rel_dump() const;
+  /// Comma-separated peers this node declared dead ("" if none).
+  std::string suspects_dump() const;
 
   // Internal (MsgView, CombineEngine).
   const CostModel& cost() const { return cost_; }
@@ -154,6 +192,9 @@ class Cmmu {
 
   struct RxState {
     std::uint64_t next_expected = 1;
+    /// False right after a restart: the first packet from this source sets
+    /// the new next_expected baseline instead of being window-nacked forever.
+    bool synced = true;
     std::map<std::uint64_t, Packet> ooo;  ///< buffered out-of-order packets
   };
 
@@ -183,9 +224,13 @@ class Cmmu {
   Stats& stats_;
   NodeId node_;
   std::unordered_map<MsgType, Handler> handlers_;
+  std::unordered_set<MsgType> progress_exempt_;
   CombineEngine combine_{*this};
   Trace* trace_ = nullptr;
   Watchdog* wd_ = nullptr;
+  bool down_ = false;              ///< this node is crashed (fail-stop)
+  std::vector<bool> peer_dead_;    ///< peers this node declared dead
+  PeerDeathHook peer_death_;
 
   // Reliable-delivery state (empty/unused unless rel_ is set). Ordered maps
   // keep diagnostic dumps and drain order deterministic.

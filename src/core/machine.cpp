@@ -92,6 +92,16 @@ Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
   }
   bulk_ = std::make_unique<BulkCopyEngine>(*shared_);
 
+  // Failure detection plumbing: a CMMU's death verdict (retry exhaustion or
+  // a relayed abort) flows into its node's runtime, which fails outstanding
+  // invokes, cancels steal waits, and fans out to registered listeners
+  // (collectives, bulk transfers).
+  for (NodeId n = 0; n < cfg_.nodes; ++n) {
+    NodeRuntime* nrt = nodes_[n].get();
+    cmmus_[n]->set_peer_death_hook(
+        [this, nrt](NodeId peer) { nrt->on_peer_death(peer, sim_->now()); });
+  }
+
   // Fault injection, reliable delivery and the watchdog. With a default
   // FaultConfig none of this arms, and behavior (and digests) are
   // bit-identical to a machine without the subsystem.
@@ -111,7 +121,6 @@ Machine::Machine(MachineConfig cfg, RuntimeOptions opt) : cfg_(cfg) {
     watchdog_ = std::make_unique<Watchdog>(wd_interval, &stats_);
     watchdog_->set_dump([this] { return diagnostic_dump(); });
     sim_->set_watchdog(watchdog_.get());
-    net_->set_watchdog(watchdog_.get());
     shared_->wd = watchdog_.get();
     for (auto& c : cmmus_) c->set_watchdog(watchdog_.get());
   }
@@ -158,6 +167,29 @@ std::string Machine::diagnostic_dump() {
   } else if (busy > shown) {
     s += "  ... and " + std::to_string(busy - shown) + " more busy nodes\n";
   }
+  // Liveness verdicts: which nodes are fail-stopped, and who has declared
+  // whom dead (with the oldest unacked packet as the likely wedge point).
+  // Only emitted when the fault plan can down a node — a clean run's dump
+  // stays unchanged.
+  if (cfg_.fault.any_node_downs()) {
+    s += "  liveness:\n";
+    bool any = false;
+    for (NodeId n = 0; n < cfg_.nodes; ++n) {
+      const bool down = cmmus_[n]->node_down();
+      const std::string suspects = cmmus_[n]->suspects_dump();
+      if (!down && suspects.empty()) continue;
+      any = true;
+      s += "    n" + std::to_string(n) + ": " +
+           (down ? "DOWN (fail-stop)" : "up");
+      if (!suspects.empty()) {
+        s += " declares-dead=[" + suspects + "]";
+        const std::string rel = cmmus_[n]->rel_dump();
+        if (!rel.empty()) s += " " + rel;
+      }
+      s += "\n";
+    }
+    if (!any) s += "    all nodes up, no suspicions\n";
+  }
   return s;
 }
 
@@ -170,6 +202,50 @@ void Machine::boot_once() {
     HostRoute route(*sim_, n->node());
     n->boot();
   }
+  // Fail-stop fault plan: each crash (and optional restart) is an ordinary
+  // simulator event routed to the victim's shard, so the schedule is a pure
+  // function of the config and shard counts can't perturb it.
+  for (const NodeDown& nd : cfg_.fault.node_downs) {
+    HostRoute route(*sim_, nd.node);
+    const NodeId victim = nd.node;
+    sim_->schedule_at(nd.at, [this, victim] { crash_node(victim); });
+    if (nd.duration != 0) {
+      sim_->schedule_at(nd.at + nd.duration,
+                        [this, victim] { restart_node(victim); });
+    }
+  }
+}
+
+void Machine::crash_node(NodeId n) {
+  if (cmmus_[n]->node_down()) return;  // overlapping plans: already dead
+  const Cycles t = sim_->now();
+  stats_.add(n, MetricId::kFaultNodeCrashes);
+  if (trace_.enabled(TraceCat::kFault)) {
+    trace_.emit(TraceCat::kFault, t, n, "node crash (fail-stop)");
+  }
+  procs_[n]->halt();
+  cmmus_[n]->crash();
+  nodes_[n]->crash();
+  // Threads injected on this node will never finish: forfeit them so the
+  // surviving nodes' completions can still bring live_injected_ to zero.
+  if (n < injected_live_per_node_.size() && injected_live_per_node_[n] != 0) {
+    const std::uint64_t lost = injected_live_per_node_[n];
+    injected_live_per_node_[n] = 0;
+    if (live_injected_.fetch_sub(lost, std::memory_order_acq_rel) == lost) {
+      shared_->request_stop(t);
+    }
+  }
+}
+
+void Machine::restart_node(NodeId n) {
+  if (!cmmus_[n]->node_down()) return;
+  const Cycles t = sim_->now();
+  if (trace_.enabled(TraceCat::kFault)) {
+    trace_.emit(TraceCat::kFault, t, n, "node restart (volatile state lost)");
+  }
+  procs_[n]->restart(t);
+  cmmus_[n]->restart_volatile();
+  nodes_[n]->restart_after_crash(t);
 }
 
 void Machine::kick_all() {
@@ -213,10 +289,15 @@ std::uint64_t Machine::run(std::function<std::uint64_t(Context&)> main_fn,
 void Machine::start_thread(NodeId n, std::function<void(Context&)> body) {
   boot_once();
   live_injected_.fetch_add(1, std::memory_order_relaxed);
+  if (injected_live_per_node_.size() < cfg_.nodes) {
+    injected_live_per_node_.resize(cfg_.nodes, 0);
+  }
+  injected_live_per_node_[n]++;
   HostRoute route(*sim_, n);
   nodes_.at(n)->start_thread(
-      [this, body = std::move(body)](Context& c) {
+      [this, n, body = std::move(body)](Context& c) {
         body(c);
+        if (injected_live_per_node_[n] != 0) injected_live_per_node_[n]--;
         if (live_injected_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           shared_->request_stop(c.now());
         }

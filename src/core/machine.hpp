@@ -58,6 +58,16 @@ class Machine {
   const MachineConfig& config() const { return cfg_; }
   std::uint32_t nodes() const { return cfg_.nodes; }
 
+  /// Fail-stop status of node n (true between its crash and restart).
+  bool node_is_down(NodeId n) const { return cmmus_.at(n)->node_down(); }
+
+  /// Run `fn` on the host when simulated time reaches cycle `t`. Must be
+  /// called before the run starts; used by the snapshot layer to capture
+  /// state mid-run (serial engines).
+  void at_cycle(Cycles t, std::function<void()> fn) {
+    sim_->schedule_at(t, std::move(fn));
+  }
+
   /// Non-null when MachineConfig::fault configures active fault injection.
   FaultPlan* fault() { return fault_.get(); }
   /// Non-null when a watchdog interval is in effect (explicit, or auto with
@@ -94,6 +104,8 @@ class Machine {
  private:
   void boot_once();
   void kick_all();
+  void crash_node(NodeId n);    ///< fail-stop event body (--fault-node-down)
+  void restart_node(NodeId n);  ///< optional restart, volatile state lost
 
   MachineConfig cfg_;
   Stats stats_;
@@ -118,6 +130,11 @@ class Machine {
   /// Decremented by finishing injected threads — on shard workers when
   /// sharded, hence atomic.
   std::atomic<std::uint64_t> live_injected_{0};
+  /// Injected threads still live per node; a crash forfeits its node's
+  /// remainder so run_started() can still quiesce. Only touched host-side
+  /// and from the owning node's shard (injection, completion, crash events
+  /// all route there), so no atomics needed.
+  std::vector<std::uint64_t> injected_live_per_node_;
 };
 
 /// Zero-cost host-side rendezvous for benchmark phase alignment: all N

@@ -63,6 +63,15 @@ std::vector<std::uint8_t> MemorySystem::capture_line(GAddr line) const {
 void MemorySystem::access(NodeId node, MemOp op, GAddr addr,
                           std::uint32_t size, std::uint64_t value,
                           Cycles start, DoneFn done) {
+  if (cfg_.fault.any_node_downs()) {
+    // Coherence recovery is out of scope: a line homed at a crashed node has
+    // no directory to serve it, so the access errors instead of hanging the
+    // protocol. (A cached copy doesn't help — the directory is still gone.)
+    const NodeId home = gaddr_node(addr);
+    if (home != node && cfg_.fault.node_down(home, start)) {
+      throw HomeNodeDown(home, addr);
+    }
+  }
   if (memop_is_fe(op)) {
     fe_access(node, op, addr, size, value, start, std::move(done));
     return;

@@ -57,10 +57,19 @@ Cycles Network::send(Packet p, Cycles depart) {
     fate = src != nullptr ? fault_->decide_for(p.src) : fault_->decide();
   }
   const bool check_links = faultable && fault_->has_outages();
+  const bool check_crashes =
+      faultable && fault_->config().any_node_downs();
 
+  // Fail-stop: a crashed node's NIC neither injects nor accepts traffic. The
+  // send-side check covers the (rare) source that dies with a packet still
+  // queued; the receive side is checked at delivery time in deliver_at so
+  // packets in flight when the destination dies are lost too.
   bool outage = false;
+  if (check_crashes && fault_->config().node_down(p.src, depart)) {
+    outage = true;
+  }
   Cycles head = depart + cost_.net_inject;
-  if (p.src != p.dst) {
+  if (!outage && p.src != p.dst) {
     for (const LinkId link : topo_.route(p.src, p.dst)) {
       const std::uint32_t li = topo_.link_index(link);
       // The head stalls until the link frees, then reserves it for the
@@ -139,14 +148,24 @@ void Network::deliver_at(Packet p, Cycles when, Cycles depart) {
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   const NodeId dst = p.dst;
   const NodeId src_node = p.src;
-  // Only user-message deliveries count as watchdog progress: coherence
-  // traffic from a thread spinning on a contended line would otherwise keep
-  // resetting the deadline of a machine that is semantically livelocked.
-  const bool progress = p.klass == PacketClass::kUserMessage;
-  auto fn = [this, dst, progress, pkt = std::move(p)]() mutable {
+  // Watchdog progress is noted by the receiving CMMU at handler dispatch
+  // (where steal polls and probes can be exempted), not here: counting raw
+  // arrivals would let protocol chatter — acks, retransmissions, idle steal
+  // traffic — keep resetting the deadline of a semantically livelocked
+  // machine. User packets are also the only ones a dead NIC eats.
+  const bool user_pkt = p.klass == PacketClass::kUserMessage;
+  auto fn = [this, dst, src_node, user_pkt, pkt = std::move(p)]() mutable {
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    // Fail-stop: a user packet arriving at a crashed node dies at the dead
+    // NIC. node_down() is a pure function of the fault config, so this is
+    // shard-safe and deterministic.
+    if (user_pkt && fault_ != nullptr &&
+        fault_->config().node_down(dst, sim_.now())) {
+      stats_.add(src_node, MetricId::kFaultLinkDrops);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     delivered_.fetch_add(1, std::memory_order_relaxed);
-    if (progress && wd_ != nullptr) wd_->note(sim_.now());
     assert(receivers_[dst] && "packet delivered to node with no receiver");
     receivers_[dst](std::move(pkt));
   };

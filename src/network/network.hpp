@@ -77,8 +77,6 @@ class Network {
   /// would wedge the directory state machines.
   void set_fault(FaultPlan* plan) { fault_ = plan; }
 
-  /// Packet deliveries count as watchdog progress.
-  void set_watchdog(Watchdog* wd) { wd_ = wd; }
 
  private:
   /// Per-source mutable state for the sharded engine: only events of the
@@ -111,7 +109,6 @@ class Network {
   std::atomic<std::uint64_t> in_flight_{0};
   Trace* trace_ = nullptr;
   FaultPlan* fault_ = nullptr;
-  Watchdog* wd_ = nullptr;
 };
 
 }  // namespace alewife

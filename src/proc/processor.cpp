@@ -200,18 +200,42 @@ void Processor::unmask_interrupts() {
 // Scheduler/CMMU side
 // ---------------------------------------------------------------------------
 
+void Processor::halt() { halted_ = true; }
+
+void Processor::restart(Cycles t) {
+  halted_ = false;
+  current_ = nullptr;
+  state_ = State::kIdle;
+  masked_ = false;
+  pending_intr_.clear();
+  outstanding_stores_ = 0;
+  store_stall_waiting_ = false;
+  store_fence_waiting_ = false;
+  pin_depth_ = 0;
+  ++wake_gen_;  // invalidate pre-crash compute wakes
+  free_at_ = t;
+  intr_until_ = t;
+}
+
 void Processor::dispatch(Fiber* f, Cycles t) {
+  if (halted_) return;  // fail-stop: the core no longer accepts work
   assert(current_ == nullptr && "dispatch on a busy processor");
   assert(f != nullptr && !f->finished());
   current_ = f;
   const Cycles td = std::max({t, intr_until_, sim_.now()});
   sim_.schedule_at(td, [this, f, td] {
-    assert(current_ == f);
+    // A crash between dispatch and this event (possibly followed by a
+    // restart that cleared current_) orphans the wake.
+    if (halted_ || current_ != f) return;
     resume_current(std::max(td, intr_until_));
   });
 }
 
 void Processor::resume_current(Cycles t) {
+  // Fail-stop: in-flight wakes (compute timers, memory fills, store drains)
+  // scheduled before the crash land here and die quietly; the parked fiber
+  // is never resumed.
+  if (halted_) return;
   assert(current_ != nullptr);
   free_at_ = t;
   state_ = State::kRunning;
@@ -235,6 +259,7 @@ void Processor::post_resume() {
 }
 
 void Processor::raise_interrupt(InterruptHandler h) {
+  if (halted_) return;  // fail-stop: arrivals at a dead core vanish
   if (masked_) {
     pending_intr_.push_back(std::move(h));
     return;
@@ -263,6 +288,7 @@ void Processor::run_handler(InterruptHandler& h, Cycles arrival) {
 }
 
 void Processor::steal_cycles(Cycles when, Cycles cost) {
+  if (halted_) return;  // fail-stop: no cycles to steal from a dead core
   const Cycles start = std::max(when, intr_until_);
   intr_until_ = start + cost;
   if (state_ == State::kComputing) {

@@ -159,6 +159,19 @@ class Processor {
   void unpin_context() { --pin_depth_; }
   bool context_pinned() const { return pin_depth_ > 0; }
 
+  // ---- Fail-stop faults (Machine::crash_node / restart_node) ----
+
+  /// Freeze the core: dispatches, interrupts, stolen cycles and every pending
+  /// resume become no-ops. The current fiber (if any) stays parked forever —
+  /// fail-stop loses it, and unwinding a suspended fiber mid-operation is
+  /// neither safe nor meaningful.
+  void halt();
+  /// Un-freeze after a crash with restart: the core comes back idle at `t`
+  /// with all volatile state (parked fiber, queued interrupts, store buffer)
+  /// discarded.
+  void restart(Cycles t);
+  bool halted() const { return halted_; }
+
  private:
   enum class State : std::uint8_t {
     kIdle,       ///< no fiber
@@ -191,6 +204,7 @@ class Processor {
   MemBlockHook mem_block_;
   MemBlockHook fe_block_;
   bool multithread_ = false;
+  bool halted_ = false;
   int pin_depth_ = 0;
 
   // Write buffer for store_buffered().

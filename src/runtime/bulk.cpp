@@ -60,17 +60,51 @@ BulkCopyEngine::BulkCopyEngine(RuntimeShared& shared) : shared_(shared) {
       shared_.peer(p.node).enqueue_ready(p.thread, hc.now());
     });
   }
+
+  if (shared_.cfg.fault.any_node_downs()) {
+    // A transfer against a peer later declared dead would otherwise suspend
+    // its initiator forever (the ack is never coming): the death verdict
+    // marks the entry failed and wakes the waiter into finish_transfer's
+    // typed error.
+    shared_.add_death_listener([this](NodeId observer, NodeId peer, Cycles t) {
+      std::vector<std::uint64_t> wake;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        for (auto& [seq, p] : pending_) {
+          (void)seq;
+          if (p.node != observer || p.peer != peer || p.failed) continue;
+          p.failed = true;
+          wake.push_back(p.thread);
+        }
+      }
+      for (const std::uint64_t th : wake) {
+        shared_.peer(observer).enqueue_ready(th, t);
+      }
+    });
+  }
 }
 
-std::uint64_t BulkCopyEngine::start_transfer(Context& ctx) {
+std::uint64_t BulkCopyEngine::start_transfer(Context& ctx, NodeId peer) {
   std::lock_guard<std::mutex> g(mu_);
   const NodeId node = ctx.node();
   const std::uint64_t seq =
       next_seq_by_node_.empty()
           ? next_seq_++
           : ((std::uint64_t{node} + 1) << 32 | next_seq_by_node_[node]++);
-  pending_[seq] = Pending{node, ctx.runtime().current_thread(), false};
+  pending_[seq] = Pending{node, ctx.runtime().current_thread(), peer, false};
   return seq;
+}
+
+void BulkCopyEngine::finish_transfer(std::uint64_t seq) {
+  NodeId peer = kInvalidNode;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;  // ack path already retired the entry
+    peer = it->second.peer;
+    pending_.erase(it);
+  }
+  throw PeerUnreachable(peer);
 }
 
 void BulkCopyEngine::copy(Context& ctx, GAddr dst, GAddr src, std::uint64_t n,
@@ -97,14 +131,19 @@ void BulkCopyEngine::copy_pull(Context& ctx, GAddr local_dst, GAddr src,
     copy_msg(ctx, local_dst, src, n);
     return;
   }
+  if (shared_.cfg.fault.any_node_downs() &&
+      ctx.cmmu().peer_suspected(src_node)) {
+    throw PeerUnreachable(src_node);
+  }
   ctx.charge(shared_.cfg.cost.bulk_setup);
-  const std::uint64_t seq = start_transfer(ctx);
+  const std::uint64_t seq = start_transfer(ctx, src_node);
   MsgDescriptor req;
   req.dst = src_node;
   req.type = kMsgCopyPullReq;
   req.operands = {src, n, local_dst, ctx.node(), seq};
   ctx.send(req);
   ctx.suspend();  // woken by the ack when the DMA lands locally
+  finish_transfer(seq);
   shared_.stats.add(ctx.node(), MetricId::kBulkMsgPullBytes, n);
 }
 
@@ -141,16 +180,22 @@ void BulkCopyEngine::copy_msg(Context& ctx, GAddr dst, GAddr src,
                               std::uint64_t n) {
   assert(gaddr_node(src) == ctx.node() &&
          "message copy gathers from local memory");
+  const NodeId dst_node = gaddr_node(dst);
+  if (dst_node != ctx.node() && shared_.cfg.fault.any_node_downs() &&
+      ctx.cmmu().peer_suspected(dst_node)) {
+    throw PeerUnreachable(dst_node);
+  }
   ctx.charge(shared_.cfg.cost.bulk_setup);
-  const std::uint64_t seq = start_transfer(ctx);
+  const std::uint64_t seq = start_transfer(ctx, dst_node);
 
   MsgDescriptor d;
-  d.dst = gaddr_node(dst);
+  d.dst = dst_node;
   d.type = kMsgCopyData;
   d.operands = {dst, ctx.node(), seq};
   d.regions.push_back({src, static_cast<std::uint32_t>(n)});
   ctx.send(d);
   ctx.suspend();  // the ack handler readies us
+  finish_transfer(seq);
   shared_.stats.add(ctx.node(), MetricId::kBulkMsgBytes, n);
 }
 

@@ -51,7 +51,8 @@ class BulkCopyEngine {
   struct Pending {
     NodeId node;
     std::uint64_t thread;
-    bool done = false;
+    NodeId peer = kInvalidNode;  ///< remote end of the transfer
+    bool failed = false;         ///< peer declared dead while we waited
   };
 
   /// Allocate a transfer correlation id and register the calling thread as
@@ -61,7 +62,12 @@ class BulkCopyEngine {
   /// carried in packets are independent of how shard threads interleave
   /// their allocations (packet bytes feed the fault injector's
   /// corruption/checksum path, so they must be deterministic).
-  std::uint64_t start_transfer(Context& ctx);
+  std::uint64_t start_transfer(Context& ctx, NodeId peer);
+
+  /// Post-wait epilogue: the ack path erases the pending entry before waking
+  /// us, the peer-death path leaves it in place marked failed — so an entry
+  /// still present after resume means the transfer died with the peer.
+  void finish_transfer(std::uint64_t seq);
 
   RuntimeShared& shared_;
   /// Guards pending_ and the seq counters: initiators and ack handlers on

@@ -51,6 +51,34 @@ Communicator::Communicator(RuntimeShared& shared, CollectiveConfig cfg)
     if (!cfg_.barrier_only) {
       for (NodeId n = 0; n < nodes_; ++n) register_data_handler(n);
     }
+
+    // Fail-stop arming: only when the fault plan can actually down a node.
+    // Faults-off runs take none of these paths (no extra message type, no
+    // poll loops), so their schedules stay bit-identical to older builds.
+    armed_ = nodes_ > 1 && shared.cfg.fault.any_node_downs();
+    if (armed_) {
+      abort_type_ = shared.msg_types.allocate(1);
+      abort_.resize(nodes_);
+      for (NodeId n = 0; n < nodes_; ++n) {
+        Cmmu& cmmu = shared.peer(n).cmmu();
+        cmmu.set_handler(abort_type_, [this, n](HandlerCtx& hc, MsgView& m) {
+          const NodeId dead = static_cast<NodeId>(m.operand(hc, 0));
+          hc.charge(2);
+          if (!abort_[n].aborted) {
+            abort_[n].aborted = true;
+            abort_[n].dead = dead;
+          }
+          // Fold the verdict into this node's own liveness map so its sends
+          // fast-fail too (idempotent; fires this node's death hook, whose
+          // re-broadcast is suppressed by the aborted flag set above).
+          shared_.peer(n).cmmu().declare_peer_dead(dead);
+        });
+      }
+      shared.add_death_listener([this](NodeId observer, NodeId peer,
+                                       Cycles t) {
+        broadcast_abort(observer, peer, t);
+      });
+    }
   }
 
   if (cfg_.mech == CollMech::kShm) {
@@ -138,22 +166,101 @@ std::uint64_t Communicator::opword(std::uint8_t kind, RedOp op) {
 }
 
 // ---------------------------------------------------------------------------
+// Fail-stop fault handling
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Probe pacing while a thread waits fault-armed: one ping round per period,
+/// with short compute slices between abort checks. The period keeps probe
+/// bandwidth negligible while still bounding detection latency at roughly
+/// one retry-exhaustion interval past the crash.
+constexpr Cycles kPingPeriod = 65536;
+constexpr Cycles kPollStep = 512;
+}  // namespace
+
+void Communicator::check_abort(Context& ctx) {
+  if (!armed_) return;
+  const AbortState& a = abort_[ctx.node()];
+  if (a.aborted) {
+    shared_.stats.add(ctx.node(), MetricId::kCollAborts);
+    throw CollectiveAborted(a.dead);
+  }
+}
+
+void Communicator::abort_on_dead_home(Context& ctx, const HomeNodeDown& e) {
+  // A collective cell homed at a crashed member: the shared-memory analogue
+  // of retry exhaustion. The home node IS the dead member (each node's
+  // cells live in its own memory), so the verdict carries e.node().
+  if (!armed_) throw e;  // no abort machinery: surface the raw fault
+  broadcast_abort(ctx.node(), e.node(), ctx.now());
+  shared_.stats.add(ctx.node(), MetricId::kCollAborts);
+  throw CollectiveAborted(e.node());
+}
+
+void Communicator::broadcast_abort(NodeId observer, NodeId dead, Cycles t) {
+  AbortState& a = abort_[observer];
+  if (a.aborted) return;  // already verdict-carrying; no re-broadcast storm
+  a.aborted = true;
+  a.dead = dead;
+  Cmmu& cmmu = shared_.peer(observer).cmmu();
+  for (NodeId n = 0; n < nodes_; ++n) {
+    if (n == observer || n == dead) continue;
+    MsgDescriptor d;
+    d.dst = n;
+    d.type = abort_type_;
+    d.operands = {dead};
+    cmmu.send_raw(d, t);
+    shared_.stats.add(observer, MetricId::kCollMsgs);
+  }
+}
+
+void Communicator::probe(Context& ctx, NodeId peer) {
+  if (peer == ctx.node() || ctx.cmmu().peer_suspected(peer)) return;
+  // The reliable layer's ack is the pong: a live peer's ack arrives and the
+  // probe is forgotten; a dead peer's silence drives retry exhaustion at
+  // this node, which declares it dead and aborts the collective.
+  MsgDescriptor d;
+  d.dst = peer;
+  d.type = kMsgPing;
+  ctx.send(d);
+}
+
+bool Communicator::ping_due(Context& ctx, Cycles& next_at) {
+  if (ctx.now() < next_at) return false;
+  next_at = ctx.now() + kPingPeriod;
+  return true;
+}
+
+void Communicator::probe_tree_neighbors(Context& ctx, std::uint32_t idx) {
+  if (idx != 0) probe(ctx, t_node(t_parent(idx)));
+  for (std::uint32_t c = arity_ * idx + 1;
+       c <= arity_ * idx + arity_ && c < tsize_; ++c) {
+    probe(ctx, t_node(c));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Public operations
 // ---------------------------------------------------------------------------
 
 void Communicator::barrier(Context& ctx) {
   shared_.stats.add(ctx.node(), MetricId::kCollOps);
   if (nodes_ == 1) return;
-  switch (cfg_.mech) {
-    case CollMech::kShm:
-      shm_barrier(ctx);
-      return;
-    case CollMech::kMsg:
-      wave(ctx, kWaveBarrier, RedOp::kSum, 0);
-      return;
-    case CollMech::kHybrid:
-      hybrid_value(ctx, kWaveBarrier, RedOp::kSum, 0);
-      return;
+  check_abort(ctx);
+  try {
+    switch (cfg_.mech) {
+      case CollMech::kShm:
+        shm_barrier(ctx);
+        return;
+      case CollMech::kMsg:
+        wave(ctx, kWaveBarrier, RedOp::kSum, 0);
+        return;
+      case CollMech::kHybrid:
+        hybrid_value(ctx, kWaveBarrier, RedOp::kSum, 0);
+        return;
+    }
+  } catch (const HomeNodeDown& e) {
+    abort_on_dead_home(ctx, e);
   }
 }
 
@@ -166,13 +273,18 @@ std::uint64_t Communicator::value_op(Context& ctx, std::uint8_t kind, RedOp op,
   }
   shared_.stats.add(ctx.node(), MetricId::kCollOps);
   if (nodes_ == 1) return v;
-  switch (cfg_.mech) {
-    case CollMech::kShm:
-      return shm_value(ctx, kind, op, v);
-    case CollMech::kMsg:
-      return wave(ctx, kind, op, v);
-    case CollMech::kHybrid:
-      return hybrid_value(ctx, kind, op, v);
+  check_abort(ctx);
+  try {
+    switch (cfg_.mech) {
+      case CollMech::kShm:
+        return shm_value(ctx, kind, op, v);
+      case CollMech::kMsg:
+        return wave(ctx, kind, op, v);
+      case CollMech::kHybrid:
+        return hybrid_value(ctx, kind, op, v);
+    }
+  } catch (const HomeNodeDown& e) {
+    abort_on_dead_home(ctx, e);
   }
   return v;
 }
@@ -228,6 +340,18 @@ std::uint64_t Communicator::wave(Context& ctx, std::uint8_t kind, RedOp op,
     wave_arrive_complete(idx, nullptr, &ctx);
   }
 
+  if (armed_) {
+    // Fault-armed wait: poll instead of suspending indefinitely, probing the
+    // tree neighbors this node's wave progress actually depends on. Every
+    // stuck participant probes its own parent/children, so a dead node is
+    // always someone's probe target and detection is machine-wide.
+    while (st.wake_gen < gen) {
+      check_abort(ctx);
+      if (ping_due(ctx, st.next_ping_at)) probe_tree_neighbors(ctx, idx);
+      ctx.compute(kPollStep);
+    }
+    return kind == kWaveBarrier ? 0 : st.down_value;
+  }
   while (st.wake_gen < gen) {
     st.waiting_thread = ctx.thread_id();
     ctx.suspend();
@@ -544,6 +668,10 @@ std::uint64_t Communicator::hybrid_value(Context& ctx, std::uint8_t kind,
     }
     ctx.fetch_add(hyb_[lead].gcount, 1);
     while (ctx.load(h.hrel_gen) < gen) {
+      if (armed_) {
+        check_abort(ctx);
+        if (ping_due(ctx, h.next_ping_at)) probe(ctx, lead);
+      }
       ctx.compute(4);
     }
     return kind == kWaveBarrier ? 0 : ctx.load(h.hrel_val);
@@ -554,6 +682,12 @@ std::uint64_t Communicator::hybrid_value(Context& ctx, std::uint8_t kind,
   std::uint64_t combined = v;
   if (gs > 1) {
     while (ctx.load(h.gcount) < gs - 1) {
+      if (armed_) {
+        check_abort(ctx);
+        if (ping_due(ctx, h.next_ping_at)) {
+          for (std::uint32_t j = 1; j < gs; ++j) probe(ctx, me + j);
+        }
+      }
       ctx.compute(4);
     }
     if (kind != kWaveBarrier) {
@@ -623,6 +757,20 @@ void Communicator::register_data_handler(NodeId n) {
 
 void Communicator::wait_data(Context& ctx) {
   DataState& ds = dstate_[ctx.node()];
+  if (armed_) {
+    // Data senders aren't tree-shaped (the root may wait on everyone), so
+    // the paced round probes all peers; probe() skips the already-suspected.
+    while (ds.got < ds.expect) {
+      check_abort(ctx);
+      if (ping_due(ctx, ds.next_ping_at)) {
+        for (NodeId n = 0; n < nodes_; ++n) probe(ctx, n);
+      }
+      ctx.compute(kPollStep);
+    }
+    ds.got = 0;
+    ds.expect = 0;
+    return;
+  }
   while (ds.got < ds.expect) {
     ds.waiting_thread = ctx.thread_id();
     ctx.suspend();
@@ -702,16 +850,21 @@ void Communicator::scatter(Context& ctx, GAddr send, GAddr recv,
     copy_words(ctx, send, recv, bytes);
     return;
   }
-  switch (cfg_.mech) {
-    case CollMech::kShm:
-      scatter_shm(ctx, send, recv, bytes);
-      return;
-    case CollMech::kMsg:
-      scatter_msg(ctx, send, recv, bytes);
-      return;
-    case CollMech::kHybrid:
-      scatter_hybrid(ctx, send, recv, bytes);
-      return;
+  check_abort(ctx);
+  try {
+    switch (cfg_.mech) {
+      case CollMech::kShm:
+        scatter_shm(ctx, send, recv, bytes);
+        return;
+      case CollMech::kMsg:
+        scatter_msg(ctx, send, recv, bytes);
+        return;
+      case CollMech::kHybrid:
+        scatter_hybrid(ctx, send, recv, bytes);
+        return;
+    }
+  } catch (const HomeNodeDown& e) {
+    abort_on_dead_home(ctx, e);
   }
 }
 
@@ -730,16 +883,21 @@ void Communicator::gather(Context& ctx, GAddr send, GAddr recv,
     copy_words(ctx, send, recv, bytes);
     return;
   }
-  switch (cfg_.mech) {
-    case CollMech::kShm:
-      gather_shm(ctx, send, recv, bytes);
-      return;
-    case CollMech::kMsg:
-      gather_msg(ctx, send, recv, bytes);
-      return;
-    case CollMech::kHybrid:
-      gather_hybrid(ctx, send, recv, bytes);
-      return;
+  check_abort(ctx);
+  try {
+    switch (cfg_.mech) {
+      case CollMech::kShm:
+        gather_shm(ctx, send, recv, bytes);
+        return;
+      case CollMech::kMsg:
+        gather_msg(ctx, send, recv, bytes);
+        return;
+      case CollMech::kHybrid:
+        gather_hybrid(ctx, send, recv, bytes);
+        return;
+    }
+  } catch (const HomeNodeDown& e) {
+    abort_on_dead_home(ctx, e);
   }
 }
 
@@ -834,6 +992,12 @@ void Communicator::scatter_hybrid(Context& ctx, GAddr send, GAddr recv,
     copy_words(ctx, h.staging, recv, bytes);  // leader's slice is slot 0
     if (gs > 1) {
       while (ctx.load(h.dcount) < gs - 1) {
+        if (armed_) {
+          check_abort(ctx);
+          if (ping_due(ctx, h.next_ping_at)) {
+            for (std::uint32_t j = 1; j < gs; ++j) probe(ctx, me + j);
+          }
+        }
         ctx.compute(4);
       }
       ctx.store(h.dcount, 0);
@@ -841,6 +1005,10 @@ void Communicator::scatter_hybrid(Context& ctx, GAddr send, GAddr recv,
   } else {
     const std::uint64_t dgen = ++h.dgen;
     while (ctx.load(h.drel_gen) < dgen) {
+      if (armed_) {
+        check_abort(ctx);
+        if (ping_due(ctx, h.next_ping_at)) probe(ctx, lead);
+      }
       ctx.compute(4);
     }
     copy_words(ctx, hyb_[lead].staging + std::uint64_t{me - lead} * bytes,
@@ -877,6 +1045,12 @@ void Communicator::gather_hybrid(Context& ctx, GAddr send, GAddr recv,
     copy_words(ctx, send, h.staging, bytes);  // leader's slice is slot 0
     if (gs > 1) {
       while (ctx.load(h.dcount) < gs - 1) {
+        if (armed_) {
+          check_abort(ctx);
+          if (ping_due(ctx, h.next_ping_at)) {
+            for (std::uint32_t j = 1; j < gs; ++j) probe(ctx, me + j);
+          }
+        }
         ctx.compute(4);
       }
       ctx.store(h.dcount, 0);

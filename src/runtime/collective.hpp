@@ -48,6 +48,7 @@
 
 #include "runtime/msg_types.hpp"
 #include "runtime/scheduler.hpp"
+#include "sim/fault.hpp"
 #include "sim/types.hpp"
 
 namespace alewife {
@@ -135,6 +136,7 @@ class Communicator {
     std::uint64_t waiting_thread = kInvalidId;
     std::uint64_t my_gen = 0;    ///< episodes entered by this participant
     std::uint32_t nchildren = 0;
+    Cycles next_ping_at = 0;     ///< probe pacing while fault-armed
   };
 
   /// Tree state owned by the CMMU combining engine (kCmmu): touched only
@@ -171,6 +173,7 @@ class Communicator {
     std::uint32_t staging_bytes = 0;
     std::uint64_t hgen = 0;      ///< in-group value episodes (host counter)
     std::uint64_t dgen = 0;      ///< in-group data episodes (host counter)
+    Cycles next_ping_at = 0;     ///< probe pacing while fault-armed
   };
 
   /// Scatter/gather arrival bookkeeping (host side, like the msg barrier's).
@@ -179,6 +182,15 @@ class Communicator {
     std::uint32_t expect = 0;
     std::uint32_t got = 0;
     std::uint64_t waiting_thread = kInvalidId;
+    Cycles next_ping_at = 0;     ///< probe pacing while fault-armed
+  };
+
+  /// Per-node abort verdict (fault-armed only). Each node's flag is set by
+  /// its own abort-message handler or its own death verdict — never remotely
+  /// poked — so the sharded engine stays deterministic.
+  struct AbortState {
+    bool aborted = false;
+    NodeId dead = kInvalidNode;
   };
 
   // ---- Tree topology over participants (all nodes, or hybrid leaders) ----
@@ -249,6 +261,17 @@ class Communicator {
 
   void sync_wave(Context& ctx);  ///< barrier-kind wave on the active mech
 
+  // ---- Fail-stop fault handling (armed only when the fault plan can down
+  // a node and the mechanism uses messages; shm stays degraded-by-design) --
+  void check_abort(Context& ctx);  ///< throw CollectiveAborted if flagged
+  void broadcast_abort(NodeId observer, NodeId dead, Cycles t);
+  /// Convert a dead-home shm fault inside a collective into the collective's
+  /// own verdict: broadcast the abort and throw CollectiveAborted.
+  [[noreturn]] void abort_on_dead_home(Context& ctx, const HomeNodeDown& e);
+  void probe(Context& ctx, NodeId peer);  ///< paced kMsgPing (skip suspected)
+  void probe_tree_neighbors(Context& ctx, std::uint32_t idx);
+  bool ping_due(Context& ctx, Cycles& next_at);
+
   RuntimeShared& shared_;
   CollectiveConfig cfg_;
   std::uint32_t nodes_;
@@ -259,12 +282,15 @@ class Communicator {
   MsgType arrive_type_ = 0;
   MsgType wake_type_ = 0;
   MsgType data_type_ = 0;
+  MsgType abort_type_ = 0;  ///< fault-armed only
+  bool armed_ = false;      ///< fail-stop detection active on this instance
 
   std::vector<WaveState> wstate_;   ///< per tree participant
   std::vector<CmmuWave> cstate_;    ///< per tree participant (kCmmu)
   std::vector<ShmCells> shm_;       ///< per node (kShm)
   std::vector<HybridCells> hyb_;    ///< per node (kHybrid)
   std::vector<DataState> dstate_;   ///< per node (scatter/gather)
+  std::vector<AbortState> abort_;   ///< per node (fault-armed)
 };
 
 }  // namespace alewife

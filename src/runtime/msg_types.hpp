@@ -28,6 +28,7 @@ enum RtMsg : MsgType {
   kMsgCopyPullReq,     ///< ask a producer node to DMA-push a block here
   kMsgBarrierArrive,   ///< combining-tree arrival signal
   kMsgBarrierWake,     ///< combining-tree wakeup signal
+  kMsgPing,            ///< failure-detection probe (the rel-layer ack is the pong)
   kMsgUserBase = 100,  ///< first hand-assigned application type
 };
 

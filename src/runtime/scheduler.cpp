@@ -109,6 +109,7 @@ void NodeRuntime::on_release(Cycles t, bool finished) {
 }
 
 void NodeRuntime::pick_next(Cycles t) {
+  if (self_down_) return;  // fail-stop: nothing schedules on a dead node
   if (!proc_.idle()) return;
   if (!ready_threads_.empty()) {
     const std::uint64_t id = ready_threads_.front();
@@ -128,6 +129,7 @@ void NodeRuntime::pick_next(Cycles t) {
 }
 
 void NodeRuntime::enqueue_ready(std::uint64_t id, Cycles t) {
+  if (self_down_) return;  // fail-stop: the wake target died with the node
   ready_threads_.push_back(id);
   if (shared_.wd != nullptr) shared_.wd->note(t);
   // With block multithreading the idle loop's own thread can be the one
@@ -139,6 +141,7 @@ void NodeRuntime::enqueue_ready(std::uint64_t id, Cycles t) {
 }
 
 void NodeRuntime::kick(Cycles t) {
+  if (self_down_) return;
   if (proc_.idle() && !loop_active_) pick_next(std::max(t, proc_.ready_at()));
 }
 
@@ -229,6 +232,12 @@ std::uint64_t NodeRuntime::steal_once(Context& ctx, bool desperate) {
   const std::uint32_t n = static_cast<std::uint32_t>(shared_.nodes.size());
   NodeId victim = static_cast<NodeId>(rng_.below(n - 1));
   if (victim >= node_) ++victim;
+  if (cmmu_.peer_suspected(victim)) {
+    // Never route work requests at a node declared dead: the request would
+    // fast-fail at the reliable layer and strand this thief in its reply
+    // wait. Treat the round as a failed steal and let the backoff redraw.
+    return 0;
+  }
   shared_.stats.add(node_, MetricId::kRtStealAttempts);
   const std::uint64_t e = shared_.opt.mode == SchedMode::kShm
                               ? steal_shm(ctx, victim, desperate)
@@ -292,6 +301,7 @@ std::uint64_t NodeRuntime::steal_hybrid(Context& ctx, NodeId victim) {
   steal_result_ = 0;
   steal_rec_ = nullptr;
   steal_waiting_ = true;
+  steal_victim_ = victim;
   MsgDescriptor d;
   d.dst = victim;
   d.type = kMsgStealReq;
@@ -314,6 +324,7 @@ std::uint64_t NodeRuntime::steal_hybrid(Context& ctx, NodeId victim) {
     }
   }
   steal_waiting_ = false;
+  steal_victim_ = kInvalidNode;
   popped_rec_ = steal_rec_;
   steal_rec_ = nullptr;
   return steal_result_;
@@ -421,6 +432,7 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
   }
   {
     FutureRec& fr = shared_.registry.future(f);
+    if (fr.failed) throw PeerUnreachable(fr.error_node);
     if (fr.filled) {
       const std::uint64_t v = fr.value;
       if (shm) proc_.mem(MemOp::kLoad, value_addr, 8);
@@ -492,7 +504,10 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
     const Cycles spin_until = proc_.free_at() + shared_.opt.touch_spin;
     GAddr flag_addr = shared_.registry.future(f).flag_addr;
     while (proc_.free_at() < spin_until) {
-      if (shared_.registry.future(f).filled) break;
+      if (shared_.registry.future(f).filled ||
+          shared_.registry.future(f).failed) {
+        break;
+      }
       if (shm) {
         proc_.mem(MemOp::kLoad, flag_addr, 8);
         proc_.compute(4);
@@ -503,7 +518,7 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
   }
   {
     FutureRec& fr = shared_.registry.future(f);
-    if (!fr.filled) {
+    if (!fr.filled && !fr.failed) {
       shared_.stats.add(node_, MetricId::kRtTouchSuspended);
       fr.waiters.push_back(FutureWaiter{node_, current_thread_});
       suspend_current();
@@ -512,6 +527,9 @@ std::uint64_t NodeRuntime::touch_future(FutureId f) {
   std::uint64_t v;
   {
     FutureRec& fr = shared_.registry.future(f);
+    // The producer's node may have been declared dead while we waited; the
+    // death verdict woke us with the future failed instead of filled.
+    if (fr.failed) throw PeerUnreachable(fr.error_node);
     assert(fr.filled);
     v = fr.value;
   }
@@ -616,6 +634,25 @@ FutureId NodeRuntime::invoke_msg(NodeId dst, TaskFn fn) {
   tr.arg_words = shared_.opt.invoke_arg_words;
   const TaskId tid = shared_.registry.add_task(node_, std::move(tr));
   shared_.registry.future(fid).task = tid;
+
+  if (shared_.cfg.fault.any_node_downs()) {
+    if (cmmu_.peer_suspected(dst)) {
+      // The reliable layer will fast-fail the send, so no exhaustion event
+      // will ever fail this future for us: mark it dead at birth. The send
+      // below still happens (and is dropped) so costs stay honest.
+      FutureRec& ffr = shared_.registry.future(fid);
+      ffr.failed = true;
+      ffr.error_node = dst;
+      shared_.stats.add(node_, MetricId::kRtInvokeTimeouts);
+    } else {
+      // Track the outstanding invoke so a later death verdict on dst can
+      // fail the future and wake its waiters.
+      if (outstanding_invokes_.size() < shared_.nodes.size()) {
+        outstanding_invokes_.resize(shared_.nodes.size());
+      }
+      outstanding_invokes_[dst].push_back(fid);
+    }
+  }
 
   // All the information needed to invoke the thread is marshaled into a
   // single message, unpacked and queued atomically by the receiver.
@@ -797,6 +834,82 @@ void NodeRuntime::register_handlers() {
     const std::uint64_t thread = m.operand(hc, 0);
     hc.charge(1);
     enqueue_ready(thread, hc.now());
+  });
+
+  cmmu_.set_handler(kMsgPing, [this](HandlerCtx& hc, MsgView&) {
+    // Failure-detection probe: the reliable layer's ack (or its absence,
+    // driving retry exhaustion at the prober) carries the whole verdict, so
+    // the handler itself has nothing to do.
+    hc.charge(1);
+  });
+
+  // Steal polls and probes are idle-loop chatter: a deadlocked machine full
+  // of idle thieves must still starve the watchdog into tripping.
+  cmmu_.set_progress_exempt(kMsgStealReq);
+  cmmu_.set_progress_exempt(kMsgStealReply);
+  cmmu_.set_progress_exempt(kMsgStealNack);
+  cmmu_.set_progress_exempt(kMsgPing);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop faults (crash, restart, peer-death verdicts)
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::on_peer_death(NodeId peer, Cycles t) {
+  // A thief waiting on this victim's steal reply would otherwise spin until
+  // its own sanity guard trips: deliver a synthetic nack.
+  if (steal_waiting_ && steal_victim_ == peer) {
+    steal_result_ = 0;
+    steal_rec_ = nullptr;
+    steal_done_ = true;
+  }
+  // Fail every future whose value the dead peer was to produce.
+  if (peer < outstanding_invokes_.size()) {
+    std::vector<FutureId> pending = std::move(outstanding_invokes_[peer]);
+    outstanding_invokes_[peer].clear();
+    for (const FutureId fid : pending) {
+      FutureRec& fr = shared_.registry.future(fid);
+      if (fr.filled || fr.failed) continue;
+      fr.failed = true;
+      fr.error_node = peer;
+      shared_.stats.add(node_, MetricId::kRtInvokeTimeouts);
+      std::vector<FutureWaiter> waiters = std::move(fr.waiters);
+      fr.waiters.clear();
+      for (const FutureWaiter& w : waiters) {
+        assert(w.node == node_ && "invoke futures only have home waiters");
+        enqueue_ready(w.thread, t);
+      }
+    }
+  }
+  for (const auto& listener : shared_.death_listeners) {
+    listener(node_, peer, t);
+  }
+}
+
+void NodeRuntime::crash() {
+  // Fail-stop: all volatile scheduling state is lost. Host-side fiber
+  // objects for in-flight threads are intentionally leaked until the end of
+  // the run — nothing will ever resume them.
+  self_down_ = true;
+  current_thread_ = kInvalidId;
+  ready_threads_.clear();
+  local_tasks_.clear();
+  loop_active_ = false;
+  steal_waiting_ = false;
+  steal_done_ = false;
+  steal_result_ = 0;
+  steal_rec_ = nullptr;
+  steal_victim_ = kInvalidNode;
+  popped_rec_ = nullptr;
+}
+
+void NodeRuntime::restart_after_crash(Cycles t) {
+  self_down_ = false;
+  // Invokes issued before the crash died with the node; forget them so a
+  // later peer death doesn't fail futures the crash already orphaned.
+  outstanding_invokes_.clear();
+  shared_.sim.schedule_at(t, [this, t] {
+    if (proc_.idle()) pick_next(t);
   });
 }
 

@@ -102,6 +102,17 @@ struct RuntimeShared {
   Trace* trace = nullptr;  ///< optional sink for kSched events
   Watchdog* wd = nullptr;  ///< thread dispatch/wake and task runs note progress
 
+  /// Failure-detection fan-out: subsystems with their own waiters
+  /// (collectives, the bulk-copy engine) register a listener; when a node's
+  /// CMMU declares a peer dead, NodeRuntime::on_peer_death calls every
+  /// listener on the observer's timeline. Registration is host-side setup.
+  using DeathListener =
+      std::function<void(NodeId observer, NodeId peer, Cycles t)>;
+  std::vector<DeathListener> death_listeners;
+  void add_death_listener(DeathListener fn) {
+    death_listeners.push_back(std::move(fn));
+  }
+
   static constexpr Cycles kNeverStop = ~Cycles{0};
   /// Sharded stop visibility: the first window boundary at or after the
   /// raise. Callers probe with times that can reach past the current window
@@ -200,6 +211,24 @@ class NodeRuntime {
 
   Fiber* thread_fiber(std::uint64_t id) { return threads_.at(id).fiber.get(); }
 
+  // ---- Fail-stop faults (Machine::crash_node / restart_node) ----
+
+  /// The CMMU declared `peer` dead (wired via Cmmu::set_peer_death_hook):
+  /// cancel a steal wait on it, fail every outstanding invoke future against
+  /// it (rt.invoke_timeouts) waking the touchers, then fan the verdict out to
+  /// the registered death listeners. Runs on this node's timeline.
+  void on_peer_death(NodeId peer, Cycles t);
+
+  /// This node crashed: ready threads, queued local tasks and the idle loop
+  /// are volatile state — all lost. Parked fibers stay parked forever
+  /// (fail-stop has no one left to unwind them).
+  void crash();
+
+  /// Restart after a crash with an empty scheduler; the idle loop re-enters
+  /// at `t` and the node rejoins by stealing work.
+  void restart_after_crash(Cycles t);
+  bool self_down() const { return self_down_; }
+
   // ---- Diagnostics (watchdog dump, tests) ----
   std::size_t ready_count() const { return ready_threads_.size(); }
   std::size_t local_task_count() const { return local_tasks_.size(); }
@@ -273,6 +302,12 @@ class NodeRuntime {
 
   std::uint64_t current_thread_ = kInvalidId;
   bool loop_active_ = false;
+  bool self_down_ = false;  ///< fail-stop: scheduling frozen until restart
+
+  /// Unfilled invoke futures per destination, tracked only when node-down
+  /// faults are configured (zero overhead otherwise): on_peer_death fails
+  /// them fast instead of leaving touchers suspended forever.
+  std::vector<std::vector<FutureId>> outstanding_invokes_;
 
   /// Per-victim last-seen queue tail (cached-probe model).
   std::vector<std::uint64_t> probe_seen_;
@@ -282,6 +317,7 @@ class NodeRuntime {
   bool steal_done_ = false;
   std::uint64_t steal_result_ = 0;
   TaskRec* steal_rec_ = nullptr;  ///< shipped record ptr (sharded engine)
+  NodeId steal_victim_ = kInvalidNode;  ///< in-flight steal target (liveness)
 
   /// Record pointer for the entry most recently returned by try_pop_local /
   /// steal_once (consumed by sched_loop before the next pop).

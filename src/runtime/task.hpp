@@ -54,8 +54,12 @@ struct FutureRec {
   GAddr flag_addr = kNullGAddr;   ///< shm full/empty word (shm runtime)
   GAddr value_addr = kNullGAddr;  ///< shm value word
   bool filled = false;            ///< host-side truth
+  /// The node that was to produce the value was declared dead: the value is
+  /// never coming. touch_future converts this into a typed PeerUnreachable.
+  bool failed = false;
   std::uint64_t value = 0;
   NodeId home = kInvalidNode;     ///< spawning node
+  NodeId error_node = kInvalidNode;  ///< the dead peer (when failed)
   TaskId task = kInvalidId;       ///< producing task (for inlining)
   std::vector<FutureWaiter> waiters;
 };

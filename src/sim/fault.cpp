@@ -37,6 +37,12 @@ void FaultConfig::validate(std::uint32_t nodes) const {
           "FaultConfig: link outage interval is empty (until <= from)");
     }
   }
+  for (const NodeDown& d : node_downs) {
+    if (d.node >= nodes) {
+      throw std::invalid_argument(
+          "FaultConfig: node-down fault names a node outside the machine");
+    }
+  }
 }
 
 LinkOutage FaultConfig::parse_outage(const std::string& spec) {
@@ -55,6 +61,35 @@ LinkOutage FaultConfig::parse_outage(const std::string& spec) {
   o.from = from;
   o.until = until;
   return o;
+}
+
+NodeDown FaultConfig::parse_node_down(const std::string& spec) {
+  NodeDown d;
+  unsigned node = 0;
+  unsigned long long at = 0, dur = 0;
+  int consumed = -1;
+  if (std::sscanf(spec.c_str(), "%u@%llu:%llu%n", &node, &at, &dur,
+                  &consumed) == 3 &&
+      consumed >= 0 && static_cast<std::size_t>(consumed) == spec.size()) {
+    if (dur == 0) {
+      throw std::invalid_argument(
+          "node-down spec: restart duration must be > 0 (omit ':dur' for a "
+          "permanent crash; got '" + spec + "')");
+    }
+  } else {
+    consumed = -1;
+    if (std::sscanf(spec.c_str(), "%u@%llu%n", &node, &at, &consumed) != 2 ||
+        consumed < 0 || static_cast<std::size_t>(consumed) != spec.size()) {
+      throw std::invalid_argument(
+          "node-down spec must look like N@T or N@T:DUR (got '" + spec +
+          "')");
+    }
+    dur = 0;
+  }
+  d.node = static_cast<NodeId>(node);
+  d.at = at;
+  d.duration = dur;
+  return d;
 }
 
 FaultDecision FaultPlan::decide_with(Rng& rng) {

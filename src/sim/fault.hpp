@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -41,6 +42,17 @@ struct LinkOutage {
   Cycles until = 0;
 };
 
+/// One scheduled fail-stop node fault: at cycle `at` node `node` stops
+/// executing and its NIC drops all in-flight and future user traffic. With
+/// `duration != 0` the node restarts at `at + duration` with all volatile
+/// state (threads, queues, reliable-layer windows) lost; `duration == 0`
+/// means the node stays down for the rest of the run.
+struct NodeDown {
+  NodeId node = 0;
+  Cycles at = 0;
+  Cycles duration = 0;  ///< 0 = permanent
+};
+
 /// Fault-injection and recovery configuration, embedded in MachineConfig.
 /// All-defaults means "perfect network": no fault code runs, and behavior is
 /// bit-identical to a build without this subsystem.
@@ -52,6 +64,7 @@ struct FaultConfig {
   double delay_rate = 0.0;    ///< P(extra delivery delay)
   Cycles delay_max = 64;      ///< extra delay drawn uniformly from [1, max]
   std::vector<LinkOutage> outages;
+  std::vector<NodeDown> node_downs;
 
   /// Fault-stream seed; 0 derives one from MachineConfig::rng_seed so the
   /// default stays a function of the machine seed alone.
@@ -77,7 +90,19 @@ struct FaultConfig {
 
   bool any_faults() const {
     return drop_rate > 0.0 || dup_rate > 0.0 || corrupt_rate > 0.0 ||
-           delay_rate > 0.0 || !outages.empty();
+           delay_rate > 0.0 || !outages.empty() || !node_downs.empty();
+  }
+  bool any_node_downs() const { return !node_downs.empty(); }
+
+  /// Ground truth: is node `n` crashed at cycle `t`? A pure function of the
+  /// configuration alone, so any shard (or the host) may consult it without
+  /// synchronization.
+  bool node_down(NodeId n, Cycles t) const {
+    for (const NodeDown& d : node_downs) {
+      if (d.node != n || t < d.at) continue;
+      if (d.duration == 0 || t < d.at + d.duration) return true;
+    }
+    return false;
   }
   bool reliable_on() const { return reliable || any_faults(); }
   Cycles effective_watchdog() const {
@@ -92,6 +117,69 @@ struct FaultConfig {
   /// Parse "a,b@t0..t1" (the --fault-link-down flag format). Throws
   /// std::invalid_argument on malformed specs.
   static LinkOutage parse_outage(const std::string& spec);
+
+  /// Parse "n@t" or "n@t:dur" (the --fault-node-down flag format). Throws
+  /// std::invalid_argument on malformed specs.
+  static NodeDown parse_node_down(const std::string& spec);
+};
+
+// ---------------------------------------------------------------------------
+// Typed crash-family errors. All fail-stop failure modes surface as a
+// NodeFaultError subclass naming the dead node, so callers (and alewife_run's
+// exit-code ladder, which maps this family to exit 6) can tell "a peer died"
+// apart from livelock (WatchdogError, exit 3) and model bugs (CheckerError,
+// exit 4).
+// ---------------------------------------------------------------------------
+
+/// Base of the crash-family errors; `node()` is the dead/suspected node.
+class NodeFaultError : public std::runtime_error {
+ public:
+  NodeFaultError(NodeId node, const std::string& what)
+      : std::runtime_error(what), node_(node) {}
+  NodeId node() const { return node_; }
+
+ private:
+  NodeId node_;
+};
+
+/// The reliable layer exhausted its retry budget against a peer (or the peer
+/// was already declared dead): the awaited reply is never coming.
+class PeerUnreachable : public NodeFaultError {
+ public:
+  explicit PeerUnreachable(NodeId peer)
+      : NodeFaultError(peer, "peer unreachable: node " + std::to_string(peer) +
+                                 " declared dead after retry exhaustion") {}
+};
+
+/// A Communicator operation was aborted because a group member died.
+class CollectiveAborted : public NodeFaultError {
+ public:
+  explicit CollectiveAborted(NodeId dead_member)
+      : NodeFaultError(dead_member,
+                       "collective aborted: group member node " +
+                           std::to_string(dead_member) +
+                           " is dead (fail-stop fault)") {}
+};
+
+/// A shared-memory access touched a line homed at a crashed node. Coherence
+/// recovery is explicitly out of scope: the access errors instead of hanging.
+class HomeNodeDown : public NodeFaultError {
+ public:
+  HomeNodeDown(NodeId home, GAddr addr)
+      : NodeFaultError(home, "home node down: shared-memory access to addr 0x" +
+                                 to_hex(addr) + " homed at crashed node " +
+                                 std::to_string(home)),
+        addr_(addr) {}
+  GAddr addr() const { return addr_; }
+
+ private:
+  static std::string to_hex(GAddr a) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+  }
+  GAddr addr_;
 };
 
 /// What the network does to one transmission of one packet.

@@ -74,6 +74,7 @@ namespace alewife {
   X(kRtInvokesMsg, "rt.invokes_msg", "count", "runtime")                      \
   X(kRtInvokesShm, "rt.invokes_shm", "count", "runtime")                      \
   X(kRtQueueFull, "rt.queue_full", "count", "runtime")                        \
+  X(kRtInvokeTimeouts, "rt.invoke_timeouts", "count", "runtime")              \
   /* bulk copy engine: the node driving the copy */                           \
   X(kBulkMsgPullBytes, "bulk.msg_pull_bytes", "bytes", "bulk")                \
   X(kBulkShmPrefetchBytes, "bulk.shm_prefetch_bytes", "bytes", "bulk")        \
@@ -88,6 +89,7 @@ namespace alewife {
   X(kFaultCorrupts, "fault.corrupts", "count", "fault")                       \
   X(kFaultDelays, "fault.delays", "count", "fault")                           \
   X(kFaultLinkDrops, "fault.link_drops", "count", "fault")                    \
+  X(kFaultNodeCrashes, "fault.node_crashes", "count", "fault")                \
   /* reliable delivery: sender-side events to the sender, receiver-side */    \
   /* events (acks/nacks/dups/window) to the receiving node */                 \
   X(kRelRetransmits, "rel.retransmits", "count", "rel")                       \
@@ -98,6 +100,7 @@ namespace alewife {
   X(kRelOutOfOrder, "rel.out_of_order", "count", "rel")                       \
   X(kRelWindowOverflows, "rel.window_overflows", "count", "rel")              \
   X(kRelDeliveredBytes, "rel.delivered_bytes", "bytes", "rel")                \
+  X(kRelPeersDeclaredDead, "rel.peers_declared_dead", "count", "rel")         \
   /* watchdog: node 0 (machine-wide) */                                       \
   X(kWatchdogTrips, "watchdog.trips", "count", "watchdog")                    \
   /* golden-model checker: value checks to the committing node, protocol */   \
@@ -111,7 +114,8 @@ namespace alewife {
   X(kCollBytes, "coll.bytes", "bytes", "coll")                                \
   X(kCollProcCombines, "coll.proc_combines", "count", "coll")                 \
   X(kCollCmmuCombines, "coll.cmmu_combines", "count", "coll")                 \
-  X(kCollCmmuCombineCycles, "coll.cmmu_combine_cycles", "cycles", "coll")
+  X(kCollCmmuCombineCycles, "coll.cmmu_combine_cycles", "cycles", "coll")     \
+  X(kCollAborts, "coll.aborts", "count", "coll")
 
 enum class MetricId : std::uint16_t {
 #define ALEWIFE_METRIC_ENUM(id, name, unit, subsystem) id,

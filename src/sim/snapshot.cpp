@@ -1,0 +1,165 @@
+#include "sim/snapshot.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/metrics.hpp"
+
+namespace alewife {
+
+namespace {
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw SnapshotError("snapshot: " + what);
+}
+
+}  // namespace
+
+std::uint64_t MachineSnapshot::compute_digest(const MachineSnapshot& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a_u64(h, kVersion);
+  h = fnv1a_u64(h, s.cycle);
+  h = fnv1a_u64(h, s.events);
+  h = fnv1a_u64(h, s.seed);
+  h = fnv1a_u64(h, s.nodes);
+  for (const std::uint64_t c : s.stats.cells) h = fnv1a_u64(h, c);
+  return h;
+}
+
+void write_snapshot(std::ostream& os, const MachineSnapshot& s) {
+  os << "alewife-snapshot v" << MachineSnapshot::kVersion << "\n";
+  os << "cycle " << s.cycle << "\n";
+  os << "events " << s.events << "\n";
+  os << "seed " << s.seed << "\n";
+  os << "nodes " << s.nodes << "\n";
+  os << "metrics " << kMetricCount << "\n";
+  os << "workload " << s.workload << "\n";
+  for (std::uint32_t n = 0; n < s.stats.nodes; ++n) {
+    os << "node " << n;
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      os << ' ' << s.stats.cells[std::size_t{n} * kMetricCount + i];
+    }
+    os << "\n";
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                (unsigned long long)MachineSnapshot::compute_digest(s));
+  os << "digest " << buf << "\n";
+  os << "end\n";
+}
+
+MachineSnapshot read_snapshot(std::istream& is) {
+  MachineSnapshot s;
+  std::string line;
+
+  if (!std::getline(is, line)) bad("empty file");
+  if (line != "alewife-snapshot v1") {
+    bad("bad header '" + line + "' (expected alewife-snapshot v1)");
+  }
+
+  const auto expect_u64 = [&](const char* key) -> std::uint64_t {
+    if (!std::getline(is, line)) bad(std::string("missing '") + key + "'");
+    std::istringstream ls(line);
+    std::string k;
+    std::uint64_t v = 0;
+    if (!(ls >> k >> v) || k != key) {
+      bad(std::string("expected '") + key + " <value>', got '" + line + "'");
+    }
+    return v;
+  };
+
+  s.cycle = expect_u64("cycle");
+  s.events = expect_u64("events");
+  s.seed = expect_u64("seed");
+  s.nodes = static_cast<std::uint32_t>(expect_u64("nodes"));
+  const std::uint64_t metrics = expect_u64("metrics");
+  if (metrics != kMetricCount) {
+    bad("metric count mismatch: file has " + std::to_string(metrics) +
+        ", this build has " + std::to_string(kMetricCount) +
+        " (snapshot from a different version)");
+  }
+
+  if (!std::getline(is, line) || line.rfind("workload ", 0) != 0) {
+    bad("missing 'workload' line");
+  }
+  s.workload = line.substr(9);
+
+  s.stats.nodes = s.nodes;
+  s.stats.cells.assign(std::size_t{s.nodes} * kMetricCount, 0);
+  for (std::uint32_t n = 0; n < s.nodes; ++n) {
+    if (!std::getline(is, line)) bad("truncated cell data");
+    std::istringstream ls(line);
+    std::string k;
+    std::uint32_t id = 0;
+    if (!(ls >> k >> id) || k != "node" || id != n) {
+      bad("expected 'node " + std::to_string(n) + " ...', got '" + line + "'");
+    }
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      std::uint64_t v = 0;
+      if (!(ls >> v)) {
+        bad("node " + std::to_string(n) + ": short cell row");
+      }
+      s.stats.cells[std::size_t{n} * kMetricCount + i] = v;
+    }
+  }
+
+  if (!std::getline(is, line) || line.rfind("digest ", 0) != 0) {
+    bad("missing 'digest' line");
+  }
+  s.digest = std::strtoull(line.c_str() + 7, nullptr, 16);
+  if (s.digest != MachineSnapshot::compute_digest(s)) {
+    bad("self-digest mismatch (corrupt or edited file)");
+  }
+  if (!std::getline(is, line) || line != "end") bad("missing 'end' marker");
+  return s;
+}
+
+void verify_snapshot(const MachineSnapshot& ref, const MachineSnapshot& now) {
+  const auto mism = [](const std::string& what) {
+    throw SnapshotMismatch("snapshot mismatch: " + what +
+                           " (the restored run is not the captured run)");
+  };
+  if (now.seed != ref.seed) {
+    mism("seed " + std::to_string(now.seed) + " vs checkpoint " +
+         std::to_string(ref.seed));
+  }
+  if (now.nodes != ref.nodes) {
+    mism("nodes " + std::to_string(now.nodes) + " vs checkpoint " +
+         std::to_string(ref.nodes));
+  }
+  if (now.cycle != ref.cycle) {
+    mism("cycle " + std::to_string(now.cycle) + " vs checkpoint " +
+         std::to_string(ref.cycle));
+  }
+  if (now.events != ref.events) {
+    mism("event count " + std::to_string(now.events) + " vs checkpoint " +
+         std::to_string(ref.events) + " at cycle " +
+         std::to_string(ref.cycle));
+  }
+  for (std::uint32_t n = 0; n < ref.nodes; ++n) {
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      const std::uint64_t a =
+          ref.stats.cells[std::size_t{n} * kMetricCount + i];
+      const std::uint64_t b =
+          now.stats.cells[std::size_t{n} * kMetricCount + i];
+      if (a == b) continue;
+      mism(std::string(metric_info(static_cast<MetricId>(i)).name) +
+           " on node " + std::to_string(n) + ": " + std::to_string(b) +
+           " vs checkpoint " + std::to_string(a) + " at cycle " +
+           std::to_string(ref.cycle));
+    }
+  }
+}
+
+}  // namespace alewife

@@ -1,0 +1,75 @@
+// Checkpoint/restore for the deterministic simulator.
+//
+// A snapshot is a versioned, deterministic capture of the machine's
+// observable state at one simulated cycle: the cycle itself, the executed
+// event count, and the full per-node metric array. Because the DES is a pure
+// function of (config, workload, seed), this capture pins the entire future
+// of the run — restore therefore replays the same workload up to the
+// snapshot cycle and *proves* bit-exact equality against the captured state
+// before continuing, instead of trusting an opaque blob. A run continued
+// from a verified snapshot is bit-identical to the uninterrupted run by
+// construction (and the final stats digest shows it).
+//
+// The on-disk format is line-oriented text: versioned, diffable, and
+// independent of host endianness. A self-digest (FNV-1a over the cycle,
+// event count and every cell) detects truncation or hand-editing at read
+// time. The metric count is recorded so a snapshot taken before a metric
+// was added fails loudly instead of misaligning cells.
+//
+// Serial engines only: the capture event fires at an exact cycle, which the
+// sharded engine's lookahead windows cannot honor mid-window.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+/// The captured state. `workload` is a free-form identity line (app name +
+/// flags) kept for humans and error messages; `seed` and `nodes` are checked
+/// on restore so a snapshot cannot silently verify against a different run.
+struct MachineSnapshot {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t cycle = 0;   ///< simulated time of the capture
+  std::uint64_t events = 0;  ///< events executed up to the capture
+  std::uint64_t seed = 0;    ///< MachineConfig::rng_seed of the run
+  std::uint32_t nodes = 0;
+  std::string workload;      ///< identity line (no newlines)
+  StatsSnapshot stats;       ///< full per-node metric cells at `cycle`
+  std::uint64_t digest = 0;  ///< self-digest (computed at capture/write)
+
+  /// FNV-1a over (version, cycle, events, seed, nodes, every cell).
+  static std::uint64_t compute_digest(const MachineSnapshot& s);
+};
+
+/// Malformed or corrupt snapshot file (bad header, version, digest).
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Replayed state diverged from the checkpoint: the run being restored is
+/// not the run that was captured (alewife_run exit code 7).
+class SnapshotMismatch : public SnapshotError {
+ public:
+  using SnapshotError::SnapshotError;
+};
+
+/// Serialize `s` (computes and writes the self-digest).
+void write_snapshot(std::ostream& os, const MachineSnapshot& s);
+
+/// Parse and digest-check a snapshot; throws SnapshotError on any problem.
+MachineSnapshot read_snapshot(std::istream& is);
+
+/// Compare the replayed machine state `now` against checkpoint `ref`
+/// field by field; throws SnapshotMismatch naming the first divergence
+/// (including the metric name and node for a counter mismatch).
+void verify_snapshot(const MachineSnapshot& ref, const MachineSnapshot& now);
+
+}  // namespace alewife

@@ -16,6 +16,8 @@ const char* trace_cat_name(TraceCat c) {
       return "sch";
     case TraceCat::kApp:
       return "app";
+    case TraceCat::kFault:
+      return "flt";
     case TraceCat::kCount_:
       break;
   }

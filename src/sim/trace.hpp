@@ -23,6 +23,7 @@ enum class TraceCat : std::uint8_t {
   kMsg,        ///< CMMU sends / handler dispatches
   kSched,      ///< spawns, steals, thread switches
   kApp,        ///< application-defined
+  kFault,      ///< injected faults: node crashes/restarts, death verdicts
   kCount_,
 };
 

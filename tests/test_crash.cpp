@@ -1,0 +1,493 @@
+// Fail-stop node faults, failure detection and checkpoint/restore
+// (ISSUE: robustness — crash/recovery layer).
+//
+// A crashed node must surface as *typed errors in bounded time* everywhere
+// the runtime can be waiting on it — collectives abort naming the dead
+// member, bulk transfers and remote invokes fail with PeerUnreachable,
+// shared-memory accesses to a dead home raise HomeNodeDown — and never as a
+// silent hang. Crashes are part of the deterministic event stream (equal
+// seeds give bit-identical faulty runs), restarts bring nodes back with
+// volatile state lost, and a checkpoint taken mid-run proves bit-exact
+// against a replay of the same workload.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/grain.hpp"
+#include "core/machine.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/collective.hpp"
+#include "sim/fault.hpp"
+#include "sim/snapshot.hpp"
+
+namespace alewife {
+namespace {
+
+MachineConfig crash_cfg(std::uint32_t nodes, NodeId victim, Cycles at,
+                        Cycles duration = 0) {
+  MachineConfig c;
+  c.nodes = nodes;
+  c.rng_seed = 0xDEAD5EED;
+  c.max_cycles = 500'000'000;
+  c.fault.node_downs.push_back(NodeDown{victim, at, duration});
+  return c;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Stats digest: final time, app result and every counter. Deliberately
+/// excludes the executed-event count so a run with an extra host-side
+/// observation event (a checkpoint capture) digests equal to one without.
+std::uint64_t stats_digest(Machine& m, std::uint64_t app_result) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, m.sim().now());
+  h = fnv1a(h, app_result);
+  for (const auto& [name, value] : m.stats().counters()) {
+    for (unsigned char ch : name) {
+      h ^= ch;
+      h *= 0x100000001b3ull;
+    }
+    h = fnv1a(h, value);
+  }
+  return h;
+}
+
+MachineSnapshot capture(Machine& m) {
+  MachineSnapshot s;
+  s.cycle = m.sim().now();
+  s.events = m.sim().events_executed();
+  s.seed = m.config().rng_seed;
+  s.nodes = m.nodes();
+  s.workload = "test";
+  s.stats = m.stats().snapshot();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Typed errors in bounded time
+// ---------------------------------------------------------------------------
+
+TEST(Crash, CollectiveBarrierAbortsNamingDeadMember) {
+  MachineConfig c = crash_cfg(16, /*victim=*/5, /*at=*/2000);
+  Machine m(c);
+  Communicator comm(m.runtime(), CollectiveConfig{CollMech::kMsg});
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&comm](Context& ctx) {
+      for (int e = 0; e < 1000; ++e) comm.barrier(ctx);
+    });
+  }
+  try {
+    m.run_started();
+    FAIL() << "expected CollectiveAborted";
+  } catch (const CollectiveAborted& e) {
+    EXPECT_EQ(e.node(), 5u);
+  }
+  // Fast-fail, not watchdog: the abort must land within the retry budget
+  // plus one probe period, far under the 2M-cycle watchdog interval.
+  EXPECT_LT(m.sim().now(), 2'000'000u);
+  EXPECT_EQ(m.stats().get(MetricId::kFaultNodeCrashes), 1u);
+  EXPECT_GE(m.stats().get(MetricId::kCollAborts), 1u);
+  EXPECT_GE(m.stats().get(MetricId::kRelPeersDeclaredDead), 1u);
+  EXPECT_EQ(m.stats().get(MetricId::kWatchdogTrips), 0u);
+}
+
+TEST(Crash, CollectiveAllreduceHybridAborts) {
+  MachineConfig c = crash_cfg(16, /*victim=*/3, /*at=*/1500);
+  Machine m(c);
+  CollectiveConfig cc;
+  cc.mech = CollMech::kHybrid;
+  cc.group = 4;
+  Communicator comm(m.runtime(), cc);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&comm, n](Context& ctx) {
+      for (int e = 0; e < 1000; ++e) comm.allreduce(ctx, n + e);
+    });
+  }
+  try {
+    m.run_started();
+    FAIL() << "expected CollectiveAborted";
+  } catch (const CollectiveAborted& e) {
+    EXPECT_EQ(e.node(), 3u);
+  }
+  EXPECT_LT(m.sim().now(), 2'000'000u);
+  EXPECT_GE(m.stats().get(MetricId::kCollAborts), 1u);
+}
+
+TEST(Crash, ScatterToDeadMemberAborts) {
+  MachineConfig c = crash_cfg(8, /*victim=*/6, /*at=*/1000);
+  Machine m(c);
+  Communicator comm(m.runtime(), CollectiveConfig{CollMech::kMsg});
+  BackingStore& store = m.runtime().ms.store();
+  constexpr std::uint32_t kSlice = 64;
+  const GAddr rootbuf = store.alloc(0, 8ull * kSlice);
+  std::vector<GAddr> local;
+  for (NodeId i = 0; i < 8; ++i) local.push_back(store.alloc(i, kSlice));
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&comm, &local, rootbuf, n](Context& ctx) {
+      for (int e = 0; e < 1000; ++e) {
+        comm.scatter(ctx, rootbuf, local[n], kSlice);
+      }
+    });
+  }
+  try {
+    m.run_started();
+    FAIL() << "expected CollectiveAborted";
+  } catch (const CollectiveAborted& e) {
+    EXPECT_EQ(e.node(), 6u);
+  }
+  EXPECT_LT(m.sim().now(), 2'000'000u);
+}
+
+TEST(Crash, BulkCopyToDeadPeerFailsWithPeerUnreachable) {
+  MachineConfig c = crash_cfg(8, /*victim=*/3, /*at=*/100);
+  Machine m(c);
+  constexpr std::uint32_t kBytes = 1024;
+  try {
+    m.run([&](Context& ctx) -> std::uint64_t {
+      const GAddr src = ctx.shmalloc(0, kBytes);
+      const GAddr dst = ctx.shmalloc(3, kBytes);
+      for (std::uint32_t i = 0; i < kBytes; i += 8) ctx.store(src + i, i);
+      ctx.compute(500);  // the victim is dead by now, but not yet suspected
+      m.bulk().copy(ctx, dst, src, kBytes, CopyImpl::kMsgDma);
+      return 0;
+    });
+    FAIL() << "expected PeerUnreachable";
+  } catch (const PeerUnreachable& e) {
+    EXPECT_EQ(e.node(), 3u);
+  }
+  EXPECT_LT(m.sim().now(), 2'000'000u);
+  EXPECT_GE(m.stats().get(MetricId::kRelPeersDeclaredDead), 1u);
+}
+
+TEST(Crash, InvokeToDeadPeerFailsTypedThenFastFails) {
+  MachineConfig c = crash_cfg(8, /*victim=*/2, /*at=*/100);
+  Machine m(c);
+  Cycles first_fail = 0, second_fail = 0;
+  try {
+    m.run([&](Context& ctx) -> std::uint64_t {
+      ctx.compute(500);
+      // First invoke: the peer is dead but not yet suspected; the request
+      // rides retry exhaustion and the touch surfaces a typed error.
+      FutureId f = ctx.invoke_msg(2, [](Context&) -> std::uint64_t {
+        return 1;
+      });
+      try {
+        ctx.touch(f);
+        ADD_FAILURE() << "first touch should have thrown";
+      } catch (const PeerUnreachable& e) {
+        EXPECT_EQ(e.node(), 2u);
+        first_fail = ctx.now();
+      }
+      // Second invoke: the peer is now a known suspect; the failure is
+      // immediate (no second retry storm).
+      FutureId g = ctx.invoke_msg(2, [](Context&) -> std::uint64_t {
+        return 2;
+      });
+      const Cycles t0 = ctx.now();
+      try {
+        ctx.touch(g);
+      } catch (const PeerUnreachable&) {
+        second_fail = ctx.now() - t0;
+      }
+      throw PeerUnreachable(2);  // end the run with the typed error
+    });
+    FAIL() << "expected PeerUnreachable";
+  } catch (const PeerUnreachable& e) {
+    EXPECT_EQ(e.node(), 2u);
+  }
+  EXPECT_GT(first_fail, 0u);
+  EXPECT_LT(first_fail, 2'000'000u);  // bounded by the retry budget
+  EXPECT_LT(second_fail, 1000u);      // fast-fail against a known suspect
+  EXPECT_GE(m.stats().get(MetricId::kRtInvokeTimeouts), 2u);
+}
+
+TEST(Crash, ShmAccessToDeadHomeRaisesHomeNodeDown) {
+  MachineConfig c = crash_cfg(8, /*victim=*/1, /*at=*/100);
+  Machine m(c);
+  GAddr remote = 0;
+  try {
+    m.run([&](Context& ctx) -> std::uint64_t {
+      remote = ctx.shmalloc(1, 64);
+      ctx.compute(500);
+      return ctx.load(remote);  // home is fail-stopped: must not hang
+    });
+    FAIL() << "expected HomeNodeDown";
+  } catch (const HomeNodeDown& e) {
+    EXPECT_EQ(e.node(), 1u);
+    EXPECT_EQ(e.addr(), remote);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Restart (transient crash)
+// ---------------------------------------------------------------------------
+
+TEST(Crash, RestartedNodeServesInvokesAgain) {
+  // Node 1 is down for cycles [500, 1500); nothing talks to it while it is
+  // dead, so nobody suspects it, and after the restart it must serve remote
+  // invokes exactly like a freshly booted node.
+  MachineConfig c = crash_cfg(8, /*victim=*/1, /*at=*/500, /*duration=*/1000);
+  Machine m(c);
+  bool down_mid_window = false;
+  m.at_cycle(1000, [&] { down_mid_window = m.node_is_down(1); });
+  const std::uint64_t got = m.run([&](Context& ctx) -> std::uint64_t {
+    ctx.compute(3000);  // past the restart
+    FutureId f = ctx.invoke_msg(1, [](Context&) -> std::uint64_t {
+      return 42;
+    });
+    return ctx.touch(f);
+  });
+  EXPECT_EQ(got, 42u);
+  EXPECT_TRUE(down_mid_window);
+  EXPECT_FALSE(m.node_is_down(1));
+  EXPECT_EQ(m.stats().get(MetricId::kFaultNodeCrashes), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog dump (legacy barrier has no abort path: the dump must name the
+// dead node and who declared it dead)
+// ---------------------------------------------------------------------------
+
+TEST(Crash, WatchdogDumpNamesDeadPeerAndSuspicions) {
+  // An application that learns of the death (so node 1 declares node 0
+  // dead) and then deadlocks itself anyway: the watchdog must convert the
+  // hang into a diagnostic whose liveness section names the fail-stopped
+  // node and who declared it dead. A shrunk retry budget keeps detection
+  // fast; a shrunk watchdog interval keeps the test fast.
+  MachineConfig c = crash_cfg(4, /*victim=*/0, /*at=*/500);
+  c.fault.retrans_timeout = 256;
+  c.fault.max_retries = 4;
+  c.fault.watchdog_interval = 150'000;
+  Machine m(c);
+  for (NodeId n = 1; n < m.nodes(); ++n) {
+    m.start_thread(n, [](Context& ctx) {
+      if (ctx.node() != 1) return;
+      ctx.compute(2000);  // the victim is dead by now
+      FutureId f = ctx.invoke_msg(0, [](Context&) -> std::uint64_t {
+        return 1;
+      });
+      try {
+        ctx.touch(f);
+      } catch (const PeerUnreachable&) {
+        // Now a deliberate bug: suspend with nobody left to wake us.
+        ctx.suspend();
+      }
+    });
+  }
+  try {
+    m.run_started();
+    FAIL() << "expected WatchdogError";
+  } catch (const WatchdogError& e) {
+    const std::string dump = e.what();
+    EXPECT_NE(dump.find("DOWN (fail-stop)"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("declares-dead"), std::string::npos) << dump;
+  }
+  EXPECT_GE(m.stats().get(MetricId::kRelPeersDeclaredDead), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: crashes are part of the seeded event stream
+// ---------------------------------------------------------------------------
+
+/// Collective episodes where every thread absorbs the abort, so the faulty
+/// run completes and can be digested.
+std::uint64_t run_absorbing_collective(const MachineConfig& c) {
+  Machine m(c);
+  Communicator comm(m.runtime(), CollectiveConfig{CollMech::kMsg});
+  auto aborts = std::make_shared<std::uint64_t>(0);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&comm, aborts](Context& ctx) {
+      try {
+        for (int e = 0; e < 1000; ++e) comm.barrier(ctx);
+      } catch (const CollectiveAborted&) {
+        ++*aborts;
+      }
+    });
+  }
+  m.run_started();
+  return stats_digest(m, *aborts);
+}
+
+TEST(Crash, EqualSeedsGiveBitIdenticalCrashRuns) {
+  const MachineConfig c = crash_cfg(16, /*victim=*/7, /*at=*/2500);
+  const std::uint64_t a = run_absorbing_collective(c);
+  const std::uint64_t b = run_absorbing_collective(c);
+  EXPECT_EQ(a, b);
+
+  MachineConfig c2 = c;
+  c2.rng_seed = 0x0DD5EED;
+  EXPECT_NE(run_absorbing_collective(c2), a)
+      << "different seeds should not collide on the full stats digest";
+}
+
+// ---------------------------------------------------------------------------
+// Five reference workloads: faults-off determinism and checkpoint/restore
+// digest equality
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  const char* name;
+  Cycles capture_at;  ///< mid-run cycle for the checkpoint battery
+  std::uint64_t (*run)(Machine& m);
+};
+
+std::uint64_t wl_grain(Machine& m) {
+  return m.run([](Context& ctx) -> std::uint64_t {
+    return apps::grain_parallel(ctx, /*depth=*/7, /*delay=*/20);
+  });
+}
+
+std::uint64_t wl_barrier(Machine& m) {
+  CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 8);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&bar](Context& ctx) {
+      for (int e = 0; e < 6; ++e) bar.wait(ctx);
+    });
+  }
+  m.run_started();
+  return 0;
+}
+
+std::uint64_t wl_allreduce(Machine& m) {
+  CollectiveConfig cc;
+  cc.mech = CollMech::kHybrid;
+  cc.group = 4;
+  auto comm = std::make_shared<Communicator>(m.runtime(), cc);
+  auto sum = std::make_shared<std::uint64_t>(0);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [comm, sum, n](Context& ctx) {
+      for (int e = 0; e < 4; ++e) {
+        const std::uint64_t v = comm->allreduce(ctx, n + e);
+        if (ctx.node() == 0) *sum += v;
+      }
+    });
+  }
+  m.run_started();
+  return *sum;
+}
+
+std::uint64_t wl_bulk(Machine& m) {
+  constexpr std::uint32_t kBytes = 4096;
+  return m.run([&m](Context& ctx) -> std::uint64_t {
+    const GAddr src = ctx.shmalloc(0, kBytes);
+    const GAddr dst = ctx.shmalloc(3, kBytes);
+    for (std::uint32_t i = 0; i < kBytes; i += 8) ctx.store(src + i, i * 3);
+    m.bulk().copy(ctx, dst, src, kBytes, CopyImpl::kMsgDma);
+    return ctx.load(dst + kBytes - 8);
+  });
+}
+
+std::uint64_t wl_spawn_tree(Machine& m) {
+  // Work-stealing spawn tree: the runtime path (steal messages, futures)
+  // under the default hybrid scheduler.
+  return m.run([](Context& ctx) -> std::uint64_t {
+    return apps::grain_parallel(ctx, /*depth=*/9, /*delay=*/5);
+  });
+}
+
+const Workload kWorkloads[] = {
+    {"grain", 1000, wl_grain},       {"barrier", 800, wl_barrier},
+    {"allreduce", 800, wl_allreduce}, {"bulk", 500, wl_bulk},
+    {"spawn_tree", 1000, wl_spawn_tree},
+};
+
+MachineConfig ref_cfg() {
+  MachineConfig c;
+  c.nodes = 8;
+  c.rng_seed = 0x5EED;
+  c.max_cycles = 500'000'000;
+  return c;
+}
+
+TEST(Crash, FaultsOffReferenceWorkloadsAreBitIdentical) {
+  // With no faults configured, none of the crash subsystem arms — two fresh
+  // machines must digest bit-identically on every reference workload.
+  for (const Workload& w : kWorkloads) {
+    Machine a(ref_cfg());
+    Machine b(ref_cfg());
+    const std::uint64_t ra = w.run(a);
+    const std::uint64_t rb = w.run(b);
+    EXPECT_EQ(stats_digest(a, ra), stats_digest(b, rb)) << w.name;
+  }
+}
+
+TEST(Crash, CheckpointRestoreReproducesUninterruptedDigest) {
+  for (const Workload& w : kWorkloads) {
+    // Uninterrupted reference run.
+    Machine ref(ref_cfg());
+    const std::uint64_t r_ref = w.run(ref);
+    const std::uint64_t d_ref = stats_digest(ref, r_ref);
+
+    // Capture run: a snapshot is taken mid-run; the observation must not
+    // perturb the machine (same final digest as the uninterrupted run).
+    Machine cap(ref_cfg());
+    MachineSnapshot snap;
+    bool captured = false;
+    cap.at_cycle(w.capture_at, [&] {
+      snap = capture(cap);
+      snap.digest = MachineSnapshot::compute_digest(snap);
+      captured = true;
+    });
+    const std::uint64_t r_cap = w.run(cap);
+    ASSERT_TRUE(captured) << w.name << ": run ended before the capture cycle";
+    EXPECT_EQ(stats_digest(cap, r_cap), d_ref)
+        << w.name << ": the capture perturbed the run";
+
+    // Round-trip the snapshot through its serialized form.
+    std::stringstream ss;
+    write_snapshot(ss, snap);
+    const MachineSnapshot loaded = read_snapshot(ss);
+
+    // Restore run: replay the same workload, prove bit-exact equality at
+    // the checkpoint cycle, then continue to the same final digest.
+    Machine res(ref_cfg());
+    bool verified = false;
+    res.at_cycle(loaded.cycle, [&] {
+      verify_snapshot(loaded, capture(res));  // throws SnapshotMismatch
+      verified = true;
+    });
+    const std::uint64_t r_res = w.run(res);
+    ASSERT_TRUE(verified) << w.name;
+    EXPECT_EQ(stats_digest(res, r_res), d_ref)
+        << w.name << ": restored run diverged after the checkpoint";
+  }
+}
+
+TEST(Crash, SnapshotRejectsCorruptionAndMismatch) {
+  Machine m(ref_cfg());
+  (void)wl_grain(m);
+  MachineSnapshot s = capture(m);
+
+  std::stringstream ss;
+  write_snapshot(ss, s);
+  std::string text = ss.str();
+  EXPECT_NO_THROW({
+    std::stringstream in(text);
+    (void)read_snapshot(in);
+  });
+
+  // Flip one digit of one counter: the self-digest must catch it.
+  const std::size_t pos = text.find("node 1 ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 7] = text[pos + 7] == '9' ? '8' : '9';
+  std::stringstream bad(text);
+  EXPECT_THROW((void)read_snapshot(bad), SnapshotError);
+
+  // Verification against a different machine state names the divergence.
+  MachineSnapshot other = s;
+  other.cycle += 1;
+  EXPECT_THROW(verify_snapshot(s, other), SnapshotMismatch);
+}
+
+}  // namespace
+}  // namespace alewife

@@ -18,6 +18,12 @@
 // is printed verbatim on failure. Exit codes: 0 all episodes clean, 2 usage,
 // 4 a CheckerError (coherence violation caught by the golden model), 1 any
 // other failure (wrong end-to-end values, watchdog trip, timeout).
+//
+// `--crashes` switches to fail-stop crash episodes (docs/FAULTS.md): each
+// episode crashes one randomly chosen node mid-collective and asserts the
+// survivors get a typed CollectiveAborted naming the dead member in bounded
+// cycles (no watchdog trip), and that the whole faulty run is bit-identical
+// when replayed with the same seed.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -27,6 +33,8 @@
 
 #include "cli.hpp"
 #include "core/machine.hpp"
+#include "runtime/collective.hpp"
+#include "sim/fault.hpp"
 #include "sim/rng.hpp"
 
 using namespace alewife;
@@ -39,6 +47,7 @@ struct FuzzArgs {
   std::uint64_t start = 0;      ///< first episode index (replay = --start E)
   std::uint32_t nodes = 0;      ///< 0 = vary per episode
   bool faults = false;          ///< layer packet faults under the workload
+  bool crashes = false;         ///< fail-stop crash episodes instead
   bool no_check = false;        ///< run without the golden-model checker
   bool verbose = false;
 };
@@ -90,8 +99,132 @@ std::string replay_command(const FuzzArgs& fa, std::uint64_t episode) {
       << " --episodes 1";
   if (fa.nodes != 0) oss << " --nodes " << fa.nodes;
   if (fa.faults) oss << " --faults";
+  if (fa.crashes) oss << " --crashes";
   if (fa.no_check) oss << " --no-check";
   return oss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop crash episodes (--crashes)
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// One deterministic crash scenario; every counter and the final cycle feed
+/// the digest so a replay must be bit-identical, not just same-verdict.
+struct CrashOutcome {
+  std::string failure;       // empty = episode assertions held
+  std::uint64_t digest = 0;  // final cycle + abort verdicts + all counters
+};
+
+CrashOutcome run_crash_once(std::uint64_t seed, std::uint32_t nodes,
+                            NodeId victim, Cycles crash_at, bool hybrid) {
+  CrashOutcome out;
+  MachineConfig cfg;
+  cfg.nodes = nodes;
+  cfg.rng_seed = seed;
+  cfg.max_cycles = 50'000'000;
+  // Crash recovery of coherence state is out of scope (docs/FAULTS.md), so
+  // the golden model has nothing sound to say about post-crash lines.
+  cfg.check.enabled = false;
+  cfg.fault.node_downs.push_back(NodeDown{victim, crash_at, 0});
+  Machine m(cfg);
+
+  CollectiveConfig cc;
+  cc.mech = hybrid ? CollMech::kHybrid : CollMech::kMsg;
+  if (hybrid) cc.group = 4;
+  Communicator comm(m.runtime(), cc);
+
+  // Enough episodes that the crash always lands mid-collective; survivors
+  // absorb the abort so the run completes and can be digested.
+  auto aborts = std::make_shared<std::vector<NodeId>>();
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.start_thread(n, [&comm, aborts, n](Context& ctx) {
+      try {
+        for (int e = 0; e < 100'000; ++e) {
+          (void)comm.allreduce(ctx, n + static_cast<std::uint64_t>(e));
+        }
+      } catch (const CollectiveAborted& e) {
+        aborts->push_back(e.node());
+      }
+    });
+  }
+  m.run_started();
+
+  std::ostringstream oss;
+  if (aborts->empty()) {
+    oss << "no survivor saw CollectiveAborted";
+  } else {
+    for (const NodeId dead : *aborts) {
+      if (dead != victim) {
+        oss << "abort named node " << dead << ", crashed node was " << victim;
+        break;
+      }
+    }
+  }
+  if (oss.str().empty()) {
+    // Typed fast-fail, not watchdog: bounded by the retry budget plus one
+    // probe period, well under the 2M-cycle watchdog interval.
+    if (m.now() > crash_at + 2'000'000) {
+      oss << "abort took " << (m.now() - crash_at)
+          << " cycles past the crash (expected bounded fast-fail)";
+    } else if (m.stats().get(MetricId::kWatchdogTrips) != 0) {
+      oss << "watchdog tripped; detection should have fast-failed first";
+    } else if (m.stats().get(MetricId::kFaultNodeCrashes) != 1) {
+      oss << "fault.node_crashes = "
+          << m.stats().get(MetricId::kFaultNodeCrashes) << ", expected 1";
+    } else if (m.stats().get(MetricId::kRelPeersDeclaredDead) == 0) {
+      oss << "nobody declared the crashed peer dead";
+    }
+  }
+  out.failure = oss.str();
+
+  std::uint64_t h = fnv1a_u64(0xcbf29ce484222325ull, m.now());
+  for (const NodeId dead : *aborts) h = fnv1a_u64(h, dead);
+  for (const auto& [name, value] : m.stats().counters()) {
+    for (const char ch : name) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 0x100000001b3ull;
+    }
+    h = fnv1a_u64(h, value);
+  }
+  out.digest = h;
+  return out;
+}
+
+std::string run_crash_episode(const FuzzArgs& fa, std::uint64_t episode,
+                              std::uint64_t* aborted_episodes) {
+  Rng rng(fa.seed ^ (0x9E3779B97F4A7C15ull * (episode + 1)));
+  static constexpr std::uint32_t kNodeChoices[] = {4, 8, 16};
+  const std::uint32_t nodes =
+      fa.nodes != 0 ? fa.nodes : kNodeChoices[rng.below(3)];
+  const NodeId victim = static_cast<NodeId>(rng.below(nodes));
+  const Cycles crash_at = 500 + rng.below(4000);
+  const bool hybrid = nodes % 4 == 0 && rng.below(2) == 0;
+  const std::uint64_t seed = fa.seed ^ (0xC0FFEEull * (episode + 1));
+
+  const CrashOutcome a = run_crash_once(seed, nodes, victim, crash_at, hybrid);
+  if (!a.failure.empty()) return a.failure;
+  const CrashOutcome b = run_crash_once(seed, nodes, victim, crash_at, hybrid);
+  if (a.digest != b.digest) {
+    std::ostringstream oss;
+    oss << "same-seed crash replay diverged: " << std::hex << a.digest
+        << " vs " << b.digest;
+    return oss.str();
+  }
+  ++*aborted_episodes;
+  if (fa.verbose) {
+    std::printf("episode %llu: nodes=%u victim=%u at=%llu %s ok\n",
+                (unsigned long long)episode, nodes, victim,
+                (unsigned long long)crash_at, hybrid ? "hybrid" : "msg");
+  }
+  return "";
 }
 
 /// Run one episode; returns empty string on success, else a failure
@@ -358,6 +491,8 @@ int main(int argc, char** argv) {
       .value_u64("--start", "first episode index (failure replay)", &fa.start)
       .value_u32("--nodes", "fix the node count (0 = vary)", &fa.nodes)
       .flag("--faults", "inject packet drop/dup/corrupt/delay", &fa.faults)
+      .flag("--crashes", "fail-stop crash episodes (typed abort + replay)",
+            &fa.crashes)
       .flag("--no-check", "disable the golden-model checker", &fa.no_check)
       .flag("--verbose", "one line per episode", &fa.verbose);
   std::vector<std::string> tokens(argv + 1, argv + argc);
@@ -370,11 +505,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::uint64_t value_checks = 0, protocol_checks = 0;
+  std::uint64_t value_checks = 0, protocol_checks = 0, aborted_episodes = 0;
   for (std::uint64_t e = fa.start; e < fa.start + fa.episodes; ++e) {
     std::string failure;
     try {
-      failure = run_episode(fa, e, &value_checks, &protocol_checks);
+      failure = fa.crashes
+                    ? run_crash_episode(fa, e, &aborted_episodes)
+                    : run_episode(fa, e, &value_checks, &protocol_checks);
     } catch (const CheckerError& err) {
       std::fprintf(stderr,
                    "alewife_fuzz: episode %llu FAILED (checker: %s)\n%s\n"
@@ -396,6 +533,14 @@ int main(int argc, char** argv) {
                    replay_command(fa, e).c_str());
       return 1;
     }
+  }
+  if (fa.crashes) {
+    std::printf(
+        "alewife_fuzz: %llu crash episodes clean (seed %llu, start %llu); "
+        "every crash aborted typed, every replay bit-identical\n",
+        (unsigned long long)fa.episodes, (unsigned long long)fa.seed,
+        (unsigned long long)fa.start);
+    return 0;
   }
   std::printf(
       "alewife_fuzz: %llu episodes clean (seed %llu, start %llu%s%s); "

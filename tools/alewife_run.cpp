@@ -43,6 +43,17 @@
 // Unknown or misspelled --flags are errors (exit 2), both before and after
 // the app name.
 //
+// Exit codes (the authoritative table; docs/FAULTS.md mirrors it):
+//   0  success
+//   1  I/O error (unwritable output file, unreadable/corrupt snapshot)
+//   2  usage error (unknown flag/app, malformed value, bad combination)
+//   3  no progress: the livelock watchdog tripped, or simulated time ran out
+//   4  the golden-model memory checker caught a coherence violation
+//   5  --verify-shards: digests diverged across shard counts
+//   6  a node-fault error escaped the app (PeerUnreachable,
+//      CollectiveAborted, HomeNodeDown — see docs/FAULTS.md)
+//   7  --restore: replayed state diverged from the checkpoint
+//
 // Examples:
 //   alewife_run --nodes 64 --mode shm grain --depth 12 --delay 0
 //   alewife_run --stats-json out.json barrier --mech msg --episodes 4
@@ -63,6 +74,8 @@
 #include "cli.hpp"
 #include "core/machine.hpp"
 #include "runtime/barrier.hpp"
+#include "sim/fault.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/stats_io.hpp"
 
 using namespace alewife;
@@ -78,6 +91,9 @@ struct MachineArgs {
   bool verify_shards = false;  ///< rerun at shards {1,2,4}, compare digests
   std::string stats_json;  ///< --stats-json FILE (empty = off)
   std::string trace_out;   ///< --trace-out FILE (empty = off)
+  Cycles checkpoint_at = 0;     ///< --checkpoint-at T (0 = off)
+  std::string checkpoint_out;   ///< --checkpoint FILE
+  std::string restore_in;       ///< --restore FILE
 };
 
 cli::OptionTable machine_options(MachineArgs& a) {
@@ -129,6 +145,22 @@ cli::OptionTable machine_options(MachineArgs& a) {
              [&a](const std::string& v) {
                a.cfg.fault.outages.push_back(FaultConfig::parse_outage(v));
              })
+      .value("--fault-node-down", "N@T[:DUR]",
+             "fail-stop crash of node N at cycle T (volatile state lost); "
+             "with :DUR the node restarts at T+DUR; repeatable",
+             [&a](const std::string& v) {
+               a.cfg.fault.node_downs.push_back(
+                   FaultConfig::parse_node_down(v));
+             })
+      .value_u64("--checkpoint-at",
+                 "capture a snapshot at cycle T (needs --checkpoint)",
+                 &a.checkpoint_at)
+      .value_str("--checkpoint", "FILE", "snapshot output file",
+                 &a.checkpoint_out)
+      .value_str("--restore", "FILE",
+                 "replay and verify bit-exact against a snapshot, then "
+                 "continue (exit 7 on divergence)",
+                 &a.restore_in)
       .value_u64("--fault-seed", "fault-stream seed (0 = derive from --seed)",
                  &a.cfg.fault.seed)
       .flag("--reliable", "arm the reliable layer even with no faults",
@@ -255,6 +287,20 @@ int run_verify_shards(const MachineArgs& a, const AppExec& exec) {
   return ok ? 0 : 5;
 }
 
+// ---- --checkpoint / --restore ----------------------------------------------
+
+/// Capture the machine's observable state right now (see sim/snapshot.hpp).
+MachineSnapshot take_snapshot(Machine& m, const std::string& workload) {
+  MachineSnapshot s;
+  s.cycle = m.sim().now();
+  s.events = m.sim().events_executed();
+  s.seed = m.config().rng_seed;
+  s.nodes = m.nodes();
+  s.workload = workload;
+  s.stats = m.stats().snapshot();
+  return s;
+}
+
 /// Report + exporters, shared by every app branch.
 void finish(Machine& m, const MachineArgs& a, const std::string& app,
             const std::string& cmdline, Cycles duration) {
@@ -341,6 +387,22 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
   std::size_t pos = machine_t.parse_prefix(tokens, 0);
   if (pos >= tokens.size()) usage(a, "missing app");
   const std::string app = tokens[pos++];
+
+  if ((a.checkpoint_at != 0) != !a.checkpoint_out.empty()) {
+    throw cli::UsageError("--checkpoint-at T and --checkpoint FILE go together");
+  }
+  if (a.checkpoint_at != 0 || !a.restore_in.empty()) {
+    // The capture/verify event fires at one exact cycle, which the sharded
+    // engine's lookahead windows cannot honor mid-window.
+    if (a.cfg.shards != 0 || a.verify_shards) {
+      throw cli::UsageError(
+          "--checkpoint/--restore need the serial engine "
+          "(--shards 0, no --verify-shards)");
+    }
+    if (a.checkpoint_at != 0 && !a.restore_in.empty()) {
+      throw cli::UsageError("--checkpoint and --restore are mutually exclusive");
+    }
+  }
 
   // App options and machine options may interleave after the app name (the
   // documented style is machine options first, but e.g. --stats-json reads
@@ -625,7 +687,61 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
   }
 
   Machine& m = machine();
-  const Cycles dur = exec(m, /*quiet=*/false);
+
+  // Checkpoint capture / restore verification ride the event queue: both are
+  // scheduled before the app starts, at the same queue position, so a capture
+  // run and its restore run execute identical event streams.
+  bool ckpt_done = false;
+  if (a.checkpoint_at != 0) {
+    m.at_cycle(a.checkpoint_at, [&m, &a, &app, &ckpt_done] {
+      const MachineSnapshot s = take_snapshot(m, app);
+      std::ofstream os(a.checkpoint_out);
+      if (!os) {
+        throw SnapshotError("cannot write '" + a.checkpoint_out + "'");
+      }
+      write_snapshot(os, s);
+      std::printf("checkpoint: wrote %s at cycle %llu (digest %016llx)\n",
+                  a.checkpoint_out.c_str(), (unsigned long long)s.cycle,
+                  (unsigned long long)MachineSnapshot::compute_digest(s));
+      ckpt_done = true;
+    });
+  }
+  if (!a.restore_in.empty()) {
+    std::ifstream is(a.restore_in);
+    if (!is) throw SnapshotError("cannot read '" + a.restore_in + "'");
+    const MachineSnapshot ref = read_snapshot(is);
+    m.at_cycle(ref.cycle, [&m, &a, &app, ref, &ckpt_done] {
+      verify_snapshot(ref, take_snapshot(m, app));
+      std::printf(
+          "restore: verified %s at cycle %llu (digest %016llx), continuing\n",
+          a.restore_in.c_str(), (unsigned long long)ref.cycle,
+          (unsigned long long)MachineSnapshot::compute_digest(ref));
+      ckpt_done = true;
+    });
+  }
+
+  Cycles dur = 0;
+  try {
+    dur = exec(m, /*quiet=*/false);
+  } catch (const NodeFaultError&) {
+    // A typed crash-fault verdict ended the app. The post-crash counters
+    // (aborts, declared-dead peers) are exactly what a fault run is usually
+    // inspecting, so flush every exporter before the exit-6 path.
+    finish(m, a, app, cmdline, m.now());
+    throw;
+  }
+
+  if (a.checkpoint_at != 0 && !ckpt_done) {
+    throw SnapshotError("run finished before --checkpoint-at " +
+                        std::to_string(a.checkpoint_at) +
+                        "; nothing captured");
+  }
+  if (!a.restore_in.empty() && !ckpt_done) {
+    throw SnapshotMismatch(
+        "snapshot mismatch: run finished before reaching the checkpoint "
+        "cycle (the restored run is not the captured run)");
+  }
+
   finish(m, a, app, cmdline, dur);
   if (a.verify_shards) return run_verify_shards(a, exec);
   return 0;
@@ -658,5 +774,16 @@ int main(int argc, char** argv) {
     // deterministic, so rerunning the same command reproduces it exactly.
     std::fprintf(stderr, "alewife_run: %s\n", e.what());
     return 4;
+  } catch (const NodeFaultError& e) {
+    // A fail-stop fault surfaced as a typed error the app did not handle
+    // (PeerUnreachable, CollectiveAborted, HomeNodeDown).
+    std::fprintf(stderr, "alewife_run: %s\n", e.what());
+    return 6;
+  } catch (const SnapshotMismatch& e) {
+    std::fprintf(stderr, "alewife_run: %s\n", e.what());
+    return 7;
+  } catch (const SnapshotError& e) {
+    std::fprintf(stderr, "alewife_run: %s\n", e.what());
+    return 1;
   }
 }

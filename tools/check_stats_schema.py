@@ -51,6 +51,11 @@ REQUIRED_COUNTERS = {
     "coll.proc_combines",
     "coll.cmmu_combines",
     "coll.cmmu_combine_cycles",
+    # Fail-stop crash faults and failure detection (docs/FAULTS.md).
+    "fault.node_crashes",
+    "rel.peers_declared_dead",
+    "rt.invoke_timeouts",
+    "coll.aborts",
 }
 
 errors = []
