@@ -1,0 +1,346 @@
+#include "apps/kvserve.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/bulk.hpp"
+#include "runtime/context.hpp"
+#include "sim/fault.hpp"
+#include "sim/rng.hpp"
+
+namespace alewife::apps {
+
+namespace {
+
+/// Deterministic initial value for a key (so scans have data to checksum).
+std::uint64_t seed_value(std::uint64_t key) {
+  return key * 0x9E3779B97F4A7C15ull + 1;
+}
+
+/// Everything the client/server closures share. Read-only after setup
+/// except the per-client / per-node output slots, each of which is written
+/// by exactly one simulated thread (or one node's serialized server tasks).
+struct KvShared {
+  KvServeConfig cfg;
+  std::uint32_t nodes = 0;
+  std::uint32_t clients = 0;       ///< total client threads
+  std::uint64_t slots = 0;         ///< value slots per shard
+  Cycles period = 1;               ///< per-client inter-arrival time
+  GAddr owner_table = kNullGAddr;  ///< NodeId per shard (read-mostly)
+  GAddr region_table = kNullGAddr; ///< store base GAddr per shard
+  GAddr hot_region = kNullGAddr;   ///< replica of keys [0, hot_keys)
+  std::vector<GAddr> scan_buf;     ///< per client: local range-read landing
+  std::vector<GAddr> replica;      ///< per migration: pre-allocated new home
+  std::vector<double> cdf;         ///< Zipf CDF over key ranks
+  BulkCopyEngine* bulk = nullptr;
+
+  struct ClientOut {
+    Stats::Summary lat_all, lat_get, lat_put, lat_scan;
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    Cycles t0 = 0, t1 = 0;
+  };
+  std::vector<ClientOut> out;            ///< per client
+  std::vector<Stats::Summary> qdepth;    ///< per node (server-side depth)
+};
+
+std::uint32_t zipf_pick(const KvShared& s, Rng& rng) {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(s.cdf.begin(), s.cdf.end(), u);
+  const std::size_t i = static_cast<std::size_t>(it - s.cdf.begin());
+  return static_cast<std::uint32_t>(std::min<std::size_t>(i, s.cdf.size() - 1));
+}
+
+/// Server-side bookkeeping, run at the top of every RPC task: record the
+/// scheduler queue depth the request found (peak gauge + histogram) and
+/// count requests that executed off the shard's current owner — a stale
+/// route that raced a migration, or a task a work thief pulled away from
+/// the loaded home (invoked tasks are location-transparent).
+void server_note(Context& sc, KvShared& s, std::uint32_t shard) {
+  NodeRuntime& nrt = sc.runtime();
+  const std::uint64_t depth = nrt.ready_count() + nrt.local_task_count();
+  sc.stats().max_to(sc.node(), MetricId::kKvQueuePeak, depth);
+  s.qdepth[sc.node()].observe(depth);
+  const NodeId owner =
+      static_cast<NodeId>(sc.load(s.owner_table + std::uint64_t{shard} * 8));
+  if (owner != sc.node()) sc.stats().add(sc.node(), MetricId::kKvMisses);
+}
+
+/// Bulk copy that tolerates running on any node. The DMA engine needs one
+/// local endpoint (copy_pull lands locally, copy_msg gathers locally); an
+/// invoked task is location-transparent — a work thief may run it on a third
+/// node — so fall back to a coherent load/store copy when neither end is
+/// local.
+void bulk_copy_any(Context& sc, BulkCopyEngine& b, GAddr dst, GAddr src,
+                   std::uint64_t n) {
+  if (gaddr_node(dst) == sc.node()) {
+    b.copy_pull(sc, dst, src, n);
+  } else if (gaddr_node(src) == sc.node()) {
+    b.copy(sc, dst, src, n, CopyImpl::kMsgDma);
+  } else {
+    b.copy(sc, dst, src, n, CopyImpl::kShmLoop);
+  }
+}
+
+FutureId dispatch(Context& ctx, KvTransport tr, NodeId dst, TaskFn fn) {
+  return tr == KvTransport::kShm ? ctx.invoke_shm(dst, std::move(fn))
+                                 : ctx.invoke_msg(dst, std::move(fn));
+}
+
+/// One client thread: replay this client's slice of the open-loop schedule.
+/// Latency is measured from the *scheduled* arrival, not the issue time, so
+/// a client that fell behind still charges the backlog to the requests that
+/// queued it (no coordinated omission).
+void client_body(Context& ctx, const std::shared_ptr<KvShared>& sp,
+                 std::uint32_t g, std::uint64_t count, Cycles offset,
+                 std::uint64_t migr_lo, std::uint64_t migr_hi) {
+  KvShared& s = *sp;
+  const KvServeConfig& cfg = s.cfg;
+  Rng rng(ctx.runtime().shared().cfg.rng_seed ^
+          (0xA5F152ull + 0x9E3779B97F4A7C15ull * (g + 1)));
+  KvShared::ClientOut& out = s.out[g];
+  Cycles next = offset;
+  out.t0 = offset;
+  Stats& st = ctx.stats();
+  const NodeId me = ctx.node();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    next += s.period;
+    if (ctx.now() < next) ctx.compute(next - ctx.now());
+    const Cycles arrival = next;
+
+    // Client 0 interleaves the configured shard migrations at fixed request
+    // milestones (deterministic, and mid-run so traffic races the move).
+    if (migr_hi > migr_lo && i == (count * (migr_lo + 1)) / (migr_hi + 1) &&
+        migr_lo < cfg.migrations) {
+      const std::uint32_t j = static_cast<std::uint32_t>(migr_lo);
+      ++migr_lo;
+      const std::uint32_t shard = (j + 1) % s.nodes;
+      NodeId d = (shard + s.nodes / 2) % s.nodes;
+      if (d == shard) d = (shard + 1) % s.nodes;
+      const GAddr new_base = s.replica[j];
+      const std::uint64_t bytes = s.slots * 8;
+      try {
+        const FutureId f =
+            dispatch(ctx, cfg.transport, d, [sp, shard, new_base, bytes,
+                                             d](Context& sc) -> std::uint64_t {
+              // Move the whole shard image with one bulk transfer, then
+              // publish the move through the directory.
+              KvShared& ss = *sp;
+              const GAddr old_base =
+                  ss.region_table + std::uint64_t{shard} * 8;
+              const GAddr src = sc.load(old_base);
+              bulk_copy_any(sc, *ss.bulk, new_base, src, bytes);
+              sc.store(ss.region_table + std::uint64_t{shard} * 8, new_base);
+              // The new owner is where the replica lives (d), not where this
+              // body happens to execute.
+              sc.store(ss.owner_table + std::uint64_t{shard} * 8, d);
+              sc.stats().add(sc.node(), MetricId::kKvMigrations);
+              sc.stats().add(sc.node(), MetricId::kKvMigratedBytes, bytes);
+              return 0;
+            });
+        ctx.touch(f);
+      } catch (const NodeFaultError&) {
+        st.add(me, MetricId::kKvFailed);  // the move died with a node
+      }
+    }
+
+    const std::uint32_t key = zipf_pick(s, rng);
+    const std::uint32_t shard = key % s.nodes;
+    const std::uint64_t slot = key / s.nodes;
+    const std::uint32_t roll =
+        static_cast<std::uint32_t>(rng.below(100));
+    const bool is_get = roll < cfg.get_pct;
+    const bool is_put = !is_get && roll < cfg.get_pct + cfg.put_pct;
+
+    try {
+      if (is_get && key < cfg.hot_keys) {
+        // Hot read: plain coherent load of the read-mostly replica — cached
+        // locally until a put to this key writes through.
+        (void)ctx.load(s.hot_region + std::uint64_t{key} * 8);
+        st.add(me, MetricId::kKvGets);
+        st.add(me, MetricId::kKvHotReads);
+      } else if (is_get || is_put) {
+        const NodeId owner = static_cast<NodeId>(
+            ctx.load(s.owner_table + std::uint64_t{shard} * 8));
+        const GAddr base = ctx.load(s.region_table + std::uint64_t{shard} * 8);
+        const GAddr addr = base + slot * 8;
+        if (ctx.cmmu().peer_suspected(owner)) {
+          // Shed without paying the network timeout: the failure detector
+          // already declared this home dead.
+          st.add(me, MetricId::kKvDropped);
+          out.failed++;
+          continue;
+        }
+        FutureId f;
+        if (is_put) {
+          const std::uint64_t v = (std::uint64_t{g} << 32) ^ i;
+          const bool hot = key < cfg.hot_keys;
+          const GAddr hot_addr = s.hot_region + std::uint64_t{key} * 8;
+          f = dispatch(ctx, cfg.transport, owner,
+                       [sp, shard, addr, v, hot,
+                        hot_addr](Context& sc) -> std::uint64_t {
+                         server_note(sc, *sp, shard);
+                         sc.store(addr, v);
+                         // Write-through to the replica invalidates every
+                         // cached hot reader — the coherence cost of
+                         // writing popular data.
+                         if (hot) sc.store(hot_addr, v);
+                         return 0;
+                       });
+          st.add(me, MetricId::kKvPuts);
+        } else {
+          f = dispatch(ctx, cfg.transport, owner,
+                       [sp, shard, addr](Context& sc) -> std::uint64_t {
+                         server_note(sc, *sp, shard);
+                         return sc.load(addr);
+                       });
+          st.add(me, MetricId::kKvGets);
+        }
+        (void)ctx.touch(f);
+      } else {
+        // Range read: pull scan_keys contiguous slots of one shard into
+        // client-local memory with the bulk-DMA mechanism, then reduce
+        // locally.
+        const std::uint64_t len =
+            std::min<std::uint64_t>(cfg.scan_keys, s.slots);
+        const std::uint64_t start =
+            s.slots > len ? rng.below(s.slots - len + 1) : 0;
+        const GAddr base = ctx.load(s.region_table + std::uint64_t{shard} * 8);
+        const GAddr src = base + start * 8;
+        const GAddr dst = s.scan_buf[g];
+        if (gaddr_node(src) != me) {
+          s.bulk->copy_pull(ctx, dst, src, len * 8);
+        }
+        const GAddr rd = gaddr_node(src) == me ? src : dst;
+        std::uint64_t sum = 0;
+        for (std::uint64_t k = 0; k < len; ++k) {
+          sum += ctx.load(rd + k * 8);  // local after the pull
+          ctx.charge(1);
+        }
+        (void)sum;
+        st.add(me, MetricId::kKvScans);
+      }
+      const Cycles lat = ctx.now() - arrival;
+      out.lat_all.observe(lat);
+      if (is_get) {
+        out.lat_get.observe(lat);
+      } else if (is_put) {
+        out.lat_put.observe(lat);
+      } else {
+        out.lat_scan.observe(lat);
+      }
+      out.done++;
+    } catch (const NodeFaultError&) {
+      // Typed verdict (PeerUnreachable / HomeNodeDown) within the failure
+      // detector's bound: count the loss and keep serving the live shards.
+      st.add(me, MetricId::kKvFailed);
+      out.failed++;
+    }
+    out.t1 = ctx.now();
+  }
+}
+
+}  // namespace
+
+KvServeResult kvserve_run(Machine& m, const KvServeConfig& cfg) {
+  auto sp = std::make_shared<KvShared>();
+  KvShared& s = *sp;
+  s.cfg = cfg;
+  s.nodes = m.nodes();
+  s.clients = std::max<std::uint32_t>(1, cfg.clients_per_node) * s.nodes;
+  s.slots = (std::uint64_t{cfg.keys} + s.nodes - 1) / s.nodes;
+  if (s.slots == 0) s.slots = 1;
+  const std::uint64_t per_kilocycle = std::max<std::uint32_t>(1, cfg.load);
+  s.period = std::max<Cycles>(
+      1, std::uint64_t{s.clients} * 1000 / per_kilocycle);
+  s.bulk = &m.bulk();
+
+  BackingStore& store = m.runtime().ms.store();
+  s.owner_table = store.alloc(0, std::uint64_t{s.nodes} * 8);
+  s.region_table = store.alloc(0, std::uint64_t{s.nodes} * 8);
+  s.hot_region =
+      store.alloc(0, std::uint64_t{std::max<std::uint32_t>(1, cfg.hot_keys)} * 8);
+  for (NodeId n = 0; n < s.nodes; ++n) {
+    const GAddr base = store.alloc(n, s.slots * 8);
+    store.write_uint(s.owner_table + std::uint64_t{n} * 8, 8, n);
+    store.write_uint(s.region_table + std::uint64_t{n} * 8, 8, base);
+    for (std::uint64_t slot = 0; slot < s.slots; ++slot) {
+      const std::uint64_t key = slot * s.nodes + n;
+      store.write_uint(base + slot * 8, 8, seed_value(key));
+    }
+  }
+  for (std::uint32_t k = 0; k < cfg.hot_keys; ++k) {
+    store.write_uint(s.hot_region + std::uint64_t{k} * 8, 8, seed_value(k));
+  }
+  for (std::uint32_t g = 0; g < s.clients; ++g) {
+    const NodeId n = g % s.nodes;
+    s.scan_buf.push_back(
+        store.alloc(n, std::max<std::uint64_t>(1, cfg.scan_keys) * 8));
+  }
+  const std::uint32_t migrations = s.nodes >= 2 ? cfg.migrations : 0;
+  for (std::uint32_t j = 0; j < migrations; ++j) {
+    const std::uint32_t shard = (j + 1) % s.nodes;
+    NodeId d = (shard + s.nodes / 2) % s.nodes;
+    if (d == shard) d = (shard + 1) % s.nodes;
+    s.replica.push_back(store.alloc(d, s.slots * 8));
+  }
+
+  // Zipf CDF over key ranks (rank == key id, so the hot set is exactly the
+  // lowest-numbered keys). Pure host-side doubles: identical at any shard
+  // count.
+  s.cdf.resize(std::max<std::uint32_t>(1, cfg.keys));
+  double norm = 0.0;
+  for (std::size_t k = 0; k < s.cdf.size(); ++k) {
+    norm += 1.0 / std::pow(double(k + 1), cfg.zipf_s);
+    s.cdf[k] = norm;
+  }
+  for (double& c : s.cdf) c /= norm;
+
+  s.out.resize(s.clients);
+  s.qdepth.resize(s.nodes);
+
+  const std::uint64_t per = cfg.requests / s.clients;
+  const std::uint64_t extra = cfg.requests % s.clients;
+  for (std::uint32_t g = 0; g < s.clients; ++g) {
+    const NodeId n = g % s.nodes;
+    const std::uint64_t count = per + (g < extra ? 1 : 0);
+    // Stagger client start offsets across one period so aggregate arrivals
+    // are uniform instead of synchronized bursts.
+    const Cycles offset = (std::uint64_t{g} * s.period) / s.clients + 1;
+    const std::uint64_t migr_hi = g == 0 ? migrations : 0;
+    m.start_thread(n, [sp, g, count, offset, migr_hi](Context& ctx) {
+      client_body(ctx, sp, g, count, offset, 0, migr_hi);
+    });
+  }
+  m.run_started();
+
+  // Host-side, deterministic-order merge of the per-thread summaries into
+  // the machine's histogram map (the map cannot be touched concurrently).
+  KvServeResult r;
+  Stats& st = m.stats();
+  Cycles t0 = ~Cycles{0};
+  for (std::uint32_t g = 0; g < s.clients; ++g) {
+    const KvShared::ClientOut& o = s.out[g];
+    st.merge_histogram("kv.lat.all", o.lat_all);
+    st.merge_histogram("kv.lat.get", o.lat_get);
+    st.merge_histogram("kv.lat.put", o.lat_put);
+    st.merge_histogram("kv.lat.scan", o.lat_scan);
+    r.latency.merge(o.lat_all);
+    r.completed += o.done;
+    r.failed += o.failed;
+    if (o.done + o.failed > 0) {
+      t0 = std::min(t0, o.t0);
+      r.duration = std::max(r.duration, o.t1);
+    }
+  }
+  for (NodeId n = 0; n < s.nodes; ++n) {
+    st.merge_histogram("kv.queue_depth", s.qdepth[n]);
+  }
+  if (r.duration > 0 && t0 != ~Cycles{0}) r.duration -= t0;
+  return r;
+}
+
+}  // namespace alewife::apps

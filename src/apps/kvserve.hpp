@@ -1,0 +1,72 @@
+// kvserve: a sharded key-value/RPC service under open-loop client traffic —
+// the ROADMAP's "served workload". Unlike the closed-loop HPC kernels
+// (grain, jacobi, barrier), the request stream arrives at a configured
+// offered rate whether or not the servers keep up, which is what finally
+// exercises the runtime's queue-overflow degradation paths and produces the
+// latency-vs-load knee a service owner actually measures.
+//
+// The service uses all three of the paper's mechanisms, each for the access
+// pattern it wins at:
+//
+//   remote invoke — small get/put RPCs to the key's home shard (message
+//                   transport by default; --kv-transport shm selects the
+//                   shared-memory invoke path of §4.3)
+//   bulk DMA      — range reads (scans) pull a contiguous slot range from
+//                   the shard's store into client-local memory, and shard
+//                   migration ships a whole shard image to its new home
+//   shared memory — the hottest (Zipf rank-first) keys are mirrored in a
+//                   read-mostly replica region; gets hit it with plain
+//                   coherent loads that stay cached until a put writes
+//                   through and invalidates the readers
+//
+// Keys are striped across shards (shard = key % nodes, slot = key / nodes),
+// one shard per node initially; a directory pair (owner table + region
+// table, both read-mostly shared lines) routes requests after migrations.
+//
+// Every client is seeded from (machine seed, global client index), arrivals
+// are a fixed per-client period derived from --kv-load, and key popularity
+// is Zipf(s) — equal-seed runs are bit-identical at any shard count.
+//
+// Under fail-stop faults a request to a dead home fails *typed*
+// (PeerUnreachable from the invoke layer, HomeNodeDown from the memory
+// system) within the failure detector's bound; clients count the loss
+// (kv.failed / kv.dropped) and keep serving the rest of the key space.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace alewife::apps {
+
+enum class KvTransport : std::uint8_t { kMsg, kShm };
+
+struct KvServeConfig {
+  std::uint64_t requests = 4096;  ///< total requests, machine-wide
+  std::uint32_t load = 64;        ///< offered requests per 1000 cycles (machine-wide)
+  std::uint32_t clients_per_node = 2;
+  std::uint32_t keys = 4096;      ///< key-space size
+  double zipf_s = 0.99;           ///< Zipf skew (0 = uniform)
+  std::uint32_t hot_keys = 16;    ///< hottest keys mirrored in the shm replica
+  std::uint32_t get_pct = 80;     ///< op mix; remainder after get+put = scans
+  std::uint32_t put_pct = 15;
+  std::uint32_t scan_keys = 64;   ///< slots per range read (bulk DMA)
+  std::uint32_t migrations = 1;   ///< shard migrations during the run
+  KvTransport transport = KvTransport::kMsg;
+};
+
+struct KvServeResult {
+  Cycles duration = 0;          ///< first arrival to last completion
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;     ///< typed fault failures (kv.failed + kv.dropped)
+  Stats::Summary latency;       ///< all ops merged (same data as kv.lat.all)
+};
+
+/// Run the service to completion on `m` (injects client threads, runs the
+/// machine, merges per-client histograms into m.stats()). Reentrant per
+/// fresh Machine, so --verify-shards can rerun it.
+KvServeResult kvserve_run(Machine& m, const KvServeConfig& cfg);
+
+}  // namespace alewife::apps

@@ -11,6 +11,17 @@
 
 namespace alewife {
 
+namespace {
+
+/// invoke_shm full-queue stall budget: how long the target's queue head may
+/// stay frozen before the retrier concludes the owner is wedged and throws
+/// QueueFull. Sized like the steal-reply guard — far above any legitimate
+/// drain pause (a long-running task) and below the auto watchdog's 2M-cycle
+/// no-progress trip, so the typed error wins the race against the watchdog.
+constexpr Cycles kInvokeFullStallLimit = 1'000'000;
+
+}  // namespace
+
 NodeRuntime::NodeRuntime(RuntimeShared& shared, Processor& proc, Cmmu& cmmu,
                          FiberPool& pool, NodeId node)
     : shared_(shared),
@@ -702,18 +713,54 @@ FutureId NodeRuntime::invoke_shm(NodeId dst, TaskFn fn) {
   // Acquire the remote queue lock, write the descriptor words, unlock: every
   // step is remote coherence traffic (the cost the paper measures as 353
   // invoker cycles). Argument words are written into the slot line.
+  //
+  // Full-queue degradation: closed-loop kernels pause when the target is
+  // busy, but an open-loop arrival stream keeps a busy target's queue pinned
+  // at capacity for long stretches, and the original fixed retry count
+  // (64 x 256 cycles) turned that sustained pressure into spurious QueueFull
+  // throws — a retrier that kept losing freed slots to competing invokers
+  // starved out even though the owner was draining the whole time, and the
+  // lockstep constant backoff made all contenders hammer the lock in phase
+  // with the owner's own drain pops. Retry instead with exponential,
+  // per-node-deskewed backoff and give up only when the owner has made *no
+  // drain progress* (head frozen) for a watchdog-scale interval — a wedged
+  // or absurdly undersized target — never merely because we lost a race.
   SharedTaskQueue& vq = shared_.peer(dst).queue();
   ContextPin pin(proc_);
   vq.lock(proc_);
-  std::uint32_t full_retries = 0;
+  bool counted_full = false;
+  Cycles backoff = 256;
+  Cycles stalled = 0;
+  std::uint64_t seen_head = vq.host_head(shared_.ms.store());
   while (!vq.try_push_tail_unlocked(proc_, encode_task(tid))) {
-    // Remote queue full: drop the lock so the owner can drain, back off,
-    // retry. Persistent fullness (a wedged or wildly undersized target) is
-    // surfaced as a typed QueueFull instead of silently spinning forever.
     vq.unlock(proc_);
-    shared_.stats.add(node_, MetricId::kRtQueueFull);
-    if (++full_retries > 64) throw QueueFull(dst, shared_.opt.queue_capacity);
-    proc_.compute(256);
+    if (!counted_full) {
+      // One overflow episode, not one count per retry: rt.queue_full is the
+      // pressure gauge, and a 64x-inflated reading buried the signal.
+      shared_.stats.add(node_, MetricId::kRtQueueFull);
+      counted_full = true;
+    }
+    if (cmmu_.peer_suspected(dst)) {
+      // The target died while we were waiting for a slot; fail typed and
+      // bounded instead of spinning out the stall budget on a corpse.
+      throw PeerUnreachable(dst);
+    }
+    const std::uint64_t head = vq.host_head(shared_.ms.store());
+    if (head != seen_head) {
+      seen_head = head;
+      stalled = 0;  // owner is draining; we only lost slots to competitors
+      backoff = 256;
+    } else {
+      stalled += backoff;
+      if (stalled > kInvokeFullStallLimit) {
+        throw QueueFull(dst, shared_.opt.queue_capacity);
+      }
+    }
+    // Deterministic per-node skew (no rng draw — the steal-victim stream
+    // must not shift just because an overflow happened) breaks the lockstep
+    // between competing invokers.
+    proc_.compute(backoff + (std::uint64_t{node_} * 29) % 64);
+    if (backoff < 4096) backoff *= 2;
     vq.lock(proc_);
   }
   // Write the marshaled arguments into the remote task record: real remote

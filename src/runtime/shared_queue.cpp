@@ -138,4 +138,8 @@ std::uint64_t SharedTaskQueue::host_size(const BackingStore& store) const {
   return tail - head;
 }
 
+std::uint64_t SharedTaskQueue::host_head(const BackingStore& store) const {
+  return store.read_uint(head_addr_, 8);
+}
+
 }  // namespace alewife

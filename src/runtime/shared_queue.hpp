@@ -97,6 +97,11 @@ class SharedTaskQueue {
   /// Host-side size (no cycles charged; tests and fast checks).
   std::uint64_t host_size(const BackingStore& store) const;
 
+  /// Host-side head position (monotonic pop/steal count). A full-queue
+  /// retrier compares successive values to tell a draining owner (head
+  /// advancing — keep waiting) from a wedged one (head frozen — give up).
+  std::uint64_t host_head(const BackingStore& store) const;
+
  private:
   GAddr slot_addr(std::uint64_t index) const {
     return slots_ + (index % capacity_) * 8;

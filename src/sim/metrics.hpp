@@ -115,7 +115,19 @@ namespace alewife {
   X(kCollProcCombines, "coll.proc_combines", "count", "coll")                 \
   X(kCollCmmuCombines, "coll.cmmu_combines", "count", "coll")                 \
   X(kCollCmmuCombineCycles, "coll.cmmu_combine_cycles", "cycles", "coll")     \
-  X(kCollAborts, "coll.aborts", "count", "coll")
+  X(kCollAborts, "coll.aborts", "count", "coll")                              \
+  /* kvserve service (src/apps/kvserve.*): client-side events to the */       \
+  /* issuing client's node, server-side events to the shard's home node */    \
+  X(kKvGets, "kv.gets", "count", "kv")                                        \
+  X(kKvPuts, "kv.puts", "count", "kv")                                        \
+  X(kKvScans, "kv.scans", "count", "kv")                                      \
+  X(kKvHotReads, "kv.hot_reads", "count", "kv")                               \
+  X(kKvMisses, "kv.misses", "count", "kv")                                    \
+  X(kKvFailed, "kv.failed", "count", "kv")                                    \
+  X(kKvDropped, "kv.dropped", "count", "kv")                                  \
+  X(kKvMigrations, "kv.migrations", "count", "kv")                            \
+  X(kKvMigratedBytes, "kv.migrated_bytes", "bytes", "kv")                     \
+  X(kKvQueuePeak, "kv.queue_peak", "count", "kv")
 
 enum class MetricId : std::uint16_t {
 #define ALEWIFE_METRIC_ENUM(id, name, unit, subsystem) id,

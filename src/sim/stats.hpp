@@ -20,6 +20,8 @@
 // caller supplies no node); unknown names land in a custom string-keyed map.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <map>
@@ -130,11 +132,60 @@ class Stats {
   // ---- Histograms -----------------------------------------------------------
 
   struct Summary {
+    /// Bucket b counts samples whose value has bit width b: bucket 0 holds
+    /// value 0, bucket b>0 holds values in [2^(b-1), 2^b - 1]. 65 buckets
+    /// cover the full uint64 range; percentiles interpolate inside a bucket,
+    /// so p50/p99/p999 carry at worst one-power-of-two resolution — plenty
+    /// for latency distributions spanning decades of cycles.
+    static constexpr std::size_t kBuckets = 65;
+
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     std::uint64_t min = 0;
     std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
     double mean() const { return count ? double(sum) / double(count) : 0.0; }
+
+    static std::size_t bucket_of(std::uint64_t value) {
+      return static_cast<std::size_t>(std::bit_width(value));
+    }
+
+    /// Fold one sample in (count/sum/min/max + its log2 bucket). min and max
+    /// are both seeded from the first sample (symmetric guards: relying on
+    /// zero-init for max would go stale if Summary ever gained a non-zero
+    /// reset, and reads confusingly even while it happens to work).
+    void observe(std::uint64_t value) {
+      count++;
+      sum += value;
+      buckets[bucket_of(value)]++;
+      if (count == 1 || value < min) min = value;
+      if (count == 1 || value > max) max = value;
+    }
+
+    /// Quantile estimate from the log2 buckets: walks to the bucket holding
+    /// the q-th sample and interpolates linearly across its value range,
+    /// clamped to the observed [min, max]. q in [0, 1].
+    double percentile(double q) const {
+      if (count == 0) return 0.0;
+      const double rank = q * double(count);
+      std::uint64_t seen = 0;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        if (buckets[b] == 0) continue;
+        const std::uint64_t prev = seen;
+        seen += buckets[b];
+        if (double(seen) < rank) continue;
+        double lo = b == 0 ? 0.0 : double(std::uint64_t{1} << (b - 1));
+        double hi = b == 0 ? 0.0
+                           : double(std::uint64_t{1} << (b - 1)) * 2.0 - 1.0;
+        if (lo < double(min)) lo = double(min);
+        if (hi > double(max)) hi = double(max);
+        if (hi <= lo) return lo;
+        const double frac = (rank - double(prev)) / double(buckets[b]);
+        return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+      }
+      return double(max);
+    }
 
     /// Cross-node aggregation: fold another summary into this one. An empty
     /// summary is the identity.
@@ -148,24 +199,27 @@ class Stats {
       sum += o.sum;
       if (o.min < min) min = o.min;
       if (o.max > max) max = o.max;
+      for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
     }
   };
 
-  /// Record a sample into a named histogram (count/sum/min/max).
+  /// Record a sample into a named histogram (count/sum/min/max + log2
+  /// bucket, so percentiles survive into the JSON export).
   void sample(const std::string& name, std::uint64_t value) {
-    auto& h = histograms_[name];
-    h.count++;
-    h.sum += value;
-    // min and max are both seeded from the first sample (symmetric guards:
-    // relying on zero-init for max would go stale if Summary ever gained a
-    // non-zero reset, and reads confusingly even while it happens to work).
-    if (h.count == 1 || value < h.min) h.min = value;
-    if (h.count == 1 || value > h.max) h.max = value;
+    histograms_[name].observe(value);
   }
 
   Summary summary(const std::string& name) const {
     auto it = histograms_.find(name);
     return it == histograms_.end() ? Summary{} : it->second;
+  }
+
+  /// Fold an externally accumulated summary into a named histogram. Apps
+  /// whose threads finish on different shard threads aggregate per-thread
+  /// summaries and merge them host-side after the run — the histogram map
+  /// itself must never be mutated from concurrent shard threads.
+  void merge_histogram(const std::string& name, const Summary& s) {
+    histograms_[name].merge(s);
   }
 
   const std::map<std::string, Summary>& histograms() const {

@@ -43,7 +43,23 @@ void write_stats_json(std::ostream& os, const RunMeta& meta, const Stats& stats,
       os << "    {\"name\": \"" << json::escape(name)
          << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
          << ", \"min\": " << h.min << ", \"max\": " << h.max
-         << ", \"mean\": " << h.mean() << "}";
+         << ", \"mean\": " << h.mean();
+      if (h.count > 0) {
+        os << ", \"p50\": " << h.percentile(0.50)
+           << ", \"p99\": " << h.percentile(0.99)
+           << ", \"p999\": " << h.percentile(0.999);
+        // Log2 buckets (bucket b = values of bit width b), trailing zeros
+        // trimmed; the schema checker cross-checks sum(buckets) == count.
+        std::size_t hi = Stats::Summary::kBuckets;
+        while (hi > 0 && h.buckets[hi - 1] == 0) --hi;
+        os << ", \"buckets\": [";
+        for (std::size_t b = 0; b < hi; ++b) {
+          if (b != 0) os << ", ";
+          os << h.buckets[b];
+        }
+        os << "]";
+      }
+      os << "}";
     }
     if (!first) os << "\n  ";
   }

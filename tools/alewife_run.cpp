@@ -39,6 +39,11 @@
 //   coll    --coll-op OP --coll-mech shm|msg|hybrid --coll-combining proc|cmmu
 //           --coll-arity K --coll-group G --coll-chunk C
 //           --episodes E --bytes B     (collectives library, docs/COLLECTIVES.md)
+//   kvserve --kv-load R --kv-requests N --kv-clients C --kv-keys K
+//           --kv-zipf S --kv-hot H --kv-get-pct/--kv-put-pct P
+//           --kv-scan-keys W --kv-migrations M --kv-transport msg|shm
+//           (sharded KV service under open-loop Zipf traffic; latency
+//           percentiles land in --stats-json — see docs/METRICS.md)
 //
 // Unknown or misspelled --flags are errors (exit 2), both before and after
 // the app name.
@@ -71,6 +76,7 @@
 #include "apps/aq.hpp"
 #include "apps/grain.hpp"
 #include "apps/jacobi.hpp"
+#include "apps/kvserve.hpp"
 #include "cli.hpp"
 #include "core/machine.hpp"
 #include "runtime/barrier.hpp"
@@ -195,7 +201,11 @@ cli::OptionTable machine_options(MachineArgs& a) {
                "  copy    --bytes B --impl shm|prefetch|msg\n"
                "  coll    --coll-op OP --coll-mech M --coll-combining C\n"
                "          --coll-arity K --coll-group G --coll-chunk B\n"
-               "          --episodes E --bytes B\n");
+               "          --episodes E --bytes B\n"
+               "  kvserve --kv-load R --kv-requests N --kv-clients C\n"
+               "          --kv-keys K --kv-zipf S --kv-hot H\n"
+               "          --kv-get-pct P --kv-put-pct P --kv-scan-keys W\n"
+               "          --kv-migrations M --kv-transport msg|shm\n");
   std::exit(2);
 }
 
@@ -648,6 +658,35 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
       }
       return *t1 - *t0;
     };
+  } else if (app == "kvserve") {
+    cli::KvCliArgs kc;
+    cli::OptionTable t;
+    cli::add_kv_options(t, &kc);
+    parse_rest(t);
+    cli::validate_kv_config(kc.cfg);
+    exec = [kc](Machine& m, bool quiet) -> Cycles {
+      const apps::KvServeResult r = apps::kvserve_run(m, kc.cfg);
+      if (!quiet) {
+        const double achieved =
+            r.duration != 0
+                ? double(r.completed) * 1000.0 / double(r.duration)
+                : 0.0;
+        std::printf(
+            "kvserve (%s): %llu ok, %llu failed; offered %u achieved %.1f "
+            "req/kcycle\n",
+            kc.cfg.transport == apps::KvTransport::kShm ? "shm" : "msg",
+            (unsigned long long)r.completed, (unsigned long long)r.failed,
+            kc.cfg.load, achieved);
+        if (r.latency.count != 0) {
+          std::printf("  latency: p50 %.0f  p99 %.0f  p999 %.0f cycles "
+                      "(from scheduled arrival; %llu samples)\n",
+                      r.latency.percentile(0.50), r.latency.percentile(0.99),
+                      r.latency.percentile(0.999),
+                      (unsigned long long)r.latency.count);
+        }
+      }
+      return r.duration;
+    };
   } else if (app == "copy") {
     std::uint32_t bytes = 4096;
     std::string impl = "msg";
@@ -723,20 +762,25 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
   Cycles dur = 0;
   try {
     dur = exec(m, /*quiet=*/false);
-  } catch (const NodeFaultError&) {
-    // A typed crash-fault verdict ended the app. The post-crash counters
-    // (aborts, declared-dead peers) are exactly what a fault run is usually
-    // inspecting, so flush every exporter before the exit-6 path.
+  } catch (...) {
+    // Any error ending the app — crash-fault verdicts (exit 6), the livelock
+    // watchdog and SimTimeout (exit 3), the golden-model checker (exit 4),
+    // snapshot divergence mid-run (exit 7) — leaves counters that are exactly
+    // what a failing run is inspected by, so flush every exporter before the
+    // error propagates to the exit-code ladder in main(). (Previously only
+    // NodeFaultError flushed; a watchdog trip silently dropped --stats-json.)
     finish(m, a, app, cmdline, m.now());
     throw;
   }
 
   if (a.checkpoint_at != 0 && !ckpt_done) {
+    finish(m, a, app, cmdline, dur);
     throw SnapshotError("run finished before --checkpoint-at " +
                         std::to_string(a.checkpoint_at) +
                         "; nothing captured");
   }
   if (!a.restore_in.empty() && !ckpt_done) {
+    finish(m, a, app, cmdline, dur);
     throw SnapshotMismatch(
         "snapshot mismatch: run finished before reaching the checkpoint "
         "cycle (the restored run is not the captured run)");

@@ -1,7 +1,8 @@
 // alewife_sweep — run parameter sweeps with one Machine per sweep point,
 // optionally spreading points across host threads.
 //
-//   alewife_sweep [--sweep scaling|interrupt|arity|faults|parallel|collectives]
+//   alewife_sweep [--sweep scaling|interrupt|arity|faults|parallel|
+//                          collectives|kvserve]
 //                 [--threads N] [--serial] [--fast] [--verify] [--json FILE]
 //
 //   --sweep NAME   which sweep to run (default: scaling)
@@ -315,6 +316,47 @@ SweepResult sweep_faults(bool fast, unsigned threads) {
   return r;
 }
 
+// ---- kvserve: throughput vs offered load (the latency knee) ----------------
+//
+// One row per offered load on a fixed machine: the open-loop generator
+// (Zipf keys, latency measured from scheduled arrival so queueing delay is
+// never omitted) pushes the sharded KV service toward saturation. Achieved
+// throughput tracks offered load until the knee, then flattens while
+// p99/p999 climb — the curve the paper's integrated mechanisms are meant to
+// push rightward. Recorded as BENCH_kvserve.json and gated by
+// `alewife_report --compare` in CI.
+
+SweepResult sweep_kvserve(bool fast, unsigned threads) {
+  const std::uint32_t nodes = fast ? 16 : 64;
+  const std::vector<std::uint32_t> loads =
+      fast ? std::vector<std::uint32_t>{16, 64}
+           : std::vector<std::uint32_t>{8, 16, 32, 64, 128, 256};
+
+  SweepResult r;
+  r.cols = {"offered", "achieved", "p50", "p99", "p999", "failed"};
+  r.rows = sweep<std::vector<std::string>>(
+      loads.size(),
+      [&](std::size_t i) {
+        Machine m(bench_cfg(nodes));
+        apps::KvServeConfig kc;
+        kc.load = loads[i];
+        kc.requests = fast ? 512 : 4096;
+        const apps::KvServeResult res = apps::kvserve_run(m, kc);
+        const double achieved =
+            res.duration != 0
+                ? double(res.completed) * 1000.0 / double(res.duration)
+                : 0.0;
+        return std::vector<std::string>{
+            std::to_string(loads[i]), fmt(achieved, 2),
+            fmt(res.latency.percentile(0.50), 0),
+            fmt(res.latency.percentile(0.99), 0),
+            fmt(res.latency.percentile(0.999), 0),
+            std::to_string(res.failed)};
+      },
+      threads);
+  return r;
+}
+
 SweepResult run_sweep(const std::string& name, bool fast, unsigned threads) {
   if (name == "scaling") return sweep_scaling(fast, threads);
   if (name == "interrupt") return sweep_interrupt(fast, threads);
@@ -322,10 +364,11 @@ SweepResult run_sweep(const std::string& name, bool fast, unsigned threads) {
   if (name == "faults") return sweep_faults(fast, threads);
   if (name == "parallel") return sweep_parallel(fast, threads);
   if (name == "collectives") return sweep_collectives(fast, threads);
+  if (name == "kvserve") return sweep_kvserve(fast, threads);
   std::fprintf(stderr,
                "alewife_sweep: unknown sweep '%s' "
                "(expected scaling|interrupt|arity|faults|parallel|"
-               "collectives)\n",
+               "collectives|kvserve)\n",
                name.c_str());
   std::exit(2);
 }
@@ -368,7 +411,8 @@ int main(int argc, char** argv) {
 
   cli::OptionTable opts;
   opts.value_str("--sweep", "NAME",
-                 "scaling|interrupt|arity|faults|parallel|collectives", &name)
+                 "scaling|interrupt|arity|faults|parallel|collectives|kvserve",
+                 &name)
       .value_u32("--threads", "host threads", &threads)
       .flag("--serial", "shorthand for --threads 1", [&] { threads = 1; })
       .flag("--fast", "smaller machines / fewer points", &fast)

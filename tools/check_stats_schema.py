@@ -56,6 +56,18 @@ REQUIRED_COUNTERS = {
     "rel.peers_declared_dead",
     "rt.invoke_timeouts",
     "coll.aborts",
+    # kvserve service app (docs/METRICS.md): client-side ops/outcomes and
+    # server-side queue pressure.
+    "kv.gets",
+    "kv.puts",
+    "kv.scans",
+    "kv.hot_reads",
+    "kv.misses",
+    "kv.failed",
+    "kv.dropped",
+    "kv.migrations",
+    "kv.migrated_bytes",
+    "kv.queue_peak",
 }
 
 errors = []
@@ -149,6 +161,33 @@ def check(doc, expect_nonzero=()):
         require(h, "mean", (int, float), what)
         if count and lo is not None and hi is not None and lo > hi:
             err(f"{what}: min {lo} > max {hi}")
+        # Percentiles and log2 buckets are emitted only for non-empty
+        # histograms; older files (and empty histograms) simply omit them,
+        # so validate only when present.
+        pcts = []
+        for p in ("p50", "p99", "p999"):
+            if p not in h:
+                continue
+            if not isinstance(h[p], (int, float)):
+                err(f"{what}: field '{p}' has type {type(h[p]).__name__}, "
+                    f"expected a number")
+            else:
+                pcts.append((p, h[p]))
+        for (pa, va), (pb, vb) in zip(pcts, pcts[1:]):
+            if va > vb:
+                err(f"{what}: {pa} {va} > {pb} {vb}")
+        if pcts and lo is not None and hi is not None and lo <= hi:
+            for p, v in pcts:
+                if not (lo <= v <= hi):
+                    err(f"{what}: {p} {v} outside [min {lo}, max {hi}]")
+        if "buckets" in h:
+            b = h["buckets"]
+            if not isinstance(b, list):
+                err(f"{what}: 'buckets' is not a list")
+            elif not all(isinstance(v, int) and v >= 0 for v in b):
+                err(f"{what}: bucket entries must be non-negative integers")
+            elif count is not None and sum(b) != count:
+                err(f"{what}: buckets sum to {sum(b)}, count says {count}")
 
     custom = require(doc, "custom", list)
     for i, c in enumerate(custom or []):

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "apps/kvserve.hpp"
 #include "runtime/collective.hpp"
 
 namespace alewife::cli {
@@ -221,6 +222,67 @@ inline std::string parse_coll_op(const std::string& v) {
   throw UsageError(
       "option '--coll-op': unknown operation '" + v +
       "' (barrier|broadcast|reduce|allreduce|scatter|gather)");
+}
+
+// ---------------------------------------------------------------------------
+// Shared --kv-* option group (alewife_run's kvserve app, alewife_sweep's
+// kvserve sweep). Validation happens in validate_kv_config so both tools
+// reject impossible mixes the same way (exit 2).
+// ---------------------------------------------------------------------------
+
+struct KvCliArgs {
+  apps::KvServeConfig cfg;
+};
+
+inline apps::KvTransport parse_kv_transport(const std::string& v) {
+  if (v == "msg") return apps::KvTransport::kMsg;
+  if (v == "shm") return apps::KvTransport::kShm;
+  throw UsageError("option '--kv-transport': unknown transport '" + v +
+                   "' (msg|shm)");
+}
+
+/// Install the --kv-* options into `t`, writing into `*a`.
+inline void add_kv_options(OptionTable& t, KvCliArgs* a) {
+  t.value_u64("--kv-requests", "total requests, machine-wide (default 4096)",
+              &a->cfg.requests);
+  t.value_u32("--kv-load",
+              "offered load: requests per 1000 cycles, machine-wide "
+              "(default 64)",
+              &a->cfg.load);
+  t.value_u32("--kv-clients", "client threads per node (default 2)",
+              &a->cfg.clients_per_node);
+  t.value_u32("--kv-keys", "key-space size (default 4096)", &a->cfg.keys);
+  t.value_double("--kv-zipf", "Zipf skew exponent (default 0.99, 0 = uniform)",
+                 &a->cfg.zipf_s);
+  t.value_u32("--kv-hot",
+              "hottest keys mirrored in the shm read replica (default 16)",
+              &a->cfg.hot_keys);
+  t.value_u32("--kv-get-pct", "percent gets (default 80)", &a->cfg.get_pct);
+  t.value_u32("--kv-put-pct",
+              "percent puts (default 15; the rest are range scans)",
+              &a->cfg.put_pct);
+  t.value_u32("--kv-scan-keys", "slots per DMA range read (default 64)",
+              &a->cfg.scan_keys);
+  t.value_u32("--kv-migrations", "shard migrations during the run (default 1)",
+              &a->cfg.migrations);
+  t.value("--kv-transport", "T", "get/put invoke transport (msg|shm)",
+          [a](const std::string& v) {
+            a->cfg.transport = parse_kv_transport(v);
+          });
+}
+
+inline void validate_kv_config(const apps::KvServeConfig& cfg) {
+  if (cfg.get_pct + cfg.put_pct > 100) {
+    throw UsageError("--kv-get-pct + --kv-put-pct must not exceed 100");
+  }
+  if (cfg.keys == 0) throw UsageError("--kv-keys must be positive");
+  if (cfg.load == 0) throw UsageError("--kv-load must be positive");
+  if (cfg.clients_per_node == 0) {
+    throw UsageError("--kv-clients must be positive");
+  }
+  if (cfg.hot_keys > cfg.keys) {
+    throw UsageError("--kv-hot must not exceed --kv-keys");
+  }
 }
 
 /// Install the --coll-* options into `t`, writing into `*a`.
