@@ -1,137 +1,7 @@
-// Shared measurement harness for the paper-reproduction benchmarks.
-//
-// Each function builds a fresh Machine, runs one experiment, and returns
-// simulated-cycle results. All benches report cycles (and MB/s at the
-// paper's 33 MHz clock) — host wall time is irrelevant.
+// Forwarding header: the shared measurement harness moved to
+// src/batch/harness.hpp when the batch experiment runner (alewife_batch)
+// took it over. The bench_* binaries and CLI tools keep including
+// "bench_common.hpp"; everything lives in alewife::bench as before.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "apps/accum.hpp"
-#include "apps/aq.hpp"
-#include "apps/grain.hpp"
-#include "apps/jacobi.hpp"
-#include "core/machine.hpp"
-#include "runtime/barrier.hpp"
-
-namespace alewife::bench {
-
-constexpr double kClockMhz = 33.0;
-
-inline double mbytes_per_sec(std::uint64_t bytes, Cycles cycles) {
-  if (cycles == 0) return 0.0;
-  return double(bytes) / double(cycles) * kClockMhz;  // B/cyc * MHz == MB/s
-}
-
-inline double usec(Cycles cycles) { return double(cycles) / kClockMhz; }
-
-MachineConfig bench_cfg(std::uint32_t nodes);
-
-// ---- §4.2: combining-tree barrier ------------------------------------------
-/// Average whole-barrier latency (all-entered to all-released) over
-/// `episodes` aligned episodes.
-Cycles measure_barrier(std::uint32_t nodes, CombiningBarrier::Mech mech,
-                       std::uint32_t arity, int episodes = 8);
-
-/// Same, with an explicit machine configuration (ablation sweeps).
-Cycles measure_barrier_cfg(const MachineConfig& cfg,
-                           CombiningBarrier::Mech mech, std::uint32_t arity,
-                           int episodes = 8);
-
-// ---- collectives library (docs/COLLECTIVES.md) ------------------------------
-/// Average whole-collective latency (all-entered to all-exited) over
-/// `episodes` aligned episodes. `op` is a CLI-style name: barrier | broadcast
-/// | reduce | allreduce | scatter | gather; `bytes` is the per-node slice for
-/// scatter/gather.
-Cycles measure_collective_cfg(const MachineConfig& cfg, const std::string& op,
-                              const CollectiveConfig& ccfg, int episodes = 8,
-                              std::uint32_t bytes = 64);
-
-// ---- §4.3: remote thread invocation ----------------------------------------
-struct InvokeResult {
-  Cycles t_invoker;  ///< invoke start until invoker proceeds
-  Cycles t_invokee;  ///< invoke start until invoked thread runs
-};
-/// Average over `reps` invocations to distinct destination nodes.
-InvokeResult measure_invoke(bool use_msg, std::uint32_t nodes, int reps = 6);
-
-/// Same, with an explicit machine configuration (ablation sweeps).
-InvokeResult measure_invoke_cfg(const MachineConfig& cfg, bool use_msg,
-                                int reps = 6);
-
-// ---- Figure 7: memory-to-memory copy ---------------------------------------
-/// Cycles to copy `block` bytes from node 0's memory to node 1's memory
-/// (cold destination), averaged over `reps` fresh destinations.
-Cycles measure_copy(CopyImpl impl, std::uint32_t block, std::uint32_t nodes,
-                    int reps = 3);
-
-// ---- Figure 8: accum --------------------------------------------------------
-/// Cycles for node 0 to sum a `block`-byte remote array (cold cache).
-/// `prefetch_lines` applies to the shm variant (~0u = app default).
-Cycles measure_accum(bool msg, std::uint32_t block, std::uint32_t nodes,
-                     std::uint32_t prefetch_lines = ~0u);
-
-// ---- Figures 9/10: scheduler applications ----------------------------------
-struct AppRun {
-  Cycles parallel_cycles;
-  Cycles sequential_cycles;
-  double speedup() const {
-    return parallel_cycles
-               ? double(sequential_cycles) / double(parallel_cycles)
-               : 0.0;
-  }
-};
-
-AppRun measure_grain(SchedMode mode, std::uint32_t nodes, std::uint32_t depth,
-                     Cycles delay);
-
-/// Same, with an explicit machine configuration (sharded scaling rows set
-/// cfg.shards and a smaller per-node memory).
-AppRun measure_grain_cfg(const MachineConfig& cfg, SchedMode mode,
-                         std::uint32_t depth, Cycles delay);
-
-AppRun measure_aq(SchedMode mode, std::uint32_t nodes, double tol);
-
-// ---- Figure 11: jacobi ------------------------------------------------------
-/// Cycles per iteration (max over nodes, steady state after warmup).
-Cycles measure_jacobi(bool msg_variant, std::uint32_t grid,
-                      std::uint32_t nodes, std::uint32_t warmup = 2,
-                      std::uint32_t iters = 8);
-
-// ---- parallel sweep runner --------------------------------------------------
-// Sweep points are independent simulations (each job builds its own Machine),
-// so they can run on separate host threads. The simulator's per-thread state
-// (current fiber, event-callback pools) is thread_local, giving a strict
-// one-Machine-per-host-thread contract — see docs/ARCHITECTURE.md. Results
-// are stored by point index, so parallel and serial runs produce identical
-// output regardless of thread timing.
-
-/// Worker count for parallel sweeps: the ALEWIFE_SWEEP_THREADS environment
-/// variable if set (>=1), else std::thread::hardware_concurrency().
-unsigned sweep_threads();
-
-/// Run jobs 0..count-1, each at most once, across up to `threads` host
-/// threads (0 = sweep_threads()). Blocks until all jobs finish. If any job
-/// throws, the first exception is rethrown here after all threads join.
-void run_indexed(std::size_t count, const std::function<void(std::size_t)>& job,
-                 unsigned threads = 0);
-
-/// Map indices to results, in index order (independent of thread timing).
-template <typename R, typename Fn>
-std::vector<R> sweep(std::size_t count, Fn&& fn, unsigned threads = 0) {
-  std::vector<R> out(count);
-  run_indexed(
-      count, [&](std::size_t i) { out[i] = fn(i); }, threads);
-  return out;
-}
-
-// ---- table output -----------------------------------------------------------
-void print_header(const std::string& title,
-                  const std::vector<std::string>& cols);
-void print_row(const std::vector<std::string>& cells);
-std::string fmt(double v, int prec = 1);
-
-}  // namespace alewife::bench
+#include "batch/harness.hpp"

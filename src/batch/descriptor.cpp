@@ -1,0 +1,456 @@
+#include "batch/descriptor.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace alewife::batch {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& why) {
+  throw DescriptorError(what + ": " + why);
+}
+
+/// Strict-key guard: every object in a descriptor enumerates its legal keys.
+void check_keys(const json::Value& obj,
+                std::initializer_list<const char*> allowed,
+                const std::string& what) {
+  for (const auto& [k, v] : obj.object) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (k == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail(what, "unknown key '" + k + "'");
+  }
+}
+
+const json::Value& require(const json::Value& obj, const char* key,
+                           const std::string& what) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) fail(what, std::string("missing required key '") + key + "'");
+  return *v;
+}
+
+std::string require_string(const json::Value& obj, const char* key,
+                           const std::string& what) {
+  const json::Value& v = require(obj, key, what);
+  if (!v.is_string()) fail(what, std::string("'") + key + "' must be a string");
+  return v.string;
+}
+
+double require_number(const json::Value& obj, const char* key,
+                      const std::string& what) {
+  const json::Value& v = require(obj, key, what);
+  if (!v.is_number()) fail(what, std::string("'") + key + "' must be a number");
+  return v.number;
+}
+
+/// Fields a "config" patch may set. Parse-time gate so a typo'd field name
+/// fails loudly instead of silently running the default machine.
+bool known_config_field(const std::string& k) {
+  static const char* kFields[] = {
+      "nodes",           "shards",         "mem_kb_per_node",
+      "seed",            "max_cycles",     "check",
+      "fault.drop_rate", "fault.dup_rate", "fault.corrupt_rate",
+      "fault.delay_rate", "fault.reliable", "fault.seed",
+      "fault.watchdog_interval",
+  };
+  for (const char* f : kFields) {
+    if (k == f) return true;
+  }
+  return false;
+}
+
+/// "$axis" or "$axis*<factor>"; returns the factor (1.0 for plain "$axis"),
+/// or NaN when `s` is not an axis reference at all.
+double axis_factor(const std::string& s) {
+  if (s == "$axis") return 1.0;
+  if (s.rfind("$axis*", 0) == 0) {
+    try {
+      std::size_t used = 0;
+      const double f = std::stod(s.substr(6), &used);
+      if (used == s.size() - 6) return f;
+    } catch (const std::exception&) {
+    }
+  }
+  return std::nan("");
+}
+
+ConfigPatch parse_config(const json::Value& v, const std::string& what) {
+  if (!v.is_object()) fail(what, "'config' must be an object");
+  ConfigPatch p;
+  for (const auto& [k, field] : v.object) {
+    if (!known_config_field(k)) fail(what, "unknown config field '" + k + "'");
+    if (field.is_number()) {
+      p.nums[k] = field.number;
+    } else if (field.type == json::Value::Type::kBool) {
+      p.nums[k] = field.boolean ? 1.0 : 0.0;
+    } else if (field.is_string() && !std::isnan(axis_factor(field.string))) {
+      p.axis_refs[k] = field.string;
+    } else {
+      fail(what, "config field '" + k +
+                     "' must be a number, bool, \"$axis\" or \"$axis*F\"");
+    }
+  }
+  return p;
+}
+
+RunSpec parse_run(const json::Value& v, const std::string& what,
+                  bool require_measure = true) {
+  if (!v.is_object()) fail(what, "run spec must be an object");
+  RunSpec r;
+  for (const auto& [k, field] : v.object) {
+    if (k == "measure") {
+      if (!field.is_string()) fail(what, "'measure' must be a string");
+      r.measure = field.string;
+    } else if (field.is_number()) {
+      r.nums[k] = field.number;
+    } else if (field.type == json::Value::Type::kBool) {
+      r.nums[k] = field.boolean ? 1.0 : 0.0;
+    } else if (field.is_string()) {
+      r.strs[k] = field.string;
+    } else {
+      fail(what, "run parameter '" + k + "' must be a number, bool or string");
+    }
+  }
+  if (require_measure && r.measure.empty()) {
+    fail(what, "missing required key 'measure'");
+  }
+  return r;
+}
+
+ColSpec parse_col(const json::Value& v, const std::string& what) {
+  check_keys(v, {"name", "axis", "run", "value", "precision", "skip_when_gt",
+                 "host"},
+             what);
+  ColSpec c;
+  c.name = require_string(v, "name", what);
+  if (const json::Value* a = v.find("axis")) c.axis = a->boolean;
+  if (const json::Value* r = v.find("run")) c.run = r->string;
+  if (const json::Value* val = v.find("value")) c.value = val->string;
+  if (const json::Value* p = v.find("precision")) {
+    c.precision = static_cast<int>(p->number);
+  }
+  if (const json::Value* s = v.find("skip_when_gt")) c.skip_when_gt = s->number;
+  if (const json::Value* h = v.find("host")) c.host = h->string;
+  const int sources = int(c.axis) + int(!c.run.empty()) + int(!c.host.empty());
+  if (sources != 1) {
+    fail(what, "column '" + c.name +
+                   "' needs exactly one of \"axis\", \"run\", \"host\"");
+  }
+  if (!c.run.empty() && c.value.empty()) {
+    fail(what, "column '" + c.name + "' names a run but no \"value\"");
+  }
+  if (!c.host.empty() && c.host != "wall_s" && c.host != "mev_s") {
+    fail(what, "column '" + c.name + "': unknown host measurement '" + c.host +
+                   "' (wall_s|mev_s)");
+  }
+  return c;
+}
+
+TableSpec parse_table(const json::Value& v, const std::string& what) {
+  check_keys(v,
+             {"name", "sweep", "file", "axis", "config", "overrides",
+              "serial_rows", "warmup", "runs", "cols", "fast"},
+             what);
+  TableSpec t;
+  t.name = require_string(v, "name", what);
+  const std::string me = what + " '" + t.name + "'";
+  t.sweep = t.name;
+  if (const json::Value* s = v.find("sweep")) t.sweep = s->string;
+  if (const json::Value* f = v.find("file")) t.file = f->string;
+
+  const json::Value& axis = require(v, "axis", me);
+  check_keys(axis, {"name", "values"}, me + " axis");
+  t.axis_name = require_string(axis, "name", me + " axis");
+  const json::Value& values = require(axis, "values", me + " axis");
+  if (!values.is_array() || values.array.empty()) {
+    fail(me, "axis 'values' must be a non-empty array");
+  }
+  for (const auto& e : values.array) {
+    if (!e.is_number()) fail(me, "axis values must be numbers");
+    t.axis_values.push_back(e.number);
+  }
+
+  if (const json::Value* c = v.find("config")) {
+    t.config = parse_config(*c, me);
+  }
+  if (const json::Value* ov = v.find("overrides")) {
+    if (!ov->is_array()) fail(me, "'overrides' must be an array");
+    for (const auto& e : ov->array) {
+      check_keys(e, {"when_gt", "config"}, me + " override");
+      OverrideSpec o;
+      o.when_gt = require_number(e, "when_gt", me + " override");
+      o.config = parse_config(require(e, "config", me + " override"),
+                              me + " override");
+      t.overrides.push_back(std::move(o));
+    }
+  }
+  if (const json::Value* s = v.find("serial_rows")) t.serial_rows = s->boolean;
+  if (const json::Value* w = v.find("warmup")) {
+    t.warmup = parse_run(*w, me + " warmup");
+  }
+
+  const json::Value& runs = require(v, "runs", me);
+  if (!runs.is_object()) fail(me, "'runs' must be an object");
+  for (const auto& [k, spec] : runs.object) {
+    t.runs.emplace(k, parse_run(spec, me + " run '" + k + "'"));
+  }
+
+  const json::Value& cols = require(v, "cols", me);
+  if (!cols.is_array() || cols.array.empty()) {
+    fail(me, "'cols' must be a non-empty array");
+  }
+  for (const auto& e : cols.array) {
+    ColSpec c = parse_col(e, me + " col");
+    if (!c.run.empty() && t.runs.find(c.run) == t.runs.end()) {
+      fail(me, "column '" + c.name + "' references unknown run '" + c.run +
+                   "'");
+    }
+    t.cols.push_back(std::move(c));
+  }
+
+  if (const json::Value* fast = v.find("fast")) {
+    check_keys(*fast, {"axis_values", "config", "runs"}, me + " fast");
+    if (const json::Value* av = fast->find("axis_values")) {
+      if (!av->is_array()) fail(me, "fast 'axis_values' must be an array");
+      for (const auto& e : av->array) {
+        if (!e.is_number()) fail(me, "fast axis values must be numbers");
+        t.fast_axis_values.push_back(e.number);
+      }
+    }
+    if (const json::Value* c = fast->find("config")) {
+      t.fast_config = parse_config(*c, me + " fast");
+    }
+    if (const json::Value* fr = fast->find("runs")) {
+      if (!fr->is_object()) fail(me, "fast 'runs' must be an object");
+      for (const auto& [k, spec] : fr->object) {
+        if (t.runs.find(k) == t.runs.end()) {
+          fail(me, "fast patch for unknown run '" + k + "'");
+        }
+        RunSpec patch = parse_run(spec, me + " fast run '" + k + "'",
+                                  /*require_measure=*/false);
+        t.fast_runs.emplace(k, std::move(patch));
+      }
+    }
+  }
+  return t;
+}
+
+PointSpec parse_point(const json::Value& v, const std::string& what) {
+  check_keys(v, {"name", "config", "warmup", "run", "expect"}, what);
+  PointSpec p;
+  p.name = require_string(v, "name", what);
+  const std::string me = what + " '" + p.name + "'";
+  if (const json::Value* c = v.find("config")) {
+    p.config = parse_config(*c, me);
+  }
+  p.run = parse_run(require(v, "run", me), me + " run");
+  if (const json::Value* w = v.find("warmup")) {
+    p.warmup = parse_run(*w, me + " warmup");
+  }
+  if (const json::Value* e = v.find("expect")) {
+    check_keys(*e, {"exit", "nonzero"}, me + " expect");
+    if (const json::Value* x = e->find("exit")) {
+      p.expect.exit = static_cast<int>(x->number);
+    }
+    if (const json::Value* nz = e->find("nonzero")) {
+      if (!nz->is_array()) fail(me, "expect 'nonzero' must be an array");
+      for (const auto& n : nz->array) {
+        if (!n.is_string()) fail(me, "expect 'nonzero' entries must be strings");
+        p.expect.nonzero.push_back(n.string);
+      }
+    }
+  }
+  return p;
+}
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".")
+                                    : path.substr(0, slash);
+}
+
+}  // namespace
+
+double RunSpec::num(const std::string& key, double fallback,
+                    double axis) const {
+  if (const auto it = nums.find(key); it != nums.end()) return it->second;
+  if (const auto it = strs.find(key); it != strs.end()) {
+    const double f = axis_factor(it->second);
+    if (!std::isnan(f)) {
+      if (std::isnan(axis)) {
+        throw DescriptorError("run parameter '" + key +
+                              "' uses \"$axis\" outside a table");
+      }
+      return axis * f;
+    }
+    throw DescriptorError("run parameter '" + key + "' is not numeric");
+  }
+  return fallback;
+}
+
+std::string RunSpec::str(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = strs.find(key);
+  return it != strs.end() ? it->second : fallback;
+}
+
+bool RunSpec::has(const std::string& key) const {
+  return nums.count(key) != 0 || strs.count(key) != 0;
+}
+
+void ConfigPatch::merge(const ConfigPatch& over) {
+  for (const auto& [k, v] : over.nums) {
+    axis_refs.erase(k);
+    nums[k] = v;
+  }
+  for (const auto& [k, v] : over.axis_refs) {
+    nums.erase(k);
+    axis_refs[k] = v;
+  }
+}
+
+void ConfigPatch::apply(MachineConfig& cfg, double axis) const {
+  const auto set = [&cfg](const std::string& k, double v) {
+    if (k == "nodes") {
+      cfg.nodes = static_cast<std::uint32_t>(v);
+    } else if (k == "shards") {
+      cfg.shards = static_cast<std::uint32_t>(v);
+    } else if (k == "mem_kb_per_node") {
+      cfg.mem_bytes_per_node = static_cast<std::uint64_t>(v) * 1024;
+    } else if (k == "seed") {
+      cfg.rng_seed = static_cast<std::uint64_t>(v);
+    } else if (k == "max_cycles") {
+      cfg.max_cycles = static_cast<Cycles>(v);
+    } else if (k == "check") {
+      cfg.check.enabled = v != 0;
+    } else if (k == "fault.drop_rate") {
+      cfg.fault.drop_rate = v;
+    } else if (k == "fault.dup_rate") {
+      cfg.fault.dup_rate = v;
+    } else if (k == "fault.corrupt_rate") {
+      cfg.fault.corrupt_rate = v;
+    } else if (k == "fault.delay_rate") {
+      cfg.fault.delay_rate = v;
+    } else if (k == "fault.reliable") {
+      cfg.fault.reliable = v != 0;
+    } else if (k == "fault.seed") {
+      cfg.fault.seed = static_cast<std::uint64_t>(v);
+    } else if (k == "fault.watchdog_interval") {
+      cfg.fault.watchdog_interval = static_cast<Cycles>(v);
+    }
+    // Unknown keys were rejected at parse time.
+  };
+  for (const auto& [k, v] : nums) set(k, v);
+  for (const auto& [k, ref] : axis_refs) {
+    if (std::isnan(axis)) {
+      throw DescriptorError("config field '" + k +
+                            "' uses \"$axis\" outside a table");
+    }
+    set(k, axis * axis_factor(ref));
+  }
+}
+
+MachineConfig TableSpec::row_config(double axis, bool fast) const {
+  ConfigPatch patch = config;
+  if (fast) patch.merge(fast_config);
+  for (const auto& o : overrides) {
+    if (axis > o.when_gt) {
+      ConfigPatch p = o.config;
+      patch.merge(p);
+    }
+  }
+  MachineConfig cfg;
+  cfg.max_cycles = 0;  // batch jobs guard themselves (bench_cfg convention)
+  patch.apply(cfg, axis);
+  return cfg;
+}
+
+RunSpec TableSpec::row_run(const std::string& key, bool fast) const {
+  const auto it = runs.find(key);
+  if (it == runs.end()) {
+    throw DescriptorError("table '" + name + "': unknown run '" + key + "'");
+  }
+  RunSpec r = it->second;
+  if (fast) {
+    if (const auto fit = fast_runs.find(key); fit != fast_runs.end()) {
+      for (const auto& [k, v] : fit->second.nums) r.nums[k] = v;
+      for (const auto& [k, v] : fit->second.strs) r.strs[k] = v;
+    }
+  }
+  return r;
+}
+
+BatchDescriptor parse_descriptor(const json::Value& doc,
+                                 const std::string& dir,
+                                 const std::string& path) {
+  const std::string what =
+      path.empty() ? std::string("descriptor") : "descriptor " + path;
+  if (!doc.is_object()) fail(what, "top level must be an object");
+  check_keys(doc, {"schema", "version", "name", "include", "tables", "points"},
+             what);
+  const std::string schema = require_string(doc, "schema", what);
+  if (schema != "alewife-batch-descriptor") {
+    fail(what, "schema is '" + schema + "', expected 'alewife-batch-descriptor'");
+  }
+  if (require_number(doc, "version", what) != 1) {
+    fail(what, "unsupported descriptor version");
+  }
+
+  BatchDescriptor b;
+  b.name = require_string(doc, "name", what);
+  b.path = path;
+
+  if (const json::Value* inc = doc.find("include")) {
+    if (!inc->is_array()) fail(what, "'include' must be an array");
+    for (const auto& e : inc->array) {
+      if (!e.is_string() || e.string.empty()) {
+        fail(what, "'include' entries must be non-empty strings");
+      }
+      const std::string sub = e.string.front() == '/'
+                                  ? e.string
+                                  : dir + "/" + e.string;
+      BatchDescriptor child = load_descriptor(sub);
+      for (auto& t : child.tables) b.tables.push_back(std::move(t));
+      for (auto& p : child.points) b.points.push_back(std::move(p));
+    }
+  }
+
+  if (const json::Value* tables = doc.find("tables")) {
+    if (!tables->is_array()) fail(what, "'tables' must be an array");
+    for (const auto& e : tables->array) {
+      b.tables.push_back(parse_table(e, what + " table"));
+    }
+  }
+  if (const json::Value* points = doc.find("points")) {
+    if (!points->is_array()) fail(what, "'points' must be an array");
+    for (const auto& e : points->array) {
+      b.points.push_back(parse_point(e, what + " point"));
+    }
+  }
+  if (b.tables.empty() && b.points.empty()) {
+    fail(what, "descriptor declares no tables and no points");
+  }
+  return b;
+}
+
+BatchDescriptor load_descriptor(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw DescriptorError("cannot read descriptor '" + path + "'");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::parse(buf.str());
+  } catch (const std::exception& e) {
+    throw DescriptorError("descriptor " + path + ": " + e.what());
+  }
+  return parse_descriptor(doc, dir_of(path), path);
+}
+
+}  // namespace alewife::batch

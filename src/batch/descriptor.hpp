@@ -1,0 +1,174 @@
+// Batch experiment descriptors (EXPERIMENTS.md, "alewife_batch").
+//
+// A descriptor is a JSON document declaring a grid of experiments: sweep
+// tables (one machine per axis value × measurement, rendered as
+// alewife-sweep v1 tables) and standalone points (one machine each, rendered
+// as compact per-point stats records with a machine digest). The runner
+// (runner.hpp) expands the grid into independent jobs, fans them out across
+// host threads, and merges everything into one alewife-batch v1 document.
+//
+// Parsing is strict: unknown keys anywhere are errors (DescriptorError, which
+// the CLI maps to exit 2), so a typo'd "dealy" can never silently run the
+// default. Shipped descriptors live under experiments/.
+//
+// Descriptor shape (all-fields example; see experiments/*.json for real ones):
+//
+//   {
+//     "schema": "alewife-batch-descriptor",
+//     "version": 1,
+//     "name": "paper_grid",
+//     "include": ["scaling.json"],          // merge tables/points of others
+//     "tables": [{
+//       "name": "scaling",                  // table identity in the output
+//       "file": "BENCH_baseline.json",      // standalone sweep file target
+//       "axis": {"name": "procs", "values": [8, 16, 32]},
+//       "config": {"nodes": "$axis"},       // "$axis" = this row's value
+//       "overrides": [                      // per-row config patches
+//         {"when_gt": 128, "config": {"shards": 8, "mem_kb_per_node": 512}}
+//       ],
+//       "serial_rows": false,               // true: never fan rows out
+//       "warmup": {<run spec>},             // fork rows from a warm image
+//       "runs": {"bmsg": {"measure": "barrier", "mech": "msg", "arity": 8}},
+//       "cols": [
+//         {"name": "procs", "axis": true},
+//         {"name": "bar msg", "run": "bmsg", "value": "cycles",
+//          "precision": -1, "skip_when_gt": 0}
+//       ],
+//       "fast": {"axis_values": [8], "config": {...},
+//                "runs": {"bmsg": {"arity": 4}}}   // --fast patch
+//     }],
+//     "points": [{
+//       "name": "grain-64",
+//       "config": {"nodes": 64},
+//       "warmup": {<run spec>},             // optional warm-forked start
+//       "run": {<run spec>},
+//       "expect": {"exit": 0, "nonzero": ["rel.retransmits"]}
+//     }]
+//   }
+//
+// Run specs name a measurement from the fixed vocabulary in runner.cpp
+// (grain, grain_once, aq, barrier, collective, invoke, copy, accum,
+// fault_copy, kvserve, jacobi) with that measurement's parameters. Numeric
+// parameters and config fields accept "$axis" inside tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/json.hpp"
+
+namespace alewife::batch {
+
+/// Malformed descriptor: unknown key, wrong type, missing required field,
+/// unresolvable include. The alewife_batch CLI maps it to exit 2 (usage).
+class DescriptorError : public std::runtime_error {
+ public:
+  explicit DescriptorError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One measurement invocation: a vocabulary name plus free-form numeric /
+/// string parameters, validated against the vocabulary at execution time.
+/// Numeric parameters may be the string "$axis" inside a table.
+struct RunSpec {
+  std::string measure;
+  std::map<std::string, double> nums;
+  std::map<std::string, std::string> strs;  ///< includes "$axis" placeholders
+
+  /// Numeric parameter with "$axis" substitution; `axis` is NaN outside
+  /// tables (a "$axis" reference then throws).
+  double num(const std::string& key, double fallback, double axis) const;
+  std::string str(const std::string& key, const std::string& fallback) const;
+  bool has(const std::string& key) const;
+};
+
+/// Machine-configuration overrides, applied to a default MachineConfig.
+/// Values may be "$axis". Unknown fields are DescriptorErrors at parse time.
+struct ConfigPatch {
+  std::map<std::string, double> nums;
+  std::map<std::string, std::string> axis_refs;  ///< fields set to "$axis"
+
+  void merge(const ConfigPatch& over);  ///< `over` wins field by field
+  /// Apply to `cfg` with this row's axis value (NaN outside tables).
+  void apply(MachineConfig& cfg, double axis) const;
+  bool empty() const { return nums.empty() && axis_refs.empty(); }
+};
+
+struct ColSpec {
+  std::string name;
+  bool axis = false;           ///< render the axis value itself
+  std::string run;             ///< run key in TableSpec::runs
+  std::string value;           ///< named output of that run
+  int precision = -1;          ///< -1 = integer; >=0 = fixed decimals
+  double skip_when_gt = -1;    ///< axis > this => render "-" (off when < 0)
+  std::string host;            ///< "wall_s" | "mev_s" host-side columns
+};
+
+struct OverrideSpec {
+  double when_gt = -1;  ///< rows with axis > when_gt get the patch
+  ConfigPatch config;
+};
+
+struct TableSpec {
+  std::string name;
+  std::string sweep;  ///< "sweep" field of the emitted table (default: name)
+  std::string file;   ///< standalone sweep-file name ("" = none)
+  std::string axis_name;
+  std::vector<double> axis_values;
+  ConfigPatch config;
+  std::vector<OverrideSpec> overrides;
+  std::map<std::string, RunSpec> runs;
+  std::vector<ColSpec> cols;
+  std::optional<RunSpec> warmup;
+  bool serial_rows = false;
+
+  // --fast patch (empty = table unchanged under --fast)
+  std::vector<double> fast_axis_values;
+  ConfigPatch fast_config;
+  std::map<std::string, RunSpec> fast_runs;  ///< per-run parameter patches
+
+  /// Effective machine config for one row.
+  MachineConfig row_config(double axis, bool fast) const;
+  /// Effective run spec for one row ("fast" parameter patches applied).
+  RunSpec row_run(const std::string& key, bool fast) const;
+  const std::vector<double>& values(bool fast) const {
+    return fast && !fast_axis_values.empty() ? fast_axis_values : axis_values;
+  }
+};
+
+struct ExpectSpec {
+  int exit = 0;
+  std::vector<std::string> nonzero;  ///< counters that must end > 0
+};
+
+struct PointSpec {
+  std::string name;
+  ConfigPatch config;
+  RunSpec run;
+  std::optional<RunSpec> warmup;
+  ExpectSpec expect;
+};
+
+struct BatchDescriptor {
+  std::string name;
+  std::string path;  ///< source file ("" when parsed from a string)
+  std::vector<TableSpec> tables;
+  std::vector<PointSpec> points;
+};
+
+/// Parse a descriptor document. `dir` resolves "include" entries (paths are
+/// relative to the including descriptor's directory); includes merge their
+/// tables and points, in order, before this document's own.
+BatchDescriptor parse_descriptor(const json::Value& doc,
+                                 const std::string& dir,
+                                 const std::string& path = "");
+
+/// Load + parse from a file (throws DescriptorError on I/O failure too).
+BatchDescriptor load_descriptor(const std::string& path);
+
+}  // namespace alewife::batch

@@ -1,4 +1,4 @@
-#include "bench_common.hpp"
+#include "batch/harness.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -17,14 +17,12 @@ MachineConfig bench_cfg(std::uint32_t nodes) {
   return c;
 }
 
-namespace {
-RuntimeOptions quiet_opts() {
+RuntimeOptions bench_opts() {
   RuntimeOptions o;
   o.mode = SchedMode::kHybrid;
   o.stealing = false;  // no scheduler noise in microbenchmarks
   return o;
 }
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // Barrier
@@ -38,8 +36,13 @@ Cycles measure_barrier(std::uint32_t nodes, CombiningBarrier::Mech mech,
 Cycles measure_barrier_cfg(const MachineConfig& cfg,
                            CombiningBarrier::Mech mech, std::uint32_t arity,
                            int episodes) {
-  const std::uint32_t nodes = cfg.nodes;
-  Machine m(cfg, quiet_opts());
+  Machine m(cfg, bench_opts());
+  return measure_barrier_on(m, mech, arity, episodes);
+}
+
+Cycles measure_barrier_on(Machine& m, CombiningBarrier::Mech mech,
+                          std::uint32_t arity, int episodes) {
+  const std::uint32_t nodes = m.nodes();
   CombiningBarrier bar(m.runtime(), mech, arity);
   HostBarrier align(m, nodes);
 
@@ -84,8 +87,14 @@ Cycles measure_barrier_cfg(const MachineConfig& cfg,
 Cycles measure_collective_cfg(const MachineConfig& cfg, const std::string& op,
                               const CollectiveConfig& ccfg, int episodes,
                               std::uint32_t bytes) {
-  const std::uint32_t nodes = cfg.nodes;
-  Machine m(cfg, quiet_opts());
+  Machine m(cfg, bench_opts());
+  return measure_collective_on(m, op, ccfg, episodes, bytes);
+}
+
+Cycles measure_collective_on(Machine& m, const std::string& op,
+                             const CollectiveConfig& ccfg, int episodes,
+                             std::uint32_t bytes) {
+  const std::uint32_t nodes = m.nodes();
   Communicator comm(m.runtime(), ccfg);
   HostBarrier align(m, nodes);
 
@@ -158,7 +167,7 @@ InvokeResult measure_invoke(bool use_msg, std::uint32_t nodes, int reps) {
 InvokeResult measure_invoke_cfg(const MachineConfig& cfg, bool use_msg,
                                 int reps) {
   const std::uint32_t nodes = cfg.nodes;
-  Machine m(cfg, quiet_opts());
+  Machine m(cfg, bench_opts());
   auto invoker_sum = std::make_shared<Cycles>(0);
   auto invokee_sum = std::make_shared<Cycles>(0);
 
@@ -194,7 +203,7 @@ InvokeResult measure_invoke_cfg(const MachineConfig& cfg, bool use_msg,
 
 Cycles measure_copy(CopyImpl impl, std::uint32_t block, std::uint32_t nodes,
                     int reps) {
-  Machine m(bench_cfg(nodes), quiet_opts());
+  Machine m(bench_cfg(nodes), bench_opts());
   auto total = std::make_shared<Cycles>(0);
   m.run([&](Context& ctx) -> std::uint64_t {
     const GAddr src = ctx.shmalloc(0, block);
@@ -216,7 +225,7 @@ Cycles measure_copy(CopyImpl impl, std::uint32_t block, std::uint32_t nodes,
 
 Cycles measure_accum(bool msg, std::uint32_t block, std::uint32_t nodes,
                      std::uint32_t prefetch_lines) {
-  Machine m(bench_cfg(nodes), quiet_opts());
+  Machine m(bench_cfg(nodes), bench_opts());
   auto cycles = std::make_shared<Cycles>(0);
   m.run([&](Context& ctx) -> std::uint64_t {
     const GAddr arr = ctx.shmalloc(1, block);
@@ -275,6 +284,22 @@ AppRun measure_grain_cfg(const MachineConfig& cfg, SchedMode mode,
                 apps::grain_sequential_cycles(depth, delay)};
 }
 
+GrainOnce measure_grain_once_cfg(const MachineConfig& cfg, std::uint32_t depth,
+                                 Cycles delay) {
+  RuntimeOptions o;
+  o.mode = SchedMode::kHybrid;
+  o.stealing = true;
+  Machine m(cfg, o);
+  auto dur = std::make_shared<Cycles>(0);
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const Cycles t0 = ctx.now();
+    const std::uint64_t leaves = apps::grain_parallel(ctx, depth, delay);
+    *dur = ctx.now() - t0;
+    return leaves;
+  });
+  return GrainOnce{*dur, m.sim().events_executed()};
+}
+
 AppRun measure_aq(SchedMode mode, std::uint32_t nodes, double tol) {
   Cycles seq;
   {
@@ -317,7 +342,7 @@ AppRun measure_aq(SchedMode mode, std::uint32_t nodes, double tol) {
 Cycles measure_jacobi(bool msg_variant, std::uint32_t grid,
                       std::uint32_t nodes, std::uint32_t warmup,
                       std::uint32_t iters) {
-  Machine m(bench_cfg(nodes), quiet_opts());
+  Machine m(bench_cfg(nodes), bench_opts());
   auto setup = std::make_shared<apps::JacobiSetup>(apps::jacobi_setup(m, grid));
   apps::jacobi_init(m, *setup, [](std::uint32_t r, std::uint32_t c) {
     return 0.001 * r + 0.002 * c;
@@ -338,6 +363,28 @@ Cycles measure_jacobi(bool msg_variant, std::uint32_t grid,
   m.run_started();
   const Cycles worst = *std::max_element(per_node->begin(), per_node->end());
   return worst / iters;
+}
+
+// ---------------------------------------------------------------------------
+// faults: msg-DMA copy under packet loss
+// ---------------------------------------------------------------------------
+
+FaultCopyResult measure_fault_copy_cfg(const MachineConfig& cfg,
+                                       std::uint32_t block) {
+  Machine m(cfg);
+  FaultCopyResult r;
+  m.run([&](Context& ctx) -> std::uint64_t {
+    const GAddr src = ctx.shmalloc(0, block);
+    const GAddr dst = ctx.shmalloc(1 % cfg.nodes, block);
+    for (std::uint32_t b = 0; b < block; b += 8) ctx.store(src + b, b);
+    const Cycles t0 = ctx.now();
+    m.bulk().copy(ctx, dst, src, block, CopyImpl::kMsgDma);
+    r.copy_cycles = ctx.now() - t0;
+    return 0;
+  });
+  r.retransmits = m.stats().get(MetricId::kRelRetransmits);
+  r.delivered_bytes = m.stats().get(MetricId::kRelDeliveredBytes);
+  return r;
 }
 
 // ---------------------------------------------------------------------------

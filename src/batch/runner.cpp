@@ -1,0 +1,713 @@
+#include "batch/runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "batch/harness.hpp"
+#include "core/machine_image.hpp"
+#include "memory/checker.hpp"
+#include "sim/fault.hpp"
+#include "sim/metrics.hpp"
+#include "sim/snapshot.hpp"
+
+namespace alewife::batch {
+
+namespace {
+
+using bench::fmt;
+
+// ---------------------------------------------------------------------------
+// Parameter decoding
+// ---------------------------------------------------------------------------
+
+SchedMode parse_mode(const std::string& v, const std::string& what) {
+  if (v == "shm") return SchedMode::kShm;
+  if (v == "hybrid") return SchedMode::kHybrid;
+  throw BatchError(what + ": unknown scheduler mode '" + v + "' (shm|hybrid)");
+}
+
+CombiningBarrier::Mech parse_bar_mech(const std::string& v,
+                                      const std::string& what) {
+  if (v == "shm") return CombiningBarrier::Mech::kShm;
+  if (v == "msg") return CombiningBarrier::Mech::kMsg;
+  throw BatchError(what + ": unknown barrier mechanism '" + v + "' (shm|msg)");
+}
+
+CollMech parse_coll_mech(const std::string& v, const std::string& what) {
+  if (v == "shm") return CollMech::kShm;
+  if (v == "msg") return CollMech::kMsg;
+  if (v == "hybrid") return CollMech::kHybrid;
+  throw BatchError(what + ": unknown collective mechanism '" + v +
+                   "' (shm|msg|hybrid)");
+}
+
+Combining parse_combining(const std::string& v, const std::string& what) {
+  if (v == "proc") return Combining::kProc;
+  if (v == "cmmu") return Combining::kCmmu;
+  throw BatchError(what + ": unknown combining side '" + v + "' (proc|cmmu)");
+}
+
+CopyImpl parse_copy_impl(const std::string& v, const std::string& what) {
+  if (v == "shm_loop") return CopyImpl::kShmLoop;
+  if (v == "shm_prefetch") return CopyImpl::kShmPrefetch;
+  if (v == "msg_dma") return CopyImpl::kMsgDma;
+  throw BatchError(what + ": unknown copy impl '" + v +
+                   "' (shm_loop|shm_prefetch|msg_dma)");
+}
+
+// ---------------------------------------------------------------------------
+// Measurement execution
+// ---------------------------------------------------------------------------
+
+/// Named outputs of one measurement; `events` feeds the host Mev/s column
+/// (only measures that report a raw event total contribute, matching the
+/// parallel sweep's accounting).
+struct MeasureOut {
+  std::map<std::string, double> vals;
+  std::uint64_t events = 0;
+  Cycles dur = 0;  ///< measurement-phase duration (digest input for points)
+};
+
+apps::KvServeConfig kv_config(const RunSpec& r, double axis) {
+  apps::KvServeConfig kc;
+  kc.load = static_cast<std::uint32_t>(r.num("load", kc.load, axis));
+  kc.requests = static_cast<std::uint64_t>(r.num("requests", double(kc.requests), axis));
+  kc.clients_per_node =
+      static_cast<std::uint32_t>(r.num("clients", kc.clients_per_node, axis));
+  kc.keys = static_cast<std::uint32_t>(r.num("keys", kc.keys, axis));
+  kc.zipf_s = r.num("zipf", kc.zipf_s, axis);
+  kc.hot_keys = static_cast<std::uint32_t>(r.num("hot", kc.hot_keys, axis));
+  kc.get_pct = static_cast<std::uint32_t>(r.num("get_pct", kc.get_pct, axis));
+  kc.put_pct = static_cast<std::uint32_t>(r.num("put_pct", kc.put_pct, axis));
+  kc.scan_keys =
+      static_cast<std::uint32_t>(r.num("scan_keys", kc.scan_keys, axis));
+  kc.migrations =
+      static_cast<std::uint32_t>(r.num("migrations", kc.migrations, axis));
+  if (r.str("transport", "msg") == "shm") {
+    kc.transport = apps::KvTransport::kShm;
+  }
+  return kc;
+}
+
+void kv_vals(const apps::KvServeResult& res, MeasureOut& out) {
+  const double achieved =
+      res.duration != 0 ? double(res.completed) * 1000.0 / double(res.duration)
+                        : 0.0;
+  out.vals["achieved"] = achieved;
+  out.vals["p50"] = res.latency.percentile(0.50);
+  out.vals["p99"] = res.latency.percentile(0.99);
+  out.vals["p999"] = res.latency.percentile(0.999);
+  out.vals["failed"] = double(res.failed);
+  out.vals["completed"] = double(res.completed);
+  out.dur = res.duration;
+}
+
+CollectiveConfig coll_config(const RunSpec& r, double axis,
+                             const std::string& what) {
+  CollectiveConfig cc;
+  cc.mech = parse_coll_mech(r.str("mech", "msg"), what);
+  cc.combining = parse_combining(r.str("combining", "proc"), what);
+  cc.arity = static_cast<std::uint32_t>(r.num("arity", 0, axis));
+  cc.group = static_cast<std::uint32_t>(r.num("group", 0, axis));
+  cc.chunk_bytes = static_cast<std::uint32_t>(r.num("chunk", 0, axis));
+  return cc;
+}
+
+/// Cold (machine-per-measurement) execution: the sweep-exact path every
+/// shipped BENCH table uses. Each case reproduces the corresponding
+/// alewife_sweep measurement parameter for parameter.
+MeasureOut exec_run_cold(const MachineConfig& cfg, const RunSpec& r,
+                         double axis, const std::string& what) {
+  MeasureOut out;
+  if (r.measure == "grain") {
+    const SchedMode mode = parse_mode(r.str("mode", "hybrid"), what);
+    const auto depth = static_cast<std::uint32_t>(r.num("depth", 14, axis));
+    const auto delay = static_cast<Cycles>(r.num("delay", 100, axis));
+    const bench::AppRun a = bench::measure_grain_cfg(cfg, mode, depth, delay);
+    out.vals["speedup"] = a.speedup();
+    out.vals["cycles"] = double(a.parallel_cycles);
+  } else if (r.measure == "grain_once") {
+    const auto depth = static_cast<std::uint32_t>(r.num("depth", 14, axis));
+    const auto delay = static_cast<Cycles>(r.num("delay", 100, axis));
+    const bench::GrainOnce g = bench::measure_grain_once_cfg(cfg, depth, delay);
+    out.vals["cycles"] = double(g.cycles);
+    out.events = g.events;
+  } else if (r.measure == "aq") {
+    const SchedMode mode = parse_mode(r.str("mode", "hybrid"), what);
+    const bench::AppRun a =
+        bench::measure_aq(mode, cfg.nodes, r.num("tol", 1e-4, axis));
+    out.vals["speedup"] = a.speedup();
+  } else if (r.measure == "barrier") {
+    const auto mech = parse_bar_mech(r.str("mech", "msg"), what);
+    const auto arity = static_cast<std::uint32_t>(r.num("arity", 2, axis));
+    const int episodes = static_cast<int>(r.num("episodes", 8, axis));
+    out.vals["cycles"] =
+        double(bench::measure_barrier_cfg(cfg, mech, arity, episodes));
+  } else if (r.measure == "collective") {
+    const std::string op = r.str("op", "allreduce");
+    const CollectiveConfig cc = coll_config(r, axis, what);
+    const int episodes = static_cast<int>(r.num("episodes", 8, axis));
+    const auto bytes = static_cast<std::uint32_t>(r.num("bytes", 64, axis));
+    out.vals["cycles"] =
+        double(bench::measure_collective_cfg(cfg, op, cc, episodes, bytes));
+  } else if (r.measure == "invoke") {
+    const bool msg = r.num("msg", 1, axis) != 0;
+    const int reps = static_cast<int>(r.num("reps", 6, axis));
+    const bench::InvokeResult inv = bench::measure_invoke_cfg(cfg, msg, reps);
+    out.vals["t_invoker"] = double(inv.t_invoker);
+    out.vals["t_invokee"] = double(inv.t_invokee);
+  } else if (r.measure == "copy") {
+    const CopyImpl impl = parse_copy_impl(r.str("impl", "msg_dma"), what);
+    const auto block = static_cast<std::uint32_t>(r.num("block", 4096, axis));
+    const int reps = static_cast<int>(r.num("reps", 3, axis));
+    out.vals["cycles"] =
+        double(bench::measure_copy(impl, block, cfg.nodes, reps));
+  } else if (r.measure == "accum") {
+    const bool msg = r.num("msg", 0, axis) != 0;
+    const auto block = static_cast<std::uint32_t>(r.num("block", 4096, axis));
+    const auto pf =
+        static_cast<std::uint32_t>(r.num("prefetch", double(~0u), axis));
+    out.vals["cycles"] = double(bench::measure_accum(msg, block, cfg.nodes, pf));
+  } else if (r.measure == "fault_copy") {
+    const auto block = static_cast<std::uint32_t>(r.num("block", 4096, axis));
+    const bench::FaultCopyResult f = bench::measure_fault_copy_cfg(cfg, block);
+    out.vals["cycles"] = double(f.copy_cycles);
+    out.vals["retrans"] = double(f.retransmits);
+    out.vals["goodput"] = double(f.delivered_bytes);
+  } else if (r.measure == "kvserve") {
+    Machine m(cfg);  // default runtime options, like the kvserve sweep
+    kv_vals(apps::kvserve_run(m, kv_config(r, axis)), out);
+  } else if (r.measure == "jacobi") {
+    const bool msg = r.num("msg", 0, axis) != 0;
+    const auto grid = static_cast<std::uint32_t>(r.num("grid", 64, axis));
+    const auto warm = static_cast<std::uint32_t>(r.num("warmup", 2, axis));
+    const auto iters = static_cast<std::uint32_t>(r.num("iters", 8, axis));
+    out.vals["cycles"] =
+        double(bench::measure_jacobi(msg, grid, cfg.nodes, warm, iters));
+  } else {
+    throw BatchError(what + ": unknown measurement '" + r.measure + "'");
+  }
+  return out;
+}
+
+/// True when the measurement can run on a caller-provided machine — the
+/// requirement for warm-forked (and warmup-phase) execution.
+bool on_machine_capable(const std::string& measure) {
+  return measure == "barrier" || measure == "collective" ||
+         measure == "grain" || measure == "copy" || measure == "accum" ||
+         measure == "fault_copy" || measure == "kvserve";
+}
+
+/// Single-machine execution: the measurement phase the runner applies to a
+/// warm-forked (or shared cold) machine. Note "grain" here is one run on the
+/// given machine, not the cold path's 3-seed average — a warmed machine IS
+/// the seed.
+MeasureOut exec_run_on(Machine& m, const RunSpec& r, double axis,
+                       const std::string& what) {
+  MeasureOut out;
+  if (r.measure == "barrier") {
+    const auto mech = parse_bar_mech(r.str("mech", "msg"), what);
+    const auto arity = static_cast<std::uint32_t>(r.num("arity", 2, axis));
+    const int episodes = static_cast<int>(r.num("episodes", 8, axis));
+    const Cycles t0 = m.now();
+    out.vals["cycles"] =
+        double(bench::measure_barrier_on(m, mech, arity, episodes));
+    out.dur = m.now() - t0;
+  } else if (r.measure == "collective") {
+    const std::string op = r.str("op", "allreduce");
+    const CollectiveConfig cc = coll_config(r, axis, what);
+    const int episodes = static_cast<int>(r.num("episodes", 8, axis));
+    const auto bytes = static_cast<std::uint32_t>(r.num("bytes", 64, axis));
+    const Cycles t0 = m.now();
+    out.vals["cycles"] =
+        double(bench::measure_collective_on(m, op, cc, episodes, bytes));
+    out.dur = m.now() - t0;
+  } else if (r.measure == "grain") {
+    const auto depth = static_cast<std::uint32_t>(r.num("depth", 14, axis));
+    const auto delay = static_cast<Cycles>(r.num("delay", 100, axis));
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([dur, depth, delay](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      const std::uint64_t leaves = apps::grain_parallel(ctx, depth, delay);
+      *dur = ctx.now() - t0;
+      return leaves;
+    });
+    out.vals["cycles"] = double(*dur);
+    out.events = m.sim().events_executed();
+    out.dur = *dur;
+  } else if (r.measure == "copy" || r.measure == "fault_copy") {
+    const CopyImpl impl = r.measure == "fault_copy"
+                              ? CopyImpl::kMsgDma
+                              : parse_copy_impl(r.str("impl", "msg_dma"), what);
+    const auto block = static_cast<std::uint32_t>(r.num("block", 4096, axis));
+    const int reps =
+        r.measure == "fault_copy" ? 1 : static_cast<int>(r.num("reps", 3, axis));
+    auto total = std::make_shared<Cycles>(0);
+    const std::uint32_t nodes = m.nodes();
+    m.run([&m, total, block, reps, impl, nodes](Context& ctx) -> std::uint64_t {
+      const GAddr src = ctx.shmalloc(0, block);
+      for (std::uint32_t i = 0; i < block; i += 8) ctx.store(src + i, i);
+      for (int rep = 0; rep < reps; ++rep) {
+        const GAddr dst = ctx.shmalloc(1 % nodes, block);
+        const Cycles t0 = ctx.now();
+        m.bulk().copy(ctx, dst, src, block, impl);
+        *total += ctx.now() - t0;
+      }
+      return 0;
+    });
+    out.vals["cycles"] = double(*total / reps);
+    out.dur = *total;
+    if (r.measure == "fault_copy") {
+      out.vals["retrans"] = double(m.stats().get(MetricId::kRelRetransmits));
+      out.vals["goodput"] = double(m.stats().get(MetricId::kRelDeliveredBytes));
+    }
+  } else if (r.measure == "accum") {
+    const bool msg = r.num("msg", 0, axis) != 0;
+    const auto block = static_cast<std::uint32_t>(r.num("block", 4096, axis));
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([&m, dur, block, msg](Context& ctx) -> std::uint64_t {
+      const GAddr arr = ctx.shmalloc(1, block);
+      for (std::uint32_t i = 0; i < block; i += 8) {
+        m.memory().store().write_uint(arr + i, 8, i / 8);
+      }
+      const Cycles t0 = ctx.now();
+      if (msg) {
+        const GAddr buf = ctx.shmalloc(0, block);
+        apps::accum_msg(ctx, m.bulk(), arr, buf, block);
+      } else {
+        apps::accum_shm(ctx, arr, block);
+      }
+      *dur = ctx.now() - t0;
+      return 0;
+    });
+    out.vals["cycles"] = double(*dur);
+    out.dur = *dur;
+  } else if (r.measure == "kvserve") {
+    kv_vals(apps::kvserve_run(m, kv_config(r, axis)), out);
+  } else {
+    throw BatchError(what + ": measurement '" + r.measure +
+                     "' cannot run on a shared (warmup) machine");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Warm-fork plumbing
+// ---------------------------------------------------------------------------
+
+/// Why a declared warmup cannot serve forked starts ("" = it can).
+std::string fork_blocker(const MachineConfig& cfg, bool cold_forced) {
+  if (cold_forced) return "--cold";
+  if (cfg.shards != 0) return "sharded engine";
+  if (!cfg.fault.node_downs.empty()) return "node-down fault plan";
+  return "";
+}
+
+std::mutex g_log_mu;
+
+void log_cold_fallback(const RunnerOptions& opt, const std::string& where,
+                       const std::string& why) {
+  if (opt.quiet) return;
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "alewife_batch: %s: cold start (%s)\n", where.c_str(),
+               why.c_str());
+}
+
+/// Map a measurement-phase exception to the alewife_run exit vocabulary.
+int run_and_classify(const std::function<void()>& fn, std::string& error) {
+  try {
+    fn();
+    return 0;
+  } catch (const SimTimeout& e) {
+    error = e.what();
+    return 3;
+  } catch (const WatchdogError& e) {
+    error = e.what();
+    return 3;
+  } catch (const CheckerError& e) {
+    error = e.what();
+    return 4;
+  } catch (const NodeFaultError& e) {
+    error = e.what();
+    return 6;
+  } catch (const SnapshotUnsupported& e) {
+    error = e.what();
+    return 8;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cell formatting — the sweeps' exact conventions, so regenerated tables are
+// byte-compatible with the committed BENCH files.
+// ---------------------------------------------------------------------------
+
+std::string format_cell(double v, int precision) {
+  if (precision < 0) {
+    return std::to_string(static_cast<long long>(std::llround(v)));
+  }
+  return fmt(v, precision);
+}
+
+// ---------------------------------------------------------------------------
+// Table execution
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<std::string> exec_row(const TableSpec& t, double axis,
+                                  const RunnerOptions& opt) {
+  const std::string where = "table '" + t.name + "' axis " + fmt(axis, 0);
+  const MachineConfig cfg = t.row_config(axis, opt.fast);
+
+  // Which runs does this row actually execute? (skip_when_gt columns do not
+  // build machines at all — e.g. the shm scheduler above 128 procs.)
+  std::vector<std::string> needed;
+  for (const ColSpec& c : t.cols) {
+    if (c.run.empty()) continue;
+    if (c.skip_when_gt >= 0 && axis > c.skip_when_gt) continue;
+    bool seen = false;
+    for (const auto& n : needed) seen = seen || n == c.run;
+    if (!seen) needed.push_back(c.run);
+  }
+
+  // Warm-fork decision: a declared warmup forks every run from one image
+  // when the engine allows it; otherwise each run shares a machine with its
+  // own warmup execution (cold start), logged.
+  std::unique_ptr<MachineImage> image;
+  if (t.warmup) {
+    for (const auto& key : needed) {
+      const RunSpec r = t.row_run(key, opt.fast);
+      if (!on_machine_capable(r.measure)) {
+        throw BatchError(where + ": run '" + key + "' (" + r.measure +
+                         ") cannot follow a warmup phase");
+      }
+    }
+    const std::string blocker = fork_blocker(cfg, opt.cold);
+    if (blocker.empty()) {
+      Machine warm(cfg, bench::bench_opts());
+      exec_run_on(warm, *t.warmup, axis, where + " warmup");
+      image = std::make_unique<MachineImage>(
+          capture_machine_image(warm, t.name));
+    } else {
+      log_cold_fallback(opt, where, blocker);
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::map<std::string, MeasureOut> done;
+  std::uint64_t events = 0;
+  for (const auto& key : needed) {
+    const RunSpec r = t.row_run(key, opt.fast);
+    const std::string what = where + " run '" + key + "'";
+    MeasureOut out;
+    if (t.warmup) {
+      Machine m(cfg, bench::bench_opts());
+      if (image) {
+        restore_machine_image(m, *image);
+      } else {
+        exec_run_on(m, *t.warmup, axis, where + " warmup");
+      }
+      out = exec_run_on(m, r, axis, what);
+    } else {
+      out = exec_run_cold(cfg, r, axis, what);
+    }
+    events += out.events;
+    done.emplace(key, std::move(out));
+  }
+  const double wall = seconds_since(t0);
+
+  std::vector<std::string> row;
+  row.reserve(t.cols.size());
+  for (const ColSpec& c : t.cols) {
+    if (c.axis) {
+      row.push_back(format_cell(axis, c.precision));
+    } else if (!c.host.empty()) {
+      const double v = c.host == "wall_s"
+                           ? wall
+                           : (wall > 0 ? double(events) / wall / 1e6 : 0.0);
+      row.push_back(format_cell(v, c.precision));
+    } else if (c.skip_when_gt >= 0 && axis > c.skip_when_gt) {
+      row.push_back("-");
+    } else {
+      const MeasureOut& out = done.at(c.run);
+      const auto it = out.vals.find(c.value);
+      if (it == out.vals.end()) {
+        throw BatchError(where + ": run '" + c.run + "' has no value '" +
+                         c.value + "'");
+      }
+      row.push_back(format_cell(it->second, c.precision));
+    }
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Point execution
+// ---------------------------------------------------------------------------
+
+RuntimeOptions point_opts(const RunSpec& r) {
+  RuntimeOptions o = bench::bench_opts();
+  if (r.has("sched")) o.mode = parse_mode(r.str("sched", "hybrid"), "point");
+  if (r.has("stealing")) o.stealing = r.num("stealing", 0, std::nan("")) != 0;
+  return o;
+}
+
+PointResult exec_point(const PointSpec& p, const RunnerOptions& opt) {
+  const std::string where = "point '" + p.name + "'";
+  const double axis = std::nan("");
+
+  MachineConfig cfg;
+  cfg.max_cycles = 0;  // batch jobs guard themselves
+  p.config.apply(cfg, axis);
+
+  if (!on_machine_capable(p.run.measure)) {
+    throw BatchError(where + ": measurement '" + p.run.measure +
+                     "' is not a point measurement (points run one machine)");
+  }
+  if (p.warmup && !on_machine_capable(p.warmup->measure)) {
+    throw BatchError(where + ": warmup measurement '" + p.warmup->measure +
+                     "' cannot run on a shared machine");
+  }
+
+  PointResult res;
+  res.name = p.name;
+  res.nodes = cfg.nodes;
+  res.seed = cfg.rng_seed;
+
+  const RuntimeOptions ropts = point_opts(p.run);
+
+  std::unique_ptr<MachineImage> image;
+  if (p.warmup) {
+    const std::string blocker = fork_blocker(cfg, opt.cold);
+    if (blocker.empty()) {
+      Machine warm(cfg, ropts);
+      exec_run_on(warm, *p.warmup, axis, where + " warmup");
+      image = std::make_unique<MachineImage>(
+          capture_machine_image(warm, p.name));
+    } else {
+      log_cold_fallback(opt, where, blocker);
+    }
+  }
+
+  Machine m(cfg, ropts);
+  MeasureOut out;
+  res.exit_code = run_and_classify(
+      [&] {
+        if (image) {
+          restore_machine_image(m, *image);
+          res.warm_forked = true;
+        } else if (p.warmup) {
+          exec_run_on(m, *p.warmup, axis, where + " warmup");
+        }
+        out = exec_run_on(m, p.run, axis, where);
+      },
+      res.error);
+
+  res.cycles = m.now();
+  res.events = m.sim().events_executed();
+  res.digest = machine_digest(m, out.dur);
+  for (const auto& [name, total] : m.stats().counters()) {
+    res.counters.emplace_back(name, total);
+  }
+
+  // Expectation check.
+  if (res.exit_code != p.expect.exit) {
+    res.failure = where + ": exit " + std::to_string(res.exit_code) +
+                  " (expected " + std::to_string(p.expect.exit) + ")" +
+                  (res.error.empty() ? "" : ": " + res.error);
+  } else {
+    for (const auto& counter : p.expect.nonzero) {
+      bool found = false;
+      for (const auto& [name, total] : res.counters) {
+        found = found || (name == counter && total > 0);
+      }
+      if (!found) {
+        res.failure = where + ": counter '" + counter +
+                      "' expected non-zero, was zero or absent";
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------------
+
+void write_table_json_indented(std::ostream& os, const TableResult& t,
+                               const std::string& ind) {
+  os << ind << "{\n";
+  os << ind << "  \"schema\": \"alewife-sweep\",\n";
+  os << ind << "  \"version\": 1,\n";
+  os << ind << "  \"sweep\": \"" << json::escape(t.sweep) << "\",\n";
+  os << ind << "  \"fast\": " << (t.fast ? "true" : "false") << ",\n";
+  os << ind << "  \"cols\": [";
+  for (std::size_t i = 0; i < t.cols.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json::escape(t.cols[i]) << '"';
+  }
+  os << "],\n" << ind << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
+    const auto& row = t.rows[i];
+    os << ind << "    {\"name\": \"" << json::escape(row.at(0)) << '"';
+    for (std::size_t c = 0; c < t.cols.size() && c < row.size(); ++c) {
+      os << ", \"" << json::escape(t.cols[c]) << "\": \""
+         << json::escape(row[c]) << '"';
+    }
+    os << "}" << (i + 1 < t.rows.size() ? "," : "") << "\n";
+  }
+  os << ind << "  ]\n" << ind << "}";
+}
+
+char hex_digit(std::uint64_t v) {
+  return v < 10 ? char('0' + v) : char('a' + (v - 10));
+}
+
+std::string hex64(std::uint64_t v) {
+  std::string s = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    s += hex_digit((v >> shift) & 0xf);
+  }
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+BatchResult run_batch(const BatchDescriptor& desc, const RunnerOptions& opt) {
+  BatchResult out;
+  out.name = desc.name;
+  out.descriptor = desc.path;
+  out.fast = opt.fast;
+
+  out.tables.resize(desc.tables.size());
+  for (std::size_t i = 0; i < desc.tables.size(); ++i) {
+    const TableSpec& t = desc.tables[i];
+    out.tables[i].name = t.name;
+    out.tables[i].sweep = t.sweep;
+    out.tables[i].file = t.file;
+    out.tables[i].fast = opt.fast;
+    for (const ColSpec& c : t.cols) out.tables[i].cols.push_back(c.name);
+    out.tables[i].rows.resize(t.values(opt.fast).size());
+  }
+  out.points.resize(desc.points.size());
+
+  // Grid expansion: each job fills one preallocated slot, so the merged
+  // document is identical at any thread count. serial_rows tables (the
+  // parallel-engine sweep, where each row is itself a K-thread machine and
+  // wall-clock per row is the measurement) become a single job running their
+  // rows in order.
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t i = 0; i < desc.tables.size(); ++i) {
+    const TableSpec& t = desc.tables[i];
+    TableResult& tr = out.tables[i];
+    const std::vector<double>& values = t.values(opt.fast);
+    if (t.serial_rows) {
+      jobs.push_back([&t, &tr, values, &opt] {
+        for (std::size_t r = 0; r < values.size(); ++r) {
+          tr.rows[r] = exec_row(t, values[r], opt);
+        }
+      });
+    } else {
+      for (std::size_t r = 0; r < values.size(); ++r) {
+        jobs.push_back([&t, &tr, values, r, &opt] {
+          tr.rows[r] = exec_row(t, values[r], opt);
+        });
+      }
+    }
+  }
+  for (std::size_t i = 0; i < desc.points.size(); ++i) {
+    const PointSpec& p = desc.points[i];
+    PointResult& pr = out.points[i];
+    jobs.push_back([&p, &pr, &opt] { pr = exec_point(p, opt); });
+  }
+
+  bench::run_indexed(jobs.size(), [&](std::size_t i) { jobs[i](); },
+                     opt.threads);
+  return out;
+}
+
+std::vector<std::string> BatchResult::failures() const {
+  std::vector<std::string> out;
+  for (const PointResult& p : points) {
+    if (!p.failure.empty()) out.push_back(p.failure);
+  }
+  return out;
+}
+
+bool results_match(const BatchResult& a, const BatchResult& b) {
+  if (a.tables.size() != b.tables.size() || a.points.size() != b.points.size())
+    return false;
+  for (std::size_t t = 0; t < a.tables.size(); ++t) {
+    const TableResult& x = a.tables[t];
+    const TableResult& y = b.tables[t];
+    if (x.cols != y.cols || x.rows.size() != y.rows.size()) return false;
+    for (std::size_t r = 0; r < x.rows.size(); ++r) {
+      if (x.rows[r].size() != y.rows[r].size()) return false;
+      for (std::size_t c = 0; c < x.rows[r].size(); ++c) {
+        if (c < x.cols.size() && x.cols[c].find("host ") != std::string::npos) {
+          continue;  // host wall-clock columns legitimately differ
+        }
+        if (x.rows[r][c] != y.rows[r][c]) return false;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const PointResult& x = a.points[i];
+    const PointResult& y = b.points[i];
+    if (x.name != y.name || x.digest != y.digest || x.cycles != y.cycles ||
+        x.events != y.events || x.exit_code != y.exit_code ||
+        x.warm_forked != y.warm_forked || x.counters != y.counters) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_table_json(std::ostream& os, const TableResult& t) {
+  write_table_json_indented(os, t, "");
+  os << "\n";
+}
+
+void write_batch_json(std::ostream& os, const BatchResult& r) {
+  os << "{\n";
+  os << "  \"schema\": \"alewife-batch\",\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"name\": \"" << json::escape(r.name) << "\",\n";
+  os << "  \"descriptor\": \"" << json::escape(r.descriptor) << "\",\n";
+  os << "  \"fast\": " << (r.fast ? "true" : "false") << ",\n";
+  os << "  \"tables\": [\n";
+  for (std::size_t i = 0; i < r.tables.size(); ++i) {
+    write_table_json_indented(os, r.tables[i], "    ");
+    os << (i + 1 < r.tables.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const PointResult& p = r.points[i];
+    os << "    {\"name\": \"" << json::escape(p.name) << "\", \"nodes\": "
+       << p.nodes << ", \"seed\": " << p.seed << ", \"cycles\": " << p.cycles
+       << ", \"events\": " << p.events << ", \"digest\": \"" << hex64(p.digest)
+       << "\", \"warm_forked\": " << (p.warm_forked ? "true" : "false")
+       << ", \"exit\": " << p.exit_code << ",\n     \"counters\": {";
+    for (std::size_t c = 0; c < p.counters.size(); ++c) {
+      os << (c ? ", " : "") << '"' << json::escape(p.counters[c].first)
+         << "\": " << p.counters[c].second;
+    }
+    os << "}}" << (i + 1 < r.points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace alewife::batch

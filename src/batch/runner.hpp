@@ -1,0 +1,100 @@
+// Batch experiment runner: expands a BatchDescriptor's grid into independent
+// jobs, fans them out across host threads (bench::run_indexed — the same
+// engine the sweeps use, so parallel == serial is verifiable byte for byte),
+// and merges everything into one alewife-batch v1 document.
+//
+// Tables render as embedded alewife-sweep v1 tables (and optionally as
+// standalone sweep files — the BENCH_*.json regeneration path). Points render
+// as compact per-point records: machine digest, final cycle/event counts, and
+// every non-zero counter, checked against the point's "expect" clause.
+//
+// Warm starts: a table or point with a "warmup" run simulates the warmup once
+// per machine configuration, captures an in-memory MachineImage
+// (core/machine_image.hpp), and forks every measurement from that image. The
+// image path is gated exactly like --checkpoint: sharded engines and
+// node-down fault plans fall back to cold starts (warmup and measurement on
+// one machine), logged per row/point — never silently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "batch/descriptor.hpp"
+#include "sim/types.hpp"
+
+namespace alewife::batch {
+
+/// Execution-time descriptor misuse (unknown measurement, unknown value
+/// name, warmup on a measurement that cannot run on a shared machine).
+/// Derives from DescriptorError so the CLI maps it to exit 2 as well.
+class BatchError : public DescriptorError {
+ public:
+  using DescriptorError::DescriptorError;
+};
+
+struct RunnerOptions {
+  unsigned threads = 0;  ///< host threads for the fan-out (0 = sweep default)
+  bool fast = false;     ///< apply each table's "fast" patch
+  bool cold = false;     ///< disable warm-forking (every warmup runs inline)
+  bool quiet = false;    ///< suppress the cold-fallback log lines
+};
+
+/// One rendered table: an alewife-sweep v1 document in memory. Cell values
+/// are the final formatted strings (the sweeps' convention), so equality is
+/// byte equality.
+struct TableResult {
+  std::string name;
+  std::string sweep;
+  std::string file;  ///< standalone sweep-file target ("" = none)
+  bool fast = false;
+  std::vector<std::string> cols;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct PointResult {
+  std::string name;
+  std::uint32_t nodes = 0;
+  std::uint64_t seed = 0;
+  Cycles cycles = 0;           ///< final simulated time
+  std::uint64_t events = 0;    ///< events executed
+  std::uint64_t digest = 0;    ///< machine_digest at end of measurement
+  bool warm_forked = false;    ///< measurement ran on a restored image
+  int exit_code = 0;           ///< alewife_run exit-code vocabulary
+  std::string error;           ///< what() when exit_code != 0
+  /// Every non-zero counter at end of run (name-sorted, deterministic).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::string failure;  ///< non-empty when the "expect" clause failed
+};
+
+struct BatchResult {
+  std::string name;
+  std::string descriptor;  ///< source path ("" when run from memory)
+  bool fast = false;
+  std::vector<TableResult> tables;
+  std::vector<PointResult> points;
+
+  /// Expectation failures, in grid order (empty = batch passed).
+  std::vector<std::string> failures() const;
+  bool ok() const { return failures().empty(); }
+};
+
+/// Run the whole grid. Throws BatchError/DescriptorError on descriptor
+/// misuse; expectation failures are recorded, not thrown.
+BatchResult run_batch(const BatchDescriptor& desc, const RunnerOptions& opt);
+
+/// --verify equality: every simulated value must match; columns whose name
+/// contains "host " are host wall-clock measurements and are excluded (the
+/// sweeps' convention, shared with `alewife_report --compare`).
+bool results_match(const BatchResult& a, const BatchResult& b);
+
+/// One table as a standalone alewife-sweep v1 document (byte-compatible with
+/// `alewife_sweep --json` output, so regenerated BENCH files diff cleanly).
+void write_table_json(std::ostream& os, const TableResult& t);
+
+/// The merged alewife-batch v1 document.
+void write_batch_json(std::ostream& os, const BatchResult& r);
+
+}  // namespace alewife::batch

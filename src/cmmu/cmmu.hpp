@@ -174,6 +174,48 @@ class Cmmu {
   /// Comma-separated peers this node declared dead ("" if none).
   std::string suspects_dump() const;
 
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// Persistent NIC state a warm-fork carries: per-destination send sequence
+  /// counters and per-source receive expectations. Transient state (the
+  /// retransmit buffer, out-of-order packets) must be empty at capture.
+  struct RelImage {
+    std::vector<std::uint64_t> next_seq;
+    std::vector<std::uint64_t> rx_next_expected;
+    std::vector<std::uint8_t> rx_synced;
+    Cycles combine_busy_until = 0;
+  };
+
+  RelImage save_rel_image() const {
+    if (!unacked_.empty()) {
+      throw std::logic_error("Cmmu::save_rel_image: unacked packets in flight");
+    }
+    RelImage im;
+    im.next_seq = next_seq_;
+    im.rx_next_expected.reserve(rx_.size());
+    im.rx_synced.reserve(rx_.size());
+    for (const RxState& r : rx_) {
+      if (!r.ooo.empty()) {
+        throw std::logic_error("Cmmu::save_rel_image: buffered ooo packets");
+      }
+      im.rx_next_expected.push_back(r.next_expected);
+      im.rx_synced.push_back(r.synced ? 1 : 0);
+    }
+    im.combine_busy_until = combine_.busy_until();
+    return im;
+  }
+
+  void load_rel_image(const RelImage& im) {
+    next_seq_ = im.next_seq;
+    rx_.resize(im.rx_next_expected.size());
+    for (std::size_t i = 0; i < rx_.size(); ++i) {
+      rx_[i].next_expected = im.rx_next_expected[i];
+      rx_[i].synced = im.rx_synced[i] != 0;
+      rx_[i].ooo.clear();
+    }
+    combine_.restore_busy_until(im.combine_busy_until);
+  }
+
   // Internal (MsgView, CombineEngine).
   const CostModel& cost() const { return cost_; }
   MemorySystem& memory() { return ms_; }

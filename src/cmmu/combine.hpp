@@ -76,6 +76,9 @@ class CombineEngine {
 
   Cycles busy_until() const { return busy_until_; }
 
+  /// Machine-image restore: adopt the captured engine timeline.
+  void restore_busy_until(Cycles t) { busy_until_ = t; }
+
  private:
   Cmmu& cmmu_;
   std::unordered_map<MsgType, Combiner> combiners_;

@@ -216,6 +216,20 @@ void Machine::boot_once() {
   }
 }
 
+void Machine::boot_for_restore() {
+  if (booted_) {
+    throw std::logic_error(
+        "Machine::boot_for_restore: machine already booted (restore needs a "
+        "freshly constructed machine)");
+  }
+  booted_ = true;
+  for (auto& n : nodes_) {
+    n->boot(/*schedule_kick=*/false);
+  }
+  // Fail-stop schedules are deliberately not armed: capture_machine_image
+  // rejects configurations with node-down faults.
+}
+
 void Machine::crash_node(NodeId n) {
   if (cmmus_[n]->node_down()) return;  // overlapping plans: already dead
   const Cycles t = sim_->now();

@@ -101,6 +101,14 @@ class Machine {
   /// Simulated time.
   Cycles now() const { return sim_->now(); }
 
+  /// Machine-image restore path (core/machine_image.cpp): install every
+  /// node's hooks and message handlers as a normal boot would, but without
+  /// the cycle-0 scheduler kicks (the captured run consumed them during its
+  /// warmup, and replaying them would shift the forked run's event count off
+  /// the cold run's). Marks the machine booted, so a subsequent
+  /// run()/run_started() only injects threads and kicks.
+  void boot_for_restore();
+
  private:
   void boot_once();
   void kick_all();

@@ -1,0 +1,175 @@
+#include "core/machine_image.hpp"
+
+#include <stdexcept>
+
+namespace alewife {
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t machine_digest(Machine& m, Cycles duration) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a_u64(h, m.sim().now());
+  h = fnv1a_u64(h, m.sim().events_executed());
+  h = fnv1a_u64(h, duration);
+  for (const auto& [name, value] : m.stats().counters()) {
+    for (unsigned char c : name) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+    h = fnv1a_u64(h, value);
+  }
+  return h;
+}
+
+namespace {
+
+void require_forkable(Machine& m) {
+  if (m.sim().sharded() != nullptr) {
+    throw SnapshotUnsupported(
+        "machine images need the serial engine: the sharded engine's "
+        "lookahead windows keep per-shard clocks and host-thread state that "
+        "no single-cycle capture can represent (run the point cold instead)");
+  }
+  if (!m.config().fault.node_downs.empty()) {
+    throw SnapshotUnsupported(
+        "machine images cannot fork runs with scheduled fail-stop node "
+        "faults: crash/restart events are armed at boot with absolute cycles "
+        "and would not survive the fork (run the point cold instead)");
+  }
+}
+
+void require_quiescent(Machine& m) {
+  if (!m.sim().queue().empty()) {
+    throw std::logic_error(
+        "capture_machine_image: event queue not drained (capture only after "
+        "run()/run_started() returned)");
+  }
+}
+
+}  // namespace
+
+MachineImage capture_machine_image(Machine& m, const std::string& workload) {
+  require_forkable(m);
+  require_quiescent(m);
+
+  MachineImage im;
+  im.meta.cycle = m.sim().now();
+  im.meta.events = m.sim().events_executed();
+  im.meta.seed = m.config().rng_seed;
+  im.meta.nodes = m.nodes();
+  im.meta.workload = workload;
+  im.meta.stats = m.stats().snapshot();
+  im.meta.digest = MachineSnapshot::compute_digest(im.meta);
+
+  im.stats = m.stats().save_image();
+  m.memory().store().save_image(&im.pages, &im.brk);
+  im.caches.reserve(m.nodes());
+  im.procs.reserve(m.nodes());
+  im.nic.reserve(m.nodes());
+  im.sched.reserve(m.nodes());
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    im.caches.push_back(m.memory().cache(n).save_image());
+    im.procs.push_back(
+        MachineImage::ProcImage{m.proc(n).free_at(), m.proc(n).intr_until()});
+    im.nic.push_back(m.cmmu(n).save_rel_image());
+    im.sched.push_back(m.node(n).save_image());
+  }
+  im.directory = m.memory().directory().save_image();
+  im.fe = m.memory().save_fe_image();
+  im.net = m.net().save_image();
+
+  im.registry = m.runtime().registry.save_counts();
+  im.msg_types_next = m.runtime().msg_types.next();
+  im.shared_rng = m.runtime().rng.state();
+
+  if (FaultPlan* f = m.fault()) {
+    im.has_fault_rng = true;
+    im.fault_rng = f->rng_state();
+  }
+  if (Watchdog* wd = m.watchdog()) {
+    im.has_watchdog = true;
+    im.watchdog_deadline = wd->deadline();
+  }
+  if (MemChecker* ck = m.memory().checker()) {
+    im.has_checker = true;
+    im.checker = ck->save_image();
+  }
+  return im;
+}
+
+void restore_machine_image(Machine& m, const MachineImage& im) {
+  require_forkable(m);
+  if (m.nodes() != im.meta.nodes) {
+    throw SnapshotError("restore_machine_image: image has " +
+                        std::to_string(im.meta.nodes) + " nodes, machine has " +
+                        std::to_string(m.nodes()));
+  }
+  if (m.config().rng_seed != im.meta.seed) {
+    throw SnapshotError(
+        "restore_machine_image: seed mismatch (image captured with seed " +
+        std::to_string(im.meta.seed) + ")");
+  }
+  if (im.meta.digest != MachineSnapshot::compute_digest(im.meta)) {
+    throw SnapshotError(
+        "restore_machine_image: image self-digest mismatch (corrupted "
+        "capture of '" + im.meta.workload + "')");
+  }
+  if (m.sim().now() != 0 || m.sim().events_executed() != 0) {
+    throw std::logic_error(
+        "restore_machine_image: target machine has already run (restore "
+        "needs a freshly constructed machine)");
+  }
+  if (im.has_checker != (m.memory().checker() != nullptr)) {
+    throw SnapshotError(
+        "restore_machine_image: checker armed on one side only (config "
+        "mismatch)");
+  }
+
+  // Install hooks and handlers exactly as a cold boot would, minus the
+  // cycle-0 scheduler kicks the captured run already consumed.
+  m.boot_for_restore();
+
+  // Functional state first, checker shadow after: boot-time host writes into
+  // the store refreshed the fresh machine's shadow, and the image must win.
+  m.stats().load_image(im.stats);
+  m.memory().store().load_image(im.pages, im.brk);
+  for (NodeId n = 0; n < m.nodes(); ++n) {
+    m.memory().cache(n).load_image(im.caches[n]);
+    m.proc(n).restore_timeline(im.procs[n].free_at, im.procs[n].intr_until);
+    m.cmmu(n).load_rel_image(im.nic[n]);
+    m.node(n).load_image(im.sched[n]);
+  }
+  m.memory().directory().load_image(im.directory);
+  m.memory().load_fe_image(im.fe);
+  m.net().load_image(im.net);
+
+  m.runtime().registry.restore_counts(im.registry);
+  m.runtime().msg_types.restore_next(im.msg_types_next);
+  m.runtime().rng.set_state(im.shared_rng);
+
+  if (im.has_fault_rng) {
+    FaultPlan* f = m.fault();
+    if (f == nullptr) {
+      throw SnapshotError(
+          "restore_machine_image: image carries a fault stream but the "
+          "machine has no fault plan (config mismatch)");
+    }
+    f->restore_rng_state(im.fault_rng);
+  }
+  if (im.has_watchdog && m.watchdog() != nullptr) {
+    m.watchdog()->restore_deadline(im.watchdog_deadline);
+  }
+  if (im.has_checker) {
+    m.memory().checker()->load_image(im.checker);
+  }
+
+  m.sim().restore_clock(im.meta.cycle, im.meta.events);
+}
+
+}  // namespace alewife

@@ -1,0 +1,107 @@
+// In-memory machine images: snapshot-forked warm starts (docs/EXPERIMENTS.md).
+//
+// A MachineImage is a full capture of a *quiescent* serial machine — the
+// clock, every stats cell, the backing store's materialized pages, cache
+// tags/LRU, directory entries, full/empty bits, per-node processor and NIC
+// timelines, scheduler slot tables, every Rng stream position, and the
+// checker's golden shadow. Restoring it into a freshly constructed machine of
+// identical configuration yields a run that is bit-identical to continuing
+// the captured machine: the batch runner (src/batch/) simulates a warmup
+// phase once per machine configuration and forks each measurement point from
+// the image instead of re-simulating the warmup.
+//
+// Unlike the file-based checkpoint path (sim/snapshot.hpp, which replays and
+// *proves* equality against a versioned on-disk capture), an image never
+// leaves memory and is trusted — the determinism proof lives in
+// tests/test_batch.cpp, which pins forked-run digests against cold-start
+// digests across workloads, fault plans and checker-armed runs.
+//
+// Capture requirements (violations throw):
+//   * serial engine only (shards == 0)              -> SnapshotUnsupported
+//   * no scheduled fail-stop node faults (their crash/restart events are
+//     armed at boot with absolute cycles and would not survive the fork)
+//                                                   -> SnapshotUnsupported
+//   * quiescent: event queue drained, no live threads, no in-flight
+//     protocol or reliable-layer state               -> std::logic_error
+// Quiescence is exactly the state Machine::run/run_started leave behind, so
+// "capture after run() returned" is always legal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cmmu/cmmu.hpp"
+#include "core/machine.hpp"
+#include "memory/backing_store.hpp"
+#include "memory/cache.hpp"
+#include "memory/checker.hpp"
+#include "memory/directory.hpp"
+#include "memory/mem_system.hpp"
+#include "network/network.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace alewife {
+
+struct MachineImage {
+  /// Identity + clock + digest, shared with the file-based snapshot layer:
+  /// `meta.stats` carries the typed cells, and `meta.digest` self-checks the
+  /// capture (MachineSnapshot::compute_digest).
+  MachineSnapshot meta;
+
+  Stats::Image stats;
+  std::vector<BackingStore::PageImage> pages;
+  std::vector<std::uint64_t> brk;
+  std::vector<Cache::Image> caches;                  ///< per node
+  std::vector<std::pair<GAddr, DirEntry>> directory; ///< sorted by line
+  std::vector<MemorySystem::FEImage> fe;
+
+  struct ProcImage {
+    Cycles free_at = 0;
+    Cycles intr_until = 0;
+  };
+  std::vector<ProcImage> procs;    ///< per node
+  std::vector<Cmmu::RelImage> nic; ///< per node (empty vectors when unreliable)
+  Network::Image net;
+  std::vector<NodeRuntime::Image> sched; ///< per node
+
+  TaskRegistry::Counts registry;
+  MsgType msg_types_next = 0;
+  std::array<std::uint64_t, 4> shared_rng{};
+
+  bool has_fault_rng = false;
+  std::array<std::uint64_t, 4> fault_rng{};
+  bool has_watchdog = false;
+  Cycles watchdog_deadline = 0;
+  bool has_checker = false;
+  MemChecker::Image checker;
+};
+
+/// Capture a quiescent serial machine. `workload` is a free-form identity
+/// line recorded in the image (error messages, batch logs).
+MachineImage capture_machine_image(Machine& m, const std::string& workload);
+
+/// Restore `im` into a freshly constructed, never-run machine of identical
+/// configuration: boots every node without the cycle-0 scheduler kicks
+/// (Machine::boot_for_restore), overwrites all captured state, and adopts the
+/// captured clock. After this, run()/run_started() continue exactly as the
+/// captured machine would have.
+void restore_machine_image(Machine& m, const MachineImage& im);
+
+/// Full-machine digest over the observables every determinism proof pins:
+/// final time, event count, the run's duration, and every stats counter by
+/// name. Shared by alewife_run --verify-shards, the batch runner's per-point
+/// records, and the warm-fork equality tests.
+std::uint64_t machine_digest(Machine& m, Cycles duration);
+
+/// FNV-1a step over one 64-bit value (exposed for tools that fold extra
+/// fields into a digest).
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v);
+
+}  // namespace alewife

@@ -1,5 +1,6 @@
 #include "memory/backing_store.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <new>
@@ -11,15 +12,19 @@ BackingStore::BackingStore(std::uint32_t nodes, std::uint64_t bytes_per_node,
                            std::uint32_t line_bytes)
     : bytes_per_node_(bytes_per_node),
       line_bytes_(line_bytes),
-      mem_(nodes),
-      once_(new std::once_flag[nodes]),
-      brk_(nodes, 0) {
-  // Node arrays materialize lazily on first touch: a 64-node machine would
-  // otherwise zero hundreds of megabytes per construction.
+      pages_per_node_((bytes_per_node + kPageBytes - 1) / kPageBytes),
+      page_count_(pages_per_node_ * nodes),
+      pages_(new std::atomic<std::uint8_t*>[page_count_]()),
+      brk_(nodes, 0) {}
+
+BackingStore::~BackingStore() {
+  for (std::uint64_t i = 0; i < page_count_; ++i) {
+    delete[] pages_[i].load(std::memory_order_relaxed);
+  }
 }
 
 GAddr BackingStore::alloc(NodeId node, std::uint64_t bytes) {
-  assert(node < mem_.size());
+  assert(node < brk_.size());
   // Keep allocations line-aligned so no object straddles a line it doesn't
   // own — matters for false-sharing-free microbenchmarks.
   std::uint64_t off = brk_[node];
@@ -33,48 +38,107 @@ void BackingStore::reset_allocators() {
   for (auto& b : brk_) b = 0;
 }
 
-const std::uint8_t* BackingStore::ptr(GAddr addr, std::uint64_t n) const {
-  const NodeId node = gaddr_node(addr);
-  const std::uint64_t off = gaddr_offset(addr);
-  assert(node < mem_.size());
-  assert(off + n <= bytes_per_node_);
-  (void)n;
-  auto& m = const_cast<std::vector<std::uint8_t>&>(mem_[node]);
-  std::call_once(once_[node],
-                 [&m, this] { m.resize(bytes_per_node_, 0); });
-  return m.data() + off;
-}
-
-std::uint8_t* BackingStore::ptr(GAddr addr, std::uint64_t n) {
-  return const_cast<std::uint8_t*>(
-      static_cast<const BackingStore*>(this)->ptr(addr, n));
+std::uint8_t* BackingStore::page_for_write(std::uint64_t index) {
+  std::uint8_t* p = pages_[index].load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  auto fresh = std::make_unique<std::uint8_t[]>(kPageBytes);  // zero-filled
+  std::uint8_t* expected = nullptr;
+  if (pages_[index].compare_exchange_strong(expected, fresh.get(),
+                                            std::memory_order_acq_rel)) {
+    pages_touched_.fetch_add(1, std::memory_order_relaxed);
+    return fresh.release();
+  }
+  return expected;  // another shard won the race; `fresh` frees itself
 }
 
 std::uint64_t BackingStore::read_uint(GAddr addr, std::uint32_t size) const {
   assert(size == 1 || size == 2 || size == 4 || size == 8);
+  const NodeId node = gaddr_node(addr);
+  const std::uint64_t off = gaddr_offset(addr);
+  assert(off + size <= bytes_per_node_);
+  const std::uint64_t in_page = off % kPageBytes;
   std::uint64_t v = 0;
-  std::memcpy(&v, ptr(addr, size), size);
+  if (in_page + size <= kPageBytes) {  // hot path: within one page
+    const std::uint8_t* p =
+        pages_[node * pages_per_node_ + off / kPageBytes].load(
+            std::memory_order_acquire);
+    if (p != nullptr) std::memcpy(&v, p + in_page, size);
+    return v;
+  }
+  read_bytes(addr, reinterpret_cast<std::uint8_t*>(&v), size);
   return v;
 }
 
 void BackingStore::write_uint(GAddr addr, std::uint32_t size,
                               std::uint64_t value) {
   assert(size == 1 || size == 2 || size == 4 || size == 8);
-  std::uint8_t* p = ptr(addr, size);
-  std::memcpy(p, &value, size);
-  if (observer_) observer_->on_write(addr, p, size);
+  write_bytes(addr, reinterpret_cast<const std::uint8_t*>(&value), size);
 }
 
 void BackingStore::read_bytes(GAddr addr, std::uint8_t* out,
                               std::uint64_t n) const {
-  std::memcpy(out, ptr(addr, n), n);
+  const NodeId node = gaddr_node(addr);
+  std::uint64_t off = gaddr_offset(addr);
+  assert(off + n <= bytes_per_node_);
+  while (n > 0) {
+    const std::uint64_t in_page = off % kPageBytes;
+    const std::uint64_t chunk = std::min(n, kPageBytes - in_page);
+    const std::uint8_t* p =
+        pages_[node * pages_per_node_ + off / kPageBytes].load(
+            std::memory_order_acquire);
+    if (p != nullptr) {
+      std::memcpy(out, p + in_page, chunk);
+    } else {
+      std::memset(out, 0, chunk);  // untouched pages read as zero, rent-free
+    }
+    out += chunk;
+    off += chunk;
+    n -= chunk;
+  }
 }
 
 void BackingStore::write_bytes(GAddr addr, const std::uint8_t* in,
                                std::uint64_t n) {
-  std::uint8_t* p = ptr(addr, n);
-  std::memcpy(p, in, n);
-  if (observer_) observer_->on_write(addr, p, n);
+  const NodeId node = gaddr_node(addr);
+  std::uint64_t off = gaddr_offset(addr);
+  assert(off + n <= bytes_per_node_);
+  const std::uint8_t* src = in;
+  std::uint64_t left = n;
+  while (left > 0) {
+    const std::uint64_t in_page = off % kPageBytes;
+    const std::uint64_t chunk = std::min(left, kPageBytes - in_page);
+    std::uint8_t* p = page_for_write(node * pages_per_node_ + off / kPageBytes);
+    std::memcpy(p + in_page, src, chunk);
+    src += chunk;
+    off += chunk;
+    left -= chunk;
+  }
+  if (observer_) observer_->on_write(addr, in, n);
+}
+
+void BackingStore::save_image(std::vector<PageImage>* pages,
+                              std::vector<std::uint64_t>* brk) const {
+  pages->clear();
+  for (std::uint64_t i = 0; i < page_count_; ++i) {
+    const std::uint8_t* p = pages_[i].load(std::memory_order_acquire);
+    if (p == nullptr) continue;
+    pages->push_back(PageImage{i, std::vector<std::uint8_t>(p, p + kPageBytes)});
+  }
+  *brk = brk_;
+}
+
+void BackingStore::load_image(const std::vector<PageImage>& pages,
+                              const std::vector<std::uint64_t>& brk) {
+  if (brk.size() != brk_.size()) {
+    throw std::invalid_argument("BackingStore::load_image: node count differs");
+  }
+  for (const PageImage& pi : pages) {
+    if (pi.index >= page_count_ || pi.bytes.size() != kPageBytes) {
+      throw std::invalid_argument("BackingStore::load_image: bad page");
+    }
+    std::memcpy(page_for_write(pi.index), pi.bytes.data(), kPageBytes);
+  }
+  brk_ = brk;
 }
 
 }  // namespace alewife

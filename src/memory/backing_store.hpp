@@ -4,11 +4,16 @@
 // applied here at transaction commit time, which — together with blocking
 // processor-side operations — yields sequential consistency (Alewife's memory
 // model). Caches and the directory determine *timing* only.
+//
+// Storage is page-granular and lazy: each node's region is a table of 4 KB
+// pages materialized on first *write*. Reads of untouched pages return zeros
+// without allocating, so a 4096-node machine costs memory proportional to the
+// bytes its program actually dirties, not nodes × mem_bytes_per_node.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -27,8 +32,16 @@ class BackingStore {
                           std::uint64_t n) = 0;
   };
 
+  /// Lazy-materialization granule. Must divide every legal line size's
+  /// alignment (it is a power of two well above any cache line).
+  static constexpr std::uint64_t kPageBytes = 4096;
+
   BackingStore(std::uint32_t nodes, std::uint64_t bytes_per_node,
                std::uint32_t line_bytes);
+  ~BackingStore();
+
+  BackingStore(const BackingStore&) = delete;
+  BackingStore& operator=(const BackingStore&) = delete;
 
   void set_observer(Observer* o) { observer_ = o; }
 
@@ -48,17 +61,45 @@ class BackingStore {
   std::uint64_t bytes_per_node() const { return bytes_per_node_; }
   std::uint64_t allocated(NodeId node) const { return brk_[node]; }
 
+  /// Pages currently materialized across all nodes (footprint telemetry).
+  std::uint64_t pages_touched() const {
+    return pages_touched_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Machine images (sim/snapshot.hpp, core/machine_image.hpp) -----------
+
+  /// One materialized page: `index` is the global page number
+  /// (node * pages_per_node + page-within-node).
+  struct PageImage {
+    std::uint64_t index;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  /// Copy out every materialized page plus the bump allocators, in page-index
+  /// order. Caller must be quiescent (single-threaded).
+  void save_image(std::vector<PageImage>* pages,
+                  std::vector<std::uint64_t>* brk) const;
+
+  /// Restore a saved image into this (fresh, same-geometry) store. Bypasses
+  /// the write observer: restored bytes are ground truth, and the checker's
+  /// shadow (which never reads the store) is restored separately from its
+  /// own captured image (MemChecker::load_image).
+  void load_image(const std::vector<PageImage>& pages,
+                  const std::vector<std::uint64_t>& brk);
+
  private:
-  const std::uint8_t* ptr(GAddr addr, std::uint64_t n) const;
-  std::uint8_t* ptr(GAddr addr, std::uint64_t n);
+  /// The page backing global page `index`, materializing it if needed.
+  std::uint8_t* page_for_write(std::uint64_t index);
 
   std::uint64_t bytes_per_node_;
   std::uint32_t line_bytes_;
-  std::vector<std::vector<std::uint8_t>> mem_;
-  /// Guards each node array's lazy materialization: with the sharded engine
-  /// two shards can fault in the same remote node's region concurrently
-  /// (fast path after materialization is one atomic load).
-  std::unique_ptr<std::once_flag[]> once_;
+  std::uint64_t pages_per_node_;
+  std::uint64_t page_count_;
+  /// Global page table; entries start null and are CAS-installed on first
+  /// write — with the sharded engine two shards can fault in the same remote
+  /// page concurrently (fast path after materialization is one atomic load).
+  std::unique_ptr<std::atomic<std::uint8_t*>[]> pages_;
+  std::atomic<std::uint64_t> pages_touched_{0};
   std::vector<std::uint64_t> brk_;
   Observer* observer_ = nullptr;
 };

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -53,12 +54,37 @@ class Cache {
   /// All resident lines (for invariant checks in tests).
   std::vector<std::pair<GAddr, LineState>> snapshot() const;
 
- private:
   struct Line {
     GAddr tag = 0;
     LineState state = LineState::kInvalid;
     std::uint64_t lru = 0;
   };
+
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// Full tag/state/LRU image: unlike snapshot(), this preserves slot
+  /// positions and LRU ticks so replacement decisions after a restore match
+  /// the captured machine exactly.
+  struct Image {
+    std::vector<Line> lines;
+    std::uint64_t tick = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  Image save_image() const { return Image{lines_, tick_, hits_, misses_}; }
+
+  void load_image(const Image& im) {
+    if (im.lines.size() != lines_.size()) {
+      throw std::invalid_argument("Cache::load_image: geometry differs");
+    }
+    lines_ = im.lines;
+    tick_ = im.tick;
+    hits_ = im.hits;
+    misses_ = im.misses;
+  }
+
+ private:
 
   std::uint32_t set_index(GAddr line_addr) const;
   Line* find(GAddr addr);

@@ -39,6 +39,7 @@
 // the peeked cache states are stable.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,6 +47,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "memory/backing_store.hpp"
@@ -151,6 +153,41 @@ class MemChecker final : public BackingStore::Observer {
 
   std::uint64_t value_checks() const { return value_checks_; }
   std::uint64_t protocol_checks() const { return protocol_checks_; }
+
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// The golden shadow plus the check counters. The shadow must be carried
+  /// verbatim across a fork: shadow_read never consults the store (untouched
+  /// bytes read as zero), so it cannot be re-seeded from restored pages. The
+  /// counters matter because the periodic busy-sweep keys off
+  /// protocol_checks_, so a fork that reset them would sweep at different
+  /// instants than the cold run.
+  struct Image {
+    std::vector<std::pair<GAddr, std::uint8_t>> shadow;  ///< sorted by addr
+    std::uint64_t value_checks = 0;
+    std::uint64_t protocol_checks = 0;
+  };
+
+  Image save_image() const {
+    std::lock_guard<std::recursive_mutex> g(mu_);
+    if (in_commit_ || !busy_since_.empty() || !fill_log_.empty()) {
+      throw std::logic_error("MemChecker::save_image: not quiescent");
+    }
+    Image im;
+    im.shadow.assign(shadow_.begin(), shadow_.end());
+    std::sort(im.shadow.begin(), im.shadow.end());
+    im.value_checks = value_checks_;
+    im.protocol_checks = protocol_checks_;
+    return im;
+  }
+
+  void load_image(const Image& im) {
+    std::lock_guard<std::recursive_mutex> g(mu_);
+    shadow_.clear();
+    shadow_.insert(im.shadow.begin(), im.shadow.end());
+    value_checks_ = im.value_checks;
+    protocol_checks_ = im.protocol_checks;
+  }
 
  private:
   std::uint64_t shadow_read(GAddr addr, std::uint32_t size);

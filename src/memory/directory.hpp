@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -114,6 +115,32 @@ class Directory {
     std::sort(v.begin(), v.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     return v;
+  }
+
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// Sorted (line, entry) pairs. Capture requires a quiescent machine: no
+  /// entry may be busy or have queued requests.
+  std::vector<std::pair<GAddr, DirEntry>> save_image() const {
+    std::vector<std::pair<GAddr, DirEntry>> v;
+    v.reserve(size());
+    for (const auto& m : by_home_) {
+      for (const auto& [line, e] : m) {
+        if (e.busy || !e.pending.empty()) {
+          throw std::logic_error(
+              "Directory::save_image: entry busy/pending (not quiescent)");
+        }
+        v.emplace_back(line, e);
+      }
+    }
+    std::sort(v.begin(), v.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return v;
+  }
+
+  void load_image(const std::vector<std::pair<GAddr, DirEntry>>& v) {
+    for (auto& m : by_home_) m.clear();
+    for (const auto& [line, e] : v) by_home_[gaddr_node(line)][line] = e;
   }
 
  private:

@@ -34,9 +34,11 @@
 // waiter lists) and throw.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -148,6 +150,46 @@ class MemorySystem {
   /// machine is quiescent (no events pending). Throws std::logic_error on
   /// violation.
   void check_invariants() const;
+
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// One full/empty word's persistent state (waiters are transient and must
+  /// be empty at capture).
+  struct FEImage {
+    GAddr addr;
+    bool full;
+  };
+
+  /// Sorted full/empty-word image. Throws std::logic_error if any in-flight
+  /// state (MSHRs, home transactions, prefetches, FE waiters) survives —
+  /// capture requires a quiescent machine.
+  std::vector<FEImage> save_fe_image() const {
+    for (const auto& m : mshrs_) {
+      if (!m.empty()) throw std::logic_error("save_fe_image: live MSHRs");
+    }
+    for (const auto& t : txns_) {
+      if (!t.empty()) throw std::logic_error("save_fe_image: live home txns");
+    }
+    for (auto p : outstanding_prefetches_) {
+      if (p != 0) throw std::logic_error("save_fe_image: live prefetches");
+    }
+    std::vector<FEImage> v;
+    v.reserve(fe_.size());
+    for (const auto& [addr, st] : fe_) {
+      if (!st.waiters.empty()) {
+        throw std::logic_error("save_fe_image: full/empty waiters pending");
+      }
+      v.push_back(FEImage{addr, st.full});
+    }
+    std::sort(v.begin(), v.end(),
+              [](const FEImage& a, const FEImage& b) { return a.addr < b.addr; });
+    return v;
+  }
+
+  void load_fe_image(const std::vector<FEImage>& v) {
+    fe_.clear();
+    for (const FEImage& im : v) fe_[im.addr].full = im.full;
+  }
 
  private:
   enum CohMsg : std::uint32_t {

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "network/packet.hpp"
@@ -76,6 +77,34 @@ class Network {
   /// reliable virtual channel, as on hardware where losing protocol packets
   /// would wedge the directory state machines.
   void set_fault(FaultPlan* plan) { fault_ = plan; }
+
+  // ---- Machine images (core/machine_image.hpp; serial engine only) ----------
+
+  struct Image {
+    std::vector<Cycles> link_busy_until;
+    std::uint64_t next_packet_id = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  Image save_image() const {
+    if (sharded_) {
+      throw std::logic_error("Network::save_image: serial engine only");
+    }
+    if (in_flight_.load(std::memory_order_relaxed) != 0) {
+      throw std::logic_error("Network::save_image: packets in flight");
+    }
+    return Image{link_busy_until_, next_packet_id_,
+                 delivered_.load(std::memory_order_relaxed),
+                 dropped_.load(std::memory_order_relaxed)};
+  }
+
+  void load_image(const Image& im) {
+    link_busy_until_ = im.link_busy_until;
+    next_packet_id_ = im.next_packet_id;
+    delivered_.store(im.delivered, std::memory_order_relaxed);
+    dropped_.store(im.dropped, std::memory_order_relaxed);
+  }
 
 
  private:

@@ -172,6 +172,19 @@ class Processor {
   void restart(Cycles t);
   bool halted() const { return halted_; }
 
+  // ---- Machine images (core/machine_image.hpp) ----------------------------
+
+  Cycles intr_until() const { return intr_until_; }
+
+  /// Adopt a captured timeline on an idle, quiescent core (no fiber, no
+  /// queued interrupts, drained store buffer).
+  void restore_timeline(Cycles free_at, Cycles intr_until) {
+    assert(current_ == nullptr && pending_intr_.empty() &&
+           outstanding_stores_ == 0);
+    free_at_ = free_at;
+    intr_until_ = intr_until;
+  }
+
  private:
   enum class State : std::uint8_t {
     kIdle,       ///< no fiber

@@ -75,6 +75,13 @@ class MsgTypeRegistry {
   /// Types still available (diagnostics, tests).
   MsgType remaining() const { return limit_ - next_; }
 
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+  // A fork restores the allocation cursor so measurement-phase blocks get the
+  // same types as a cold run. Warmup-era registrations in the fresh machine
+  // are harmless: types are never recycled.
+  MsgType next() const { return next_; }
+  void restore_next(MsgType next) { next_ = next; }
+
  private:
   MsgType next_;
   MsgType limit_;

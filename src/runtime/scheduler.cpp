@@ -39,7 +39,7 @@ NodeRuntime::NodeRuntime(RuntimeShared& shared, Processor& proc, Cmmu& cmmu,
 
 NodeRuntime::~NodeRuntime() = default;
 
-void NodeRuntime::boot() {
+void NodeRuntime::boot(bool schedule_kick) {
   proc_.set_release_hook(
       [this](Cycles t, bool finished) { on_release(t, finished); });
   proc_.set_multithread(shared_.cfg.multithread_on_miss);
@@ -64,9 +64,15 @@ void NodeRuntime::boot() {
     };
   });
   register_handlers();
-  shared_.sim.schedule_at(0, [this] {
-    if (proc_.idle()) pick_next(0);
-  });
+  // A machine restored from an image skips the cycle-0 kick: the cold run
+  // consumed it during warmup, so replaying it would shift the forked run's
+  // event count (and digest) off the cold run's. Machine::run/run_started
+  // re-kick every node anyway.
+  if (schedule_kick) {
+    shared_.sim.schedule_at(0, [this] {
+      if (proc_.idle()) pick_next(0);
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------

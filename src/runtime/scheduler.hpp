@@ -173,7 +173,10 @@ class NodeRuntime {
 
   /// Install message handlers and the processor release hook, and kick the
   /// idle loop. Called once by the Machine before simulation starts.
-  void boot();
+  /// `schedule_kick = false` is the machine-image restore path: hooks and
+  /// handlers are installed but the cycle-0 scheduler kick (already consumed
+  /// by the captured run's warmup) is not replayed.
+  void boot(bool schedule_kick = true);
 
   /// Create a thread running `body` and make it ready (no cycles charged —
   /// used for test/bench injection and the program entry thread).
@@ -232,6 +235,40 @@ class NodeRuntime {
   // ---- Diagnostics (watchdog dump, tests) ----
   std::size_t ready_count() const { return ready_threads_.size(); }
   std::size_t local_task_count() const { return local_tasks_.size(); }
+
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// Persistent scheduler state at quiescence: the thread-slot table size,
+  /// the free-slot list (exact order — make_thread pops from the back), and
+  /// the steal-victim Rng stream position.
+  struct Image {
+    std::uint64_t thread_slots = 0;
+    std::vector<std::uint64_t> free_thread_ids;
+    std::array<std::uint64_t, 4> rng{};
+  };
+
+  Image save_image() const {
+    if (current_thread_ != kInvalidId || !ready_threads_.empty() ||
+        !local_tasks_.empty() || steal_waiting_) {
+      throw std::logic_error("NodeRuntime::save_image: not quiescent");
+    }
+    for (const ThreadRec& r : threads_) {
+      if (r.live) {
+        throw std::logic_error("NodeRuntime::save_image: live thread");
+      }
+    }
+    Image im;
+    im.thread_slots = threads_.size();
+    im.free_thread_ids = free_thread_ids_;
+    im.rng = rng_.state();
+    return im;
+  }
+
+  void load_image(const Image& im) {
+    threads_.resize(im.thread_slots);  // empty recs: !live, no fiber
+    free_thread_ids_ = im.free_thread_ids;
+    rng_.set_state(im.rng);
+  }
 
  private:
   friend class Context;

@@ -131,6 +131,44 @@ class TaskRegistry {
     for (auto& dq : futures_) dq.clear();
   }
 
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// Per-node record counts; ids encode (node, index), so a forked machine
+  /// must resume allocation exactly where the warmup left off for
+  /// measurement-phase ids to match a cold run.
+  struct Counts {
+    std::vector<std::uint64_t> tasks;
+    std::vector<std::uint64_t> futures;
+  };
+
+  Counts save_counts() const {
+    Counts c;
+    for (const auto& dq : tasks_) c.tasks.push_back(dq.size());
+    for (const auto& dq : futures_) c.futures.push_back(dq.size());
+    return c;
+  }
+
+  /// Pad each node's deque with placeholder records up to the captured
+  /// counts. Warmup-era records are dead weight after the fork (their
+  /// futures were all touched before quiescence), so placeholders suffice —
+  /// only the *indices* must line up.
+  void restore_counts(const Counts& c) {
+    for (std::size_t n = 0; n < tasks_.size(); ++n) {
+      while (tasks_[n].size() < c.tasks[n]) {
+        TaskRec r;
+        r.state = TaskState::kDone;
+        tasks_[n].push_back(std::move(r));
+      }
+    }
+    for (std::size_t n = 0; n < futures_.size(); ++n) {
+      while (futures_[n].size() < c.futures[n]) {
+        FutureRec r;
+        r.filled = true;
+        futures_[n].push_back(std::move(r));
+      }
+    }
+  }
+
  private:
   std::vector<std::deque<TaskRec>> tasks_;
   std::vector<std::deque<FutureRec>> futures_;

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/event_fn.hpp"
@@ -70,6 +71,17 @@ class EventQueue {
   void clear();
 
   std::uint64_t events_executed() const { return executed_; }
+
+  /// Machine-image restore: set the clock and executed-event count on an
+  /// EMPTY queue (all tiers drained, so no bucket positions need recomputing
+  /// — wheel indexing is `when & mask` and the ring resets when it empties).
+  void restore_clock(Cycles now, std::uint64_t executed) {
+    if (!empty()) {
+      throw std::logic_error("EventQueue::restore_clock on non-empty queue");
+    }
+    now_ = now;
+    executed_ = executed;
+  }
 
  private:
   struct HeapEvent {

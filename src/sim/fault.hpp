@@ -17,6 +17,7 @@
 // state.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -222,6 +223,14 @@ class FaultPlan {
     return src_rng_[src].below(bound);
   }
 
+  // ---- Machine images (core/machine_image.hpp; serial engine only) ----------
+  // A forked faulty run must continue the fault stream where the warmup left
+  // it, or measurement-phase packets draw different fates than the cold run.
+  std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+  void restore_rng_state(const std::array<std::uint64_t, 4>& s) {
+    rng_.set_state(s);
+  }
+
  private:
   FaultDecision decide_with(Rng& rng);
 
@@ -271,6 +280,12 @@ class Watchdog {
 
   /// Record the trip in stats and throw WatchdogError with the dump attached.
   [[noreturn]] void trip(Cycles now, std::size_t pending_events);
+
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+  Cycles deadline() const { return deadline_.load(std::memory_order_relaxed); }
+  void restore_deadline(Cycles d) {
+    deadline_.store(d, std::memory_order_relaxed);
+  }
 
  private:
   Cycles interval_;

@@ -5,6 +5,7 @@
 // so runs are bit-for-bit reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace alewife {
@@ -43,6 +44,13 @@ class Rng {
 
   /// Uniform double in [0, 1).
   double uniform() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Raw engine state, for machine images (core/machine_image.hpp): a
+  /// restored Rng continues the captured stream exactly.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t v, int k) {

@@ -89,6 +89,17 @@ class Simulator {
     return sharded_ ? sharded_->events_executed() : queue_.events_executed();
   }
 
+  /// Machine-image restore (serial engine, quiescent machine): adopt the
+  /// captured clock and executed-event count so a forked run's digest matches
+  /// the cold run bit for bit.
+  void restore_clock(Cycles now, std::uint64_t executed) {
+    if (sharded_) {
+      throw std::logic_error("Simulator::restore_clock: serial engine only");
+    }
+    now_ = now;
+    queue_.restore_clock(now, executed);
+  }
+
   // ---- Sharded backend -----------------------------------------------------
   /// Arm the sharded parallel engine. Called once by the Machine constructor
   /// when MachineConfig::shards >= 1; every subsequent scheduling call and

@@ -61,6 +61,16 @@ class SnapshotMismatch : public SnapshotError {
   using SnapshotError::SnapshotError;
 };
 
+/// Snapshot capture/restore requested on an engine configuration that cannot
+/// honor it (the sharded engine's lookahead windows cannot stop at an exact
+/// cycle, and machine-image forks assume single-threaded quiescent state).
+/// alewife_run exit code 8; the batch runner catches this and falls back to
+/// a cold start, logged per point.
+class SnapshotUnsupported : public SnapshotError {
+ public:
+  using SnapshotError::SnapshotError;
+};
+
 /// Serialize `s` (computes and writes the self-digest).
 void write_snapshot(std::ostream& os, const MachineSnapshot& s);
 

@@ -240,6 +240,25 @@ class Stats {
     histograms_.clear();
   }
 
+  // ---- Machine images (core/machine_image.hpp) ------------------------------
+
+  /// Everything a warm-fork must carry: typed cells plus the custom counters
+  /// and histograms (both keyed maps, order-independent).
+  struct Image {
+    StatsSnapshot snap;
+    std::map<std::string, std::uint64_t> custom;
+    std::map<std::string, Summary> histograms;
+  };
+
+  Image save_image() const { return Image{snapshot(), custom_, histograms_}; }
+
+  void load_image(const Image& im) {
+    nodes_ = im.snap.nodes;
+    cells_ = im.snap.cells;
+    custom_ = im.custom;
+    histograms_ = im.histograms;
+  }
+
  private:
   std::uint32_t nodes_ = 1;
   std::vector<std::uint64_t> cells_;  ///< [node * kMetricCount + metric]

@@ -1,0 +1,487 @@
+// Batch orchestration tests (docs: EXPERIMENTS.md, "alewife_batch").
+//
+// Two halves:
+//   1. Snapshot-forked warm starts: a MachineImage captured after a warmup
+//      phase and restored into a fresh machine must continue bit-identically
+//      to the machine that ran the warmup itself. Proven by digest equality
+//      (machine_digest: final time, event count, duration, every counter)
+//      across three workloads — a task-parallel app, a fault-injected
+//      message barrier (reliable layer + watchdog armed), and a
+//      checker-armed shared-memory scan.
+//   2. Batch descriptors: parse/reject, grid expansion, merged-document
+//      determinism (parallel == serial byte-identical), and the runner's
+//      cold-start fallback for points machine images cannot serve.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/accum.hpp"
+#include "apps/grain.hpp"
+#include "batch/descriptor.hpp"
+#include "batch/runner.hpp"
+#include "core/machine.hpp"
+#include "core/machine_image.hpp"
+#include "runtime/barrier.hpp"
+#include "sim/json.hpp"
+#include "sim/snapshot.hpp"
+
+namespace alewife {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Warm-fork workloads: each defines a warmup phase and a measurement phase.
+// The cold reference runs both on one machine; the forked run captures an
+// image after warmup and restores it into a fresh machine before measuring.
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  std::string name;
+  MachineConfig cfg;
+  RuntimeOptions opt;
+  std::function<void(Machine&)> warmup;
+  std::function<Cycles(Machine&)> measure;
+};
+
+Workload grain_workload() {
+  Workload w;
+  w.name = "grain";
+  w.cfg.nodes = 16;
+  w.cfg.max_cycles = 0;
+  w.opt.mode = SchedMode::kHybrid;
+  w.opt.stealing = true;
+  w.warmup = [](Machine& m) {
+    m.run([](Context& ctx) -> std::uint64_t {
+      return apps::grain_parallel(ctx, /*depth=*/6, /*delay=*/40);
+    });
+  };
+  w.measure = [](Machine& m) -> Cycles {
+    auto dur = std::make_shared<Cycles>(0);
+    m.run([dur](Context& ctx) -> std::uint64_t {
+      const Cycles t0 = ctx.now();
+      const std::uint64_t n = apps::grain_parallel(ctx, /*depth=*/8,
+                                                   /*delay=*/40);
+      *dur = ctx.now() - t0;
+      return n;
+    });
+    return *dur;
+  };
+  return w;
+}
+
+// Message-mechanism combining barrier under packet loss: exercises the
+// reliable-delivery layer (sequence numbers, retransmit state), the fault
+// plan's rng stream, and the auto-armed watchdog across the fork.
+Workload faulty_barrier_workload() {
+  Workload w;
+  w.name = "barrier-faulty";
+  w.cfg.nodes = 8;
+  w.cfg.max_cycles = 0;
+  w.cfg.fault.drop_rate = 0.02;
+  w.cfg.fault.dup_rate = 0.01;
+  w.opt.mode = SchedMode::kHybrid;
+  w.opt.stealing = false;
+  auto episodes = [](Machine& m, int count) {
+    const std::uint32_t nodes = m.nodes();
+    CombiningBarrier bar(m.runtime(), CombiningBarrier::Mech::kMsg, 4);
+    for (NodeId n = 0; n < nodes; ++n) {
+      m.start_thread(n, [&bar, count](Context& ctx) {
+        for (int e = 0; e < count; ++e) bar.wait(ctx);
+      });
+    }
+    m.run_started();
+  };
+  w.warmup = [episodes](Machine& m) { episodes(m, 2); };
+  w.measure = [episodes](Machine& m) -> Cycles {
+    const Cycles t0 = m.now();
+    episodes(m, 3);
+    return m.now() - t0;
+  };
+  return w;
+}
+
+// Checker-armed shared-memory scan: the golden shadow captured with the
+// image must keep validating reads made after the fork.
+Workload checker_accum_workload() {
+  Workload w;
+  w.name = "accum-checker";
+  w.cfg.nodes = 8;
+  w.cfg.max_cycles = 0;
+  w.cfg.check.enabled = true;
+  w.opt.mode = SchedMode::kHybrid;
+  w.opt.stealing = false;
+  auto scan = [](Machine& m, std::uint32_t block) {
+    m.run([&m, block](Context& ctx) -> std::uint64_t {
+      const GAddr arr = ctx.shmalloc(1, block);
+      for (std::uint32_t i = 0; i < block; i += 8) {
+        m.memory().store().write_uint(arr + i, 8, i / 8);
+      }
+      apps::accum_shm(ctx, arr, block);
+      return 0;
+    });
+  };
+  w.warmup = [scan](Machine& m) { scan(m, 512); };
+  w.measure = [scan](Machine& m) -> Cycles {
+    const Cycles t0 = m.now();
+    scan(m, 1024);
+    return m.now() - t0;
+  };
+  return w;
+}
+
+struct RunResult {
+  std::uint64_t digest;
+  Cycles final_now;
+  std::uint64_t events;
+};
+
+RunResult run_cold(const Workload& w) {
+  Machine m(w.cfg, w.opt);
+  w.warmup(m);
+  const Cycles dur = w.measure(m);
+  return RunResult{machine_digest(m, dur), m.now(), m.sim().events_executed()};
+}
+
+RunResult run_forked(const Workload& w) {
+  MachineImage im = [&] {
+    Machine warm(w.cfg, w.opt);
+    w.warmup(warm);
+    return capture_machine_image(warm, w.name);
+  }();  // the warmup machine is destroyed before the fork runs
+  Machine forked(w.cfg, w.opt);
+  restore_machine_image(forked, im);
+  const Cycles dur = w.measure(forked);
+  return RunResult{machine_digest(forked, dur), forked.now(),
+                   forked.sim().events_executed()};
+}
+
+class WarmFork : public ::testing::Test {};
+
+TEST(WarmFork, GrainForkedDigestMatchesCold) {
+  const Workload w = grain_workload();
+  const RunResult cold = run_cold(w);
+  const RunResult fork = run_forked(w);
+  EXPECT_EQ(cold.final_now, fork.final_now);
+  EXPECT_EQ(cold.events, fork.events);
+  EXPECT_EQ(cold.digest, fork.digest);
+}
+
+TEST(WarmFork, FaultyBarrierForkedDigestMatchesCold) {
+  const Workload w = faulty_barrier_workload();
+  const RunResult cold = run_cold(w);
+  const RunResult fork = run_forked(w);
+  EXPECT_EQ(cold.final_now, fork.final_now);
+  EXPECT_EQ(cold.events, fork.events);
+  EXPECT_EQ(cold.digest, fork.digest);
+}
+
+TEST(WarmFork, CheckerArmedForkedDigestMatchesCold) {
+  const Workload w = checker_accum_workload();
+  const RunResult cold = run_cold(w);
+  const RunResult fork = run_forked(w);
+  EXPECT_EQ(cold.final_now, fork.final_now);
+  EXPECT_EQ(cold.events, fork.events);
+  EXPECT_EQ(cold.digest, fork.digest);
+}
+
+// One image, many forks: the batch runner forks every measurement point of a
+// machine configuration from a single warmup image, so restoring must not
+// consume or mutate it.
+TEST(WarmFork, ImageIsReusableAcrossForks) {
+  const Workload w = grain_workload();
+  Machine warm(w.cfg, w.opt);
+  w.warmup(warm);
+  const MachineImage im = capture_machine_image(warm, w.name);
+  RunResult first{}, second{};
+  {
+    Machine f(w.cfg, w.opt);
+    restore_machine_image(f, im);
+    const Cycles dur = w.measure(f);
+    first = RunResult{machine_digest(f, dur), f.now(),
+                      f.sim().events_executed()};
+  }
+  {
+    Machine f(w.cfg, w.opt);
+    restore_machine_image(f, im);
+    const Cycles dur = w.measure(f);
+    second = RunResult{machine_digest(f, dur), f.now(),
+                       f.sim().events_executed()};
+  }
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.final_now, second.final_now);
+  EXPECT_EQ(first.events, second.events);
+}
+
+// ---------------------------------------------------------------------------
+// Capture/restore legality
+// ---------------------------------------------------------------------------
+
+TEST(MachineImage, CaptureOnShardedEngineThrowsUnsupported) {
+  MachineConfig cfg;
+  cfg.nodes = 8;
+  cfg.shards = 2;
+  RuntimeOptions opt;
+  opt.mode = SchedMode::kHybrid;
+  Machine m(cfg, opt);
+  m.run([](Context&) -> std::uint64_t { return 0; });
+  EXPECT_THROW(capture_machine_image(m, "sharded"), SnapshotUnsupported);
+}
+
+TEST(MachineImage, CaptureWithNodeDownPlanThrowsUnsupported) {
+  MachineConfig cfg;
+  cfg.nodes = 8;
+  cfg.fault.node_downs.push_back(NodeDown{/*node=*/3, /*at=*/1'000'000, 0});
+  Machine m(cfg, RuntimeOptions{});
+  m.run([](Context&) -> std::uint64_t { return 0; });
+  EXPECT_THROW(capture_machine_image(m, "node-down"), SnapshotUnsupported);
+}
+
+TEST(MachineImage, RestoreRejectsSeedMismatch) {
+  const Workload w = grain_workload();
+  Machine warm(w.cfg, w.opt);
+  w.warmup(warm);
+  const MachineImage im = capture_machine_image(warm, w.name);
+  MachineConfig other = w.cfg;
+  other.rng_seed ^= 1;
+  Machine f(other, w.opt);
+  EXPECT_THROW(restore_machine_image(f, im), SnapshotError);
+}
+
+TEST(MachineImage, RestoreRejectsAlreadyRunMachine) {
+  const Workload w = grain_workload();
+  Machine warm(w.cfg, w.opt);
+  w.warmup(warm);
+  const MachineImage im = capture_machine_image(warm, w.name);
+  Machine f(w.cfg, w.opt);
+  f.run([](Context&) -> std::uint64_t { return 0; });
+  EXPECT_THROW(restore_machine_image(f, im), std::logic_error);
+}
+
+TEST(MachineImage, RestoreRejectsCheckerParityMismatch) {
+  const Workload w = grain_workload();
+  Machine warm(w.cfg, w.opt);
+  w.warmup(warm);
+  const MachineImage im = capture_machine_image(warm, w.name);
+  MachineConfig armed = w.cfg;
+  armed.check.enabled = true;
+  Machine f(armed, w.opt);
+  EXPECT_THROW(restore_machine_image(f, im), SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Batch descriptors: parse/reject and grid expansion
+// ---------------------------------------------------------------------------
+
+batch::BatchDescriptor parse(const std::string& text) {
+  return batch::parse_descriptor(json::parse(text), ".");
+}
+
+// A small but representative grid: one table (2 axis values x 2 runs, one
+// warm-forked) plus one warm-forked point and one sharded point the runner
+// must serve cold. Machines are 8 nodes so the whole thing runs in tens of
+// milliseconds.
+const char* kGridDescriptor = R"({
+  "schema": "alewife-batch-descriptor",
+  "version": 1,
+  "name": "grid",
+  "tables": [
+    {
+      "name": "bar",
+      "axis": {"name": "arity", "values": [2, 4]},
+      "config": {"nodes": 8},
+      "warmup": {"measure": "barrier", "mech": "msg", "arity": 2,
+                 "episodes": 1},
+      "runs": {
+        "bshm": {"measure": "barrier", "mech": "shm", "arity": "$axis",
+                 "episodes": 2},
+        "bmsg": {"measure": "barrier", "mech": "msg", "arity": "$axis",
+                 "episodes": 2}
+      },
+      "cols": [
+        {"name": "arity", "axis": true},
+        {"name": "bar shm", "run": "bshm", "value": "cycles"},
+        {"name": "bar msg", "run": "bmsg", "value": "cycles"}
+      ]
+    }
+  ],
+  "points": [
+    {
+      "name": "warm-point",
+      "config": {"nodes": 8},
+      "warmup": {"measure": "barrier", "mech": "msg", "arity": 2,
+                 "episodes": 1},
+      "run": {"measure": "barrier", "mech": "msg", "arity": 2, "episodes": 2},
+      "expect": {"exit": 0}
+    },
+    {
+      "name": "sharded-point",
+      "config": {"nodes": 8, "shards": 2},
+      "warmup": {"measure": "barrier", "mech": "msg", "arity": 2,
+                 "episodes": 1},
+      "run": {"measure": "barrier", "mech": "msg", "arity": 2, "episodes": 2},
+      "expect": {"exit": 0}
+    }
+  ]
+})";
+
+TEST(Descriptor, ParsesGrid) {
+  const batch::BatchDescriptor d = parse(kGridDescriptor);
+  EXPECT_EQ(d.name, "grid");
+  ASSERT_EQ(d.tables.size(), 1u);
+  const batch::TableSpec& t = d.tables[0];
+  EXPECT_EQ(t.name, "bar");
+  EXPECT_EQ(t.sweep, "bar");  // defaults to the table name
+  ASSERT_EQ(t.axis_values.size(), 2u);
+  EXPECT_EQ(t.axis_values[0], 2.0);
+  EXPECT_EQ(t.axis_values[1], 4.0);
+  EXPECT_EQ(t.runs.size(), 2u);
+  EXPECT_EQ(t.cols.size(), 3u);
+  ASSERT_EQ(d.points.size(), 2u);
+  EXPECT_EQ(d.points[0].name, "warm-point");
+  EXPECT_TRUE(d.points[0].warmup.has_value());
+}
+
+TEST(Descriptor, RejectsUnknownKeysEverywhere) {
+  // Top level, table, config, run, col, point, expect: any stray key is a
+  // typo that would otherwise silently change the experiment.
+  const std::vector<std::string> bad = {
+      R"({"schema": "alewife-batch-descriptor", "version": 1, "name": "x",
+          "tablez": []})",
+      R"({"schema": "alewife-batch-descriptor", "version": 1, "name": "x",
+          "tables": [{"name": "t", "axis": {"name": "a", "values": [1]},
+                      "seriial_rows": true,
+                      "runs": {"r": {"measure": "barrier"}},
+                      "cols": [{"name": "a", "axis": true}]}]})",
+      R"({"schema": "alewife-batch-descriptor", "version": 1, "name": "x",
+          "tables": [{"name": "t", "axis": {"name": "a", "values": [1]},
+                      "config": {"nodez": 8},
+                      "runs": {"r": {"measure": "barrier"}},
+                      "cols": [{"name": "a", "axis": true}]}]})",
+      R"({"schema": "alewife-batch-descriptor", "version": 1, "name": "x",
+          "tables": [{"name": "t", "axis": {"name": "a", "values": [1]},
+                      "runs": {"r": {"measure": "barrier"}},
+                      "cols": [{"name": "a", "axis": true,
+                                "precison": 2}]}]})",
+      R"({"schema": "alewife-batch-descriptor", "version": 1, "name": "x",
+          "points": [{"name": "p", "config": {"nodes": 8},
+                      "run": {"measure": "barrier"},
+                      "expcet": {"exit": 0}}]})",
+      R"({"schema": "alewife-batch-descriptor", "version": 1, "name": "x",
+          "points": [{"name": "p", "config": {"nodes": 8},
+                      "run": {"measure": "barrier"},
+                      "expect": {"exit": 0, "nonzro": []}}]})",
+  };
+  for (const auto& text : bad) {
+    EXPECT_THROW(parse(text), batch::DescriptorError) << text;
+  }
+}
+
+TEST(Descriptor, RejectsWrongSchemaOrVersion) {
+  EXPECT_THROW(parse(R"({"schema": "alewife-sweep", "version": 1,
+                         "name": "x", "points": []})"),
+               batch::DescriptorError);
+  EXPECT_THROW(parse(R"({"schema": "alewife-batch-descriptor", "version": 2,
+                         "name": "x", "points": []})"),
+               batch::DescriptorError);
+  // An empty descriptor declares no work — also an error.
+  EXPECT_THROW(parse(R"({"schema": "alewife-batch-descriptor", "version": 1,
+                         "name": "x"})"),
+               batch::DescriptorError);
+}
+
+class BatchRunner : public ::testing::Test {
+ protected:
+  static batch::RunnerOptions quiet_opts(unsigned threads) {
+    batch::RunnerOptions o;
+    o.threads = threads;
+    o.quiet = true;
+    return o;
+  }
+};
+
+TEST_F(BatchRunner, ExpandsGridAndChecksExpectations) {
+  const batch::BatchDescriptor d = parse(kGridDescriptor);
+  const batch::BatchResult r = batch::run_batch(d, quiet_opts(1));
+  ASSERT_EQ(r.tables.size(), 1u);
+  EXPECT_EQ(r.tables[0].rows.size(), 2u);  // one row per axis value
+  for (const auto& row : r.tables[0].rows) {
+    ASSERT_EQ(row.size(), 3u);  // one cell per column
+    for (const auto& cell : row) EXPECT_FALSE(cell.empty());
+  }
+  ASSERT_EQ(r.points.size(), 2u);
+  EXPECT_EQ(r.points[0].exit_code, 0);
+  EXPECT_TRUE(r.points[0].warm_forked);
+  EXPECT_NE(r.points[0].digest, 0u);
+  // The sharded point cannot be served from a machine image: the runner
+  // falls back to warming up and measuring on one cold machine.
+  EXPECT_EQ(r.points[1].exit_code, 0);
+  EXPECT_FALSE(r.points[1].warm_forked);
+  EXPECT_TRUE(r.ok()) << r.failures().front();
+}
+
+TEST_F(BatchRunner, MergedDocumentIsDeterministicAcrossThreadCounts) {
+  const batch::BatchDescriptor d = parse(kGridDescriptor);
+  const batch::BatchResult serial = batch::run_batch(d, quiet_opts(1));
+  const batch::BatchResult parallel = batch::run_batch(d, quiet_opts(4));
+  EXPECT_TRUE(batch::results_match(serial, parallel));
+  std::ostringstream a, b;
+  batch::write_batch_json(a, serial);
+  batch::write_batch_json(b, parallel);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical merged documents
+}
+
+// The acceptance proof for snapshot-forked warm starts at the runner level:
+// the same descriptor run --cold (warmup inlined on every machine) must
+// produce bit-identical digests, cycles and counters for every point.
+TEST_F(BatchRunner, WarmForkedPointsMatchColdStarts) {
+  const batch::BatchDescriptor d = parse(kGridDescriptor);
+  const batch::BatchResult warm = batch::run_batch(d, quiet_opts(1));
+  batch::RunnerOptions cold_opt = quiet_opts(1);
+  cold_opt.cold = true;
+  const batch::BatchResult cold = batch::run_batch(d, cold_opt);
+  ASSERT_EQ(warm.points.size(), cold.points.size());
+  for (std::size_t i = 0; i < warm.points.size(); ++i) {
+    const batch::PointResult& w = warm.points[i];
+    const batch::PointResult& c = cold.points[i];
+    EXPECT_EQ(w.digest, c.digest) << w.name;
+    EXPECT_EQ(w.cycles, c.cycles) << w.name;
+    EXPECT_EQ(w.events, c.events) << w.name;
+    EXPECT_EQ(w.counters, c.counters) << w.name;
+    EXPECT_EQ(w.exit_code, c.exit_code) << w.name;
+  }
+  EXPECT_TRUE(warm.points[0].warm_forked);
+  EXPECT_FALSE(cold.points[0].warm_forked);
+  // Tables must agree cell for cell too (the table forks each row's runs
+  // from one warmup image; --cold re-runs the warmup on every machine).
+  // results_match() itself would flag warm vs cold — it also pins the
+  // warm_forked provenance bit, which legitimately differs here.
+  ASSERT_EQ(warm.tables.size(), cold.tables.size());
+  for (std::size_t t = 0; t < warm.tables.size(); ++t) {
+    EXPECT_EQ(warm.tables[t].rows, cold.tables[t].rows) << warm.tables[t].name;
+  }
+}
+
+TEST_F(BatchRunner, ExpectationFailureIsReported) {
+  const batch::BatchDescriptor d = parse(R"({
+    "schema": "alewife-batch-descriptor", "version": 1, "name": "x",
+    "points": [{
+      "name": "no-faults-expected-faulty",
+      "config": {"nodes": 8},
+      "run": {"measure": "barrier", "mech": "msg", "arity": 2,
+              "episodes": 1},
+      "expect": {"exit": 0, "nonzero": ["fault.drops"]}
+    }]
+  })");
+  const batch::BatchResult r = batch::run_batch(d, quiet_opts(1));
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_EQ(r.points[0].exit_code, 0);  // the run itself succeeded
+  EXPECT_FALSE(r.ok());                 // but the expectation failed
+  ASSERT_EQ(r.failures().size(), 1u);
+  EXPECT_NE(r.failures()[0].find("fault.drops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alewife

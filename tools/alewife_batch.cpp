@@ -1,0 +1,193 @@
+// alewife_batch — declarative experiment orchestration (EXPERIMENTS.md).
+//
+//   alewife_batch DESC.json [--out FILE] [--write-tables DIR] [--threads N]
+//                 [--serial] [--fast] [--verify] [--cold] [--quiet]
+//
+//   DESC.json           batch descriptor (alewife-batch-descriptor v1)
+//   --out FILE          write the merged alewife-batch v1 document
+//   --write-tables DIR  also write each table with a "file" target as a
+//                       standalone alewife-sweep v1 file under DIR — the
+//                       BENCH_*.json regeneration path
+//   --threads N         host threads for the grid fan-out (default:
+//                       ALEWIFE_SWEEP_THREADS env or hardware_concurrency)
+//   --serial            shorthand for --threads 1
+//   --fast              apply each table's "fast" patch (CI smoke)
+//   --verify            run serially first, then in parallel, and fail unless
+//                       the two merged documents match ("host " wall-clock
+//                       columns exempt, the sweeps' convention)
+//   --cold              disable warm-forking: every warmup phase runs inline
+//                       on the measurement machine (determinism debugging)
+//   --quiet             suppress cold-fallback log lines
+//
+// Exit codes: 0 success; 1 expectation failure, verify mismatch, or I/O
+// error; 2 descriptor or usage error.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "batch/runner.hpp"
+#include "bench_common.hpp"
+#include "cli.hpp"
+
+using namespace alewife;
+using namespace alewife::batch;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_result(const BatchResult& r) {
+  for (const TableResult& t : r.tables) {
+    bench::print_header("table: " + t.name, t.cols);
+    for (const auto& row : t.rows) bench::print_row(row);
+  }
+  if (!r.points.empty()) std::printf("\n== points ==\n");
+  for (const PointResult& p : r.points) {
+    std::printf("%-24s nodes %5u  cycles %12llu  events %12llu  exit %d%s%s\n",
+                p.name.c_str(), p.nodes,
+                static_cast<unsigned long long>(p.cycles),
+                static_cast<unsigned long long>(p.events), p.exit_code,
+                p.warm_forked ? "  [warm-forked]" : "",
+                p.failure.empty() ? "" : "  FAILED");
+  }
+}
+
+int write_outputs(const BatchResult& r, const std::string& out,
+                  const std::string& tables_dir) {
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) {
+      std::fprintf(stderr, "alewife_batch: cannot write '%s'\n", out.c_str());
+      return 1;
+    }
+    write_batch_json(os, r);
+  }
+  if (!tables_dir.empty()) {
+    for (const TableResult& t : r.tables) {
+      if (t.file.empty()) continue;
+      const std::string path = tables_dir + "/" + t.file;
+      std::ofstream os(path);
+      if (!os) {
+        std::fprintf(stderr, "alewife_batch: cannot write '%s'\n",
+                     path.c_str());
+        return 1;
+      }
+      write_table_json(os, t);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  std::string tables_dir;
+  std::uint32_t threads = 0;
+  bool fast = false;
+  bool verify = false;
+  bool cold = false;
+  bool quiet = false;
+
+  cli::OptionTable opts;
+  opts.value_str("--out", "FILE", "write the merged alewife-batch v1 document",
+                 &out)
+      .value_str("--write-tables", "DIR",
+                 "write tables with a \"file\" target as standalone sweep "
+                 "files under DIR",
+                 &tables_dir)
+      .value_u32("--threads", "host threads for the grid fan-out", &threads)
+      .flag("--serial", "shorthand for --threads 1", [&] { threads = 1; })
+      .flag("--fast", "apply each table's \"fast\" patch", &fast)
+      .flag("--verify", "check parallel result == serial", &verify)
+      .flag("--cold", "disable warm-forking (warmups run inline)", &cold)
+      .flag("--quiet", "suppress cold-fallback log lines", &quiet);
+
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  std::string desc_path;
+  try {
+    std::size_t pos = 0;
+    while (pos < tokens.size()) {
+      pos = opts.parse_prefix(tokens, pos);
+      if (pos >= tokens.size()) break;
+      if (!desc_path.empty()) {
+        throw cli::UsageError("unexpected argument '" + tokens[pos] + "'");
+      }
+      desc_path = tokens[pos++];
+    }
+    if (desc_path.empty()) throw cli::UsageError("missing descriptor path");
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr,
+                 "alewife_batch: %s\nusage: alewife_batch DESC.json "
+                 "[options]\n",
+                 e.what());
+    opts.print_help(stderr);
+    return 2;
+  }
+
+  try {
+    const BatchDescriptor desc = load_descriptor(desc_path);
+
+    RunnerOptions ropt;
+    ropt.threads = threads;
+    ropt.fast = fast;
+    ropt.cold = cold;
+    ropt.quiet = quiet;
+
+    const unsigned effective = threads ? threads : bench::sweep_threads();
+
+    BatchResult result;
+    if (verify) {
+      RunnerOptions serial = ropt;
+      serial.threads = 1;
+      const auto t0 = std::chrono::steady_clock::now();
+      const BatchResult ref = run_batch(desc, serial);
+      const double t_serial = seconds_since(t0);
+
+      const auto t1 = std::chrono::steady_clock::now();
+      result = run_batch(desc, ropt);
+      const double t_parallel = seconds_since(t1);
+
+      print_result(ref);
+      std::printf("\nserial   %7.2fs (1 thread)\n", t_serial);
+      std::printf("parallel %7.2fs (%u threads)\n", t_parallel, effective);
+      if (!results_match(ref, result)) {
+        std::fprintf(stderr,
+                     "VERIFY FAILED: parallel results differ from serial\n");
+        return 1;
+      }
+      std::printf("VERIFY OK: parallel == serial\n");
+      result = ref;  // emit the serial reference
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      result = run_batch(desc, ropt);
+      print_result(result);
+      std::printf("\nwall %.2fs (%u threads)\n", seconds_since(t0), effective);
+    }
+
+    const int io = write_outputs(result, out, tables_dir);
+    if (io != 0) return io;
+
+    const std::vector<std::string> failures = result.failures();
+    for (const std::string& f : failures) {
+      std::fprintf(stderr, "alewife_batch: FAILED: %s\n", f.c_str());
+    }
+    if (!failures.empty()) return 1;
+    std::printf("batch OK: %zu table(s), %zu point(s)\n", result.tables.size(),
+                result.points.size());
+    return 0;
+  } catch (const DescriptorError& e) {
+    std::fprintf(stderr, "alewife_batch: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "alewife_batch: %s\n", e.what());
+    return 1;
+  }
+}

@@ -4,8 +4,20 @@
 //
 //   alewife_report [--fast] > report.md
 //   alewife_report --compare BASELINE.json CURRENT.json [--tol F]
+//                  [--from-batch NAME]
+//   alewife_report --from-batch NAME BATCH.json
 //
 // --fast shrinks the sweeps (fewer grain/aq points) for a quick sanity run.
+//
+// --from-batch NAME addresses one element of a merged `alewife_batch`
+// document (alewife-batch v1): a table by its "sweep" name or a point record
+// by its "name". Alone it extracts the element — tables come out as
+// standalone alewife-sweep v1, directly diffable against BENCH_*.json.
+// Combined with --compare, any operand that is a batch document has NAME
+// extracted before flattening, so a single merged run can be gated against
+// per-sweep baselines:
+//   alewife_report --compare BENCH_baseline.json batch.json \
+//                  --from-batch scaling --tol 0.05
 //
 // --compare loads two JSON files written by `alewife_run --stats-json`
 // (alewife-stats v1) or `alewife_sweep --json` (alewife-sweep v1), flattens
@@ -95,7 +107,7 @@ void flatten(const alewife::json::Value& v, const std::string& prefix,
   }
 }
 
-std::map<std::string, double> load_flat(const std::string& path) {
+alewife::json::Value load_doc(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
     std::fprintf(stderr, "alewife_report: cannot read '%s'\n", path.c_str());
@@ -103,15 +115,137 @@ std::map<std::string, double> load_flat(const std::string& path) {
   }
   std::ostringstream buf;
   buf << is.rdbuf();
-  const alewife::json::Value doc = alewife::json::parse(buf.str());
+  alewife::json::Value doc;
+  try {
+    doc = alewife::json::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "alewife_report: '%s': %s\n", path.c_str(), e.what());
+    std::exit(2);
+  }
   if (const auto* schema = doc.find("schema");
       schema == nullptr || !schema->is_string()) {
     std::fprintf(stderr, "alewife_report: '%s' has no \"schema\" field\n",
                  path.c_str());
     std::exit(2);
   }
+  return doc;
+}
+
+bool is_batch_doc(const alewife::json::Value& doc) {
+  const auto* schema = doc.find("schema");
+  return schema != nullptr && schema->is_string() &&
+         schema->string == "alewife-batch";
+}
+
+/// Address one element of a merged alewife-batch v1 document: a table by its
+/// "sweep" name, or a point record by its "name".
+const alewife::json::Value* find_in_batch(const alewife::json::Value& doc,
+                                          const std::string& name) {
+  if (const auto* tables = doc.find("tables"); tables && tables->is_array()) {
+    for (const auto& t : tables->array) {
+      if (const auto* s = t.find("sweep"); s && s->is_string() &&
+          s->string == name) {
+        return &t;
+      }
+    }
+  }
+  if (const auto* points = doc.find("points"); points && points->is_array()) {
+    for (const auto& p : points->array) {
+      if (const auto* n = p.find("name"); n && n->is_string() &&
+          n->string == name) {
+        return &p;
+      }
+    }
+  }
+  return nullptr;
+}
+
+const alewife::json::Value& extract_from_batch(const alewife::json::Value& doc,
+                                               const std::string& name,
+                                               const std::string& path) {
+  if (!is_batch_doc(doc)) {
+    std::fprintf(stderr,
+                 "alewife_report: '%s' is not an alewife-batch document\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  const alewife::json::Value* found = find_in_batch(doc, name);
+  if (found == nullptr) {
+    std::fprintf(stderr,
+                 "alewife_report: no table or point named '%s' in '%s'\n",
+                 name.c_str(), path.c_str());
+    std::exit(2);
+  }
+  return *found;
+}
+
+/// Re-serialize a parsed subtree (insertion order preserved). Numbers in our
+/// documents are integers below 2^53, so integral values print without a
+/// decimal point and everything round-trips exactly.
+void dump(std::FILE* os, const alewife::json::Value& v, int indent) {
+  using alewife::json::Value;
+  const std::string ind(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (v.type) {
+    case Value::Type::kNull:
+      std::fprintf(os, "null");
+      return;
+    case Value::Type::kBool:
+      std::fprintf(os, "%s", v.boolean ? "true" : "false");
+      return;
+    case Value::Type::kNumber:
+      if (v.number == static_cast<double>(static_cast<long long>(v.number))) {
+        std::fprintf(os, "%lld", static_cast<long long>(v.number));
+      } else {
+        std::fprintf(os, "%g", v.number);
+      }
+      return;
+    case Value::Type::kString:
+      std::fprintf(os, "\"%s\"", alewife::json::escape(v.string).c_str());
+      return;
+    case Value::Type::kArray: {
+      if (v.array.empty()) {
+        std::fprintf(os, "[]");
+        return;
+      }
+      std::fprintf(os, "[\n");
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        std::fprintf(os, "%s  ", ind.c_str());
+        dump(os, v.array[i], indent + 1);
+        std::fprintf(os, "%s\n", i + 1 < v.array.size() ? "," : "");
+      }
+      std::fprintf(os, "%s]", ind.c_str());
+      return;
+    }
+    case Value::Type::kObject: {
+      if (v.object.empty()) {
+        std::fprintf(os, "{}");
+        return;
+      }
+      std::fprintf(os, "{\n");
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        std::fprintf(os, "%s  \"%s\": ", ind.c_str(),
+                     alewife::json::escape(v.object[i].first).c_str());
+        dump(os, v.object[i].second, indent + 1);
+        std::fprintf(os, "%s\n", i + 1 < v.object.size() ? "," : "");
+      }
+      std::fprintf(os, "%s}", ind.c_str());
+      return;
+    }
+  }
+}
+
+std::map<std::string, double> load_flat(const std::string& path,
+                                        const std::string& from_batch) {
+  const alewife::json::Value doc = load_doc(path);
+  // With --from-batch, a batch document contributes just the named element;
+  // plain sweep/stats files flatten whole, so a merged run can be compared
+  // directly against a standalone BENCH_*.json baseline.
+  const alewife::json::Value& root =
+      (!from_batch.empty() && is_batch_doc(doc))
+          ? extract_from_batch(doc, from_batch, path)
+          : doc;
   std::map<std::string, double> flat;
-  flatten(doc, "", flat);
+  flatten(root, "", flat);
   // Provenance fields that may legitimately differ between runs.
   flat.erase("version");
   flat.erase("events");
@@ -125,9 +259,9 @@ std::map<std::string, double> load_flat(const std::string& path) {
 }
 
 int compare(const std::string& base_path, const std::string& cur_path,
-            double tol) {
-  const auto base = load_flat(base_path);
-  const auto cur = load_flat(cur_path);
+            double tol, const std::string& from_batch) {
+  const auto base = load_flat(base_path, from_batch);
+  const auto cur = load_flat(cur_path, from_batch);
 
   std::printf("# Regression comparison\n\n");
   std::printf("baseline: %s\ncurrent:  %s\ntolerance: %g\n\n",
@@ -172,12 +306,16 @@ int main(int argc, char** argv) {
   bool fast = false;
   bool want_compare = false;
   double tol = 0.0;
+  std::string from_batch;
   std::vector<std::string> files;
 
   cli::OptionTable opts;
   opts.flag("--fast", "shrink the sweeps (quick sanity run)", &fast)
       .flag("--compare", "diff two result JSON files", &want_compare)
-      .value_double("--tol", "relative tolerance for --compare", &tol);
+      .value_double("--tol", "relative tolerance for --compare", &tol)
+      .value_str("--from-batch", "NAME",
+                 "address table/point NAME inside a merged batch document",
+                 &from_batch);
 
   const std::vector<std::string> tokens(argv + 1, argv + argc);
   try {
@@ -190,6 +328,10 @@ int main(int argc, char** argv) {
       if (files.size() != 2) {
         throw cli::UsageError("--compare needs exactly two JSON files");
       }
+    } else if (!from_batch.empty()) {
+      if (files.size() != 1) {
+        throw cli::UsageError("--from-batch needs one batch JSON file");
+      }
     } else if (!files.empty()) {
       throw cli::UsageError("unexpected argument '" + files[0] + "'");
     }
@@ -197,12 +339,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "alewife_report: %s\n"
                  "usage: alewife_report [--fast]\n"
-                 "       alewife_report --compare BASE.json CUR.json [--tol F]\n",
+                 "       alewife_report --compare BASE.json CUR.json [--tol F]"
+                 " [--from-batch NAME]\n"
+                 "       alewife_report --from-batch NAME BATCH.json\n",
                  e.what());
     return 2;
   }
 
-  if (want_compare) return compare(files[0], files[1], tol);
+  if (want_compare) return compare(files[0], files[1], tol, from_batch);
+
+  if (!from_batch.empty()) {
+    const alewife::json::Value doc = load_doc(files[0]);
+    dump(stdout, extract_from_batch(doc, from_batch, files[0]), 0);
+    std::printf("\n");
+    return 0;
+  }
 
   std::printf("# Reproduction report — PPoPP'93 Alewife paper\n");
   std::printf("\nGenerated by `alewife_report`%s. All values are simulated "

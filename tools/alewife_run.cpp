@@ -58,6 +58,8 @@
 //   6  a node-fault error escaped the app (PeerUnreachable,
 //      CollectiveAborted, HomeNodeDown — see docs/FAULTS.md)
 //   7  --restore: replayed state diverged from the checkpoint
+//   8  snapshot capture/restore unsupported on this engine configuration
+//      (--shards / --verify-shards; rerun on the serial engine)
 //
 // Examples:
 //   alewife_run --nodes 64 --mode shm grain --depth 12 --delay 0
@@ -79,6 +81,7 @@
 #include "apps/kvserve.hpp"
 #include "cli.hpp"
 #include "core/machine.hpp"
+#include "core/machine_image.hpp"
 #include "runtime/barrier.hpp"
 #include "sim/fault.hpp"
 #include "sim/snapshot.hpp"
@@ -237,30 +240,9 @@ void enable_traces(Machine& m, const std::string& cats) {
 
 // ---- --verify-shards --------------------------------------------------------
 
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-/// Full-machine digest: final time, event count, the run's duration and
-/// every stats counter — the same observables tests/test_shards.cpp pins.
-std::uint64_t machine_digest(Machine& m, Cycles duration) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  h = fnv1a(h, m.sim().now());
-  h = fnv1a(h, m.sim().events_executed());
-  h = fnv1a(h, duration);
-  for (const auto& [name, value] : m.stats().counters()) {
-    for (unsigned char c : name) {
-      h ^= c;
-      h *= 0x100000001b3ull;
-    }
-    h = fnv1a(h, value);
-  }
-  return h;
-}
+// The full-machine digest (final time, event count, duration, every stats
+// counter — the same observables tests/test_shards.cpp pins) now lives in
+// core/machine_image.hpp as machine_digest(), shared with the batch runner.
 
 /// One app run: builds its workload on `m`, returns the measured duration.
 /// `quiet` suppresses the app's own result line (verification reruns).
@@ -405,9 +387,11 @@ int run(const std::vector<std::string>& tokens, const std::string& cmdline) {
     // The capture/verify event fires at one exact cycle, which the sharded
     // engine's lookahead windows cannot honor mid-window.
     if (a.cfg.shards != 0 || a.verify_shards) {
-      throw cli::UsageError(
+      throw SnapshotUnsupported(
           "--checkpoint/--restore need the serial engine "
-          "(--shards 0, no --verify-shards)");
+          "(--shards 0, no --verify-shards): the capture/verify event fires "
+          "at one exact cycle, which the sharded engine's lookahead windows "
+          "cannot honor mid-window");
     }
     if (a.checkpoint_at != 0 && !a.restore_in.empty()) {
       throw cli::UsageError("--checkpoint and --restore are mutually exclusive");
@@ -826,6 +810,12 @@ int main(int argc, char** argv) {
   } catch (const SnapshotMismatch& e) {
     std::fprintf(stderr, "alewife_run: %s\n", e.what());
     return 7;
+  } catch (const SnapshotUnsupported& e) {
+    // Capture/restore asked of an engine configuration that cannot provide
+    // it (sharded engine). Distinct from exit 1 so batch runners can fall
+    // back to cold starts instead of treating the point as an I/O failure.
+    std::fprintf(stderr, "alewife_run: %s\n", e.what());
+    return 8;
   } catch (const SnapshotError& e) {
     std::fprintf(stderr, "alewife_run: %s\n", e.what());
     return 1;

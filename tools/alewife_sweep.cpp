@@ -16,6 +16,14 @@
 //                  the format `alewife_report --compare` diffs, and what
 //                  BENCH_baseline.json records for the perf trajectory
 //
+// The scaling, faults, parallel, collectives and kvserve sweeps are shipped
+// batch descriptors (experiments/*.json) executed by the batch engine
+// (src/batch/runner.hpp) — this tool is a thin wrapper that resolves the
+// descriptor and renders its single table. `alewife_batch` runs the same
+// descriptors (and whole grids of them) directly. The interrupt and arity
+// ablations remain native: they sweep machine-cost knobs the descriptor
+// config vocabulary deliberately leaves out.
+//
 // Each sweep point is an independent simulation: the simulator's mutable
 // state (current fiber, event-callback pools) is thread_local, so points can
 // run concurrently without affecting simulated results. Rows are collected
@@ -28,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/runner.hpp"
 #include "bench_common.hpp"
 #include "cli.hpp"
 #include "sim/json.hpp"
@@ -63,111 +72,6 @@ struct SweepResult {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-// ---- scaling: grain speedup and barrier latency vs machine size ------------
-//
-// Rows past 128 processors run on the sharded engine (8 host threads per
-// machine) with a smaller per-node memory — the sizes the serial engine
-// could not reach in reasonable wall time. The shm-only scheduler is gated
-// off under sharding, so those rows report "-" for it.
-
-MachineConfig big_cfg(std::uint32_t procs) {
-  MachineConfig c = bench_cfg(procs);
-  c.shards = 8;
-  c.mem_bytes_per_node = 512 * 1024;  // 1024 nodes fit in half a GB
-  return c;
-}
-
-SweepResult sweep_scaling(bool fast, unsigned threads) {
-  std::vector<std::uint32_t> sizes =
-      fast ? std::vector<std::uint32_t>{8, 16}
-           : std::vector<std::uint32_t>{8, 16, 32, 64, 128, 256, 512, 1024};
-  const std::uint32_t depth = fast ? 10 : 14;
-
-  SweepResult r;
-  r.cols = {"procs", "grain shm", "grain hybrid", "bar shm", "bar msg"};
-  r.rows = sweep<std::vector<std::string>>(
-      sizes.size(),
-      [&](std::size_t i) {
-        const std::uint32_t p = sizes[i];
-        if (p > 128) {
-          const MachineConfig c = big_cfg(p);
-          const AppRun hyb =
-              measure_grain_cfg(c, SchedMode::kHybrid, depth, 100);
-          const Cycles bshm =
-              measure_barrier_cfg(c, CombiningBarrier::Mech::kShm, 2);
-          const Cycles bmsg =
-              measure_barrier_cfg(c, CombiningBarrier::Mech::kMsg, 8);
-          return std::vector<std::string>{
-              std::to_string(p), "-", fmt(hyb.speedup(), 2),
-              std::to_string(bshm), std::to_string(bmsg)};
-        }
-        const AppRun shm = measure_grain(SchedMode::kShm, p, depth, 100);
-        const AppRun hyb = measure_grain(SchedMode::kHybrid, p, depth, 100);
-        const Cycles bshm =
-            measure_barrier(p, CombiningBarrier::Mech::kShm, 2);
-        const Cycles bmsg =
-            measure_barrier(p, CombiningBarrier::Mech::kMsg, 8);
-        return std::vector<std::string>{
-            std::to_string(p), fmt(shm.speedup(), 2), fmt(hyb.speedup(), 2),
-            std::to_string(bshm), std::to_string(bmsg)};
-      },
-      threads);
-  return r;
-}
-
-// ---- parallel: the sharded engine's own scaling (BENCH_parallel.json) ------
-//
-// One row per shard count, each running the same 1024-node workloads (grain
-// under the hybrid scheduler, then message-barrier episodes). The simulated
-// columns are deterministic and K-independent — they are what the
-// `alewife_report --compare` gate pins. The "host ..." columns are host
-// wall-clock measurements (they vary run to run and machine to machine) and
-// are excluded from the gate by the host-key convention.
-
-SweepResult sweep_parallel(bool fast, unsigned /*threads*/) {
-  const std::uint32_t nodes = fast ? 64 : 1024;
-  const std::uint32_t depth = fast ? 10 : 14;
-  const std::vector<std::uint32_t> shard_counts =
-      fast ? std::vector<std::uint32_t>{1, 2}
-           : std::vector<std::uint32_t>{1, 2, 4, 8};
-
-  SweepResult r;
-  r.cols = {"shards", "grain cyc", "bar msg cyc", "host wall s", "host Mev/s"};
-  // Points run serially on purpose: each row is itself a K-thread machine,
-  // and wall-clock per row is the measurement.
-  for (const std::uint32_t k : shard_counts) {
-    MachineConfig c = bench_cfg(nodes);
-    c.shards = k;
-    c.mem_bytes_per_node = 512 * 1024;
-
-    const auto t0 = std::chrono::steady_clock::now();
-    std::uint64_t events = 0;
-    Cycles grain_cyc = 0;
-    {
-      RuntimeOptions o;
-      o.mode = SchedMode::kHybrid;
-      o.stealing = true;
-      Machine m(c, o);
-      Cycles dur = 0;
-      m.run([&](Context& ctx) -> std::uint64_t {
-        const Cycles s = ctx.now();
-        const std::uint64_t leaves = apps::grain_parallel(ctx, depth, 100);
-        dur = ctx.now() - s;
-        return leaves;
-      });
-      grain_cyc = dur;
-      events += m.sim().events_executed();
-    }
-    const Cycles bmsg =
-        measure_barrier_cfg(c, CombiningBarrier::Mech::kMsg, 8, 4);
-    const double wall = seconds_since(t0);
-    r.rows.push_back({std::to_string(k), std::to_string(grain_cyc),
-                      std::to_string(bmsg), fmt(wall, 3),
-                      fmt(wall > 0 ? double(events) / wall / 1e6 : 0.0, 2)});
-  }
-  return r;
 }
 
 // ---- interrupt: message mechanisms vs handler-entry cost -------------------
@@ -221,156 +125,10 @@ SweepResult sweep_arity(bool fast, unsigned threads) {
   return r;
 }
 
-// ---- collectives: proc vs CMMU combining across node counts ----------------
-//
-// One row per machine size. The headline ablation is the paper-style
-// software combining tree (every arrival interrupts a processor) against the
-// CMMU combining engine (arrivals absorbed NIC-side), for both the barrier
-// and a value-carrying allreduce; shm, hybrid and the scatter/gather data
-// movers ride along. Recorded as BENCH_collectives.json and gated by
-// `alewife_report --compare` in CI.
-
-SweepResult sweep_collectives(bool fast, unsigned threads) {
-  std::vector<std::uint32_t> sizes = fast
-                                         ? std::vector<std::uint32_t>{8, 16}
-                                         : std::vector<std::uint32_t>{8, 16,
-                                                                      32, 64};
-  SweepResult r;
-  r.cols = {"procs",       "bar proc",  "bar cmmu", "allred proc",
-            "allred cmmu", "allred shm", "allred hyb", "scatter",
-            "gather"};
-  r.rows = sweep<std::vector<std::string>>(
-      sizes.size(),
-      [&](std::size_t i) {
-        const std::uint32_t p = sizes[i];
-        const MachineConfig c = bench_cfg(p);
-        const auto coll = [&c](const char* op, CollMech mech,
-                               Combining comb) {
-          CollectiveConfig cc;
-          cc.mech = mech;
-          cc.combining = comb;
-          return measure_collective_cfg(c, op, cc, /*episodes=*/4);
-        };
-        return std::vector<std::string>{
-            std::to_string(p),
-            std::to_string(coll("barrier", CollMech::kMsg, Combining::kProc)),
-            std::to_string(coll("barrier", CollMech::kMsg, Combining::kCmmu)),
-            std::to_string(
-                coll("allreduce", CollMech::kMsg, Combining::kProc)),
-            std::to_string(
-                coll("allreduce", CollMech::kMsg, Combining::kCmmu)),
-            std::to_string(
-                coll("allreduce", CollMech::kShm, Combining::kProc)),
-            std::to_string(
-                coll("allreduce", CollMech::kHybrid, Combining::kCmmu)),
-            std::to_string(coll("scatter", CollMech::kMsg, Combining::kProc)),
-            std::to_string(coll("gather", CollMech::kMsg, Combining::kProc))};
-      },
-      threads);
-  return r;
-}
-
-// ---- faults: recovery cost vs packet-drop probability -----------------------
-//
-// Each point runs the msg barrier and a msg-DMA bulk copy on a machine whose
-// network drops (and occasionally duplicates) user packets; the reliable
-// layer arms automatically. Degradation should be monotonic and the
-// retransmit counter should track the drop rate.
-
-SweepResult sweep_faults(bool fast, unsigned threads) {
-  std::vector<double> drops =
-      fast ? std::vector<double>{0.0, 0.05}
-           : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10};
-  const std::uint32_t nodes = fast ? 16 : 64;
-  const std::uint32_t block = 4096;
-
-  SweepResult r;
-  r.cols = {"drop %", "bar msg", "copy msg", "retrans", "goodput B"};
-  r.rows = sweep<std::vector<std::string>>(
-      drops.size(),
-      [&](std::size_t i) {
-        MachineConfig c = bench_cfg(nodes);
-        c.fault.drop_rate = drops[i];
-        c.fault.dup_rate = drops[i] / 2.0;
-        const Cycles bar =
-            measure_barrier_cfg(c, CombiningBarrier::Mech::kMsg, 8, 4);
-
-        Machine m(c);
-        Cycles copy_cyc = 0;
-        m.run([&](Context& ctx) -> std::uint64_t {
-          const GAddr src = ctx.shmalloc(0, block);
-          const GAddr dst = ctx.shmalloc(1 % c.nodes, block);
-          for (std::uint32_t b = 0; b < block; b += 8) ctx.store(src + b, b);
-          const Cycles t0 = ctx.now();
-          m.bulk().copy(ctx, dst, src, block, CopyImpl::kMsgDma);
-          copy_cyc = ctx.now() - t0;
-          return 0;
-        });
-        return std::vector<std::string>{
-            fmt(drops[i] * 100.0, 1), std::to_string(bar),
-            std::to_string(copy_cyc),
-            std::to_string(m.stats().get(MetricId::kRelRetransmits)),
-            std::to_string(m.stats().get(MetricId::kRelDeliveredBytes))};
-      },
-      threads);
-  return r;
-}
-
-// ---- kvserve: throughput vs offered load (the latency knee) ----------------
-//
-// One row per offered load on a fixed machine: the open-loop generator
-// (Zipf keys, latency measured from scheduled arrival so queueing delay is
-// never omitted) pushes the sharded KV service toward saturation. Achieved
-// throughput tracks offered load until the knee, then flattens while
-// p99/p999 climb — the curve the paper's integrated mechanisms are meant to
-// push rightward. Recorded as BENCH_kvserve.json and gated by
-// `alewife_report --compare` in CI.
-
-SweepResult sweep_kvserve(bool fast, unsigned threads) {
-  const std::uint32_t nodes = fast ? 16 : 64;
-  const std::vector<std::uint32_t> loads =
-      fast ? std::vector<std::uint32_t>{16, 64}
-           : std::vector<std::uint32_t>{8, 16, 32, 64, 128, 256};
-
-  SweepResult r;
-  r.cols = {"offered", "achieved", "p50", "p99", "p999", "failed"};
-  r.rows = sweep<std::vector<std::string>>(
-      loads.size(),
-      [&](std::size_t i) {
-        Machine m(bench_cfg(nodes));
-        apps::KvServeConfig kc;
-        kc.load = loads[i];
-        kc.requests = fast ? 512 : 4096;
-        const apps::KvServeResult res = apps::kvserve_run(m, kc);
-        const double achieved =
-            res.duration != 0
-                ? double(res.completed) * 1000.0 / double(res.duration)
-                : 0.0;
-        return std::vector<std::string>{
-            std::to_string(loads[i]), fmt(achieved, 2),
-            fmt(res.latency.percentile(0.50), 0),
-            fmt(res.latency.percentile(0.99), 0),
-            fmt(res.latency.percentile(0.999), 0),
-            std::to_string(res.failed)};
-      },
-      threads);
-  return r;
-}
-
-SweepResult run_sweep(const std::string& name, bool fast, unsigned threads) {
-  if (name == "scaling") return sweep_scaling(fast, threads);
+SweepResult run_native_sweep(const std::string& name, bool fast,
+                             unsigned threads) {
   if (name == "interrupt") return sweep_interrupt(fast, threads);
-  if (name == "arity") return sweep_arity(fast, threads);
-  if (name == "faults") return sweep_faults(fast, threads);
-  if (name == "parallel") return sweep_parallel(fast, threads);
-  if (name == "collectives") return sweep_collectives(fast, threads);
-  if (name == "kvserve") return sweep_kvserve(fast, threads);
-  std::fprintf(stderr,
-               "alewife_sweep: unknown sweep '%s' "
-               "(expected scaling|interrupt|arity|faults|parallel|"
-               "collectives|kvserve)\n",
-               name.c_str());
-  std::exit(2);
+  return sweep_arity(fast, threads);
 }
 
 /// Result table as JSON: rows become objects keyed by column name (plus
@@ -398,6 +156,98 @@ void write_sweep_json(std::ostream& os, const std::string& sweep, bool fast,
     os << "}" << (i + 1 < r.rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+}
+
+// ---- descriptor-backed sweeps ----------------------------------------------
+
+bool is_descriptor_sweep(const std::string& name) {
+  return name == "scaling" || name == "faults" || name == "parallel" ||
+         name == "collectives" || name == "kvserve";
+}
+
+/// Locate the shipped descriptor for `name`: $ALEWIFE_EXPERIMENTS first,
+/// then ./experiments and ../experiments (running from a build directory),
+/// then the source-tree path baked in at configure time.
+std::string descriptor_path(const std::string& name) {
+  std::vector<std::string> dirs;
+  if (const char* env = std::getenv("ALEWIFE_EXPERIMENTS")) {
+    dirs.push_back(env);
+  }
+  dirs.push_back("experiments");
+  dirs.push_back("../experiments");
+#ifdef ALEWIFE_EXPERIMENTS_DIR
+  dirs.push_back(ALEWIFE_EXPERIMENTS_DIR);
+#endif
+  for (const auto& dir : dirs) {
+    const std::string path = dir + "/" + name + ".json";
+    if (std::ifstream(path).good()) return path;
+  }
+  std::fprintf(stderr,
+               "alewife_sweep: cannot find experiments/%s.json (set "
+               "ALEWIFE_EXPERIMENTS to the experiments directory)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int run_descriptor_sweep(const std::string& name, bool fast, unsigned threads,
+                         unsigned effective, bool verify,
+                         const std::string& json_out) {
+  const batch::BatchDescriptor desc =
+      batch::load_descriptor(descriptor_path(name));
+
+  batch::RunnerOptions opt;
+  opt.threads = threads;
+  opt.fast = fast;
+
+  batch::BatchResult result;
+  if (verify) {
+    batch::RunnerOptions serial = opt;
+    serial.threads = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const batch::BatchResult ref = batch::run_batch(desc, serial);
+    const double t_serial = seconds_since(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const batch::BatchResult parallel = batch::run_batch(desc, opt);
+    const double t_parallel = seconds_since(t1);
+
+    for (const auto& t : ref.tables) {
+      print_header("sweep: " + name + " (serial reference)", t.cols);
+      for (const auto& row : t.rows) print_row(row);
+    }
+    std::printf("\nserial   %7.2fs (1 thread)\n", t_serial);
+    std::printf("parallel %7.2fs (%u threads)\n", t_parallel, effective);
+    if (!batch::results_match(ref, parallel)) {
+      std::fprintf(stderr,
+                   "VERIFY FAILED: parallel results differ from serial\n");
+      return 1;
+    }
+    std::printf("VERIFY OK: parallel == serial\n");
+    result = ref;
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    result = batch::run_batch(desc, opt);
+    const double elapsed = seconds_since(t0);
+    std::size_t points = 0;
+    for (const auto& t : result.tables) {
+      print_header("sweep: " + name, t.cols);
+      for (const auto& row : t.rows) print_row(row);
+      points += t.rows.size();
+    }
+    std::printf("\nwall %.2fs (%u threads, %zu points)\n", elapsed, effective,
+                points);
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "alewife_sweep: cannot write '%s'\n",
+                   json_out.c_str());
+      return 1;
+    }
+    batch::write_table_json(os, result.tables.at(0));
+  }
+  return 0;
 }
 
 }  // namespace
@@ -432,14 +282,32 @@ int main(int argc, char** argv) {
 
   const unsigned effective = threads ? threads : sweep_threads();
 
+  if (is_descriptor_sweep(name)) {
+    try {
+      return run_descriptor_sweep(name, fast, threads, effective, verify,
+                                  json_out);
+    } catch (const batch::DescriptorError& e) {
+      std::fprintf(stderr, "alewife_sweep: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (name != "interrupt" && name != "arity") {
+    std::fprintf(stderr,
+                 "alewife_sweep: unknown sweep '%s' "
+                 "(expected scaling|interrupt|arity|faults|parallel|"
+                 "collectives|kvserve)\n",
+                 name.c_str());
+    return 2;
+  }
+
   if (verify) {
     // Serial reference first, then the parallel run it must match exactly.
     const auto t0 = std::chrono::steady_clock::now();
-    const SweepResult serial = run_sweep(name, fast, 1);
+    const SweepResult serial = run_native_sweep(name, fast, 1);
     const double t_serial = seconds_since(t0);
 
     const auto t1 = std::chrono::steady_clock::now();
-    const SweepResult parallel = run_sweep(name, fast, effective);
+    const SweepResult parallel = run_native_sweep(name, fast, effective);
     const double t_parallel = seconds_since(t1);
 
     print_header("sweep: " + name + " (serial reference)", serial.cols);
@@ -465,7 +333,7 @@ int main(int argc, char** argv) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  const SweepResult r = run_sweep(name, fast, effective);
+  const SweepResult r = run_native_sweep(name, fast, effective);
   const double elapsed = seconds_since(t0);
 
   print_header("sweep: " + name, r.cols);

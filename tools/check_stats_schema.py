@@ -1,20 +1,36 @@
 #!/usr/bin/env python3
-"""Validate an `alewife_run --stats-json` file against the alewife-stats v1
-schema. Stdlib only — CI runs it on a fresh runner with no extra packages.
+"""Validate an alewife result JSON file against its schema. Stdlib only —
+CI runs it on a fresh runner with no extra packages.
 
 Usage: check_stats_schema.py [--expect-nonzero NAME]... FILE.json
 
-Checks structure (required fields, types), internal consistency (per_node
-lists match the declared node count and sum to each counter's total), and
-the registry invariants the C++ side promises (unique counter names, known
-units, and that the fault/reliability/watchdog counters are present — the
-exporter emits the whole registry, so a fault counter missing from the JSON
-means the registry regressed). `--expect-nonzero NAME` (repeatable)
-additionally fails unless counter NAME has a total > 0 — the CI fault matrix
-uses it to prove injection and recovery actually happened at nonzero drop
-rates. Exits 0 on success, 1 with a message per violation otherwise.
+Dispatches on the document's "schema" field:
+
+* alewife-stats v1 (`alewife_run --stats-json`): structure (required
+  fields, types), internal consistency (per_node lists match the declared
+  node count and sum to each counter's total), and the registry invariants
+  the C++ side promises (unique counter names, known units, and that the
+  fault/reliability/watchdog counters are present — the exporter emits the
+  whole registry, so a fault counter missing from the JSON means the
+  registry regressed). `--expect-nonzero NAME` (repeatable) additionally
+  fails unless counter NAME has a total > 0 — the CI fault matrix uses it
+  to prove injection and recovery actually happened at nonzero drop rates.
+
+* alewife-sweep v1 (`alewife_sweep --json`): cols are strings, every row
+  carries a string cell for every column, row "name" equals the first
+  column's value.
+
+* alewife-batch v1 (`alewife_batch --out`): name/descriptor/fast header,
+  each embedded table validates as alewife-sweep v1, point records carry
+  name/nodes/seed/cycles/events/digest (0x + 16 hex digits)/warm_forked/
+  exit and a counters object of non-negative integer totals; table sweep
+  names and point names are unique. `--expect-nonzero NAME` checks every
+  point's counters object.
+
+Exits 0 on success, 1 with a message per violation otherwise.
 """
 import json
+import re
 import sys
 
 KNOWN_UNITS = {"count", "bytes", "cycles", "lines"}
@@ -199,6 +215,118 @@ def check(doc, expect_nonzero=()):
         require(c, "total", int, what)
 
 
+def check_sweep(doc, what="document"):
+    """alewife-sweep v1: the table format alewife_sweep --json and
+    alewife_report --compare agree on. `what` prefixes messages so embedded
+    tables inside a batch document report their position."""
+    schema = require(doc, "schema", str, what)
+    if schema is not None and schema != "alewife-sweep":
+        err(f"{what}: schema is '{schema}', expected 'alewife-sweep'")
+    version = require(doc, "version", int, what)
+    if version is not None and version != 1:
+        err(f"{what}: version is {version}, this checker understands"
+            f" version 1")
+    require(doc, "sweep", str, what)
+    require(doc, "fast", bool, what)
+
+    cols = require(doc, "cols", list, what)
+    if cols is not None:
+        if not cols:
+            err(f"{what}: cols is empty")
+        for i, c in enumerate(cols):
+            if not isinstance(c, str):
+                err(f"{what}: cols[{i}] is not a string")
+    rows = require(doc, "rows", list, what)
+    for i, r in enumerate(rows or []):
+        rw = f"{what}: rows[{i}]"
+        if not isinstance(r, dict):
+            err(f"{rw}: not an object")
+            continue
+        name = require(r, "name", str, rw)
+        for c in cols or []:
+            if not isinstance(c, str):
+                continue
+            if c not in r:
+                err(f"{rw}: missing cell for column '{c}'")
+            elif not isinstance(r[c], str):
+                err(f"{rw}: cell '{c}' is not a string (the sweep format "
+                    f"stores formatted numbers as strings)")
+        # The row's identity is its first-column value.
+        if (cols and isinstance(cols[0], str) and name is not None
+                and r.get(cols[0]) != name):
+            err(f"{rw}: name '{name}' != first column "
+                f"'{cols[0]}' value '{r.get(cols[0])}'")
+
+
+DIGEST_RE = re.compile(r"^0x[0-9a-f]{16}$")
+
+
+def check_batch(doc, expect_nonzero=()):
+    """alewife-batch v1: the merged document `alewife_batch --out` writes —
+    embedded sweep tables plus per-point records with machine digests."""
+    version = require(doc, "version", int)
+    if version is not None and version != 1:
+        err(f"version is {version}, this checker understands version 1")
+    require(doc, "name", str)
+    require(doc, "descriptor", str)
+    require(doc, "fast", bool)
+
+    tables = require(doc, "tables", list)
+    sweeps = set()
+    for i, t in enumerate(tables or []):
+        what = f"tables[{i}]"
+        if not isinstance(t, dict):
+            err(f"{what}: not an object")
+            continue
+        check_sweep(t, what)
+        name = t.get("sweep")
+        if isinstance(name, str):
+            if name in sweeps:
+                err(f"{what}: duplicate table sweep name '{name}'")
+            sweeps.add(name)
+
+    points = require(doc, "points", list)
+    names = set()
+    for i, p in enumerate(points or []):
+        what = f"points[{i}]"
+        if not isinstance(p, dict):
+            err(f"{what}: not an object")
+            continue
+        name = require(p, "name", str, what)
+        if name is not None:
+            what = f"points[{i}] ({name})"
+            if name in names:
+                err(f"{what}: duplicate point name")
+            names.add(name)
+        nodes = require(p, "nodes", int, what)
+        if nodes is not None and nodes <= 0:
+            err(f"{what}: nodes must be positive")
+        require(p, "seed", int, what)
+        for field in ("cycles", "events"):
+            v = require(p, field, int, what)
+            if v is not None and v < 0:
+                err(f"{what}: {field} must be non-negative")
+        digest = require(p, "digest", str, what)
+        if digest is not None and not DIGEST_RE.match(digest):
+            err(f"{what}: digest '{digest}' is not 0x + 16 lowercase hex "
+                f"digits")
+        require(p, "warm_forked", bool, what)
+        require(p, "exit", int, what)
+        counters = require(p, "counters", dict, what)
+        if counters is None:
+            continue
+        for cname, v in counters.items():
+            if not isinstance(cname, str) or "." not in cname:
+                err(f"{what}: counter '{cname}' has no subsystem prefix")
+            if not isinstance(v, int) or v < 0:
+                err(f"{what}: counter '{cname}' must be a non-negative "
+                    f"integer")
+        for cname in expect_nonzero:
+            if counters.get(cname, 0) == 0:
+                err(f"{what}: --expect-nonzero counter '{cname}' is zero or "
+                    f"missing")
+
+
 def main(argv):
     expect_nonzero = []
     args = argv[1:]
@@ -218,15 +346,28 @@ def main(argv):
     if not isinstance(doc, dict):
         print(f"{path}: top level is not a JSON object", file=sys.stderr)
         return 1
-    check(doc, expect_nonzero)
+    schema = doc.get("schema")
+    if schema == "alewife-batch":
+        check_batch(doc, expect_nonzero)
+        summary = (f"alewife-batch v1, {len(doc.get('tables', []))} tables, "
+                   f"{len(doc.get('points', []))} points")
+    elif schema == "alewife-sweep":
+        if expect_nonzero:
+            print(f"{path}: --expect-nonzero does not apply to sweep files",
+                  file=sys.stderr)
+            return 2
+        check_sweep(doc)
+        summary = f"alewife-sweep v1, {len(doc.get('rows', []))} rows"
+    else:
+        check(doc, expect_nonzero)
+        summary = (f"alewife-stats v1, {len(doc.get('counters', []))} "
+                   f"counters, {doc.get('nodes', '?')} nodes")
     if errors:
         for e in errors:
             print(f"{path}: {e}", file=sys.stderr)
         print(f"{path}: {len(errors)} schema violation(s)", file=sys.stderr)
         return 1
-    n = len(doc.get("counters", []))
-    print(f"{path}: OK (alewife-stats v1, {n} counters, "
-          f"{doc.get('nodes', '?')} nodes)")
+    print(f"{path}: OK ({summary})")
     return 0
 
 
